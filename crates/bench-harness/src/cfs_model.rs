@@ -1,0 +1,681 @@
+//! The CFS protocol model for the simulated evaluation cluster.
+//!
+//! Mirrors the real stack's message/disk pattern op by op:
+//!
+//! * metadata mutations run **two phases** (inode partition, dentry
+//!   partition — §2.6's relaxed atomicity means two independent Raft
+//!   commits), each committing on a majority with a log write;
+//! * metadata reads are served from the partition leader's memory — never
+//!   a disk (§4.3 reason 1) — or from the client cache (§2.4);
+//! * `readdir` is one scan plus **batched** inode fetches per partition
+//!   (§4.2 `batchInodeGet`), and the results warm the client cache;
+//! * sequential writes chain 128 KB packets through the replica array
+//!   (§2.7.1) with a periodic extent sync to the meta node;
+//! * random writes are in-place Raft overwrites with log write
+//!   amplification and **no metadata update** (§4.3 reason 2);
+//! * small-file writes skip extent allocation entirely (§4.4 reason 2).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ceph_baseline::ApproxLru;
+use cfs_sim::plan::{control_hop, disk_read_ns, disk_write_ns, hop};
+use cfs_sim::{HardwareModel, Sim, SimTime, StationId, Step};
+
+use crate::workload::SimOp;
+
+/// Parameters of the CFS model (defaults per §4.1: 10 machines hosting
+/// meta + data nodes together, 10 meta partitions and 1500 data partitions
+/// per machine, 3 replicas).
+#[derive(Debug, Clone)]
+pub struct CfsSimConfig {
+    pub nodes: usize,
+    pub client_nodes: usize,
+    pub meta_partitions_per_node: usize,
+    pub replicas: usize,
+    /// CPU per metadata RPC at the serving node.
+    pub meta_op_ns: u64,
+    /// Serialized apply time of one Raft group (per meta partition).
+    pub raft_apply_ns: u64,
+    /// Non-pipelined group-commit window: one Raft group admits the next
+    /// command only after the previous one committed, so ops on the same
+    /// partition serialize at roughly the commit latency. This is what
+    /// collapses shared-directory workloads (mdtest tree phase) for CFS,
+    /// mirroring how the MDS journal collapses them for Ceph.
+    pub raft_group_serial_ns: u64,
+    /// Raft log append written per commit (batched, no fsync).
+    pub raft_log_write_ns: u64,
+    /// Client-side per-op cost (FUSE crossing).
+    pub client_op_ns: u64,
+    /// Client-cache-hit service time (still crosses FUSE).
+    pub client_cached_op_ns: u64,
+    /// Client inode/dentry cache entries per client node (§2.4).
+    pub client_cache_entries: usize,
+    /// Extent size (1 GB): maps file offsets to data partitions.
+    pub extent_size: u64,
+    /// Sync extent keys to the meta node every N sequential packets.
+    pub meta_sync_every: u64,
+    pub hw: HardwareModel,
+}
+
+impl Default for CfsSimConfig {
+    fn default() -> Self {
+        CfsSimConfig {
+            nodes: 10,
+            client_nodes: 8,
+            meta_partitions_per_node: 10,
+            replicas: 3,
+            meta_op_ns: 10_000,
+            raft_apply_ns: 15_000,
+            raft_group_serial_ns: 250_000,
+            raft_log_write_ns: 30_000,
+            client_op_ns: 80_000,
+            client_cached_op_ns: 8_000,
+            client_cache_entries: 100_000,
+            extent_size: 1 << 30,
+            meta_sync_every: 8,
+            hw: HardwareModel::default(),
+        }
+    }
+}
+
+impl CfsSimConfig {
+    /// Total meta partitions in the cluster.
+    pub fn total_meta_partitions(&self) -> usize {
+        self.nodes * self.meta_partitions_per_node
+    }
+}
+
+/// Stations + client-cache state of the CFS model.
+pub struct CfsSim {
+    cfg: CfsSimConfig,
+    node_cpu: Vec<StationId>,
+    node_disk: Vec<StationId>,
+    node_nic: Vec<StationId>,
+    /// Per-meta-partition Raft apply lane (1 server): commands of one
+    /// group apply serially.
+    mp_lane: Vec<StationId>,
+    client_nic: Vec<StationId>,
+    client_cpu: Vec<StationId>,
+    /// Per-client-node inode/dentry cache (§2.4).
+    client_cache: Vec<ApproxLru>,
+    /// Per-client sequential-packet counter (meta sync cadence).
+    seq_counter: Vec<u64>,
+    #[allow(dead_code)] // reserved for jittered variants of the models
+    rng: SmallRng,
+}
+
+impl CfsSim {
+    /// Build stations on `sim`.
+    pub fn new(sim: &mut Sim, cfg: CfsSimConfig, seed: u64) -> Self {
+        let node_cpu = (0..cfg.nodes)
+            .map(|n| sim.add_station(&format!("cfs-cpu-{n}"), cfg.hw.cores_per_node))
+            .collect();
+        let node_disk = (0..cfg.nodes)
+            .map(|n| sim.add_station(&format!("cfs-disk-{n}"), cfg.hw.ssds_per_node))
+            .collect();
+        let node_nic = (0..cfg.nodes)
+            .map(|n| sim.add_station(&format!("cfs-nic-{n}"), 1))
+            .collect();
+        let mp_lane = (0..cfg.total_meta_partitions())
+            .map(|p| sim.add_station(&format!("cfs-mp-{p}"), 1))
+            .collect();
+        let client_nic = (0..cfg.client_nodes)
+            .map(|n| sim.add_station(&format!("cfs-cnic-{n}"), 1))
+            .collect();
+        let client_cpu = (0..cfg.client_nodes)
+            .map(|n| sim.add_station(&format!("cfs-ccpu-{n}"), cfg.hw.cores_per_node))
+            .collect();
+        let client_cache = (0..cfg.client_nodes)
+            .map(|_| ApproxLru::new(cfg.client_cache_entries))
+            .collect();
+        CfsSim {
+            node_cpu,
+            node_disk,
+            node_nic,
+            mp_lane,
+            client_nic,
+            client_cpu,
+            client_cache,
+            seq_counter: vec![0; cfg.client_nodes],
+            rng: SmallRng::seed_from_u64(seed),
+            cfg,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CfsSimConfig {
+        &self.cfg
+    }
+
+    fn hash(x: u64, salt: u64) -> u64 {
+        let mut z = x ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Meta partition owning an id (utilization placement spreads ids
+    /// uniformly; routing is by the inode-range table — a hash here).
+    fn meta_partition_of(&self, key: u64) -> usize {
+        (Self::hash(key, 11) % self.cfg.total_meta_partitions() as u64) as usize
+    }
+
+    fn mp_leader_node(&self, mp: usize) -> usize {
+        mp % self.cfg.nodes
+    }
+
+    fn mp_followers(&self, mp: usize) -> Vec<usize> {
+        let l = self.mp_leader_node(mp);
+        (1..self.cfg.replicas)
+            .map(|i| (l + i) % self.cfg.nodes)
+            .collect()
+    }
+
+    /// Data partition replica set for a (file, offset) extent.
+    fn data_nodes_of(&self, file: u64, offset: u64) -> (usize, Vec<usize>) {
+        let extent = Self::hash(file, 13) ^ (offset / self.cfg.extent_size);
+        let leader = (Self::hash(extent, 17) % self.cfg.nodes as u64) as usize;
+        let followers = (1..self.cfg.replicas)
+            .map(|i| (leader + i * 3 + 1) % self.cfg.nodes)
+            .collect();
+        (leader, followers)
+    }
+
+    /// One replicated metadata phase: RPC to the partition leader, apply
+    /// through the group's serial lane, majority commit (leader log write
+    /// in parallel with follower round trips), reply.
+    fn meta_phase(&self, client: usize, route_key: u64) -> Vec<Step> {
+        let hw = &self.cfg.hw;
+        let mp = self.meta_partition_of(route_key);
+        let ln = self.mp_leader_node(mp);
+        let followers = self.mp_followers(mp);
+
+        let mut steps = Vec::new();
+        steps.extend(control_hop(hw, self.client_nic[client], self.node_nic[ln]));
+        steps.push(Step::svc(self.node_cpu[ln], self.cfg.meta_op_ns));
+        steps.push(Step::svc(
+            self.mp_lane[mp],
+            self.cfg.raft_apply_ns + self.cfg.raft_group_serial_ns,
+        ));
+
+        // Majority commit: the leader's log write plus ANY ONE follower
+        // round trip (quorum = 2 of 3 including the leader).
+        let leader_log = vec![Step::svc(self.node_disk[ln], self.cfg.raft_log_write_ns)];
+        let follower_branches: Vec<Vec<Step>> = followers
+            .iter()
+            .map(|&f| {
+                let mut b = control_hop(hw, self.node_nic[ln], self.node_nic[f]);
+                b.push(Step::svc(self.node_cpu[f], self.cfg.meta_op_ns / 2));
+                b.push(Step::svc(self.node_disk[f], self.cfg.raft_log_write_ns));
+                b.extend(control_hop(hw, self.node_nic[f], self.node_nic[ln]));
+                b
+            })
+            .collect();
+        steps.push(Step::All(vec![
+            leader_log,
+            vec![Step::Quorum {
+                quorum: 1,
+                branches: follower_branches,
+            }],
+        ]));
+        steps.extend(control_hop(hw, self.node_nic[ln], self.client_nic[client]));
+        steps
+    }
+
+    /// Leader-local metadata read (in memory, no disk — §4.3).
+    fn meta_read(&self, client: usize, route_key: u64) -> Vec<Step> {
+        let hw = &self.cfg.hw;
+        let mp = self.meta_partition_of(route_key);
+        let ln = self.mp_leader_node(mp);
+        let mut steps = Vec::new();
+        steps.extend(control_hop(hw, self.client_nic[client], self.node_nic[ln]));
+        steps.push(Step::svc(self.node_cpu[ln], self.cfg.meta_op_ns));
+        steps.extend(control_hop(hw, self.node_nic[ln], self.client_nic[client]));
+        steps
+    }
+
+    fn fuse(&self, client: usize) -> Step {
+        Step::svc(self.client_cpu[client], self.cfg.client_op_ns)
+    }
+
+    /// Compile one workload op into a plan.
+    pub fn plan(&mut self, _now: SimTime, client: usize, op: &SimOp) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        match *op {
+            SimOp::Create { dir, key } => {
+                // Fig. 3a: inode on a random partition, dentry on the
+                // parent's partition — two Raft commits.
+                self.client_cache[client].touch(key);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(self.meta_phase(client, key));
+                steps.extend(self.meta_phase(client, dir));
+                steps
+            }
+            SimOp::Remove { dir, key } => {
+                // Fig. 3c: dentry delete then nlink--, two commits.
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(self.meta_phase(client, dir));
+                steps.extend(self.meta_phase(client, key));
+                steps
+            }
+            SimOp::Stat { key, .. } => {
+                let hit = self.client_cache[client].touch(key);
+                if hit {
+                    // Served from the client cache (§2.4/§4.2).
+                    vec![Step::svc(
+                        self.client_cpu[client],
+                        self.cfg.client_cached_op_ns,
+                    )]
+                } else {
+                    let mut steps = vec![self.fuse(client)];
+                    steps.extend(self.meta_read(client, key));
+                    steps
+                }
+            }
+            SimOp::Readdir {
+                dir,
+                first_key,
+                entries,
+            } => {
+                // One scan + batchInodeGet per touched partition, all in
+                // parallel; results warm the client cache (§4.2).
+                let mut partitions: Vec<usize> = (0..entries)
+                    .map(|i| self.meta_partition_of(first_key + i))
+                    .collect();
+                partitions.sort_unstable();
+                partitions.dedup();
+                for i in 0..entries {
+                    self.client_cache[client].touch(first_key + i);
+                }
+                let mut steps = vec![self.fuse(client)];
+                // The listing itself (dentry tree range scan).
+                let dp = self.meta_partition_of(dir);
+                let dn = self.mp_leader_node(dp);
+                steps.extend(control_hop(&hw, self.client_nic[client], self.node_nic[dn]));
+                steps.push(Step::svc(
+                    self.node_cpu[dn],
+                    self.cfg.meta_op_ns + entries * 200,
+                ));
+                steps.extend(hop(
+                    &hw,
+                    self.node_nic[dn],
+                    self.client_nic[client],
+                    entries * 64,
+                ));
+                // Batched inode fetches, one RPC per touched partition.
+                let branches: Vec<Vec<Step>> = partitions
+                    .iter()
+                    .map(|&mp| {
+                        let ln = self.mp_leader_node(mp);
+                        let mut b = control_hop(&hw, self.client_nic[client], self.node_nic[ln]);
+                        b.push(Step::svc(
+                            self.node_cpu[ln],
+                            self.cfg.meta_op_ns + (entries / partitions.len().max(1) as u64) * 300,
+                        ));
+                        b.extend(hop(
+                            &hw,
+                            self.node_nic[ln],
+                            self.client_nic[client],
+                            (entries / partitions.len().max(1) as u64) * 128,
+                        ));
+                        b
+                    })
+                    .collect();
+                steps.push(Step::All(branches));
+                steps
+            }
+            SimOp::TreeCreate {
+                dir,
+                first_key,
+                width,
+                depth,
+            } => {
+                // Sequential subtree build: each item resolves its parent
+                // path (one uncached dentry lookup) then creates — the
+                // dentry phase lands on the SHARED root's partition.
+                let mut steps = vec![self.fuse(client)];
+                for i in 0..width {
+                    for _ in 0..depth.saturating_sub(1) {
+                        steps.push(Step::svc(
+                            self.client_cpu[client],
+                            self.cfg.client_cached_op_ns,
+                        ));
+                    }
+                    steps.extend(self.meta_read(client, dir)); // tail lookup
+                    steps.extend(self.meta_phase(client, first_key + i));
+                    steps.extend(self.meta_phase(client, dir));
+                }
+                steps
+            }
+            SimOp::TreeRemove {
+                dir,
+                first_key,
+                width,
+                depth,
+            } => {
+                let mut steps = vec![self.fuse(client)];
+                for i in 0..width {
+                    for _ in 0..depth.saturating_sub(1) {
+                        steps.push(Step::svc(
+                            self.client_cpu[client],
+                            self.cfg.client_cached_op_ns,
+                        ));
+                    }
+                    // Emptiness check is one leader read (range scan).
+                    steps.extend(self.meta_read(client, first_key + i));
+                    steps.extend(self.meta_phase(client, dir));
+                    steps.extend(self.meta_phase(client, first_key + i));
+                }
+                steps
+            }
+            SimOp::SeqWrite { file, offset, len } => {
+                // §2.7.1: packet to the PB leader, chain through the
+                // replicas, acks back; extent sync to meta every Nth
+                // packet.
+                let (leader, followers) = self.data_nodes_of(file, offset);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                    len,
+                ));
+                steps.push(Step::svc(self.node_disk[leader], disk_write_ns(&hw, len)));
+                let mut prev = leader;
+                for &f in &followers {
+                    steps.extend(hop(&hw, self.node_nic[prev], self.node_nic[f], len));
+                    steps.push(Step::svc(self.node_disk[f], disk_write_ns(&hw, len)));
+                    prev = f;
+                }
+                // Acks ripple back up the chain.
+                for _ in 0..followers.len() {
+                    steps.push(Step::Delay(hw.net_oneway_ns));
+                }
+                steps.extend(control_hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                ));
+                self.seq_counter[client] += 1;
+                if self.seq_counter[client].is_multiple_of(self.cfg.meta_sync_every) {
+                    steps.extend(self.meta_phase(client, file));
+                }
+                steps
+            }
+            SimOp::SeqRead { file, offset, len } => {
+                let (leader, _) = self.data_nodes_of(file, offset);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(control_hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                ));
+                steps.push(Step::svc(self.node_cpu[leader], 5_000));
+                steps.push(Step::svc(self.node_disk[leader], disk_read_ns(&hw, len)));
+                steps.extend(hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                    len,
+                ));
+                steps
+            }
+            SimOp::RandWrite { file, offset, len } => {
+                // §2.2.4: Raft overwrite — in place, log-amplified, no
+                // metadata update (§4.3 reason 2).
+                let (leader, followers) = self.data_nodes_of(file, offset);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                    len,
+                ));
+                steps.push(Step::svc(self.node_cpu[leader], 5_000));
+                let leader_commit = vec![
+                    Step::svc(self.node_disk[leader], self.cfg.raft_log_write_ns),
+                    Step::svc(self.node_disk[leader], disk_write_ns(&hw, len)),
+                ];
+                let follower_branches: Vec<Vec<Step>> = followers
+                    .iter()
+                    .map(|&f| {
+                        let mut b = hop(&hw, self.node_nic[leader], self.node_nic[f], len);
+                        b.push(Step::svc(self.node_disk[f], self.cfg.raft_log_write_ns));
+                        b.push(Step::svc(self.node_disk[f], disk_write_ns(&hw, len)));
+                        b.extend(control_hop(&hw, self.node_nic[f], self.node_nic[leader]));
+                        b
+                    })
+                    .collect();
+                steps.push(Step::All(vec![
+                    leader_commit,
+                    vec![Step::Quorum {
+                        quorum: 1,
+                        branches: follower_branches,
+                    }],
+                ]));
+                steps.extend(control_hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                ));
+                steps
+            }
+            SimOp::RandRead { file, offset, len } => {
+                // Client cache has the extent map; meta is in memory; the
+                // data node reads exactly one block (CRCs cached, §2.2.1).
+                let (leader, _) = self.data_nodes_of(file, offset);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(control_hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                ));
+                steps.push(Step::svc(self.node_cpu[leader], 5_000));
+                steps.push(Step::svc(self.node_disk[leader], disk_read_ns(&hw, len)));
+                steps.extend(hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                    len,
+                ));
+                steps
+            }
+            SimOp::SmallWrite { dir, key, len } => {
+                // create (2 phases) + single data RPC (no extent
+                // allocation round trip, §4.4) + extent record (1 phase).
+                self.client_cache[client].touch(key);
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(self.meta_phase(client, key));
+                steps.extend(self.meta_phase(client, dir));
+                let (leader, followers) = self.data_nodes_of(key, 0);
+                steps.extend(hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                    len,
+                ));
+                steps.push(Step::svc(self.node_disk[leader], disk_write_ns(&hw, len)));
+                let mut prev = leader;
+                for &f in &followers {
+                    steps.extend(hop(&hw, self.node_nic[prev], self.node_nic[f], len));
+                    steps.push(Step::svc(self.node_disk[f], disk_write_ns(&hw, len)));
+                    prev = f;
+                }
+                steps.extend(control_hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                ));
+                steps.extend(self.meta_phase(client, key));
+                steps
+            }
+            SimOp::SmallRead { key, len, .. } => {
+                // Metadata from memory (maybe client-cached), then one
+                // data read at the recorded physical offset.
+                let hit = self.client_cache[client].touch(key);
+                let mut steps = vec![self.fuse(client)];
+                if !hit {
+                    steps.extend(self.meta_read(client, key));
+                }
+                let (leader, _) = self.data_nodes_of(key, 0);
+                steps.extend(control_hop(
+                    &hw,
+                    self.client_nic[client],
+                    self.node_nic[leader],
+                ));
+                steps.push(Step::svc(self.node_cpu[leader], 5_000));
+                steps.push(Step::svc(self.node_disk[leader], disk_read_ns(&hw, len)));
+                steps.extend(hop(
+                    &hw,
+                    self.node_nic[leader],
+                    self.client_nic[client],
+                    len,
+                ));
+                steps
+            }
+            SimOp::SmallRemove { dir, key } => {
+                // Two metadata phases; the punch-hole happens off the
+                // critical path (§2.2.3, §2.7.3).
+                let mut steps = vec![self.fuse(client)];
+                steps.extend(self.meta_phase(client, dir));
+                steps.extend(self.meta_phase(client, key));
+                steps
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_sim::run_plan;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn run_one(sim: &mut Sim, steps: Vec<Step>) -> SimTime {
+        let at = Rc::new(Cell::new(0));
+        let a2 = Rc::clone(&at);
+        let start = sim.now();
+        run_plan(sim, steps, move |s| a2.set(s.now()));
+        sim.run(10_000_000);
+        at.get() - start
+    }
+
+    #[test]
+    fn create_costs_two_phases() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let create = run_one(&mut sim, m.plan(0, 0, &SimOp::Create { dir: 1, key: 2 }));
+        let read = run_one(&mut sim, m.plan(0, 0, &SimOp::Stat { dir: 1, key: 999 }));
+        assert!(
+            create > read,
+            "two replicated phases beat one read: {create} vs {read}"
+        );
+        // Create needs at least 4 one-way trips (two round trips).
+        assert!(create >= 4 * m.cfg.hw.net_oneway_ns);
+    }
+
+    #[test]
+    fn cached_stat_is_local() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let miss = run_one(&mut sim, m.plan(0, 0, &SimOp::Stat { dir: 1, key: 5 }));
+        let hit = run_one(&mut sim, m.plan(0, 0, &SimOp::Stat { dir: 1, key: 5 }));
+        assert!(hit < miss, "{hit} < {miss}");
+        assert!(hit < m.cfg.hw.net_oneway_ns, "no network on a cache hit");
+    }
+
+    #[test]
+    fn readdir_warms_client_cache() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let _ = run_one(
+            &mut sim,
+            m.plan(
+                0,
+                0,
+                &SimOp::Readdir {
+                    dir: 1,
+                    first_key: 100,
+                    entries: 50,
+                },
+            ),
+        );
+        let hit = run_one(&mut sim, m.plan(0, 0, &SimOp::Stat { dir: 1, key: 120 }));
+        assert!(hit < m.cfg.hw.net_oneway_ns, "stat after readdir is local");
+    }
+
+    #[test]
+    fn rand_write_has_log_amplification_but_no_meta_update() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let t = run_one(
+            &mut sim,
+            m.plan(
+                0,
+                0,
+                &SimOp::RandWrite {
+                    file: 9,
+                    offset: 0,
+                    len: 4096,
+                },
+            ),
+        );
+        let r = run_one(
+            &mut sim,
+            m.plan(
+                0,
+                0,
+                &SimOp::RandRead {
+                    file: 9,
+                    offset: 0,
+                    len: 4096,
+                },
+            ),
+        );
+        assert!(t > r, "write slower than read: {t} vs {r}");
+    }
+
+    #[test]
+    fn seq_write_syncs_meta_periodically() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let mut latencies = Vec::new();
+        for i in 0..(m.cfg.meta_sync_every * 2) {
+            let t = run_one(
+                &mut sim,
+                m.plan(
+                    0,
+                    0,
+                    &SimOp::SeqWrite {
+                        file: 1,
+                        offset: i * 131072,
+                        len: 131072,
+                    },
+                ),
+            );
+            latencies.push(t);
+        }
+        let max = *latencies.iter().max().unwrap();
+        let min = *latencies.iter().min().unwrap();
+        assert!(max > min, "sync packets cost more: {latencies:?}");
+    }
+
+    #[test]
+    fn plans_have_bounded_size() {
+        let mut sim = Sim::new(1);
+        let mut m = CfsSim::new(&mut sim, CfsSimConfig::default(), 3);
+        let tree = m.plan(
+            0,
+            0,
+            &SimOp::TreeCreate {
+                dir: 7,
+                first_key: 1,
+                width: 64,
+                depth: 3,
+            },
+        );
+        assert!(tree.len() < 3_000, "tree plan size {}", tree.len());
+    }
+}

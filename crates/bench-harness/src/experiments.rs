@@ -1,0 +1,408 @@
+//! One function per paper table/figure, returning printable rows.
+//!
+//! Every experiment runs both systems over the same simulated Table-1
+//! cluster and reports IOPS in virtual time. Durations are chosen so each
+//! cell converges; `quick` mode shortens them for CI-style runs.
+
+use cfs_sim::SimTime;
+
+use ceph_baseline::{CephCluster, CephConfig};
+
+use crate::cfs_model::{CfsSim, CfsSimConfig};
+use crate::driver::run_closed_loop;
+use crate::workload::{
+    FioPattern, FioWorkload, MdTest, MdTestWorkload, SmallFileWorkload, SmallMode,
+};
+
+/// Files per process working directory in the metadata tests.
+const FILES_PER_DIR: u64 = 100;
+
+/// One (x, CFS, Ceph) measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub test: String,
+    pub x_label: &'static str,
+    pub x: u64,
+    pub cfs_iops: f64,
+    pub ceph_iops: f64,
+}
+
+impl Cell {
+    /// The paper's "% of Improv." column.
+    pub fn improvement_pct(&self) -> f64 {
+        if self.ceph_iops == 0.0 {
+            return 0.0;
+        }
+        (self.cfs_iops - self.ceph_iops) / self.ceph_iops * 100.0
+    }
+}
+
+fn durations(test: MdTest, quick: bool) -> (SimTime, SimTime) {
+    let scale = if quick { 4 } else { 1 };
+    match test {
+        // The shared-root tree phase is heavily queued: give it a longer
+        // window so per-op completions accumulate.
+        MdTest::TreeCreation | MdTest::TreeRemoval => (200_000_000 / scale, 2_000_000_000 / scale),
+        _ => (100_000_000 / scale, 1_000_000_000 / scale),
+    }
+}
+
+fn md_cell(test: MdTest, clients: usize, procs: usize, quick: bool) -> Cell {
+    let (warmup, duration) = durations(test, quick);
+    let cfs = run_closed_loop(
+        |sim| CfsSim::new(sim, CfsSimConfig::default(), 42),
+        move |c, p| MdTestWorkload::new(test, c, p, FILES_PER_DIR),
+        clients,
+        procs,
+        warmup,
+        duration,
+        1,
+    );
+    let ceph = run_closed_loop(
+        |sim| CephCluster::new(sim, CephConfig::default(), 42),
+        move |c, p| MdTestWorkload::new(test, c, p, FILES_PER_DIR),
+        clients,
+        procs,
+        warmup,
+        duration,
+        1,
+    );
+    Cell {
+        test: test.name().to_string(),
+        x_label: if clients == 1 { "procs" } else { "clients" },
+        x: if clients == 1 {
+            procs as u64
+        } else {
+            clients as u64
+        },
+        cfs_iops: cfs,
+        ceph_iops: ceph,
+    }
+}
+
+/// Table 3: the 7 metadata tests at 8 clients × 64 processes.
+pub fn table3(quick: bool) -> Vec<Cell> {
+    MdTest::ALL
+        .iter()
+        .map(|&t| md_cell(t, 8, 64, quick))
+        .collect()
+}
+
+/// Figure 6: single client, 1/4/16/64 processes, all 7 tests.
+pub fn fig6(quick: bool) -> Vec<Cell> {
+    let mut rows = Vec::new();
+    for &t in &MdTest::ALL {
+        for &procs in &[1usize, 4, 16, 64] {
+            rows.push(md_cell(t, 1, procs, quick));
+        }
+    }
+    rows
+}
+
+/// Figure 7: 1/2/4/8 clients × 64 processes, all 7 tests.
+pub fn fig7(quick: bool) -> Vec<Cell> {
+    let mut rows = Vec::new();
+    for &t in &MdTest::ALL {
+        for &clients in &[1usize, 2, 4, 8] {
+            rows.push(md_cell(t, clients, 64, quick));
+        }
+    }
+    rows
+}
+
+fn fio_cell(pattern: FioPattern, clients: usize, procs: usize, quick: bool) -> Cell {
+    let scale = if quick { 4 } else { 1 };
+    let (warmup, duration) = (100_000_000 / scale, 1_000_000_000 / scale);
+    // 10 Gbps NICs for the large-file experiments (see EXPERIMENTS.md).
+    let fast = cfs_sim::HardwareModel::fast_network();
+    let cfs_cfg = CfsSimConfig {
+        hw: fast.clone(),
+        ..CfsSimConfig::default()
+    };
+    let ceph_cfg = CephConfig {
+        hw: fast,
+        ..CephConfig::default()
+    };
+    let cfs = run_closed_loop(
+        move |sim| CfsSim::new(sim, cfs_cfg, 42),
+        move |c, p| FioWorkload::new(pattern, c, p),
+        clients,
+        procs,
+        warmup,
+        duration,
+        2,
+    );
+    let ceph = run_closed_loop(
+        move |sim| {
+            let mut ceph = CephCluster::new(sim, ceph_cfg, 42);
+            // fio preconditions the files before measuring: warm each
+            // process's object metadata so low-concurrency runs start from
+            // a resident working set (it is the *capacity* that matters).
+            for c in 0..clients {
+                for p in 0..procs {
+                    ceph.prewarm_file(crate::workload::proc_file_id(c, p), 40 << 30);
+                }
+            }
+            ceph
+        },
+        move |c, p| FioWorkload::new(pattern, c, p),
+        clients,
+        procs,
+        warmup,
+        duration,
+        2,
+    );
+    Cell {
+        test: pattern.name().to_string(),
+        x_label: if clients == 1 { "procs" } else { "clients" },
+        x: if clients == 1 {
+            procs as u64
+        } else {
+            clients as u64
+        },
+        cfs_iops: cfs,
+        ceph_iops: ceph,
+    }
+}
+
+/// Figure 8: single client, 1–64 processes, four fio patterns, 40 GB/proc.
+pub fn fig8(quick: bool) -> Vec<Cell> {
+    let mut rows = Vec::new();
+    for &p in &[
+        FioPattern::SeqWrite,
+        FioPattern::SeqRead,
+        FioPattern::RandWrite,
+        FioPattern::RandRead,
+    ] {
+        for &procs in &[1usize, 2, 4, 8, 16, 32, 64] {
+            rows.push(fio_cell(p, 1, procs, quick));
+        }
+    }
+    rows
+}
+
+/// Figure 9: 1–8 clients; 64 procs for random, 16 for sequential.
+pub fn fig9(quick: bool) -> Vec<Cell> {
+    let mut rows = Vec::new();
+    for &p in &[
+        FioPattern::RandWrite,
+        FioPattern::RandRead,
+        FioPattern::SeqWrite,
+        FioPattern::SeqRead,
+    ] {
+        let procs = match p {
+            FioPattern::SeqWrite | FioPattern::SeqRead => 16,
+            _ => 64,
+        };
+        for clients in 1usize..=8 {
+            rows.push(fio_cell(p, clients, procs, quick));
+        }
+    }
+    rows
+}
+
+/// Figure 10: small files 1–128 KB, 8 clients × 64 processes,
+/// write / read / removal.
+pub fn fig10(quick: bool) -> Vec<Cell> {
+    let scale = if quick { 4 } else { 1 };
+    let (warmup, duration) = (100_000_000 / scale, 1_000_000_000 / scale);
+    // Like Figures 8-9, the paper's measured IOPS at the larger sizes
+    // exceed 8 x 1 Gbps; run on the fast-network hardware variant.
+    let fast = cfs_sim::HardwareModel::fast_network();
+    let cfs_cfg = CfsSimConfig {
+        hw: fast.clone(),
+        ..CfsSimConfig::default()
+    };
+    let ceph_cfg = CephConfig {
+        hw: fast,
+        ..CephConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &(mode, name) in &[
+        (SmallMode::Write, "File Write"),
+        (SmallMode::Read, "File Read"),
+        (SmallMode::Removal, "File Removal"),
+    ] {
+        for &kb in &[1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let size = kb * 1024;
+            let cfs_cfg = cfs_cfg.clone();
+            let ceph_cfg = ceph_cfg.clone();
+            let cfs = run_closed_loop(
+                move |sim| CfsSim::new(sim, cfs_cfg, 42),
+                move |c, p| SmallFileWorkload::new(mode, c, p, size),
+                8,
+                64,
+                warmup,
+                duration,
+                3,
+            );
+            let ceph = run_closed_loop(
+                move |sim| CephCluster::new(sim, ceph_cfg, 42),
+                move |c, p| SmallFileWorkload::new(mode, c, p, size),
+                8,
+                64,
+                warmup,
+                duration,
+                3,
+            );
+            rows.push(Cell {
+                test: name.to_string(),
+                x_label: "KB",
+                x: kb,
+                cfs_iops: cfs,
+                ceph_iops: ceph,
+            });
+        }
+    }
+    rows
+}
+
+/// Render cells as an aligned text table grouped by test name.
+pub fn render(title: &str, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let mut current = "";
+    for c in cells {
+        if c.test != current {
+            current = &c.test;
+            out.push_str(&format!(
+                "\n{:<18} {:>8} {:>14} {:>14} {:>10}\n",
+                c.test, c.x_label, "CFS IOPS", "Ceph IOPS", "% improv"
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>14.0} {:>14.0} {:>9.0}%\n",
+            "",
+            c.x,
+            c.cfs_iops,
+            c.ceph_iops,
+            c.improvement_pct()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes_match_paper() {
+        // Quick mode keeps this test affordable; the shape assertions are
+        // the paper's qualitative results.
+        let rows = table3(true);
+        let get = |name: &str| rows.iter().find(|c| c.test == name).unwrap().clone();
+
+        // CFS beats Ceph at 8 clients × 64 procs for the bread-and-butter
+        // metadata ops (Table 3: 122%–862% improvements).
+        for t in [
+            "DirCreation",
+            "DirStat",
+            "DirRemoval",
+            "FileCreation",
+            "FileRemoval",
+        ] {
+            let c = get(t);
+            assert!(
+                c.cfs_iops > c.ceph_iops,
+                "{t}: CFS {:.0} vs Ceph {:.0}",
+                c.cfs_iops,
+                c.ceph_iops
+            );
+        }
+        // DirStat is the headline: client caching + batchInodeGet (862%).
+        let ds = get("DirStat");
+        assert!(
+            ds.cfs_iops > 3.0 * ds.ceph_iops,
+            "DirStat: {:.0} vs {:.0}",
+            ds.cfs_iops,
+            ds.ceph_iops
+        );
+        // TreeRemoval favors CFS; TreeCreation is roughly level (within
+        // 2x either way, paper: -9%).
+        let tr = get("TreeRemoval");
+        assert!(tr.cfs_iops > tr.ceph_iops, "{tr:?}");
+        let tc = get("TreeCreation");
+        assert!(
+            tc.cfs_iops < 2.0 * tc.ceph_iops && tc.ceph_iops < 4.0 * tc.cfs_iops,
+            "TreeCreation roughly level: {tc:?}"
+        );
+    }
+
+    #[test]
+    fn fig6_low_concurrency_favors_ceph_on_creates() {
+        let c = md_cell(MdTest::FileCreation, 1, 1, true);
+        assert!(
+            c.ceph_iops > c.cfs_iops,
+            "1 client × 1 proc: Ceph wins creates ({:.0} vs {:.0})",
+            c.ceph_iops,
+            c.cfs_iops
+        );
+        // …but CFS catches up with concurrency (crossover by 8×64 per
+        // Table 3; here check the trend at 64 procs).
+        let c64 = md_cell(MdTest::FileCreation, 1, 64, true);
+        let ratio1 = c.cfs_iops / c.ceph_iops;
+        let ratio64 = c64.cfs_iops / c64.ceph_iops;
+        assert!(
+            ratio64 > ratio1,
+            "CFS gains with procs: {ratio1:.2} -> {ratio64:.2}"
+        );
+    }
+
+    #[test]
+    fn random_io_advantage_appears_at_high_concurrency() {
+        let low = fio_cell(FioPattern::RandRead, 1, 1, true);
+        let high = fio_cell(FioPattern::RandRead, 1, 64, true);
+        let low_ratio = low.cfs_iops / low.ceph_iops;
+        let high_ratio = high.cfs_iops / high.ceph_iops;
+        assert!(
+            high_ratio > low_ratio,
+            "rand-read ratio grows with procs: {low_ratio:.2} -> {high_ratio:.2}"
+        );
+        assert!(high.cfs_iops > high.ceph_iops, "{high:?}");
+    }
+
+    #[test]
+    fn small_file_ops_favor_cfs() {
+        // One size is enough for the unit test; full sweep in the bench.
+        let scale_probe = |mode, size: u64| {
+            let cfs = run_closed_loop(
+                |sim| CfsSim::new(sim, CfsSimConfig::default(), 42),
+                move |c, p| SmallFileWorkload::new(mode, c, p, size),
+                8,
+                64,
+                25_000_000,
+                250_000_000,
+                3,
+            );
+            let ceph = run_closed_loop(
+                |sim| CephCluster::new(sim, CephConfig::default(), 42),
+                move |c, p| SmallFileWorkload::new(mode, c, p, size),
+                8,
+                64,
+                25_000_000,
+                250_000_000,
+                3,
+            );
+            (cfs, ceph)
+        };
+        let (cfs_w, ceph_w) = scale_probe(SmallMode::Write, 1024);
+        assert!(cfs_w > ceph_w, "small write: {cfs_w:.0} vs {ceph_w:.0}");
+        let (cfs_r, ceph_r) = scale_probe(SmallMode::Read, 1024);
+        assert!(cfs_r > ceph_r, "small read: {cfs_r:.0} vs {ceph_r:.0}");
+    }
+
+    #[test]
+    fn render_formats_rows() {
+        let cells = vec![Cell {
+            test: "FileCreation".into(),
+            x_label: "procs",
+            x: 64,
+            cfs_iops: 1000.0,
+            ceph_iops: 500.0,
+        }];
+        let s = render("Table 3", &cells);
+        assert!(s.contains("FileCreation"));
+        assert!(s.contains("100%"));
+    }
+}

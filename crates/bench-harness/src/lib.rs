@@ -1,0 +1,24 @@
+//! Workload generators and experiment drivers for the paper's evaluation.
+//!
+//! Everything in §4 of the paper is regenerated here on the simulated
+//! Table-1 cluster:
+//!
+//! * [`CfsSim`]: the CFS protocol model (metadata over MultiRaft
+//!   partitions, chain-replicated appends, Raft overwrites, client
+//!   caches) compiled to [`cfs_sim::Step`] plans;
+//! * [`ceph_baseline::CephCluster`], adapted through the same
+//!   [`SystemSim`] interface;
+//! * [`workload`]: the mdtest seven-test metadata suite (Table 2), the
+//!   fio-like large-file patterns, and the small-file suite;
+//! * [`driver`]: closed-loop processes over virtual time, reporting IOPS;
+//! * [`experiments`]: one function per paper table/figure, returning the
+//!   rows the `bench` crate prints.
+
+pub mod cfs_model;
+pub mod driver;
+pub mod experiments;
+pub mod workload;
+
+pub use cfs_model::{CfsSim, CfsSimConfig};
+pub use driver::{run_closed_loop, SystemSim};
+pub use workload::{SimOp, Workload};

@@ -1,0 +1,429 @@
+//! Workload generators: mdtest (Table 2), fio-like, and small files.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated file-system operation issued by a workload process.
+#[derive(Debug, Clone)]
+pub enum SimOp {
+    /// Create a file or directory `key` under `dir`.
+    Create { dir: u64, key: u64 },
+    /// Stat `key` (a file under `dir`).
+    Stat { dir: u64, key: u64 },
+    /// List `dir` with `entries` entries (keys `first_key..first_key+entries`).
+    Readdir {
+        dir: u64,
+        first_key: u64,
+        entries: u64,
+    },
+    /// Remove `key` under `dir`.
+    Remove { dir: u64, key: u64 },
+    /// Create a whole subtree of `width` directories, each create
+    /// resolving a path of `depth` components (mdtest tree tests).
+    TreeCreate {
+        dir: u64,
+        first_key: u64,
+        width: u64,
+        depth: u64,
+    },
+    /// Remove a subtree (listing + removals).
+    TreeRemove {
+        dir: u64,
+        first_key: u64,
+        width: u64,
+        depth: u64,
+    },
+    /// Sequential write of `len` at `offset` of `file`.
+    SeqWrite { file: u64, offset: u64, len: u64 },
+    /// Sequential read.
+    SeqRead { file: u64, offset: u64, len: u64 },
+    /// Random in-place write.
+    RandWrite { file: u64, offset: u64, len: u64 },
+    /// Random read.
+    RandRead { file: u64, offset: u64, len: u64 },
+    /// Small-file write: create + single-RPC data write (§4.4).
+    SmallWrite { dir: u64, key: u64, len: u64 },
+    /// Small-file read: lookup + data read.
+    SmallRead { dir: u64, key: u64, len: u64 },
+    /// Small-file removal.
+    SmallRemove { dir: u64, key: u64 },
+}
+
+impl SimOp {
+    /// How many workload items this op counts as (mdtest counts per-item
+    /// IOPS; a tree op covers `width` items).
+    pub fn items(&self) -> u64 {
+        match self {
+            SimOp::TreeCreate { width, .. } | SimOp::TreeRemove { width, .. } => *width,
+            _ => 1,
+        }
+    }
+}
+
+/// A per-process operation stream.
+pub trait Workload: Send {
+    /// The next operation for this process.
+    fn next_op(&mut self) -> SimOp;
+}
+
+/// Unique-per-process key space so the streams never collide.
+fn proc_base(client: usize, proc_idx: usize) -> u64 {
+    1_000_000u64 + (client as u64) * 10_000_000 + (proc_idx as u64) * 50_000
+}
+
+/// The fio file id used by process `(client, proc_idx)` — exposed so
+/// experiments can pre-warm caches for exactly these files.
+pub fn proc_file_id(client: usize, proc_idx: usize) -> u64 {
+    proc_base(client, proc_idx)
+}
+
+/// The seven mdtest metadata tests (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdTest {
+    DirCreation,
+    DirStat,
+    DirRemoval,
+    FileCreation,
+    FileRemoval,
+    TreeCreation,
+    TreeRemoval,
+}
+
+impl MdTest {
+    /// All seven, in the paper's order.
+    pub const ALL: [MdTest; 7] = [
+        MdTest::DirCreation,
+        MdTest::DirStat,
+        MdTest::DirRemoval,
+        MdTest::FileCreation,
+        MdTest::FileRemoval,
+        MdTest::TreeCreation,
+        MdTest::TreeRemoval,
+    ];
+
+    /// Table-2 test name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MdTest::DirCreation => "DirCreation",
+            MdTest::DirStat => "DirStat",
+            MdTest::DirRemoval => "DirRemoval",
+            MdTest::FileCreation => "FileCreation",
+            MdTest::FileRemoval => "FileRemoval",
+            MdTest::TreeCreation => "TreeCreation",
+            MdTest::TreeRemoval => "TreeRemoval",
+        }
+    }
+}
+
+/// mdtest stream for one process: each process owns a working directory
+/// with `files_per_dir` entries (the multi-client setup binds different
+/// directories to different servers, §4.2/§4.4).
+pub struct MdTestWorkload {
+    test: MdTest,
+    dir: u64,
+    base: u64,
+    files_per_dir: u64,
+    cursor: u64,
+    /// DirStat interleaves one readdir per pass over the files.
+    stat_phase: u64,
+}
+
+impl MdTestWorkload {
+    /// Stream for `(client, proc_idx)`.
+    pub fn new(test: MdTest, client: usize, proc_idx: usize, files_per_dir: u64) -> Self {
+        let base = proc_base(client, proc_idx);
+        MdTestWorkload {
+            test,
+            dir: base, // the process's working directory id
+            base: base + 1,
+            files_per_dir,
+            cursor: 0,
+            stat_phase: 0,
+        }
+    }
+}
+
+impl Workload for MdTestWorkload {
+    fn next_op(&mut self) -> SimOp {
+        let i = self.cursor;
+        self.cursor += 1;
+        match self.test {
+            // Unique directory per op under the proc's working dir.
+            MdTest::DirCreation => SimOp::Create {
+                dir: self.dir,
+                key: self.base + i,
+            },
+            MdTest::DirRemoval => SimOp::Remove {
+                dir: self.dir,
+                key: self.base + i,
+            },
+            MdTest::FileCreation => SimOp::Create {
+                dir: self.dir,
+                key: self.base + i,
+            },
+            MdTest::FileRemoval => SimOp::Remove {
+                dir: self.dir,
+                key: self.base + i,
+            },
+            // List all files, then stat each one; repeat.
+            MdTest::DirStat => {
+                let phase = self.stat_phase;
+                self.stat_phase = (self.stat_phase + 1) % (self.files_per_dir + 1);
+                if phase == 0 {
+                    SimOp::Readdir {
+                        dir: self.dir,
+                        first_key: self.base,
+                        entries: self.files_per_dir,
+                    }
+                } else {
+                    SimOp::Stat {
+                        dir: self.dir,
+                        key: self.base + (phase - 1),
+                    }
+                }
+            }
+            // Tree phase: every process works under the SAME tree root
+            // (mdtest stresses directories as non-leaf nodes), which
+            // concentrates load on one MDS / one dentry partition. One op
+            // = one directory of the tree, with depth-3 path resolution.
+            MdTest::TreeCreation => SimOp::TreeCreate {
+                dir: 777, // shared tree root
+                first_key: self.base + i,
+                width: 1,
+                depth: 3,
+            },
+            MdTest::TreeRemoval => SimOp::TreeRemove {
+                dir: 777,
+                first_key: self.base + i,
+                width: 1,
+                depth: 3,
+            },
+        }
+    }
+}
+
+/// fio-like access pattern for one process over its own 40 GB file (§4.3).
+pub struct FioWorkload {
+    file: u64,
+    file_size: u64,
+    block: u64,
+    pattern: FioPattern,
+    offset: u64,
+    rng: SmallRng,
+}
+
+/// The four fio patterns of Figures 8–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FioPattern {
+    SeqWrite,
+    SeqRead,
+    RandWrite,
+    RandRead,
+}
+
+impl FioPattern {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FioPattern::SeqWrite => "Sequential Write",
+            FioPattern::SeqRead => "Sequential Read",
+            FioPattern::RandWrite => "Random Write",
+            FioPattern::RandRead => "Random Read",
+        }
+    }
+}
+
+impl FioWorkload {
+    /// Stream for `(client, proc_idx)`: a separate 40 GB file each, 128 KB
+    /// blocks for sequential access (packet-aligned) and 4 KB for random.
+    pub fn new(pattern: FioPattern, client: usize, proc_idx: usize) -> Self {
+        let block = match pattern {
+            FioPattern::SeqWrite | FioPattern::SeqRead => 128 * 1024,
+            FioPattern::RandWrite | FioPattern::RandRead => 4 * 1024,
+        };
+        FioWorkload {
+            file: proc_base(client, proc_idx),
+            file_size: 40 * 1024 * 1024 * 1024,
+            block,
+            pattern,
+            offset: 0,
+            rng: SmallRng::seed_from_u64(proc_base(client, proc_idx)),
+        }
+    }
+}
+
+impl Workload for FioWorkload {
+    fn next_op(&mut self) -> SimOp {
+        match self.pattern {
+            FioPattern::SeqWrite | FioPattern::SeqRead => {
+                let off = self.offset;
+                self.offset = (self.offset + self.block) % self.file_size;
+                match self.pattern {
+                    FioPattern::SeqWrite => SimOp::SeqWrite {
+                        file: self.file,
+                        offset: off,
+                        len: self.block,
+                    },
+                    _ => SimOp::SeqRead {
+                        file: self.file,
+                        offset: off,
+                        len: self.block,
+                    },
+                }
+            }
+            FioPattern::RandWrite | FioPattern::RandRead => {
+                let blocks = self.file_size / self.block;
+                let off = self.rng.gen_range(0..blocks) * self.block;
+                match self.pattern {
+                    FioPattern::RandWrite => SimOp::RandWrite {
+                        file: self.file,
+                        offset: off,
+                        len: self.block,
+                    },
+                    _ => SimOp::RandRead {
+                        file: self.file,
+                        offset: off,
+                        len: self.block,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Small-file suite (Figure 10): write / read / removal of `size`-byte
+/// files, the product-image use case (write-once, read-many).
+pub struct SmallFileWorkload {
+    mode: SmallMode,
+    dir: u64,
+    base: u64,
+    size: u64,
+    population: u64,
+    cursor: u64,
+    rng: SmallRng,
+}
+
+/// Which small-file figure panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallMode {
+    Write,
+    Read,
+    Removal,
+}
+
+impl SmallFileWorkload {
+    /// Stream for `(client, proc_idx)` at one file size.
+    pub fn new(mode: SmallMode, client: usize, proc_idx: usize, size: u64) -> Self {
+        let base = proc_base(client, proc_idx);
+        SmallFileWorkload {
+            mode,
+            dir: base,
+            base: base + 1,
+            size,
+            population: 10_000,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(base ^ size),
+        }
+    }
+}
+
+impl Workload for SmallFileWorkload {
+    fn next_op(&mut self) -> SimOp {
+        let i = self.cursor;
+        self.cursor += 1;
+        match self.mode {
+            SmallMode::Write => SimOp::SmallWrite {
+                dir: self.dir,
+                key: self.base + i,
+                len: self.size,
+            },
+            SmallMode::Read => SimOp::SmallRead {
+                dir: self.dir,
+                key: self.base + self.rng.gen_range(0..self.population),
+                len: self.size,
+            },
+            SmallMode::Removal => SimOp::SmallRemove {
+                dir: self.dir,
+                key: self.base + i,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdtest_streams_are_disjoint_across_procs() {
+        let mut a = MdTestWorkload::new(MdTest::FileCreation, 0, 0, 100);
+        let mut b = MdTestWorkload::new(MdTest::FileCreation, 0, 1, 100);
+        let ka = match a.next_op() {
+            SimOp::Create { key, .. } => key,
+            _ => panic!(),
+        };
+        let kb = match b.next_op() {
+            SimOp::Create { key, .. } => key,
+            _ => panic!(),
+        };
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn dirstat_interleaves_readdir_then_stats() {
+        let mut w = MdTestWorkload::new(MdTest::DirStat, 0, 0, 3);
+        assert!(matches!(w.next_op(), SimOp::Readdir { entries: 3, .. }));
+        for _ in 0..3 {
+            assert!(matches!(w.next_op(), SimOp::Stat { .. }));
+        }
+        assert!(matches!(w.next_op(), SimOp::Readdir { .. }), "next pass");
+    }
+
+    #[test]
+    fn tree_ops_share_one_root() {
+        let mut w = MdTestWorkload::new(MdTest::TreeCreation, 0, 0, 100);
+        let op = w.next_op();
+        assert_eq!(op.items(), 1);
+        assert!(
+            matches!(op, SimOp::TreeCreate { dir: 777, .. }),
+            "shared root"
+        );
+        let mut w2 = MdTestWorkload::new(MdTest::TreeCreation, 1, 0, 100);
+        assert!(matches!(w2.next_op(), SimOp::TreeCreate { dir: 777, .. }));
+    }
+
+    #[test]
+    fn fio_seq_walks_forward_rand_jumps() {
+        let mut seq = FioWorkload::new(FioPattern::SeqWrite, 0, 0);
+        let (o1, o2) = match (seq.next_op(), seq.next_op()) {
+            (SimOp::SeqWrite { offset: a, .. }, SimOp::SeqWrite { offset: b, .. }) => (a, b),
+            _ => panic!(),
+        };
+        assert_eq!(o2 - o1, 128 * 1024);
+
+        let mut rand = FioWorkload::new(FioPattern::RandRead, 0, 0);
+        let offs: Vec<u64> = (0..10)
+            .map(|_| match rand.next_op() {
+                SimOp::RandRead { offset, len, .. } => {
+                    assert_eq!(len, 4096);
+                    offset
+                }
+                _ => panic!(),
+            })
+            .collect();
+        let mut sorted = offs.clone();
+        sorted.sort_unstable();
+        assert_ne!(offs, sorted, "random offsets are not monotonic");
+        assert!(offs.iter().all(|o| o % 4096 == 0));
+    }
+
+    #[test]
+    fn small_file_modes() {
+        let mut w = SmallFileWorkload::new(SmallMode::Write, 1, 2, 8192);
+        assert!(matches!(w.next_op(), SimOp::SmallWrite { len: 8192, .. }));
+        let mut r = SmallFileWorkload::new(SmallMode::Read, 1, 2, 8192);
+        assert!(matches!(r.next_op(), SimOp::SmallRead { .. }));
+        let mut d = SmallFileWorkload::new(SmallMode::Removal, 1, 2, 8192);
+        assert!(matches!(d.next_op(), SimOp::SmallRemove { .. }));
+    }
+}

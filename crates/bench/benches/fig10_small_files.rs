@@ -1,0 +1,18 @@
+//! Figure 10: small files 1–128 KB, 8 clients × 64 processes:
+//! write / read / removal IOPS.
+//!
+//! Paper shape: CFS above Ceph for both reads and writes at every size
+//! (in-memory metadata + no extent allocation round trip + asynchronous
+//! punch-hole deletion).
+
+use bench_harness::experiments::{fig10, render};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = fig10(quick);
+    println!(
+        "{}",
+        render("Figure 10: small files, 8 clients x 64 processes", &rows)
+    );
+}

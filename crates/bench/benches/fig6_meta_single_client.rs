@@ -1,0 +1,16 @@
+//! Figure 6: metadata IOPS, single client, 1/4/16/64 processes.
+//!
+//! Paper shape: with 1 process Ceph wins 5 of 7 tests (all but DirStat
+//! and TreeRemoval); CFS catches up as processes increase.
+
+use bench_harness::experiments::{fig6, render};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = fig6(quick);
+    println!(
+        "{}",
+        render("Figure 6: metadata operations, single client", &rows)
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 7: metadata IOPS, 1/2/4/8 clients × 64 processes each.
+//!
+//! Paper shape: CFS overtakes Ceph as clients increase, winning 6 of 7
+//! tests at 8 clients (all but TreeCreation).
+
+use bench_harness::experiments::{fig7, render};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = fig7(quick);
+    println!(
+        "{}",
+        render(
+            "Figure 7: metadata operations, multiple clients (64 procs each)",
+            &rows
+        )
+    );
+}

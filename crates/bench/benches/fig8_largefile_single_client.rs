@@ -1,0 +1,19 @@
+//! Figure 8: large-file IOPS, single client, 1–64 processes, 40 GB/proc.
+//!
+//! Paper shape: sequential read/write roughly flat and equal between the
+//! systems; CFS pulls ahead on random read/write once processes exceed 16.
+
+use bench_harness::experiments::{fig8, render};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = fig8(quick);
+    println!(
+        "{}",
+        render(
+            "Figure 8: large files, single client (fio, 40 GB per process)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 9: large-file IOPS across 1–8 clients (64 procs random, 16
+//! procs sequential).
+//!
+//! Paper shape: CFS holds a multi-x advantage on random read/write while
+//! sequential stays comparable.
+
+use bench_harness::experiments::{fig9, render};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = fig9(quick);
+    println!(
+        "{}",
+        render("Figure 9: large files, multiple clients", &rows)
+    );
+}

@@ -1,0 +1,23 @@
+//! Table 3: IOPS for the 7 mdtest metadata operations at 8 clients × 64
+//! processes, CFS vs Ceph, with the paper's "% of Improv." column.
+//!
+//! Paper reference (Table 3): DirCreation +404%, DirStat +862%,
+//! DirRemoval +296%, FileCreation +290%, FileRemoval +122%,
+//! TreeCreation -9%, TreeRemoval +300%.
+
+use bench_harness::experiments::{render, table3};
+
+fn main() {
+    // Short windows by default; CFS_BENCH_FULL=1 runs the 4x-longer sweeps.
+    let quick = std::env::var("CFS_BENCH_FULL").is_err();
+    let rows = table3(quick);
+    println!(
+        "{}",
+        render(
+            "Table 3: metadata operations, 8 clients x 64 processes",
+            &rows
+        )
+    );
+    let mean: f64 = rows.iter().map(|c| c.improvement_pct()).sum::<f64>() / rows.len() as f64;
+    println!("mean improvement: {mean:.0}% (paper: ~324% mean across Table 3)");
+}

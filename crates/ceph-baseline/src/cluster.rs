@@ -1,0 +1,453 @@
+//! The simulated Ceph cluster: stations, caches, and operation plans.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cfs_sim::plan::{control_hop, disk_read_ns, disk_write_ns, hop};
+use cfs_sim::{Sim, SimTime, StationId, Step};
+
+use crate::config::CephConfig;
+use crate::lru::ApproxLru;
+
+/// Stations + state of the Ceph baseline. All operation methods compile an
+/// op into a [`Step`] plan; the caller executes it with
+/// [`cfs_sim::run_plan`].
+pub struct CephCluster {
+    cfg: CephConfig,
+    /// Per-MDS dispatch CPU (the MDS is effectively single-threaded).
+    mds_cpu: Vec<StationId>,
+    /// Per-MDS sequential journal lane.
+    mds_journal: Vec<StationId>,
+    /// Per (node, shard) OSD op queue, `osd_threads_per_shard` servers.
+    shards: Vec<StationId>,
+    /// Per-node disk array (16 SSDs).
+    disk: Vec<StationId>,
+    /// Per-server-node NIC.
+    nic: Vec<StationId>,
+    /// Per-client-node NIC / CPU.
+    client_nic: Vec<StationId>,
+    client_cpu: Vec<StationId>,
+    /// Per-MDS bounded inode cache (§4.3: "each MDS of Ceph only caches a
+    /// portion of the file metadata in its memory").
+    mds_cache: Vec<ApproxLru>,
+    /// Per-node bounded bluestore onode cache.
+    onode_cache: Vec<ApproxLru>,
+    /// Ops per MDS in the current 100 ms window (rebalance trigger).
+    mds_window: Vec<(SimTime, u64)>,
+    /// MDSs currently exporting subtrees (ops pay a proxy hop).
+    mds_exporting: Vec<bool>,
+    rng: SmallRng,
+}
+
+impl CephCluster {
+    /// Build stations on `sim` per the configuration.
+    pub fn new(sim: &mut Sim, cfg: CephConfig, seed: u64) -> Self {
+        let total_mds = cfg.total_mds();
+        let mds_cpu = (0..total_mds)
+            .map(|i| sim.add_station(&format!("mds{i}-cpu"), 1))
+            .collect();
+        let mds_journal = (0..total_mds)
+            .map(|i| sim.add_station(&format!("mds{i}-journal"), 1))
+            .collect();
+        let mut shards = Vec::new();
+        for n in 0..cfg.nodes {
+            for s in 0..cfg.osd_shards {
+                shards.push(sim.add_station(&format!("osd-n{n}-s{s}"), cfg.osd_threads_per_shard));
+            }
+        }
+        let disk = (0..cfg.nodes)
+            .map(|n| sim.add_station(&format!("disk-n{n}"), cfg.osds_per_node))
+            .collect();
+        let nic = (0..cfg.nodes)
+            .map(|n| sim.add_station(&format!("nic-n{n}"), 1))
+            .collect();
+        let client_nic = (0..cfg.client_nodes)
+            .map(|n| sim.add_station(&format!("cnic-{n}"), 1))
+            .collect();
+        let client_cpu = (0..cfg.client_nodes)
+            .map(|n| sim.add_station(&format!("ccpu-{n}"), cfg.hw.cores_per_node))
+            .collect();
+        let mds_cache = (0..total_mds)
+            .map(|_| ApproxLru::new(cfg.mds_cache_inodes))
+            .collect();
+        let onode_cache = (0..cfg.nodes)
+            .map(|_| ApproxLru::new(cfg.onode_cache_per_node))
+            .collect();
+        CephCluster {
+            mds_window: vec![(0, 0); total_mds],
+            mds_exporting: vec![false; total_mds],
+            mds_cpu,
+            mds_journal,
+            shards,
+            disk,
+            nic,
+            client_nic,
+            client_cpu,
+            mds_cache,
+            onode_cache,
+            rng: SmallRng::seed_from_u64(seed),
+            cfg,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CephConfig {
+        &self.cfg
+    }
+
+    fn hash(x: u64, salt: u64) -> u64 {
+        let mut z = x ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Subtree placement: a directory (and its files' metadata) binds to
+    /// one MDS — directory locality (§4.2).
+    pub fn mds_of_dir(&self, dir: u64) -> usize {
+        (Self::hash(dir, 1) % self.cfg.total_mds() as u64) as usize
+    }
+
+    /// CRUSH-like pseudo-random object → primary node mapping.
+    fn primary_of(&self, obj: u64) -> usize {
+        (Self::hash(obj, 2) % self.cfg.nodes as u64) as usize
+    }
+
+    fn replica_nodes(&self, obj: u64) -> Vec<usize> {
+        let primary = self.primary_of(obj);
+        (0..self.cfg.replicas)
+            .map(|i| (primary + i * 3 + 1) % self.cfg.nodes)
+            .take(self.cfg.replicas - 1)
+            .collect()
+    }
+
+    fn shard_of(&self, node: usize, obj: u64) -> StationId {
+        let s = (Self::hash(obj, 3) % self.cfg.osd_shards as u64) as usize;
+        self.shards[node * self.cfg.osd_shards + s]
+    }
+
+    /// Track per-MDS load; past the threshold the MDS starts exporting
+    /// subtrees and requests pay a proxy redirect (§4.2, TreeCreation).
+    fn note_mds_op(&mut self, mds: usize, now: SimTime) {
+        let (win_start, count) = &mut self.mds_window[mds];
+        if now.saturating_sub(*win_start) > 100_000_000 {
+            // New one-second window: decide exporting state from the last.
+            self.mds_exporting[mds] = *count > self.cfg.rebalance_threshold_ops;
+            *win_start = now;
+            *count = 0;
+        }
+        *count += 1;
+    }
+
+    fn maybe_proxy(&mut self, mds: usize, client: usize) -> Vec<Step> {
+        if self.mds_exporting[mds] && self.rng.gen_bool(0.5) {
+            // Redirected through a proxy MDS on another node (§4.2).
+            let proxy = (mds + 1) % self.cfg.total_mds();
+            let mut steps = control_hop(
+                &self.cfg.hw.clone(),
+                self.nic[mds % self.cfg.nodes],
+                self.nic[proxy % self.cfg.nodes],
+            );
+            steps.push(Step::svc(self.mds_cpu[proxy], self.cfg.mds_op_ns));
+            let _ = client;
+            steps
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Pre-warm the onode caches with every object of `file` (fio
+    /// preconditions files before measuring, so the question is whether
+    /// the working set *fits*, not whether it was ever loaded).
+    pub fn prewarm_file(&mut self, file: u64, file_size: u64) {
+        let objects = file_size / self.cfg.object_size;
+        for o in 0..objects {
+            let obj = file.wrapping_mul(1 << 20) + o;
+            let node = self.primary_of(obj);
+            self.onode_cache[node].touch(obj);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata plans
+    // ------------------------------------------------------------------
+
+    /// Create a file/dir: one round trip to the directory's MDS (locality!)
+    /// plus a sequential journal commit.
+    pub fn plan_create(&mut self, now: SimTime, client: usize, dir: u64, key: u64) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        let mds = self.mds_of_dir(dir);
+        self.note_mds_op(mds, now);
+        let mds_node = mds % self.cfg.nodes;
+        self.mds_cache[mds].touch(key); // created entries are hot
+
+        let mut steps = vec![Step::svc(self.client_cpu[client], self.cfg.client_op_ns)];
+        steps.extend(control_hop(
+            &hw,
+            self.client_nic[client],
+            self.nic[mds_node],
+        ));
+        steps.extend(self.maybe_proxy(mds, client));
+        steps.push(Step::svc(self.mds_cpu[mds], self.cfg.mds_op_ns));
+        // Journal commit before the reply (data + metadata persisted and
+        // synchronized, §4.3).
+        steps.push(Step::svc(self.mds_journal[mds], self.cfg.mds_journal_ns));
+        steps.extend(control_hop(
+            &hw,
+            self.nic[mds_node],
+            self.client_nic[client],
+        ));
+        steps
+    }
+
+    /// Stat one file: round trip to the MDS; a cache miss reads the
+    /// metadata pool from disk (§4.3).
+    pub fn plan_stat(&mut self, now: SimTime, client: usize, dir: u64, key: u64) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        let mds = self.mds_of_dir(dir);
+        self.note_mds_op(mds, now);
+        let mds_node = mds % self.cfg.nodes;
+        let hit = self.mds_cache[mds].touch(key);
+
+        let mut steps = vec![Step::svc(self.client_cpu[client], self.cfg.client_op_ns)];
+        steps.extend(control_hop(
+            &hw,
+            self.client_nic[client],
+            self.nic[mds_node],
+        ));
+        steps.extend(self.maybe_proxy(mds, client));
+        steps.push(Step::svc(self.mds_cpu[mds], self.cfg.mds_op_ns));
+        if !hit {
+            steps.push(Step::svc(self.disk[mds_node], disk_read_ns(&hw, 4096)));
+        }
+        steps.extend(control_hop(
+            &hw,
+            self.nic[mds_node],
+            self.client_nic[client],
+        ));
+        steps
+    }
+
+    /// List a directory. In Ceph each readdir is *followed by a set of
+    /// per-inode `inodeGet` requests* (§4.2) — those are issued by the
+    /// workload as [`CephCluster::plan_stat`] calls; this plan is the
+    /// listing itself.
+    pub fn plan_readdir(
+        &mut self,
+        now: SimTime,
+        client: usize,
+        dir: u64,
+        entries: u64,
+    ) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        let mds = self.mds_of_dir(dir);
+        self.note_mds_op(mds, now);
+        let mds_node = mds % self.cfg.nodes;
+        let mut steps = vec![Step::svc(self.client_cpu[client], self.cfg.client_op_ns)];
+        steps.extend(control_hop(
+            &hw,
+            self.client_nic[client],
+            self.nic[mds_node],
+        ));
+        // Listing work scales with the directory size.
+        steps.push(Step::svc(
+            self.mds_cpu[mds],
+            self.cfg.mds_op_ns + entries * 300,
+        ));
+        steps.extend(hop(
+            &hw,
+            self.nic[mds_node],
+            self.client_nic[client],
+            entries * 64,
+        ));
+        steps
+    }
+
+    /// Remove a file/dir: MDS op + journal commit (like create). Once the
+    /// subtree's MDS has started exporting (rebalancing under load,
+    /// §4.2), the file's metadata may live on another MDS, and the unlink
+    /// becomes a cross-MDS (slave-update) transaction that journals
+    /// twice — the paper's TreeRemoval explanation.
+    pub fn plan_remove(&mut self, now: SimTime, client: usize, dir: u64, key: u64) -> Vec<Step> {
+        let mds = self.mds_of_dir(dir);
+        let mut steps = self.plan_create(now, client, dir, key);
+        if self.mds_exporting[mds] {
+            steps.push(Step::svc(self.mds_journal[mds], self.cfg.mds_journal_ns));
+        }
+        steps
+    }
+
+    // ------------------------------------------------------------------
+    // Data plans
+    // ------------------------------------------------------------------
+
+    /// Write `len` bytes at `offset` of `file`: primary-copy replication
+    /// through the OSD shard queues; every replica commits data + onode
+    /// metadata before acking (§4.3).
+    pub fn plan_write(&mut self, client: usize, file: u64, offset: u64, len: u64) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        let obj = file.wrapping_mul(1 << 20) + offset / self.cfg.object_size;
+        let primary = self.primary_of(obj);
+        let peers = self.replica_nodes(obj);
+        self.onode_cache[primary].touch(obj);
+
+        let mut steps = vec![Step::svc(self.client_cpu[client], self.cfg.client_op_ns)];
+        steps.extend(hop(&hw, self.client_nic[client], self.nic[primary], len));
+        steps.push(Step::svc(
+            self.shard_of(primary, obj),
+            self.cfg.osd_shard_op_ns,
+        ));
+
+        // Primary commit and replica commits proceed in parallel; all must
+        // finish before the ack (§4.3: "only after the data and metadata
+        // have been persisted and synchronized").
+        let primary_commit = vec![
+            Step::svc(self.disk[primary], disk_write_ns(&hw, len)),
+            Step::svc(self.disk[primary], hw.ssd_fsync_ns),
+        ];
+        let mut branches = vec![primary_commit];
+        for &peer in &peers {
+            let mut b = hop(&hw, self.nic[primary], self.nic[peer], len);
+            b.push(Step::svc(
+                self.shard_of(peer, obj),
+                self.cfg.osd_shard_op_ns,
+            ));
+            b.push(Step::svc(self.disk[peer], disk_write_ns(&hw, len)));
+            b.push(Step::svc(self.disk[peer], hw.ssd_fsync_ns));
+            b.extend(control_hop(&hw, self.nic[peer], self.nic[primary]));
+            branches.push(b);
+        }
+        steps.push(Step::All(branches));
+        steps.extend(control_hop(&hw, self.nic[primary], self.client_nic[client]));
+        steps
+    }
+
+    /// Read `len` bytes at `offset`: shard queue + disk; a bluestore onode
+    /// cache miss costs an extra metadata disk read — the §4.3 random-read
+    /// mechanism (miss rate grows with the touched object population).
+    pub fn plan_read(&mut self, client: usize, file: u64, offset: u64, len: u64) -> Vec<Step> {
+        let hw = self.cfg.hw.clone();
+        let obj = file.wrapping_mul(1 << 20) + offset / self.cfg.object_size;
+        let primary = self.primary_of(obj);
+        let onode_hit = self.onode_cache[primary].touch(obj);
+
+        let mut steps = vec![Step::svc(self.client_cpu[client], self.cfg.client_op_ns)];
+        steps.extend(control_hop(&hw, self.client_nic[client], self.nic[primary]));
+        steps.push(Step::svc(
+            self.shard_of(primary, obj),
+            self.cfg.osd_shard_op_ns,
+        ));
+        if !onode_hit {
+            steps.push(Step::svc(self.disk[primary], disk_read_ns(&hw, 4096)));
+        }
+        steps.push(Step::svc(self.disk[primary], disk_read_ns(&hw, len)));
+        steps.extend(hop(&hw, self.nic[primary], self.client_nic[client], len));
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_sim::run_plan;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn cluster(sim: &mut Sim) -> CephCluster {
+        CephCluster::new(sim, CephConfig::default(), 7)
+    }
+
+    fn run_one(sim: &mut Sim, steps: Vec<Step>) -> SimTime {
+        let at = Rc::new(Cell::new(0));
+        let a2 = Rc::clone(&at);
+        let start = sim.now();
+        run_plan(sim, steps, move |s| a2.set(s.now()));
+        sim.run(1_000_000);
+        at.get() - start
+    }
+
+    #[test]
+    fn create_pays_journal_commit() {
+        let mut sim = Sim::new(1);
+        let mut c = cluster(&mut sim);
+        let t = run_one(&mut sim, c.plan_create(0, 0, 1, 100));
+        // At least: client op + RTT + mds op + journal.
+        let floor = c.cfg.client_op_ns
+            + 2 * c.cfg.hw.net_oneway_ns
+            + c.cfg.mds_op_ns
+            + c.cfg.mds_journal_ns;
+        assert!(t >= floor, "{t} >= {floor}");
+    }
+
+    #[test]
+    fn stat_hits_are_cheaper_than_misses() {
+        let mut sim = Sim::new(1);
+        let mut c = cluster(&mut sim);
+        let miss = run_one(&mut sim, c.plan_stat(0, 0, 1, 42));
+        let hit = run_one(&mut sim, c.plan_stat(0, 0, 1, 42));
+        assert!(miss > hit, "miss {miss} > hit {hit}");
+        assert!(miss - hit >= c.cfg.hw.ssd_read_ns, "gap is a disk read");
+    }
+
+    #[test]
+    fn directory_locality_binds_dir_to_one_mds() {
+        let mut sim = Sim::new(1);
+        let c = cluster(&mut sim);
+        let m1 = c.mds_of_dir(7);
+        assert_eq!(m1, c.mds_of_dir(7), "stable");
+        let all_same = (0..100).all(|d| c.mds_of_dir(d) == m1);
+        assert!(!all_same, "different dirs spread across MDSs");
+    }
+
+    #[test]
+    fn write_waits_for_all_replicas() {
+        let mut sim = Sim::new(1);
+        let mut c = cluster(&mut sim);
+        let t = run_one(&mut sim, c.plan_write(0, 5, 0, 4096));
+        // Replica chain: client→primary hop + primary→peer hop + peer
+        // write + fsync + ack + final ack — at minimum two fsync-latency
+        // units deep.
+        assert!(t >= 2 * c.cfg.hw.ssd_fsync_ns, "{t}");
+    }
+
+    #[test]
+    fn random_reads_over_large_object_population_pay_onode_misses() {
+        let mut sim = Sim::new(1);
+        let mut c = cluster(&mut sim);
+        // Touch more distinct objects than the onode cache holds.
+        let population = (c.cfg.onode_cache_per_node * c.cfg.nodes * 2) as u64;
+        let mut first_pass = 0;
+        for i in 0..200u64 {
+            let file = i % 4;
+            let off = (scatter_hash(i) % population) * c.cfg.object_size;
+            first_pass += run_one(&mut sim, c.plan_read(0, file, off, 4096));
+        }
+        // Sequential re-reads of one object are cheaper per op.
+        let mut hot = 0;
+        for _ in 0..200u64 {
+            hot += run_one(&mut sim, c.plan_read(0, 1, 0, 4096));
+        }
+        assert!(first_pass > hot, "cold {first_pass} > hot {hot}");
+    }
+
+    fn scatter_hash(i: u64) -> u64 {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[test]
+    fn mds_overload_triggers_export_state() {
+        let mut sim = Sim::new(1);
+        let mut c = cluster(&mut sim);
+        let mds = c.mds_of_dir(1);
+        // Hammer one MDS past the threshold within a window, then cross
+        // the window boundary.
+        for _ in 0..(c.cfg.rebalance_threshold_ops + 10) {
+            c.note_mds_op(mds, 100);
+        }
+        c.note_mds_op(mds, 200_000_000);
+        assert!(c.mds_exporting[mds], "exporting after overload window");
+        // A calm window clears it.
+        c.note_mds_op(mds, 400_000_000);
+        assert!(!c.mds_exporting[mds]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Ceph model parameters (defaults per §4.1 of the paper).
+
+use cfs_sim::HardwareModel;
+
+/// Tunables of the Ceph baseline. Defaults mirror the paper's setup: 10
+/// machines, 16 OSDs + 1 MDS per machine, `osd_op_num_shards = 6`,
+/// `osd_op_num_threads_per_shard = 4`.
+#[derive(Debug, Clone)]
+pub struct CephConfig {
+    /// Server machines (Table 1: 10).
+    pub nodes: usize,
+    /// OSD daemons per machine (§4.1: 16).
+    pub osds_per_node: usize,
+    /// MDS daemons per machine (§4.1: 1).
+    pub mds_per_node: usize,
+    /// Client machines.
+    pub client_nodes: usize,
+    /// OSD op queues (§4.3: tuned to 6).
+    pub osd_shards: usize,
+    /// Threads per OSD op queue (§4.3: tuned to 4).
+    pub osd_threads_per_shard: usize,
+    /// Replication factor (3, as CFS).
+    pub replicas: usize,
+    /// RADOS object size (4 MB default).
+    pub object_size: u64,
+    /// MDS CPU time per metadata op (dispatch, locking, cache).
+    pub mds_op_ns: u64,
+    /// Sequential journal commit per metadata mutation (per-MDS, 1 lane).
+    pub mds_journal_ns: u64,
+    /// Bounded MDS inode cache (entries per MDS).
+    pub mds_cache_inodes: usize,
+    /// Per-op CPU on an OSD shard thread.
+    pub osd_shard_op_ns: u64,
+    /// Bounded bluestore onode cache (entries per node).
+    pub onode_cache_per_node: usize,
+    /// Per-op client-side cost (FUSE crossing + libcephfs).
+    pub client_op_ns: u64,
+    /// Ops per 100 ms window above which an MDS starts exporting
+    /// subtrees; ops on exported dirs pay a proxy hop and unlinks become
+    /// cross-MDS transactions (§4.2).
+    pub rebalance_threshold_ops: u64,
+    /// Underlying hardware (Table 1).
+    pub hw: HardwareModel,
+}
+
+impl Default for CephConfig {
+    fn default() -> Self {
+        CephConfig {
+            nodes: 10,
+            osds_per_node: 16,
+            mds_per_node: 1,
+            client_nodes: 8,
+            osd_shards: 6,
+            osd_threads_per_shard: 4,
+            replicas: 3,
+            object_size: 4 * 1024 * 1024,
+            mds_op_ns: 50_000,
+            mds_journal_ns: 250_000,
+            mds_cache_inodes: 100_000,
+            osd_shard_op_ns: 15_000,
+            onode_cache_per_node: 20_000,
+            client_op_ns: 80_000,
+            rebalance_threshold_ops: 300,
+            hw: HardwareModel::default(),
+        }
+    }
+}
+
+impl CephConfig {
+    /// Total MDS daemons.
+    pub fn total_mds(&self) -> usize {
+        self.nodes * self.mds_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = CephConfig::default();
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.osds_per_node, 16);
+        assert_eq!(c.osd_shards, 6);
+        assert_eq!(c.osd_threads_per_shard, 4);
+        assert_eq!(c.total_mds(), 10);
+    }
+}

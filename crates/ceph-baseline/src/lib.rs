@@ -1,0 +1,32 @@
+//! Ceph-like architectural baseline for the paper's evaluation (§4).
+//!
+//! The paper compares CFS against Ceph 12.2.11 (bluestore, TCP). We cannot
+//! run Ceph inside this reproduction, so this crate models the *mechanisms*
+//! the paper invokes when explaining every performance gap:
+//!
+//! * **MDS with directory locality** (§4.2): a file's metadata lives with
+//!   its parent directory's MDS (subtree placement), so one round trip
+//!   covers create/lookup — the reason Ceph wins at low concurrency.
+//! * **MDS journaling**: every metadata mutation commits to a journal
+//!   backed by OSDs; the journal is sequential per MDS and its fsync cost
+//!   caps per-MDS mutation throughput — the reason Ceph stops scaling.
+//! * **Bounded MDS inode cache**: `readdir` is followed by per-inode
+//!   `inodeGet` requests (no `batchInodeGet`), served from an LRU cache
+//!   that misses to disk under pressure (§4.2, §4.3).
+//! * **Dynamic subtree rebalancing** (§4.2 TreeCreation): past a load
+//!   threshold an MDS exports subtrees and requests pay a proxy hop.
+//! * **OSD sharded op queues** (§4.3): `osd_op_num_shards = 6` ×
+//!   `osd_op_num_threads_per_shard = 4`, primary-copy replication, and
+//!   data+metadata (onode) commit before ack; random IO misses the bounded
+//!   onode cache and pays extra disk reads.
+//!
+//! Operations are compiled to [`cfs_sim::Step`] plans; queueing and
+//! saturation emerge from the shared stations.
+
+mod cluster;
+mod config;
+mod lru;
+
+pub use cluster::CephCluster;
+pub use config::CephConfig;
+pub use lru::ApproxLru;

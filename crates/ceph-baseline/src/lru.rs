@@ -1,0 +1,126 @@
+//! Approximate LRU set for cache-hit modeling.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A capacity-bounded recency set: `touch` returns whether the key was
+/// resident (hit) and makes it resident. Eviction is
+/// least-recently-*inserted* with lazy invalidation — an O(1) approximation
+/// of LRU that is plenty for hit-rate modeling.
+#[derive(Debug)]
+pub struct ApproxLru {
+    capacity: usize,
+    resident: HashMap<u64, u64>, // key -> generation
+    order: VecDeque<(u64, u64)>, // (key, generation)
+    generation: u64,
+}
+
+impl ApproxLru {
+    /// Cache with room for `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        ApproxLru {
+            capacity: capacity.max(1),
+            resident: HashMap::new(),
+            order: VecDeque::new(),
+            generation: 0,
+        }
+    }
+
+    /// Access `key`: returns `true` on a hit. Either way the key becomes
+    /// the most recent resident.
+    pub fn touch(&mut self, key: u64) -> bool {
+        self.generation += 1;
+        let hit = self.resident.contains_key(&key);
+        self.resident.insert(key, self.generation);
+        self.order.push_back((key, self.generation));
+        while self.resident.len() > self.capacity {
+            let Some((k, g)) = self.order.pop_front() else {
+                break;
+            };
+            // Lazy invalidation: only evict if this queue entry is the
+            // key's latest recorded access.
+            if self.resident.get(&k) == Some(&g) {
+                self.resident.remove(&k);
+            }
+        }
+        // Keep the queue from growing unboundedly under re-touches.
+        if self.order.len() > self.capacity * 4 {
+            let resident = &self.resident;
+            self.order.retain(|(k, g)| resident.get(k) == Some(g));
+        }
+        hit
+    }
+
+    /// Residents right now.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = ApproxLru::new(2);
+        assert!(!c.touch(1));
+        assert!(c.touch(1));
+        assert!(!c.touch(2));
+        assert!(c.touch(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_at_capacity() {
+        let mut c = ApproxLru::new(2);
+        c.touch(1);
+        c.touch(2);
+        c.touch(3); // evicts 1
+        assert!(!c.touch(1), "1 was evicted");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn retouch_refreshes_recency() {
+        let mut c = ApproxLru::new(2);
+        c.touch(1);
+        c.touch(2);
+        c.touch(1); // 1 now most recent
+        c.touch(3); // evicts 2, not 1
+        assert!(c.touch(1), "1 survived");
+        assert!(!c.touch(2), "2 evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_mostly_misses() {
+        let mut c = ApproxLru::new(100);
+        let mut misses = 0;
+        for round in 0..3 {
+            for k in 0..1000u64 {
+                if !c.touch(k) {
+                    misses += 1;
+                }
+                let _ = round;
+            }
+        }
+        // Sequential scan over 10x the capacity: virtually everything
+        // misses every round.
+        assert!(misses > 2_900, "misses: {misses}");
+    }
+
+    #[test]
+    fn queue_compaction_keeps_working() {
+        let mut c = ApproxLru::new(4);
+        for _ in 0..1000 {
+            assert!(!c.touch(42) || c.len() <= 4);
+            c.touch(42);
+        }
+        assert!(c.touch(42));
+        assert!(c.len() <= 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Range iterator.
+//!
+//! Iterates a borrowed tree. For snapshot iteration while the source keeps
+//! mutating, take an O(1) [`crate::BTree::snapshot`] first and iterate the
+//! snapshot — copy-on-write guarantees the snapshot's nodes are frozen.
+
+use std::ops::Bound;
+
+use crate::node::Node;
+
+/// Ordered iterator over `(key, value)` references within a bound range.
+pub struct Range<'a, K, V> {
+    /// Descent stack: (node, next child/entry index to visit).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    end: Bound<K>,
+    done: bool,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    pub(crate) fn new(root: &'a Node<K, V>, start: Bound<K>, end: Bound<K>) -> Self {
+        let mut it = Range {
+            stack: Vec::new(),
+            end,
+            done: false,
+        };
+        it.seek(root, &start);
+        it
+    }
+
+    /// Position the stack at the first in-range entry.
+    fn seek(&mut self, root: &'a Node<K, V>, start: &Bound<K>) {
+        let mut node = root;
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => {
+                    let idx = match start {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => keys.binary_search(k).unwrap_or_else(|i| i),
+                        Bound::Excluded(k) => match keys.binary_search(k) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        },
+                    };
+                    self.stack.push((node, idx));
+                    return;
+                }
+                Node::Internal { children, .. } => {
+                    let idx = match start {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) | Bound::Excluded(k) => node.child_index(k),
+                    };
+                    self.stack.push((node, idx + 1));
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    fn past_end(&self, key: &K) -> bool {
+        match &self.end {
+            Bound::Unbounded => false,
+            Bound::Included(e) => key > e,
+            Bound::Excluded(e) => key >= e,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let (node, idx) = match self.stack.last_mut() {
+                Some(top) => top,
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            };
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if *idx < keys.len() {
+                        let i = *idx;
+                        *idx += 1;
+                        let k = &keys[i];
+                        if self.past_end(k) {
+                            self.done = true;
+                            return None;
+                        }
+                        return Some((k, &vals[i]));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if *idx < children.len() {
+                        let i = *idx;
+                        *idx += 1;
+                        let child: &'a Node<K, V> = &children[i];
+                        self.stack.push((child, 0));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BTree;
+
+    #[test]
+    fn snapshot_iterator_survives_source_mutation() {
+        let mut t = BTree::new();
+        for i in 0..300u64 {
+            t.insert(i, i);
+        }
+        let snap = t.snapshot();
+        let mut it = snap.iter();
+        for expect in 0..10u64 {
+            assert_eq!(it.next().map(|(k, _)| *k), Some(expect));
+        }
+        // Mutate the source heavily while the snapshot iterator is live.
+        for i in 0..300u64 {
+            t.remove(&i);
+        }
+        for i in 1_000..1_300u64 {
+            t.insert(i, i);
+        }
+        // The snapshot iterator still walks the original 300-entry image.
+        let rest: Vec<u64> = it.map(|(k, _)| *k).collect();
+        assert_eq!(rest, (10..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_iteration_stops_exactly() {
+        let mut t = BTree::new();
+        for i in (0..100u64).step_by(10) {
+            t.insert(i, ());
+        }
+        // Bounds that fall between keys.
+        let got: Vec<u64> = t.range(5..55).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![10, 20, 30, 40, 50]);
+    }
+}

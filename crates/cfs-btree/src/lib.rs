@@ -1,0 +1,29 @@
+//! Copy-on-write ordered B+ tree.
+//!
+//! The paper's meta partitions keep all inodes and dentries in memory in two
+//! b-trees — `inodeTree` indexed by inode id and `dentryTree` indexed by
+//! `(parent inode id, dentry name)` (§2.1.1). Those trees must support:
+//!
+//! * point lookups, inserts and deletes on the Raft apply path,
+//! * ordered range scans (`readdir` is a prefix scan of the dentry tree),
+//! * **consistent snapshots while writes continue** — Raft snapshotting
+//!   (§2.1.3) serializes the whole partition without blocking the apply
+//!   loop.
+//!
+//! The snapshot requirement is why this is a *copy-on-write* tree: nodes are
+//! reference-counted and [`BTree::clone`] is O(1). Mutations clone only the
+//! root-to-leaf path they touch when nodes are shared with a snapshot
+//! (`Arc::make_mut`), so an iterator over a clone observes a frozen image.
+//!
+//! Values live only in leaves (B+ layout) so range scans walk leaves without
+//! touching separators.
+
+mod iter;
+mod node;
+mod tree;
+
+pub use iter::Range;
+pub use tree::BTree;
+
+#[cfg(test)]
+mod model_tests;

@@ -1,0 +1,97 @@
+//! Property-based tests: the COW B+ tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and
+//! snapshots must be immune to later mutations.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use crate::BTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BTree::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut snapshots: Vec<(BTree<u16, u32>, BTreeMap<u16, u32>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Op::Snapshot => {
+                    snapshots.push((tree.snapshot(), model.clone()));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+
+        tree.check_invariants();
+
+        // Full-content equality via ordered iteration.
+        let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+
+        // Every snapshot still matches the model state at snapshot time.
+        for (snap, snap_model) in snapshots {
+            snap.check_invariants();
+            let got: Vec<(u16, u32)> = snap.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(u16, u32)> = snap_model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn range_matches_btreemap(
+        keys in proptest::collection::btree_set(any::<u16>(), 0..300),
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+    ) {
+        let mut tree = BTree::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            tree.insert(k, k as u32);
+            model.insert(k, k as u32);
+        }
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let got: Vec<u16> = tree.range(lo..hi).map(|(k, _)| *k).collect();
+        let want: Vec<u16> = model.range(lo..hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+
+        let got: Vec<u16> = tree.range(lo..=hi).map(|(k, _)| *k).collect();
+        let want: Vec<u16> = model.range(lo..=hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn first_last_match_btreemap(keys in proptest::collection::btree_set(any::<u64>(), 0..200)) {
+        let mut tree = BTree::new();
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        prop_assert_eq!(tree.first().map(|(k, _)| *k), keys.iter().next().copied());
+        prop_assert_eq!(tree.last().map(|(k, _)| *k), keys.iter().next_back().copied());
+    }
+}

@@ -1,0 +1,260 @@
+//! B+ tree nodes and structural operations (split / borrow / merge).
+
+use std::sync::Arc;
+
+/// Maximum keys in a leaf / children in an internal node before a split.
+pub(crate) const MAX_FANOUT: usize = 32;
+/// Minimum occupancy for non-root nodes after a delete.
+pub(crate) const MIN_FANOUT: usize = MAX_FANOUT / 2;
+
+/// A tree node. Leaves hold `keys`/`vals` in parallel; internal nodes hold
+/// `children` plus `keys` as separators, where `keys[i]` is the minimum key
+/// reachable under `children[i + 1]` (so `keys.len() == children.len() - 1`).
+#[derive(Debug)]
+pub(crate) enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+}
+
+impl<K: Clone, V: Clone> Clone for Node<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Leaf { keys, vals } => Node::Leaf {
+                keys: keys.clone(),
+                vals: vals.clone(),
+            },
+            Node::Internal { keys, children } => Node::Internal {
+                keys: keys.clone(),
+                children: children.clone(),
+            },
+        }
+    }
+}
+
+impl<K: Ord, V> Node<K, V> {
+    pub(crate) fn empty_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of keys (leaf) or children (internal) — the occupancy measure
+    /// used for underflow checks.
+    pub(crate) fn occupancy(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { children, .. } => children.len(),
+        }
+    }
+
+    pub(crate) fn is_overfull(&self) -> bool {
+        self.occupancy() > MAX_FANOUT
+    }
+
+    pub(crate) fn is_underfull(&self) -> bool {
+        self.occupancy() < MIN_FANOUT
+    }
+
+    /// Smallest key in the subtree rooted here. Panics on an empty node
+    /// (only the root can be empty, and the tree handles that case).
+    pub(crate) fn min_key(&self) -> &K {
+        match self {
+            Node::Leaf { keys, .. } => &keys[0],
+            Node::Internal { children, .. } => children[0].min_key(),
+        }
+    }
+
+    /// Index of the child an operation on `key` must descend into.
+    pub(crate) fn child_index(&self, key: &K) -> usize {
+        match self {
+            Node::Internal { keys, .. } => {
+                // keys[i] is the min of children[i+1]; descend into the last
+                // child whose min is <= key.
+                match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+            }
+            Node::Leaf { .. } => unreachable!("child_index on leaf"),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Node<K, V> {
+    /// Split an overfull node in half; returns the new right sibling and the
+    /// separator key (the right sibling's minimum).
+    pub(crate) fn split(&mut self) -> (K, Arc<Node<K, V>>) {
+        match self {
+            Node::Leaf { keys, vals } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<K> = keys.split_off(mid);
+                let right_vals: Vec<V> = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                (
+                    sep,
+                    Arc::new(Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                    }),
+                )
+            }
+            Node::Internal { keys, children } => {
+                let mid = children.len() / 2;
+                // children[mid..] move right; keys[mid-1] becomes the
+                // separator pushed up; keys[mid..] move right.
+                let right_children: Vec<_> = children.split_off(mid);
+                let mut right_keys: Vec<K> = keys.split_off(mid - 1);
+                let sep = right_keys.remove(0);
+                (
+                    sep,
+                    Arc::new(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }),
+                )
+            }
+        }
+    }
+}
+
+/// Rebalance `children[idx]` of an internal node after a delete left it
+/// underfull: borrow from an adjacent sibling when possible, otherwise merge
+/// with one. `keys` are the node's separators.
+///
+/// Returns `true` if a merge removed a child (the caller's occupancy
+/// changed).
+pub(crate) fn rebalance_child<K: Ord + Clone, V: Clone>(
+    keys: &mut Vec<K>,
+    children: &mut Vec<Arc<Node<K, V>>>,
+    idx: usize,
+) -> bool {
+    // Prefer borrowing from the left sibling, then the right, then merging.
+    if idx > 0 && children[idx - 1].occupancy() > MIN_FANOUT {
+        borrow_from_left(keys, children, idx);
+        false
+    } else if idx + 1 < children.len() && children[idx + 1].occupancy() > MIN_FANOUT {
+        borrow_from_right(keys, children, idx);
+        false
+    } else if idx > 0 {
+        merge_children(keys, children, idx - 1);
+        true
+    } else if idx + 1 < children.len() {
+        merge_children(keys, children, idx);
+        true
+    } else {
+        // Single child: nothing to rebalance against; the tree collapses
+        // the root when this propagates up.
+        false
+    }
+}
+
+fn borrow_from_left<K: Ord + Clone, V: Clone>(
+    keys: &mut [K],
+    children: &mut [Arc<Node<K, V>>],
+    idx: usize,
+) {
+    let (left_half, right_half) = children.split_at_mut(idx);
+    let left = Arc::make_mut(&mut left_half[idx - 1]);
+    let node = Arc::make_mut(&mut right_half[0]);
+    match (left, node) {
+        (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: nk, vals: nv }) => {
+            let k = lk.pop().expect("left sibling not empty");
+            let v = lv.pop().expect("left sibling not empty");
+            nk.insert(0, k.clone());
+            nv.insert(0, v);
+            keys[idx - 1] = k;
+        }
+        (
+            Node::Internal {
+                keys: lk,
+                children: lc,
+            },
+            Node::Internal {
+                keys: nk,
+                children: nc,
+            },
+        ) => {
+            // Rotate through the parent separator.
+            let child = lc.pop().expect("left sibling not empty");
+            let sep = lk.pop().expect("left sibling has separator");
+            let old_sep = std::mem::replace(&mut keys[idx - 1], sep);
+            nk.insert(0, old_sep);
+            nc.insert(0, child);
+        }
+        _ => unreachable!("siblings at the same depth share arity"),
+    }
+}
+
+fn borrow_from_right<K: Ord + Clone, V: Clone>(
+    keys: &mut [K],
+    children: &mut [Arc<Node<K, V>>],
+    idx: usize,
+) {
+    let (left_half, right_half) = children.split_at_mut(idx + 1);
+    let node = Arc::make_mut(&mut left_half[idx]);
+    let right = Arc::make_mut(&mut right_half[0]);
+    match (node, right) {
+        (Node::Leaf { keys: nk, vals: nv }, Node::Leaf { keys: rk, vals: rv }) => {
+            nk.push(rk.remove(0));
+            nv.push(rv.remove(0));
+            keys[idx] = rk[0].clone();
+        }
+        (
+            Node::Internal {
+                keys: nk,
+                children: nc,
+            },
+            Node::Internal {
+                keys: rk,
+                children: rc,
+            },
+        ) => {
+            let child = rc.remove(0);
+            let sep = rk.remove(0);
+            let old_sep = std::mem::replace(&mut keys[idx], sep);
+            nk.push(old_sep);
+            nc.push(child);
+        }
+        _ => unreachable!("siblings at the same depth share arity"),
+    }
+}
+
+/// Merge `children[idx + 1]` into `children[idx]`, removing the separator
+/// between them.
+fn merge_children<K: Ord + Clone, V: Clone>(
+    keys: &mut Vec<K>,
+    children: &mut Vec<Arc<Node<K, V>>>,
+    idx: usize,
+) {
+    let right = children.remove(idx + 1);
+    let sep = keys.remove(idx);
+    let left = Arc::make_mut(&mut children[idx]);
+    match (left, &*right) {
+        (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
+            lk.extend(rk.iter().cloned());
+            lv.extend(rv.iter().cloned());
+        }
+        (
+            Node::Internal {
+                keys: lk,
+                children: lc,
+            },
+            Node::Internal {
+                keys: rk,
+                children: rc,
+            },
+        ) => {
+            lk.push(sep);
+            lk.extend(rk.iter().cloned());
+            lc.extend(rc.iter().cloned());
+        }
+        _ => unreachable!("siblings at the same depth share arity"),
+    }
+}

@@ -1,0 +1,426 @@
+//! The copy-on-write B+ tree map.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+use crate::iter::Range;
+use crate::node::{rebalance_child, Node};
+
+/// Ordered map with O(1) snapshot clones.
+///
+/// `clone()` shares all nodes; subsequent mutations on either copy clone
+/// only the paths they touch. This is the substrate for the meta
+/// partition's `inodeTree` and `dentryTree` and lets Raft serialize a
+/// consistent snapshot while the apply loop keeps writing.
+#[derive(Debug)]
+pub struct BTree<K, V> {
+    root: Arc<Node<K, V>>,
+    len: usize,
+}
+
+impl<K, V> Clone for BTree<K, V> {
+    fn clone(&self) -> Self {
+        BTree {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BTree {
+            root: Arc::new(Node::empty_leaf()),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { children, .. } => {
+                    node = &children[node.child_index(key)];
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert, returning the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let old = Self::insert_rec(&mut self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if self.root.is_overfull() {
+            // Grow a new root above the split halves.
+            let root = Arc::make_mut(&mut self.root);
+            let (sep, right) = root.split();
+            let left = std::mem::replace(root, Node::empty_leaf());
+            *root = Node::Internal {
+                keys: vec![sep],
+                children: vec![Arc::new(left), right],
+            };
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Arc<Node<K, V>>, key: K, value: V) -> Option<V> {
+        let n = Arc::make_mut(node);
+        match n {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    None
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let old = Self::insert_rec(&mut children[idx], key, value);
+                if children[idx].is_overfull() {
+                    let (sep, right) = Arc::make_mut(&mut children[idx]).split();
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+                old
+            }
+        }
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let old = Self::remove_rec(&mut self.root, key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that dwindled to a single child.
+        loop {
+            let replace = match &*self.root {
+                Node::Internal { children, .. } if children.len() == 1 => Arc::clone(&children[0]),
+                _ => break,
+            };
+            self.root = replace;
+        }
+        old
+    }
+
+    fn remove_rec(node: &mut Arc<Node<K, V>>, key: &K) -> Option<V> {
+        let n = Arc::make_mut(node);
+        match n {
+            Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let old = Self::remove_rec(&mut children[idx], key);
+                if old.is_some() {
+                    if children[idx].is_underfull() {
+                        rebalance_child(keys, children, idx);
+                    }
+                    // The removed key may have been a subtree minimum, and
+                    // rebalancing shifts entries between siblings: refresh
+                    // every separator around the touched position so
+                    // `child_index` stays correct.
+                    let hi = (idx + 1).min(children.len() - 1);
+                    for i in idx.saturating_sub(1).max(1)..=hi.max(1) {
+                        if i < children.len() {
+                            keys[i - 1] = children[i].min_key().clone();
+                        }
+                    }
+                }
+                old
+            }
+        }
+    }
+
+    /// Smallest key/value pair.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.first().map(|k| (k, &vals[0]));
+                }
+                Node::Internal { children, .. } => node = &children[0],
+            }
+        }
+    }
+
+    /// Largest key/value pair.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.last().map(|k| (k, vals.last().unwrap()));
+                }
+                Node::Internal { children, .. } => node = children.last().unwrap(),
+            }
+        }
+    }
+
+    /// Ordered iterator over all entries of this tree *as of now*: the
+    /// iterator holds node references into a frozen snapshot, so concurrent
+    /// mutations of clones are invisible to it.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// Ordered iterator over entries within `bounds`.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Range<'_, K, V> {
+        let start = clone_bound(bounds.start_bound());
+        let end = clone_bound(bounds.end_bound());
+        Range::new(&self.root, start, end)
+    }
+
+    /// An O(1) frozen copy, independent of future mutations on `self`.
+    pub fn snapshot(&self) -> BTree<K, V> {
+        self.clone()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        fn walk<K: Ord + Clone, V: Clone>(
+            node: &Node<K, V>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            is_root: bool,
+        ) {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    assert_eq!(keys.len(), vals.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "all leaves at same depth"),
+                    }
+                    if !is_root {
+                        assert!(
+                            keys.len() >= crate::node::MIN_FANOUT,
+                            "leaf occupancy {} below min",
+                            keys.len()
+                        );
+                    }
+                    assert!(keys.len() <= crate::node::MAX_FANOUT);
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(keys.len() + 1, children.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "separators sorted");
+                    for (i, sep) in keys.iter().enumerate() {
+                        assert!(
+                            children[i + 1].min_key() == sep,
+                            "separator equals right child min"
+                        );
+                    }
+                    if !is_root {
+                        assert!(children.len() >= crate::node::MIN_FANOUT);
+                    }
+                    assert!(children.len() <= crate::node::MAX_FANOUT);
+                    for c in children {
+                        walk(c, depth + 1, leaf_depth, false);
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, 0, &mut leaf_depth, true);
+        assert_eq!(self.iter().count(), self.len, "len matches iteration");
+    }
+}
+
+fn clone_bound<K: Clone>(b: Bound<&K>) -> Bound<K> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.clone()),
+        Bound::Excluded(k) => Bound::Excluded(k.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BTree<u64, String> = BTree::new();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert!(t.get(&1).is_none());
+        assert!(t.first().is_none());
+        assert!(t.last().is_none());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_small() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(2u64, "b"), None);
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(3, "c"), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&1), Some(&"a"));
+        assert_eq!(t.get(&2), Some(&"b"));
+        assert_eq!(t.insert(2, "B"), Some("b"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.remove(&2), Some("B"));
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn large_sequential_insert_then_delete() {
+        let mut t = BTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.first(), Some((&0, &0)));
+        assert_eq!(t.last(), Some((&9_999, &19_998)));
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+        for i in (0..10_000u64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i * 2));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 5_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(&i).is_some(), i % 2 == 1);
+        }
+        for i in (1..10_000u64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i * 2));
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reverse_order_insert() {
+        let mut t = BTree::new();
+        for i in (0..2_000u64).rev() {
+            t.insert(i, ());
+        }
+        t.check_invariants();
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..2_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BTree::new();
+        for i in 0..1_000u64 {
+            t.insert(i, i);
+        }
+        let got: Vec<u64> = t.range(100..200).map(|(k, _)| *k).collect();
+        assert_eq!(got, (100..200).collect::<Vec<_>>());
+        let got: Vec<u64> = t.range(..=5).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        let got: Vec<u64> = t.range(995..).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![995, 996, 997, 998, 999]);
+        use std::ops::Bound;
+        let got: Vec<u64> = t
+            .range((Bound::Excluded(10), Bound::Included(12)))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![11, 12]);
+        assert_eq!(t.range(500..400).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let mut t = BTree::new();
+        for i in 0..500u64 {
+            t.insert(i, i);
+        }
+        let snap = t.snapshot();
+        for i in 500..1_000u64 {
+            t.insert(i, i);
+        }
+        for i in 0..250u64 {
+            t.remove(&i);
+        }
+        // Snapshot still sees exactly the original 500 entries.
+        assert_eq!(snap.len(), 500);
+        let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+        // And the live tree sees the new state.
+        assert_eq!(t.len(), 750);
+        snap.check_invariants();
+        t.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_mutation_does_not_affect_original() {
+        let mut t = BTree::new();
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        let mut snap = t.snapshot();
+        for i in 0..100u64 {
+            snap.remove(&i);
+        }
+        assert!(snap.is_empty());
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn tuple_keys_prefix_scan_like_dentry_tree() {
+        // Mirrors the dentryTree usage: key = (parent inode, name).
+        let mut t: BTree<(u64, String), u64> = BTree::new();
+        for parent in 0..10u64 {
+            for f in 0..20u64 {
+                t.insert((parent, format!("file{f:02}")), parent * 100 + f);
+            }
+        }
+        // readdir(parent=4): scan [(4, "") .. (5, ""))
+        let entries: Vec<String> = t
+            .range((4, String::new())..(5, String::new()))
+            .map(|(k, _)| k.1.clone())
+            .collect();
+        assert_eq!(entries.len(), 20);
+        assert_eq!(entries[0], "file00");
+        assert_eq!(entries[19], "file19");
+        assert!(entries.windows(2).all(|w| w[0] < w[1]));
+    }
+}

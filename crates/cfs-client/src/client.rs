@@ -1,0 +1,439 @@
+//! Mounting, caches, routing and retries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cfs_data::{DataRequest, DataResponse};
+use cfs_master::{DataPartitionMeta, MasterRequest, MasterResponse, MetaPartitionMeta};
+use cfs_meta::{MetaCommand, MetaRead, MetaRequest, MetaResponse, MetaValue};
+use cfs_net::Network;
+use cfs_types::{
+    CfsError, ClusterConfig, Dentry, Inode, InodeId, NodeId, PartitionId, Result, VolumeId,
+};
+
+/// Client-side tunables.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Retry limit per logical operation (§2.1.3).
+    pub max_retries: u32,
+    /// Deterministic seed for random partition selection (§2.3.1: clients
+    /// pick partitions randomly to avoid consulting the RM per write).
+    pub seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            max_retries: 5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// RPC fabrics the client talks over.
+#[derive(Clone)]
+pub struct Fabrics {
+    pub master: Network<MasterRequest, Result<MasterResponse>>,
+    pub meta: Network<MetaRequest, Result<MetaResponse>>,
+    pub data: Network<DataRequest, Result<DataResponse>>,
+}
+
+pub(crate) struct CacheState {
+    pub meta_partitions: Vec<MetaPartitionMeta>,
+    pub data_partitions: Vec<DataPartitionMeta>,
+    /// Last identified Raft leader per partition (§2.4).
+    pub leader_cache: HashMap<PartitionId, NodeId>,
+    /// Inode cache (§2.4), force-synced on open.
+    pub inode_cache: HashMap<InodeId, Inode>,
+    /// Dentry cache.
+    pub dentry_cache: HashMap<(InodeId, String), Dentry>,
+    /// Local orphan-inode list (§2.6.1): (partition, inode) pairs awaiting
+    /// an evict request.
+    pub orphans: Vec<(PartitionId, InodeId)>,
+    pub master_leader: Option<NodeId>,
+    pub rng: SmallRng,
+}
+
+/// One mounted volume.
+pub struct Client {
+    pub(crate) id: NodeId,
+    pub(crate) volume: VolumeId,
+    pub(crate) root: InodeId,
+    pub(crate) config: ClusterConfig,
+    pub(crate) options: ClientOptions,
+    pub(crate) fabrics: Fabrics,
+    pub(crate) master_replicas: Vec<NodeId>,
+    pub(crate) cache: Mutex<CacheState>,
+    /// Logical clock for command timestamps (ns).
+    clock: AtomicU64,
+}
+
+impl Client {
+    /// Mount `volume_name`: fetch the partition table from the resource
+    /// manager and locate the volume root (inode 1).
+    pub fn mount(
+        id: NodeId,
+        volume_name: &str,
+        fabrics: Fabrics,
+        master_replicas: Vec<NodeId>,
+        config: ClusterConfig,
+        options: ClientOptions,
+    ) -> Result<Self> {
+        let seed = options.seed ^ id.raw();
+        let client = Client {
+            id,
+            volume: VolumeId(0), // filled below
+            root: cfs_types::ROOT_INODE,
+            config,
+            options,
+            fabrics,
+            master_replicas,
+            cache: Mutex::new(CacheState {
+                meta_partitions: Vec::new(),
+                data_partitions: Vec::new(),
+                leader_cache: HashMap::new(),
+                inode_cache: HashMap::new(),
+                dentry_cache: HashMap::new(),
+                orphans: Vec::new(),
+                master_leader: None,
+                rng: SmallRng::seed_from_u64(seed),
+            }),
+            clock: AtomicU64::new(1),
+        };
+        let volume = client.fetch_volume(volume_name)?;
+        // Safe: the struct is not shared yet.
+        let client = Client { volume, ..client };
+        client.refresh_partition_table()?;
+        Ok(client)
+    }
+
+    /// The mounted volume id.
+    pub fn volume(&self) -> VolumeId {
+        self.volume
+    }
+
+    /// The volume root inode.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Monotonic per-client timestamp for command payloads.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Resource-manager communication (non-persistent connections, §2.5.2)
+    // ------------------------------------------------------------------
+
+    /// Call the master, discovering/re-discovering its leader.
+    pub(crate) fn master_call(&self, req: MasterRequest) -> Result<MasterResponse> {
+        let cached = self.cache.lock().master_leader;
+        let mut candidates: Vec<NodeId> = Vec::new();
+        if let Some(l) = cached {
+            candidates.push(l);
+        }
+        candidates.extend(self.master_replicas.iter().copied());
+        let mut last_err = CfsError::Unavailable("no master replicas".into());
+        for _ in 0..=self.options.max_retries {
+            for &node in &candidates {
+                match self.fabrics.master.call(self.id, node, req.clone()) {
+                    Ok(Ok(resp)) => {
+                        self.cache.lock().master_leader = Some(node);
+                        return Ok(resp);
+                    }
+                    Ok(Err(CfsError::NotLeader { hint: Some(h), .. })) => {
+                        self.cache.lock().master_leader = Some(h);
+                        match self.fabrics.master.call(self.id, h, req.clone()) {
+                            Ok(Ok(resp)) => return Ok(resp),
+                            Ok(Err(e)) => last_err = e,
+                            Err(e) => last_err = e,
+                        }
+                    }
+                    Ok(Err(e)) if e.is_retryable() => last_err = e,
+                    Ok(Err(e)) => return Err(e),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn fetch_volume(&self, name: &str) -> Result<VolumeId> {
+        match self.master_call(MasterRequest::GetVolume { name: name.into() })? {
+            MasterResponse::Volume { volume, .. } => Ok(volume.volume),
+            _ => Err(CfsError::Internal("bad GetVolume reply".into())),
+        }
+    }
+
+    /// Re-fetch the volume's partition table (done at mount, periodically,
+    /// and whenever placement information looks stale, §2.4).
+    pub fn refresh_partition_table(&self) -> Result<()> {
+        match self.master_call(MasterRequest::GetVolumeById {
+            volume: self.volume,
+        })? {
+            MasterResponse::Volume {
+                meta_partitions,
+                data_partitions,
+                ..
+            } => {
+                let mut cache = self.cache.lock();
+                cache.meta_partitions = meta_partitions;
+                cache.data_partitions = data_partitions;
+                Ok(())
+            }
+            _ => Err(CfsError::Internal("bad GetVolumeById reply".into())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Partition routing
+    // ------------------------------------------------------------------
+
+    /// The meta partition owning `inode` (routing by inode-id range).
+    pub(crate) fn meta_partition_of(&self, inode: InodeId) -> Result<(PartitionId, Vec<NodeId>)> {
+        let cache = self.cache.lock();
+        cache
+            .meta_partitions
+            .iter()
+            .find(|p| p.start <= inode && inode <= p.end)
+            .map(|p| (p.partition, p.members.clone()))
+            .ok_or_else(|| CfsError::NotFound(format!("no meta partition for {inode}")))
+    }
+
+    /// A random writable meta partition for new inodes (§2.3.1: the client
+    /// picks randomly among the RM-allocated partitions).
+    pub(crate) fn random_meta_partition(&self) -> Result<(PartitionId, Vec<NodeId>)> {
+        let mut cache = self.cache.lock();
+        // Writable = the partition can still allocate ids (max < end).
+        let candidates: Vec<(PartitionId, Vec<NodeId>)> = cache
+            .meta_partitions
+            .iter()
+            .filter(|p| p.max_inode < p.end)
+            .map(|p| (p.partition, p.members.clone()))
+            .collect();
+        if candidates.is_empty() {
+            return Err(CfsError::Unavailable("no writable meta partitions".into()));
+        }
+        let i = cache.rng.gen_range(0..candidates.len());
+        Ok(candidates[i].clone())
+    }
+
+    /// A random writable data partition (excluding `avoid`) for new
+    /// extents; a failed append resends the remainder to a *different*
+    /// partition (§2.2.5).
+    pub(crate) fn random_data_partition(
+        &self,
+        avoid: &[PartitionId],
+    ) -> Result<(PartitionId, Vec<NodeId>)> {
+        let mut cache = self.cache.lock();
+        let candidates: Vec<(PartitionId, Vec<NodeId>)> = cache
+            .data_partitions
+            .iter()
+            .filter(|p| !p.read_only && !p.full && !avoid.contains(&p.partition))
+            .map(|p| (p.partition, p.members.clone()))
+            .collect();
+        if candidates.is_empty() {
+            return Err(CfsError::Unavailable("no writable data partitions".into()));
+        }
+        let i = cache.rng.gen_range(0..candidates.len());
+        Ok(candidates[i].clone())
+    }
+
+    /// Replica array of a data partition (index 0 = PB leader, §2.7.1).
+    pub(crate) fn data_partition_members(&self, partition: PartitionId) -> Result<Vec<NodeId>> {
+        let cache = self.cache.lock();
+        cache
+            .data_partitions
+            .iter()
+            .find(|p| p.partition == partition)
+            .map(|p| p.members.clone())
+            .ok_or_else(|| CfsError::NotFound(format!("{partition}")))
+    }
+
+    // ------------------------------------------------------------------
+    // Meta RPC with leader cache + retries
+    // ------------------------------------------------------------------
+
+    /// Issue a meta RPC to the partition's leader, using the cached leader
+    /// first (§2.4) and scanning members on a miss; retries per §2.1.3.
+    pub(crate) fn meta_call(
+        &self,
+        partition: PartitionId,
+        members: &[NodeId],
+        req: MetaRequest,
+    ) -> Result<MetaValue> {
+        let mut last_err = CfsError::Unavailable("no meta replicas".into());
+        for _attempt in 0..=self.options.max_retries {
+            // Try the cached leader first, then every member.
+            let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
+            if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
+                order.push(l);
+            }
+            let cached0 = order.first().copied();
+            order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
+
+            for node in order {
+                match self.fabrics.meta.call(self.id, node, req.clone()) {
+                    Ok(Ok(MetaResponse::Value(v))) => {
+                        self.cache.lock().leader_cache.insert(partition, node);
+                        return Ok(v);
+                    }
+                    Ok(Ok(_)) => return Err(CfsError::Internal("unexpected meta response".into())),
+                    Ok(Err(CfsError::NotLeader { hint, .. })) => {
+                        let mut cache = self.cache.lock();
+                        match hint {
+                            Some(h) => {
+                                cache.leader_cache.insert(partition, h);
+                            }
+                            None => {
+                                cache.leader_cache.remove(&partition);
+                            }
+                        }
+                        last_err = CfsError::NotLeader { partition, hint };
+                    }
+                    Ok(Err(e)) if e.is_retryable() => last_err = e,
+                    Ok(Err(e)) => return Err(e),
+                    Err(e) => {
+                        self.cache.lock().leader_cache.remove(&partition);
+                        last_err = e;
+                    }
+                }
+            }
+        }
+        Err(CfsError::RetriesExhausted {
+            op: format!("meta_call({partition})"),
+            attempts: self.options.max_retries + 1,
+        }
+        .max_specific(last_err))
+    }
+
+    /// Convenience: replicated write to a partition.
+    pub(crate) fn meta_write(
+        &self,
+        partition: PartitionId,
+        members: &[NodeId],
+        cmd: MetaCommand,
+    ) -> Result<MetaValue> {
+        self.meta_call(partition, members, MetaRequest::Write { partition, cmd })
+    }
+
+    /// Convenience: leader read from a partition.
+    pub(crate) fn meta_read(
+        &self,
+        partition: PartitionId,
+        members: &[NodeId],
+        read: MetaRead,
+    ) -> Result<MetaValue> {
+        self.meta_call(partition, members, MetaRequest::Read { partition, read })
+    }
+
+    // ------------------------------------------------------------------
+    // Cache maintenance
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cache_inode(&self, ino: &Inode) {
+        self.cache.lock().inode_cache.insert(ino.id, ino.clone());
+    }
+
+    pub(crate) fn cache_dentry(&self, d: &Dentry) {
+        self.cache
+            .lock()
+            .dentry_cache
+            .insert((d.parent_id, d.name.clone()), d.clone());
+    }
+
+    pub(crate) fn uncache_dentry(&self, parent: InodeId, name: &str) {
+        self.cache
+            .lock()
+            .dentry_cache
+            .remove(&(parent, name.to_string()));
+    }
+
+    pub(crate) fn uncache_inode(&self, ino: InodeId) {
+        self.cache.lock().inode_cache.remove(&ino);
+    }
+
+    /// Cached inode, if any (callers force-sync on open, §2.4).
+    pub fn cached_inode(&self, ino: InodeId) -> Option<Inode> {
+        self.cache.lock().inode_cache.get(&ino).cloned()
+    }
+
+    /// Number of orphan inodes this client still has to evict.
+    pub fn orphan_count(&self) -> usize {
+        self.cache.lock().orphans.len()
+    }
+
+    pub(crate) fn push_orphan(&self, partition: PartitionId, inode: InodeId) {
+        self.cache.lock().orphans.push((partition, inode));
+    }
+
+    /// Evict every orphan inode recorded locally (§2.6.1: "who will be
+    /// deleted when the meta node receives an evict request from the
+    /// client"). Returns how many were evicted.
+    pub fn flush_orphans(&self) -> usize {
+        let orphans = std::mem::take(&mut self.cache.lock().orphans);
+        let mut evicted = 0;
+        let mut kept = Vec::new();
+        for (partition, inode) in orphans {
+            let members = match self.meta_partition_of(inode) {
+                Ok((_, m)) => m,
+                Err(_) => continue,
+            };
+            match self.meta_write(partition, &members, MetaCommand::Evict { inode }) {
+                Ok(_) => evicted += 1,
+                Err(CfsError::NotFound(_)) => evicted += 1, // already gone
+                Err(_) => kept.push((partition, inode)),    // retry later
+            }
+        }
+        self.cache.lock().orphans.extend(kept);
+        evicted
+    }
+}
+
+/// Pick the more informative of two errors for retry exhaustion reports.
+trait MaxSpecific {
+    fn max_specific(self, other: CfsError) -> CfsError;
+}
+
+impl MaxSpecific for CfsError {
+    fn max_specific(self, other: CfsError) -> CfsError {
+        // Prefer the concrete underlying error over the generic wrapper
+        // when it tells the caller what to do (e.g. ReadOnly → ask RM).
+        match other {
+            CfsError::ReadOnly(_) | CfsError::PartitionFull(_) => other,
+            _ => self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Client logic is exercised end-to-end in the `cfs` facade crate and
+    // the workspace integration tests; here we keep the pure helpers.
+    use super::*;
+
+    #[test]
+    fn max_specific_prefers_actionable_errors() {
+        let wrapped = CfsError::RetriesExhausted {
+            op: "x".into(),
+            attempts: 3,
+        };
+        let e = wrapped
+            .clone()
+            .max_specific(CfsError::ReadOnly(PartitionId(1)));
+        assert!(matches!(e, CfsError::ReadOnly(_)));
+        let e = wrapped.max_specific(CfsError::Timeout("t".into()));
+        assert!(matches!(e, CfsError::RetriesExhausted { .. }));
+    }
+
+    #[test]
+    fn options_default_sane() {
+        let o = ClientOptions::default();
+        assert!(o.max_retries >= 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! Handle-based file I/O: the §2.7 read/write paths.
+
+use bytes::Bytes;
+
+use cfs_data::{DataRequest, DataResponse};
+use cfs_meta::MetaCommand;
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, ExtentId, ExtentKey, FileType, InodeId, NodeId, PartitionId, Result};
+
+use crate::client::Client;
+
+/// An open file: inode, cursor, and the client's write-position cache
+/// (data partition id / extent id / offset, §2.4).
+#[derive(Debug)]
+pub struct FileHandle {
+    ino: InodeId,
+    /// Cached inode image, force-synced at open (§2.4).
+    size: u64,
+    extents: Vec<ExtentKey>,
+    pos: u64,
+    /// Active append target: (partition, extent, replicas, next offset).
+    append_target: Option<(PartitionId, ExtentId, Vec<NodeId>, u64)>,
+}
+
+impl Client {
+    /// Open `parent/name` for I/O. Forces the cached metadata to
+    /// re-synchronize with the meta node (§2.4).
+    pub fn open(&self, parent: InodeId, name: &str) -> Result<FileHandle> {
+        let dentry = self.lookup(parent, name)?;
+        self.open_inode(dentry.inode)
+    }
+
+    /// Open a known inode for I/O.
+    pub fn open_inode(&self, ino: InodeId) -> Result<FileHandle> {
+        let inode = self.stat(ino)?; // force cache sync
+        if inode.file_type == FileType::Dir {
+            return Err(CfsError::IsADirectory(ino));
+        }
+        Ok(FileHandle {
+            ino,
+            size: inode.size,
+            extents: inode.extents,
+            pos: 0,
+            append_target: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Data-path RPC helpers
+    // ------------------------------------------------------------------
+
+    /// Send one append packet to the PB leader (replicas[0], §2.7.1).
+    fn send_append(
+        &self,
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: &[u8],
+        replicas: &[NodeId],
+    ) -> Result<u64> {
+        let req = DataRequest::Append {
+            partition,
+            extent,
+            offset,
+            data: Bytes::copy_from_slice(data),
+            crc: crc32(data),
+            replicas: replicas.to_vec(),
+        };
+        match self.fabrics.data.call(self.id, replicas[0], req)?? {
+            DataResponse::Watermark(w) => Ok(w),
+            _ => Err(CfsError::Internal("bad Append reply".into())),
+        }
+    }
+
+    fn create_extent_on(&self, partition: PartitionId, replicas: &[NodeId]) -> Result<ExtentId> {
+        match self.fabrics.data.call(
+            self.id,
+            replicas[0],
+            DataRequest::CreateExtent { partition },
+        )?? {
+            DataResponse::Extent(e) => Ok(e),
+            _ => Err(CfsError::Internal("bad CreateExtent reply".into())),
+        }
+    }
+
+    /// Read a byte range from one extent, trying the cached Raft leader
+    /// first, then each replica until a leader answers (§2.4: the leader
+    /// rarely changes, so the cache usually hits on the first try).
+    fn read_extent(
+        &self,
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        let members = self.data_partition_members(partition)?;
+        let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
+        if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
+            order.push(l);
+        }
+        let cached0 = order.first().copied();
+        order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
+
+        let mut last_err = CfsError::Unavailable("no data replicas".into());
+        for node in order {
+            let req = DataRequest::Read {
+                partition,
+                extent,
+                offset,
+                len,
+                enforce_committed: false, // bounds come from meta-recorded extents
+            };
+            match self.fabrics.data.call(self.id, node, req) {
+                Ok(Ok(DataResponse::Data(d))) => {
+                    self.cache.lock().leader_cache.insert(partition, node);
+                    return Ok(d);
+                }
+                Ok(Ok(_)) => return Err(CfsError::Internal("bad Read reply".into())),
+                Ok(Err(CfsError::NotLeader { hint, .. })) => {
+                    if let Some(h) = hint {
+                        self.cache.lock().leader_cache.insert(partition, h);
+                    }
+                    last_err = CfsError::NotLeader { partition, hint };
+                }
+                Ok(Err(e)) if e.is_retryable() => last_err = e,
+                Ok(Err(e)) => return Err(e),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    // ------------------------------------------------------------------
+    // Write paths (§2.7.1, §2.7.2)
+    // ------------------------------------------------------------------
+
+    /// Write at the handle's cursor. Appends take the sequential path;
+    /// ranges below EOF are overwritten in place; a straddling write is
+    /// split into the two parts (§2.7.2).
+    pub fn write(&self, f: &mut FileHandle, data: &[u8]) -> Result<usize> {
+        let n = self.write_at(f, f.pos, data)?;
+        f.pos += n as u64;
+        Ok(n)
+    }
+
+    /// Positioned write.
+    pub fn write_at(&self, f: &mut FileHandle, offset: u64, data: &[u8]) -> Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        if offset > f.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "write at {offset} beyond EOF {} (holes unsupported)",
+                f.size
+            )));
+        }
+        let overwrite_len = ((f.size - offset).min(data.len() as u64)) as usize;
+        if overwrite_len > 0 {
+            self.overwrite_range(f, offset, &data[..overwrite_len])?;
+        }
+        if overwrite_len < data.len() {
+            self.append_bytes(f, &data[overwrite_len..])?;
+        }
+        Ok(data.len())
+    }
+
+    /// Sequential write (§2.7.1): packetize, stream to the PB leader,
+    /// then record the extent keys + new size at the meta node.
+    fn append_bytes(&self, f: &mut FileHandle, data: &[u8]) -> Result<()> {
+        // Small-file fast path (§2.2.3/§4.4): a fresh small file goes into
+        // a shared extent; the client doesn't even ask for a new extent.
+        if f.size == 0 && f.extents.is_empty() && self.config.is_small_file(data.len() as u64) {
+            return self.write_small_file(f, data);
+        }
+
+        let packet = self.config.packet_size as usize;
+        let mut written = 0usize;
+        let mut new_keys: Vec<ExtentKey> = Vec::new();
+        let mut avoided: Vec<PartitionId> = Vec::new();
+        let mut attempts = 0;
+
+        while written < data.len() {
+            // Ensure an append target (partition + extent + watermark).
+            if f.append_target.is_none() {
+                let (partition, replicas) = self.random_data_partition(&avoided)?;
+                let extent = match self.create_extent_on(partition, &replicas) {
+                    Ok(e) => e,
+                    Err(e) if e.is_retryable() || e.needs_new_partition() => {
+                        avoided.push(partition);
+                        attempts += 1;
+                        if attempts > self.options.max_retries {
+                            return Err(CfsError::RetriesExhausted {
+                                op: "create extent".into(),
+                                attempts,
+                            });
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                f.append_target = Some((partition, extent, replicas, 0));
+            }
+            let (partition, extent, replicas, ext_off) =
+                f.append_target.clone().expect("set above");
+
+            // Cut extents at the size limit: writes always start at offset
+            // 0 of a new extent and never pad the last one (§2.2.2).
+            if ext_off >= self.config.extent_size_limit {
+                f.append_target = None;
+                continue;
+            }
+            let room = (self.config.extent_size_limit - ext_off) as usize;
+            let chunk = packet.min(data.len() - written).min(room);
+            let piece = &data[written..written + chunk];
+
+            match self.send_append(partition, extent, ext_off, piece, &replicas) {
+                Ok(_watermark) => {
+                    // Commit acked by the whole chain: extend the cache
+                    // immediately (§2.7.1 step 8).
+                    let file_offset = f.size + written as u64;
+                    // Coalesce contiguous pieces of the same extent.
+                    match new_keys.last_mut() {
+                        Some(k)
+                            if k.partition_id == partition
+                                && k.extent_id == extent
+                                && k.extent_offset + k.size == ext_off
+                                && k.file_offset + k.size == file_offset =>
+                        {
+                            k.size += chunk as u64;
+                        }
+                        _ => new_keys.push(ExtentKey {
+                            file_offset,
+                            partition_id: partition,
+                            extent_id: extent,
+                            extent_offset: ext_off,
+                            size: chunk as u64,
+                        }),
+                    }
+                    written += chunk;
+                    f.append_target = Some((partition, extent, replicas, ext_off + chunk as u64));
+                }
+                Err(e) if e.is_retryable() || e.needs_new_partition() => {
+                    // §2.2.5: the committed prefix stays; resend the
+                    // remaining k−p bytes to a different partition.
+                    avoided.push(partition);
+                    f.append_target = None;
+                    attempts += 1;
+                    if attempts > self.options.max_retries {
+                        // Record what did commit before giving up.
+                        if !new_keys.is_empty() {
+                            let _ = self.sync_extents(f, &new_keys, f.size + written as u64);
+                        }
+                        return Err(CfsError::RetriesExhausted {
+                            op: "append".into(),
+                            attempts,
+                        });
+                    }
+                    // The partition table may be stale; refresh it.
+                    let _ = self.refresh_partition_table();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let new_size = f.size + data.len() as u64;
+        self.sync_extents(f, &new_keys, new_size)?;
+        f.extents.extend(new_keys);
+        f.size = new_size;
+        Ok(())
+    }
+
+    /// Small-file write (§2.2.3): one RPC to the PB leader, which packs
+    /// the bytes into a shared extent; no extent allocation round-trip.
+    fn write_small_file(&self, f: &mut FileHandle, data: &[u8]) -> Result<()> {
+        let mut avoided: Vec<PartitionId> = Vec::new();
+        for _ in 0..=self.options.max_retries {
+            let (partition, replicas) = self.random_data_partition(&avoided)?;
+            let req = DataRequest::WriteSmall {
+                partition,
+                data: Bytes::copy_from_slice(data),
+                replicas: replicas.clone(),
+            };
+            match self.fabrics.data.call(self.id, replicas[0], req)? {
+                Ok(DataResponse::Small(loc)) => {
+                    let key = ExtentKey {
+                        file_offset: 0,
+                        partition_id: partition,
+                        extent_id: loc.extent_id,
+                        extent_offset: loc.offset,
+                        size: loc.len,
+                    };
+                    self.sync_extents(f, std::slice::from_ref(&key), loc.len)?;
+                    f.extents.push(key);
+                    f.size = loc.len;
+                    return Ok(());
+                }
+                Ok(_) => return Err(CfsError::Internal("bad WriteSmall reply".into())),
+                Err(e) if e.is_retryable() || e.needs_new_partition() => {
+                    avoided.push(partition);
+                    let _ = self.refresh_partition_table();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CfsError::RetriesExhausted {
+            op: "write small file".into(),
+            attempts: self.options.max_retries + 1,
+        })
+    }
+
+    /// Record freshly committed extents + size at the inode's meta node
+    /// (§2.7.1 step 8, or the fsync path).
+    fn sync_extents(&self, f: &FileHandle, keys: &[ExtentKey], new_size: u64) -> Result<()> {
+        let (partition, members) = self.meta_partition_of(f.ino)?;
+        let updated = self
+            .meta_write(
+                partition,
+                &members,
+                MetaCommand::AppendExtents {
+                    inode: f.ino,
+                    extents: keys.to_vec(),
+                    new_size,
+                    now_ns: self.now_ns(),
+                },
+            )?
+            .into_inode()?;
+        self.cache_inode(&updated);
+        Ok(())
+    }
+
+    /// In-place overwrite (§2.7.2): for each extent piece covering the
+    /// range, propose through the partition's Raft group. Offsets and
+    /// metadata never change.
+    fn overwrite_range(&self, f: &FileHandle, offset: u64, data: &[u8]) -> Result<()> {
+        let mut remaining: &[u8] = data;
+        let mut cur = offset;
+        while !remaining.is_empty() {
+            let key = f
+                .extents
+                .iter()
+                .find(|k| k.contains(cur))
+                .copied()
+                .ok_or_else(|| CfsError::Internal(format!("no extent covering offset {cur}")))?;
+            let in_piece = (cur - key.file_offset) + key.extent_offset;
+            let n = ((key.file_offset + key.size - cur) as usize).min(remaining.len());
+            self.overwrite_extent(key.partition_id, key.extent_id, in_piece, &remaining[..n])?;
+            remaining = &remaining[n..];
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    /// One Raft-path overwrite, with leader discovery + retries.
+    fn overwrite_extent(
+        &self,
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        let members = self.data_partition_members(partition)?;
+        let mut last_err = CfsError::Unavailable("no data replicas".into());
+        for _ in 0..=self.options.max_retries {
+            let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
+            if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
+                order.push(l);
+            }
+            let cached0 = order.first().copied();
+            order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
+            for node in order {
+                let req = DataRequest::Overwrite {
+                    partition,
+                    extent,
+                    offset,
+                    data: Bytes::copy_from_slice(data),
+                };
+                match self.fabrics.data.call(self.id, node, req) {
+                    Ok(Ok(DataResponse::None)) => {
+                        self.cache.lock().leader_cache.insert(partition, node);
+                        return Ok(());
+                    }
+                    Ok(Ok(_)) => return Err(CfsError::Internal("bad Overwrite reply".into())),
+                    Ok(Err(CfsError::NotLeader { hint, .. })) => {
+                        if let Some(h) = hint {
+                            self.cache.lock().leader_cache.insert(partition, h);
+                        }
+                        last_err = CfsError::NotLeader { partition, hint };
+                    }
+                    Ok(Err(e)) if e.is_retryable() => last_err = e,
+                    Ok(Err(e)) => return Err(e),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (§2.7.4)
+    // ------------------------------------------------------------------
+
+    /// Read at the cursor.
+    pub fn read(&self, f: &mut FileHandle, len: usize) -> Result<Vec<u8>> {
+        let out = self.read_at(f, f.pos, len)?;
+        f.pos += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Positioned read: walks the cached extent keys; requests are
+    /// constructed entirely from the client cache (§2.7.4).
+    pub fn read_at(&self, f: &FileHandle, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if offset >= f.size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(f.size);
+        let mut out = vec![0u8; (end - offset) as usize];
+        for key in &f.extents {
+            let lo = key.file_offset.max(offset);
+            let hi = (key.file_offset + key.size).min(end);
+            if lo >= hi {
+                continue;
+            }
+            let piece = self.read_extent(
+                key.partition_id,
+                key.extent_id,
+                key.extent_offset + (lo - key.file_offset),
+                hi - lo,
+            )?;
+            let dst = (lo - offset) as usize;
+            out[dst..dst + piece.len()].copy_from_slice(&piece);
+        }
+        Ok(out)
+    }
+
+    /// Flush client state for this file to the meta node. Extent keys are
+    /// already synced per write; fsync refreshes the inode image (§2.7.1:
+    /// "synchronizes with meta node periodically or upon fsync").
+    pub fn fsync(&self, f: &mut FileHandle) -> Result<()> {
+        let inode = self.stat(f.ino)?;
+        f.size = inode.size;
+        f.extents = inode.extents;
+        Ok(())
+    }
+
+    /// Truncate the file, queueing data cleanup for the cut extents.
+    pub fn truncate_file(&self, f: &mut FileHandle, size: u64) -> Result<()> {
+        if size > f.size {
+            return Err(CfsError::InvalidArgument(
+                "extending truncate unsupported".into(),
+            ));
+        }
+        let (partition, members) = self.meta_partition_of(f.ino)?;
+        let removed = self
+            .meta_write(
+                partition,
+                &members,
+                MetaCommand::Truncate {
+                    inode: f.ino,
+                    size,
+                    now_ns: self.now_ns(),
+                },
+            )?
+            .into_extents()?;
+        self.queue_extent_cleanup(&removed);
+        f.size = size;
+        f.extents.retain(|k| k.file_offset < size);
+        if let Some(last) = f.extents.last_mut() {
+            if last.file_offset + last.size > size {
+                last.size = size - last.file_offset;
+            }
+        }
+        f.append_target = None;
+        f.pos = f.pos.min(size);
+        Ok(())
+    }
+
+    /// Asynchronously delete a file's content (§2.7.3): queue extent
+    /// removals / hole punches on the owning data partitions.
+    pub fn queue_extent_cleanup(&self, keys: &[ExtentKey]) {
+        for key in keys {
+            let Ok(members) = self.data_partition_members(key.partition_id) else {
+                continue;
+            };
+            if key.extent_offset == 0 && !self.config.is_small_file(key.size) {
+                // Dedicated large-file extent: remove it outright (§2.2.3).
+                let _ = self.fabrics.data.call(
+                    self.id,
+                    members[0],
+                    DataRequest::QueueDeleteExtent {
+                        partition: key.partition_id,
+                        extent: key.extent_id,
+                        replicas: members.clone(),
+                    },
+                );
+            } else {
+                // Shared small-file extent: punch the file's range.
+                let _ = self.fabrics.data.call(
+                    self.id,
+                    members[0],
+                    DataRequest::QueuePunch {
+                        partition: key.partition_id,
+                        extent: key.extent_id,
+                        offset: key.extent_offset,
+                        len: key.size,
+                        replicas: members.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Background deletion pass (§2.7.3): evict orphaned/marked inodes and
+    /// hand their extents to the data nodes, then run the data-side
+    /// deletion queues. Returns (inodes reclaimed, data tasks executed).
+    pub fn process_deletions(&self) -> (usize, usize) {
+        let orphans = std::mem::take(&mut self.cache.lock().orphans);
+        let mut reclaimed = 0;
+        for (partition, inode) in orphans {
+            let Ok((_, members)) = self.meta_partition_of(inode) else {
+                continue;
+            };
+            match self.meta_write(partition, &members, MetaCommand::Evict { inode }) {
+                Ok(v) => {
+                    if let Ok(ino) = v.into_inode() {
+                        self.queue_extent_cleanup(&ino.extents);
+                    }
+                    reclaimed += 1;
+                }
+                Err(CfsError::NotFound(_)) => reclaimed += 1,
+                Err(_) => self.cache.lock().orphans.push((partition, inode)),
+            }
+        }
+        // Run the data-side queues on every partition we know about.
+        let partitions: Vec<(PartitionId, Vec<NodeId>)> = {
+            let cache = self.cache.lock();
+            cache
+                .data_partitions
+                .iter()
+                .map(|p| (p.partition, p.members.clone()))
+                .collect()
+        };
+        let mut executed = 0;
+        for (partition, members) in partitions {
+            for &m in &members {
+                if let Ok(Ok(DataResponse::Processed(n))) =
+                    self.fabrics
+                        .data
+                        .call(self.id, m, DataRequest::ProcessDeletes { partition })
+                {
+                    executed += n;
+                }
+            }
+        }
+        (reclaimed, executed)
+    }
+}
+
+impl FileHandle {
+    /// The file's inode.
+    pub fn ino(&self) -> InodeId {
+        self.ino
+    }
+
+    /// Size as cached by this handle.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Cursor position.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Absolute seek.
+    pub fn seek(&mut self, pos: u64) {
+        self.pos = pos;
+    }
+
+    /// Extent keys cached by this handle.
+    pub fn extents(&self) -> &[ExtentKey] {
+        &self.extents
+    }
+}

@@ -1,0 +1,131 @@
+//! fsck: the administrator repair tool of §2.6.
+//!
+//! The relaxed metadata atomicity can leave *orphan inodes* — inodes with
+//! no dentry pointing at them — when a client dies before flushing its
+//! local orphan list, or when all unlink retries fail ("the administrator
+//! may need to manually resolve the issue", §2.6.3). `fsck` rebuilds the
+//! reachability picture across every meta partition of the volume and
+//! reclaims what nothing references.
+
+use std::collections::HashSet;
+
+use cfs_meta::{MetaCommand, MetaRead};
+use cfs_types::{FileType, InodeId, Result, ROOT_INODE};
+
+use crate::client::Client;
+
+/// What an fsck pass found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Inodes scanned across all partitions.
+    pub inodes_scanned: u64,
+    /// Dentries scanned across all partitions.
+    pub dentries_scanned: u64,
+    /// Orphan inodes found (unreferenced by any dentry).
+    pub orphans_found: u64,
+    /// Orphans evicted (data cleanup queued for their extents).
+    pub orphans_reclaimed: u64,
+    /// Dentries whose target inode no longer exists. The §2.6 design
+    /// keeps this at zero ("a dentry is always associated with at least
+    /// one inode"); fsck reports violations rather than hiding them.
+    pub dangling_dentries: u64,
+}
+
+impl Client {
+    /// Scan the volume's metadata for orphan inodes and reclaim them.
+    ///
+    /// `reclaim = false` runs a dry audit (report only).
+    pub fn fsck(&self, reclaim: bool) -> Result<FsckReport> {
+        self.refresh_partition_table()?;
+        let partitions: Vec<_> = {
+            let cache = self.cache.lock();
+            cache
+                .meta_partitions
+                .iter()
+                .map(|p| (p.partition, p.members.clone()))
+                .collect()
+        };
+
+        // Pass 1: gather every inode and dentry in the volume.
+        let mut inodes = Vec::new();
+        let mut referenced: HashSet<InodeId> = HashSet::new();
+        let mut all_inode_ids: HashSet<InodeId> = HashSet::new();
+        let mut report = FsckReport::default();
+        for (partition, members) in &partitions {
+            let inos = self
+                .meta_read(*partition, members, MetaRead::ListAllInodes)?
+                .into_inodes()?;
+            for ino in inos {
+                all_inode_ids.insert(ino.id);
+                inodes.push((*partition, ino));
+                report.inodes_scanned += 1;
+            }
+            let dents = self
+                .meta_read(*partition, members, MetaRead::ListAllDentries)?
+                .into_dentries()?;
+            for d in dents {
+                referenced.insert(d.inode);
+                report.dentries_scanned += 1;
+            }
+        }
+
+        // Pass 2: dangling-dentry audit (now that all inodes are known —
+        // a dentry's inode may live on a partition scanned after it).
+        for (partition, members) in &partitions {
+            let dents = self
+                .meta_read(*partition, members, MetaRead::ListAllDentries)?
+                .into_dentries()?;
+            report.dangling_dentries += dents
+                .iter()
+                .filter(|d| !all_inode_ids.contains(&d.inode))
+                .count() as u64;
+        }
+
+        // Pass 3: orphans = inodes no dentry references, except the root
+        // (reachable by definition) and live directories' implicit self
+        // references. Mark-deleted inodes are reclaimable regardless.
+        for (partition, ino) in inodes {
+            let is_root = ino.id == ROOT_INODE;
+            let unreferenced = !referenced.contains(&ino.id);
+            let reclaimable = ino.flag.is_mark_deleted()
+                || (unreferenced
+                    && !is_root
+                    && (ino.file_type != FileType::Dir || ino.nlink <= 2));
+            if !reclaimable {
+                continue;
+            }
+            report.orphans_found += 1;
+            if reclaim {
+                let members = partitions
+                    .iter()
+                    .find(|(p, _)| *p == partition)
+                    .map(|(_, m)| m.clone())
+                    .unwrap_or_default();
+                // On failure the orphan is simply left for the next pass.
+                if let Ok(v) =
+                    self.meta_write(partition, &members, MetaCommand::Evict { inode: ino.id })
+                {
+                    if let Ok(evicted) = v.into_inode() {
+                        self.queue_extent_cleanup(&evicted.extents);
+                    }
+                    report.orphans_reclaimed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end in the workspace integration tests (fsck needs
+    // a full cluster); unit coverage here is for the report type.
+    use super::*;
+
+    #[test]
+    fn report_defaults_clean() {
+        let r = FsckReport::default();
+        assert_eq!(r.orphans_found, 0);
+        assert_eq!(r.dangling_dentries, 0);
+    }
+}

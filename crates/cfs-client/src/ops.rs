@@ -1,0 +1,404 @@
+//! Metadata operations: the Fig. 3 workflows and friends.
+
+use cfs_meta::{MetaCommand, MetaRead};
+use cfs_types::{CfsError, Dentry, FileType, Inode, InodeId, Result};
+
+use crate::client::Client;
+
+impl Client {
+    // ------------------------------------------------------------------
+    // Create (Fig. 3a)
+    // ------------------------------------------------------------------
+
+    /// Create a file/directory/symlink under `parent`.
+    ///
+    /// Workflow (§2.6.1): pick an available meta partition, create the
+    /// inode there, then create the dentry on the *parent's* partition.
+    /// If the dentry step fails, unlink the fresh inode and put it on the
+    /// local orphan list for a later evict.
+    pub fn create_entry(
+        &self,
+        parent: InodeId,
+        name: &str,
+        file_type: FileType,
+        link_target: &[u8],
+    ) -> Result<Inode> {
+        if name.is_empty() || name.contains('/') {
+            return Err(CfsError::InvalidArgument(format!("bad name {name:?}")));
+        }
+        // Step 1: inode on a random writable partition.
+        let (ino_partition, ino_members) = self.random_meta_partition()?;
+        let inode = self
+            .meta_write(
+                ino_partition,
+                &ino_members,
+                MetaCommand::CreateInode {
+                    file_type,
+                    link_target: link_target.to_vec(),
+                    now_ns: self.now_ns(),
+                },
+            )?
+            .into_inode()?;
+
+        // Step 2: dentry on the parent's partition — possibly a different
+        // meta node (§2.6: no cross-node atomicity).
+        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
+        let dentry_result = self.meta_write(dent_partition, &dent_members, {
+            MetaCommand::CreateDentry {
+                parent,
+                name: name.to_string(),
+                inode: inode.id,
+                file_type,
+            }
+        });
+
+        match dentry_result {
+            Ok(v) => {
+                let d = v.into_dentry()?;
+                self.cache_inode(&inode);
+                self.cache_dentry(&d);
+                Ok(inode)
+            }
+            Err(e) => {
+                // Failure path: roll the inode back and orphan-list it.
+                let _ = self.meta_write(
+                    ino_partition,
+                    &ino_members,
+                    MetaCommand::Unlink {
+                        inode: inode.id,
+                        now_ns: self.now_ns(),
+                    },
+                );
+                self.push_orphan(ino_partition, inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Create a regular file.
+    pub fn create(&self, parent: InodeId, name: &str) -> Result<Inode> {
+        self.create_entry(parent, name, FileType::File, b"")
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, parent: InodeId, name: &str) -> Result<Inode> {
+        self.create_entry(parent, name, FileType::Dir, b"")
+    }
+
+    /// Create a symlink pointing at `target`.
+    pub fn symlink(&self, parent: InodeId, name: &str, target: &[u8]) -> Result<Inode> {
+        self.create_entry(parent, name, FileType::Symlink, target)
+    }
+
+    /// Read a symlink's target.
+    pub fn readlink(&self, ino: InodeId) -> Result<Vec<u8>> {
+        let inode = self.stat(ino)?;
+        if inode.file_type != FileType::Symlink {
+            return Err(CfsError::InvalidArgument(format!("{ino}: not a symlink")));
+        }
+        Ok(inode.link_target)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup / stat / readdir
+    // ------------------------------------------------------------------
+
+    /// Look up `name` under `parent` (dentry routed by parent id).
+    pub fn lookup(&self, parent: InodeId, name: &str) -> Result<Dentry> {
+        let (partition, members) = self.meta_partition_of(parent)?;
+        let d = self
+            .meta_read(
+                partition,
+                &members,
+                MetaRead::Lookup {
+                    parent,
+                    name: name.to_string(),
+                },
+            )?
+            .into_dentry()?;
+        self.cache_dentry(&d);
+        Ok(d)
+    }
+
+    /// Fetch an inode, bypassing the cache (used by open's force-sync,
+    /// §2.4).
+    pub fn stat(&self, ino: InodeId) -> Result<Inode> {
+        let (partition, members) = self.meta_partition_of(ino)?;
+        let inode = self
+            .meta_read(partition, &members, MetaRead::GetInode { inode: ino })?
+            .into_inode()?;
+        self.cache_inode(&inode);
+        Ok(inode)
+    }
+
+    /// List a directory (one range scan on the parent's partition).
+    pub fn readdir(&self, parent: InodeId) -> Result<Vec<Dentry>> {
+        let (partition, members) = self.meta_partition_of(parent)?;
+        self.meta_read(partition, &members, MetaRead::ReadDir { parent })?
+            .into_dentries()
+    }
+
+    /// `readdir` plus attributes: batches the inode fetches per partition
+    /// (the paper's `batchInodeGet`, which replaces Ceph's per-inode
+    /// request storm, §4.2) and serves repeats from the client cache.
+    pub fn readdir_plus(&self, parent: InodeId) -> Result<Vec<(Dentry, Inode)>> {
+        let dentries = self.readdir(parent)?;
+        // Group wanted inode ids by owning partition.
+        let mut by_partition: std::collections::HashMap<
+            cfs_types::PartitionId,
+            (Vec<cfs_types::NodeId>, Vec<InodeId>),
+        > = Default::default();
+        let mut inodes: std::collections::HashMap<InodeId, Inode> = Default::default();
+        for d in &dentries {
+            if let Some(ino) = self.cached_inode(d.inode) {
+                inodes.insert(d.inode, ino);
+                continue;
+            }
+            let (p, members) = self.meta_partition_of(d.inode)?;
+            let e = by_partition
+                .entry(p)
+                .or_insert_with(|| (members, Vec::new()));
+            e.1.push(d.inode);
+        }
+        for (partition, (members, ids)) in by_partition {
+            let got = self
+                .meta_read(
+                    partition,
+                    &members,
+                    MetaRead::BatchGetInodes { inodes: ids },
+                )?
+                .into_inodes()?;
+            for ino in got {
+                self.cache_inode(&ino);
+                inodes.insert(ino.id, ino);
+            }
+        }
+        let mut out = Vec::with_capacity(dentries.len());
+        for d in dentries {
+            if let Some(ino) = inodes.get(&d.inode) {
+                out.push((d, ino.clone()));
+            }
+            // A dentry whose inode vanished mid-listing is skipped — the
+            // relaxed-atomicity model allows the race (§2.6).
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Link (Fig. 3b)
+    // ------------------------------------------------------------------
+
+    /// Hard-link `ino` as `parent/name`.
+    ///
+    /// Workflow (§2.6.2): nlink++ at the inode's meta node, then create
+    /// the dentry at the parent's; on dentry failure, nlink-- rollback.
+    pub fn link(&self, parent: InodeId, name: &str, ino: InodeId) -> Result<()> {
+        let (ino_partition, ino_members) = self.meta_partition_of(ino)?;
+        let linked = self
+            .meta_write(
+                ino_partition,
+                &ino_members,
+                MetaCommand::Link { inode: ino },
+            )?
+            .into_inode()?;
+        if linked.is_dir() {
+            // Roll back: directories cannot be hard-linked.
+            let _ = self.meta_write(
+                ino_partition,
+                &ino_members,
+                MetaCommand::Unlink {
+                    inode: ino,
+                    now_ns: self.now_ns(),
+                },
+            );
+            return Err(CfsError::IsADirectory(ino));
+        }
+        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
+        let created = self.meta_write(
+            dent_partition,
+            &dent_members,
+            MetaCommand::CreateDentry {
+                parent,
+                name: name.to_string(),
+                inode: ino,
+                file_type: linked.file_type,
+            },
+        );
+        match created {
+            Ok(v) => {
+                self.cache_dentry(&v.into_dentry()?);
+                self.cache_inode(&linked);
+                Ok(())
+            }
+            Err(e) => {
+                // SUCCESSFUL/FAILED branches of Fig. 3b: undo the nlink++.
+                let _ = self.meta_write(
+                    ino_partition,
+                    &ino_members,
+                    MetaCommand::Unlink {
+                        inode: ino,
+                        now_ns: self.now_ns(),
+                    },
+                );
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Unlink (Fig. 3c) and rmdir
+    // ------------------------------------------------------------------
+
+    /// Remove `parent/name`.
+    ///
+    /// Workflow (§2.6.3): delete the dentry first; only then nlink-- at
+    /// the inode's node. At the type threshold (0 for files) the inode is
+    /// marked deleted and reclaimed asynchronously (§2.7.3).
+    pub fn unlink(&self, parent: InodeId, name: &str) -> Result<()> {
+        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
+        let dentry = self
+            .meta_write(
+                dent_partition,
+                &dent_members,
+                MetaCommand::DeleteDentry {
+                    parent,
+                    name: name.to_string(),
+                },
+            )?
+            .into_dentry()?;
+        self.uncache_dentry(parent, name);
+
+        let ino = dentry.inode;
+        let (ino_partition, ino_members) = self.meta_partition_of(ino)?;
+        match self.meta_write(
+            ino_partition,
+            &ino_members,
+            MetaCommand::Unlink {
+                inode: ino,
+                now_ns: self.now_ns(),
+            },
+        ) {
+            Ok(v) => {
+                let inode = v.into_inode()?;
+                self.uncache_inode(ino);
+                if inode.nlink == 0 {
+                    // Threshold reached: mark deleted; data reclaimed by
+                    // the asynchronous delete pass.
+                    let _ = self.meta_write(ino_partition, &ino_members, {
+                        MetaCommand::MarkDeleted { inode: ino }
+                    });
+                    self.push_orphan(ino_partition, ino);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // All retries failed: the inode is now an orphan the
+                // administrator may need to resolve (§2.6.3). Record it.
+                self.push_orphan(ino_partition, ino);
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, parent: InodeId, name: &str) -> Result<()> {
+        let dentry = self.lookup(parent, name)?;
+        if dentry.file_type != FileType::Dir {
+            return Err(CfsError::NotADirectory(dentry.inode));
+        }
+        let (dir_partition, dir_members) = self.meta_partition_of(dentry.inode)?;
+        // Emptiness check on the directory's own partition.
+        let count = match self.meta_read(
+            dir_partition,
+            &dir_members,
+            MetaRead::DirEntryCount {
+                parent: dentry.inode,
+            },
+        )? {
+            cfs_meta::MetaValue::Count(c) => c,
+            _ => return Err(CfsError::Internal("bad DirEntryCount reply".into())),
+        };
+        if count > 0 {
+            return Err(CfsError::NotEmpty(dentry.inode));
+        }
+
+        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
+        self.meta_write(
+            dent_partition,
+            &dent_members,
+            MetaCommand::DeleteDentry {
+                parent,
+                name: name.to_string(),
+            },
+        )?;
+        self.uncache_dentry(parent, name);
+        // Directory threshold is 2 (§2.6.3): one decrement takes a fresh
+        // dir from 2 → 1, below threshold → reclaim.
+        let after = self
+            .meta_write(
+                dir_partition,
+                &dir_members,
+                MetaCommand::Unlink {
+                    inode: dentry.inode,
+                    now_ns: self.now_ns(),
+                },
+            )?
+            .into_inode()?;
+        if after.nlink < FileType::Dir.unlink_threshold() {
+            let _ = self.meta_write(
+                dir_partition,
+                &dir_members,
+                MetaCommand::MarkDeleted {
+                    inode: dentry.inode,
+                },
+            );
+            self.push_orphan(dir_partition, dentry.inode);
+        }
+        self.uncache_inode(dentry.inode);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Rename
+    // ------------------------------------------------------------------
+
+    /// Rename `old_parent/old_name` to `new_parent/new_name`.
+    ///
+    /// Composed from the link + unlink workflows (no cross-partition
+    /// transaction, per the §2.6 relaxation): the new dentry is created
+    /// first, so the file is always reachable under at least one name.
+    /// Fails with `Exists` if the destination is taken.
+    pub fn rename(
+        &self,
+        old_parent: InodeId,
+        old_name: &str,
+        new_parent: InodeId,
+        new_name: &str,
+    ) -> Result<()> {
+        let dentry = self.lookup(old_parent, old_name)?;
+        let (new_partition, new_members) = self.meta_partition_of(new_parent)?;
+        self.meta_write(
+            new_partition,
+            &new_members,
+            MetaCommand::CreateDentry {
+                parent: new_parent,
+                name: new_name.to_string(),
+                inode: dentry.inode,
+                file_type: dentry.file_type,
+            },
+        )?;
+        let (old_partition, old_members) = self.meta_partition_of(old_parent)?;
+        // Remove the old name; nlink is untouched (same count of dentries
+        // before and after).
+        self.meta_write(
+            old_partition,
+            &old_members,
+            MetaCommand::DeleteDentry {
+                parent: old_parent,
+                name: old_name.to_string(),
+            },
+        )?;
+        self.uncache_dentry(old_parent, old_name);
+        Ok(())
+    }
+}

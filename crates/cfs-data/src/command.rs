@@ -1,0 +1,111 @@
+//! Raft-replicated commands of the overwrite path (§2.2.4).
+
+use cfs_types::codec::{Decode, Decoder, Encode, Encoder};
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, ExtentId, Result};
+
+/// A command proposed through a data partition's Raft group. Only
+/// overwrites travel this path — appends use primary-backup (§2.2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataCommand {
+    Overwrite {
+        extent: ExtentId,
+        offset: u64,
+        data: Vec<u8>,
+        crc: u32,
+    },
+}
+
+impl DataCommand {
+    /// An overwrite command with its payload CRC computed.
+    pub fn overwrite(extent: ExtentId, offset: u64, data: Vec<u8>) -> Self {
+        let crc = crc32(&data);
+        DataCommand::Overwrite {
+            extent,
+            offset,
+            data,
+            crc,
+        }
+    }
+
+    /// Verify payload integrity.
+    pub fn verify(&self) -> Result<()> {
+        match self {
+            DataCommand::Overwrite { data, crc, .. } => {
+                if crc32(data) != *crc {
+                    return Err(CfsError::Corrupt("overwrite payload crc mismatch".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Encode for DataCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            DataCommand::Overwrite {
+                extent,
+                offset,
+                data,
+                crc,
+            } => {
+                enc.put_u8(0);
+                extent.encode(enc);
+                enc.put_u64(*offset);
+                enc.put_bytes(data);
+                enc.put_u32(*crc);
+            }
+        }
+    }
+}
+
+impl Decode for DataCommand {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.get_u8()? {
+            0 => Ok(DataCommand::Overwrite {
+                extent: ExtentId::decode(dec)?,
+                offset: dec.get_u64()?,
+                data: dec.get_bytes()?.to_vec(),
+                crc: dec.get_u32()?,
+            }),
+            b => Err(CfsError::Corrupt(format!("invalid data command tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_types::codec::roundtrip;
+
+    #[test]
+    fn codec_roundtrip() {
+        let c = DataCommand::overwrite(ExtentId(3), 4096, vec![1, 2, 3]);
+        assert_eq!(roundtrip(&c).unwrap(), c);
+        assert!(c.verify().is_ok());
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let DataCommand::Overwrite {
+            extent,
+            offset,
+            mut data,
+            crc,
+        } = DataCommand::overwrite(ExtentId(1), 0, vec![9; 64]);
+        data[10] ^= 1;
+        let c = DataCommand::Overwrite {
+            extent,
+            offset,
+            data,
+            crc,
+        };
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        assert!(DataCommand::from_bytes(&[42]).is_err());
+    }
+}

@@ -1,0 +1,771 @@
+//! The data node: partitions, chain replication, Raft overwrites,
+//! recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use cfs_net::Network;
+use cfs_raft::hub::{RaftHost, RaftHub};
+use cfs_raft::{MultiRaft, RaftConfig, WireEnvelope};
+use cfs_store::SmallFileLocation;
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, ExtentId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
+
+use crate::command::DataCommand;
+use crate::replica::{DataPartitionReplica, PartitionStats};
+
+/// Size/CRC/watermark facts about one extent on one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentInfo {
+    pub extent: ExtentId,
+    pub size: u64,
+    pub committed: u64,
+    pub crc: u32,
+}
+
+/// RPCs a data node serves. Write requests carry the full replica array
+/// (§2.7.1: the client got it from the resource manager and sends to index
+/// 0); each node forwards to its downstream successor.
+#[derive(Debug, Clone)]
+pub enum DataRequest {
+    /// Resource-manager task: host a replica of a new partition.
+    CreatePartition {
+        partition: PartitionId,
+        volume: VolumeId,
+        members: Vec<NodeId>,
+        small_extent_rotate_at: u64,
+        extent_limit: u64,
+    },
+    /// Allocate a fresh extent (large-file write path). Sent to the PB
+    /// leader, which picks the id and chain-replicates the creation.
+    CreateExtent { partition: PartitionId },
+    /// Chain-internal: create an extent with a known id.
+    CreateExtentAt {
+        partition: PartitionId,
+        extent: ExtentId,
+        replicas: Vec<NodeId>,
+    },
+    /// Sequential-write packet (§2.7.1): append at the extent watermark.
+    Append {
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: Bytes,
+        crc: u32,
+        replicas: Vec<NodeId>,
+    },
+    /// Small-file write: the PB leader packs it into the shared extent and
+    /// chain-replicates the placement (§2.2.3).
+    WriteSmall {
+        partition: PartitionId,
+        data: Bytes,
+        replicas: Vec<NodeId>,
+    },
+    /// In-place overwrite, Raft-replicated (§2.2.4). Sent to the Raft
+    /// leader.
+    Overwrite {
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: Bytes,
+    },
+    /// Read committed bytes (served at the Raft leader, §2.7.4).
+    Read {
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        len: u64,
+        /// Clamp to the PB-committed watermark (true on the PB leader).
+        enforce_committed: bool,
+    },
+    /// Extent facts (recovery, scrubbing).
+    ExtentInfo {
+        partition: PartitionId,
+        extent: ExtentId,
+    },
+    /// Queue a whole-extent delete (large file), chain-replicated.
+    QueueDeleteExtent {
+        partition: PartitionId,
+        extent: ExtentId,
+        replicas: Vec<NodeId>,
+    },
+    /// Queue a punch-hole delete (small file), chain-replicated.
+    QueuePunch {
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        len: u64,
+        replicas: Vec<NodeId>,
+    },
+    /// Run the background deletion pass on one partition.
+    ProcessDeletes { partition: PartitionId },
+    /// Resource-manager task: mark the partition read-only (§2.3.3).
+    SetReadOnly { partition: PartitionId, ro: bool },
+    /// Recovery-internal: truncate an extent to align replicas (§2.2.5).
+    TruncateExtent {
+        partition: PartitionId,
+        extent: ExtentId,
+        size: u64,
+    },
+    /// PB-leader recovery: align every extent across replicas, then Raft
+    /// replay proceeds (§2.2.5).
+    Recover { partition: PartitionId },
+    /// Utilization report (heartbeat body).
+    Report,
+}
+
+/// Replies to [`DataRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataResponse {
+    Created,
+    Extent(ExtentId),
+    /// New committed watermark after an append.
+    Watermark(u64),
+    Small(SmallFileLocation),
+    Data(Vec<u8>),
+    Info(ExtentInfo),
+    Report(Vec<PartitionStats>),
+    /// Deletions executed by a background pass.
+    Processed(usize),
+    None,
+}
+
+/// A data node (§2.2): hosts data partition replicas, speaks both
+/// replication protocols, and serves the client data path.
+pub struct DataNode {
+    id: NodeId,
+    hub: RaftHub,
+    net: Network<DataRequest, Result<DataResponse>>,
+    partitions: Mutex<HashMap<PartitionId, DataPartitionReplica>>,
+    /// Per-partition chain-order locks: the PB leader holds one across
+    /// apply + downstream forwarding so replicas see appends in leader
+    /// order (chain replication is serial per partition).
+    chain_order: Mutex<HashMap<PartitionId, Arc<Mutex<()>>>>,
+    raft: Mutex<RaftState>,
+    commit_timeout_ticks: u64,
+}
+
+struct RaftState {
+    multiraft: MultiRaft,
+    results: HashMap<(RaftGroupId, u64), Result<()>>,
+}
+
+impl DataNode {
+    /// Create a data node and register it on the raft hub. The caller
+    /// registers it on `net` (so tests can interpose).
+    pub fn new(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        raft_config: RaftConfig,
+        seed: u64,
+    ) -> Arc<Self> {
+        let node = Arc::new(DataNode {
+            id,
+            hub: hub.clone(),
+            net,
+            partitions: Mutex::new(HashMap::new()),
+            chain_order: Mutex::new(HashMap::new()),
+            raft: Mutex::new(RaftState {
+                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                results: HashMap::new(),
+            }),
+            commit_timeout_ticks: 2_000,
+        });
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn group_of(partition: PartitionId) -> RaftGroupId {
+        RaftGroupId(partition.raw())
+    }
+
+    /// Downstream successor of this node in a replica chain.
+    fn next_in_chain(&self, replicas: &[NodeId]) -> Option<NodeId> {
+        replicas
+            .iter()
+            .position(|&n| n == self.id)
+            .and_then(|i| replicas.get(i + 1))
+            .copied()
+    }
+
+    /// Handle one RPC (the `cfs-net` service entry point).
+    pub fn handle(&self, req: DataRequest) -> Result<DataResponse> {
+        match req {
+            DataRequest::CreatePartition {
+                partition,
+                volume,
+                members,
+                small_extent_rotate_at,
+                extent_limit,
+            } => {
+                self.create_partition(
+                    partition,
+                    volume,
+                    members,
+                    small_extent_rotate_at,
+                    extent_limit,
+                )?;
+                Ok(DataResponse::Created)
+            }
+            DataRequest::CreateExtent { partition } => {
+                let (extent, replicas) = {
+                    let mut parts = self.partitions.lock();
+                    let r = Self::part_mut(&mut parts, partition)?;
+                    if r.pb_leader() != self.id {
+                        return Err(CfsError::NotLeader {
+                            partition,
+                            hint: Some(r.pb_leader()),
+                        });
+                    }
+                    (r.allocate_extent()?, r.members().to_vec())
+                };
+                self.forward_chain(
+                    &replicas,
+                    DataRequest::CreateExtentAt {
+                        partition,
+                        extent,
+                        replicas: replicas.clone(),
+                    },
+                )?;
+                Ok(DataResponse::Extent(extent))
+            }
+            DataRequest::CreateExtentAt {
+                partition,
+                extent,
+                replicas,
+            } => {
+                {
+                    let mut parts = self.partitions.lock();
+                    let r = Self::part_mut(&mut parts, partition)?;
+                    // Idempotent for chain retries.
+                    if !r.has_extent(extent) {
+                        r.create_extent(extent)?;
+                    }
+                }
+                self.forward_chain(
+                    &replicas,
+                    DataRequest::CreateExtentAt {
+                        partition,
+                        extent,
+                        replicas: replicas.clone(),
+                    },
+                )?;
+                Ok(DataResponse::Created)
+            }
+            DataRequest::Append {
+                partition,
+                extent,
+                offset,
+                data,
+                crc,
+                replicas,
+            } => self.handle_append(partition, extent, offset, data, crc, replicas),
+            DataRequest::WriteSmall {
+                partition,
+                data,
+                replicas,
+            } => self.handle_write_small(partition, data, replicas),
+            DataRequest::Overwrite {
+                partition,
+                extent,
+                offset,
+                data,
+            } => {
+                self.handle_overwrite(partition, extent, offset, &data)?;
+                Ok(DataResponse::None)
+            }
+            DataRequest::Read {
+                partition,
+                extent,
+                offset,
+                len,
+                enforce_committed,
+            } => {
+                let parts = self.partitions.lock();
+                let r = Self::part(&parts, partition)?;
+                let data = r.read(extent, offset, len as usize, enforce_committed)?;
+                Ok(DataResponse::Data(data))
+            }
+            DataRequest::ExtentInfo { partition, extent } => {
+                let mut parts = self.partitions.lock();
+                let r = Self::part_mut(&mut parts, partition)?;
+                let size = r.extent_size(extent)?;
+                let committed = r.committed(extent);
+                let crc = r.extent_crc(extent)?;
+                Ok(DataResponse::Info(ExtentInfo {
+                    extent,
+                    size,
+                    committed,
+                    crc,
+                }))
+            }
+            DataRequest::QueueDeleteExtent {
+                partition,
+                extent,
+                replicas,
+            } => {
+                {
+                    let mut parts = self.partitions.lock();
+                    Self::part_mut(&mut parts, partition)?.queue_delete_extent(extent);
+                }
+                self.forward_chain(
+                    &replicas,
+                    DataRequest::QueueDeleteExtent {
+                        partition,
+                        extent,
+                        replicas: replicas.clone(),
+                    },
+                )?;
+                Ok(DataResponse::None)
+            }
+            DataRequest::QueuePunch {
+                partition,
+                extent,
+                offset,
+                len,
+                replicas,
+            } => {
+                {
+                    let mut parts = self.partitions.lock();
+                    Self::part_mut(&mut parts, partition)?.queue_punch(extent, offset, len);
+                }
+                self.forward_chain(
+                    &replicas,
+                    DataRequest::QueuePunch {
+                        partition,
+                        extent,
+                        offset,
+                        len,
+                        replicas: replicas.clone(),
+                    },
+                )?;
+                Ok(DataResponse::None)
+            }
+            DataRequest::ProcessDeletes { partition } => {
+                let mut parts = self.partitions.lock();
+                let n = Self::part_mut(&mut parts, partition)?.process_delete_queue();
+                Ok(DataResponse::Processed(n))
+            }
+            DataRequest::SetReadOnly { partition, ro } => {
+                let mut parts = self.partitions.lock();
+                Self::part_mut(&mut parts, partition)?.set_read_only(ro);
+                Ok(DataResponse::None)
+            }
+            DataRequest::TruncateExtent {
+                partition,
+                extent,
+                size,
+            } => {
+                let mut parts = self.partitions.lock();
+                Self::part_mut(&mut parts, partition)?.truncate(extent, size)?;
+                Ok(DataResponse::None)
+            }
+            DataRequest::Recover { partition } => {
+                let repaired = self.recover_partition(partition)?;
+                Ok(DataResponse::Processed(repaired))
+            }
+            DataRequest::Report => {
+                let parts = self.partitions.lock();
+                let mut stats: Vec<PartitionStats> = parts.values().map(|r| r.stats()).collect();
+                stats.sort_by_key(|s| s.partition_id);
+                Ok(DataResponse::Report(stats))
+            }
+        }
+    }
+
+    fn part(
+        parts: &HashMap<PartitionId, DataPartitionReplica>,
+        pid: PartitionId,
+    ) -> Result<&DataPartitionReplica> {
+        parts
+            .get(&pid)
+            .ok_or_else(|| CfsError::NotFound(format!("{pid}")))
+    }
+
+    fn part_mut(
+        parts: &mut HashMap<PartitionId, DataPartitionReplica>,
+        pid: PartitionId,
+    ) -> Result<&mut DataPartitionReplica> {
+        parts
+            .get_mut(&pid)
+            .ok_or_else(|| CfsError::NotFound(format!("{pid}")))
+    }
+
+    /// Create a partition replica (idempotent for RM task retries).
+    pub fn create_partition(
+        &self,
+        partition: PartitionId,
+        volume: VolumeId,
+        members: Vec<NodeId>,
+        small_extent_rotate_at: u64,
+        extent_limit: u64,
+    ) -> Result<()> {
+        let mut parts = self.partitions.lock();
+        if let Some(existing) = parts.get(&partition) {
+            if existing.members() == members.as_slice() {
+                return Ok(());
+            }
+            return Err(CfsError::Exists(format!("{partition}")));
+        }
+        self.raft
+            .lock()
+            .multiraft
+            .create_group(Self::group_of(partition), members.clone())?;
+        parts.insert(
+            partition,
+            DataPartitionReplica::new(
+                partition,
+                volume,
+                members,
+                small_extent_rotate_at,
+                extent_limit,
+            ),
+        );
+        Ok(())
+    }
+
+    fn chain_lock(&self, partition: PartitionId) -> Arc<Mutex<()>> {
+        self.chain_order
+            .lock()
+            .entry(partition)
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone()
+    }
+
+    /// Forward a chain request to this node's successor, if any.
+    fn forward_chain(&self, replicas: &[NodeId], req: DataRequest) -> Result<()> {
+        if let Some(next) = self.next_in_chain(replicas) {
+            self.net.call(self.id, next, req)??;
+        }
+        Ok(())
+    }
+
+    /// Primary-backup append (§2.7.1 steps 3–7): verify CRC, apply
+    /// locally, forward down the chain; the PB leader advances the
+    /// committed watermark only after the whole chain acked.
+    fn handle_append(
+        &self,
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: Bytes,
+        crc: u32,
+        replicas: Vec<NodeId>,
+    ) -> Result<DataResponse> {
+        if crc32(&data) != crc {
+            return Err(CfsError::Corrupt("append packet crc mismatch".into()));
+        }
+        // The PB leader serializes apply + forwarding per partition so
+        // the chain observes its order; followers receive already-ordered
+        // traffic.
+        let am_chain_head = replicas.first() == Some(&self.id);
+        let order = if am_chain_head {
+            Some(self.chain_lock(partition))
+        } else {
+            None
+        };
+        let _order_guard = order.as_ref().map(|l| l.lock());
+        let is_pb_leader = {
+            let mut parts = self.partitions.lock();
+            let r = Self::part_mut(&mut parts, partition)?;
+            let leader = r.pb_leader();
+            if leader == self.id && replicas.first() != Some(&self.id) {
+                return Err(CfsError::InvalidArgument(
+                    "replica array does not start at the PB leader".into(),
+                ));
+            }
+            if leader != self.id && !replicas.contains(&self.id) {
+                return Err(CfsError::InvalidArgument(format!(
+                    "{}: not in replica chain",
+                    self.id
+                )));
+            }
+            r.apply_append(extent, offset, &data)?;
+            leader == self.id
+        };
+
+        // Forward with the lock released; a downstream failure leaves our
+        // local bytes as an uncommitted stale tail (§2.2.5) and surfaces
+        // the error to the sender.
+        self.forward_chain(
+            &replicas,
+            DataRequest::Append {
+                partition,
+                extent,
+                offset,
+                data: data.clone(),
+                crc,
+                replicas: replicas.clone(),
+            },
+        )?;
+
+        let new_watermark = offset + data.len() as u64;
+        if is_pb_leader {
+            let mut parts = self.partitions.lock();
+            Self::part_mut(&mut parts, partition)?.commit(extent, new_watermark);
+        }
+        Ok(DataResponse::Watermark(new_watermark))
+    }
+
+    /// Small-file write at the PB leader: pack locally, chain-replicate
+    /// the exact placement, commit (§2.2.3).
+    fn handle_write_small(
+        &self,
+        partition: PartitionId,
+        data: Bytes,
+        replicas: Vec<NodeId>,
+    ) -> Result<DataResponse> {
+        // Serialize pack + forward per partition (see handle_append).
+        let order = self.chain_lock(partition);
+        let _order_guard = order.lock();
+        let (loc, members) = {
+            let mut parts = self.partitions.lock();
+            let r = Self::part_mut(&mut parts, partition)?;
+            if r.pb_leader() != self.id {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: Some(r.pb_leader()),
+                });
+            }
+            (r.write_small(&data)?, r.members().to_vec())
+        };
+        let replicas = if replicas.is_empty() {
+            members
+        } else {
+            replicas
+        };
+        self.forward_chain(
+            &replicas,
+            DataRequest::Append {
+                partition,
+                extent: loc.extent_id,
+                offset: loc.offset,
+                data: data.clone(),
+                crc: crc32(&data),
+                replicas: replicas.clone(),
+            },
+        )?;
+        {
+            let mut parts = self.partitions.lock();
+            Self::part_mut(&mut parts, partition)?.commit(loc.extent_id, loc.offset + loc.len);
+        }
+        Ok(DataResponse::Small(loc))
+    }
+
+    /// Raft-replicated overwrite: propose and pump to commit (§2.2.4).
+    fn handle_overwrite(
+        &self,
+        partition: PartitionId,
+        extent: ExtentId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        let group = Self::group_of(partition);
+        let cmd = DataCommand::overwrite(extent, offset, data.to_vec());
+        let index = {
+            let mut raft = self.raft.lock();
+            let node = raft
+                .multiraft
+                .group_mut(group)
+                .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+            node.propose(cmd.to_bytes())?
+        };
+        let committed = self.hub.pump_until(
+            || self.raft.lock().results.contains_key(&(group, index)),
+            self.commit_timeout_ticks,
+        );
+        if !committed {
+            return Err(CfsError::Timeout(format!(
+                "{partition}: overwrite commit at index {index}"
+            )));
+        }
+        self.raft
+            .lock()
+            .results
+            .remove(&(group, index))
+            .expect("result present per pump predicate")
+    }
+
+    /// Recovery step 1 (§2.2.5): the PB leader aligns every extent across
+    /// replicas — truncating stale tails above the committed watermark and
+    /// re-shipping missing committed bytes. Raft replay (step 2) then
+    /// proceeds through the normal MultiRaft machinery.
+    fn recover_partition(&self, partition: PartitionId) -> Result<usize> {
+        let (extents, members) = {
+            let parts = self.partitions.lock();
+            let r = Self::part(&parts, partition)?;
+            if r.pb_leader() != self.id {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: Some(r.pb_leader()),
+                });
+            }
+            (r.extent_ids(), r.members().to_vec())
+        };
+        let mut repaired = 0;
+        for extent in extents {
+            let committed = {
+                let mut parts = self.partitions.lock();
+                let r = Self::part_mut(&mut parts, partition)?;
+                let c = r.committed(extent);
+                // Drop our own stale tail first.
+                if r.extent_size(extent)? > c {
+                    r.truncate(extent, c)?;
+                    repaired += 1;
+                }
+                c
+            };
+            for &peer in members.iter().filter(|&&m| m != self.id) {
+                let info = match self.net.call(
+                    self.id,
+                    peer,
+                    DataRequest::ExtentInfo { partition, extent },
+                )? {
+                    Ok(DataResponse::Info(i)) => i,
+                    Ok(_) => return Err(CfsError::Internal("bad ExtentInfo reply".into())),
+                    Err(CfsError::NotFound(_)) => ExtentInfo {
+                        extent,
+                        size: 0,
+                        committed: 0,
+                        crc: 0,
+                    },
+                    Err(e) => return Err(e),
+                };
+                if info.size > committed {
+                    // Stale tail on the peer: align down.
+                    self.net.call(
+                        self.id,
+                        peer,
+                        DataRequest::TruncateExtent {
+                            partition,
+                            extent,
+                            size: committed,
+                        },
+                    )??;
+                    repaired += 1;
+                } else if info.size < committed {
+                    // Peer is missing committed bytes: re-ship them.
+                    let missing = {
+                        let parts = self.partitions.lock();
+                        Self::part(&parts, partition)?.read(
+                            extent,
+                            info.size,
+                            (committed - info.size) as usize,
+                            true,
+                        )?
+                    };
+                    let crc = crc32(&missing);
+                    self.net.call(
+                        self.id,
+                        peer,
+                        DataRequest::Append {
+                            partition,
+                            extent,
+                            offset: info.size,
+                            data: Bytes::from(missing),
+                            crc,
+                            // Point-to-point repair: no further forwarding.
+                            replicas: vec![peer],
+                        },
+                    )??;
+                    repaired += 1;
+                }
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Utilization for placement (disk-bytes analog, §2.3.1).
+    pub fn total_physical_bytes(&self) -> u64 {
+        self.partitions
+            .lock()
+            .values()
+            .map(|r| r.stats().store.physical_bytes)
+            .sum()
+    }
+
+    /// Partitions hosted.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.lock().len()
+    }
+
+    /// Is this node the Raft leader of the partition's group?
+    pub fn is_raft_leader_for(&self, partition: PartitionId) -> bool {
+        self.raft
+            .lock()
+            .multiraft
+            .group(Self::group_of(partition))
+            .map(|g| g.is_leader())
+            .unwrap_or(false)
+    }
+
+    /// Raft leader hint for client caches.
+    pub fn raft_leader_hint(&self, partition: PartitionId) -> Option<NodeId> {
+        self.raft
+            .lock()
+            .multiraft
+            .group(Self::group_of(partition))
+            .and_then(|g| g.leader_hint())
+    }
+}
+
+impl RaftHost for DataNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn raft_tick(&self) {
+        self.raft.lock().multiraft.tick_all();
+    }
+
+    fn raft_drain(&self) -> Vec<WireEnvelope> {
+        let mut raft = self.raft.lock();
+        let (msgs, readies) = raft.multiraft.drain();
+        for (gid, ready) in readies {
+            let pid = PartitionId(gid.raw());
+            let is_leader = raft
+                .multiraft
+                .group(gid)
+                .map(|g| g.is_leader())
+                .unwrap_or(false);
+            for entry in ready.committed {
+                if entry.data.is_empty() {
+                    continue;
+                }
+                let result = (|| -> Result<()> {
+                    let cmd = DataCommand::from_bytes(&entry.data)?;
+                    cmd.verify()?;
+                    let DataCommand::Overwrite {
+                        extent,
+                        offset,
+                        data,
+                        ..
+                    } = cmd;
+                    let mut parts = self.partitions.lock();
+                    Self::part_mut(&mut parts, pid)?.apply_overwrite(extent, offset, &data)
+                })();
+                if is_leader {
+                    raft.results.insert((gid, entry.index), result);
+                }
+            }
+        }
+        if raft.results.len() > 65_536 {
+            raft.results.clear();
+        }
+        msgs
+    }
+
+    fn raft_deliver(&self, env: WireEnvelope) {
+        self.raft.lock().multiraft.receive(env.from, env.msg);
+    }
+}

@@ -1,0 +1,378 @@
+//! One replica of a data partition.
+
+use std::collections::HashMap;
+
+use cfs_store::{ExtentStore, SmallFileLocation, StoreStats};
+use cfs_types::{CfsError, ExtentId, NodeId, PartitionId, Result, VolumeId};
+
+/// A queued asynchronous deletion (§2.7.3): either a whole extent (large
+/// file) or a punched range (small file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DeleteTask {
+    Extent(ExtentId),
+    Punch {
+        extent: ExtentId,
+        offset: u64,
+        len: u64,
+    },
+}
+
+/// Utilization and status counters reported to the resource manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    pub partition_id: PartitionId,
+    pub volume_id: VolumeId,
+    pub store: StoreStats,
+    pub read_only: bool,
+    pub is_full: bool,
+    pub pending_deletes: usize,
+}
+
+/// One replica's state for one data partition: the extent store plus the
+/// replication bookkeeping.
+#[derive(Debug)]
+pub struct DataPartitionReplica {
+    partition_id: PartitionId,
+    volume_id: VolumeId,
+    /// Replica order: index 0 is the primary-backup leader (§2.7.1).
+    members: Vec<NodeId>,
+    store: ExtentStore,
+    /// Per-extent committed watermark: the largest offset acked by *all*
+    /// replicas (maintained at the PB leader; followers track their own
+    /// applied size). Reads are clamped to it (§2.2.5).
+    committed: HashMap<ExtentId, u64>,
+    /// Set by the resource manager when a replica times out (§2.3.3).
+    read_only: bool,
+    delete_queue: Vec<DeleteTask>,
+}
+
+impl DataPartitionReplica {
+    /// Fresh replica.
+    pub fn new(
+        partition_id: PartitionId,
+        volume_id: VolumeId,
+        members: Vec<NodeId>,
+        small_extent_rotate_at: u64,
+        extent_limit: u64,
+    ) -> Self {
+        DataPartitionReplica {
+            partition_id,
+            volume_id,
+            members,
+            store: ExtentStore::new(small_extent_rotate_at, extent_limit),
+            committed: HashMap::new(),
+            read_only: false,
+            delete_queue: Vec::new(),
+        }
+    }
+
+    pub fn partition_id(&self) -> PartitionId {
+        self.partition_id
+    }
+
+    /// Replica order (index 0 = PB leader).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The primary-backup leader.
+    pub fn pb_leader(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// Mark/unmark read-only (§2.3.3 exception handling).
+    pub fn set_read_only(&mut self, ro: bool) {
+        self.read_only = ro;
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn check_writable(&self) -> Result<()> {
+        if self.read_only {
+            return Err(CfsError::ReadOnly(self.partition_id));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write paths (invoked by the node's replication machinery)
+    // ------------------------------------------------------------------
+
+    /// Create an extent with a leader-chosen id (replicated op).
+    pub fn create_extent(&mut self, id: ExtentId) -> Result<()> {
+        self.check_writable()?;
+        self.store.create_extent_with_id(id)
+    }
+
+    /// Allocate a fresh extent id (leader side).
+    pub fn allocate_extent(&mut self) -> Result<ExtentId> {
+        self.check_writable()?;
+        let id = self.store.create_extent()?;
+        Ok(id)
+    }
+
+    /// Apply an append locally; returns the new local watermark.
+    /// Auto-creates the extent on followers (the leader allocated it).
+    pub fn apply_append(&mut self, extent: ExtentId, offset: u64, data: &[u8]) -> Result<u64> {
+        self.check_writable()?;
+        if !self.store.has_extent(extent) {
+            self.store.create_extent_with_id(extent)?;
+        }
+        self.store.append(extent, offset, data)
+    }
+
+    /// Apply an in-place overwrite (Raft apply path).
+    pub fn apply_overwrite(&mut self, extent: ExtentId, offset: u64, data: &[u8]) -> Result<()> {
+        // Overwrites are allowed on read-only partitions? No: read-only
+        // means "no new data"; the paper allows modification of existing
+        // data ("it can still be modified or deleted", §2.3.1) — that
+        // refers to capacity-full, while timeout-read-only blocks writes.
+        // We enforce the stricter interpretation only for appends/creates
+        // and allow in-place modification.
+        self.store.overwrite(extent, offset, data)
+    }
+
+    /// Write one small file into the shared extent (leader side), returning
+    /// where it landed so followers can replay deterministically.
+    pub fn write_small(&mut self, data: &[u8]) -> Result<SmallFileLocation> {
+        self.check_writable()?;
+        self.store.write_small_file(data)
+    }
+
+    /// Advance the committed watermark for an extent (PB leader, after the
+    /// whole chain acked).
+    pub fn commit(&mut self, extent: ExtentId, upto: u64) {
+        let e = self.committed.entry(extent).or_insert(0);
+        *e = (*e).max(upto);
+    }
+
+    /// The committed watermark of an extent (0 if never committed).
+    pub fn committed(&self, extent: ExtentId) -> u64 {
+        self.committed.get(&extent).copied().unwrap_or(0)
+    }
+
+    /// Local (applied) size of an extent.
+    pub fn extent_size(&self, extent: ExtentId) -> Result<u64> {
+        self.store.extent_size(extent)
+    }
+
+    /// Extent CRC (cached).
+    pub fn extent_crc(&mut self, extent: ExtentId) -> Result<u32> {
+        self.store.extent_crc(extent)
+    }
+
+    /// Read committed bytes only: the range is clamped to the committed
+    /// watermark so a stale tail is never returned (§2.2.5). On followers
+    /// (who don't track chain acks) the caller uses the meta-recorded size;
+    /// here `enforce_committed` distinguishes the two.
+    pub fn read(
+        &self,
+        extent: ExtentId,
+        offset: u64,
+        len: usize,
+        enforce_committed: bool,
+    ) -> Result<Vec<u8>> {
+        if enforce_committed {
+            let committed = self.committed(extent);
+            if offset >= committed {
+                return Err(CfsError::InvalidArgument(format!(
+                    "read at {offset} beyond committed watermark {committed}"
+                )));
+            }
+            let len = len.min((committed - offset) as usize);
+            self.store.read(extent, offset, len)
+        } else {
+            self.store.read(extent, offset, len)
+        }
+    }
+
+    /// Truncate an extent (recovery alignment).
+    pub fn truncate(&mut self, extent: ExtentId, size: u64) -> Result<()> {
+        self.store.truncate_extent(extent, size)?;
+        if let Some(c) = self.committed.get_mut(&extent) {
+            *c = (*c).min(size);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous deletion (§2.7.3)
+    // ------------------------------------------------------------------
+
+    /// Queue a whole-extent deletion (large file).
+    pub fn queue_delete_extent(&mut self, extent: ExtentId) {
+        self.delete_queue.push(DeleteTask::Extent(extent));
+    }
+
+    /// Queue a punch-hole deletion (small file).
+    pub fn queue_punch(&mut self, extent: ExtentId, offset: u64, len: u64) {
+        self.delete_queue.push(DeleteTask::Punch {
+            extent,
+            offset,
+            len,
+        });
+    }
+
+    /// Process every queued deletion; returns how many were executed.
+    /// Errors on individual tasks are swallowed (a later fsck/scrub pass
+    /// handles them) so one bad task can't wedge the queue.
+    pub fn process_delete_queue(&mut self) -> usize {
+        let tasks = std::mem::take(&mut self.delete_queue);
+        let n = tasks.len();
+        for t in tasks {
+            match t {
+                DeleteTask::Extent(e) => {
+                    let _ = self.store.delete_extent(e);
+                    self.committed.remove(&e);
+                }
+                DeleteTask::Punch {
+                    extent,
+                    offset,
+                    len,
+                } => {
+                    let _ = self.store.delete_small_file(SmallFileLocation {
+                        extent_id: extent,
+                        offset,
+                        len,
+                    });
+                }
+            }
+        }
+        n
+    }
+
+    /// Pending deletion count.
+    pub fn pending_deletes(&self) -> usize {
+        self.delete_queue.len()
+    }
+
+    /// Utilization snapshot for the resource manager.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats {
+            partition_id: self.partition_id,
+            volume_id: self.volume_id,
+            store: self.store.stats(),
+            read_only: self.read_only,
+            is_full: self.store.is_full(),
+            pending_deletes: self.delete_queue.len(),
+        }
+    }
+
+    /// All extent ids (recovery enumeration).
+    pub fn extent_ids(&self) -> Vec<ExtentId> {
+        self.store.extent_ids()
+    }
+
+    /// Does the extent exist locally?
+    pub fn has_extent(&self, extent: ExtentId) -> bool {
+        self.store.has_extent(extent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica() -> DataPartitionReplica {
+        DataPartitionReplica::new(
+            PartitionId(1),
+            VolumeId(1),
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            1 << 20,
+            0,
+        )
+    }
+
+    #[test]
+    fn committed_watermark_gates_reads() {
+        let mut r = replica();
+        let e = r.allocate_extent().unwrap();
+        r.apply_append(e, 0, &[1u8; 100]).unwrap();
+        // Nothing committed yet: leader-enforced read fails.
+        assert!(r.read(e, 0, 10, true).is_err());
+        // Uncommitted (stale-tail-tolerant) read sees the bytes.
+        assert_eq!(r.read(e, 0, 10, false).unwrap(), [1u8; 100][..10]);
+
+        r.commit(e, 60);
+        assert_eq!(r.read(e, 0, 100, true).unwrap().len(), 60, "clamped");
+        assert!(r.read(e, 60, 1, true).is_err(), "at watermark");
+        assert_eq!(r.committed(e), 60);
+        // Watermark never regresses.
+        r.commit(e, 50);
+        assert_eq!(r.committed(e), 60);
+    }
+
+    #[test]
+    fn read_only_blocks_new_data_not_modification() {
+        let mut r = replica();
+        let e = r.allocate_extent().unwrap();
+        r.apply_append(e, 0, &[7u8; 64]).unwrap();
+        r.set_read_only(true);
+        assert!(r.is_read_only());
+        assert!(r.allocate_extent().is_err());
+        assert!(r.apply_append(e, 64, b"more").is_err());
+        assert!(r.write_small(b"x").is_err());
+        // In-place modification and deletion still possible (§2.3.1).
+        r.apply_overwrite(e, 0, b"mod").unwrap();
+        r.queue_delete_extent(e);
+        assert_eq!(r.process_delete_queue(), 1);
+    }
+
+    #[test]
+    fn follower_auto_creates_extent_on_append() {
+        let mut f = replica();
+        // Leader allocated extent 5; the follower sees the first append.
+        f.apply_append(ExtentId(5), 0, b"replicated").unwrap();
+        assert!(f.has_extent(ExtentId(5)));
+        assert_eq!(f.extent_size(ExtentId(5)).unwrap(), 10);
+    }
+
+    #[test]
+    fn truncate_clamps_committed() {
+        let mut r = replica();
+        let e = r.allocate_extent().unwrap();
+        r.apply_append(e, 0, &[2u8; 1000]).unwrap();
+        r.commit(e, 1000);
+        r.truncate(e, 400).unwrap();
+        assert_eq!(r.committed(e), 400);
+        assert_eq!(r.extent_size(e).unwrap(), 400);
+    }
+
+    #[test]
+    fn delete_queue_is_asynchronous() {
+        let mut r = replica();
+        let loc = r.write_small(&[3u8; 8192]).unwrap();
+        let before = r.stats().store.physical_bytes;
+        r.queue_punch(loc.extent_id, loc.offset, loc.len);
+        assert_eq!(r.pending_deletes(), 1);
+        // Space not reclaimed until the background pass runs.
+        assert_eq!(r.stats().store.physical_bytes, before);
+        assert_eq!(r.process_delete_queue(), 1);
+        assert!(r.stats().store.physical_bytes < before);
+        assert_eq!(r.pending_deletes(), 0);
+    }
+
+    #[test]
+    fn bad_delete_task_does_not_wedge_queue() {
+        let mut r = replica();
+        r.queue_delete_extent(ExtentId(999)); // nonexistent
+        let loc = r.write_small(&[1u8; 4096]).unwrap();
+        r.queue_punch(loc.extent_id, loc.offset, loc.len);
+        assert_eq!(r.process_delete_queue(), 2);
+        assert_eq!(r.stats().store.punched_bytes, 4096);
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let mut r = replica();
+        let e = r.allocate_extent().unwrap();
+        r.apply_append(e, 0, &[1u8; 5000]).unwrap();
+        let s = r.stats();
+        assert_eq!(s.partition_id, PartitionId(1));
+        assert_eq!(s.store.extent_count, 1);
+        assert_eq!(s.store.logical_bytes, 5000);
+        assert!(!s.read_only && !s.is_full);
+    }
+}

@@ -1,0 +1,473 @@
+//! Integration tests: scenario-aware replication across a 3-node data
+//! cluster — chain appends with committed watermarks, Raft overwrites,
+//! partial-failure stale tails, and recovery alignment (§2.2.4–§2.2.5).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use cfs_data::{DataNode, DataRequest, DataResponse};
+use cfs_net::Network;
+use cfs_raft::{RaftConfig, RaftHub};
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, ExtentId, FaultState, NodeId, PartitionId, VolumeId};
+
+struct Cluster {
+    hub: RaftHub,
+    net: Network<DataRequest, cfs_types::Result<DataResponse>>,
+    faults: FaultState,
+    nodes: Vec<Arc<DataNode>>,
+}
+
+fn cluster(n: u64) -> Cluster {
+    let hub = RaftHub::new();
+    let net: Network<DataRequest, cfs_types::Result<DataResponse>> = Network::new();
+    let faults = FaultState::new();
+    hub.set_faults(faults.clone());
+    net.set_faults(faults.clone());
+    let nodes: Vec<Arc<DataNode>> = (1..=n)
+        .map(|i| {
+            DataNode::new(
+                NodeId(i),
+                hub.clone(),
+                net.clone(),
+                RaftConfig::default(),
+                7,
+            )
+        })
+        .collect();
+    for node in &nodes {
+        let n = node.clone();
+        net.register(node.id(), Arc::new(move |_from, req| n.handle(req)));
+    }
+    Cluster {
+        hub,
+        net,
+        faults,
+        nodes,
+    }
+}
+
+fn mk_partition(c: &Cluster, pid: u64) -> (PartitionId, Vec<NodeId>) {
+    let members: Vec<NodeId> = c.nodes.iter().map(|n| n.id()).collect();
+    for n in &c.nodes {
+        n.create_partition(PartitionId(pid), VolumeId(1), members.clone(), 1 << 20, 0)
+            .unwrap();
+    }
+    let p = PartitionId(pid);
+    assert!(c
+        .hub
+        .pump_until(|| c.nodes.iter().any(|n| n.is_raft_leader_for(p)), 5_000));
+    (p, members)
+}
+
+fn append(
+    c: &Cluster,
+    p: PartitionId,
+    extent: ExtentId,
+    offset: u64,
+    data: &[u8],
+    replicas: &[NodeId],
+) -> cfs_types::Result<u64> {
+    let req = DataRequest::Append {
+        partition: p,
+        extent,
+        offset,
+        data: Bytes::copy_from_slice(data),
+        crc: crc32(data),
+        replicas: replicas.to_vec(),
+    };
+    match c.net.call(NodeId(99), replicas[0], req)? {
+        Ok(DataResponse::Watermark(w)) => Ok(w),
+        Ok(other) => panic!("unexpected response {other:?}"),
+        Err(e) => Err(e),
+    }
+}
+
+fn create_extent(c: &Cluster, p: PartitionId, leader: NodeId) -> ExtentId {
+    match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::CreateExtent { partition: p },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Extent(e) => e,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn extent_info(
+    c: &Cluster,
+    p: PartitionId,
+    node: NodeId,
+    extent: ExtentId,
+) -> cfs_data::ExtentInfo {
+    match c
+        .net
+        .call(
+            NodeId(99),
+            node,
+            DataRequest::ExtentInfo {
+                partition: p,
+                extent,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Info(i) => i,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn chain_append_replicates_to_all_and_commits() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+    let e = create_extent(&c, p, leader);
+
+    let w = append(&c, p, e, 0, b"hello chain", &members).unwrap();
+    assert_eq!(w, 11);
+    let w = append(&c, p, e, 11, b"!", &members).unwrap();
+    assert_eq!(w, 12);
+
+    // Every replica holds identical bytes with identical CRC.
+    let infos: Vec<_> = members.iter().map(|&m| extent_info(&c, p, m, e)).collect();
+    assert!(infos.iter().all(|i| i.size == 12));
+    assert!(infos.iter().all(|i| i.crc == infos[0].crc));
+    // Only the PB leader tracks the all-replica commit.
+    assert_eq!(infos[0].committed, 12);
+
+    // Committed read at the leader.
+    match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::Read {
+                partition: p,
+                extent: e,
+                offset: 0,
+                len: 64,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert_eq!(d, b"hello chain!"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn append_at_wrong_watermark_is_rejected() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let e = create_extent(&c, p, members[0]);
+    append(&c, p, e, 0, b"0123456789", &members).unwrap();
+    let err = append(&c, p, e, 5, b"overlap", &members).unwrap_err();
+    assert!(matches!(err, CfsError::InvalidArgument(_)));
+    let err = append(&c, p, e, 20, b"gap", &members).unwrap_err();
+    assert!(matches!(err, CfsError::InvalidArgument(_)));
+}
+
+#[test]
+fn partial_chain_failure_leaves_uncommitted_stale_tail() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+    let e = create_extent(&c, p, leader);
+    append(&c, p, e, 0, b"committed!", &members).unwrap();
+
+    // Cut the link to the last replica: the leader and middle replica
+    // apply, the chain fails, nothing commits.
+    c.faults.set_link_cut(members[1], members[2], true);
+    let err = append(&c, p, e, 10, b"stale tail", &members).unwrap_err();
+    assert!(err.is_retryable(), "client retries elsewhere: {err}");
+
+    let li = extent_info(&c, p, leader, e);
+    assert_eq!(li.size, 20, "leader applied the bytes");
+    assert_eq!(li.committed, 10, "watermark did not advance");
+
+    // Committed reads never see the stale tail (§2.2.5).
+    match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::Read {
+                partition: p,
+                extent: e,
+                offset: 0,
+                len: 64,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert_eq!(d, b"committed!"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Recovery aligns every replica back to the committed watermark.
+    c.faults.heal_all();
+    c.net
+        .call(NodeId(99), leader, DataRequest::Recover { partition: p })
+        .unwrap()
+        .unwrap();
+    for &m in &members {
+        let i = extent_info(&c, p, m, e);
+        assert_eq!(i.size, 10, "{m} aligned");
+    }
+    // After alignment, appends continue at the committed watermark.
+    let w = append(&c, p, e, 10, b" resumed", &members).unwrap();
+    assert_eq!(w, 18);
+}
+
+#[test]
+fn recovery_reships_missing_committed_bytes() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+    let e = create_extent(&c, p, leader);
+    append(&c, p, e, 0, &[7u8; 4096], &members).unwrap();
+
+    // Simulate a replica that lost its tail (crash + partial disk loss).
+    c.net
+        .call(
+            NodeId(99),
+            members[2],
+            DataRequest::TruncateExtent {
+                partition: p,
+                extent: e,
+                size: 1000,
+            },
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(extent_info(&c, p, members[2], e).size, 1000);
+
+    c.net
+        .call(NodeId(99), leader, DataRequest::Recover { partition: p })
+        .unwrap()
+        .unwrap();
+    let i = extent_info(&c, p, members[2], e);
+    assert_eq!(i.size, 4096, "missing bytes re-shipped");
+    assert_eq!(i.crc, extent_info(&c, p, leader, e).crc);
+}
+
+#[test]
+fn small_files_pack_and_replicate_identically() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+
+    let mut locs = Vec::new();
+    for i in 0..10u8 {
+        let data = vec![i; 1000 + i as usize];
+        match c
+            .net
+            .call(
+                NodeId(99),
+                leader,
+                DataRequest::WriteSmall {
+                    partition: p,
+                    data: Bytes::from(data),
+                    replicas: members.clone(),
+                },
+            )
+            .unwrap()
+            .unwrap()
+        {
+            DataResponse::Small(loc) => locs.push(loc),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // All ten share one extent, back to back.
+    assert!(locs.iter().all(|l| l.extent_id == locs[0].extent_id));
+    assert_eq!(locs[1].offset, 1000);
+    // Replicas byte-identical.
+    let infos: Vec<_> = members
+        .iter()
+        .map(|&m| extent_info(&c, p, m, locs[0].extent_id))
+        .collect();
+    assert!(infos
+        .iter()
+        .all(|i| i.crc == infos[0].crc && i.size == infos[0].size));
+
+    // Punch-hole delete of one small file propagates to all replicas via
+    // the async queue.
+    c.net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::QueuePunch {
+                partition: p,
+                extent: locs[3].extent_id,
+                offset: locs[3].offset,
+                len: locs[3].len,
+                replicas: members.clone(),
+            },
+        )
+        .unwrap()
+        .unwrap();
+    for &m in &members {
+        c.net
+            .call(NodeId(99), m, DataRequest::ProcessDeletes { partition: p })
+            .unwrap()
+            .unwrap();
+    }
+    let infos: Vec<_> = members
+        .iter()
+        .map(|&m| extent_info(&c, p, m, locs[0].extent_id))
+        .collect();
+    assert!(
+        infos.iter().all(|i| i.crc == infos[0].crc),
+        "replicas still identical"
+    );
+    // Neighbors intact at the leader.
+    match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::Read {
+                partition: p,
+                extent: locs[4].extent_id,
+                offset: locs[4].offset,
+                len: locs[4].len,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert!(d.iter().all(|&b| b == 4)),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn raft_overwrite_applies_on_all_replicas() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+    let e = create_extent(&c, p, leader);
+    append(&c, p, e, 0, &[0u8; 1024], &members).unwrap();
+
+    // Find the Raft leader (may differ from the PB leader, §2.7.4).
+    let raft_leader = c
+        .nodes
+        .iter()
+        .find(|n| n.is_raft_leader_for(p))
+        .unwrap()
+        .id();
+    c.net
+        .call(
+            NodeId(99),
+            raft_leader,
+            DataRequest::Overwrite {
+                partition: p,
+                extent: e,
+                offset: 100,
+                data: Bytes::from_static(b"OVERWRITTEN"),
+            },
+        )
+        .unwrap()
+        .unwrap();
+
+    // Propagate the commit to followers via heartbeats.
+    for _ in 0..200 {
+        c.hub.tick_and_pump();
+    }
+    let infos: Vec<_> = members.iter().map(|&m| extent_info(&c, p, m, e)).collect();
+    assert!(
+        infos.iter().all(|i| i.crc == infos[0].crc),
+        "overwrite reached every replica: {infos:?}"
+    );
+    match c
+        .net
+        .call(
+            NodeId(99),
+            members[0],
+            DataRequest::Read {
+                partition: p,
+                extent: e,
+                offset: 100,
+                len: 11,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert_eq!(d, b"OVERWRITTEN"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn overwrite_on_follower_redirects_to_raft_leader() {
+    let c = cluster(3);
+    let (p, _members) = mk_partition(&c, 1);
+    let follower = c
+        .nodes
+        .iter()
+        .find(|n| !n.is_raft_leader_for(p))
+        .unwrap()
+        .id();
+    let err = c
+        .net
+        .call(
+            NodeId(99),
+            follower,
+            DataRequest::Overwrite {
+                partition: p,
+                extent: ExtentId(1),
+                offset: 0,
+                data: Bytes::from_static(b"x"),
+            },
+        )
+        .unwrap()
+        .unwrap_err();
+    match err {
+        CfsError::NotLeader { hint, .. } => assert!(hint.is_some()),
+        other => panic!("expected NotLeader, got {other}"),
+    }
+}
+
+#[test]
+fn read_only_partition_rejects_new_appends() {
+    let c = cluster(3);
+    let (p, members) = mk_partition(&c, 1);
+    let leader = members[0];
+    let e = create_extent(&c, p, leader);
+    append(&c, p, e, 0, b"before", &members).unwrap();
+
+    for &m in &members {
+        c.net
+            .call(
+                NodeId(99),
+                m,
+                DataRequest::SetReadOnly {
+                    partition: p,
+                    ro: true,
+                },
+            )
+            .unwrap()
+            .unwrap();
+    }
+    let err = append(&c, p, e, 6, b"after", &members).unwrap_err();
+    assert!(matches!(err, CfsError::ReadOnly(_)));
+    assert!(
+        err.needs_new_partition(),
+        "client must ask the RM for fresh partitions"
+    );
+}

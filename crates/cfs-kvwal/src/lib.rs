@@ -1,0 +1,22 @@
+//! Write-ahead-logged key-value store with snapshots.
+//!
+//! The paper's resource manager persists its replicated state to "a
+//! key-value store such as RocksDB for backup and recovery" (§2). This crate
+//! is that substrate, built from scratch:
+//!
+//! * an in-memory ordered map (`std::collections::BTreeMap`) as the working
+//!   set,
+//! * a crash-safe [`wal::Wal`] of CRC-framed put/delete records,
+//! * full-state snapshots plus WAL truncation ([`store::KvStore::compact`]),
+//!   mirroring the log-compaction technique the paper applies to shorten
+//!   recovery (§2.1.3),
+//! * recovery = newest valid snapshot + replay of newer WAL records, with a
+//!   torn tail (partial final record) tolerated and truncated.
+
+mod record;
+mod store;
+mod wal;
+
+pub use record::Record;
+pub use store::{KvStore, KvStoreOptions};
+pub use wal::Wal;

@@ -1,0 +1,149 @@
+//! WAL record framing.
+//!
+//! Each record on disk is `len: u32 | crc: u32 | body`, where `body` is the
+//! codec-encoded [`Record`]. The CRC covers the body, so a torn write at the
+//! end of the log is detected and everything before it stays valid.
+
+use cfs_types::codec::{Decode, Decoder, Encode, Encoder};
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, Result};
+
+/// A logical WAL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Insert or overwrite `key`.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` (idempotent).
+    Delete { key: Vec<u8> },
+}
+
+impl Record {
+    /// The key this record affects.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Record::Put { key, .. } | Record::Delete { key } => key,
+        }
+    }
+
+    /// Serialize with length + CRC framing.
+    pub fn frame(&self) -> Vec<u8> {
+        let body = self.to_bytes();
+        let mut enc = Encoder::with_capacity(body.len() + 8);
+        enc.put_u32(body.len() as u32);
+        enc.put_u32(crc32(&body));
+        enc.put_raw(&body);
+        enc.finish()
+    }
+
+    /// Decode one framed record from `buf`. Returns the record and the
+    /// number of bytes consumed, or:
+    /// * `Ok(None)` for a clean end / torn tail (callers truncate here),
+    /// * `Err(Corrupt)` only for a CRC-valid frame whose body fails to
+    ///   decode (genuine corruption in the middle of the log).
+    pub fn unframe(buf: &[u8]) -> Result<Option<(Record, usize)>> {
+        if buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if buf.len() < 8 + len {
+            return Ok(None); // torn tail
+        }
+        let body = &buf[8..8 + len];
+        if crc32(body) != crc {
+            return Ok(None); // torn/garbage tail
+        }
+        let rec = Record::from_bytes(body).map_err(|e| {
+            CfsError::Corrupt(format!("wal body decode failed after crc pass: {e}"))
+        })?;
+        Ok(Some((rec, 8 + len)))
+    }
+}
+
+impl Encode for Record {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Record::Put { key, value } => {
+                enc.put_u8(0);
+                enc.put_bytes(key);
+                enc.put_bytes(value);
+            }
+            Record::Delete { key } => {
+                enc.put_u8(1);
+                enc.put_bytes(key);
+            }
+        }
+    }
+}
+
+impl Decode for Record {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.get_u8()? {
+            0 => Ok(Record::Put {
+                key: dec.get_bytes()?.to_vec(),
+                value: dec.get_bytes()?.to_vec(),
+            }),
+            1 => Ok(Record::Delete {
+                key: dec.get_bytes()?.to_vec(),
+            }),
+            b => Err(CfsError::Corrupt(format!("invalid record tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_unframe_roundtrip() {
+        let r = Record::Put {
+            key: b"volume/1".to_vec(),
+            value: b"state".to_vec(),
+        };
+        let framed = r.frame();
+        let (back, used) = Record::unframe(&framed).unwrap().unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn torn_tail_returns_none() {
+        let r = Record::Delete { key: b"k".to_vec() };
+        let framed = r.frame();
+        for cut in 0..framed.len() {
+            assert!(
+                Record::unframe(&framed[..cut]).unwrap().is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_in_body_returns_none() {
+        let r = Record::Put {
+            key: b"key".to_vec(),
+            value: b"value".to_vec(),
+        };
+        let mut framed = r.frame();
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        assert!(Record::unframe(&framed).unwrap().is_none());
+    }
+
+    #[test]
+    fn consecutive_records_parse_in_sequence() {
+        let a = Record::Put {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        };
+        let b = Record::Delete { key: b"a".to_vec() };
+        let mut buf = a.frame();
+        buf.extend(b.frame());
+        let (r1, n1) = Record::unframe(&buf).unwrap().unwrap();
+        let (r2, n2) = Record::unframe(&buf[n1..]).unwrap().unwrap();
+        assert_eq!(r1, a);
+        assert_eq!(r2, b);
+        assert_eq!(n1 + n2, buf.len());
+    }
+}

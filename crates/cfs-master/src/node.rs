@@ -1,0 +1,545 @@
+//! Resource-manager replicas: one Raft group + key-value persistence.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cfs_kvwal::{KvStore, KvStoreOptions};
+use cfs_raft::hub::{RaftHost, RaftHub};
+use cfs_raft::{MultiRaft, RaftConfig, SnapshotPayload, WireEnvelope};
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::{CfsError, ClusterConfig, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
+
+use crate::state::{
+    ApplyOutcome, DataPartitionMeta, MasterCommand, MasterState, MetaPartitionMeta, NodeStatus,
+    VolumeMeta,
+};
+
+/// The master replicas' Raft group id — far above any partition id, which
+/// double as group ids.
+pub const MASTER_GROUP: RaftGroupId = RaftGroupId(u64::MAX);
+
+/// Snapshot the kv-persisted state every this many applied commands.
+const PERSIST_SNAPSHOT_EVERY: u64 = 256;
+
+/// RPCs the resource manager serves. Clients use *non-persistent
+/// connections* (§2.5.2) — every request here is independent.
+#[derive(Debug, Clone)]
+pub enum MasterRequest {
+    /// Replicated mutation.
+    Command(MasterCommand),
+    /// Full partition table of a volume (the client caches this, §2.4).
+    GetVolume { name: String },
+    /// Same, by id.
+    GetVolumeById { volume: VolumeId },
+    /// All registered nodes.
+    ListNodes,
+}
+
+/// Replies to [`MasterRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterResponse {
+    Applied(ApplyOutcome),
+    Volume {
+        volume: VolumeMeta,
+        meta_partitions: Vec<MetaPartitionMeta>,
+        data_partitions: Vec<DataPartitionMeta>,
+    },
+    Nodes(Vec<NodeStatus>),
+}
+
+struct Inner {
+    multiraft: MultiRaft,
+    state: MasterState,
+    kv: KvStore,
+    results: HashMap<u64, Result<ApplyOutcome>>,
+    applied_since_snapshot: u64,
+    applied_index: u64,
+}
+
+/// One resource-manager replica (§2.3). The replicas form a single Raft
+/// group; state is mirrored into a [`KvStore`] so a restarted replica
+/// recovers its state machine from local disk (the paper's RocksDB role).
+pub struct MasterNode {
+    id: NodeId,
+    hub: RaftHub,
+    inner: Mutex<Inner>,
+    commit_timeout_ticks: u64,
+}
+
+impl MasterNode {
+    /// Open (or create) a replica persisting under `dir`, and register it
+    /// on the raft hub. `members` are all master replica node ids.
+    pub fn open(
+        id: NodeId,
+        hub: RaftHub,
+        dir: &Path,
+        members: Vec<NodeId>,
+        cluster_config: ClusterConfig,
+        raft_config: RaftConfig,
+        seed: u64,
+    ) -> Result<Arc<Self>> {
+        let kv = KvStore::open(dir, KvStoreOptions::default())?;
+
+        // Recover the state machine: snapshot + newer command replay.
+        let mut state = match kv.get(b"snap") {
+            Some(bytes) => MasterState::from_snapshot(cluster_config.clone(), bytes)?,
+            None => MasterState::new(cluster_config.clone()),
+        };
+        let mut applied_index = kv
+            .get(b"snap_index")
+            .map(u64::from_bytes)
+            .transpose()?
+            .unwrap_or(0);
+        let replay: Vec<(u64, Vec<u8>)> = kv
+            .scan_prefix(b"cmd/")
+            .filter_map(|(k, v)| {
+                let idx: u64 = std::str::from_utf8(&k[4..]).ok()?.parse().ok()?;
+                Some((idx, v.to_vec()))
+            })
+            .collect();
+        for (idx, bytes) in replay {
+            if idx > applied_index {
+                let cmd = MasterCommand::from_bytes(&bytes)?;
+                let _ = state.apply(&cmd); // deterministic errors are fine
+                applied_index = idx;
+            }
+        }
+
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        multiraft.create_group(MASTER_GROUP, members)?;
+
+        let node = Arc::new(MasterNode {
+            id,
+            hub: hub.clone(),
+            inner: Mutex::new(Inner {
+                multiraft,
+                state,
+                kv,
+                results: HashMap::new(),
+                applied_since_snapshot: 0,
+                applied_index,
+            }),
+            commit_timeout_ticks: 2_000,
+        });
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        Ok(node)
+    }
+
+    /// This replica's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Is this replica the group leader?
+    pub fn is_leader(&self) -> bool {
+        self.inner
+            .lock()
+            .multiraft
+            .group(MASTER_GROUP)
+            .map(|g| g.is_leader())
+            .unwrap_or(false)
+    }
+
+    /// Leader hint for client redirects.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.inner
+            .lock()
+            .multiraft
+            .group(MASTER_GROUP)
+            .and_then(|g| g.leader_hint())
+    }
+
+    /// Handle one RPC.
+    pub fn handle(&self, req: MasterRequest) -> Result<MasterResponse> {
+        match req {
+            MasterRequest::Command(cmd) => self.propose(&cmd).map(MasterResponse::Applied),
+            MasterRequest::GetVolume { name } => {
+                let inner = self.inner.lock();
+                self.require_leader(&inner)?;
+                let vol = inner
+                    .state
+                    .volume_by_name(&name)
+                    .ok_or_else(|| CfsError::NotFound(format!("volume {name}")))?
+                    .clone();
+                Ok(Self::volume_view(&inner.state, vol))
+            }
+            MasterRequest::GetVolumeById { volume } => {
+                let inner = self.inner.lock();
+                self.require_leader(&inner)?;
+                let vol = inner
+                    .state
+                    .volume(volume)
+                    .ok_or_else(|| CfsError::NotFound(format!("{volume}")))?
+                    .clone();
+                Ok(Self::volume_view(&inner.state, vol))
+            }
+            MasterRequest::ListNodes => {
+                let inner = self.inner.lock();
+                self.require_leader(&inner)?;
+                let mut nodes: Vec<NodeStatus> = Vec::new();
+                for kind in [crate::state::NodeKind::Meta, crate::state::NodeKind::Data] {
+                    nodes.extend(inner.state.nodes_of_kind(kind).into_iter().cloned());
+                }
+                Ok(MasterResponse::Nodes(nodes))
+            }
+        }
+    }
+
+    fn require_leader(&self, inner: &Inner) -> Result<()> {
+        let g = inner
+            .multiraft
+            .group(MASTER_GROUP)
+            .ok_or_else(|| CfsError::Internal("master group missing".into()))?;
+        if !g.is_leader() {
+            return Err(CfsError::NotLeader {
+                partition: PartitionId(MASTER_GROUP.raw()),
+                hint: g.leader_hint(),
+            });
+        }
+        Ok(())
+    }
+
+    fn volume_view(state: &MasterState, vol: VolumeMeta) -> MasterResponse {
+        let meta_partitions = state
+            .volume_meta_partitions(vol.volume)
+            .into_iter()
+            .cloned()
+            .collect();
+        let data_partitions = state
+            .volume_data_partitions(vol.volume)
+            .into_iter()
+            .cloned()
+            .collect();
+        MasterResponse::Volume {
+            volume: vol,
+            meta_partitions,
+            data_partitions,
+        }
+    }
+
+    /// Propose a command through the replicas' Raft group and wait for the
+    /// apply outcome.
+    pub fn propose(&self, cmd: &MasterCommand) -> Result<ApplyOutcome> {
+        let index = {
+            let mut inner = self.inner.lock();
+            let node = inner
+                .multiraft
+                .group_mut(MASTER_GROUP)
+                .ok_or_else(|| CfsError::Internal("master group missing".into()))?;
+            node.propose(cmd.to_bytes())?
+        };
+        let committed = self.hub.pump_until(
+            || self.inner.lock().results.contains_key(&index),
+            self.commit_timeout_ticks,
+        );
+        if !committed {
+            return Err(CfsError::Timeout(format!("master commit of index {index}")));
+        }
+        self.inner
+            .lock()
+            .results
+            .remove(&index)
+            .expect("result present per pump predicate")
+    }
+
+    /// Read-only view accessor for tests and the cluster driver.
+    pub fn with_state<R>(&self, f: impl FnOnce(&MasterState) -> R) -> R {
+        f(&self.inner.lock().state)
+    }
+}
+
+impl RaftHost for MasterNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn raft_tick(&self) {
+        self.inner.lock().multiraft.tick_all();
+    }
+
+    fn raft_drain(&self) -> Vec<WireEnvelope> {
+        let mut inner = self.inner.lock();
+        let (msgs, readies) = inner.multiraft.drain();
+        for (gid, ready) in readies {
+            debug_assert_eq!(gid, MASTER_GROUP);
+
+            if let Some(snap) = ready.snapshot {
+                if let Ok(st) = MasterState::from_snapshot(inner.state.config().clone(), &snap.data)
+                {
+                    inner.state = st;
+                    let _ = inner.kv.put(b"snap", &snap.data);
+                    let _ = inner.kv.put(b"snap_index", &snap.last_index.to_bytes());
+                    inner.applied_index = snap.last_index;
+                }
+            }
+
+            let is_leader = inner
+                .multiraft
+                .group(gid)
+                .map(|g| g.is_leader())
+                .unwrap_or(false);
+            for entry in ready.committed {
+                if entry.data.is_empty() {
+                    continue;
+                }
+                let result = match MasterCommand::from_bytes(&entry.data) {
+                    Ok(cmd) => {
+                        let r = inner.state.apply(&cmd);
+                        // Persist the command for restart recovery.
+                        let key = format!("cmd/{:020}", entry.index);
+                        let _ = inner.kv.put(key.as_bytes(), &entry.data);
+                        inner.applied_index = entry.index;
+                        inner.applied_since_snapshot += 1;
+                        r
+                    }
+                    Err(e) => Err(e),
+                };
+                if is_leader {
+                    inner.results.insert(entry.index, result);
+                }
+            }
+
+            // Periodic durable snapshot + command pruning, mirroring the
+            // Raft-level compaction.
+            if inner.applied_since_snapshot >= PERSIST_SNAPSHOT_EVERY {
+                let snap = inner.state.snapshot_bytes();
+                let idx = inner.applied_index;
+                let _ = inner.kv.put(b"snap", &snap);
+                let _ = inner.kv.put(b"snap_index", &idx.to_bytes());
+                let stale: Vec<Vec<u8>> = inner
+                    .kv
+                    .scan_prefix(b"cmd/")
+                    .filter(|(k, _)| {
+                        std::str::from_utf8(&k[4..])
+                            .ok()
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .map(|i| i <= idx)
+                            .unwrap_or(true)
+                    })
+                    .map(|(k, _)| k.to_vec())
+                    .collect();
+                for k in stale {
+                    let _ = inner.kv.delete(&k);
+                }
+                let _ = inner.kv.compact();
+                inner.applied_since_snapshot = 0;
+
+                // Raft log compaction with the same snapshot.
+                if let Some(g) = inner.multiraft.group_mut(gid) {
+                    if g.wants_compaction() {
+                        let (last_index, last_term) = g.compaction_point();
+                        g.compact(SnapshotPayload {
+                            last_index,
+                            last_term,
+                            data: snap,
+                        });
+                    }
+                }
+            }
+        }
+        if inner.results.len() > 65_536 {
+            inner.results.clear();
+        }
+        msgs
+    }
+
+    fn raft_deliver(&self, env: WireEnvelope) {
+        self.inner.lock().multiraft.receive(env.from, env.msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NodeKind;
+    use cfs_types::testutil::TempDir;
+
+    fn replica_set(dir: &TempDir, hub: &RaftHub, n: u64) -> Vec<Arc<MasterNode>> {
+        let members: Vec<NodeId> = (1001..1001 + n).map(NodeId).collect();
+        members
+            .iter()
+            .map(|&id| {
+                MasterNode::open(
+                    id,
+                    hub.clone(),
+                    &dir.path().join(format!("m{id}")),
+                    members.clone(),
+                    ClusterConfig::default(),
+                    RaftConfig::default(),
+                    3,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn elect(hub: &RaftHub, masters: &[Arc<MasterNode>]) -> Arc<MasterNode> {
+        assert!(hub.pump_until(|| masters.iter().any(|m| m.is_leader()), 5_000));
+        masters.iter().find(|m| m.is_leader()).unwrap().clone()
+    }
+
+    #[test]
+    fn replicated_volume_creation_with_tasks() {
+        let dir = TempDir::new("master").unwrap();
+        let hub = RaftHub::new();
+        let masters = replica_set(&dir, &hub, 3);
+        let leader = elect(&hub, &masters);
+
+        for i in 1..=4u64 {
+            leader
+                .propose(&MasterCommand::RegisterNode {
+                    node: NodeId(i),
+                    kind: NodeKind::Meta,
+                })
+                .unwrap();
+            leader
+                .propose(&MasterCommand::RegisterNode {
+                    node: NodeId(10 + i),
+                    kind: NodeKind::Data,
+                })
+                .unwrap();
+        }
+        let out = leader
+            .propose(&MasterCommand::CreateVolume {
+                name: "shared".into(),
+                meta_partition_count: 1,
+                data_partition_count: 2,
+            })
+            .unwrap();
+        assert_eq!(out.tasks.len(), 3);
+
+        // Query through the RPC surface.
+        match leader
+            .handle(MasterRequest::GetVolume {
+                name: "shared".into(),
+            })
+            .unwrap()
+        {
+            MasterResponse::Volume {
+                meta_partitions,
+                data_partitions,
+                ..
+            } => {
+                assert_eq!(meta_partitions.len(), 1);
+                assert_eq!(data_partitions.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Followers converge (heartbeats propagate the commit).
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+        for m in &masters {
+            m.with_state(|s| {
+                assert!(s.volume_by_name("shared").is_some(), "{}", m.id());
+            });
+        }
+    }
+
+    #[test]
+    fn follower_queries_redirect() {
+        let dir = TempDir::new("master").unwrap();
+        let hub = RaftHub::new();
+        let masters = replica_set(&dir, &hub, 3);
+        let leader = elect(&hub, &masters);
+        let follower = masters.iter().find(|m| !m.is_leader()).unwrap();
+        let err = follower.handle(MasterRequest::ListNodes).unwrap_err();
+        match err {
+            CfsError::NotLeader { hint, .. } => assert_eq!(hint, Some(leader.id())),
+            other => panic!("expected NotLeader, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_replica_recovers_from_kv_after_restart() {
+        let dir = TempDir::new("master").unwrap();
+        let members = vec![NodeId(1001)];
+        {
+            let hub = RaftHub::new();
+            let m = MasterNode::open(
+                NodeId(1001),
+                hub.clone(),
+                dir.path(),
+                members.clone(),
+                ClusterConfig::default(),
+                RaftConfig::default(),
+                3,
+            )
+            .unwrap();
+            assert!(hub.pump_until(|| m.is_leader(), 5_000));
+            for i in 1..=3u64 {
+                m.propose(&MasterCommand::RegisterNode {
+                    node: NodeId(i),
+                    kind: NodeKind::Meta,
+                })
+                .unwrap();
+            }
+            m.propose(&MasterCommand::CreateVolume {
+                name: "persisted".into(),
+                meta_partition_count: 1,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        }
+        // Reopen from the same directory: state recovered from the kv
+        // store (snapshot + command replay).
+        let hub = RaftHub::new();
+        let m = MasterNode::open(
+            NodeId(1001),
+            hub.clone(),
+            dir.path(),
+            members,
+            ClusterConfig::default(),
+            RaftConfig::default(),
+            3,
+        )
+        .unwrap();
+        m.with_state(|s| {
+            assert!(s.volume_by_name("persisted").is_some());
+            assert_eq!(s.nodes_of_kind(NodeKind::Meta).len(), 3);
+        });
+    }
+
+    #[test]
+    fn leader_failover_preserves_state() {
+        let dir = TempDir::new("master").unwrap();
+        let hub = RaftHub::new();
+        let faults = cfs_types::FaultState::new();
+        hub.set_faults(faults.clone());
+        let masters = replica_set(&dir, &hub, 3);
+        let leader = elect(&hub, &masters);
+        for i in 1..=3u64 {
+            leader
+                .propose(&MasterCommand::RegisterNode {
+                    node: NodeId(i),
+                    kind: NodeKind::Data,
+                })
+                .unwrap();
+        }
+        faults.set_down(leader.id(), true);
+        assert!(hub.pump_until(
+            || masters
+                .iter()
+                .any(|m| m.id() != leader.id() && m.is_leader()),
+            10_000
+        ));
+        let new_leader = masters
+            .iter()
+            .find(|m| m.id() != leader.id() && m.is_leader())
+            .unwrap();
+        new_leader.with_state(|s| {
+            assert_eq!(s.nodes_of_kind(NodeKind::Data).len(), 3);
+        });
+        // And it accepts new commands.
+        new_leader
+            .propose(&MasterCommand::RegisterNode {
+                node: NodeId(4),
+                kind: NodeKind::Data,
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,144 @@
+//! Utilization-based replica placement (§2.3.1) with Raft sets (§2.5.1).
+
+use cfs_types::NodeId;
+
+/// One candidate node's load as seen by the resource manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoad {
+    pub node: NodeId,
+    /// Memory utilization for meta nodes (items held), disk utilization
+    /// for data nodes (physical bytes). Unitless — only ordering matters.
+    pub utilization: u64,
+    /// Raft set this node belongs to (§2.5.1).
+    pub raft_set: u32,
+    /// Dead nodes are never chosen.
+    pub alive: bool,
+}
+
+/// Choose `replica_count` replicas for a new partition.
+///
+/// Strategy per the paper: pick the nodes with the lowest utilization,
+/// and prefer keeping all replicas inside one Raft set so heartbeat
+/// traffic stays set-local. Concretely: among Raft sets that have at least
+/// `replica_count` live members, pick the set whose least-loaded members
+/// sum to the lowest utilization; fall back to a global lowest-utilization
+/// pick if no single set is large enough.
+///
+/// Ties in utilization are rotated by `salt` (the allocation counter), so
+/// a burst of placements over an idle cluster still spreads across nodes —
+/// the uniform distribution the paper credits for performance stability
+/// (§2.3.1).
+///
+/// Returns replicas ordered by utilization — index 0 (least loaded)
+/// becomes the primary-backup leader of a data partition.
+fn mix(node: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        // Salt 0 keeps pure node-id order (deterministic unit tests).
+        return node;
+    }
+    // splitmix64 of (node, salt): a real permutation per salt, so ties in
+    // utilization land on different nodes for successive allocations.
+    let mut z = node ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub fn choose_replicas(loads: &[NodeLoad], replica_count: usize, salt: u64) -> Option<Vec<NodeId>> {
+    let mut live: Vec<&NodeLoad> = loads.iter().filter(|l| l.alive).collect();
+    if live.len() < replica_count {
+        return None;
+    }
+    live.sort_by_key(|l| (l.utilization, mix(l.node.raw(), salt), l.node));
+
+    // Group by raft set, preserving the utilization order.
+    let mut sets: std::collections::BTreeMap<u32, Vec<&NodeLoad>> = Default::default();
+    for l in &live {
+        sets.entry(l.raft_set).or_default().push(l);
+    }
+
+    // Best set = lowest sum of its `replica_count` least-loaded members.
+    let best_set = sets
+        .values()
+        .filter(|members| members.len() >= replica_count)
+        .min_by_key(|members| {
+            members[..replica_count]
+                .iter()
+                .map(|l| l.utilization)
+                .sum::<u64>()
+        });
+
+    let chosen: Vec<NodeId> = match best_set {
+        Some(members) => members[..replica_count].iter().map(|l| l.node).collect(),
+        // No set is big enough: cross-set placement by pure utilization.
+        None => live[..replica_count].iter().map(|l| l.node).collect(),
+    };
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(node: u64, util: u64, set: u32) -> NodeLoad {
+        NodeLoad {
+            node: NodeId(node),
+            utilization: util,
+            raft_set: set,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn picks_lowest_utilization_within_one_set() {
+        let loads = vec![
+            load(1, 50, 0),
+            load(2, 10, 0),
+            load(3, 30, 0),
+            load(4, 5, 1),
+            load(5, 90, 1),
+            load(6, 95, 1),
+        ];
+        // Set 0's three cheapest sum to 90; set 1's to 190 → set 0 wins
+        // even though node 4 is globally cheapest.
+        let r = choose_replicas(&loads, 3, 0).unwrap();
+        assert_eq!(r, vec![NodeId(2), NodeId(3), NodeId(1)]);
+    }
+
+    #[test]
+    fn leader_is_least_loaded() {
+        let loads = vec![load(1, 30, 0), load(2, 10, 0), load(3, 20, 0)];
+        let r = choose_replicas(&loads, 3, 0).unwrap();
+        assert_eq!(r[0], NodeId(2));
+    }
+
+    #[test]
+    fn falls_back_across_sets_when_no_set_is_big_enough() {
+        let loads = vec![load(1, 10, 0), load(2, 20, 1), load(3, 30, 2)];
+        let r = choose_replicas(&loads, 3, 0).unwrap();
+        assert_eq!(r, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn skips_dead_nodes() {
+        let mut loads = vec![load(1, 1, 0), load(2, 2, 0), load(3, 3, 0), load(4, 99, 0)];
+        loads[0].alive = false;
+        let r = choose_replicas(&loads, 3, 0).unwrap();
+        assert_eq!(r, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn returns_none_when_not_enough_nodes() {
+        let loads = vec![load(1, 1, 0), load(2, 2, 0)];
+        assert!(choose_replicas(&loads, 3, 0).is_none());
+        assert!(choose_replicas(&[], 1, 0).is_none());
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_node_id() {
+        let loads = vec![load(3, 10, 0), load(1, 10, 0), load(2, 10, 0)];
+        let r = choose_replicas(&loads, 2, 0).unwrap();
+        assert_eq!(r, vec![NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,1133 @@
+//! The resource manager's replicated state machine.
+
+use std::collections::BTreeMap;
+
+use cfs_types::codec::{Decode, Decoder, Encode, Encoder};
+use cfs_types::{CfsError, ClusterConfig, InodeId, NodeId, PartitionId, Result, VolumeId};
+
+use crate::placement::{choose_replicas, NodeLoad};
+
+/// What kind of storage node registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Meta,
+    Data,
+}
+
+impl Encode for NodeKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            NodeKind::Meta => 0,
+            NodeKind::Data => 1,
+        });
+    }
+}
+
+impl Decode for NodeKind {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.get_u8()? {
+            0 => Ok(NodeKind::Meta),
+            1 => Ok(NodeKind::Data),
+            b => Err(CfsError::Corrupt(format!("invalid node kind {b}"))),
+        }
+    }
+}
+
+/// Liveness + utilization of one registered node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    pub node: NodeId,
+    pub kind: NodeKind,
+    /// Memory items (meta) or physical bytes (data) — the placement
+    /// signal (§2.3.1).
+    pub utilization: u64,
+    /// Raft set membership (§2.5.1).
+    pub raft_set: u32,
+    pub alive: bool,
+}
+
+impl Encode for NodeStatus {
+    fn encode(&self, enc: &mut Encoder) {
+        self.node.encode(enc);
+        self.kind.encode(enc);
+        enc.put_u64(self.utilization);
+        enc.put_u32(self.raft_set);
+        self.alive.encode(enc);
+    }
+}
+
+impl Decode for NodeStatus {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(NodeStatus {
+            node: NodeId::decode(dec)?,
+            kind: NodeKind::decode(dec)?,
+            utilization: dec.get_u64()?,
+            raft_set: dec.get_u32()?,
+            alive: bool::decode(dec)?,
+        })
+    }
+}
+
+/// Resource-manager view of a meta partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaPartitionMeta {
+    pub partition: PartitionId,
+    pub volume: VolumeId,
+    pub start: InodeId,
+    pub end: InodeId,
+    pub members: Vec<NodeId>,
+    pub item_count: u64,
+    pub max_inode: InodeId,
+}
+
+impl Encode for MetaPartitionMeta {
+    fn encode(&self, enc: &mut Encoder) {
+        self.partition.encode(enc);
+        self.volume.encode(enc);
+        self.start.encode(enc);
+        self.end.encode(enc);
+        self.members.encode(enc);
+        enc.put_u64(self.item_count);
+        self.max_inode.encode(enc);
+    }
+}
+
+impl Decode for MetaPartitionMeta {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(MetaPartitionMeta {
+            partition: PartitionId::decode(dec)?,
+            volume: VolumeId::decode(dec)?,
+            start: InodeId::decode(dec)?,
+            end: InodeId::decode(dec)?,
+            members: Vec::<NodeId>::decode(dec)?,
+            item_count: dec.get_u64()?,
+            max_inode: InodeId::decode(dec)?,
+        })
+    }
+}
+
+/// Resource-manager view of a data partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPartitionMeta {
+    pub partition: PartitionId,
+    pub volume: VolumeId,
+    /// Replica order; index 0 is the PB leader (§2.7.1).
+    pub members: Vec<NodeId>,
+    pub read_only: bool,
+    pub full: bool,
+}
+
+impl Encode for DataPartitionMeta {
+    fn encode(&self, enc: &mut Encoder) {
+        self.partition.encode(enc);
+        self.volume.encode(enc);
+        self.members.encode(enc);
+        self.read_only.encode(enc);
+        self.full.encode(enc);
+    }
+}
+
+impl Decode for DataPartitionMeta {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(DataPartitionMeta {
+            partition: PartitionId::decode(dec)?,
+            volume: VolumeId::decode(dec)?,
+            members: Vec::<NodeId>::decode(dec)?,
+            read_only: bool::decode(dec)?,
+            full: bool::decode(dec)?,
+        })
+    }
+}
+
+/// A volume (§2): the file-system instance a container mounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeMeta {
+    pub volume: VolumeId,
+    pub name: String,
+    pub meta_partitions: Vec<PartitionId>,
+    pub data_partitions: Vec<PartitionId>,
+}
+
+impl Encode for VolumeMeta {
+    fn encode(&self, enc: &mut Encoder) {
+        self.volume.encode(enc);
+        self.name.encode(enc);
+        self.meta_partitions.encode(enc);
+        self.data_partitions.encode(enc);
+    }
+}
+
+impl Decode for VolumeMeta {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(VolumeMeta {
+            volume: VolumeId::decode(dec)?,
+            name: String::decode(dec)?,
+            meta_partitions: Vec::<PartitionId>::decode(dec)?,
+            data_partitions: Vec::<PartitionId>::decode(dec)?,
+        })
+    }
+}
+
+/// A side effect the cluster driver must deliver to storage nodes: the
+/// paper's "tasks" (§2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Task {
+    CreateMetaPartition {
+        partition: PartitionId,
+        volume: VolumeId,
+        start: InodeId,
+        end: InodeId,
+        members: Vec<NodeId>,
+    },
+    CreateDataPartition {
+        partition: PartitionId,
+        volume: VolumeId,
+        members: Vec<NodeId>,
+    },
+    /// Algorithm 1: tell the meta partition to cut its inode range.
+    UpdateMetaPartitionEnd {
+        partition: PartitionId,
+        end: InodeId,
+        members: Vec<NodeId>,
+    },
+    /// Exception handling (§2.3.3): mark replicas read-only.
+    SetDataPartitionReadOnly {
+        partition: PartitionId,
+        members: Vec<NodeId>,
+        read_only: bool,
+    },
+}
+
+/// Commands replicated across resource-manager replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterCommand {
+    RegisterNode {
+        node: NodeId,
+        kind: NodeKind,
+    },
+    SetNodeAlive {
+        node: NodeId,
+        alive: bool,
+    },
+    /// Heartbeat body: node-level utilization.
+    UpdateNodeStats {
+        node: NodeId,
+        utilization: u64,
+    },
+    /// Heartbeat body: per-meta-partition counters (feeds Algorithm 1).
+    UpdateMetaPartitionStats {
+        partition: PartitionId,
+        item_count: u64,
+        max_inode: InodeId,
+    },
+    /// Heartbeat body: data partition reached its extent cap (§2.3.1).
+    SetDataPartitionFull {
+        partition: PartitionId,
+        full: bool,
+    },
+    /// Timeout reported on a data partition (§2.3.3).
+    ReportPartitionTimeout {
+        partition: PartitionId,
+    },
+    CreateVolume {
+        name: String,
+        meta_partition_count: u64,
+        data_partition_count: u64,
+    },
+    /// Add data partitions to a volume (refill, §2.3.1).
+    ExpandVolume {
+        volume: VolumeId,
+        count: u64,
+    },
+    /// Algorithm 1 on one partition.
+    SplitMetaPartition {
+        partition: PartitionId,
+    },
+    /// Periodic maintenance sweep: auto-split near-full meta partitions
+    /// and refill volumes short on writable data partitions.
+    Maintenance,
+}
+
+impl Encode for MasterCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            MasterCommand::RegisterNode { node, kind } => {
+                enc.put_u8(0);
+                node.encode(enc);
+                kind.encode(enc);
+            }
+            MasterCommand::SetNodeAlive { node, alive } => {
+                enc.put_u8(1);
+                node.encode(enc);
+                alive.encode(enc);
+            }
+            MasterCommand::UpdateNodeStats { node, utilization } => {
+                enc.put_u8(2);
+                node.encode(enc);
+                enc.put_u64(*utilization);
+            }
+            MasterCommand::UpdateMetaPartitionStats {
+                partition,
+                item_count,
+                max_inode,
+            } => {
+                enc.put_u8(3);
+                partition.encode(enc);
+                enc.put_u64(*item_count);
+                max_inode.encode(enc);
+            }
+            MasterCommand::SetDataPartitionFull { partition, full } => {
+                enc.put_u8(4);
+                partition.encode(enc);
+                full.encode(enc);
+            }
+            MasterCommand::ReportPartitionTimeout { partition } => {
+                enc.put_u8(5);
+                partition.encode(enc);
+            }
+            MasterCommand::CreateVolume {
+                name,
+                meta_partition_count,
+                data_partition_count,
+            } => {
+                enc.put_u8(6);
+                name.encode(enc);
+                enc.put_u64(*meta_partition_count);
+                enc.put_u64(*data_partition_count);
+            }
+            MasterCommand::ExpandVolume { volume, count } => {
+                enc.put_u8(7);
+                volume.encode(enc);
+                enc.put_u64(*count);
+            }
+            MasterCommand::SplitMetaPartition { partition } => {
+                enc.put_u8(8);
+                partition.encode(enc);
+            }
+            MasterCommand::Maintenance => enc.put_u8(9),
+        }
+    }
+}
+
+impl Decode for MasterCommand {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.get_u8()? {
+            0 => MasterCommand::RegisterNode {
+                node: NodeId::decode(dec)?,
+                kind: NodeKind::decode(dec)?,
+            },
+            1 => MasterCommand::SetNodeAlive {
+                node: NodeId::decode(dec)?,
+                alive: bool::decode(dec)?,
+            },
+            2 => MasterCommand::UpdateNodeStats {
+                node: NodeId::decode(dec)?,
+                utilization: dec.get_u64()?,
+            },
+            3 => MasterCommand::UpdateMetaPartitionStats {
+                partition: PartitionId::decode(dec)?,
+                item_count: dec.get_u64()?,
+                max_inode: InodeId::decode(dec)?,
+            },
+            4 => MasterCommand::SetDataPartitionFull {
+                partition: PartitionId::decode(dec)?,
+                full: bool::decode(dec)?,
+            },
+            5 => MasterCommand::ReportPartitionTimeout {
+                partition: PartitionId::decode(dec)?,
+            },
+            6 => MasterCommand::CreateVolume {
+                name: String::decode(dec)?,
+                meta_partition_count: dec.get_u64()?,
+                data_partition_count: dec.get_u64()?,
+            },
+            7 => MasterCommand::ExpandVolume {
+                volume: VolumeId::decode(dec)?,
+                count: dec.get_u64()?,
+            },
+            8 => MasterCommand::SplitMetaPartition {
+                partition: PartitionId::decode(dec)?,
+            },
+            9 => MasterCommand::Maintenance,
+            b => return Err(CfsError::Corrupt(format!("invalid master command tag {b}"))),
+        })
+    }
+}
+
+/// What a command application produced: new cluster tasks plus an
+/// optional created-volume id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    pub tasks: Vec<Task>,
+    pub volume: Option<VolumeId>,
+}
+
+/// The deterministic resource-manager state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterState {
+    config: ClusterConfig,
+    nodes: BTreeMap<NodeId, NodeStatus>,
+    volumes: BTreeMap<VolumeId, VolumeMeta>,
+    volume_names: BTreeMap<String, VolumeId>,
+    meta_partitions: BTreeMap<PartitionId, MetaPartitionMeta>,
+    data_partitions: BTreeMap<PartitionId, DataPartitionMeta>,
+    next_partition: u64,
+    next_volume: u64,
+}
+
+impl MasterState {
+    /// Fresh state. Partition ids start at 1 and are shared between meta
+    /// and data partitions (they double as Raft group ids, which must be
+    /// cluster-unique).
+    pub fn new(config: ClusterConfig) -> Self {
+        MasterState {
+            config,
+            nodes: BTreeMap::new(),
+            volumes: BTreeMap::new(),
+            volume_names: BTreeMap::new(),
+            meta_partitions: BTreeMap::new(),
+            data_partitions: BTreeMap::new(),
+            next_partition: 1,
+            next_volume: 1,
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn node(&self, id: NodeId) -> Option<&NodeStatus> {
+        self.nodes.get(&id)
+    }
+
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<&NodeStatus> {
+        self.nodes.values().filter(|n| n.kind == kind).collect()
+    }
+
+    pub fn volume_by_name(&self, name: &str) -> Option<&VolumeMeta> {
+        self.volume_names
+            .get(name)
+            .and_then(|id| self.volumes.get(id))
+    }
+
+    pub fn volume(&self, id: VolumeId) -> Option<&VolumeMeta> {
+        self.volumes.get(&id)
+    }
+
+    pub fn meta_partition(&self, id: PartitionId) -> Option<&MetaPartitionMeta> {
+        self.meta_partitions.get(&id)
+    }
+
+    pub fn data_partition(&self, id: PartitionId) -> Option<&DataPartitionMeta> {
+        self.data_partitions.get(&id)
+    }
+
+    /// Meta partitions of a volume, id-ordered.
+    pub fn volume_meta_partitions(&self, vol: VolumeId) -> Vec<&MetaPartitionMeta> {
+        self.volumes
+            .get(&vol)
+            .map(|v| {
+                v.meta_partitions
+                    .iter()
+                    .filter_map(|p| self.meta_partitions.get(p))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Data partitions of a volume, id-ordered.
+    pub fn volume_data_partitions(&self, vol: VolumeId) -> Vec<&DataPartitionMeta> {
+        self.volumes
+            .get(&vol)
+            .map(|v| {
+                v.data_partitions
+                    .iter()
+                    .filter_map(|p| self.data_partitions.get(p))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn loads(&self, kind: NodeKind) -> Vec<NodeLoad> {
+        self.nodes
+            .values()
+            .filter(|n| n.kind == kind)
+            .map(|n| NodeLoad {
+                node: n.node,
+                utilization: n.utilization,
+                raft_set: n.raft_set,
+                alive: n.alive,
+            })
+            .collect()
+    }
+
+    fn alloc_partition_id(&mut self) -> PartitionId {
+        let id = PartitionId(self.next_partition);
+        self.next_partition += 1;
+        id
+    }
+
+    fn place(&self, kind: NodeKind) -> Result<Vec<NodeId>> {
+        // Salt ties with the allocation counter so placements rotate.
+        choose_replicas(
+            &self.loads(kind),
+            self.config.replica_count,
+            self.next_partition,
+        )
+        .ok_or_else(|| {
+            CfsError::Unavailable(format!(
+                "not enough live {kind:?} nodes for {} replicas",
+                self.config.replica_count
+            ))
+        })
+    }
+
+    fn new_meta_partition(
+        &mut self,
+        volume: VolumeId,
+        start: InodeId,
+        end: InodeId,
+    ) -> Result<(PartitionId, Task)> {
+        let members = self.place(NodeKind::Meta)?;
+        let pid = self.alloc_partition_id();
+        self.meta_partitions.insert(
+            pid,
+            MetaPartitionMeta {
+                partition: pid,
+                volume,
+                start,
+                end,
+                members: members.clone(),
+                item_count: 0,
+                max_inode: InodeId(start.raw().saturating_sub(1)),
+            },
+        );
+        self.volumes
+            .get_mut(&volume)
+            .expect("volume exists")
+            .meta_partitions
+            .push(pid);
+        Ok((
+            pid,
+            Task::CreateMetaPartition {
+                partition: pid,
+                volume,
+                start,
+                end,
+                members,
+            },
+        ))
+    }
+
+    fn new_data_partition(&mut self, volume: VolumeId) -> Result<(PartitionId, Task)> {
+        let members = self.place(NodeKind::Data)?;
+        let pid = self.alloc_partition_id();
+        self.data_partitions.insert(
+            pid,
+            DataPartitionMeta {
+                partition: pid,
+                volume,
+                members: members.clone(),
+                read_only: false,
+                full: false,
+            },
+        );
+        self.volumes
+            .get_mut(&volume)
+            .expect("volume exists")
+            .data_partitions
+            .push(pid);
+        Ok((
+            pid,
+            Task::CreateDataPartition {
+                partition: pid,
+                volume,
+                members,
+            },
+        ))
+    }
+
+    /// Algorithm 1. Only the newest partition of a volume (the one with
+    /// the unbounded range) is split; older ones are already cut.
+    fn split_meta_partition(&mut self, pid: PartitionId) -> Result<ApplyOutcome> {
+        let (volume, max_inode, members) = {
+            let mp = self
+                .meta_partitions
+                .get(&pid)
+                .ok_or_else(|| CfsError::NotFound(format!("{pid}")))?;
+            (mp.volume, mp.max_inode, mp.members.clone())
+        };
+        let vol = self
+            .volumes
+            .get(&volume)
+            .ok_or_else(|| CfsError::NotFound(format!("{volume}")))?;
+        // Line 6: if metaPartition.ID < maxPartitionID then return.
+        let max_partition_id = vol
+            .meta_partitions
+            .iter()
+            .copied()
+            .max()
+            .expect("volume has meta partitions");
+        if pid < max_partition_id {
+            return Ok(ApplyOutcome::default());
+        }
+        // Line 7: only an unbounded partition needs cutting.
+        let mp = self.meta_partitions.get_mut(&pid).expect("checked above");
+        if mp.end != InodeId::MAX {
+            return Ok(ApplyOutcome::default());
+        }
+        // Line 8: end ← maxInodeID + Δ.
+        let end = InodeId(max_inode.raw() + self.config.split_delta);
+        mp.end = end;
+        let mut tasks = vec![Task::UpdateMetaPartitionEnd {
+            partition: pid,
+            end,
+            members,
+        }];
+        // Create the successor partition [end+1, ∞).
+        let (_, task) = self.new_meta_partition(volume, end.next(), InodeId::MAX)?;
+        tasks.push(task);
+        Ok(ApplyOutcome {
+            tasks,
+            volume: Some(volume),
+        })
+    }
+
+    /// Apply one command. Deterministic; errors are deterministic too.
+    pub fn apply(&mut self, cmd: &MasterCommand) -> Result<ApplyOutcome> {
+        match cmd {
+            MasterCommand::RegisterNode { node, kind } => {
+                if self.nodes.contains_key(node) {
+                    return Ok(ApplyOutcome::default()); // idempotent re-register
+                }
+                let set_size = self.config.raft_set_size.max(1) as u32;
+                let peers = self.nodes_of_kind(*kind).len() as u32;
+                let raft_set = peers / set_size;
+                self.nodes.insert(
+                    *node,
+                    NodeStatus {
+                        node: *node,
+                        kind: *kind,
+                        utilization: 0,
+                        raft_set,
+                        alive: true,
+                    },
+                );
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::SetNodeAlive { node, alive } => {
+                let n = self
+                    .nodes
+                    .get_mut(node)
+                    .ok_or_else(|| CfsError::NotFound(format!("{node}")))?;
+                n.alive = *alive;
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::UpdateNodeStats { node, utilization } => {
+                if let Some(n) = self.nodes.get_mut(node) {
+                    n.utilization = *utilization;
+                }
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::UpdateMetaPartitionStats {
+                partition,
+                item_count,
+                max_inode,
+            } => {
+                if let Some(p) = self.meta_partitions.get_mut(partition) {
+                    p.item_count = *item_count;
+                    p.max_inode = (*max_inode).max(p.max_inode);
+                }
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::SetDataPartitionFull { partition, full } => {
+                if let Some(p) = self.data_partitions.get_mut(partition) {
+                    p.full = *full;
+                }
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::ReportPartitionTimeout { partition } => {
+                // §2.3.3: the remaining replicas go read-only.
+                let p = self
+                    .data_partitions
+                    .get_mut(partition)
+                    .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+                p.read_only = true;
+                Ok(ApplyOutcome {
+                    tasks: vec![Task::SetDataPartitionReadOnly {
+                        partition: *partition,
+                        members: p.members.clone(),
+                        read_only: true,
+                    }],
+                    volume: None,
+                })
+            }
+            MasterCommand::CreateVolume {
+                name,
+                meta_partition_count,
+                data_partition_count,
+            } => {
+                if self.volume_names.contains_key(name) {
+                    return Err(CfsError::Exists(format!("volume {name}")));
+                }
+                let vid = VolumeId(self.next_volume);
+                self.next_volume += 1;
+                self.volumes.insert(
+                    vid,
+                    VolumeMeta {
+                        volume: vid,
+                        name: name.clone(),
+                        meta_partitions: Vec::new(),
+                        data_partitions: Vec::new(),
+                    },
+                );
+                self.volume_names.insert(name.clone(), vid);
+                let mut tasks = Vec::new();
+                // First meta partition owns [1, ∞); later ones come from
+                // splits. Additional requested meta partitions share the
+                // keyspace by successive pre-splits of the id range? No —
+                // the paper allocates several partitions up front; we give
+                // each a disjoint slice of the id space, with the last one
+                // unbounded.
+                let n = (*meta_partition_count).max(1);
+                let slice = 1u64 << 32; // generous per-partition id slice
+                for i in 0..n {
+                    let start = InodeId(1 + i * slice);
+                    let end = if i == n - 1 {
+                        InodeId::MAX
+                    } else {
+                        InodeId((i + 1) * slice)
+                    };
+                    let (_, t) = self.new_meta_partition(vid, start, end)?;
+                    tasks.push(t);
+                }
+                for _ in 0..*data_partition_count {
+                    let (_, t) = self.new_data_partition(vid)?;
+                    tasks.push(t);
+                }
+                Ok(ApplyOutcome {
+                    tasks,
+                    volume: Some(vid),
+                })
+            }
+            MasterCommand::ExpandVolume { volume, count } => {
+                if !self.volumes.contains_key(volume) {
+                    return Err(CfsError::NotFound(format!("{volume}")));
+                }
+                let mut tasks = Vec::new();
+                for _ in 0..*count {
+                    let (_, t) = self.new_data_partition(*volume)?;
+                    tasks.push(t);
+                }
+                Ok(ApplyOutcome {
+                    tasks,
+                    volume: Some(*volume),
+                })
+            }
+            MasterCommand::SplitMetaPartition { partition } => {
+                self.split_meta_partition(*partition)
+            }
+            MasterCommand::Maintenance => {
+                let mut outcome = ApplyOutcome::default();
+                // Auto-split meta partitions near their item limit.
+                let near_full: Vec<PartitionId> = self
+                    .meta_partitions
+                    .values()
+                    .filter(|p| {
+                        p.end == InodeId::MAX
+                            && p.item_count >= self.config.meta_partition_item_limit
+                    })
+                    .map(|p| p.partition)
+                    .collect();
+                for pid in near_full {
+                    let o = self.split_meta_partition(pid)?;
+                    outcome.tasks.extend(o.tasks);
+                }
+                // Refill volumes short on writable data partitions.
+                let vols: Vec<VolumeId> = self.volumes.keys().copied().collect();
+                for vid in vols {
+                    let parts = self.volume_data_partitions(vid);
+                    if parts.is_empty() {
+                        continue;
+                    }
+                    let writable = parts.iter().filter(|p| !p.full && !p.read_only).count();
+                    let ratio = writable as f64 / parts.len() as f64;
+                    if ratio < self.config.volume_refill_watermark {
+                        for _ in 0..self.config.partitions_per_allocation {
+                            let (_, t) = self.new_data_partition(vid)?;
+                            outcome.tasks.push(t);
+                        }
+                    }
+                }
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Serialize the whole state (for kv persistence and Raft snapshots).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.next_partition);
+        enc.put_u64(self.next_volume);
+        let nodes: Vec<NodeStatus> = self.nodes.values().cloned().collect();
+        enc.put_u32(nodes.len() as u32);
+        for n in &nodes {
+            n.encode(&mut enc);
+        }
+        let vols: Vec<VolumeMeta> = self.volumes.values().cloned().collect();
+        enc.put_u32(vols.len() as u32);
+        for v in &vols {
+            v.encode(&mut enc);
+        }
+        let mps: Vec<MetaPartitionMeta> = self.meta_partitions.values().cloned().collect();
+        enc.put_u32(mps.len() as u32);
+        for p in &mps {
+            p.encode(&mut enc);
+        }
+        let dps: Vec<DataPartitionMeta> = self.data_partitions.values().cloned().collect();
+        enc.put_u32(dps.len() as u32);
+        for p in &dps {
+            p.encode(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// Restore from [`MasterState::snapshot_bytes`].
+    pub fn from_snapshot(config: ClusterConfig, data: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(data);
+        let mut st = MasterState::new(config);
+        st.next_partition = dec.get_u64()?;
+        st.next_volume = dec.get_u64()?;
+        for _ in 0..dec.get_u32()? {
+            let n = NodeStatus::decode(&mut dec)?;
+            st.nodes.insert(n.node, n);
+        }
+        for _ in 0..dec.get_u32()? {
+            let v = VolumeMeta::decode(&mut dec)?;
+            st.volume_names.insert(v.name.clone(), v.volume);
+            st.volumes.insert(v.volume, v);
+        }
+        for _ in 0..dec.get_u32()? {
+            let p = MetaPartitionMeta::decode(&mut dec)?;
+            st.meta_partitions.insert(p.partition, p);
+        }
+        for _ in 0..dec.get_u32()? {
+            let p = DataPartitionMeta::decode(&mut dec)?;
+            st.data_partitions.insert(p.partition, p);
+        }
+        if !dec.is_exhausted() {
+            return Err(CfsError::Corrupt("master snapshot trailing bytes".into()));
+        }
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_nodes(meta: u64, data: u64) -> MasterState {
+        let mut st = MasterState::new(ClusterConfig::default());
+        for i in 1..=meta {
+            st.apply(&MasterCommand::RegisterNode {
+                node: NodeId(i),
+                kind: NodeKind::Meta,
+            })
+            .unwrap();
+        }
+        for i in 1..=data {
+            st.apply(&MasterCommand::RegisterNode {
+                node: NodeId(100 + i),
+                kind: NodeKind::Data,
+            })
+            .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn register_assigns_raft_sets() {
+        let st = state_with_nodes(12, 0);
+        // raft_set_size = 5: nodes 1–5 → set 0, 6–10 → set 1, 11–12 → set 2.
+        assert_eq!(st.node(NodeId(1)).unwrap().raft_set, 0);
+        assert_eq!(st.node(NodeId(5)).unwrap().raft_set, 0);
+        assert_eq!(st.node(NodeId(6)).unwrap().raft_set, 1);
+        assert_eq!(st.node(NodeId(11)).unwrap().raft_set, 2);
+    }
+
+    #[test]
+    fn create_volume_emits_tasks_for_all_partitions() {
+        let mut st = state_with_nodes(4, 4);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "vol1".into(),
+                meta_partition_count: 2,
+                data_partition_count: 3,
+            })
+            .unwrap();
+        assert_eq!(out.tasks.len(), 5);
+        let vid = out.volume.unwrap();
+        let v = st.volume(vid).unwrap();
+        assert_eq!(v.meta_partitions.len(), 2);
+        assert_eq!(v.data_partitions.len(), 3);
+        // Last meta partition is unbounded; earlier ones are cut.
+        let mps = st.volume_meta_partitions(vid);
+        assert_eq!(mps[0].start, InodeId(1));
+        assert_ne!(mps[0].end, InodeId::MAX);
+        assert_eq!(mps[1].end, InodeId::MAX);
+        assert_eq!(mps[1].start, mps[0].end.next());
+        // Duplicate name rejected.
+        assert!(st
+            .apply(&MasterCommand::CreateVolume {
+                name: "vol1".into(),
+                meta_partition_count: 1,
+                data_partition_count: 1,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn placement_prefers_low_utilization() {
+        let mut st = state_with_nodes(5, 5);
+        // Load up nodes 1–2 heavily.
+        st.apply(&MasterCommand::UpdateNodeStats {
+            node: NodeId(1),
+            utilization: 1_000,
+        })
+        .unwrap();
+        st.apply(&MasterCommand::UpdateNodeStats {
+            node: NodeId(2),
+            utilization: 900,
+        })
+        .unwrap();
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        match &out.tasks[0] {
+            Task::CreateMetaPartition { members, .. } => {
+                assert!(!members.contains(&NodeId(1)));
+                assert!(!members.contains(&NodeId(2)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_follows_algorithm_1() {
+        let mut st = state_with_nodes(4, 0);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        let vid = out.volume.unwrap();
+        let pid = st.volume(vid).unwrap().meta_partitions[0];
+
+        // Report usage: maxInodeID = 500.
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: pid,
+            item_count: 800,
+            max_inode: InodeId(500),
+        })
+        .unwrap();
+
+        let out = st
+            .apply(&MasterCommand::SplitMetaPartition { partition: pid })
+            .unwrap();
+        assert_eq!(out.tasks.len(), 2);
+        let delta = st.config().split_delta;
+        match &out.tasks[0] {
+            Task::UpdateMetaPartitionEnd { end, .. } => {
+                assert_eq!(*end, InodeId(500 + delta), "end = maxInodeID + Δ");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &out.tasks[1] {
+            Task::CreateMetaPartition { start, end, .. } => {
+                assert_eq!(*start, InodeId(501 + delta));
+                assert_eq!(*end, InodeId::MAX);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Original is now bounded; splitting it again is a no-op (line 6).
+        let out = st
+            .apply(&MasterCommand::SplitMetaPartition { partition: pid })
+            .unwrap();
+        assert!(out.tasks.is_empty());
+    }
+
+    #[test]
+    fn maintenance_auto_splits_and_refills() {
+        let mut st = state_with_nodes(4, 4);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 2,
+            })
+            .unwrap();
+        let vid = out.volume.unwrap();
+        let mpid = st.volume(vid).unwrap().meta_partitions[0];
+        let dpids = st.volume(vid).unwrap().data_partitions.clone();
+
+        // Nothing to do yet.
+        assert!(st
+            .apply(&MasterCommand::Maintenance)
+            .unwrap()
+            .tasks
+            .is_empty());
+
+        // Meta partition hits the item limit → auto-split.
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: mpid,
+            item_count: st.config().meta_partition_item_limit,
+            max_inode: InodeId(42),
+        })
+        .unwrap();
+        // All data partitions full → refill.
+        for d in &dpids {
+            st.apply(&MasterCommand::SetDataPartitionFull {
+                partition: *d,
+                full: true,
+            })
+            .unwrap();
+        }
+        let out = st.apply(&MasterCommand::Maintenance).unwrap();
+        let splits = out
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::UpdateMetaPartitionEnd { .. }))
+            .count();
+        let new_data = out
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::CreateDataPartition { .. }))
+            .count();
+        assert_eq!(splits, 1);
+        assert_eq!(new_data, st.config().partitions_per_allocation);
+        assert_eq!(
+            st.volume(vid).unwrap().data_partitions.len(),
+            2 + st.config().partitions_per_allocation
+        );
+    }
+
+    #[test]
+    fn timeout_marks_read_only_with_task() {
+        let mut st = state_with_nodes(0, 4);
+        let out = st.apply(&MasterCommand::CreateVolume {
+            name: "v".into(),
+            meta_partition_count: 1,
+            data_partition_count: 1,
+        });
+        // No meta nodes: volume creation fails deterministically.
+        assert!(out.is_err());
+
+        let mut st = state_with_nodes(3, 4);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 1,
+            })
+            .unwrap();
+        let dpid = st.volume(out.volume.unwrap()).unwrap().data_partitions[0];
+        let out = st
+            .apply(&MasterCommand::ReportPartitionTimeout { partition: dpid })
+            .unwrap();
+        assert!(matches!(
+            out.tasks[0],
+            Task::SetDataPartitionReadOnly {
+                read_only: true,
+                ..
+            }
+        ));
+        assert!(st.data_partition(dpid).unwrap().read_only);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut st = state_with_nodes(5, 5);
+        st.apply(&MasterCommand::CreateVolume {
+            name: "v1".into(),
+            meta_partition_count: 2,
+            data_partition_count: 3,
+        })
+        .unwrap();
+        st.apply(&MasterCommand::UpdateNodeStats {
+            node: NodeId(3),
+            utilization: 777,
+        })
+        .unwrap();
+        let bytes = st.snapshot_bytes();
+        let back = MasterState::from_snapshot(ClusterConfig::default(), &bytes).unwrap();
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn commands_roundtrip_codec() {
+        use cfs_types::codec::roundtrip;
+        let cmds = vec![
+            MasterCommand::RegisterNode {
+                node: NodeId(1),
+                kind: NodeKind::Data,
+            },
+            MasterCommand::SetNodeAlive {
+                node: NodeId(1),
+                alive: false,
+            },
+            MasterCommand::UpdateNodeStats {
+                node: NodeId(1),
+                utilization: 42,
+            },
+            MasterCommand::UpdateMetaPartitionStats {
+                partition: PartitionId(1),
+                item_count: 10,
+                max_inode: InodeId(5),
+            },
+            MasterCommand::SetDataPartitionFull {
+                partition: PartitionId(2),
+                full: true,
+            },
+            MasterCommand::ReportPartitionTimeout {
+                partition: PartitionId(2),
+            },
+            MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 2,
+            },
+            MasterCommand::ExpandVolume {
+                volume: VolumeId(1),
+                count: 3,
+            },
+            MasterCommand::SplitMetaPartition {
+                partition: PartitionId(1),
+            },
+            MasterCommand::Maintenance,
+        ];
+        for c in cmds {
+            assert_eq!(roundtrip(&c).unwrap(), c);
+        }
+        assert!(MasterCommand::from_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut st = MasterState::new(ClusterConfig::default());
+        for _ in 0..3 {
+            st.apply(&MasterCommand::RegisterNode {
+                node: NodeId(1),
+                kind: NodeKind::Meta,
+            })
+            .unwrap();
+        }
+        assert_eq!(st.nodes_of_kind(NodeKind::Meta).len(), 1);
+        assert_eq!(st.node(NodeId(1)).unwrap().raft_set, 0);
+    }
+}

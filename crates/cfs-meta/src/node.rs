@@ -1,0 +1,638 @@
+//! The meta node: many partitions behind one MultiRaft instance.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cfs_raft::hub::{RaftHost, RaftHub};
+use cfs_raft::{MultiRaft, RaftConfig, SnapshotPayload, WireEnvelope};
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::{CfsError, InodeId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
+
+use crate::command::{apply_read, MetaCommand, MetaRead, MetaValue};
+use crate::partition::{MetaPartition, MetaPartitionConfig};
+
+/// Per-partition status reported to the resource manager (drives
+/// utilization-based placement and the split decision, §2.3.1–§2.3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    pub partition_id: PartitionId,
+    pub volume_id: VolumeId,
+    pub start: InodeId,
+    pub end: InodeId,
+    pub item_count: u64,
+    pub max_inode: InodeId,
+    pub is_leader: bool,
+    pub leader_hint: Option<NodeId>,
+}
+
+/// RPCs a meta node serves.
+#[derive(Debug, Clone)]
+pub enum MetaRequest {
+    /// Leader-local read.
+    Read {
+        partition: PartitionId,
+        read: MetaRead,
+    },
+    /// Raft-replicated write.
+    Write {
+        partition: PartitionId,
+        cmd: MetaCommand,
+    },
+    /// Resource-manager task: host a replica of a new partition.
+    CreatePartition {
+        config: MetaPartitionConfig,
+        members: Vec<NodeId>,
+    },
+    /// Status of one partition.
+    Info { partition: PartitionId },
+    /// Status of every hosted partition (heartbeat reply body, §2.3).
+    Report,
+}
+
+/// Replies to [`MetaRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaResponse {
+    Value(MetaValue),
+    Created,
+    Info(PartitionInfo),
+    Report(Vec<PartitionInfo>),
+}
+
+struct Inner {
+    multiraft: MultiRaft,
+    partitions: HashMap<PartitionId, MetaPartition>,
+    /// Apply results awaiting pickup by the proposing RPC handler,
+    /// keyed by (group, log index). Only populated on the leader.
+    results: HashMap<(RaftGroupId, u64), Result<MetaValue>>,
+}
+
+/// A meta node (§2.1): hosts meta partitions, replicates their commands
+/// with MultiRaft, persists them via Raft snapshots, and serves client
+/// metadata RPCs.
+pub struct MetaNode {
+    id: NodeId,
+    hub: RaftHub,
+    inner: Mutex<Inner>,
+    /// Max ticks to wait for a proposal to commit before reporting a
+    /// timeout to the client (who retries per §2.1.3).
+    commit_timeout_ticks: u64,
+}
+
+impl MetaNode {
+    /// Create a meta node and register it on the raft hub.
+    pub fn new(id: NodeId, hub: RaftHub, raft_config: RaftConfig, seed: u64) -> Arc<Self> {
+        let node = Arc::new(MetaNode {
+            id,
+            hub: hub.clone(),
+            inner: Mutex::new(Inner {
+                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                partitions: HashMap::new(),
+                results: HashMap::new(),
+            }),
+            commit_timeout_ticks: 2_000,
+        });
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn group_of(partition: PartitionId) -> RaftGroupId {
+        RaftGroupId(partition.raw())
+    }
+
+    /// Handle one RPC (the `cfs-net` service entry point).
+    pub fn handle(&self, req: MetaRequest) -> Result<MetaResponse> {
+        match req {
+            MetaRequest::Read { partition, read } => {
+                self.read(partition, &read).map(MetaResponse::Value)
+            }
+            MetaRequest::Write { partition, cmd } => {
+                self.write(partition, &cmd).map(MetaResponse::Value)
+            }
+            MetaRequest::CreatePartition { config, members } => {
+                self.create_partition(config, members)?;
+                Ok(MetaResponse::Created)
+            }
+            MetaRequest::Info { partition } => self.info(partition).map(MetaResponse::Info),
+            MetaRequest::Report => Ok(MetaResponse::Report(self.report())),
+        }
+    }
+
+    /// Host a new partition replica. Idempotent for identical configs so
+    /// the resource manager can retry tasks.
+    pub fn create_partition(
+        &self,
+        config: MetaPartitionConfig,
+        members: Vec<NodeId>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let pid = config.partition_id;
+        if let Some(existing) = inner.partitions.get(&pid) {
+            if existing.config() == &config {
+                return Ok(());
+            }
+            return Err(CfsError::Exists(format!("{pid}")));
+        }
+        inner.multiraft.create_group(Self::group_of(pid), members)?;
+        inner.partitions.insert(pid, MetaPartition::new(config));
+        Ok(())
+    }
+
+    /// Leader-local read.
+    pub fn read(&self, partition: PartitionId, read: &MetaRead) -> Result<MetaValue> {
+        let inner = self.inner.lock();
+        let group = inner
+            .multiraft
+            .group(Self::group_of(partition))
+            .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+        if !group.is_leader() {
+            return Err(CfsError::NotLeader {
+                partition,
+                hint: group.leader_hint(),
+            });
+        }
+        let p = inner
+            .partitions
+            .get(&partition)
+            .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+        apply_read(read, p)
+    }
+
+    /// Raft-replicated write: propose, pump the hub until committed and
+    /// applied, return the apply result.
+    pub fn write(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<MetaValue> {
+        let group = Self::group_of(partition);
+        let index = {
+            let mut inner = self.inner.lock();
+            if !inner.partitions.contains_key(&partition) {
+                return Err(CfsError::NotFound(format!("{partition}")));
+            }
+            let node = inner
+                .multiraft
+                .group_mut(group)
+                .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+            node.propose(cmd.to_bytes())?
+        };
+        let committed = self.hub.pump_until(
+            || self.inner.lock().results.contains_key(&(group, index)),
+            self.commit_timeout_ticks,
+        );
+        if !committed {
+            return Err(CfsError::Timeout(format!(
+                "{partition}: commit of index {index}"
+            )));
+        }
+        self.inner
+            .lock()
+            .results
+            .remove(&(group, index))
+            .expect("result present per pump predicate")
+    }
+
+    /// Status of one partition.
+    pub fn info(&self, partition: PartitionId) -> Result<PartitionInfo> {
+        let inner = self.inner.lock();
+        let p = inner
+            .partitions
+            .get(&partition)
+            .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
+        let group = inner.multiraft.group(Self::group_of(partition));
+        Ok(Self::mk_info(p, group))
+    }
+
+    fn mk_info(p: &MetaPartition, group: Option<&cfs_raft::RaftNode>) -> PartitionInfo {
+        let cfg = p.config();
+        PartitionInfo {
+            partition_id: cfg.partition_id,
+            volume_id: cfg.volume_id,
+            start: cfg.start,
+            end: cfg.end,
+            item_count: p.item_count(),
+            max_inode: p.max_inode(),
+            is_leader: group.map(|g| g.is_leader()).unwrap_or(false),
+            leader_hint: group.and_then(|g| g.leader_hint()),
+        }
+    }
+
+    /// Status of all partitions (heartbeat payload to the resource
+    /// manager).
+    pub fn report(&self) -> Vec<PartitionInfo> {
+        let inner = self.inner.lock();
+        let mut infos: Vec<PartitionInfo> = inner
+            .partitions
+            .values()
+            .map(|p| {
+                Self::mk_info(
+                    p,
+                    inner
+                        .multiraft
+                        .group(Self::group_of(p.config().partition_id)),
+                )
+            })
+            .collect();
+        infos.sort_by_key(|i| i.partition_id);
+        infos
+    }
+
+    /// Total items across partitions: the node's "memory utilization"
+    /// signal for placement (§2.3.1).
+    pub fn total_items(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.partitions.values().map(|p| p.item_count()).sum()
+    }
+
+    /// Partitions hosted.
+    pub fn partition_count(&self) -> usize {
+        self.inner.lock().partitions.len()
+    }
+
+    /// Is this node the Raft leader for `partition`?
+    pub fn is_leader_for(&self, partition: PartitionId) -> bool {
+        self.inner
+            .lock()
+            .multiraft
+            .group(Self::group_of(partition))
+            .map(|g| g.is_leader())
+            .unwrap_or(false)
+    }
+
+    /// Drain the free list of a partition (background cleaner hook).
+    pub fn drain_free_list(&self, partition: PartitionId) -> Vec<InodeId> {
+        self.inner
+            .lock()
+            .partitions
+            .get_mut(&partition)
+            .map(|p| p.drain_free_list())
+            .unwrap_or_default()
+    }
+}
+
+impl RaftHost for MetaNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn raft_tick(&self) {
+        self.inner.lock().multiraft.tick_all();
+    }
+
+    fn raft_drain(&self) -> Vec<WireEnvelope> {
+        let mut inner = self.inner.lock();
+        let (msgs, readies) = inner.multiraft.drain();
+        for (gid, ready) in readies {
+            let pid = PartitionId(gid.raw());
+
+            // Restore a received snapshot before applying entries.
+            if let Some(snap) = ready.snapshot {
+                match MetaPartition::from_snapshot(&snap.data) {
+                    Ok(p) => {
+                        inner.partitions.insert(pid, p);
+                    }
+                    Err(e) => {
+                        debug_assert!(false, "snapshot restore failed: {e}");
+                    }
+                }
+            }
+
+            let is_leader = inner
+                .multiraft
+                .group(gid)
+                .map(|g| g.is_leader())
+                .unwrap_or(false);
+            for entry in ready.committed {
+                if entry.data.is_empty() {
+                    continue; // leader no-op
+                }
+                let result = match MetaCommand::from_bytes(&entry.data) {
+                    Ok(cmd) => match inner.partitions.get_mut(&pid) {
+                        Some(p) => cmd.apply(p),
+                        None => Err(CfsError::NotFound(format!("{pid}"))),
+                    },
+                    Err(e) => Err(e),
+                };
+                if is_leader {
+                    inner.results.insert((gid, entry.index), result);
+                }
+            }
+
+            // Log compaction (§2.1.3): snapshot the partition and truncate.
+            let wants = inner
+                .multiraft
+                .group(gid)
+                .map(|g| g.wants_compaction())
+                .unwrap_or(false);
+            if wants {
+                if let Some(p) = inner.partitions.get(&pid) {
+                    let data = p.snapshot_bytes();
+                    if let Some(g) = inner.multiraft.group_mut(gid) {
+                        let (idx, term) = g.compaction_point();
+                        g.compact(SnapshotPayload {
+                            last_index: idx,
+                            last_term: term,
+                            data,
+                        });
+                    }
+                }
+            }
+        }
+        // Bound the orphaned-results map (followers that later became
+        // leaders, abandoned client requests…).
+        if inner.results.len() > 65_536 {
+            inner.results.clear();
+        }
+        msgs
+    }
+
+    fn raft_deliver(&self, env: WireEnvelope) {
+        self.inner.lock().multiraft.receive(env.from, env.msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_types::FileType;
+
+    fn cluster(n: u64) -> (RaftHub, Vec<Arc<MetaNode>>) {
+        let hub = RaftHub::new();
+        let nodes: Vec<Arc<MetaNode>> = (1..=n)
+            .map(|i| MetaNode::new(NodeId(i), hub.clone(), RaftConfig::default(), 1234))
+            .collect();
+        (hub, nodes)
+    }
+
+    fn mk_partition(hub: &RaftHub, nodes: &[Arc<MetaNode>], pid: u64) -> PartitionId {
+        let members: Vec<NodeId> = nodes.iter().map(|n| n.id()).collect();
+        let config = MetaPartitionConfig {
+            partition_id: PartitionId(pid),
+            volume_id: VolumeId(1),
+            start: InodeId(1),
+            end: InodeId::MAX,
+        };
+        for n in nodes {
+            n.create_partition(config.clone(), members.clone()).unwrap();
+        }
+        let p = PartitionId(pid);
+        assert!(hub.pump_until(|| nodes.iter().any(|n| n.is_leader_for(p)), 5_000));
+        p
+    }
+
+    fn leader_of(nodes: &[Arc<MetaNode>], p: PartitionId) -> Arc<MetaNode> {
+        nodes
+            .iter()
+            .find(|n| n.is_leader_for(p))
+            .expect("leader exists")
+            .clone()
+    }
+
+    #[test]
+    fn replicated_create_and_read() {
+        let (hub, nodes) = cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+
+        let root = leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::Dir,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        assert_eq!(root.id, InodeId(1));
+
+        let f = leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 2,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        leader
+            .write(
+                p,
+                &MetaCommand::CreateDentry {
+                    parent: root.id,
+                    name: "hello".into(),
+                    inode: f.id,
+                    file_type: FileType::File,
+                },
+            )
+            .unwrap();
+
+        let d = leader
+            .read(
+                p,
+                &MetaRead::Lookup {
+                    parent: root.id,
+                    name: "hello".into(),
+                },
+            )
+            .unwrap()
+            .into_dentry()
+            .unwrap();
+        assert_eq!(d.inode, f.id);
+
+        // All replicas converged (run a few heartbeats to propagate commit).
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+        for n in &nodes {
+            assert_eq!(n.total_items(), 3, "{}", n.id());
+        }
+    }
+
+    #[test]
+    fn follower_redirects_with_leader_hint() {
+        let (hub, nodes) = cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        let follower = nodes.iter().find(|n| !n.is_leader_for(p)).unwrap();
+
+        let err = follower
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 0,
+                },
+            )
+            .unwrap_err();
+        match err {
+            CfsError::NotLeader { hint, .. } => {
+                assert_eq!(hint, Some(leader.id()), "hint points at the leader");
+            }
+            other => panic!("expected NotLeader, got {other}"),
+        }
+        let err = follower
+            .read(p, &MetaRead::ReadDir { parent: InodeId(1) })
+            .unwrap_err();
+        assert!(matches!(err, CfsError::NotLeader { .. }));
+    }
+
+    #[test]
+    fn writes_survive_leader_failover() {
+        let (hub, nodes) = cluster(3);
+        let faults = cfs_types::FaultState::new();
+        hub.set_faults(faults.clone());
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+
+        leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::Dir,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap();
+
+        faults.set_down(leader.id(), true);
+        assert!(hub.pump_until(
+            || nodes
+                .iter()
+                .any(|n| n.id() != leader.id() && n.is_leader_for(p)),
+            10_000
+        ));
+        let new_leader = nodes
+            .iter()
+            .find(|n| n.id() != leader.id() && n.is_leader_for(p))
+            .unwrap();
+
+        // The new leader sees the old write and accepts new ones.
+        let f = new_leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 2,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        assert_eq!(f.id, InodeId(2), "allocation continued after the root");
+    }
+
+    #[test]
+    fn multiple_partitions_on_same_nodes() {
+        let (hub, nodes) = cluster(3);
+        let p1 = mk_partition(&hub, &nodes, 1);
+        let p2 = mk_partition(&hub, &nodes, 2);
+        let l1 = leader_of(&nodes, p1);
+        let l2 = leader_of(&nodes, p2);
+        // Inode spaces are independent.
+        let a = l1
+            .write(
+                p1,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 0,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        let b = l2
+            .write(
+                p2,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 0,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        assert_eq!(a.id, InodeId(1));
+        assert_eq!(b.id, InodeId(1));
+        assert_eq!(l1.info(p1).unwrap().item_count, 1);
+    }
+
+    #[test]
+    fn create_partition_is_idempotent_for_same_config() {
+        let (_hub, nodes) = cluster(1);
+        let cfg = MetaPartitionConfig {
+            partition_id: PartitionId(5),
+            volume_id: VolumeId(1),
+            start: InodeId(1),
+            end: InodeId::MAX,
+        };
+        nodes[0]
+            .create_partition(cfg.clone(), vec![nodes[0].id()])
+            .unwrap();
+        nodes[0]
+            .create_partition(cfg.clone(), vec![nodes[0].id()])
+            .unwrap();
+        let mut other = cfg;
+        other.start = InodeId(100);
+        assert!(nodes[0]
+            .create_partition(other, vec![nodes[0].id()])
+            .is_err());
+    }
+
+    #[test]
+    fn lagging_replica_catches_up_via_snapshot_after_compaction() {
+        let (hub, nodes) = cluster(3);
+        let faults = cfs_types::FaultState::new();
+        hub.set_faults(faults.clone());
+        // Small compaction threshold via custom config.
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        let laggard = nodes.iter().find(|n| !n.is_leader_for(p)).unwrap().clone();
+
+        faults.set_down(laggard.id(), true);
+        for i in 0..50 {
+            leader
+                .write(
+                    p,
+                    &MetaCommand::CreateInode {
+                        file_type: FileType::File,
+                        link_target: vec![],
+                        now_ns: i,
+                    },
+                )
+                .unwrap();
+        }
+        // Force compaction on the leader by draining with a snapshot taken
+        // manually: lower-level hook — run enough writes that the default
+        // threshold (4096) is NOT reached; compact explicitly instead.
+        {
+            let mut inner = leader.inner.lock();
+            let data = inner.partitions.get(&p).unwrap().snapshot_bytes();
+            let g = inner.multiraft.group_mut(RaftGroupId(p.raw())).unwrap();
+            let (idx, term) = g.compaction_point();
+            g.compact(SnapshotPayload {
+                last_index: idx,
+                last_term: term,
+                data,
+            });
+            assert_eq!(g.live_log_len(), 0);
+        }
+
+        faults.set_down(laggard.id(), false);
+        assert!(hub.pump_until(|| laggard.total_items() == 50, 10_000));
+        assert_eq!(laggard.info(p).unwrap().max_inode, InodeId(50));
+    }
+}

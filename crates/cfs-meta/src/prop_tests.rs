@@ -1,0 +1,203 @@
+//! Property-based tests of the meta partition: arbitrary command
+//! sequences against an in-memory model, plus snapshot/restore and
+//! determinism invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cfs_types::{FileType, InodeId, PartitionId, VolumeId};
+
+use crate::command::MetaCommand;
+use crate::partition::{MetaPartition, MetaPartitionConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateInode(bool), // dir?
+    CreateDentry { parent_ix: u8, name: u8, target_ix: u8 },
+    DeleteDentry { parent_ix: u8, name: u8 },
+    Link(u8),
+    Unlink(u8),
+    Evict(u8),
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<bool>().prop_map(Op::CreateInode),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(p, n, t)| Op::CreateDentry {
+            parent_ix: p,
+            name: n % 16,
+            target_ix: t,
+        }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(p, n)| Op::DeleteDentry {
+            parent_ix: p,
+            name: n % 16,
+        }),
+        1 => any::<u8>().prop_map(Op::Link),
+        2 => any::<u8>().prop_map(Op::Unlink),
+        1 => any::<u8>().prop_map(Op::Evict),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+fn partition() -> MetaPartition {
+    MetaPartition::new(MetaPartitionConfig {
+        partition_id: PartitionId(1),
+        volume_id: VolumeId(1),
+        start: InodeId(1),
+        end: InodeId::MAX,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The partition agrees with a simple model on inode existence,
+    /// nlink counts and the dentry namespace — and every snapshot
+    /// restores byte-identically.
+    #[test]
+    fn partition_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut p = partition();
+        // Model: inode id -> nlink; dentry (parent, name) -> inode.
+        let mut inodes: Vec<InodeId> = Vec::new(); // allocation order
+        let mut nlink: BTreeMap<InodeId, u32> = BTreeMap::new();
+        let mut dentries: BTreeMap<(InodeId, String), InodeId> = BTreeMap::new();
+
+        let pick = |v: &Vec<InodeId>, ix: u8| -> Option<InodeId> {
+            if v.is_empty() { None } else { Some(v[ix as usize % v.len()]) }
+        };
+
+        for op in &ops {
+            match op {
+                Op::CreateInode(is_dir) => {
+                    let ft = if *is_dir { FileType::Dir } else { FileType::File };
+                    let ino = p.create_inode(ft, b"", 1).unwrap();
+                    inodes.push(ino.id);
+                    nlink.insert(ino.id, ft.initial_nlink());
+                }
+                Op::CreateDentry { parent_ix, name, target_ix } => {
+                    let (Some(parent), Some(target)) =
+                        (pick(&inodes, *parent_ix), pick(&inodes, *target_ix))
+                    else { continue };
+                    if !nlink.contains_key(&parent) || !nlink.contains_key(&target) {
+                        continue;
+                    }
+                    let nm = format!("d{name}");
+                    let got = p.create_dentry(parent, &nm, target, FileType::File);
+                    let key = (parent, nm);
+                    if dentries.contains_key(&key) {
+                        prop_assert!(got.is_err(), "duplicate dentry accepted");
+                    } else {
+                        prop_assert!(got.is_ok());
+                        dentries.insert(key, target);
+                    }
+                }
+                Op::DeleteDentry { parent_ix, name } => {
+                    let Some(parent) = pick(&inodes, *parent_ix) else { continue };
+                    let nm = format!("d{name}");
+                    let got = p.delete_dentry(parent, &nm);
+                    match dentries.remove(&(parent, nm)) {
+                        Some(target) => {
+                            prop_assert_eq!(got.unwrap().inode, target);
+                        }
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                Op::Link(ix) => {
+                    let Some(ino) = pick(&inodes, *ix) else { continue };
+                    if let Some(n) = nlink.get_mut(&ino) {
+                        let got = p.inode_link(ino).unwrap();
+                        *n += 1;
+                        prop_assert_eq!(got.nlink, *n);
+                    }
+                }
+                Op::Unlink(ix) => {
+                    let Some(ino) = pick(&inodes, *ix) else { continue };
+                    if let Some(n) = nlink.get_mut(&ino) {
+                        let got = p.inode_unlink(ino, 2).unwrap();
+                        *n = n.saturating_sub(1);
+                        prop_assert_eq!(got.nlink, *n);
+                    }
+                }
+                Op::Evict(ix) => {
+                    let Some(ino) = pick(&inodes, *ix) else { continue };
+                    if nlink.remove(&ino).is_some() {
+                        prop_assert!(p.evict_inode(ino).is_ok());
+                    } else {
+                        prop_assert!(p.evict_inode(ino).is_err(), "double evict");
+                    }
+                }
+                Op::Snapshot => {
+                    let bytes = p.snapshot_bytes();
+                    let q = MetaPartition::from_snapshot(&bytes).unwrap();
+                    prop_assert_eq!(
+                        q.snapshot_bytes(),
+                        bytes,
+                        "snapshot restore is byte-identical"
+                    );
+                    prop_assert_eq!(q.item_count(), p.item_count());
+                }
+            }
+            // Global invariants after every op.
+            prop_assert_eq!(
+                p.item_count(),
+                (nlink.len() + dentries.len()) as u64,
+                "item count tracks model"
+            );
+        }
+
+        // Final audit: every model inode and dentry is observable.
+        for (ino, n) in &nlink {
+            let got = p.get_inode(*ino).unwrap();
+            prop_assert_eq!(got.nlink, *n);
+        }
+        for ((parent, name), target) in &dentries {
+            let d = p.get_dentry(*parent, name).unwrap();
+            prop_assert_eq!(d.inode, *target);
+        }
+    }
+
+    /// Replaying a command log on a fresh partition yields an identical
+    /// snapshot — the determinism Raft relies on.
+    #[test]
+    fn command_replay_is_deterministic(
+        seeds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60)
+    ) {
+        let mut log: Vec<MetaCommand> = Vec::new();
+        for (a, b, c) in seeds {
+            match a % 5 {
+                0 => log.push(MetaCommand::CreateInode {
+                    file_type: if b % 2 == 0 { FileType::File } else { FileType::Dir },
+                    link_target: vec![],
+                    now_ns: c as u64,
+                }),
+                1 => log.push(MetaCommand::CreateDentry {
+                    parent: InodeId(1 + (b % 8) as u64),
+                    name: format!("f{}", c % 8),
+                    inode: InodeId(1 + (c % 8) as u64),
+                    file_type: FileType::File,
+                }),
+                2 => log.push(MetaCommand::DeleteDentry {
+                    parent: InodeId(1 + (b % 8) as u64),
+                    name: format!("f{}", c % 8),
+                }),
+                3 => log.push(MetaCommand::Unlink {
+                    inode: InodeId(1 + (b % 8) as u64),
+                    now_ns: c as u64,
+                }),
+                _ => log.push(MetaCommand::Link {
+                    inode: InodeId(1 + (b % 8) as u64),
+                }),
+            }
+        }
+        let mut p1 = partition();
+        let mut p2 = partition();
+        for cmd in &log {
+            let r1 = cmd.apply(&mut p1);
+            let r2 = cmd.apply(&mut p2);
+            prop_assert_eq!(r1, r2, "identical results incl. errors");
+        }
+        prop_assert_eq!(p1.snapshot_bytes(), p2.snapshot_bytes());
+    }
+}

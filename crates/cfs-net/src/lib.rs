@@ -1,0 +1,263 @@
+//! In-memory RPC fabric with fault injection.
+//!
+//! The real (non-simulated) CFS stack runs as an in-process cluster: every
+//! node registers a [`Service`] handler and peers call each other through a
+//! [`Network`]. The network can kill nodes, cut links, and count traffic,
+//! which is how the integration tests exercise the paper's failure paths —
+//! request timeouts marking partitions read-only (§2.3.3), client retries
+//! (§2.1.3), and leader-change redirects (§2.4) — without real sockets.
+//!
+//! The paper's clients use *non-persistent connections* to the resource
+//! manager (§2.5.2); accordingly this fabric is connectionless: every
+//! `call` is independent.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cfs_types::{CfsError, FaultState, NodeId, Result};
+
+/// A node-side request handler.
+pub trait Service<Req, Resp>: Send + Sync {
+    /// Handle one request from `from`.
+    fn handle(&self, from: NodeId, req: Req) -> Resp;
+}
+
+impl<Req, Resp, F> Service<Req, Resp> for F
+where
+    F: Fn(NodeId, Req) -> Resp + Send + Sync,
+{
+    fn handle(&self, from: NodeId, req: Req) -> Resp {
+        self(from, req)
+    }
+}
+
+/// Traffic counters.
+#[derive(Debug, Default)]
+struct Counters {
+    calls: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// A connectionless request/response fabric between nodes.
+///
+/// Cloning shares the underlying fabric (`Arc` semantics), so components
+/// can hold their own handle.
+pub struct Network<Req, Resp> {
+    inner: Arc<Inner<Req, Resp>>,
+}
+
+struct Inner<Req, Resp> {
+    services: RwLock<HashMap<NodeId, Arc<dyn Service<Req, Resp>>>>,
+    /// Nodes that are down: calls to them time out.
+    down: RwLock<HashSet<NodeId>>,
+    /// Directed links that are cut: calls over them time out.
+    cut: RwLock<HashSet<(NodeId, NodeId)>>,
+    /// Optional cluster-wide fault switches shared with the raft hub, so
+    /// one "kill node" affects RPC and consensus traffic alike.
+    faults: RwLock<Option<FaultState>>,
+    counters: Counters,
+}
+
+impl<Req, Resp> Clone for Network<Req, Resp> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<Req, Resp> Default for Network<Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Req, Resp> Network<Req, Resp> {
+    /// Empty fabric.
+    pub fn new() -> Self {
+        Network {
+            inner: Arc::new(Inner {
+                services: RwLock::new(HashMap::new()),
+                down: RwLock::new(HashSet::new()),
+                cut: RwLock::new(HashSet::new()),
+                faults: RwLock::new(None),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Register (or replace) the handler for `node`.
+    pub fn register(&self, node: NodeId, service: Arc<dyn Service<Req, Resp>>) {
+        self.inner.services.write().insert(node, service);
+    }
+
+    /// Deregister a node entirely.
+    pub fn deregister(&self, node: NodeId) {
+        self.inner.services.write().remove(&node);
+    }
+
+    /// Share cluster-wide fault state (also consulted by the raft hub).
+    pub fn set_faults(&self, faults: FaultState) {
+        *self.inner.faults.write() = Some(faults);
+    }
+
+    fn fault_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        match &*self.inner.faults.read() {
+            Some(f) => !f.link_ok(from, to),
+            None => false,
+        }
+    }
+
+    /// Synchronous RPC. Fails with `Timeout` if the destination is down,
+    /// unregistered, or the link is cut.
+    pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp> {
+        self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
+        if self.inner.down.read().contains(&to)
+            || self.inner.cut.read().contains(&(from, to))
+            || self.fault_blocked(from, to)
+        {
+            self.inner.counters.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(CfsError::Timeout(format!("{from} -> {to}")));
+        }
+        let service = {
+            let services = self.inner.services.read();
+            services.get(&to).cloned()
+        };
+        match service {
+            Some(s) => Ok(s.handle(from, req)),
+            None => {
+                self.inner.counters.failures.fetch_add(1, Ordering::Relaxed);
+                Err(CfsError::Unavailable(format!("{to}: not registered")))
+            }
+        }
+    }
+
+    /// Take a node down (calls to it time out) or bring it back.
+    pub fn set_down(&self, node: NodeId, down: bool) {
+        if down {
+            self.inner.down.write().insert(node);
+        } else {
+            self.inner.down.write().remove(&node);
+        }
+    }
+
+    /// True if the node is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.inner.down.read().contains(&node)
+    }
+
+    /// Cut or restore the directed link `from → to`.
+    pub fn set_link_cut(&self, from: NodeId, to: NodeId, cut: bool) {
+        if cut {
+            self.inner.cut.write().insert((from, to));
+        } else {
+            self.inner.cut.write().remove(&(from, to));
+        }
+    }
+
+    /// Cut or restore both directions between two nodes.
+    pub fn set_partitioned(&self, a: NodeId, b: NodeId, cut: bool) {
+        self.set_link_cut(a, b, cut);
+        self.set_link_cut(b, a, cut);
+    }
+
+    /// Total calls attempted.
+    pub fn call_count(&self) -> u64 {
+        self.inner.counters.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls that failed at the fabric level (down node / cut link).
+    pub fn failure_count(&self) -> u64 {
+        self.inner.counters.failures.load(Ordering::Relaxed)
+    }
+
+    /// Registered node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.inner.services.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_network() -> Network<String, String> {
+        let net: Network<String, String> = Network::new();
+        for id in 1..=3u64 {
+            net.register(
+                NodeId(id),
+                Arc::new(move |from: NodeId, req: String| format!("{id} got {req} from {from}")),
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn basic_call_roundtrip() {
+        let net = echo_network();
+        let resp = net.call(NodeId(1), NodeId(2), "ping".into()).unwrap();
+        assert_eq!(resp, "2 got ping from n1");
+        assert_eq!(net.call_count(), 1);
+        assert_eq!(net.failure_count(), 0);
+    }
+
+    #[test]
+    fn down_node_times_out_and_recovers() {
+        let net = echo_network();
+        net.set_down(NodeId(2), true);
+        assert!(net.is_down(NodeId(2)));
+        let err = net.call(NodeId(1), NodeId(2), "x".into()).unwrap_err();
+        assert!(matches!(err, CfsError::Timeout(_)));
+        assert!(err.is_retryable());
+        // Other nodes unaffected.
+        net.call(NodeId(1), NodeId(3), "x".into()).unwrap();
+        net.set_down(NodeId(2), false);
+        net.call(NodeId(1), NodeId(2), "x".into()).unwrap();
+        assert_eq!(net.failure_count(), 1);
+    }
+
+    #[test]
+    fn cut_link_is_directional() {
+        let net = echo_network();
+        net.set_link_cut(NodeId(1), NodeId(2), true);
+        assert!(net.call(NodeId(1), NodeId(2), "x".into()).is_err());
+        assert!(net.call(NodeId(2), NodeId(1), "x".into()).is_ok());
+        net.set_link_cut(NodeId(1), NodeId(2), false);
+        assert!(net.call(NodeId(1), NodeId(2), "x".into()).is_ok());
+    }
+
+    #[test]
+    fn partition_cuts_both_directions() {
+        let net = echo_network();
+        net.set_partitioned(NodeId(1), NodeId(3), true);
+        assert!(net.call(NodeId(1), NodeId(3), "x".into()).is_err());
+        assert!(net.call(NodeId(3), NodeId(1), "x".into()).is_err());
+        net.set_partitioned(NodeId(1), NodeId(3), false);
+        assert!(net.call(NodeId(1), NodeId(3), "x".into()).is_ok());
+    }
+
+    #[test]
+    fn unregistered_node_is_unavailable() {
+        let net = echo_network();
+        let err = net.call(NodeId(1), NodeId(9), "x".into()).unwrap_err();
+        assert!(matches!(err, CfsError::Unavailable(_)));
+        net.deregister(NodeId(3));
+        assert!(net.call(NodeId(1), NodeId(3), "x".into()).is_err());
+        assert_eq!(net.nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn clone_shares_fabric() {
+        let net = echo_network();
+        let net2 = net.clone();
+        net2.set_down(NodeId(1), true);
+        assert!(net.is_down(NodeId(1)));
+        net2.call(NodeId(3), NodeId(2), "via clone".into()).unwrap();
+        assert_eq!(net.call_count(), 1);
+    }
+}

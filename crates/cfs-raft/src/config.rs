@@ -1,0 +1,87 @@
+//! Raft tuning knobs.
+
+/// Timing is expressed in abstract *ticks*; the embedding layer decides the
+/// tick length (the in-memory cluster uses 1 tick = 1 ms).
+#[derive(Debug, Clone)]
+pub struct RaftConfig {
+    /// Election timeout lower bound (ticks). Each timer reset draws a fresh
+    /// timeout uniformly from `[election_timeout_min, election_timeout_max)`.
+    pub election_timeout_min: u64,
+    /// Election timeout upper bound (ticks), exclusive.
+    pub election_timeout_max: u64,
+    /// Leader heartbeat period (ticks).
+    pub heartbeat_interval: u64,
+    /// Max log entries carried by one AppendEntries message.
+    pub max_entries_per_message: usize,
+    /// Compact the log once this many entries are applied past the last
+    /// snapshot. `0` disables automatic compaction.
+    pub snapshot_threshold: u64,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: 150,
+            election_timeout_max: 300,
+            heartbeat_interval: 50,
+            max_entries_per_message: 256,
+            snapshot_threshold: 4096,
+        }
+    }
+}
+
+impl RaftConfig {
+    /// Validate the invariants the node relies on.
+    pub fn validate(&self) -> cfs_types::Result<()> {
+        use cfs_types::CfsError;
+        if self.election_timeout_min == 0 || self.election_timeout_max <= self.election_timeout_min
+        {
+            return Err(CfsError::InvalidArgument(
+                "election timeout range must be non-empty and positive".into(),
+            ));
+        }
+        if self.heartbeat_interval == 0 || self.heartbeat_interval >= self.election_timeout_min {
+            return Err(CfsError::InvalidArgument(
+                "heartbeat interval must be positive and below the election timeout".into(),
+            ));
+        }
+        if self.max_entries_per_message == 0 {
+            return Err(CfsError::InvalidArgument(
+                "max_entries_per_message must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(RaftConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_timeouts() {
+        let base = RaftConfig::default();
+        let c = RaftConfig {
+            election_timeout_max: base.election_timeout_min,
+            ..base.clone()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RaftConfig {
+            heartbeat_interval: base.election_timeout_min,
+            ..base.clone()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RaftConfig {
+            max_entries_per_message: 0,
+            ..base
+        };
+        assert!(c.validate().is_err());
+    }
+}

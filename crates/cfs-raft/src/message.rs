@@ -1,0 +1,135 @@
+//! Raft wire messages.
+
+use cfs_types::{NodeId, RaftGroupId};
+
+use crate::log::Entry;
+
+/// A state-machine snapshot shipped to a lagging follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPayload {
+    /// Last log index covered by the snapshot.
+    pub last_index: u64,
+    /// Term of that index.
+    pub last_term: u64,
+    /// Serialized state machine.
+    pub data: Vec<u8>,
+}
+
+/// Messages exchanged within one Raft group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    RequestVote {
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+    },
+    RequestVoteResp {
+        term: u64,
+        granted: bool,
+    },
+    AppendEntries {
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<Entry>,
+        leader_commit: u64,
+    },
+    AppendEntriesResp {
+        term: u64,
+        success: bool,
+        /// On success: highest index now matching the leader's log.
+        /// On failure: a hint — the follower's last index — so the leader
+        /// can back off `next_index` in one step instead of by one.
+        match_index: u64,
+    },
+    InstallSnapshot {
+        term: u64,
+        snapshot: SnapshotPayload,
+    },
+    InstallSnapshotResp {
+        term: u64,
+        /// Index the follower restored to.
+        match_index: u64,
+    },
+}
+
+impl Message {
+    /// The sender's term, present in every message.
+    pub fn term(&self) -> u64 {
+        match self {
+            Message::RequestVote { term, .. }
+            | Message::RequestVoteResp { term, .. }
+            | Message::AppendEntries { term, .. }
+            | Message::AppendEntriesResp { term, .. }
+            | Message::InstallSnapshot { term, .. }
+            | Message::InstallSnapshotResp { term, .. } => *term,
+        }
+    }
+
+    /// True for an empty AppendEntries — pure heartbeat traffic, the
+    /// target of MultiRaft coalescing.
+    pub fn is_heartbeat(&self) -> bool {
+        matches!(
+            self,
+            Message::AppendEntries { entries, .. } if entries.is_empty()
+        )
+    }
+}
+
+/// A routed message: one group's message between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub group: RaftGroupId,
+    pub msg: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_extraction() {
+        let m = Message::RequestVote {
+            term: 7,
+            last_log_index: 1,
+            last_log_term: 1,
+        };
+        assert_eq!(m.term(), 7);
+        let m = Message::InstallSnapshotResp {
+            term: 3,
+            match_index: 10,
+        };
+        assert_eq!(m.term(), 3);
+    }
+
+    #[test]
+    fn heartbeat_detection() {
+        let hb = Message::AppendEntries {
+            term: 1,
+            prev_index: 0,
+            prev_term: 0,
+            entries: vec![],
+            leader_commit: 0,
+        };
+        assert!(hb.is_heartbeat());
+        let ae = Message::AppendEntries {
+            term: 1,
+            prev_index: 0,
+            prev_term: 0,
+            entries: vec![Entry {
+                index: 1,
+                term: 1,
+                data: vec![],
+            }],
+            leader_commit: 0,
+        };
+        assert!(!ae.is_heartbeat());
+        assert!(!Message::RequestVoteResp {
+            term: 1,
+            granted: true
+        }
+        .is_heartbeat());
+    }
+}

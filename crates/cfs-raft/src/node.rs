@@ -1,0 +1,800 @@
+//! A single Raft group member (sans-io).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cfs_types::{CfsError, NodeId, RaftGroupId, Result};
+
+use crate::config::RaftConfig;
+use crate::log::{Entry, RaftLog};
+use crate::message::{Envelope, Message, SnapshotPayload};
+
+/// Role within the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// Everything the embedding layer must act on after ticks/steps:
+/// messages to transmit, entries to apply, and a snapshot to restore.
+#[derive(Debug, Default)]
+pub struct Ready {
+    /// Outbound messages.
+    pub messages: Vec<Envelope>,
+    /// Newly committed entries, in order; apply them to the state machine.
+    pub committed: Vec<Entry>,
+    /// A received snapshot the state machine must restore *before*
+    /// applying `committed`.
+    pub snapshot: Option<SnapshotPayload>,
+    /// True if this node just won an election.
+    pub became_leader: bool,
+}
+
+impl Ready {
+    /// Nothing to do?
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+            && self.committed.is_empty()
+            && self.snapshot.is_none()
+            && !self.became_leader
+    }
+}
+
+/// Per-peer replication progress kept by the leader.
+#[derive(Debug, Clone, Copy)]
+struct Progress {
+    next_index: u64,
+    match_index: u64,
+}
+
+/// One member of one Raft group.
+///
+/// Drive it with [`RaftNode::tick`] (time) and [`RaftNode::step`] (inbound
+/// messages); propose with [`RaftNode::propose`]; drain effects with
+/// [`RaftNode::take_ready`]. The node never blocks, spawns, or reads a
+/// clock, so a test can run thousands of deterministic elections.
+pub struct RaftNode {
+    id: NodeId,
+    group: RaftGroupId,
+    /// All group members including `id`.
+    members: Vec<NodeId>,
+    config: RaftConfig,
+
+    term: u64,
+    voted_for: Option<NodeId>,
+    role: Role,
+    leader_hint: Option<NodeId>,
+
+    log: RaftLog,
+    commit: u64,
+    applied: u64,
+
+    votes: HashSet<NodeId>,
+    progress: HashMap<NodeId, Progress>,
+
+    election_elapsed: u64,
+    heartbeat_elapsed: u64,
+    election_timeout: u64,
+    rng: SmallRng,
+
+    ready: Ready,
+    /// Provider of snapshot bytes when a lagging peer needs catch-up; set
+    /// by the embedding layer after each compaction.
+    snapshot_payload: Option<SnapshotPayload>,
+    /// When true, the embedding layer (MultiRaft) owns the heartbeat
+    /// cadence so that all groups on a node beat in phase and coalesce.
+    external_heartbeat: bool,
+}
+
+impl std::fmt::Debug for RaftNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaftNode")
+            .field("id", &self.id)
+            .field("group", &self.group)
+            .field("term", &self.term)
+            .field("role", &self.role)
+            .field("commit", &self.commit)
+            .field("last_index", &self.log.last_index())
+            .finish()
+    }
+}
+
+impl RaftNode {
+    /// Create a member of `group` with the given co-members. `seed`
+    /// randomizes election jitter deterministically.
+    pub fn new(
+        id: NodeId,
+        group: RaftGroupId,
+        members: Vec<NodeId>,
+        config: RaftConfig,
+        seed: u64,
+    ) -> Self {
+        debug_assert!(members.contains(&id), "members must include self");
+        let mut rng = SmallRng::seed_from_u64(seed ^ id.raw() ^ (group.raw() << 32));
+        let election_timeout =
+            rng.gen_range(config.election_timeout_min..config.election_timeout_max);
+        RaftNode {
+            id,
+            group,
+            members,
+            config,
+            term: 0,
+            voted_for: None,
+            role: Role::Follower,
+            leader_hint: None,
+            log: RaftLog::new(),
+            commit: 0,
+            applied: 0,
+            votes: HashSet::new(),
+            progress: HashMap::new(),
+            election_elapsed: 0,
+            heartbeat_elapsed: 0,
+            election_timeout,
+            rng,
+            ready: Ready::default(),
+            snapshot_payload: None,
+            external_heartbeat: false,
+        }
+    }
+
+    /// Hand heartbeat scheduling to the embedding layer (see
+    /// [`crate::MultiRaft`]): `tick` stops auto-sending leader heartbeats;
+    /// call [`RaftNode::force_heartbeat`] instead.
+    pub fn set_external_heartbeat(&mut self, external: bool) {
+        self.external_heartbeat = external;
+    }
+
+    /// Broadcast a heartbeat now (no-op unless leader).
+    pub fn force_heartbeat(&mut self) {
+        if self.role == Role::Leader {
+            self.broadcast_append();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn group(&self) -> RaftGroupId {
+        self.group
+    }
+
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    pub fn commit_index(&self) -> u64 {
+        self.commit
+    }
+
+    pub fn last_index(&self) -> u64 {
+        self.log.last_index()
+    }
+
+    /// Last known leader, for client redirects (§2.4 leader cache).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Members of the group.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Live (uncompacted) log length, used to decide when to compact.
+    pub fn live_log_len(&self) -> usize {
+        self.log.live_len()
+    }
+
+    fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.id;
+        self.members.iter().copied().filter(move |&n| n != me)
+    }
+
+    // ------------------------------------------------------------------
+    // Driving
+    // ------------------------------------------------------------------
+
+    /// Advance logical time by one tick.
+    pub fn tick(&mut self) {
+        match self.role {
+            Role::Leader => {
+                if self.external_heartbeat {
+                    return;
+                }
+                self.heartbeat_elapsed += 1;
+                if self.heartbeat_elapsed >= self.config.heartbeat_interval {
+                    self.heartbeat_elapsed = 0;
+                    self.broadcast_append();
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                self.election_elapsed += 1;
+                if self.election_elapsed >= self.election_timeout {
+                    self.start_election();
+                }
+            }
+        }
+    }
+
+    /// Propose a command. Only the leader accepts; returns its log index.
+    pub fn propose(&mut self, data: Vec<u8>) -> Result<u64> {
+        if self.role != Role::Leader {
+            return Err(CfsError::NotLeader {
+                partition: cfs_types::PartitionId(self.group.raw()),
+                hint: self.leader_hint,
+            });
+        }
+        let index = self.log.append_new(self.term, data);
+        // Single-member groups commit immediately.
+        self.maybe_advance_commit();
+        // Replicate eagerly rather than waiting for the heartbeat tick.
+        self.broadcast_append();
+        Ok(index)
+    }
+
+    /// Drain pending effects.
+    pub fn take_ready(&mut self) -> Ready {
+        // Surface newly committed entries.
+        if self.commit > self.applied {
+            let from = self.applied + 1;
+            let n = (self.commit - self.applied) as usize;
+            let mut entries = self.log.slice(from, n);
+            // Entries below the snapshot base were applied via snapshot
+            // restore; skip them.
+            entries.retain(|e| e.index > self.applied);
+            if let Some(last) = entries.last() {
+                self.applied = last.index;
+            } else {
+                self.applied = self.commit.min(self.log.snapshot_base().0);
+            }
+            self.ready.committed.extend(entries);
+        }
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Record the state machine's latest snapshot and compact the log up to
+    /// its index. The embedding layer calls this when `live_log_len`
+    /// crosses the configured threshold (§2.1.3 log compaction).
+    pub fn compact(&mut self, snapshot: SnapshotPayload) {
+        let (idx, term) = (snapshot.last_index, snapshot.last_term);
+        debug_assert!(idx <= self.applied, "cannot compact unapplied entries");
+        self.log.compact_to(idx, term);
+        self.snapshot_payload = Some(snapshot);
+    }
+
+    /// Does the configured threshold call for compaction now?
+    pub fn wants_compaction(&self) -> bool {
+        self.config.snapshot_threshold > 0
+            && self.log.live_len() as u64 > self.config.snapshot_threshold
+            && self.applied > self.log.snapshot_base().0
+    }
+
+    /// Index/term pair a compaction snapshot must be taken at: the applied
+    /// index and its term.
+    pub fn compaction_point(&self) -> (u64, u64) {
+        (self.applied, self.log.term(self.applied).unwrap_or(0))
+    }
+
+    // ------------------------------------------------------------------
+    // Elections
+    // ------------------------------------------------------------------
+
+    fn reset_election_timer(&mut self) {
+        self.election_elapsed = 0;
+        self.election_timeout = self
+            .rng
+            .gen_range(self.config.election_timeout_min..self.config.election_timeout_max);
+    }
+
+    fn start_election(&mut self) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.leader_hint = None;
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.reset_election_timer();
+
+        if self.votes.len() >= self.quorum() {
+            self.become_leader();
+            return;
+        }
+        let (lli, llt) = (self.log.last_index(), self.log.last_term());
+        let term = self.term;
+        let peers: Vec<NodeId> = self.peers().collect();
+        for to in peers {
+            self.send(
+                to,
+                Message::RequestVote {
+                    term,
+                    last_log_index: lli,
+                    last_log_term: llt,
+                },
+            );
+        }
+    }
+
+    fn become_leader(&mut self) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.heartbeat_elapsed = 0;
+        let next = self.log.last_index() + 1;
+        self.progress = self
+            .peers()
+            .map(|p| {
+                (
+                    p,
+                    Progress {
+                        next_index: next,
+                        match_index: 0,
+                    },
+                )
+            })
+            .collect();
+        self.ready.became_leader = true;
+        // Commit a no-op entry of the new term so prior-term entries can
+        // commit through the current-term rule (Raft §5.4.2).
+        self.log.append_new(self.term, Vec::new());
+        self.maybe_advance_commit();
+        self.broadcast_append();
+    }
+
+    fn become_follower(&mut self, term: u64, leader: Option<NodeId>) {
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.leader_hint = leader;
+        self.votes.clear();
+        self.reset_election_timer();
+    }
+
+    // ------------------------------------------------------------------
+    // Replication (leader side)
+    // ------------------------------------------------------------------
+
+    fn broadcast_append(&mut self) {
+        let peers: Vec<NodeId> = self.peers().collect();
+        for to in peers {
+            self.send_append(to);
+        }
+    }
+
+    fn send_append(&mut self, to: NodeId) {
+        let pr = match self.progress.get(&to) {
+            Some(p) => *p,
+            None => return,
+        };
+        let prev_index = pr.next_index - 1;
+        // Peer is behind our compacted prefix: ship the snapshot instead.
+        if prev_index < self.log.snapshot_base().0 && pr.next_index < self.log.first_index() {
+            if let Some(snap) = self.snapshot_payload.clone() {
+                let term = self.term;
+                self.send(
+                    to,
+                    Message::InstallSnapshot {
+                        term,
+                        snapshot: snap,
+                    },
+                );
+                return;
+            }
+        }
+        let prev_term = match self.log.term(prev_index) {
+            Some(t) => t,
+            None => {
+                // prev_index compacted and no snapshot available yet; wait
+                // for the embedding layer to provide one.
+                return;
+            }
+        };
+        let entries = self
+            .log
+            .slice(pr.next_index, self.config.max_entries_per_message);
+        let term = self.term;
+        let commit = self.commit;
+        self.send(
+            to,
+            Message::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit: commit,
+            },
+        );
+    }
+
+    fn maybe_advance_commit(&mut self) {
+        if self.role != Role::Leader {
+            return;
+        }
+        // Median match across the group (self counts as last_index).
+        let mut matches: Vec<u64> = self.progress.values().map(|p| p.match_index).collect();
+        matches.push(self.log.last_index());
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = matches[self.quorum() - 1];
+        if candidate > self.commit && self.log.term(candidate) == Some(self.term) {
+            self.commit = candidate;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Feed one inbound message.
+    pub fn step(&mut self, from: NodeId, msg: Message) {
+        // Any newer term demotes us.
+        if msg.term() > self.term {
+            let leader = match &msg {
+                Message::AppendEntries { .. } | Message::InstallSnapshot { .. } => Some(from),
+                _ => None,
+            };
+            self.become_follower(msg.term(), leader);
+        }
+
+        match msg {
+            Message::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.handle_request_vote(from, term, last_log_index, last_log_term),
+            Message::RequestVoteResp { term, granted } => {
+                self.handle_vote_resp(from, term, granted)
+            }
+            Message::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => self.handle_append(from, term, prev_index, prev_term, entries, leader_commit),
+            Message::AppendEntriesResp {
+                term,
+                success,
+                match_index,
+            } => self.handle_append_resp(from, term, success, match_index),
+            Message::InstallSnapshot { term, snapshot } => {
+                self.handle_install_snapshot(from, term, snapshot)
+            }
+            Message::InstallSnapshotResp { term, match_index } => {
+                self.handle_append_resp(from, term, true, match_index)
+            }
+        }
+    }
+
+    fn handle_request_vote(&mut self, from: NodeId, term: u64, lli: u64, llt: u64) {
+        let grant = term == self.term
+            && self.voted_for.map(|v| v == from).unwrap_or(true)
+            && self.log.candidate_up_to_date(lli, llt);
+        if grant {
+            self.voted_for = Some(from);
+            self.reset_election_timer();
+        }
+        let my_term = self.term;
+        self.send(
+            from,
+            Message::RequestVoteResp {
+                term: my_term,
+                granted: grant,
+            },
+        );
+    }
+
+    fn handle_vote_resp(&mut self, from: NodeId, term: u64, granted: bool) {
+        if self.role != Role::Candidate || term < self.term {
+            return;
+        }
+        if granted {
+            self.votes.insert(from);
+            if self.votes.len() >= self.quorum() {
+                self.become_leader();
+            }
+        }
+    }
+
+    fn handle_append(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<Entry>,
+        leader_commit: u64,
+    ) {
+        if term < self.term {
+            let my_term = self.term;
+            let last = self.log.last_index();
+            self.send(
+                from,
+                Message::AppendEntriesResp {
+                    term: my_term,
+                    success: false,
+                    match_index: last,
+                },
+            );
+            return;
+        }
+        // Valid leader for our term.
+        if self.role != Role::Follower {
+            self.become_follower(term, Some(from));
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_timer();
+
+        let ok = self.log.try_append(prev_index, prev_term, &entries);
+        let my_term = self.term;
+        if ok {
+            let match_index = if entries.is_empty() {
+                prev_index
+            } else {
+                entries.last().unwrap().index
+            };
+            // Commit only up to what we know matches the leader.
+            let new_commit = leader_commit.min(match_index).max(self.commit);
+            self.commit = new_commit;
+            self.send(
+                from,
+                Message::AppendEntriesResp {
+                    term: my_term,
+                    success: true,
+                    match_index,
+                },
+            );
+        } else {
+            let last = self.log.last_index();
+            self.send(
+                from,
+                Message::AppendEntriesResp {
+                    term: my_term,
+                    success: false,
+                    match_index: last,
+                },
+            );
+        }
+    }
+
+    fn handle_append_resp(&mut self, from: NodeId, term: u64, success: bool, match_index: u64) {
+        if self.role != Role::Leader || term < self.term {
+            return;
+        }
+        let Some(pr) = self.progress.get_mut(&from) else {
+            return;
+        };
+        if success {
+            if match_index > pr.match_index {
+                pr.match_index = match_index;
+            }
+            pr.next_index = pr.match_index + 1;
+            self.maybe_advance_commit();
+            // Stream further entries if the peer is still behind.
+            if self.progress[&from].next_index <= self.log.last_index() {
+                self.send_append(from);
+            }
+        } else {
+            // Back off using the follower's hint (its last index), never
+            // below 1 and never above our own next guess minus one.
+            pr.next_index = pr.next_index.saturating_sub(1).max(1).min(match_index + 1);
+            self.send_append(from);
+        }
+    }
+
+    fn handle_install_snapshot(&mut self, from: NodeId, term: u64, snapshot: SnapshotPayload) {
+        if term < self.term {
+            return;
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_timer();
+        if snapshot.last_index <= self.applied {
+            // Stale snapshot; just ack what we have.
+            let my_term = self.term;
+            let applied = self.applied;
+            self.send(
+                from,
+                Message::InstallSnapshotResp {
+                    term: my_term,
+                    match_index: applied,
+                },
+            );
+            return;
+        }
+        self.log.compact_to(snapshot.last_index, snapshot.last_term);
+        self.commit = self.commit.max(snapshot.last_index);
+        self.applied = snapshot.last_index;
+        let my_term = self.term;
+        let match_index = snapshot.last_index;
+        self.ready.snapshot = Some(snapshot);
+        self.send(
+            from,
+            Message::InstallSnapshotResp {
+                term: my_term,
+                match_index,
+            },
+        );
+    }
+
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.ready.messages.push(Envelope {
+            from: self.id,
+            to,
+            group: self.group,
+            msg,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64, members: &[u64], seed: u64) -> RaftNode {
+        RaftNode::new(
+            NodeId(id),
+            RaftGroupId(1),
+            members.iter().map(|&n| NodeId(n)).collect(),
+            RaftConfig::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn single_member_group_self_elects_and_commits() {
+        let mut n = node(1, &[1], 42);
+        for _ in 0..RaftConfig::default().election_timeout_max {
+            n.tick();
+        }
+        assert!(n.is_leader());
+        let idx = n.propose(b"x".to_vec()).unwrap();
+        let ready = n.take_ready();
+        assert!(ready.became_leader);
+        // no-op entry + our proposal are both committed.
+        assert_eq!(ready.committed.last().unwrap().index, idx);
+        assert_eq!(ready.committed.last().unwrap().data, b"x");
+    }
+
+    #[test]
+    fn follower_rejects_proposals_with_hint() {
+        let mut n = node(1, &[1, 2, 3], 7);
+        let err = n.propose(vec![]).unwrap_err();
+        assert!(matches!(err, CfsError::NotLeader { .. }));
+    }
+
+    #[test]
+    fn candidate_steps_down_on_higher_term() {
+        let mut n = node(1, &[1, 2, 3], 7);
+        for _ in 0..RaftConfig::default().election_timeout_max {
+            n.tick();
+        }
+        assert_eq!(n.role(), Role::Candidate);
+        let t = n.term();
+        n.step(
+            NodeId(2),
+            Message::AppendEntries {
+                term: t + 5,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![],
+                leader_commit: 0,
+            },
+        );
+        assert_eq!(n.role(), Role::Follower);
+        assert_eq!(n.term(), t + 5);
+        assert_eq!(n.leader_hint(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn vote_granted_once_per_term() {
+        let mut n = node(1, &[1, 2, 3], 7);
+        n.step(
+            NodeId(2),
+            Message::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        n.step(
+            NodeId(3),
+            Message::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        let ready = n.take_ready();
+        let grants: Vec<bool> = ready
+            .messages
+            .iter()
+            .filter_map(|e| match e.msg {
+                Message::RequestVoteResp { granted, .. } => Some(granted),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![true, false]);
+    }
+
+    #[test]
+    fn vote_denied_to_stale_log() {
+        let mut n = node(1, &[1, 2, 3], 7);
+        // Give ourselves a log entry at term 2 via an append from a leader.
+        n.step(
+            NodeId(2),
+            Message::AppendEntries {
+                term: 2,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![Entry {
+                    index: 1,
+                    term: 2,
+                    data: vec![],
+                }],
+                leader_commit: 0,
+            },
+        );
+        let _ = n.take_ready();
+        // Candidate with an older log (term 1).
+        n.step(
+            NodeId(3),
+            Message::RequestVote {
+                term: 3,
+                last_log_index: 5,
+                last_log_term: 1,
+            },
+        );
+        let ready = n.take_ready();
+        assert!(ready
+            .messages
+            .iter()
+            .any(|e| matches!(e.msg, Message::RequestVoteResp { granted: false, .. })));
+    }
+
+    #[test]
+    fn follower_applies_committed_entries_in_order() {
+        let mut n = node(2, &[1, 2, 3], 9);
+        let entries: Vec<Entry> = (1..=3)
+            .map(|i| Entry {
+                index: i,
+                term: 1,
+                data: vec![i as u8],
+            })
+            .collect();
+        n.step(
+            NodeId(1),
+            Message::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries,
+                leader_commit: 2,
+            },
+        );
+        let ready = n.take_ready();
+        let applied: Vec<u64> = ready.committed.iter().map(|e| e.index).collect();
+        assert_eq!(
+            applied,
+            vec![1, 2],
+            "only entries at or below leader_commit"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Fork/join synchronization for parallel sub-requests.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Sim;
+
+/// A deferred continuation run on quorum.
+type Continuation = Box<dyn FnOnce(&mut Sim)>;
+
+/// Waits for `needed` of `total` forks to arrive, then fires its
+/// continuation exactly once.
+///
+/// This models quorum waits: a Raft write forks to all replicas and joins
+/// on the majority; a primary-backup chain joins on all. Late arrivals
+/// after the trigger are absorbed silently (their work was still simulated
+/// — the station time was consumed — matching how a real leader ignores
+/// acks after commit).
+pub struct Join {
+    inner: Rc<RefCell<JoinState>>,
+}
+
+struct JoinState {
+    needed: usize,
+    total: usize,
+    arrived: usize,
+    cont: Option<Continuation>,
+}
+
+impl Join {
+    /// A join that fires after `needed` of `total` arrivals.
+    pub fn new<F: FnOnce(&mut Sim) + 'static>(needed: usize, total: usize, cont: F) -> Self {
+        assert!(
+            needed >= 1 && needed <= total,
+            "invalid quorum {needed}/{total}"
+        );
+        Join {
+            inner: Rc::new(RefCell::new(JoinState {
+                needed,
+                total,
+                arrived: 0,
+                cont: Some(Box::new(cont)),
+            })),
+        }
+    }
+
+    /// A handle to pass into each fork's completion continuation.
+    pub fn handle(&self) -> Join {
+        Join {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Record one arrival; fires the continuation on reaching the quorum.
+    pub fn arrive(&self, sim: &mut Sim) {
+        let cont = {
+            let mut st = self.inner.borrow_mut();
+            st.arrived += 1;
+            assert!(
+                st.arrived <= st.total,
+                "more arrivals ({}) than forks ({})",
+                st.arrived,
+                st.total
+            );
+            if st.arrived == st.needed {
+                st.cont.take()
+            } else {
+                None
+            }
+        };
+        if let Some(f) = cont {
+            f(sim);
+        }
+    }
+
+    /// Arrivals so far.
+    pub fn arrived(&self) -> usize {
+        self.inner.borrow().arrived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn fires_exactly_at_quorum() {
+        let mut sim = Sim::new(1);
+        let fired_at = Rc::new(Cell::new(None));
+        let f = Rc::clone(&fired_at);
+        let join = Join::new(2, 3, move |s| f.set(Some(s.now())));
+
+        // Three forks completing at different times; quorum of 2 fires at
+        // the second completion (t=20), not the third.
+        for (i, t) in [10u64, 20, 40].iter().enumerate() {
+            let h = join.handle();
+            sim.schedule(*t, move |s| h.arrive(s));
+            let _ = i;
+        }
+        sim.run(100);
+        assert_eq!(fired_at.get(), Some(20));
+        assert_eq!(join.arrived(), 3, "late arrival absorbed");
+    }
+
+    #[test]
+    fn full_join_waits_for_all() {
+        let mut sim = Sim::new(1);
+        let fired_at = Rc::new(Cell::new(None));
+        let f = Rc::clone(&fired_at);
+        let join = Join::new(3, 3, move |s| f.set(Some(s.now())));
+        for t in [5u64, 15, 25] {
+            let h = join.handle();
+            sim.schedule(t, move |s| h.arrive(s));
+        }
+        sim.run(100);
+        assert_eq!(fired_at.get(), Some(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quorum")]
+    fn zero_quorum_rejected() {
+        let _ = Join::new(0, 3, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "more arrivals")]
+    fn over_arrival_panics() {
+        let mut sim = Sim::new(1);
+        let join = Join::new(1, 1, |_| {});
+        join.arrive(&mut sim);
+        join.arrive(&mut sim);
+    }
+}

@@ -1,0 +1,110 @@
+//! Latency accounting for simulated workloads.
+
+use crate::engine::SimTime;
+
+/// Collects per-operation latencies and reports summary statistics.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample (ns).
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (0.0–1.0), by nearest-rank.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Throughput in operations/second given a virtual elapsed time.
+    pub fn ops_per_sec(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.samples.len() as f64 * 1e9 / elapsed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.ops_per_sec(1_000), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = LatencyStats::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 30.0);
+        assert_eq!(s.percentile(0.5), 30);
+        assert_eq!(s.percentile(1.0), 50);
+        assert_eq!(s.percentile(0.01), 10);
+        assert_eq!(s.max(), 50);
+    }
+
+    #[test]
+    fn throughput_from_virtual_time() {
+        let mut s = LatencyStats::new();
+        for _ in 0..1000 {
+            s.record(1);
+        }
+        // 1000 ops over 1 virtual second.
+        assert!((s.ops_per_sec(1_000_000_000) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut s = LatencyStats::new();
+        s.record(100);
+        assert_eq!(s.percentile(1.0), 100);
+        s.record(50);
+        assert_eq!(s.percentile(0.5), 50, "re-sorts after new samples");
+    }
+}

@@ -1,0 +1,258 @@
+//! Operation plans: declarative step sequences executed on the simulator.
+//!
+//! The benchmark harness models each file-system operation (a CFS create, a
+//! Ceph readdir…) as a [`Step`] tree: sequential stages that consume
+//! station time (CPU, disk, NIC) or pure delay (wire propagation), with
+//! fork/join for replication fan-out and quorum waits. The executor walks
+//! the tree on virtual time; queueing and saturation emerge from the
+//! stations.
+
+use crate::engine::{Sim, SimTime};
+use crate::join::Join;
+use crate::station::StationId;
+
+/// One stage of an operation.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Consume `ns` of service on a station (queues when busy).
+    Service { station: StationId, ns: SimTime },
+    /// Pure delay (wire propagation, timer) — no contention.
+    Delay(SimTime),
+    /// Run all branches concurrently; continue when **all** finish.
+    All(Vec<Vec<Step>>),
+    /// Run all branches concurrently; continue when `quorum` finish
+    /// (stragglers keep consuming resources in the background, like a
+    /// Raft leader committing on a majority).
+    Quorum {
+        quorum: usize,
+        branches: Vec<Vec<Step>>,
+    },
+}
+
+impl Step {
+    /// Shorthand for a service step.
+    pub fn svc(station: StationId, ns: SimTime) -> Step {
+        Step::Service { station, ns }
+    }
+}
+
+/// Execute `steps` sequentially starting now; call `done` when finished.
+pub fn run_plan<F: FnOnce(&mut Sim) + 'static>(sim: &mut Sim, steps: Vec<Step>, done: F) {
+    run_from(sim, steps, 0, Box::new(done));
+}
+
+fn run_from(sim: &mut Sim, steps: Vec<Step>, idx: usize, done: Box<dyn FnOnce(&mut Sim)>) {
+    if idx >= steps.len() {
+        done(sim);
+        return;
+    }
+    // Clone just the current step; pass the vec along in the continuation.
+    let step = steps[idx].clone();
+    match step {
+        Step::Service { station, ns } => {
+            sim.submit(station, ns, move |s| run_from(s, steps, idx + 1, done));
+        }
+        Step::Delay(ns) => {
+            sim.schedule(ns, move |s| run_from(s, steps, idx + 1, done));
+        }
+        Step::All(branches) => {
+            let n = branches.len();
+            if n == 0 {
+                run_from(sim, steps, idx + 1, done);
+                return;
+            }
+            let join = Join::new(n, n, move |s: &mut Sim| run_from(s, steps, idx + 1, done));
+            for branch in branches {
+                let h = join.handle();
+                run_plan(sim, branch, move |s| h.arrive(s));
+            }
+        }
+        Step::Quorum { quorum, branches } => {
+            let n = branches.len();
+            if n == 0 || quorum == 0 {
+                run_from(sim, steps, idx + 1, done);
+                return;
+            }
+            let join = Join::new(quorum.min(n), n, move |s: &mut Sim| {
+                run_from(s, steps, idx + 1, done)
+            });
+            for branch in branches {
+                let h = join.handle();
+                run_plan(sim, branch, move |s| h.arrive(s));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn sequential_steps_accumulate_time() {
+        let mut sim = Sim::new(1);
+        let st = sim.add_station("cpu", 1);
+        let at = Rc::new(Cell::new(0));
+        let at2 = Rc::clone(&at);
+        run_plan(
+            &mut sim,
+            vec![Step::svc(st, 100), Step::Delay(50), Step::svc(st, 25)],
+            move |s| at2.set(s.now()),
+        );
+        sim.run(1000);
+        assert_eq!(at.get(), 175);
+    }
+
+    #[test]
+    fn all_joins_on_slowest_branch() {
+        let mut sim = Sim::new(1);
+        let at = Rc::new(Cell::new(0));
+        let at2 = Rc::clone(&at);
+        run_plan(
+            &mut sim,
+            vec![Step::All(vec![
+                vec![Step::Delay(10)],
+                vec![Step::Delay(300)],
+                vec![Step::Delay(100)],
+            ])],
+            move |s| at2.set(s.now()),
+        );
+        sim.run(1000);
+        assert_eq!(at.get(), 300);
+    }
+
+    #[test]
+    fn quorum_continues_on_kth_branch() {
+        let mut sim = Sim::new(1);
+        let at = Rc::new(Cell::new(0));
+        let at2 = Rc::clone(&at);
+        run_plan(
+            &mut sim,
+            vec![
+                Step::Quorum {
+                    quorum: 2,
+                    branches: vec![
+                        vec![Step::Delay(10)],
+                        vec![Step::Delay(40)],
+                        vec![Step::Delay(500)],
+                    ],
+                },
+                Step::Delay(5),
+            ],
+            move |s| at2.set(s.now()),
+        );
+        sim.run(1000);
+        assert_eq!(at.get(), 45, "2nd branch at 40 + trailing delay 5");
+    }
+
+    #[test]
+    fn straggler_branch_still_consumes_station_time() {
+        let mut sim = Sim::new(1);
+        let disk = sim.add_station("disk", 1);
+        run_plan(
+            &mut sim,
+            vec![Step::Quorum {
+                quorum: 1,
+                branches: vec![vec![Step::Delay(1)], vec![Step::svc(disk, 1000)]],
+            }],
+            |_| {},
+        );
+        sim.run(1000);
+        assert_eq!(
+            sim.station_busy_ns(disk),
+            1000,
+            "laggard work still simulated"
+        );
+    }
+
+    #[test]
+    fn contention_emerges_from_shared_station() {
+        let mut sim = Sim::new(1);
+        let disk = sim.add_station("disk", 1);
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let d = Rc::clone(&done);
+            run_plan(&mut sim, vec![Step::svc(disk, 100)], move |_| {
+                d.set(d.get() + 1)
+            });
+        }
+        sim.run(1000);
+        assert_eq!(done.get(), 4);
+        assert_eq!(sim.now(), 400, "serialized by the single-server disk");
+    }
+
+    #[test]
+    fn empty_plan_completes_immediately() {
+        let mut sim = Sim::new(1);
+        let hit = Rc::new(Cell::new(false));
+        let h = Rc::clone(&hit);
+        run_plan(&mut sim, vec![], move |_| h.set(true));
+        sim.run(10);
+        assert!(hit.get());
+        assert_eq!(sim.now(), 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared plan-building helpers used by the system models.
+// ----------------------------------------------------------------------
+
+use crate::model::HardwareModel;
+
+/// One network hop carrying `bytes`: serialize on the source NIC, wire
+/// propagation, deserialize on the destination NIC.
+pub fn hop(hw: &HardwareModel, src_nic: StationId, dst_nic: StationId, bytes: u64) -> Vec<Step> {
+    let xfer = hw.transfer_ns(bytes);
+    vec![
+        Step::svc(src_nic, xfer + hw.net_per_msg_ns),
+        Step::Delay(hw.net_oneway_ns),
+        Step::svc(dst_nic, xfer),
+    ]
+}
+
+/// A small control message hop (RPC header-sized payload).
+pub fn control_hop(hw: &HardwareModel, src_nic: StationId, dst_nic: StationId) -> Vec<Step> {
+    hop(hw, src_nic, dst_nic, 256)
+}
+
+/// SSD write service time for `bytes` (latency + ~500 MB/s streaming).
+pub fn disk_write_ns(hw: &HardwareModel, bytes: u64) -> SimTime {
+    hw.ssd_write_ns + bytes * 2
+}
+
+/// SSD read service time for `bytes`.
+pub fn disk_read_ns(hw: &HardwareModel, bytes: u64) -> SimTime {
+    hw.ssd_read_ns + bytes * 2
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use super::*;
+
+    #[test]
+    fn hop_components() {
+        let hw = HardwareModel::default();
+        let mut sim = Sim::new(1);
+        let a = sim.add_station("a", 1);
+        let b = sim.add_station("b", 1);
+        let steps = hop(&hw, a, b, 1000);
+        assert_eq!(steps.len(), 3);
+        run_plan(&mut sim, steps, |_| {});
+        sim.run(100);
+        // Source NIC: transfer + per-msg; dest NIC: transfer only.
+        assert_eq!(
+            sim.station_busy_ns(a),
+            hw.transfer_ns(1000) + hw.net_per_msg_ns
+        );
+        assert_eq!(sim.station_busy_ns(b), hw.transfer_ns(1000));
+    }
+
+    #[test]
+    fn disk_costs_scale_with_bytes() {
+        let hw = HardwareModel::default();
+        assert!(disk_write_ns(&hw, 128 * 1024) > disk_write_ns(&hw, 4096));
+        assert!(disk_read_ns(&hw, 0) == hw.ssd_read_ns);
+    }
+}

@@ -1,0 +1,284 @@
+//! A single extent: append-only tail, in-place overwrite, CRC cache.
+
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, ExtentId, Result};
+
+use crate::device::{BlockDevice, MemDevice};
+
+/// One storage unit of the extent store.
+///
+/// An extent has a *write watermark* (`size`): appends must land exactly at
+/// the watermark (the sequential-write protocol guarantees in-order packet
+/// delivery; a mismatch means a lost or duplicated packet), overwrites must
+/// stay strictly below it. The CRC of the whole extent is cached and
+/// incrementally folded on append so integrity checks never re-read the
+/// disk (§2.2.1).
+pub struct Extent {
+    id: ExtentId,
+    dev: Box<dyn BlockDevice>,
+    /// Write watermark: logical size in bytes.
+    size: u64,
+    /// Cached CRC32-C over `[0, size)`. Appends fold incrementally;
+    /// overwrites and hole punches force a recompute on next access.
+    crc: Option<u32>,
+    crc_state: cfs_types::crc::Crc32,
+    /// Bytes logically punched out (for utilization accounting).
+    punched_bytes: u64,
+}
+
+impl std::fmt::Debug for Extent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Extent")
+            .field("id", &self.id)
+            .field("size", &self.size)
+            .field("crc", &self.crc)
+            .field("punched_bytes", &self.punched_bytes)
+            .finish()
+    }
+}
+
+impl Extent {
+    /// Fresh, empty extent on an in-memory device.
+    pub fn new(id: ExtentId) -> Self {
+        Extent {
+            id,
+            dev: Box::new(MemDevice::new()),
+            size: 0,
+            crc: Some(0),
+            crc_state: cfs_types::crc::Crc32::new(),
+            punched_bytes: 0,
+        }
+    }
+
+    /// Extent id.
+    pub fn id(&self) -> ExtentId {
+        self.id
+    }
+
+    /// Current write watermark (logical size).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes punched out of this extent so far.
+    pub fn punched_bytes(&self) -> u64 {
+        self.punched_bytes
+    }
+
+    /// Physically allocated bytes on the backing device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.dev.allocated_bytes()
+    }
+
+    /// Append `data` at `offset`, which must equal the current watermark.
+    pub fn append(&mut self, offset: u64, data: &[u8]) -> Result<u64> {
+        if offset != self.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "append at {offset} but watermark is {}",
+                self.size
+            )));
+        }
+        self.dev.write_at(offset, data)?;
+        self.size += data.len() as u64;
+        // Fold into the running CRC so the cache stays warm.
+        self.crc_state.update(data);
+        if self.crc.is_some() {
+            self.crc = Some(self.crc_state.finish());
+        }
+        Ok(self.size)
+    }
+
+    /// Overwrite `data` in place at `offset`; the range must lie entirely
+    /// below the watermark (the random-write path never extends a file
+    /// through this interface, §2.7.2).
+    pub fn overwrite(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let end = offset + data.len() as u64;
+        if end > self.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "overwrite [{offset}, {end}) beyond watermark {}",
+                self.size
+            )));
+        }
+        self.dev.write_at(offset, data)?;
+        self.crc = None; // cache invalid; recomputed lazily
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset`, clamped to the watermark.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if offset > self.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "read at {offset} beyond watermark {}",
+                self.size
+            )));
+        }
+        let len = len.min((self.size - offset) as usize);
+        self.dev.read_at(offset, len)
+    }
+
+    /// Punch out `[offset, offset + len)` (small-file deletion, §2.2.3).
+    pub fn punch_hole(&mut self, offset: u64, len: u64) -> Result<()> {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| CfsError::InvalidArgument("punch range overflow".into()))?;
+        if end > self.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "punch [{offset}, {end}) beyond watermark {}",
+                self.size
+            )));
+        }
+        self.dev.punch_hole(offset, len)?;
+        self.punched_bytes += len;
+        self.crc = None;
+        Ok(())
+    }
+
+    /// The extent's CRC32-C over `[0, size)`, from cache when warm.
+    pub fn crc(&mut self) -> Result<u32> {
+        if let Some(c) = self.crc {
+            return Ok(c);
+        }
+        let data = self.dev.read_at(0, self.size as usize)?;
+        let c = crc32(&data);
+        // Rebuild the incremental state so future appends keep folding.
+        let mut st = cfs_types::crc::Crc32::new();
+        st.update(&data);
+        self.crc_state = st;
+        self.crc = Some(c);
+        Ok(c)
+    }
+
+    /// Verify stored bytes against an expected CRC.
+    pub fn verify(&mut self, expected: u32) -> Result<()> {
+        let actual = self.crc()?;
+        if actual != expected {
+            return Err(CfsError::Corrupt(format!(
+                "{}: crc mismatch: expected {expected:#x}, got {actual:#x}",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Truncate the watermark down to `new_size` (used by the
+    /// primary-backup recovery path to align replica extents, §2.2.5).
+    pub fn truncate(&mut self, new_size: u64) -> Result<()> {
+        if new_size > self.size {
+            return Err(CfsError::InvalidArgument(format!(
+                "truncate to {new_size} above watermark {}",
+                self.size
+            )));
+        }
+        // Physically drop the tail, then recompute CRC lazily.
+        self.dev.punch_hole(new_size, self.size - new_size)?;
+        self.size = new_size;
+        self.crc = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_advances_watermark_and_reads_back() {
+        let mut e = Extent::new(ExtentId(1));
+        assert_eq!(e.append(0, b"hello").unwrap(), 5);
+        assert_eq!(e.append(5, b" world").unwrap(), 11);
+        assert_eq!(e.read(0, 11).unwrap(), b"hello world");
+        assert_eq!(
+            e.read(6, 100).unwrap(),
+            b"world",
+            "read clamps at watermark"
+        );
+    }
+
+    #[test]
+    fn append_at_wrong_offset_rejected() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, b"abc").unwrap();
+        assert!(e.append(2, b"x").is_err(), "below watermark");
+        assert!(e.append(4, b"x").is_err(), "past watermark");
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn overwrite_in_place_only_below_watermark() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, b"aaaaaaaaaa").unwrap();
+        e.overwrite(3, b"XYZ").unwrap();
+        assert_eq!(e.read(0, 10).unwrap(), b"aaaXYZaaaa");
+        assert!(
+            e.overwrite(8, b"abc").is_err(),
+            "would extend past watermark"
+        );
+    }
+
+    #[test]
+    fn crc_incremental_matches_recompute() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, b"part one ").unwrap();
+        let c1 = e.crc().unwrap();
+        e.append(9, b"part two").unwrap();
+        let c2 = e.crc().unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(c2, cfs_types::crc::crc32(b"part one part two"));
+
+        // Overwrite invalidates the cache; recompute matches the bytes.
+        e.overwrite(0, b"PART").unwrap();
+        assert_eq!(
+            e.crc().unwrap(),
+            cfs_types::crc::crc32(b"PART one part two")
+        );
+        // And incremental appends after a recompute still fold correctly.
+        e.append(17, b"!").unwrap();
+        assert_eq!(
+            e.crc().unwrap(),
+            cfs_types::crc::crc32(b"PART one part two!")
+        );
+    }
+
+    #[test]
+    fn verify_detects_mismatch() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, b"data").unwrap();
+        let good = e.crc().unwrap();
+        assert!(e.verify(good).is_ok());
+        assert!(e.verify(good ^ 1).is_err());
+    }
+
+    #[test]
+    fn punch_hole_reclaims_space_and_reads_zero() {
+        let mut e = Extent::new(ExtentId(1));
+        let blob = vec![7u8; 64 * 1024];
+        e.append(0, &blob).unwrap();
+        let before = e.allocated_bytes();
+        e.punch_hole(0, 64 * 1024).unwrap();
+        assert!(e.allocated_bytes() < before);
+        assert_eq!(e.punched_bytes(), 64 * 1024);
+        assert!(e.read(0, 64 * 1024).unwrap().iter().all(|&b| b == 0));
+        // Watermark unchanged: holes do not shrink the extent.
+        assert_eq!(e.size(), 64 * 1024);
+    }
+
+    #[test]
+    fn punch_beyond_watermark_rejected() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, b"1234").unwrap();
+        assert!(e.punch_hole(2, 10).is_err());
+    }
+
+    #[test]
+    fn truncate_aligns_replica_tail() {
+        let mut e = Extent::new(ExtentId(1));
+        e.append(0, &vec![1u8; 10_000]).unwrap();
+        e.truncate(4_000).unwrap();
+        assert_eq!(e.size(), 4_000);
+        // New appends land at the truncated watermark.
+        e.append(4_000, b"tail").unwrap();
+        assert_eq!(e.size(), 4_004);
+        assert_eq!(&e.read(4_000, 4).unwrap(), b"tail");
+        assert!(e.truncate(5_000).is_err(), "cannot truncate upward");
+    }
+}

@@ -1,0 +1,58 @@
+//! Small-file aggregation bookkeeping.
+
+use cfs_types::ExtentId;
+
+/// Where a small file's bytes landed: a shared extent plus the physical
+/// offset inside it. This pair is what the client records at the meta node
+/// (§2.2.3 — CFS stores physical offsets, not logical indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallFileLocation {
+    /// The shared ("aggregated") extent.
+    pub extent_id: ExtentId,
+    /// Physical byte offset of the file content within the extent.
+    pub offset: u64,
+    /// Content length in bytes.
+    pub len: u64,
+}
+
+/// Tracks the active shared extent that new small files are packed into.
+///
+/// When the active extent would exceed `rotate_at` bytes, the packer asks
+/// the store for a fresh extent. Deletions never touch the packer: they
+/// punch holes in whatever extent the file landed in.
+#[derive(Debug)]
+pub(crate) struct SmallFilePacker {
+    /// Extent currently accepting small files, if any.
+    pub(crate) active: Option<ExtentId>,
+    /// Rotate to a new shared extent once the active one reaches this size.
+    pub(crate) rotate_at: u64,
+}
+
+impl SmallFilePacker {
+    pub(crate) fn new(rotate_at: u64) -> Self {
+        SmallFilePacker {
+            active: None,
+            rotate_at,
+        }
+    }
+
+    /// Does the active extent (at `active_size` bytes) have room for `len`
+    /// more bytes, or must the store rotate?
+    pub(crate) fn needs_rotation(&self, active_size: u64, len: u64) -> bool {
+        active_size + len > self.rotate_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_threshold() {
+        let p = SmallFilePacker::new(1000);
+        assert!(!p.needs_rotation(0, 1000));
+        assert!(p.needs_rotation(0, 1001));
+        assert!(p.needs_rotation(999, 2));
+        assert!(!p.needs_rotation(999, 1));
+    }
+}

@@ -1,0 +1,394 @@
+//! The extent store of one data partition.
+
+use std::collections::HashMap;
+
+use cfs_types::{CfsError, ExtentId, Result};
+
+use crate::extent::Extent;
+use crate::small::{SmallFileLocation, SmallFilePacker};
+
+/// Utilization counters for placement decisions and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of extents.
+    pub extent_count: usize,
+    /// Sum of extent watermarks (logical bytes ever written and retained).
+    pub logical_bytes: u64,
+    /// Physically allocated bytes across all extents.
+    pub physical_bytes: u64,
+    /// Bytes logically punched out by small-file deletions.
+    pub punched_bytes: u64,
+}
+
+/// All extents of one data partition (§2.2.1, Figure 2).
+///
+/// Owns extent allocation, the large-file and small-file write paths, hole
+/// punching and utilization accounting. Replication sits *above* this type:
+/// each replica of a data partition holds its own `ExtentStore`, and the
+/// replication protocols (primary-backup for appends, Raft for overwrites)
+/// apply identical operations to each.
+#[derive(Debug)]
+pub struct ExtentStore {
+    extents: HashMap<ExtentId, Extent>,
+    next_extent_id: u64,
+    packer: SmallFilePacker,
+    /// Capacity limit: extents beyond this refuse creation (§2.3.1).
+    extent_limit: u64,
+}
+
+impl ExtentStore {
+    /// Empty store. `small_extent_rotate_at` bounds shared small-file
+    /// extents; `extent_limit` caps the partition (0 = unlimited).
+    pub fn new(small_extent_rotate_at: u64, extent_limit: u64) -> Self {
+        ExtentStore {
+            extents: HashMap::new(),
+            next_extent_id: 1,
+            packer: SmallFilePacker::new(small_extent_rotate_at),
+            extent_limit,
+        }
+    }
+
+    /// Store with defaults suitable for tests: 128 MB shared extents, no
+    /// extent cap.
+    pub fn with_defaults() -> Self {
+        Self::new(128 * 1024 * 1024, 0)
+    }
+
+    /// True when the partition can no longer accept *new* extents. Existing
+    /// extents can still be modified or deleted (§2.3.1).
+    pub fn is_full(&self) -> bool {
+        self.extent_limit != 0 && self.extents.len() as u64 >= self.extent_limit
+    }
+
+    /// Allocate a fresh, empty extent (the large-file write path always
+    /// starts at offset 0 of a new extent, §2.2.2).
+    pub fn create_extent(&mut self) -> Result<ExtentId> {
+        if self.is_full() {
+            return Err(CfsError::PartitionFull(cfs_types::PartitionId(0)));
+        }
+        let id = ExtentId(self.next_extent_id);
+        self.next_extent_id += 1;
+        self.extents.insert(id, Extent::new(id));
+        Ok(id)
+    }
+
+    /// Create an extent with a specific id (replication replays the
+    /// leader's allocation on followers deterministically).
+    pub fn create_extent_with_id(&mut self, id: ExtentId) -> Result<()> {
+        if self.extents.contains_key(&id) {
+            return Err(CfsError::Exists(format!("{id}")));
+        }
+        self.next_extent_id = self.next_extent_id.max(id.raw() + 1);
+        self.extents.insert(id, Extent::new(id));
+        Ok(())
+    }
+
+    fn extent_mut(&mut self, id: ExtentId) -> Result<&mut Extent> {
+        self.extents
+            .get_mut(&id)
+            .ok_or_else(|| CfsError::NotFound(format!("{id}")))
+    }
+
+    /// Borrow an extent immutably.
+    pub fn extent(&self, id: ExtentId) -> Result<&Extent> {
+        self.extents
+            .get(&id)
+            .ok_or_else(|| CfsError::NotFound(format!("{id}")))
+    }
+
+    /// True if the extent exists.
+    pub fn has_extent(&self, id: ExtentId) -> bool {
+        self.extents.contains_key(&id)
+    }
+
+    /// Append at the extent watermark; returns the new watermark.
+    pub fn append(&mut self, id: ExtentId, offset: u64, data: &[u8]) -> Result<u64> {
+        self.extent_mut(id)?.append(offset, data)
+    }
+
+    /// In-place overwrite below the watermark.
+    pub fn overwrite(&mut self, id: ExtentId, offset: u64, data: &[u8]) -> Result<()> {
+        self.extent_mut(id)?.overwrite(offset, data)
+    }
+
+    /// Read from an extent.
+    pub fn read(&self, id: ExtentId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.extent(id)?.read(offset, len)
+    }
+
+    /// Watermark of an extent.
+    pub fn extent_size(&self, id: ExtentId) -> Result<u64> {
+        Ok(self.extent(id)?.size())
+    }
+
+    /// CRC of an extent (cached).
+    pub fn extent_crc(&mut self, id: ExtentId) -> Result<u32> {
+        self.extent_mut(id)?.crc()
+    }
+
+    /// Write one small file into the active shared extent, rotating if
+    /// needed. Returns where it landed.
+    pub fn write_small_file(&mut self, data: &[u8]) -> Result<SmallFileLocation> {
+        let len = data.len() as u64;
+        let need_new = match self.packer.active {
+            None => true,
+            Some(id) => {
+                let size = self.extent_size(id)?;
+                self.packer.needs_rotation(size, len)
+            }
+        };
+        if need_new {
+            let id = self.create_extent()?;
+            self.packer.active = Some(id);
+        }
+        let id = self.packer.active.expect("active small extent set above");
+        let offset = self.extent_size(id)?;
+        self.append(id, offset, data)?;
+        Ok(SmallFileLocation {
+            extent_id: id,
+            offset,
+            len,
+        })
+    }
+
+    /// Delete a small file by punching its range out of the shared extent
+    /// (§2.2.3). Asynchronous in the real system; the data partition layer
+    /// queues these.
+    pub fn delete_small_file(&mut self, loc: SmallFileLocation) -> Result<()> {
+        self.extent_mut(loc.extent_id)?
+            .punch_hole(loc.offset, loc.len)
+    }
+
+    /// Remove a whole extent (large-file deletion removes extents directly,
+    /// §2.2.3).
+    pub fn delete_extent(&mut self, id: ExtentId) -> Result<()> {
+        if self.packer.active == Some(id) {
+            self.packer.active = None;
+        }
+        self.extents
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| CfsError::NotFound(format!("{id}")))
+    }
+
+    /// Truncate an extent (primary-backup recovery alignment, §2.2.5).
+    pub fn truncate_extent(&mut self, id: ExtentId, new_size: u64) -> Result<()> {
+        self.extent_mut(id)?.truncate(new_size)
+    }
+
+    /// Ids of all extents, unordered.
+    pub fn extent_ids(&self) -> Vec<ExtentId> {
+        self.extents.keys().copied().collect()
+    }
+
+    /// Utilization snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            extent_count: self.extents.len(),
+            ..StoreStats::default()
+        };
+        for e in self.extents.values() {
+            s.logical_bytes += e.size();
+            s.physical_bytes += e.allocated_bytes();
+            s.punched_bytes += e.punched_bytes();
+        }
+        s
+    }
+
+    /// Verify every extent against its cached CRC recomputed from bytes —
+    /// a full-store scrub used in recovery tests.
+    pub fn scrub(&mut self) -> Result<()> {
+        let ids = self.extent_ids();
+        for id in ids {
+            let e = self.extent_mut(id)?;
+            let cached = e.crc()?;
+            e.verify(cached)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn large_file_path_uses_dedicated_extents() {
+        let mut st = ExtentStore::with_defaults();
+        let e1 = st.create_extent().unwrap();
+        let e2 = st.create_extent().unwrap();
+        assert_ne!(e1, e2);
+        st.append(e1, 0, &[1u8; 1000]).unwrap();
+        st.append(e1, 1000, &[2u8; 1000]).unwrap();
+        st.append(e2, 0, &[3u8; 500]).unwrap();
+        assert_eq!(st.extent_size(e1).unwrap(), 2000);
+        assert_eq!(st.extent_size(e2).unwrap(), 500);
+        assert_eq!(st.read(e1, 1000, 1000).unwrap(), [2u8; 1000]);
+    }
+
+    #[test]
+    fn small_files_aggregate_into_shared_extent() {
+        let mut st = ExtentStore::with_defaults();
+        let a = st.write_small_file(&[1u8; 100]).unwrap();
+        let b = st.write_small_file(&[2u8; 200]).unwrap();
+        let c = st.write_small_file(&[3u8; 300]).unwrap();
+        assert_eq!(a.extent_id, b.extent_id);
+        assert_eq!(b.extent_id, c.extent_id);
+        assert_eq!(a.offset, 0);
+        assert_eq!(b.offset, 100);
+        assert_eq!(c.offset, 300);
+        assert_eq!(
+            st.read(b.extent_id, b.offset, b.len as usize).unwrap(),
+            [2u8; 200]
+        );
+    }
+
+    #[test]
+    fn small_extent_rotates_at_threshold() {
+        let mut st = ExtentStore::new(250, 0);
+        let a = st.write_small_file(&[1u8; 100]).unwrap();
+        let b = st.write_small_file(&[2u8; 100]).unwrap();
+        let c = st.write_small_file(&[3u8; 100]).unwrap(); // 300 > 250: rotate
+        assert_eq!(a.extent_id, b.extent_id);
+        assert_ne!(b.extent_id, c.extent_id);
+        assert_eq!(c.offset, 0);
+    }
+
+    #[test]
+    fn delete_small_file_reclaims_physical_space() {
+        let mut st = ExtentStore::with_defaults();
+        // Block-aligned small files so holes free whole blocks.
+        let locs: Vec<_> = (0..8)
+            .map(|i| st.write_small_file(&vec![i as u8; 8192]).unwrap())
+            .collect();
+        let before = st.stats();
+        assert_eq!(before.physical_bytes, 8 * 8192);
+        st.delete_small_file(locs[2]).unwrap();
+        st.delete_small_file(locs[5]).unwrap();
+        let after = st.stats();
+        assert_eq!(after.physical_bytes, 6 * 8192);
+        assert_eq!(after.punched_bytes, 2 * 8192);
+        // Logical bytes (watermarks) unchanged — holes don't shrink extents.
+        assert_eq!(after.logical_bytes, before.logical_bytes);
+        // Neighbors intact.
+        assert_eq!(
+            st.read(locs[3].extent_id, locs[3].offset, 8192).unwrap(),
+            vec![3u8; 8192]
+        );
+    }
+
+    #[test]
+    fn delete_extent_removes_large_file_storage() {
+        let mut st = ExtentStore::with_defaults();
+        let e = st.create_extent().unwrap();
+        st.append(e, 0, &[9u8; 4096]).unwrap();
+        assert_eq!(st.stats().extent_count, 1);
+        st.delete_extent(e).unwrap();
+        assert_eq!(st.stats().extent_count, 0);
+        assert!(st.read(e, 0, 1).is_err());
+        assert!(st.delete_extent(e).is_err(), "double delete");
+    }
+
+    #[test]
+    fn extent_limit_marks_partition_full() {
+        let mut st = ExtentStore::new(1 << 20, 2);
+        st.create_extent().unwrap();
+        assert!(!st.is_full());
+        st.create_extent().unwrap();
+        assert!(st.is_full());
+        assert!(matches!(
+            st.create_extent(),
+            Err(CfsError::PartitionFull(_))
+        ));
+        // Existing extents still writable/deletable when full.
+        let ids = st.extent_ids();
+        st.append(ids[0], 0, b"still writable").unwrap();
+        st.delete_extent(ids[0]).unwrap();
+        assert!(!st.is_full());
+    }
+
+    #[test]
+    fn deterministic_replay_with_explicit_ids() {
+        let mut leader = ExtentStore::with_defaults();
+        let mut follower = ExtentStore::with_defaults();
+        let id = leader.create_extent().unwrap();
+        follower.create_extent_with_id(id).unwrap();
+        leader.append(id, 0, b"replicated").unwrap();
+        follower.append(id, 0, b"replicated").unwrap();
+        assert_eq!(
+            leader.extent_crc(id).unwrap(),
+            follower.extent_crc(id).unwrap()
+        );
+        assert!(follower.create_extent_with_id(id).is_err());
+        // Ids allocated after an explicit insert never collide.
+        let next = follower.create_extent().unwrap();
+        assert!(next.raw() > id.raw());
+    }
+
+    #[test]
+    fn scrub_passes_on_clean_store() {
+        let mut st = ExtentStore::with_defaults();
+        let e = st.create_extent().unwrap();
+        st.append(e, 0, &[5u8; 10_000]).unwrap();
+        st.write_small_file(&[6u8; 500]).unwrap();
+        st.scrub().unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Pack random small files, delete a subset, and verify the
+        /// survivors read back intact while punched space is accounted.
+        #[test]
+        fn prop_small_file_pack_delete(
+            sizes in proptest::collection::vec(1usize..4096, 1..40),
+            delete_mask in proptest::collection::vec(any::<bool>(), 40),
+        ) {
+            let mut st = ExtentStore::new(64 * 1024, 0);
+            let mut files = Vec::new();
+            for (i, &sz) in sizes.iter().enumerate() {
+                let fill = (i % 251) as u8;
+                let loc = st.write_small_file(&vec![fill; sz]).unwrap();
+                files.push((loc, fill, sz));
+            }
+            let mut expected_punched = 0u64;
+            for (i, &(loc, _, sz)) in files.iter().enumerate() {
+                if delete_mask[i % delete_mask.len()] && i % 2 == 0 {
+                    st.delete_small_file(loc).unwrap();
+                    expected_punched += sz as u64;
+                }
+            }
+            prop_assert_eq!(st.stats().punched_bytes, expected_punched);
+            for (i, &(loc, fill, sz)) in files.iter().enumerate() {
+                if !(delete_mask[i % delete_mask.len()] && i % 2 == 0) {
+                    let data = st.read(loc.extent_id, loc.offset, sz).unwrap();
+                    prop_assert!(data.iter().all(|&b| b == fill), "file {i} intact");
+                }
+            }
+        }
+
+        /// Appends followed by arbitrary in-range overwrites behave like a
+        /// Vec<u8> model.
+        #[test]
+        fn prop_extent_matches_vec_model(
+            chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..12),
+            overwrites in proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 1..128)), 0..8),
+        ) {
+            let mut st = ExtentStore::with_defaults();
+            let e = st.create_extent().unwrap();
+            let mut model: Vec<u8> = Vec::new();
+            for chunk in &chunks {
+                st.append(e, model.len() as u64, chunk).unwrap();
+                model.extend_from_slice(chunk);
+            }
+            for (off, data) in &overwrites {
+                let off = *off as usize % model.len();
+                let n = data.len().min(model.len() - off);
+                st.overwrite(e, off as u64, &data[..n]).unwrap();
+                model[off..off + n].copy_from_slice(&data[..n]);
+            }
+            prop_assert_eq!(st.read(e, 0, model.len()).unwrap(), model);
+        }
+    }
+}

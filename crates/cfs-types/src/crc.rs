@@ -1,0 +1,104 @@
+//! CRC32-C (Castagnoli) checksums.
+//!
+//! The extent store caches the CRC of each extent in memory "to speed up the
+//! check for data integrity" (§2.2.1). We implement CRC32-C with a
+//! compile-time-generated lookup table; no external dependency.
+
+/// Polynomial for CRC32-C (Castagnoli), reflected form.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, generated at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC32-C state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32-C of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32-C test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 13, 512, 1023, 1024] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xabu8; 4096];
+        let original = crc32(&data);
+        data[2048] ^= 0x01;
+        assert_ne!(crc32(&data), original);
+    }
+}

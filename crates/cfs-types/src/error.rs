@@ -1,0 +1,159 @@
+//! The workspace error model.
+//!
+//! A single error enum is shared by all subsystems so that errors propagate
+//! from the extent store up through replication, the meta layer and the
+//! client without translation layers. Variants mirror the failure classes
+//! the paper discusses: leader changes (client retries against the cached
+//! leader, §2.4), timeouts (partitions become read-only, §2.3.3), partition
+//! capacity (§2.3.1), and the orphan-inode workflows (§2.6).
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{InodeId, NodeId, PartitionId};
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, CfsError>;
+
+/// Every error a CFS operation can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfsError {
+    /// Entity (inode, dentry, volume, partition, extent…) does not exist.
+    NotFound(String),
+    /// Entity already exists (e.g. `create` on an existing dentry).
+    Exists(String),
+    /// Request reached a replica that is not the current leader. Carries the
+    /// leader hint when known, so clients can update their leader cache.
+    NotLeader {
+        partition: PartitionId,
+        hint: Option<NodeId>,
+    },
+    /// Partition refuses new entries (full, or marked read-only after a
+    /// replica timeout per §2.3.3). It can still serve reads and deletes.
+    ReadOnly(PartitionId),
+    /// Partition reached its capacity threshold; the resource manager must
+    /// allocate new partitions (§2.3.1).
+    PartitionFull(PartitionId),
+    /// Request timed out (network outage, crashed replica…).
+    Timeout(String),
+    /// Peer or partition is unavailable.
+    Unavailable(String),
+    /// Data integrity violation (CRC mismatch, bad snapshot, decode error).
+    Corrupt(String),
+    /// Underlying I/O failure (message preserved; `io::Error` is not `Clone`).
+    Io(String),
+    /// Caller error: invalid argument, offset out of range, bad name…
+    InvalidArgument(String),
+    /// Directory not empty (rmdir), or unlink on a directory with entries.
+    NotEmpty(InodeId),
+    /// Operation applied to the wrong file type (e.g. readdir on a file).
+    NotADirectory(InodeId),
+    /// Operation applied to a directory where a file was required.
+    IsADirectory(InodeId),
+    /// All retries exhausted; the client gave up (§2.1.3 retry policy).
+    RetriesExhausted { op: String, attempts: u32 },
+    /// Volume quota / namespace limits.
+    QuotaExceeded(String),
+    /// Internal invariant violation — a bug, surfaced instead of panicking.
+    Internal(String),
+}
+
+impl CfsError {
+    /// True when a client should retry the same request (possibly against a
+    /// different replica). Mirrors the paper's always-retry-on-failure
+    /// client policy (§2.1.3).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            CfsError::Timeout(_) | CfsError::Unavailable(_) | CfsError::NotLeader { .. }
+        )
+    }
+
+    /// True when the error means "ask the resource manager for new
+    /// partitions and try those instead".
+    pub fn needs_new_partition(&self) -> bool {
+        matches!(self, CfsError::PartitionFull(_) | CfsError::ReadOnly(_))
+    }
+}
+
+impl fmt::Display for CfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfsError::NotFound(s) => write!(f, "not found: {s}"),
+            CfsError::Exists(s) => write!(f, "already exists: {s}"),
+            CfsError::NotLeader { partition, hint } => match hint {
+                Some(n) => write!(f, "{partition}: not leader, try {n}"),
+                None => write!(f, "{partition}: not leader, leader unknown"),
+            },
+            CfsError::ReadOnly(p) => write!(f, "{p}: read-only"),
+            CfsError::PartitionFull(p) => write!(f, "{p}: full"),
+            CfsError::Timeout(s) => write!(f, "timeout: {s}"),
+            CfsError::Unavailable(s) => write!(f, "unavailable: {s}"),
+            CfsError::Corrupt(s) => write!(f, "corrupt: {s}"),
+            CfsError::Io(s) => write!(f, "io error: {s}"),
+            CfsError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            CfsError::NotEmpty(i) => write!(f, "{i}: directory not empty"),
+            CfsError::NotADirectory(i) => write!(f, "{i}: not a directory"),
+            CfsError::IsADirectory(i) => write!(f, "{i}: is a directory"),
+            CfsError::RetriesExhausted { op, attempts } => {
+                write!(f, "{op}: retries exhausted after {attempts} attempts")
+            }
+            CfsError::QuotaExceeded(s) => write!(f, "quota exceeded: {s}"),
+            CfsError::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CfsError {}
+
+impl From<io::Error> for CfsError {
+    fn from(e: io::Error) -> Self {
+        CfsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(CfsError::Timeout("x".into()).is_retryable());
+        assert!(CfsError::Unavailable("x".into()).is_retryable());
+        assert!(CfsError::NotLeader {
+            partition: PartitionId(1),
+            hint: None
+        }
+        .is_retryable());
+        assert!(!CfsError::NotFound("x".into()).is_retryable());
+        assert!(!CfsError::Exists("x".into()).is_retryable());
+        assert!(!CfsError::Corrupt("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn needs_new_partition_classification() {
+        assert!(CfsError::PartitionFull(PartitionId(2)).needs_new_partition());
+        assert!(CfsError::ReadOnly(PartitionId(2)).needs_new_partition());
+        assert!(!CfsError::Timeout("x".into()).needs_new_partition());
+    }
+
+    #[test]
+    fn display_includes_leader_hint() {
+        let e = CfsError::NotLeader {
+            partition: PartitionId(4),
+            hint: Some(NodeId(2)),
+        };
+        assert_eq!(e.to_string(), "p4: not leader, try n2");
+        let e = CfsError::NotLeader {
+            partition: PartitionId(4),
+            hint: None,
+        };
+        assert!(e.to_string().contains("leader unknown"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: CfsError = io::Error::other("disk on fire").into();
+        assert!(matches!(e, CfsError::Io(ref s) if s.contains("disk on fire")));
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared fault-injection state.
+//!
+//! The in-process cluster routes both client RPCs (via `cfs-net`) and Raft
+//! traffic (via the raft hub) through one `FaultState`, so "kill node 3"
+//! affects every protocol the way pulling a machine's cable would.
+
+use std::collections::HashSet;
+use std::sync::{Arc, RwLock};
+
+use crate::ids::NodeId;
+
+/// Cluster-wide fault switches, cheaply cloneable (shared handle).
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    down: HashSet<NodeId>,
+    cut: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultState {
+    /// No faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark a node down (true) or back up (false).
+    pub fn set_down(&self, node: NodeId, down: bool) {
+        let mut g = self.inner.write().unwrap();
+        if down {
+            g.down.insert(node);
+        } else {
+            g.down.remove(&node);
+        }
+    }
+
+    /// Is the node down?
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.inner.read().unwrap().down.contains(&node)
+    }
+
+    /// Cut (true) or restore (false) the directed link `from → to`.
+    pub fn set_link_cut(&self, from: NodeId, to: NodeId, cut: bool) {
+        let mut g = self.inner.write().unwrap();
+        if cut {
+            g.cut.insert((from, to));
+        } else {
+            g.cut.remove(&(from, to));
+        }
+    }
+
+    /// Cut or restore both directions between two nodes.
+    pub fn set_partitioned(&self, a: NodeId, b: NodeId, cut: bool) {
+        self.set_link_cut(a, b, cut);
+        self.set_link_cut(b, a, cut);
+    }
+
+    /// Can a message travel `from → to` right now?
+    pub fn link_ok(&self, from: NodeId, to: NodeId) -> bool {
+        let g = self.inner.read().unwrap();
+        !g.down.contains(&from) && !g.down.contains(&to) && !g.cut.contains(&(from, to))
+    }
+
+    /// Clear every fault.
+    pub fn heal_all(&self) {
+        let mut g = self.inner.write().unwrap();
+        g.down.clear();
+        g.cut.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_blocks_both_directions() {
+        let f = FaultState::new();
+        assert!(f.link_ok(NodeId(1), NodeId(2)));
+        f.set_down(NodeId(2), true);
+        assert!(!f.link_ok(NodeId(1), NodeId(2)));
+        assert!(!f.link_ok(NodeId(2), NodeId(1)));
+        assert!(f.is_down(NodeId(2)));
+        f.set_down(NodeId(2), false);
+        assert!(f.link_ok(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn cut_is_directional_partition_is_not() {
+        let f = FaultState::new();
+        f.set_link_cut(NodeId(1), NodeId(2), true);
+        assert!(!f.link_ok(NodeId(1), NodeId(2)));
+        assert!(f.link_ok(NodeId(2), NodeId(1)));
+        f.heal_all();
+        f.set_partitioned(NodeId(1), NodeId(2), true);
+        assert!(!f.link_ok(NodeId(1), NodeId(2)));
+        assert!(!f.link_ok(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn heal_all_clears_everything() {
+        let f = FaultState::new();
+        f.set_down(NodeId(1), true);
+        f.set_partitioned(NodeId(2), NodeId(3), true);
+        f.heal_all();
+        assert!(f.link_ok(NodeId(1), NodeId(2)));
+        assert!(f.link_ok(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FaultState::new();
+        let f2 = f.clone();
+        f2.set_down(NodeId(5), true);
+        assert!(f.is_down(NodeId(5)));
+    }
+}

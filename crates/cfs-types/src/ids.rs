@@ -1,0 +1,139 @@
+//! Strongly typed identifiers.
+//!
+//! Every subsystem addresses cluster entities through these newtypes so that
+//! an inode id can never be passed where a partition id is expected. All of
+//! them are plain `u64`/`u32` wrappers and implement the binary [`Encode`] /
+//! [`Decode`] codec.
+
+use std::fmt;
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::error::Result;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl Encode for $name {
+            fn encode(&self, enc: &mut Encoder) {
+                self.0.encode(enc);
+            }
+        }
+
+        impl Decode for $name {
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+                Ok(Self(<$inner>::decode(dec)?))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical node (meta node, data node, or resource-manager replica).
+    NodeId, u64, "n"
+);
+id_type!(
+    /// A meta or data partition. Partition ids are cluster-unique and
+    /// assigned by the resource manager.
+    PartitionId, u64, "p"
+);
+id_type!(
+    /// A volume: the logical file-system instance containers mount (§2).
+    VolumeId, u64, "v"
+);
+id_type!(
+    /// An inode id. Unique within a volume; each meta partition owns a
+    /// disjoint inode-id range.
+    InodeId, u64, "i"
+);
+id_type!(
+    /// An extent within one data partition's extent store.
+    ExtentId, u64, "e"
+);
+id_type!(
+    /// A mounted client instance.
+    ClientId, u64, "c"
+);
+id_type!(
+    /// A Raft consensus group. Each replicated partition maps to one group.
+    RaftGroupId, u64, "rg"
+);
+
+/// The root directory inode of every volume.
+pub const ROOT_INODE: InodeId = InodeId(1);
+
+impl InodeId {
+    /// Successor inode id; panics on overflow (2^64 inodes is unreachable).
+    #[inline]
+    pub fn next(self) -> InodeId {
+        InodeId(self.0.checked_add(1).expect("inode id overflow"))
+    }
+
+    /// Sentinel for "unbounded end of inode range" (Algorithm 1's
+    /// `math.MaxUint64`).
+    pub const MAX: InodeId = InodeId(u64::MAX);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(PartitionId(7).to_string(), "p7");
+        assert_eq!(VolumeId(1).to_string(), "v1");
+        assert_eq!(InodeId(42).to_string(), "i42");
+        assert_eq!(ExtentId(9).to_string(), "e9");
+        assert_eq!(ClientId(5).to_string(), "c5");
+        assert_eq!(RaftGroupId(11).to_string(), "rg11");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_codec() {
+        assert_eq!(roundtrip(&NodeId(u64::MAX)).unwrap(), NodeId(u64::MAX));
+        assert_eq!(roundtrip(&InodeId(1)).unwrap(), InodeId(1));
+        assert_eq!(roundtrip(&PartitionId(0)).unwrap(), PartitionId(0));
+    }
+
+    #[test]
+    fn inode_next_increments() {
+        assert_eq!(ROOT_INODE.next(), InodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inode id overflow")]
+    fn inode_next_overflow_panics() {
+        let _ = InodeId::MAX.next();
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(InodeId(3) < InodeId(10));
+        assert!(PartitionId(2) > PartitionId(1));
+    }
+}

@@ -1,0 +1,365 @@
+//! File metadata structures: inodes, dentries and extent keys.
+//!
+//! These mirror the Go structs reproduced in §2.1.1 of the paper. An inode
+//! carries the link count, type, optional symlink target and — because CFS
+//! stores *physical* extent locations in memory rather than logical indices
+//! (§5, comparison with Haystack) — the ordered list of [`ExtentKey`]s that
+//! locate the file's bytes in the data subsystem.
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::error::{CfsError, Result};
+use crate::ids::{ExtentId, InodeId, PartitionId};
+
+/// What an inode represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Symbolic link (target stored in [`Inode::link_target`]).
+    Symlink,
+}
+
+impl FileType {
+    /// `nlink` threshold at which the inode becomes deletable: 0 for files
+    /// and symlinks, 2 for directories ("." and the parent entry), per
+    /// §2.6.3.
+    pub fn unlink_threshold(self) -> u32 {
+        match self {
+            FileType::Dir => 2,
+            FileType::File | FileType::Symlink => 0,
+        }
+    }
+
+    /// Initial `nlink` for a fresh inode of this type.
+    pub fn initial_nlink(self) -> u32 {
+        match self {
+            FileType::Dir => 2,
+            FileType::File | FileType::Symlink => 1,
+        }
+    }
+}
+
+impl Encode for FileType {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            FileType::File => 0,
+            FileType::Dir => 1,
+            FileType::Symlink => 2,
+        });
+    }
+}
+
+impl Decode for FileType {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.get_u8()? {
+            0 => Ok(FileType::File),
+            1 => Ok(FileType::Dir),
+            2 => Ok(FileType::Symlink),
+            b => Err(CfsError::Corrupt(format!("invalid file type {b}"))),
+        }
+    }
+}
+
+/// Inode state flags (the paper's `flag` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InodeFlag(pub u32);
+
+impl InodeFlag {
+    /// Inode is marked deleted; a background process will reclaim its data
+    /// from the data nodes (§2.7.3 asynchronous delete).
+    pub const MARK_DELETED: u32 = 1 << 0;
+
+    /// True if the mark-deleted bit is set.
+    pub fn is_mark_deleted(self) -> bool {
+        self.0 & Self::MARK_DELETED != 0
+    }
+
+    /// Set the mark-deleted bit.
+    pub fn set_mark_deleted(&mut self) {
+        self.0 |= Self::MARK_DELETED;
+    }
+}
+
+impl Encode for InodeFlag {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+}
+
+impl Decode for InodeFlag {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(InodeFlag(dec.get_u32()?))
+    }
+}
+
+/// Physical location of one contiguous piece of a file in the data
+/// subsystem. Large files are sequences of extent keys across partitions;
+/// small files hold exactly one key pointing into a shared extent (§2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentKey {
+    /// Offset of this piece within the file.
+    pub file_offset: u64,
+    /// Data partition that stores the extent.
+    pub partition_id: PartitionId,
+    /// Extent within the partition.
+    pub extent_id: ExtentId,
+    /// Physical offset within the extent. Zero for dedicated large-file
+    /// extents (writes always start at extent offset 0, §2.2.2); nonzero for
+    /// small files packed into shared extents.
+    pub extent_offset: u64,
+    /// Length of this piece in bytes.
+    pub size: u64,
+}
+
+impl ExtentKey {
+    /// File-offset half-open range `[file_offset, file_offset + size)`.
+    pub fn file_range(&self) -> std::ops::Range<u64> {
+        self.file_offset..self.file_offset + self.size
+    }
+
+    /// True if `off` lies inside this piece.
+    pub fn contains(&self, off: u64) -> bool {
+        self.file_range().contains(&off)
+    }
+}
+
+impl Encode for ExtentKey {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.file_offset);
+        self.partition_id.encode(enc);
+        self.extent_id.encode(enc);
+        enc.put_u64(self.extent_offset);
+        enc.put_u64(self.size);
+    }
+}
+
+impl Decode for ExtentKey {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(ExtentKey {
+            file_offset: dec.get_u64()?,
+            partition_id: PartitionId::decode(dec)?,
+            extent_id: ExtentId::decode(dec)?,
+            extent_offset: dec.get_u64()?,
+            size: dec.get_u64()?,
+        })
+    }
+}
+
+/// An inode (§2.1.1): the per-file metadata record stored in a meta
+/// partition's `inodeTree`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode id, unique within the volume.
+    pub id: InodeId,
+    /// File, directory, or symlink.
+    pub file_type: FileType,
+    /// Symlink target (empty unless `file_type == Symlink`).
+    pub link_target: Vec<u8>,
+    /// Number of links (dentries for files; subdir count + 2 for dirs).
+    pub nlink: u32,
+    /// State flags (mark-deleted…).
+    pub flag: InodeFlag,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Modification timestamp, nanoseconds since an arbitrary epoch.
+    pub mtime_ns: u64,
+    /// Creation timestamp.
+    pub ctime_ns: u64,
+    /// Ordered physical locations of the file's bytes.
+    pub extents: Vec<ExtentKey>,
+    /// Generation counter bumped on truncate so stale client extent caches
+    /// can be detected when re-syncing on open (§2.4).
+    pub generation: u64,
+}
+
+impl Inode {
+    /// Fresh inode of `file_type` with type-appropriate initial `nlink`.
+    pub fn new(id: InodeId, file_type: FileType, now_ns: u64) -> Self {
+        Inode {
+            id,
+            file_type,
+            link_target: Vec::new(),
+            nlink: file_type.initial_nlink(),
+            flag: InodeFlag::default(),
+            size: 0,
+            mtime_ns: now_ns,
+            ctime_ns: now_ns,
+            extents: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Fresh symlink inode pointing at `target`.
+    pub fn new_symlink(id: InodeId, target: &[u8], now_ns: u64) -> Self {
+        let mut ino = Inode::new(id, FileType::Symlink, now_ns);
+        ino.link_target = target.to_vec();
+        ino
+    }
+
+    /// True if this inode may be reclaimed: marked deleted, or a file whose
+    /// link count reached the unlink threshold.
+    pub fn is_reclaimable(&self) -> bool {
+        self.flag.is_mark_deleted()
+            || self.nlink <= self.file_type.unlink_threshold() && self.nlink == 0
+    }
+
+    /// Is this a directory?
+    pub fn is_dir(&self) -> bool {
+        self.file_type == FileType::Dir
+    }
+}
+
+impl Encode for Inode {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        self.file_type.encode(enc);
+        enc.put_bytes(&self.link_target);
+        enc.put_u32(self.nlink);
+        self.flag.encode(enc);
+        enc.put_u64(self.size);
+        enc.put_u64(self.mtime_ns);
+        enc.put_u64(self.ctime_ns);
+        self.extents.encode(enc);
+        enc.put_u64(self.generation);
+    }
+}
+
+impl Decode for Inode {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Inode {
+            id: InodeId::decode(dec)?,
+            file_type: FileType::decode(dec)?,
+            link_target: dec.get_bytes()?.to_vec(),
+            nlink: dec.get_u32()?,
+            flag: InodeFlag::decode(dec)?,
+            size: dec.get_u64()?,
+            mtime_ns: dec.get_u64()?,
+            ctime_ns: dec.get_u64()?,
+            extents: Vec::<ExtentKey>::decode(dec)?,
+            generation: dec.get_u64()?,
+        })
+    }
+}
+
+/// A directory entry (§2.1.1), stored in the `dentryTree` keyed by
+/// `(parent_id, name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dentry {
+    /// Inode id of the containing directory.
+    pub parent_id: InodeId,
+    /// Entry name within the directory.
+    pub name: String,
+    /// Inode the entry points to. The relaxed-atomicity invariant (§2.6):
+    /// this inode always exists somewhere in the volume, though possibly on
+    /// a different meta partition than the dentry.
+    pub inode: InodeId,
+    /// Type of the target inode, denormalized for fast `readdir`.
+    pub file_type: FileType,
+}
+
+impl Encode for Dentry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.parent_id.encode(enc);
+        self.name.encode(enc);
+        self.inode.encode(enc);
+        self.file_type.encode(enc);
+    }
+}
+
+impl Decode for Dentry {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Dentry {
+            parent_id: InodeId::decode(dec)?,
+            name: String::decode(dec)?,
+            inode: InodeId::decode(dec)?,
+            file_type: FileType::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    fn sample_inode() -> Inode {
+        let mut ino = Inode::new(InodeId(42), FileType::File, 1_000);
+        ino.size = 4096;
+        ino.extents.push(ExtentKey {
+            file_offset: 0,
+            partition_id: PartitionId(7),
+            extent_id: ExtentId(3),
+            extent_offset: 128,
+            size: 4096,
+        });
+        ino
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let ino = sample_inode();
+        assert_eq!(roundtrip(&ino).unwrap(), ino);
+    }
+
+    #[test]
+    fn symlink_roundtrip_preserves_target() {
+        let ino = Inode::new_symlink(InodeId(9), b"/target/path", 5);
+        let back = roundtrip(&ino).unwrap();
+        assert_eq!(back.link_target, b"/target/path");
+        assert_eq!(back.file_type, FileType::Symlink);
+    }
+
+    #[test]
+    fn dentry_roundtrip() {
+        let d = Dentry {
+            parent_id: InodeId(1),
+            name: "服务.log".into(),
+            inode: InodeId(55),
+            file_type: FileType::File,
+        };
+        assert_eq!(roundtrip(&d).unwrap(), d);
+    }
+
+    #[test]
+    fn initial_nlink_matches_paper_thresholds() {
+        assert_eq!(FileType::File.initial_nlink(), 1);
+        assert_eq!(FileType::Dir.initial_nlink(), 2);
+        assert_eq!(FileType::File.unlink_threshold(), 0);
+        assert_eq!(FileType::Dir.unlink_threshold(), 2);
+    }
+
+    #[test]
+    fn extent_key_ranges() {
+        let k = ExtentKey {
+            file_offset: 100,
+            partition_id: PartitionId(1),
+            extent_id: ExtentId(1),
+            extent_offset: 0,
+            size: 50,
+        };
+        assert!(k.contains(100));
+        assert!(k.contains(149));
+        assert!(!k.contains(150));
+        assert!(!k.contains(99));
+        assert_eq!(k.file_range(), 100..150);
+    }
+
+    #[test]
+    fn reclaimable_logic() {
+        let mut ino = Inode::new(InodeId(2), FileType::File, 0);
+        assert!(!ino.is_reclaimable());
+        ino.nlink = 0;
+        assert!(ino.is_reclaimable());
+        let mut dir = Inode::new(InodeId(3), FileType::Dir, 0);
+        assert!(!dir.is_reclaimable());
+        dir.flag.set_mark_deleted();
+        assert!(dir.is_reclaimable());
+    }
+
+    #[test]
+    fn invalid_file_type_byte_rejected() {
+        assert!(FileType::from_bytes(&[7]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Data-path packets.
+//!
+//! Sequential writes send "a number of fixed sized packets (e.g., 128 KB) to
+//! the leader, each of which includes the addresses of the replicas, the
+//! target extent id, the offset in the extent, and the file content"
+//! (§2.7.1). The replica array's order defines the primary-backup chain: the
+//! replica at index 0 is the leader.
+
+use bytes::Bytes;
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::crc::crc32;
+use crate::error::{CfsError, Result};
+use crate::ids::{ExtentId, NodeId, PartitionId};
+
+/// Operation carried by a data-path packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOp {
+    /// Append at the extent's write watermark (sequential write path,
+    /// primary-backup replicated).
+    Append,
+    /// In-place overwrite at `extent_offset` (random write path,
+    /// Raft replicated).
+    Overwrite,
+}
+
+impl Encode for PacketOp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            PacketOp::Append => 0,
+            PacketOp::Overwrite => 1,
+        });
+    }
+}
+
+impl Decode for PacketOp {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.get_u8()? {
+            0 => Ok(PacketOp::Append),
+            1 => Ok(PacketOp::Overwrite),
+            b => Err(CfsError::Corrupt(format!("invalid packet op {b}"))),
+        }
+    }
+}
+
+/// One data-path write packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Append or overwrite.
+    pub op: PacketOp,
+    /// Target data partition.
+    pub partition_id: PartitionId,
+    /// Target extent within the partition.
+    pub extent_id: ExtentId,
+    /// Offset within the extent. For appends this is the expected watermark
+    /// (used to detect lost packets); for overwrites the in-place position.
+    pub extent_offset: u64,
+    /// Replication order: index 0 is the leader, the rest are the chain.
+    pub replicas: Vec<NodeId>,
+    /// File content carried by this packet.
+    pub data: Bytes,
+    /// CRC32-C of `data`, verified by every replica before applying.
+    pub crc: u32,
+}
+
+impl Packet {
+    /// Build a packet, computing the data CRC.
+    pub fn new(
+        op: PacketOp,
+        partition_id: PartitionId,
+        extent_id: ExtentId,
+        extent_offset: u64,
+        replicas: Vec<NodeId>,
+        data: Bytes,
+    ) -> Self {
+        let crc = crc32(&data);
+        Packet {
+            op,
+            partition_id,
+            extent_id,
+            extent_offset,
+            replicas,
+            data,
+            crc,
+        }
+    }
+
+    /// Verify payload integrity against the carried CRC.
+    pub fn verify(&self) -> Result<()> {
+        let actual = crc32(&self.data);
+        if actual != self.crc {
+            return Err(CfsError::Corrupt(format!(
+                "packet crc mismatch: stored {:#x}, computed {actual:#x}",
+                self.crc
+            )));
+        }
+        Ok(())
+    }
+
+    /// The leader this packet must be sent to (replica index 0).
+    pub fn leader(&self) -> Option<NodeId> {
+        self.replicas.first().copied()
+    }
+
+    /// The downstream chain after `node` in the replication order.
+    pub fn downstream_of(&self, node: NodeId) -> &[NodeId] {
+        match self.replicas.iter().position(|&n| n == node) {
+            Some(i) => &self.replicas[i + 1..],
+            None => &[],
+        }
+    }
+}
+
+impl Encode for Packet {
+    fn encode(&self, enc: &mut Encoder) {
+        self.op.encode(enc);
+        self.partition_id.encode(enc);
+        self.extent_id.encode(enc);
+        enc.put_u64(self.extent_offset);
+        self.replicas.encode(enc);
+        self.data.encode(enc);
+        enc.put_u32(self.crc);
+    }
+}
+
+impl Decode for Packet {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Packet {
+            op: PacketOp::decode(dec)?,
+            partition_id: PartitionId::decode(dec)?,
+            extent_id: ExtentId::decode(dec)?,
+            extent_offset: dec.get_u64()?,
+            replicas: Vec::<NodeId>::decode(dec)?,
+            data: Bytes::decode(dec)?,
+            crc: dec.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    fn sample() -> Packet {
+        Packet::new(
+            PacketOp::Append,
+            PartitionId(3),
+            ExtentId(8),
+            4096,
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            Bytes::from_static(b"hello world"),
+        )
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let p = sample();
+        assert_eq!(roundtrip(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn verify_accepts_intact_and_rejects_corrupt() {
+        let mut p = sample();
+        assert!(p.verify().is_ok());
+        p.data = Bytes::from_static(b"hello worle");
+        assert!(p.verify().is_err());
+    }
+
+    #[test]
+    fn leader_is_replica_zero() {
+        let p = sample();
+        assert_eq!(p.leader(), Some(NodeId(1)));
+        let empty = Packet::new(
+            PacketOp::Append,
+            PartitionId(1),
+            ExtentId(1),
+            0,
+            vec![],
+            Bytes::new(),
+        );
+        assert_eq!(empty.leader(), None);
+    }
+
+    #[test]
+    fn downstream_chain_order() {
+        let p = sample();
+        assert_eq!(p.downstream_of(NodeId(1)), &[NodeId(2), NodeId(3)]);
+        assert_eq!(p.downstream_of(NodeId(2)), &[NodeId(3)]);
+        assert_eq!(p.downstream_of(NodeId(3)), &[] as &[NodeId]);
+        assert_eq!(p.downstream_of(NodeId(99)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_payload_has_zero_crc() {
+        let p = Packet::new(
+            PacketOp::Overwrite,
+            PartitionId(1),
+            ExtentId(1),
+            0,
+            vec![NodeId(1)],
+            Bytes::new(),
+        );
+        assert_eq!(p.crc, 0);
+        assert!(p.verify().is_ok());
+    }
+}

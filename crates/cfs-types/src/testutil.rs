@@ -1,0 +1,63 @@
+//! Test support: self-cleaning temporary directories.
+//!
+//! The workspace avoids external dev-dependencies for temp files; this tiny
+//! helper creates a unique directory under the system temp dir and removes
+//! it on drop. It is `pub` (not `cfg(test)`) because downstream crates'
+//! tests and benches use it too.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory named after `prefix`, the process id and a
+    /// monotonic counter.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("cfs-{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept_path;
+        {
+            let d = TempDir::new("unit").unwrap();
+            kept_path = d.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(kept_path.join("f"), b"x").unwrap();
+        }
+        assert!(!kept_path.exists());
+    }
+
+    #[test]
+    fn two_tempdirs_are_distinct() {
+        let a = TempDir::new("unit").unwrap();
+        let b = TempDir::new("unit").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,563 @@
+//! The in-process cluster: Figure 1 wired together.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cfs_client::{Client, ClientOptions, Fabrics};
+use cfs_data::{DataNode, DataRequest, DataResponse};
+use cfs_master::{MasterCommand, MasterNode, MasterRequest, MasterResponse, NodeKind, Task};
+use cfs_meta::{MetaNode, MetaPartitionConfig, MetaRequest, MetaResponse};
+use cfs_net::Network;
+use cfs_raft::{RaftConfig, RaftHub};
+use cfs_types::testutil::TempDir;
+use cfs_types::{
+    CfsError, ClusterConfig, FaultState, FileType, InodeId, NodeId, PartitionId, Result, VolumeId,
+};
+
+/// Node-id ranges per role (must not collide — they share the raft hub).
+const META_NODE_BASE: u64 = 1;
+const DATA_NODE_BASE: u64 = 101;
+const MASTER_NODE_BASE: u64 = 9_001;
+const CLIENT_BASE: u64 = 20_001;
+
+/// Builds an in-process CFS cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    meta_nodes: usize,
+    data_nodes: usize,
+    master_replicas: usize,
+    config: ClusterConfig,
+    raft_config: RaftConfig,
+    seed: u64,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Defaults: 3 meta nodes, 3 data nodes, 3 master replicas.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            meta_nodes: 3,
+            data_nodes: 3,
+            master_replicas: 3,
+            config: ClusterConfig::default(),
+            raft_config: RaftConfig::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Number of meta nodes.
+    pub fn meta_nodes(mut self, n: usize) -> Self {
+        self.meta_nodes = n;
+        self
+    }
+
+    /// Number of data nodes.
+    pub fn data_nodes(mut self, n: usize) -> Self {
+        self.data_nodes = n;
+        self
+    }
+
+    /// Number of resource-manager replicas.
+    pub fn master_replicas(mut self, n: usize) -> Self {
+        self.master_replicas = n;
+        self
+    }
+
+    /// Cluster-wide configuration (thresholds, replica count…).
+    pub fn config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Deterministic seed for elections and client randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bring the cluster up: elect the master group, register storage
+    /// nodes, and wait until everything is answerable.
+    pub fn build(self) -> Result<Cluster> {
+        self.config.validate()?;
+        self.raft_config.validate()?;
+        let hub = RaftHub::new();
+        let faults = FaultState::new();
+        hub.set_faults(faults.clone());
+
+        let fabrics = Fabrics {
+            master: Network::new(),
+            meta: Network::new(),
+            data: Network::new(),
+        };
+        fabrics.master.set_faults(faults.clone());
+        fabrics.meta.set_faults(faults.clone());
+        fabrics.data.set_faults(faults.clone());
+
+        // Resource-manager replicas.
+        let master_dir = TempDir::new("cfs-master")?;
+        let master_ids: Vec<NodeId> = (0..self.master_replicas.max(1) as u64)
+            .map(|i| NodeId(MASTER_NODE_BASE + i))
+            .collect();
+        let masters: Vec<Arc<MasterNode>> = master_ids
+            .iter()
+            .map(|&id| {
+                MasterNode::open(
+                    id,
+                    hub.clone(),
+                    &master_dir.path().join(format!("{id}")),
+                    master_ids.clone(),
+                    self.config.clone(),
+                    self.raft_config.clone(),
+                    self.seed,
+                )
+            })
+            .collect::<Result<_>>()?;
+        for m in &masters {
+            let m2 = m.clone();
+            fabrics
+                .master
+                .register(m.id(), Arc::new(move |_from, req| m2.handle(req)));
+        }
+
+        // Meta nodes.
+        let meta_nodes: Vec<Arc<MetaNode>> = (0..self.meta_nodes as u64)
+            .map(|i| {
+                MetaNode::new(
+                    NodeId(META_NODE_BASE + i),
+                    hub.clone(),
+                    self.raft_config.clone(),
+                    self.seed,
+                )
+            })
+            .collect();
+        for n in &meta_nodes {
+            let n2 = n.clone();
+            fabrics
+                .meta
+                .register(n.id(), Arc::new(move |_from, req| n2.handle(req)));
+        }
+
+        // Data nodes.
+        let data_nodes: Vec<Arc<DataNode>> = (0..self.data_nodes as u64)
+            .map(|i| {
+                DataNode::new(
+                    NodeId(DATA_NODE_BASE + i),
+                    hub.clone(),
+                    fabrics.data.clone(),
+                    self.raft_config.clone(),
+                    self.seed,
+                )
+            })
+            .collect();
+        for n in &data_nodes {
+            let n2 = n.clone();
+            fabrics
+                .data
+                .register(n.id(), Arc::new(move |_from, req| n2.handle(req)));
+        }
+
+        let cluster = Cluster {
+            hub,
+            faults,
+            fabrics,
+            masters,
+            meta_nodes,
+            data_nodes,
+            config: self.config,
+            raft_config: self.raft_config,
+            seed: self.seed,
+            next_client: AtomicU64::new(CLIENT_BASE),
+            _master_dir: master_dir,
+        };
+
+        // Elect the master group, then register every storage node.
+        let leader = cluster.master_leader()?;
+        for n in &cluster.meta_nodes {
+            leader.propose(&MasterCommand::RegisterNode {
+                node: n.id(),
+                kind: NodeKind::Meta,
+            })?;
+        }
+        for n in &cluster.data_nodes {
+            leader.propose(&MasterCommand::RegisterNode {
+                node: n.id(),
+                kind: NodeKind::Data,
+            })?;
+        }
+        Ok(cluster)
+    }
+}
+
+/// A running in-process CFS cluster (Figure 1): resource manager replicas,
+/// meta nodes, data nodes, and the fabrics clients mount through.
+pub struct Cluster {
+    hub: RaftHub,
+    faults: FaultState,
+    fabrics: Fabrics,
+    masters: Vec<Arc<MasterNode>>,
+    meta_nodes: Vec<Arc<MetaNode>>,
+    data_nodes: Vec<Arc<DataNode>>,
+    config: ClusterConfig,
+    raft_config: RaftConfig,
+    seed: u64,
+    next_client: AtomicU64,
+    _master_dir: TempDir,
+}
+
+impl Cluster {
+    /// The shared fault switches (kill nodes, cut links).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The raft hub (advanced: drive ticks manually in tests).
+    pub fn hub(&self) -> &RaftHub {
+        &self.hub
+    }
+
+    /// Meta nodes.
+    pub fn meta_nodes(&self) -> &[Arc<MetaNode>] {
+        &self.meta_nodes
+    }
+
+    /// Data nodes.
+    pub fn data_nodes(&self) -> &[Arc<DataNode>] {
+        &self.data_nodes
+    }
+
+    /// Master replicas.
+    pub fn masters(&self) -> &[Arc<MasterNode>] {
+        &self.masters
+    }
+
+    /// Run `ticks` of cluster time (elections, heartbeats, commits).
+    pub fn settle(&self, ticks: u64) {
+        for _ in 0..ticks {
+            self.hub.tick_and_pump();
+        }
+    }
+
+    /// The current master leader (waits for an election if needed). A
+    /// replica that is down may still believe it leads; only reachable
+    /// leaders count.
+    pub fn master_leader(&self) -> Result<Arc<MasterNode>> {
+        let reachable_leader = || {
+            self.masters
+                .iter()
+                .find(|m| m.is_leader() && !self.faults.is_down(m.id()))
+                .cloned()
+        };
+        let ok = self.hub.pump_until(|| reachable_leader().is_some(), 10_000);
+        if !ok {
+            return Err(CfsError::Unavailable("no master leader elected".into()));
+        }
+        Ok(reachable_leader().expect("leader exists per pump predicate"))
+    }
+
+    /// Execute resource-manager tasks against the storage nodes (§2.3:
+    /// the RM "manages the file system by processing different types of
+    /// tasks").
+    pub fn execute_tasks(&self, tasks: &[Task]) -> Result<()> {
+        for task in tasks {
+            match task {
+                Task::CreateMetaPartition {
+                    partition,
+                    volume,
+                    start,
+                    end,
+                    members,
+                } => {
+                    let config = MetaPartitionConfig {
+                        partition_id: *partition,
+                        volume_id: *volume,
+                        start: *start,
+                        end: *end,
+                    };
+                    for &m in members {
+                        match self.fabrics.meta.call(
+                            NodeId(0),
+                            m,
+                            MetaRequest::CreatePartition {
+                                config: config.clone(),
+                                members: members.clone(),
+                            },
+                        )? {
+                            Ok(MetaResponse::Created) => {}
+                            Ok(_) => {
+                                return Err(CfsError::Internal("bad CreatePartition reply".into()))
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    // Wait for the new group to elect a leader.
+                    let pid = *partition;
+                    self.hub.pump_until(
+                        || self.meta_nodes.iter().any(|n| n.is_leader_for(pid)),
+                        10_000,
+                    );
+                }
+                Task::CreateDataPartition {
+                    partition,
+                    volume,
+                    members,
+                } => {
+                    for &m in members {
+                        self.fabrics.data.call(
+                            NodeId(0),
+                            m,
+                            DataRequest::CreatePartition {
+                                partition: *partition,
+                                volume: *volume,
+                                members: members.clone(),
+                                small_extent_rotate_at: 128 * 1024 * 1024,
+                                extent_limit: self.config.data_partition_extent_limit,
+                            },
+                        )??;
+                    }
+                    let pid = *partition;
+                    self.hub.pump_until(
+                        || self.data_nodes.iter().any(|n| n.is_raft_leader_for(pid)),
+                        10_000,
+                    );
+                }
+                Task::UpdateMetaPartitionEnd {
+                    partition,
+                    end,
+                    members,
+                } => {
+                    // Route to the partition leader like a client would.
+                    let mut done = false;
+                    for &m in members {
+                        let req = MetaRequest::Write {
+                            partition: *partition,
+                            cmd: cfs_meta::MetaCommand::UpdateEnd { end: *end },
+                        };
+                        match self.fabrics.meta.call(NodeId(0), m, req) {
+                            Ok(Ok(_)) => {
+                                done = true;
+                                break;
+                            }
+                            Ok(Err(CfsError::NotLeader { .. })) | Ok(Err(_)) | Err(_) => continue,
+                        }
+                    }
+                    if !done {
+                        return Err(CfsError::Unavailable(format!(
+                            "{partition}: no replica accepted UpdateEnd"
+                        )));
+                    }
+                }
+                Task::SetDataPartitionReadOnly {
+                    partition,
+                    members,
+                    read_only,
+                } => {
+                    for &m in members {
+                        // Best effort: a dead replica is the very reason
+                        // the partition is going read-only.
+                        let _ = self.fabrics.data.call(
+                            NodeId(0),
+                            m,
+                            DataRequest::SetReadOnly {
+                                partition: *partition,
+                                ro: *read_only,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a volume (§2): allocate partitions via the resource manager,
+    /// create them on the storage nodes, and initialize the root inode.
+    pub fn create_volume(
+        &self,
+        name: &str,
+        meta_partitions: u64,
+        data_partitions: u64,
+    ) -> Result<VolumeId> {
+        let leader = self.master_leader()?;
+        let outcome = leader.propose(&MasterCommand::CreateVolume {
+            name: name.to_string(),
+            meta_partition_count: meta_partitions,
+            data_partition_count: data_partitions,
+        })?;
+        self.execute_tasks(&outcome.tasks)?;
+        let volume = outcome
+            .volume
+            .ok_or_else(|| CfsError::Internal("CreateVolume returned no id".into()))?;
+
+        // Initialize the root directory (inode 1) on the partition that
+        // owns the low end of the id space.
+        let root_partition = outcome
+            .tasks
+            .iter()
+            .find_map(|t| match t {
+                Task::CreateMetaPartition {
+                    partition,
+                    start,
+                    members,
+                    ..
+                } if *start == InodeId(1) => Some((*partition, members.clone())),
+                _ => None,
+            })
+            .ok_or_else(|| CfsError::Internal("no meta partition starting at 1".into()))?;
+        let (pid, members) = root_partition;
+        let mut created = false;
+        for &m in &members {
+            let req = MetaRequest::Write {
+                partition: pid,
+                cmd: cfs_meta::MetaCommand::CreateInode {
+                    file_type: FileType::Dir,
+                    link_target: vec![],
+                    now_ns: 0,
+                },
+            };
+            match self.fabrics.meta.call(NodeId(0), m, req) {
+                Ok(Ok(_)) => {
+                    created = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        if !created {
+            return Err(CfsError::Unavailable("could not create volume root".into()));
+        }
+        Ok(volume)
+    }
+
+    /// Mount a volume, returning a client (one per container in the paper;
+    /// any number may mount the same volume simultaneously).
+    pub fn mount(&self, volume_name: &str) -> Result<Client> {
+        self.mount_with_options(volume_name, ClientOptions::default())
+    }
+
+    /// Mount with explicit client options.
+    pub fn mount_with_options(&self, volume_name: &str, options: ClientOptions) -> Result<Client> {
+        let id = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        Client::mount(
+            id,
+            volume_name,
+            self.fabrics.clone(),
+            self.masters.iter().map(|m| m.id()).collect(),
+            self.config.clone(),
+            options,
+        )
+    }
+
+    /// One heartbeat round (§2.3): every storage node reports utilization
+    /// and per-partition status to the resource manager, which then runs
+    /// its maintenance sweep (auto-split, volume refill); resulting tasks
+    /// are executed. Returns the number of tasks processed.
+    pub fn heartbeat(&self) -> Result<usize> {
+        let leader = self.master_leader()?;
+        for n in &self.meta_nodes {
+            leader.propose(&MasterCommand::UpdateNodeStats {
+                node: n.id(),
+                utilization: n.total_items(),
+            })?;
+            for info in n.report() {
+                if info.is_leader {
+                    leader.propose(&MasterCommand::UpdateMetaPartitionStats {
+                        partition: info.partition_id,
+                        item_count: info.item_count,
+                        max_inode: info.max_inode,
+                    })?;
+                }
+            }
+        }
+        for n in &self.data_nodes {
+            leader.propose(&MasterCommand::UpdateNodeStats {
+                node: n.id(),
+                utilization: n.total_physical_bytes(),
+            })?;
+            match self
+                .fabrics
+                .data
+                .call(NodeId(0), n.id(), DataRequest::Report)??
+            {
+                DataResponse::Report(stats) => {
+                    for s in stats {
+                        if s.is_full {
+                            leader.propose(&MasterCommand::SetDataPartitionFull {
+                                partition: s.partition_id,
+                                full: true,
+                            })?;
+                        }
+                    }
+                }
+                _ => return Err(CfsError::Internal("bad Report reply".into())),
+            }
+        }
+        let outcome = leader.propose(&MasterCommand::Maintenance)?;
+        let n = outcome.tasks.len();
+        self.execute_tasks(&outcome.tasks)?;
+        Ok(n)
+    }
+
+    /// Capacity expansion (§2.3.1): add a fresh meta node. No data moves;
+    /// the node simply starts attracting future placements.
+    pub fn add_meta_node(&mut self) -> Result<NodeId> {
+        let id = NodeId(META_NODE_BASE + self.meta_nodes.len() as u64);
+        let node = MetaNode::new(id, self.hub.clone(), self.raft_config.clone(), self.seed);
+        let n2 = node.clone();
+        self.fabrics
+            .meta
+            .register(id, Arc::new(move |_from, req| n2.handle(req)));
+        self.meta_nodes.push(node);
+        self.master_leader()?
+            .propose(&MasterCommand::RegisterNode {
+                node: id,
+                kind: NodeKind::Meta,
+            })?;
+        Ok(id)
+    }
+
+    /// Capacity expansion: add a fresh data node.
+    pub fn add_data_node(&mut self) -> Result<NodeId> {
+        let id = NodeId(DATA_NODE_BASE + self.data_nodes.len() as u64);
+        let node = DataNode::new(
+            id,
+            self.hub.clone(),
+            self.fabrics.data.clone(),
+            self.raft_config.clone(),
+            self.seed,
+        );
+        let n2 = node.clone();
+        self.fabrics
+            .data
+            .register(id, Arc::new(move |_from, req| n2.handle(req)));
+        self.data_nodes.push(node);
+        self.master_leader()?
+            .propose(&MasterCommand::RegisterNode {
+                node: id,
+                kind: NodeKind::Data,
+            })?;
+        Ok(id)
+    }
+
+    /// Report a data partition timeout (§2.3.3): the RM marks the
+    /// remaining replicas read-only.
+    pub fn report_partition_timeout(&self, partition: PartitionId) -> Result<()> {
+        let leader = self.master_leader()?;
+        let outcome = leader.propose(&MasterCommand::ReportPartitionTimeout { partition })?;
+        self.execute_tasks(&outcome.tasks)
+    }
+
+    /// Direct master query helper.
+    pub fn master_query(&self, req: MasterRequest) -> Result<MasterResponse> {
+        self.master_leader()?.handle(req)
+    }
+}

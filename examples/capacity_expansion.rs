@@ -1,0 +1,104 @@
+//! Capacity expansion without rebalancing — the paper's headline placement
+//! property (§2.3.1) plus meta-partition splitting (Algorithm 1).
+//!
+//! ```sh
+//! cargo run --example capacity_expansion
+//! ```
+
+use cfs::{ClusterBuilder, ClusterConfig};
+
+fn main() -> cfs::Result<()> {
+    // Tiny split threshold so Algorithm 1 fires visibly.
+    let config = ClusterConfig {
+        meta_partition_item_limit: 60,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new()
+        .meta_nodes(4)
+        .data_nodes(4)
+        .config(config)
+        .build()?;
+    cluster.create_volume("grow", 1, 3)?;
+    let client = cluster.mount("grow")?;
+    let root = client.root();
+
+    // Fill the volume's single meta partition toward its limit.
+    for i in 0..45 {
+        client.create(root, &format!("file-{i:03}"))?;
+    }
+    cluster.settle(500);
+    let before: Vec<(String, u64)> = cluster
+        .meta_nodes()
+        .iter()
+        .map(|n| (n.id().to_string(), n.total_items()))
+        .collect();
+    println!("items per meta node before expansion: {before:?}");
+
+    // --- Expansion: add a meta node and a data node. --------------------
+    let new_meta = cluster.add_meta_node()?;
+    let new_data = cluster.add_data_node()?;
+    println!("added {new_meta} (meta) and {new_data} (data)");
+    cluster.settle(500);
+
+    // Nothing moved: the old nodes hold exactly what they held.
+    let after: Vec<(String, u64)> = cluster
+        .meta_nodes()
+        .iter()
+        .take(before.len())
+        .map(|n| (n.id().to_string(), n.total_items()))
+        .collect();
+    assert_eq!(before, after, "no metadata rebalanced on expansion");
+    println!("existing nodes untouched — zero rebalancing (S2.3.1)");
+
+    // --- Heartbeat + maintenance: Algorithm 1 splits the hot partition. -
+    let tasks = cluster.heartbeat()?;
+    println!("heartbeat round processed {tasks} resource-manager task(s)");
+    let view = cluster.master_query(cfs_master::MasterRequest::GetVolume {
+        name: "grow".into(),
+    })?;
+    match view {
+        cfs_master::MasterResponse::Volume {
+            meta_partitions, ..
+        } => {
+            println!("volume now has {} meta partitions:", meta_partitions.len());
+            for mp in &meta_partitions {
+                println!(
+                    "  {}: inode range [{}, {}] on {:?}",
+                    mp.partition,
+                    mp.start,
+                    if mp.end == cfs::InodeId::MAX {
+                        "inf".to_string()
+                    } else {
+                        mp.end.to_string()
+                    },
+                    mp.members
+                );
+            }
+            assert!(
+                meta_partitions.len() >= 2,
+                "Algorithm 1 split the partition"
+            );
+        }
+        _ => unreachable!(),
+    }
+
+    // The freshly placed partition prefers the least-utilized nodes — the
+    // new meta node starts absorbing growth.
+    client.refresh_partition_table()?;
+    for i in 45..120 {
+        client.create(root, &format!("file-{i:03}"))?;
+    }
+    cluster.settle(500);
+    let newest = cluster
+        .meta_nodes()
+        .iter()
+        .find(|n| n.id() == new_meta)
+        .unwrap();
+    println!(
+        "new meta node now holds {} items (was 0 at join) while old nodes kept their data",
+        newest.total_items()
+    );
+    assert_eq!(client.readdir(root)?.len(), 120);
+    println!("all 120 files visible — expansion was fully online");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Shared volume: several "containers" (clients) mount the same volume
+//! simultaneously — the paper's core container-platform use case (§1):
+//! data persists beyond container lifetime and is visible to every
+//! container that mounts the volume.
+//!
+//! ```sh
+//! cargo run --example shared_volume
+//! ```
+
+use cfs::ClusterBuilder;
+
+fn main() -> cfs::Result<()> {
+    let cluster = ClusterBuilder::new().build()?;
+    cluster.create_volume("shared", 1, 4)?;
+
+    // Three microservice containers mounting one volume.
+    let producer = cluster.mount("shared")?;
+    let consumer = cluster.mount("shared")?;
+    let auditor = cluster.mount("shared")?;
+
+    let root = producer.root();
+    let inbox = producer.mkdir(root, "inbox")?;
+
+    // The producer writes work items.
+    for i in 0..5 {
+        let name = format!("job-{i:03}.json");
+        producer.create(inbox.id, &name)?;
+        let mut fh = producer.open(inbox.id, &name)?;
+        let body = format!("{{\"job\": {i}, \"payload\": \"container-shared-data\"}}");
+        producer.write(&mut fh, body.as_bytes())?;
+    }
+    println!("producer wrote 5 jobs");
+
+    // The consumer (a different client with its own caches) sees them.
+    let inbox_c = consumer.lookup(root, "inbox")?.inode;
+    let jobs = consumer.readdir(inbox_c)?;
+    assert_eq!(jobs.len(), 5);
+    for job in &jobs {
+        let mut fh = consumer.open(inbox_c, &job.name)?;
+        let body = consumer.read(&mut fh, 4096)?;
+        println!("consumer processed {} ({} bytes)", job.name, body.len());
+        // Processed: move to the archive (rename = new dentry, then old
+        // dentry removed; the file is reachable throughout, §2.6).
+        consumer.mkdir_all("/archive")?;
+        let archive = consumer.lookup(root, "archive")?.inode;
+        consumer.rename(inbox_c, &job.name, archive, &job.name)?;
+    }
+
+    // The auditor sees the post-move state.
+    let archive_a = auditor.lookup(root, "archive")?.inode;
+    let archived = auditor.readdir_plus(archive_a)?;
+    println!("auditor found {} archived jobs:", archived.len());
+    for (d, ino) in &archived {
+        println!("  {} ({} bytes)", d.name, ino.size);
+    }
+    assert_eq!(archived.len(), 5);
+    assert!(auditor
+        .readdir(auditor.lookup(root, "inbox")?.inode)?
+        .is_empty());
+
+    // "Containers may need to preserve application data even after they
+    // are closed" (§1): drop every client, remount, data is still there.
+    drop(producer);
+    drop(consumer);
+    drop(auditor);
+    let late = cluster.mount("shared")?;
+    let archive_l = late.lookup(late.root(), "archive")?.inode;
+    assert_eq!(late.readdir(archive_l)?.len(), 5);
+    println!("fresh container still sees all 5 archived jobs after the others exited");
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! Workspace-level integration tests: the whole system (resource manager,
+//! meta/data subsystems, clients) under concurrency and fault injection.
+
+use std::sync::Arc;
+
+use cfs::{CfsError, ClusterBuilder};
+
+#[test]
+fn concurrent_clients_from_real_threads() {
+    let cluster = Arc::new(ClusterBuilder::new().data_nodes(4).build().unwrap());
+    cluster.create_volume("mt", 1, 4).unwrap();
+
+    // Four OS threads, each its own mounted client, disjoint directories.
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let client = cluster.mount("mt").unwrap();
+            let root = client.root();
+            let dir = client.mkdir(root, &format!("t{t}")).unwrap();
+            for i in 0..12 {
+                let name = format!("f{i}");
+                client.create(dir.id, &name).unwrap();
+                let mut fh = client.open(dir.id, &name).unwrap();
+                let body = vec![(t * 16 + i) as u8; 10_000];
+                client.write(&mut fh, &body).unwrap();
+            }
+            // Verify our own files.
+            for i in 0..12 {
+                let mut fh = client.open(dir.id, &format!("f{i}")).unwrap();
+                let body = client.read(&mut fh, 20_000).unwrap();
+                assert_eq!(body.len(), 10_000);
+                assert!(body.iter().all(|&b| b == (t * 16 + i) as u8));
+            }
+            t
+        }));
+    }
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+
+    // Cross-check from a fifth client: every directory is complete.
+    let observer = cluster.mount("mt").unwrap();
+    let root = observer.root();
+    assert_eq!(observer.readdir(root).unwrap().len(), 4);
+    for t in 0..4 {
+        let dir = observer.lookup(root, &format!("t{t}")).unwrap().inode;
+        assert_eq!(observer.readdir(dir).unwrap().len(), 12);
+    }
+}
+
+#[test]
+fn dentries_always_reference_live_inodes_under_failures() {
+    // The §2.6 invariant: whatever fails, a dentry must always point at an
+    // existing inode (orphan inodes are allowed; dangling dentries are
+    // not).
+    let cluster = ClusterBuilder::new().meta_nodes(4).build().unwrap();
+    cluster.create_volume("inv", 2, 3).unwrap();
+    let client = cluster.mount("inv").unwrap();
+    let root = client.root();
+
+    // Interleave creates/links/unlinks with meta-node failures.
+    let mut created: Vec<String> = Vec::new();
+    for round in 0..6 {
+        // Kill / revive a rotating meta node between rounds.
+        let victim = cluster.meta_nodes()[round % 4].id();
+        cluster.faults().set_down(victim, true);
+        cluster.settle(1_200); // allow elections
+
+        for i in 0..8 {
+            let name = format!("r{round}-f{i}");
+            match client.create(root, &name) {
+                Ok(_) => created.push(name),
+                Err(e) => assert!(
+                    e.is_retryable()
+                        || matches!(e, CfsError::RetriesExhausted { .. } | CfsError::Exists(_)),
+                    "unexpected error class: {e}"
+                ),
+            }
+        }
+        if round % 2 == 0 {
+            if let Some(name) = created.pop() {
+                let _ = client.unlink(root, &name);
+            }
+        }
+        cluster.faults().set_down(victim, false);
+        cluster.settle(1_200);
+    }
+    cluster.faults().heal_all();
+    cluster.settle(2_000);
+
+    // The invariant check: stat every listed dentry.
+    for d in client.readdir(root).unwrap() {
+        let ino = client.stat(d.inode);
+        assert!(
+            ino.is_ok(),
+            "dangling dentry {} -> {} ({:?})",
+            d.name,
+            d.inode,
+            ino.err()
+        );
+    }
+    // Orphans may exist; they are cleanable.
+    client.flush_orphans();
+}
+
+#[test]
+fn volume_refill_when_partitions_fill_up() {
+    // Tiny extent limit so data partitions fill fast; the heartbeat's
+    // maintenance sweep must refill the volume (§2.3.1).
+    let config = cfs::ClusterConfig {
+        data_partition_extent_limit: 4,
+        partitions_per_allocation: 3,
+        ..cfs::ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new()
+        .data_nodes(4)
+        .config(config)
+        .build()
+        .unwrap();
+    cluster.create_volume("fill", 1, 2).unwrap();
+    let client = cluster.mount("fill").unwrap();
+    let root = client.root();
+
+    // Write enough large files to exhaust BOTH partitions' extent caps
+    // (refill triggers only when the writable fraction drops below the
+    // watermark).
+    for i in 0..16 {
+        let name = format!("big{i}");
+        client.create(root, &name).unwrap();
+        let mut fh = client.open(root, &name).unwrap();
+        // > small threshold so each write allocates a dedicated extent.
+        if client.write(&mut fh, &vec![1u8; 200_000]).is_err() {
+            break; // partitions exhausted; heartbeat will fix it
+        }
+    }
+    let tasks = cluster.heartbeat().unwrap();
+    assert!(tasks > 0, "maintenance allocated fresh partitions");
+
+    client.refresh_partition_table().unwrap();
+    client.create(root, "after-refill").unwrap();
+    let mut fh = client.open(root, "after-refill").unwrap();
+    client.write(&mut fh, &vec![2u8; 200_000]).unwrap();
+    let mut check = client.open(root, "after-refill").unwrap();
+    assert_eq!(client.read(&mut check, 300_000).unwrap().len(), 200_000);
+}
+
+#[test]
+fn master_replica_failover_keeps_cluster_manageable() {
+    let cluster = ClusterBuilder::new().master_replicas(3).build().unwrap();
+    cluster.create_volume("m", 1, 2).unwrap();
+
+    let leader = cluster.master_leader().unwrap();
+    cluster.faults().set_down(leader.id(), true);
+    cluster.settle(3_000);
+
+    // A new master leader serves volume creation and mounts.
+    cluster.create_volume("post-failover", 1, 2).unwrap();
+    let client = cluster.mount("post-failover").unwrap();
+    client.create(client.root(), "works").unwrap();
+    cluster.faults().set_down(leader.id(), false);
+}
+
+#[test]
+fn sequential_consistency_for_nonoverlapping_writers() {
+    // §2.7/§3.3: two clients writing NON-overlapping parts of one file
+    // must both be visible; CFS promises nothing for overlapping writes.
+    let cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("c", 1, 3).unwrap();
+    let a = cluster.mount("c").unwrap();
+    let b = cluster.mount("c").unwrap();
+    let root = a.root();
+    a.create(root, "shared.bin").unwrap();
+
+    // A writes the first half; then B (after re-open, seeing A's size)
+    // appends the second half.
+    let mut fa = a.open(root, "shared.bin").unwrap();
+    a.write(&mut fa, &vec![0xA1u8; 150_000]).unwrap();
+    let mut fb = b.open(root, "shared.bin").unwrap();
+    assert_eq!(fb.size(), 150_000);
+    fb.seek(150_000);
+    b.write(&mut fb, &vec![0xB2u8; 150_000]).unwrap();
+
+    let reader = cluster.mount("c").unwrap();
+    let mut fr = reader.open(root, "shared.bin").unwrap();
+    let body = reader.read(&mut fr, 400_000).unwrap();
+    assert_eq!(body.len(), 300_000);
+    assert!(body[..150_000].iter().all(|&x| x == 0xA1));
+    assert!(body[150_000..].iter().all(|&x| x == 0xB2));
+}
+
+#[test]
+fn hundred_partition_volume_spreads_load() {
+    // A CFS-style many-partition volume: ops spread across partitions and
+    // across nodes.
+    let cluster = ClusterBuilder::new()
+        .meta_nodes(5)
+        .data_nodes(5)
+        .build()
+        .unwrap();
+    cluster.create_volume("wide", 4, 12).unwrap();
+    let client = cluster.mount("wide").unwrap();
+    let root = client.root();
+    for i in 0..60 {
+        client.create(root, &format!("f{i:02}")).unwrap();
+    }
+    cluster.settle(300);
+    // Every meta node ended up hosting something (replication counts).
+    let loads: Vec<u64> = cluster
+        .meta_nodes()
+        .iter()
+        .map(|n| n.total_items())
+        .collect();
+    assert!(loads.iter().filter(|&&l| l > 0).count() >= 3, "{loads:?}");
+    // Listing returns everything exactly once, sorted.
+    let names: Vec<String> = client
+        .readdir(root)
+        .unwrap()
+        .into_iter()
+        .map(|d| d.name)
+        .collect();
+    assert_eq!(names.len(), 60);
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn fsck_reclaims_orphans_left_by_a_dead_client() {
+    // §2.6: a client that crashes before flushing its orphan list leaves
+    // orphan inodes behind; the administrator repairs with fsck.
+    let cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("repair", 1, 2).unwrap();
+    let doomed = cluster.mount("repair").unwrap();
+    let root = doomed.root();
+
+    doomed.create(root, "kept").unwrap();
+    // Manufacture orphans: failed creates put speculative inodes on the
+    // client's LOCAL orphan list (Fig. 3a failure path)…
+    for _ in 0..3 {
+        assert!(doomed.create(root, "kept").is_err());
+    }
+    assert_eq!(doomed.orphan_count(), 3);
+    // …and the client dies without evicting them.
+    drop(doomed);
+
+    // An admin client audits, then repairs.
+    let admin = cluster.mount("repair").unwrap();
+    let audit = admin.fsck(false).unwrap();
+    assert_eq!(audit.orphans_found, 3, "{audit:?}");
+    assert_eq!(audit.dangling_dentries, 0, "S2.6 invariant holds");
+    assert_eq!(audit.orphans_reclaimed, 0, "dry run reclaims nothing");
+
+    let repair = admin.fsck(true).unwrap();
+    assert_eq!(repair.orphans_reclaimed, 3, "{repair:?}");
+
+    // Clean after repair; the live file is untouched.
+    let after = admin.fsck(false).unwrap();
+    assert_eq!(after.orphans_found, 0, "{after:?}");
+    assert!(admin.lookup(root, "kept").is_ok());
+}

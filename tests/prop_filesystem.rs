@@ -1,0 +1,206 @@
+//! Property-based test of the whole stack: arbitrary op sequences against
+//! an in-memory model filesystem. The real cluster must agree with the
+//! model on every observable (lookup results, directory listings, file
+//! contents).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cfs::{CfsError, ClusterBuilder, FileType};
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create(u8),
+    Mkdir(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Write(u8, u16),
+    Append(u8, u16),
+    ReadCheck(u8),
+    List,
+}
+
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        3 => any::<u8>().prop_map(FsOp::Create),
+        1 => any::<u8>().prop_map(FsOp::Mkdir),
+        2 => any::<u8>().prop_map(FsOp::Unlink),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| FsOp::Rename(a, b)),
+        2 => (any::<u8>(), 1u16..2048).prop_map(|(f, n)| FsOp::Write(f, n)),
+        2 => (any::<u8>(), 1u16..2048).prop_map(|(f, n)| FsOp::Append(f, n)),
+        2 => any::<u8>().prop_map(FsOp::ReadCheck),
+        1 => Just(FsOp::List),
+    ]
+}
+
+#[derive(Debug, Default, Clone)]
+enum ModelNode {
+    #[default]
+    Missing,
+    File(Vec<u8>),
+    Dir,
+}
+
+proptest! {
+    // The cluster bring-up dominates runtime; keep the case count modest
+    // but the sequences long.
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cluster_matches_model_filesystem(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let cluster = ClusterBuilder::new().build().unwrap();
+        cluster.create_volume("prop", 1, 4).unwrap();
+        let client = cluster.mount("prop").unwrap();
+        let root = client.root();
+
+        let mut model: BTreeMap<String, ModelNode> = BTreeMap::new();
+        let name_of = |k: u8| format!("n{:02x}", k % 32); // collide on purpose
+
+        for op in &ops {
+            match op {
+                FsOp::Create(k) => {
+                    let name = name_of(*k);
+                    let expect_exists = !matches!(
+                        model.get(&name).unwrap_or(&ModelNode::Missing),
+                        ModelNode::Missing
+                    );
+                    let got = client.create(root, &name);
+                    if expect_exists {
+                        prop_assert!(matches!(got, Err(CfsError::Exists(_))), "{name}: {got:?}");
+                    } else {
+                        prop_assert!(got.is_ok(), "{name}: {got:?}");
+                        model.insert(name, ModelNode::File(Vec::new()));
+                    }
+                }
+                FsOp::Mkdir(k) => {
+                    let name = name_of(*k);
+                    let expect_exists = !matches!(
+                        model.get(&name).unwrap_or(&ModelNode::Missing),
+                        ModelNode::Missing
+                    );
+                    let got = client.mkdir(root, &name);
+                    if expect_exists {
+                        prop_assert!(matches!(got, Err(CfsError::Exists(_))));
+                    } else {
+                        prop_assert!(got.is_ok());
+                        model.insert(name, ModelNode::Dir);
+                    }
+                }
+                FsOp::Unlink(k) => {
+                    let name = name_of(*k);
+                    match model.get(&name).unwrap_or(&ModelNode::Missing) {
+                        ModelNode::File(_) => {
+                            prop_assert!(client.unlink(root, &name).is_ok());
+                            model.insert(name, ModelNode::Missing);
+                        }
+                        ModelNode::Dir => {
+                            prop_assert!(client.rmdir(root, &name).is_ok());
+                            model.insert(name, ModelNode::Missing);
+                        }
+                        ModelNode::Missing => {
+                            prop_assert!(client.unlink(root, &name).is_err());
+                        }
+                    }
+                }
+                FsOp::Rename(a, b) => {
+                    let from = name_of(*a);
+                    let to = name_of(*b);
+                    if from == to {
+                        continue;
+                    }
+                    let src = model.get(&from).cloned().unwrap_or_default();
+                    let dst_taken = !matches!(
+                        model.get(&to).unwrap_or(&ModelNode::Missing),
+                        ModelNode::Missing
+                    );
+                    let got = client.rename(root, &from, root, &to);
+                    match (src, dst_taken) {
+                        (ModelNode::Missing, _) => prop_assert!(got.is_err()),
+                        (_, true) => prop_assert!(got.is_err(), "dest taken"),
+                        (node, false) => {
+                            prop_assert!(got.is_ok(), "{got:?}");
+                            model.insert(to, node);
+                            model.insert(from, ModelNode::Missing);
+                        }
+                    }
+                }
+                FsOp::Write(k, n) => {
+                    let name = name_of(*k);
+                    if let ModelNode::File(content) =
+                        model.get(&name).cloned().unwrap_or_default()
+                    {
+                        let mut fh = client.open(root, &name).unwrap();
+                        let data = vec![(*k ^ (*n as u8)) | 1; *n as usize];
+                        // Positioned write at 0 (overwrite + extend).
+                        client.write_at(&mut fh, 0, &data).unwrap();
+                        let mut new = data.clone();
+                        if content.len() > new.len() {
+                            new.extend_from_slice(&content[new.len()..]);
+                        }
+                        model.insert(name, ModelNode::File(new));
+                    }
+                }
+                FsOp::Append(k, n) => {
+                    let name = name_of(*k);
+                    if let ModelNode::File(mut content) =
+                        model.get(&name).cloned().unwrap_or_default()
+                    {
+                        let mut fh = client.open(root, &name).unwrap();
+                        fh.seek(fh.size());
+                        let data = vec![(*k).wrapping_add(*n as u8) | 1; *n as usize];
+                        client.write(&mut fh, &data).unwrap();
+                        content.extend_from_slice(&data);
+                        model.insert(name, ModelNode::File(content));
+                    }
+                }
+                FsOp::ReadCheck(k) => {
+                    let name = name_of(*k);
+                    match model.get(&name).unwrap_or(&ModelNode::Missing) {
+                        ModelNode::File(content) => {
+                            let mut fh = client.open(root, &name).unwrap();
+                            let got = client.read(&mut fh, content.len() + 64).unwrap();
+                            prop_assert_eq!(&got, content, "{}", name);
+                        }
+                        ModelNode::Dir => {
+                            prop_assert!(client.open(root, &name).is_err());
+                        }
+                        ModelNode::Missing => {
+                            prop_assert!(client.lookup(root, &name).is_err());
+                        }
+                    }
+                }
+                FsOp::List => {
+                    let listed: Vec<String> = client
+                        .readdir(root)
+                        .unwrap()
+                        .into_iter()
+                        .map(|d| d.name)
+                        .collect();
+                    let expect: Vec<String> = model
+                        .iter()
+                        .filter(|(_, v)| !matches!(v, ModelNode::Missing))
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    prop_assert_eq!(listed, expect);
+                }
+            }
+        }
+
+        // Final full audit: listing + contents + types all match.
+        for (name, node) in &model {
+            match node {
+                ModelNode::Missing => prop_assert!(client.lookup(root, name).is_err()),
+                ModelNode::Dir => {
+                    let d = client.lookup(root, name).unwrap();
+                    prop_assert_eq!(d.file_type, FileType::Dir);
+                }
+                ModelNode::File(content) => {
+                    let mut fh = client.open(root, name).unwrap();
+                    let got = client.read(&mut fh, content.len() + 1).unwrap();
+                    prop_assert_eq!(&got, content);
+                }
+            }
+        }
+    }
+}
