@@ -363,7 +363,9 @@ mod tests {
             .map(|(k, _)| *k)
             .collect();
         assert_eq!(got, vec![11, 12]);
-        assert_eq!(t.range(500..400).count(), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = t.range(500..400).count();
+        assert_eq!(empty, 0);
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct ClientOptions {
     /// Deterministic seed for random partition selection (§2.3.1: clients
     /// pick partitions randomly to avoid consulting the RM per write).
     pub seed: u64,
+    /// Append packets kept in flight per window (§2.7.1 streaming); also
+    /// caps the read-path extent fan-out. 0 inherits the cluster config.
+    pub pipeline_depth: u32,
+    /// Packets between extent-key syncs to the meta node (always synced on
+    /// fsync/close). 0 inherits the cluster config.
+    pub meta_sync_every: u32,
 }
 
 impl Default for ClientOptions {
@@ -30,8 +36,34 @@ impl Default for ClientOptions {
         ClientOptions {
             max_retries: 5,
             seed: 0xC0FFEE,
+            pipeline_depth: 0,
+            meta_sync_every: 0,
         }
     }
+}
+
+/// Data-path instrumentation: how the client's pipelining behaves, exposed
+/// so tests and benches can assert on blocking-wait counts.
+#[derive(Debug, Default)]
+pub(crate) struct DataPathStats {
+    /// Append packets handed to the fabric (including failed sends).
+    pub packets_sent: AtomicU64,
+    /// Blocking round-trip waits on the append path: one per window (a
+    /// window of depth 1 degenerates to one wait per packet).
+    pub window_waits: AtomicU64,
+    /// Extent-key syncs issued to the meta node.
+    pub meta_syncs: AtomicU64,
+    /// `read_at` calls that fanned out over more than one extent.
+    pub parallel_read_fanouts: AtomicU64,
+}
+
+/// Point-in-time copy of [`Client::data_path_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPathSnapshot {
+    pub packets_sent: u64,
+    pub window_waits: u64,
+    pub meta_syncs: u64,
+    pub parallel_read_fanouts: u64,
 }
 
 /// RPC fabrics the client talks over.
@@ -68,6 +100,7 @@ pub struct Client {
     pub(crate) fabrics: Fabrics,
     pub(crate) master_replicas: Vec<NodeId>,
     pub(crate) cache: Mutex<CacheState>,
+    pub(crate) stats: DataPathStats,
     /// Logical clock for command timestamps (ns).
     clock: AtomicU64,
 }
@@ -102,6 +135,7 @@ impl Client {
                 master_leader: None,
                 rng: SmallRng::seed_from_u64(seed),
             }),
+            stats: DataPathStats::default(),
             clock: AtomicU64::new(1),
         };
         let volume = client.fetch_volume(volume_name)?;
@@ -124,6 +158,37 @@ impl Client {
     /// Monotonic per-client timestamp for command payloads.
     pub(crate) fn now_ns(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Effective append window size (options override, else cluster config).
+    pub(crate) fn pipeline_depth(&self) -> usize {
+        let d = if self.options.pipeline_depth > 0 {
+            self.options.pipeline_depth
+        } else {
+            self.config.pipeline_depth
+        };
+        d.max(1) as usize
+    }
+
+    /// Effective meta-sync cadence in packets (options override, else
+    /// cluster config).
+    pub(crate) fn meta_sync_every(&self) -> u32 {
+        let n = if self.options.meta_sync_every > 0 {
+            self.options.meta_sync_every
+        } else {
+            self.config.meta_sync_every
+        };
+        n.max(1)
+    }
+
+    /// Data-path pipelining counters for this client.
+    pub fn data_path_stats(&self) -> DataPathSnapshot {
+        DataPathSnapshot {
+            packets_sent: self.stats.packets_sent.load(Ordering::Relaxed),
+            window_waits: self.stats.window_waits.load(Ordering::Relaxed),
+            meta_syncs: self.stats.meta_syncs.load(Ordering::Relaxed),
+            parallel_read_fanouts: self.stats.parallel_read_fanouts.load(Ordering::Relaxed),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -245,7 +310,8 @@ impl Client {
     }
 
     /// Replica array of a data partition (index 0 = PB leader, §2.7.1).
-    pub(crate) fn data_partition_members(&self, partition: PartitionId) -> Result<Vec<NodeId>> {
+    /// Public for tests and tooling that target specific replicas.
+    pub fn data_partition_members(&self, partition: PartitionId) -> Result<Vec<NodeId>> {
         let cache = self.cache.lock();
         cache
             .data_partitions
@@ -253,6 +319,47 @@ impl Client {
             .find(|p| p.partition == partition)
             .map(|p| p.members.clone())
             .ok_or_else(|| CfsError::NotFound(format!("{partition}")))
+    }
+
+    /// Issue one data RPC to a partition's Raft leader: cached leader first
+    /// (§2.4), then every member, for up to `attempts` scan passes.
+    /// `NotLeader{hint}` replies update the leader cache between tries; a
+    /// non-retryable error aborts immediately. The caller matches the
+    /// returned response against the variant it expects.
+    pub(crate) fn call_leader(
+        &self,
+        partition: PartitionId,
+        attempts: u32,
+        mut req: impl FnMut() -> DataRequest,
+    ) -> Result<DataResponse> {
+        let members = self.data_partition_members(partition)?;
+        let mut last_err = CfsError::Unavailable("no data replicas".into());
+        for _ in 0..attempts.max(1) {
+            let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
+            if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
+                order.push(l);
+            }
+            let cached0 = order.first().copied();
+            order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
+            for node in order {
+                match self.fabrics.data.call(self.id, node, req()) {
+                    Ok(Ok(resp)) => {
+                        self.cache.lock().leader_cache.insert(partition, node);
+                        return Ok(resp);
+                    }
+                    Ok(Err(CfsError::NotLeader { hint, .. })) => {
+                        if let Some(h) = hint {
+                            self.cache.lock().leader_cache.insert(partition, h);
+                        }
+                        last_err = CfsError::NotLeader { partition, hint };
+                    }
+                    Ok(Err(e)) if e.is_retryable() => last_err = e,
+                    Ok(Err(e)) => return Err(e),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
     }
 
     // ------------------------------------------------------------------

@@ -1,5 +1,7 @@
 //! Handle-based file I/O: the §2.7 read/write paths.
 
+use std::sync::atomic::Ordering;
+
 use bytes::Bytes;
 
 use cfs_data::{DataRequest, DataResponse};
@@ -20,6 +22,40 @@ pub struct FileHandle {
     pos: u64,
     /// Active append target: (partition, extent, replicas, next offset).
     append_target: Option<(PartitionId, ExtentId, Vec<NodeId>, u64)>,
+    /// Extent keys committed on the data path but not yet recorded at the
+    /// meta node (§2.7.1: the client "synchronizes with the meta node
+    /// periodically or upon fsync"); flushed every `meta_sync_every`
+    /// packets and on fsync/close/truncate.
+    pending_keys: Vec<ExtentKey>,
+    /// Packets appended since the last meta sync.
+    packets_since_sync: u32,
+}
+
+/// Append `key` to `keys`, merging with the last entry when the two are
+/// contiguous pieces of the same extent.
+fn push_coalesced(keys: &mut Vec<ExtentKey>, key: ExtentKey) {
+    match keys.last_mut() {
+        Some(k)
+            if k.partition_id == key.partition_id
+                && k.extent_id == key.extent_id
+                && k.extent_offset + k.size == key.extent_offset
+                && k.file_offset + k.size == key.file_offset =>
+        {
+            k.size += key.size;
+        }
+        _ => keys.push(key),
+    }
+}
+
+/// First extent key covering `offset` in a list sorted by `file_offset`
+/// (binary search; append-only construction keeps the list sorted).
+fn extent_covering(extents: &[ExtentKey], offset: u64) -> Result<ExtentKey> {
+    let i = extents.partition_point(|k| k.file_offset + k.size <= offset);
+    extents
+        .get(i)
+        .filter(|k| k.contains(offset))
+        .copied()
+        .ok_or_else(|| CfsError::Internal(format!("no extent covering offset {offset}")))
 }
 
 impl Client {
@@ -42,6 +78,8 @@ impl Client {
             extents: inode.extents,
             pos: 0,
             append_target: None,
+            pending_keys: Vec::new(),
+            packets_since_sync: 0,
         })
     }
 
@@ -55,15 +93,16 @@ impl Client {
         partition: PartitionId,
         extent: ExtentId,
         offset: u64,
-        data: &[u8],
+        data: Bytes,
         replicas: &[NodeId],
     ) -> Result<u64> {
+        let crc = crc32(&data);
         let req = DataRequest::Append {
             partition,
             extent,
             offset,
-            data: Bytes::copy_from_slice(data),
-            crc: crc32(data),
+            data,
+            crc,
             replicas: replicas.to_vec(),
         };
         match self.fabrics.data.call(self.id, replicas[0], req)?? {
@@ -83,9 +122,9 @@ impl Client {
         }
     }
 
-    /// Read a byte range from one extent, trying the cached Raft leader
-    /// first, then each replica until a leader answers (§2.4: the leader
-    /// rarely changes, so the cache usually hits on the first try).
+    /// Read a byte range from one extent at the partition's Raft leader
+    /// (§2.4: the leader rarely changes, so the cache usually hits on the
+    /// first try).
     fn read_extent(
         &self,
         partition: PartitionId,
@@ -93,41 +132,17 @@ impl Client {
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>> {
-        let members = self.data_partition_members(partition)?;
-        let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
-        if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
-            order.push(l);
+        let resp = self.call_leader(partition, 1, || DataRequest::Read {
+            partition,
+            extent,
+            offset,
+            len,
+            enforce_committed: false, // bounds come from meta-recorded extents
+        })?;
+        match resp {
+            DataResponse::Data(d) => Ok(d),
+            _ => Err(CfsError::Internal("bad Read reply".into())),
         }
-        let cached0 = order.first().copied();
-        order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
-
-        let mut last_err = CfsError::Unavailable("no data replicas".into());
-        for node in order {
-            let req = DataRequest::Read {
-                partition,
-                extent,
-                offset,
-                len,
-                enforce_committed: false, // bounds come from meta-recorded extents
-            };
-            match self.fabrics.data.call(self.id, node, req) {
-                Ok(Ok(DataResponse::Data(d))) => {
-                    self.cache.lock().leader_cache.insert(partition, node);
-                    return Ok(d);
-                }
-                Ok(Ok(_)) => return Err(CfsError::Internal("bad Read reply".into())),
-                Ok(Err(CfsError::NotLeader { hint, .. })) => {
-                    if let Some(h) = hint {
-                        self.cache.lock().leader_cache.insert(partition, h);
-                    }
-                    last_err = CfsError::NotLeader { partition, hint };
-                }
-                Ok(Err(e)) if e.is_retryable() => last_err = e,
-                Ok(Err(e)) => return Err(e),
-                Err(e) => last_err = e,
-            }
-        }
-        Err(last_err)
     }
 
     // ------------------------------------------------------------------
@@ -143,8 +158,21 @@ impl Client {
         Ok(n)
     }
 
-    /// Positioned write.
+    /// Cursor write from a shared buffer (zero further copies: window
+    /// packets are sliced out of `data`).
+    pub fn write_bytes(&self, f: &mut FileHandle, data: Bytes) -> Result<usize> {
+        let n = self.write_bytes_at(f, f.pos, data)?;
+        f.pos += n as u64;
+        Ok(n)
+    }
+
+    /// Positioned write (copies `data` once into a shared buffer).
     pub fn write_at(&self, f: &mut FileHandle, offset: u64, data: &[u8]) -> Result<usize> {
+        self.write_bytes_at(f, offset, Bytes::copy_from_slice(data))
+    }
+
+    /// Positioned write from a shared buffer.
+    pub fn write_bytes_at(&self, f: &mut FileHandle, offset: u64, data: Bytes) -> Result<usize> {
         if data.is_empty() {
             return Ok(0);
         }
@@ -156,17 +184,19 @@ impl Client {
         }
         let overwrite_len = ((f.size - offset).min(data.len() as u64)) as usize;
         if overwrite_len > 0 {
-            self.overwrite_range(f, offset, &data[..overwrite_len])?;
+            self.overwrite_range(f, offset, data.slice(..overwrite_len))?;
         }
         if overwrite_len < data.len() {
-            self.append_bytes(f, &data[overwrite_len..])?;
+            self.append_bytes(f, data.slice(overwrite_len..))?;
         }
         Ok(data.len())
     }
 
-    /// Sequential write (§2.7.1): packetize, stream to the PB leader,
-    /// then record the extent keys + new size at the meta node.
-    fn append_bytes(&self, f: &mut FileHandle, data: &[u8]) -> Result<()> {
+    /// Sequential write (§2.7.1): packetize, stream a bounded window of
+    /// `pipeline_depth` packets at a time to the PB leader, then record
+    /// the extent keys + new size at the meta node (batched per
+    /// `meta_sync_every`).
+    fn append_bytes(&self, f: &mut FileHandle, data: Bytes) -> Result<()> {
         // Small-file fast path (§2.2.3/§4.4): a fresh small file goes into
         // a shared extent; the client doesn't even ask for a new extent.
         if f.size == 0 && f.extents.is_empty() && self.config.is_small_file(data.len() as u64) {
@@ -174,8 +204,10 @@ impl Client {
         }
 
         let packet = self.config.packet_size as usize;
+        let depth = self.pipeline_depth();
         let mut written = 0usize;
         let mut new_keys: Vec<ExtentKey> = Vec::new();
+        let mut packets_done = 0u32;
         let mut avoided: Vec<PartitionId> = Vec::new();
         let mut attempts = 0;
 
@@ -189,6 +221,7 @@ impl Client {
                         avoided.push(partition);
                         attempts += 1;
                         if attempts > self.options.max_retries {
+                            self.record_partial(f, new_keys, written as u64, packets_done);
                             return Err(CfsError::RetriesExhausted {
                                 op: "create extent".into(),
                                 attempts,
@@ -209,75 +242,178 @@ impl Client {
                 f.append_target = None;
                 continue;
             }
-            let room = (self.config.extent_size_limit - ext_off) as usize;
-            let chunk = packet.min(data.len() - written).min(room);
-            let piece = &data[written..written + chunk];
 
-            match self.send_append(partition, extent, ext_off, piece, &replicas) {
-                Ok(_watermark) => {
-                    // Commit acked by the whole chain: extend the cache
-                    // immediately (§2.7.1 step 8).
-                    let file_offset = f.size + written as u64;
-                    // Coalesce contiguous pieces of the same extent.
-                    match new_keys.last_mut() {
-                        Some(k)
-                            if k.partition_id == partition
-                                && k.extent_id == extent
-                                && k.extent_offset + k.size == ext_off
-                                && k.file_offset + k.size == file_offset =>
-                        {
-                            k.size += chunk as u64;
-                        }
-                        _ => new_keys.push(ExtentKey {
-                            file_offset,
-                            partition_id: partition,
-                            extent_id: extent,
-                            extent_offset: ext_off,
-                            size: chunk as u64,
-                        }),
+            // Slice up to `depth` consecutive packets for this extent out
+            // of the shared buffer.
+            let mut room = (self.config.extent_size_limit - ext_off) as usize;
+            let mut window: Vec<(u64, Bytes)> = Vec::with_capacity(depth);
+            let mut cursor = written;
+            while window.len() < depth && cursor < data.len() && room > 0 {
+                let chunk = packet.min(data.len() - cursor).min(room);
+                window.push((
+                    ext_off + (cursor - written) as u64,
+                    data.slice(cursor..cursor + chunk),
+                ));
+                cursor += chunk;
+                room -= chunk;
+            }
+
+            // Stream the whole window, then block once for its acks: with
+            // depth > 1 this is strictly fewer blocking round-trip waits
+            // than packets sent.
+            self.stats
+                .packets_sent
+                .fetch_add(window.len() as u64, Ordering::Relaxed);
+            self.stats.window_waits.fetch_add(1, Ordering::Relaxed);
+            let results: Vec<Result<u64>> = if window.len() == 1 {
+                let (off, piece) = &window[0];
+                vec![self.send_append(partition, extent, *off, piece.clone(), &replicas)]
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = window
+                        .iter()
+                        .map(|(off, piece)| {
+                            let (off, piece, replicas) = (*off, piece.clone(), &replicas);
+                            s.spawn(move || {
+                                self.send_append(partition, extent, off, piece, replicas)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("append sender panicked"))
+                        .collect()
+                })
+            };
+
+            // In-order ack accounting (§2.2.5): only the consecutive-Ok
+            // prefix is committed state the file can build on; everything
+            // from the first failure onward is resent. (A later packet
+            // that landed despite the gap is never recorded at the meta
+            // node, so it can never be served.)
+            let mut failure: Option<CfsError> = None;
+            for (i, r) in results.into_iter().enumerate() {
+                match r {
+                    Ok(_watermark) if failure.is_none() => {
+                        let (off, piece) = &window[i];
+                        push_coalesced(
+                            &mut new_keys,
+                            ExtentKey {
+                                file_offset: f.size + written as u64,
+                                partition_id: partition,
+                                extent_id: extent,
+                                extent_offset: *off,
+                                size: piece.len() as u64,
+                            },
+                        );
+                        written += piece.len();
+                        packets_done += 1;
+                        f.append_target = Some((
+                            partition,
+                            extent,
+                            replicas.clone(),
+                            off + piece.len() as u64,
+                        ));
                     }
-                    written += chunk;
-                    f.append_target = Some((partition, extent, replicas, ext_off + chunk as u64));
+                    Ok(_) => {}
+                    Err(e) if failure.is_none() => failure = Some(e),
+                    Err(_) => {}
                 }
-                Err(e) if e.is_retryable() || e.needs_new_partition() => {
-                    // §2.2.5: the committed prefix stays; resend the
-                    // remaining k−p bytes to a different partition.
-                    avoided.push(partition);
-                    f.append_target = None;
-                    attempts += 1;
-                    if attempts > self.options.max_retries {
-                        // Record what did commit before giving up.
-                        if !new_keys.is_empty() {
-                            let _ = self.sync_extents(f, &new_keys, f.size + written as u64);
-                        }
-                        return Err(CfsError::RetriesExhausted {
-                            op: "append".into(),
-                            attempts,
-                        });
-                    }
-                    // The partition table may be stale; refresh it.
-                    let _ = self.refresh_partition_table();
+            }
+            let Some(e) = failure else {
+                continue; // whole window landed
+            };
+            if e.is_retryable() || e.needs_new_partition() {
+                // §2.2.5: the committed prefix stays; resend the
+                // remaining k−p bytes to a different partition.
+                avoided.push(partition);
+                f.append_target = None;
+                attempts += 1;
+                if attempts > self.options.max_retries {
+                    // Record what did commit before giving up.
+                    self.record_partial(f, new_keys, written as u64, packets_done);
+                    return Err(CfsError::RetriesExhausted {
+                        op: "append".into(),
+                        attempts,
+                    });
                 }
-                Err(e) => return Err(e),
+                // The partition table may be stale; refresh it.
+                let _ = self.refresh_partition_table();
+            } else {
+                self.record_partial(f, new_keys, written as u64, packets_done);
+                return Err(e);
             }
         }
 
-        let new_size = f.size + data.len() as u64;
-        self.sync_extents(f, &new_keys, new_size)?;
-        f.extents.extend(new_keys);
-        f.size = new_size;
+        self.commit_local(f, new_keys, data.len() as u64, packets_done)
+    }
+
+    /// Fold freshly committed keys into the handle and sync to the meta
+    /// node once the packet cadence is due.
+    fn commit_local(
+        &self,
+        f: &mut FileHandle,
+        new_keys: Vec<ExtentKey>,
+        bytes_written: u64,
+        packets: u32,
+    ) -> Result<()> {
+        f.size += bytes_written;
+        for k in new_keys {
+            push_coalesced(&mut f.extents, k);
+            push_coalesced(&mut f.pending_keys, k);
+        }
+        f.packets_since_sync = f.packets_since_sync.saturating_add(packets);
+        if f.packets_since_sync >= self.meta_sync_every() {
+            self.flush_meta(f)?;
+        }
         Ok(())
+    }
+
+    /// Failure-path bookkeeping: record the committed prefix locally and
+    /// push it to the meta node best-effort before surfacing the error.
+    fn record_partial(
+        &self,
+        f: &mut FileHandle,
+        new_keys: Vec<ExtentKey>,
+        bytes: u64,
+        packets: u32,
+    ) {
+        let _ = self.commit_local(f, new_keys, bytes, packets);
+        let _ = self.flush_meta(f);
+    }
+
+    /// Push every unsynced extent key to the meta node (§2.7.1 step 8).
+    fn flush_meta(&self, f: &mut FileHandle) -> Result<()> {
+        f.packets_since_sync = 0;
+        if f.pending_keys.is_empty() {
+            return Ok(());
+        }
+        let keys = std::mem::take(&mut f.pending_keys);
+        match self.sync_extents(f.ino, &keys, f.size) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Keep the keys for a later flush (fsync/close retries).
+                f.pending_keys = keys;
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush unsynced state for this file; call before dropping a handle
+    /// written with `meta_sync_every > 1` (§2.7.1 "upon fsync or close").
+    pub fn close(&self, f: &mut FileHandle) -> Result<()> {
+        self.flush_meta(f)
     }
 
     /// Small-file write (§2.2.3): one RPC to the PB leader, which packs
     /// the bytes into a shared extent; no extent allocation round-trip.
-    fn write_small_file(&self, f: &mut FileHandle, data: &[u8]) -> Result<()> {
+    fn write_small_file(&self, f: &mut FileHandle, data: Bytes) -> Result<()> {
         let mut avoided: Vec<PartitionId> = Vec::new();
         for _ in 0..=self.options.max_retries {
             let (partition, replicas) = self.random_data_partition(&avoided)?;
             let req = DataRequest::WriteSmall {
                 partition,
-                data: Bytes::copy_from_slice(data),
+                data: data.clone(),
                 replicas: replicas.clone(),
             };
             match self.fabrics.data.call(self.id, replicas[0], req)? {
@@ -289,7 +425,7 @@ impl Client {
                         extent_offset: loc.offset,
                         size: loc.len,
                     };
-                    self.sync_extents(f, std::slice::from_ref(&key), loc.len)?;
+                    self.sync_extents(f.ino, std::slice::from_ref(&key), loc.len)?;
                     f.extents.push(key);
                     f.size = loc.len;
                     return Ok(());
@@ -310,14 +446,15 @@ impl Client {
 
     /// Record freshly committed extents + size at the inode's meta node
     /// (§2.7.1 step 8, or the fsync path).
-    fn sync_extents(&self, f: &FileHandle, keys: &[ExtentKey], new_size: u64) -> Result<()> {
-        let (partition, members) = self.meta_partition_of(f.ino)?;
+    fn sync_extents(&self, ino: InodeId, keys: &[ExtentKey], new_size: u64) -> Result<()> {
+        let (partition, members) = self.meta_partition_of(ino)?;
+        self.stats.meta_syncs.fetch_add(1, Ordering::Relaxed);
         let updated = self
             .meta_write(
                 partition,
                 &members,
                 MetaCommand::AppendExtents {
-                    inode: f.ino,
+                    inode: ino,
                     extents: keys.to_vec(),
                     new_size,
                     now_ns: self.now_ns(),
@@ -331,20 +468,20 @@ impl Client {
     /// In-place overwrite (§2.7.2): for each extent piece covering the
     /// range, propose through the partition's Raft group. Offsets and
     /// metadata never change.
-    fn overwrite_range(&self, f: &FileHandle, offset: u64, data: &[u8]) -> Result<()> {
-        let mut remaining: &[u8] = data;
+    fn overwrite_range(&self, f: &FileHandle, offset: u64, data: Bytes) -> Result<()> {
+        let mut consumed = 0usize;
         let mut cur = offset;
-        while !remaining.is_empty() {
-            let key = f
-                .extents
-                .iter()
-                .find(|k| k.contains(cur))
-                .copied()
-                .ok_or_else(|| CfsError::Internal(format!("no extent covering offset {cur}")))?;
+        while consumed < data.len() {
+            let key = extent_covering(&f.extents, cur)?;
             let in_piece = (cur - key.file_offset) + key.extent_offset;
-            let n = ((key.file_offset + key.size - cur) as usize).min(remaining.len());
-            self.overwrite_extent(key.partition_id, key.extent_id, in_piece, &remaining[..n])?;
-            remaining = &remaining[n..];
+            let n = ((key.file_offset + key.size - cur) as usize).min(data.len() - consumed);
+            self.overwrite_extent(
+                key.partition_id,
+                key.extent_id,
+                in_piece,
+                data.slice(consumed..consumed + n),
+            )?;
+            consumed += n;
             cur += n as u64;
         }
         Ok(())
@@ -356,43 +493,20 @@ impl Client {
         partition: PartitionId,
         extent: ExtentId,
         offset: u64,
-        data: &[u8],
+        data: Bytes,
     ) -> Result<()> {
-        let members = self.data_partition_members(partition)?;
-        let mut last_err = CfsError::Unavailable("no data replicas".into());
-        for _ in 0..=self.options.max_retries {
-            let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
-            if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
-                order.push(l);
+        let resp = self.call_leader(partition, self.options.max_retries + 1, || {
+            DataRequest::Overwrite {
+                partition,
+                extent,
+                offset,
+                data: data.clone(),
             }
-            let cached0 = order.first().copied();
-            order.extend(members.iter().copied().filter(|m| Some(*m) != cached0));
-            for node in order {
-                let req = DataRequest::Overwrite {
-                    partition,
-                    extent,
-                    offset,
-                    data: Bytes::copy_from_slice(data),
-                };
-                match self.fabrics.data.call(self.id, node, req) {
-                    Ok(Ok(DataResponse::None)) => {
-                        self.cache.lock().leader_cache.insert(partition, node);
-                        return Ok(());
-                    }
-                    Ok(Ok(_)) => return Err(CfsError::Internal("bad Overwrite reply".into())),
-                    Ok(Err(CfsError::NotLeader { hint, .. })) => {
-                        if let Some(h) = hint {
-                            self.cache.lock().leader_cache.insert(partition, h);
-                        }
-                        last_err = CfsError::NotLeader { partition, hint };
-                    }
-                    Ok(Err(e)) if e.is_retryable() => last_err = e,
-                    Ok(Err(e)) => return Err(e),
-                    Err(e) => last_err = e,
-                }
-            }
+        })?;
+        match resp {
+            DataResponse::None => Ok(()),
+            _ => Err(CfsError::Internal("bad Overwrite reply".into())),
         }
-        Err(last_err)
     }
 
     // ------------------------------------------------------------------
@@ -407,35 +521,86 @@ impl Client {
     }
 
     /// Positioned read: walks the cached extent keys; requests are
-    /// constructed entirely from the client cache (§2.7.4).
+    /// constructed entirely from the client cache (§2.7.4). A range that
+    /// spans several extents fans out in parallel (window bounded by
+    /// `pipeline_depth`) and reassembles into the output buffer.
     pub fn read_at(&self, f: &FileHandle, offset: u64, len: usize) -> Result<Vec<u8>> {
         if offset >= f.size {
             return Ok(Vec::new());
         }
         let end = (offset + len as u64).min(f.size);
         let mut out = vec![0u8; (end - offset) as usize];
-        for key in &f.extents {
+
+        // Binary-search the first covering key, then collect the segments.
+        let start = f
+            .extents
+            .partition_point(|k| k.file_offset + k.size <= offset);
+        let mut segments: Vec<(ExtentKey, u64, u64)> = Vec::new();
+        for key in &f.extents[start..] {
+            if key.file_offset >= end {
+                break;
+            }
             let lo = key.file_offset.max(offset);
             let hi = (key.file_offset + key.size).min(end);
-            if lo >= hi {
-                continue;
+            if lo < hi {
+                segments.push((*key, lo, hi));
             }
-            let piece = self.read_extent(
-                key.partition_id,
-                key.extent_id,
-                key.extent_offset + (lo - key.file_offset),
-                hi - lo,
-            )?;
-            let dst = (lo - offset) as usize;
-            out[dst..dst + piece.len()].copy_from_slice(&piece);
+        }
+
+        if segments.len() <= 1 {
+            for &(key, lo, hi) in &segments {
+                let piece = self.read_extent(
+                    key.partition_id,
+                    key.extent_id,
+                    key.extent_offset + (lo - key.file_offset),
+                    hi - lo,
+                )?;
+                let dst = (lo - offset) as usize;
+                out[dst..dst + piece.len()].copy_from_slice(&piece);
+            }
+            return Ok(out);
+        }
+
+        self.stats
+            .parallel_read_fanouts
+            .fetch_add(1, Ordering::Relaxed);
+        for batch in segments.chunks(self.pipeline_depth()) {
+            let results: Vec<(usize, Result<Vec<u8>>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&(key, lo, hi)| {
+                        let dst = (lo - offset) as usize;
+                        s.spawn(move || {
+                            (
+                                dst,
+                                self.read_extent(
+                                    key.partition_id,
+                                    key.extent_id,
+                                    key.extent_offset + (lo - key.file_offset),
+                                    hi - lo,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("extent reader panicked"))
+                    .collect()
+            });
+            for (dst, r) in results {
+                let piece = r?;
+                out[dst..dst + piece.len()].copy_from_slice(&piece);
+            }
         }
         Ok(out)
     }
 
-    /// Flush client state for this file to the meta node. Extent keys are
-    /// already synced per write; fsync refreshes the inode image (§2.7.1:
-    /// "synchronizes with meta node periodically or upon fsync").
+    /// Flush client state for this file to the meta node: push unsynced
+    /// extent keys, then refresh the inode image (§2.7.1: "synchronizes
+    /// with meta node periodically or upon fsync").
     pub fn fsync(&self, f: &mut FileHandle) -> Result<()> {
+        self.flush_meta(f)?;
         let inode = self.stat(f.ino)?;
         f.size = inode.size;
         f.extents = inode.extents;
@@ -449,6 +614,7 @@ impl Client {
                 "extending truncate unsupported".into(),
             ));
         }
+        self.flush_meta(f)?;
         let (partition, members) = self.meta_partition_of(f.ino)?;
         let removed = self
             .meta_write(
@@ -579,5 +745,11 @@ impl FileHandle {
     /// Extent keys cached by this handle.
     pub fn extents(&self) -> &[ExtentKey] {
         &self.extents
+    }
+
+    /// Extent keys committed on data nodes but not yet synced to the meta
+    /// node (nonempty only with `meta_sync_every > 1`).
+    pub fn pending_meta_keys(&self) -> &[ExtentKey] {
+        &self.pending_keys
     }
 }

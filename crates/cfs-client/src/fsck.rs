@@ -88,9 +88,7 @@ impl Client {
             let is_root = ino.id == ROOT_INODE;
             let unreferenced = !referenced.contains(&ino.id);
             let reclaimable = ino.flag.is_mark_deleted()
-                || (unreferenced
-                    && !is_root
-                    && (ino.file_type != FileType::Dir || ino.nlink <= 2));
+                || (unreferenced && !is_root && (ino.file_type != FileType::Dir || ino.nlink <= 2));
             if !reclaimable {
                 continue;
             }

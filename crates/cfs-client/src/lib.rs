@@ -33,7 +33,7 @@ mod fsck;
 mod ops;
 mod path;
 
-pub use client::{Client, ClientOptions, Fabrics};
+pub use client::{Client, ClientOptions, DataPathSnapshot, Fabrics};
 pub use file::FileHandle;
 pub use fsck::FsckReport;
 pub use path::split_path;

@@ -3,9 +3,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use cfs_net::Network;
 use cfs_raft::hub::{RaftHost, RaftHub};
@@ -141,10 +142,8 @@ pub struct DataNode {
     hub: RaftHub,
     net: Network<DataRequest, Result<DataResponse>>,
     partitions: Mutex<HashMap<PartitionId, DataPartitionReplica>>,
-    /// Per-partition chain-order locks: the PB leader holds one across
-    /// apply + downstream forwarding so replicas see appends in leader
-    /// order (chain replication is serial per partition).
-    chain_order: Mutex<HashMap<PartitionId, Arc<Mutex<()>>>>,
+    /// Per-partition chain-pipelining state (see [`ChainState`]).
+    chain_order: Mutex<HashMap<PartitionId, Arc<ChainState>>>,
     raft: Mutex<RaftState>,
     commit_timeout_ticks: u64,
 }
@@ -152,6 +151,52 @@ pub struct DataNode {
 struct RaftState {
     multiraft: MultiRaft,
     results: HashMap<(RaftGroupId, u64), Result<()>>,
+}
+
+/// Per-partition chain-replication ordering at the PB leader (§2.7.1).
+///
+/// Appends from one client window arrive concurrently. The leader must
+/// (a) apply them in offset order and (b) forward them downstream in the
+/// same order — but it does *not* need to hold packet k+1's apply back
+/// until packet k finished its whole downstream round-trip. Each packet
+/// takes a *ticket* the moment its local apply lands (applies are strictly
+/// ordered by the extent's offset==size check), then forwards when
+/// `forward_turn` reaches its ticket: packet k+1 applies locally while
+/// packet k is still in flight down the chain.
+struct ChainState {
+    seq: Mutex<ChainSeq>,
+    cv: Condvar,
+    /// Small-file packing keeps the coarse critical section: placement is
+    /// chosen by the shared extent's cursor inside the call, so pack +
+    /// forward must stay serial (§2.2.3).
+    small: Mutex<()>,
+}
+
+struct ChainSeq {
+    /// Next ticket to hand out (assigned in local-apply order).
+    next_ticket: u64,
+    /// Ticket currently allowed to forward downstream.
+    forward_turn: u64,
+}
+
+/// How long the chain head waits for a predecessor packet to fill an
+/// offset gap before failing the out-of-order packet.
+const CHAIN_GAP_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Advances the forward turn on drop, so a forwarding error (or panic)
+/// can never wedge the successors' turn wait.
+struct TurnGuard<'a> {
+    state: &'a ChainState,
+    ticket: u64,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        let mut seq = self.state.seq.lock();
+        seq.forward_turn = self.ticket + 1;
+        drop(seq);
+        self.state.cv.notify_all();
+    }
 }
 
 impl DataNode {
@@ -434,11 +479,20 @@ impl DataNode {
         Ok(())
     }
 
-    fn chain_lock(&self, partition: PartitionId) -> Arc<Mutex<()>> {
+    fn chain_state(&self, partition: PartitionId) -> Arc<ChainState> {
         self.chain_order
             .lock()
             .entry(partition)
-            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .or_insert_with(|| {
+                Arc::new(ChainState {
+                    seq: Mutex::new(ChainSeq {
+                        next_ticket: 0,
+                        forward_turn: 0,
+                    }),
+                    cv: Condvar::new(),
+                    small: Mutex::new(()),
+                })
+            })
             .clone()
     }
 
@@ -465,49 +519,109 @@ impl DataNode {
         if crc32(&data) != crc {
             return Err(CfsError::Corrupt("append packet crc mismatch".into()));
         }
-        // The PB leader serializes apply + forwarding per partition so
-        // the chain observes its order; followers receive already-ordered
-        // traffic.
         let am_chain_head = replicas.first() == Some(&self.id);
-        let order = if am_chain_head {
-            Some(self.chain_lock(partition))
-        } else {
-            None
+        if !am_chain_head {
+            // Followers receive already-ordered traffic from the chain
+            // head: validate, apply, forward — no ordering machinery.
+            {
+                let mut parts = self.partitions.lock();
+                let r = Self::part_mut(&mut parts, partition)?;
+                if r.pb_leader() == self.id {
+                    return Err(CfsError::InvalidArgument(
+                        "replica array does not start at the PB leader".into(),
+                    ));
+                }
+                if !replicas.contains(&self.id) {
+                    return Err(CfsError::InvalidArgument(format!(
+                        "{}: not in replica chain",
+                        self.id
+                    )));
+                }
+                r.apply_append(extent, offset, &data)?;
+            }
+            self.forward_chain(
+                &replicas,
+                DataRequest::Append {
+                    partition,
+                    extent,
+                    offset,
+                    data: data.clone(),
+                    crc,
+                    replicas: replicas.clone(),
+                },
+            )?;
+            return Ok(DataResponse::Watermark(offset + data.len() as u64));
+        }
+
+        // Chain head: pipelined apply + ordered forwarding. Packets of one
+        // client window arrive on concurrent threads; apply order is
+        // enforced by waiting (bounded) until our offset meets the
+        // extent's applied size, and forward order by the ticket turn.
+        // Lock order is always ChainState.seq → partitions.
+        let state = self.chain_state(partition);
+        let deadline = Instant::now() + CHAIN_GAP_TIMEOUT;
+        let (ticket, is_pb_leader) = {
+            let mut seq = state.seq.lock();
+            loop {
+                {
+                    let mut parts = self.partitions.lock();
+                    let r = Self::part_mut(&mut parts, partition)?;
+                    let leader = r.pb_leader();
+                    if leader != self.id && !replicas.contains(&self.id) {
+                        return Err(CfsError::InvalidArgument(format!(
+                            "{}: not in replica chain",
+                            self.id
+                        )));
+                    }
+                    if offset <= r.extent_size(extent).unwrap_or(0) {
+                        // Our turn (or a misordered duplicate, which the
+                        // strict offset==size append check rejects).
+                        r.apply_append(extent, offset, &data)?;
+                        let ticket = seq.next_ticket;
+                        seq.next_ticket += 1;
+                        break (ticket, leader == self.id);
+                    }
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(CfsError::Timeout(format!(
+                        "{partition}: chain gap before offset {offset} of {extent}"
+                    )));
+                }
+                state.cv.wait_for(&mut seq, remaining);
+            }
         };
-        let _order_guard = order.as_ref().map(|l| l.lock());
-        let is_pb_leader = {
-            let mut parts = self.partitions.lock();
-            let r = Self::part_mut(&mut parts, partition)?;
-            let leader = r.pb_leader();
-            if leader == self.id && replicas.first() != Some(&self.id) {
-                return Err(CfsError::InvalidArgument(
-                    "replica array does not start at the PB leader".into(),
-                ));
-            }
-            if leader != self.id && !replicas.contains(&self.id) {
-                return Err(CfsError::InvalidArgument(format!(
-                    "{}: not in replica chain",
-                    self.id
-                )));
-            }
-            r.apply_append(extent, offset, &data)?;
-            leader == self.id
+        // Wake window peers blocked on the apply gap we just filled.
+        state.cv.notify_all();
+        let turn_guard = TurnGuard {
+            state: &state,
+            ticket,
         };
 
-        // Forward with the lock released; a downstream failure leaves our
-        // local bytes as an uncommitted stale tail (§2.2.5) and surfaces
-        // the error to the sender.
-        self.forward_chain(
-            &replicas,
-            DataRequest::Append {
-                partition,
-                extent,
-                offset,
-                data: data.clone(),
-                crc,
-                replicas: replicas.clone(),
-            },
-        )?;
+        // Forward in ticket order, outside every lock: packet k+1 applies
+        // locally while we are still in flight down the chain. A
+        // downstream failure leaves our local bytes as an uncommitted
+        // stale tail (§2.2.5) and surfaces the error to the sender.
+        let forward_res = {
+            let mut seq = state.seq.lock();
+            while seq.forward_turn != ticket {
+                state.cv.wait(&mut seq);
+            }
+            drop(seq);
+            self.forward_chain(
+                &replicas,
+                DataRequest::Append {
+                    partition,
+                    extent,
+                    offset,
+                    data: data.clone(),
+                    crc,
+                    replicas: replicas.clone(),
+                },
+            )
+        };
+        drop(turn_guard); // advance the turn even if forwarding failed
+        forward_res?;
 
         let new_watermark = offset + data.len() as u64;
         if is_pb_leader {
@@ -525,9 +639,9 @@ impl DataNode {
         data: Bytes,
         replicas: Vec<NodeId>,
     ) -> Result<DataResponse> {
-        // Serialize pack + forward per partition (see handle_append).
-        let order = self.chain_lock(partition);
-        let _order_guard = order.lock();
+        // Serialize pack + forward per partition (see [`ChainState`]).
+        let state = self.chain_state(partition);
+        let _order_guard = state.small.lock();
         let (loc, members) = {
             let mut parts = self.partitions.lock();
             let r = Self::part_mut(&mut parts, partition)?;

@@ -173,8 +173,10 @@ fn append_at_wrong_watermark_is_rejected() {
     append(&c, p, e, 0, b"0123456789", &members).unwrap();
     let err = append(&c, p, e, 5, b"overlap", &members).unwrap_err();
     assert!(matches!(err, CfsError::InvalidArgument(_)));
+    // A gap makes the chain head wait (bounded) for the predecessor
+    // packet of a pipelined window; with no such packet it times out.
     let err = append(&c, p, e, 20, b"gap", &members).unwrap_err();
-    assert!(matches!(err, CfsError::InvalidArgument(_)));
+    assert!(matches!(err, CfsError::Timeout(_)));
 }
 
 #[test]

@@ -62,11 +62,22 @@ pub enum MetaCommand {
 /// A leader-local read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetaRead {
-    GetInode { inode: InodeId },
-    BatchGetInodes { inodes: Vec<InodeId> },
-    Lookup { parent: InodeId, name: String },
-    ReadDir { parent: InodeId },
-    DirEntryCount { parent: InodeId },
+    GetInode {
+        inode: InodeId,
+    },
+    BatchGetInodes {
+        inodes: Vec<InodeId>,
+    },
+    Lookup {
+        parent: InodeId,
+        name: String,
+    },
+    ReadDir {
+        parent: InodeId,
+    },
+    DirEntryCount {
+        parent: InodeId,
+    },
     /// fsck enumeration: every inode in the partition.
     ListAllInodes,
     /// fsck enumeration: every dentry in the partition.
@@ -402,7 +413,7 @@ mod tests {
 
     #[test]
     fn replayed_command_sequence_is_deterministic() {
-        let cmds = vec![
+        let cmds = [
             MetaCommand::CreateInode {
                 file_type: FileType::Dir,
                 link_target: vec![],

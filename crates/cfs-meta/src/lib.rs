@@ -17,10 +17,10 @@
 //! of each command.
 
 mod command;
-#[cfg(test)]
-mod prop_tests;
 mod node;
 mod partition;
+#[cfg(test)]
+mod prop_tests;
 
 pub use command::{MetaCommand, MetaRead, MetaValue};
 pub use node::{MetaNode, MetaRequest, MetaResponse, PartitionInfo};

@@ -14,8 +14,15 @@ use crate::partition::{MetaPartition, MetaPartitionConfig};
 #[derive(Debug, Clone)]
 enum Op {
     CreateInode(bool), // dir?
-    CreateDentry { parent_ix: u8, name: u8, target_ix: u8 },
-    DeleteDentry { parent_ix: u8, name: u8 },
+    CreateDentry {
+        parent_ix: u8,
+        name: u8,
+        target_ix: u8,
+    },
+    DeleteDentry {
+        parent_ix: u8,
+        name: u8,
+    },
     Link(u8),
     Unlink(u8),
     Evict(u8),
@@ -85,12 +92,14 @@ proptest! {
                     }
                     let nm = format!("d{name}");
                     let got = p.create_dentry(parent, &nm, target, FileType::File);
-                    let key = (parent, nm);
-                    if dentries.contains_key(&key) {
-                        prop_assert!(got.is_err(), "duplicate dentry accepted");
-                    } else {
-                        prop_assert!(got.is_ok());
-                        dentries.insert(key, target);
+                    match dentries.entry((parent, nm)) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(got.is_err(), "duplicate dentry accepted");
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            prop_assert!(got.is_ok());
+                            slot.insert(target);
+                        }
                     }
                 }
                 Op::DeleteDentry { parent_ix, name } => {

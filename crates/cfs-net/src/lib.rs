@@ -14,6 +14,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
@@ -58,6 +59,10 @@ struct Inner<Req, Resp> {
     /// Optional cluster-wide fault switches shared with the raft hub, so
     /// one "kill node" affects RPC and consensus traffic alike.
     faults: RwLock<Option<FaultState>>,
+    /// Simulated per-call latency in nanoseconds (0 = instant). Charged
+    /// once per call, on the caller's thread — concurrent callers overlap
+    /// their waits, which is what pipelined senders exploit.
+    latency_ns: AtomicU64,
     counters: Counters,
 }
 
@@ -84,6 +89,7 @@ impl<Req, Resp> Network<Req, Resp> {
                 down: RwLock::new(HashSet::new()),
                 cut: RwLock::new(HashSet::new()),
                 faults: RwLock::new(None),
+                latency_ns: AtomicU64::new(0),
                 counters: Counters::default(),
             }),
         }
@@ -111,10 +117,22 @@ impl<Req, Resp> Network<Req, Resp> {
         }
     }
 
+    /// Simulate a per-call round-trip latency (benches: model a real
+    /// network so pipelining has something to hide). Zero disables it.
+    pub fn set_latency(&self, latency: Duration) {
+        self.inner
+            .latency_ns
+            .store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Synchronous RPC. Fails with `Timeout` if the destination is down,
     /// unregistered, or the link is cut.
     pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp> {
         self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let latency = self.inner.latency_ns.load(Ordering::Relaxed);
+        if latency > 0 {
+            std::thread::sleep(Duration::from_nanos(latency));
+        }
         if self.inner.down.read().contains(&to)
             || self.inner.cut.read().contains(&(from, to))
             || self.fault_blocked(from, to)

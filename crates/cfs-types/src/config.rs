@@ -44,6 +44,14 @@ pub struct ClusterConfig {
     pub raft_set_size: usize,
     /// Block size used by the punch-hole accounting in the extent store.
     pub punch_hole_block_size: u64,
+    /// Sequential-write packets kept in flight to the PB leader (§2.7.1:
+    /// the client "streams" packets; 1 = fully synchronous, one blocking
+    /// round-trip wait per packet).
+    pub pipeline_depth: u32,
+    /// Sync freshly committed extent keys to the meta node every N packets
+    /// (and always on fsync/close), §2.7.1: "synchronizes with the meta
+    /// node periodically or upon fsync". 1 = sync on every write call.
+    pub meta_sync_every: u32,
 }
 
 impl Default for ClusterConfig {
@@ -64,6 +72,8 @@ impl Default for ClusterConfig {
             volume_refill_watermark: 0.2,
             raft_set_size: 5,
             punch_hole_block_size: 4 * KB,
+            pipeline_depth: 4,
+            meta_sync_every: 1,
         }
     }
 }
@@ -98,6 +108,16 @@ impl ClusterConfig {
         if self.punch_hole_block_size == 0 || !self.punch_hole_block_size.is_power_of_two() {
             return Err(CfsError::InvalidArgument(
                 "punch_hole_block_size must be a power of two".into(),
+            ));
+        }
+        if self.pipeline_depth == 0 {
+            return Err(CfsError::InvalidArgument(
+                "pipeline_depth must be > 0".into(),
+            ));
+        }
+        if self.meta_sync_every == 0 {
+            return Err(CfsError::InvalidArgument(
+                "meta_sync_every must be > 0".into(),
             ));
         }
         Ok(())
@@ -148,6 +168,18 @@ mod tests {
 
         let c = ClusterConfig {
             punch_hole_block_size: 3000,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            pipeline_depth: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            meta_sync_every: 0,
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());

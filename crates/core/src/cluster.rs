@@ -225,6 +225,12 @@ impl Cluster {
         &self.hub
     }
 
+    /// Simulate a per-call latency on the data fabric (benches: give the
+    /// append pipeline a round trip to hide). Zero disables it.
+    pub fn set_data_latency(&self, latency: std::time::Duration) {
+        self.fabrics.data.set_latency(latency);
+    }
+
     /// Meta nodes.
     pub fn meta_nodes(&self) -> &[Arc<MetaNode>] {
         &self.meta_nodes

@@ -28,7 +28,7 @@ pub use cluster::{Cluster, ClusterBuilder};
 
 // Re-export the public surface of the subsystems so downstream users need
 // only this crate.
-pub use cfs_client::{Client, ClientOptions, FileHandle};
+pub use cfs_client::{Client, ClientOptions, DataPathSnapshot, FileHandle};
 pub use cfs_data::{DataNode, DataRequest};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
 pub use cfs_meta::{MetaNode, MetaRequest};

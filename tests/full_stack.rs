@@ -259,3 +259,251 @@ fn fsck_reclaims_orphans_left_by_a_dead_client() {
     assert_eq!(after.orphans_found, 0, "{after:?}");
     assert!(admin.lookup(root, "kept").is_ok());
 }
+
+#[test]
+fn pipelined_append_issues_fewer_waits_than_packets() {
+    // §2.7.1 streaming: with a window of 4 packets in flight, a 64 MB
+    // sequential append blocks once per window, not once per packet.
+    let cluster = ClusterBuilder::new().data_nodes(4).build().unwrap();
+    cluster.create_volume("pipe", 1, 4).unwrap();
+    let depth4 = cluster
+        .mount_with_options(
+            "pipe",
+            cfs::ClientOptions {
+                pipeline_depth: 4,
+                meta_sync_every: 8,
+                ..cfs::ClientOptions::default()
+            },
+        )
+        .unwrap();
+    let root = depth4.root();
+
+    let packet = 128 * 1024usize;
+    let total = 64 * 1024 * 1024usize; // 512 packets
+    let body: Vec<u8> = (0..total).map(|i| (i / packet) as u8).collect();
+
+    depth4.create(root, "big.bin").unwrap();
+    let mut fh = depth4.open(root, "big.bin").unwrap();
+    depth4
+        .write_bytes(&mut fh, bytes::Bytes::from(body.clone()))
+        .unwrap();
+    depth4.close(&mut fh).unwrap();
+
+    let s = depth4.data_path_stats();
+    assert_eq!(s.packets_sent, (total / packet) as u64);
+    assert!(
+        s.window_waits < s.packets_sent,
+        "pipelining must wait fewer times ({}) than packets sent ({})",
+        s.window_waits,
+        s.packets_sent
+    );
+    assert_eq!(s.window_waits, (total / packet / 4) as u64);
+
+    // Depth 1 is the synchronous baseline: one blocking wait per packet.
+    let depth1 = cluster
+        .mount_with_options(
+            "pipe",
+            cfs::ClientOptions {
+                pipeline_depth: 1,
+                ..cfs::ClientOptions::default()
+            },
+        )
+        .unwrap();
+    depth1.create(root, "sync.bin").unwrap();
+    let mut fs1 = depth1.open(root, "sync.bin").unwrap();
+    depth1
+        .write_bytes(&mut fs1, bytes::Bytes::from(vec![7u8; 8 * packet]))
+        .unwrap();
+    let s1 = depth1.data_path_stats();
+    assert_eq!(s1.window_waits, s1.packets_sent);
+
+    // Batched meta sync: 16 one-packet write calls, keys synced every 8
+    // packets instead of every call.
+    depth4.create(root, "batched.bin").unwrap();
+    let mut fb = depth4.open(root, "batched.bin").unwrap();
+    let syncs_before = depth4.data_path_stats().meta_syncs;
+    // First call is 2 packets (> small-file threshold), then singles.
+    depth4
+        .write_bytes(&mut fb, bytes::Bytes::from(vec![0u8; 2 * packet]))
+        .unwrap();
+    for i in 2..4 {
+        depth4
+            .write_bytes(&mut fb, bytes::Bytes::from(vec![i as u8; packet]))
+            .unwrap();
+    }
+    // Cadence not reached: keys accumulate locally, no meta round trip.
+    assert_eq!(depth4.data_path_stats().meta_syncs, syncs_before);
+    assert!(!fb.pending_meta_keys().is_empty());
+    for i in 4..16 {
+        depth4
+            .write_bytes(&mut fb, bytes::Bytes::from(vec![i as u8; packet]))
+            .unwrap();
+    }
+    assert_eq!(depth4.data_path_stats().meta_syncs - syncs_before, 2);
+    depth4.close(&mut fb).unwrap();
+
+    // Read back through a fresh client: only meta-recorded state counts.
+    let observer = cluster.mount("pipe").unwrap();
+    let fr = observer.open(root, "big.bin").unwrap();
+    assert_eq!(fr.size(), total as u64);
+    let tail = observer
+        .read_at(&fr, (total - 3 * packet) as u64, 3 * packet)
+        .unwrap();
+    assert_eq!(&tail[..], &body[total - 3 * packet..]);
+    let fbr = observer.open(root, "batched.bin").unwrap();
+    assert_eq!(fbr.size(), 16 * packet as u64);
+}
+
+#[test]
+fn midstream_replica_failure_preserves_committed_prefix() {
+    // §2.2.5: a replica dies while a pipelined window is in flight. The
+    // committed prefix stays where it was written; only the suffix is
+    // resent to a different partition; no acked byte is lost and no
+    // unrecorded (stale) byte is ever served.
+    let cluster = ClusterBuilder::new().data_nodes(9).build().unwrap();
+    cluster.create_volume("fail", 1, 6).unwrap();
+    let client = cluster
+        .mount_with_options(
+            "fail",
+            cfs::ClientOptions {
+                pipeline_depth: 4,
+                meta_sync_every: 4,
+                ..cfs::ClientOptions::default()
+            },
+        )
+        .unwrap();
+    let root = client.root();
+
+    let packet = 128 * 1024usize;
+    fn pat(i: usize) -> u8 {
+        (i % 251) as u8
+    }
+
+    // Establish the file on its first partition (192 KB > the small-file
+    // threshold, so this takes the extent path).
+    client.create(root, "victim.bin").unwrap();
+    let mut fh = client.open(root, "victim.bin").unwrap();
+    let prefix_len = packet + packet / 2;
+    let prefix: Vec<u8> = (0..prefix_len).map(pat).collect();
+    client
+        .write_bytes(&mut fh, bytes::Bytes::from(prefix))
+        .unwrap();
+    let first_partition = fh.extents()[0].partition_id;
+    let members = client.data_partition_members(first_partition).unwrap();
+
+    // Kill the chain tail, then stream 8 more packets: the in-flight
+    // window fails, and the client moves the suffix to a new partition.
+    cluster.faults().set_down(members[2], true);
+    let suffix_len = 8 * packet;
+    let suffix: Vec<u8> = (prefix_len..prefix_len + suffix_len).map(pat).collect();
+    client
+        .write_bytes(&mut fh, bytes::Bytes::from(suffix))
+        .unwrap();
+    client.close(&mut fh).unwrap();
+
+    // The prefix stayed on the original partition; the suffix landed on a
+    // different one (§2.2.5: "written to a new partition").
+    assert_eq!(fh.extents()[0].partition_id, first_partition);
+    let partitions: std::collections::BTreeSet<_> =
+        fh.extents().iter().map(|k| k.partition_id).collect();
+    assert!(partitions.len() >= 2, "suffix moved: {:?}", fh.extents());
+
+    // Watermark invariant, checked from a fresh client after healing:
+    // exactly the acked bytes are served, bit-for-bit.
+    cluster.faults().heal_all();
+    cluster.settle(2_000);
+    let observer = cluster.mount("fail").unwrap();
+    let fr = observer.open(root, "victim.bin").unwrap();
+    assert_eq!(fr.size(), (prefix_len + suffix_len) as u64);
+    let body = observer.read_at(&fr, 0, prefix_len + suffix_len).unwrap();
+    assert_eq!(body.len(), prefix_len + suffix_len);
+    for (i, &b) in body.iter().enumerate() {
+        assert_eq!(b, pat(i), "byte {i} corrupt");
+    }
+}
+
+#[test]
+fn concurrent_readers_with_one_pipelined_writer() {
+    // One writer streams appends with a deep window while readers
+    // continuously re-open and verify; every observed prefix must be
+    // pattern-exact (committed-prefix semantics: readers never see torn
+    // or stale bytes). Small extents force multi-extent parallel reads.
+    let config = cfs::ClusterConfig {
+        packet_size: 64 * 1024,
+        small_file_threshold: 64 * 1024,
+        extent_size_limit: 256 * 1024,
+        ..cfs::ClusterConfig::default()
+    };
+    let cluster = Arc::new(
+        ClusterBuilder::new()
+            .data_nodes(5)
+            .config(config)
+            .build()
+            .unwrap(),
+    );
+    cluster.create_volume("rw", 1, 6).unwrap();
+    let writer = cluster
+        .mount_with_options(
+            "rw",
+            cfs::ClientOptions {
+                pipeline_depth: 4,
+                meta_sync_every: 2,
+                ..cfs::ClientOptions::default()
+            },
+        )
+        .unwrap();
+    let root = writer.root();
+
+    fn pat(i: usize) -> u8 {
+        (i as u64).wrapping_mul(31).wrapping_add(7) as u8
+    }
+
+    writer.create(root, "log.bin").unwrap();
+    let mut fh = writer.open(root, "log.bin").unwrap();
+    let first: Vec<u8> = (0..128 * 1024).map(pat).collect();
+    writer
+        .write_bytes(&mut fh, bytes::Bytes::from(first))
+        .unwrap();
+
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let cluster = Arc::clone(&cluster);
+        readers.push(std::thread::spawn(move || {
+            let client = cluster.mount("rw").unwrap();
+            let root = client.root();
+            for _ in 0..15 {
+                let f = client.open(root, "log.bin").unwrap();
+                let body = client.read_at(&f, 0, f.size() as usize).unwrap();
+                assert_eq!(body.len() as u64, f.size());
+                for (i, &b) in body.iter().enumerate() {
+                    assert_eq!(b, pat(i), "reader saw a non-committed byte at {i}");
+                }
+            }
+        }));
+    }
+
+    let chunk = 96 * 1024usize;
+    for c in 0..16 {
+        let base = 128 * 1024 + c * chunk;
+        let data: Vec<u8> = (base..base + chunk).map(pat).collect();
+        writer
+            .write_bytes(&mut fh, bytes::Bytes::from(data))
+            .unwrap();
+    }
+    writer.close(&mut fh).unwrap();
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    // Final read spans many small extents and fans out in parallel.
+    let observer = cluster.mount("rw").unwrap();
+    let f = observer.open(root, "log.bin").unwrap();
+    let total = 128 * 1024 + 16 * chunk;
+    assert_eq!(f.size(), total as u64);
+    assert!(f.extents().len() > 4, "{} extents", f.extents().len());
+    let body = observer.read_at(&f, 0, total).unwrap();
+    for (i, &b) in body.iter().enumerate() {
+        assert_eq!(b, pat(i), "byte {i} corrupt");
+    }
+    assert!(observer.data_path_stats().parallel_read_fanouts > 0);
+}

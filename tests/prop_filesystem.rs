@@ -45,7 +45,7 @@ enum ModelNode {
 proptest! {
     // The cluster bring-up dominates runtime; keep the case count modest
     // but the sequences long.
-    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 8 })]
 
     #[test]
     fn cluster_matches_model_filesystem(ops in proptest::collection::vec(op_strategy(), 1..60)) {

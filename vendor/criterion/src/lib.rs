@@ -1,0 +1,266 @@
+//! Offline shim of `criterion`. Implements the subset this workspace uses:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`, and
+//! `Bencher::{iter, iter_batched}` with `BatchSize` / `Throughput`.
+//!
+//! Measurement is a plain wall-clock loop (warm-up then a timed window)
+//! printing mean time per iteration and derived throughput. When invoked by
+//! `cargo test` (cargo passes `--test` to `harness = false` bench targets)
+//! every benchmark body runs exactly once so the tier-1 suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; the shim times every batch
+/// individually so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input (the only variant this workspace uses).
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver (one per process).
+pub struct Criterion {
+    test_mode: bool,
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measure_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Honour the arguments cargo passes to `harness = false` targets:
+    /// `--test` (from `cargo test`) switches to run-once mode.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            measure_window: self.criterion.measure_window,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(name, &b);
+        self
+    }
+
+    /// End the group (no-op beyond ending the borrow).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, name: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{name}: no iterations recorded", self.name);
+            return;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{name}: {} iters, {}{rate}",
+            self.name,
+            b.iters,
+            format_time(per_iter),
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    measure_window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a warm-up pass and a measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let warm_until = Instant::now() + self.measure_window / 10;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let t0 = Instant::now();
+        while t0.elapsed() < self.measure_window || self.iters < 10 {
+            std::hint::black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], but `setup` runs outside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Timing per batch: run setup untimed, pass its output in by value.
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let warm_until = Instant::now() + self.measure_window / 10;
+        loop {
+            std::hint::black_box(routine(setup()));
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let started = Instant::now();
+        while self.elapsed < self.measure_window || self.iters < 10 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > self.measure_window * 20 {
+                break; // setup dominates; don't stall the whole suite
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_batched_counts_iterations() {
+        let mut c = Criterion {
+            test_mode: false,
+            measure_window: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            measure_window: Duration::from_millis(5),
+        };
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

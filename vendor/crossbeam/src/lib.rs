@@ -1,0 +1,43 @@
+//! Offline shim of `crossbeam`. No workspace code currently imports any
+//! crossbeam item; this crate exists so the declared workspace dependency
+//! resolves without network access. `scope` mirrors `crossbeam::scope` on
+//! top of `std::thread::scope` for any future use.
+
+/// Scoped threads: run `f` with a [`Scope`] whose spawned threads are joined
+/// before `scope` returns (same contract as `crossbeam::scope`).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Handle for spawning scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from `'env`.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let mut total = 0u32;
+        super::scope(|s| {
+            let h = s.spawn(|| 21u32);
+            total = h.join().unwrap() * 2;
+        })
+        .unwrap();
+        assert_eq!(total, 42);
+    }
+}
