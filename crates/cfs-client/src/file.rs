@@ -416,7 +416,14 @@ impl Client {
                 data: data.clone(),
                 replicas: replicas.clone(),
             };
-            match self.fabrics.data.call(self.id, replicas[0], req)? {
+            // Flatten fabric errors (timeouts, dead nodes) into the match
+            // so they hit the retry arm instead of aborting the loop.
+            match self
+                .fabrics
+                .data
+                .call(self.id, replicas[0], req)
+                .and_then(|r| r)
+            {
                 Ok(DataResponse::Small(loc)) => {
                     let key = ExtentKey {
                         file_offset: 0,

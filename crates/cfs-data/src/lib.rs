@@ -28,5 +28,5 @@ mod node;
 mod replica;
 
 pub use command::DataCommand;
-pub use node::{DataNode, DataRequest, DataResponse, ExtentInfo};
+pub use node::{DataNode, DataNodePersist, DataRequest, DataResponse, ExtentInfo};
 pub use replica::{DataPartitionReplica, PartitionStats};

@@ -10,7 +10,7 @@ use parking_lot::{Condvar, Mutex};
 
 use cfs_net::Network;
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, RaftConfig, WireEnvelope};
+use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, WireEnvelope};
 use cfs_store::SmallFileLocation;
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::crc::crc32;
@@ -133,6 +133,18 @@ pub enum DataResponse {
     /// Deletions executed by a background pass.
     Processed(usize),
     None,
+}
+
+/// What survives a data-node crash: the partition replicas (the extent
+/// stores double as the on-disk image) plus each hosted Raft group's
+/// durable state. Chain tickets, client sessions and the result cache
+/// are volatile and deliberately absent.
+#[derive(Debug)]
+pub struct DataNodePersist {
+    /// Replicas, sorted by partition id for deterministic restore.
+    pub partitions: Vec<DataPartitionReplica>,
+    /// Per-group `(group, members, durable raft state)`.
+    pub raft: Vec<(RaftGroupId, Vec<NodeId>, PersistentRaftState)>,
 }
 
 /// A data node (§2.2): hosts data partition replicas, speaks both
@@ -830,6 +842,115 @@ impl DataNode {
             .multiraft
             .group(Self::group_of(partition))
             .and_then(|g| g.leader_hint())
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart (chaos harness entry points)
+    // ------------------------------------------------------------------
+
+    /// Extract the durable image of this node, consuming its partition
+    /// state. Call at "crash" time, just before dropping the node: the
+    /// extent stores *are* the on-disk state, so they move out rather
+    /// than copy. Volatile state (chain tickets, result cache) is lost,
+    /// exactly as a real crash would lose it.
+    pub fn export_crash_image(&self) -> DataNodePersist {
+        let parts = std::mem::take(&mut *self.partitions.lock());
+        let mut partitions: Vec<DataPartitionReplica> = parts.into_values().collect();
+        partitions.sort_by_key(|r| r.partition_id());
+        let raft = self.raft.lock();
+        let mut groups: Vec<(RaftGroupId, Vec<NodeId>, PersistentRaftState)> = partitions
+            .iter()
+            .filter_map(|r| {
+                let gid = Self::group_of(r.partition_id());
+                raft.multiraft
+                    .persist_group(gid)
+                    .map(|s| (gid, r.members().to_vec(), s))
+            })
+            .collect();
+        groups.sort_by_key(|(gid, _, _)| gid.raw());
+        DataNodePersist {
+            partitions,
+            raft: groups,
+        }
+    }
+
+    /// Rebuild a data node from a crash image (§2.1.3-style restart for
+    /// the data plane): replicas come back from their stores, each Raft
+    /// group restores from its durable log + snapshot and rejoins as a
+    /// follower. The caller re-registers the node on `net`.
+    pub fn restore(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        raft_config: RaftConfig,
+        seed: u64,
+        image: DataNodePersist,
+    ) -> Result<Arc<Self>> {
+        let node = Arc::new(DataNode {
+            id,
+            hub: hub.clone(),
+            net,
+            partitions: Mutex::new(
+                image
+                    .partitions
+                    .into_iter()
+                    .map(|r| (r.partition_id(), r))
+                    .collect(),
+            ),
+            chain_order: Mutex::new(HashMap::new()),
+            raft: Mutex::new(RaftState {
+                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                results: HashMap::new(),
+            }),
+            commit_timeout_ticks: 2_000,
+        });
+        {
+            let mut raft = node.raft.lock();
+            for (gid, members, state) in image.raft {
+                raft.multiraft.restore_group(gid, members, state)?;
+            }
+        }
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        Ok(node)
+    }
+
+    /// Partitions hosted here with their replica arrays (invariant
+    /// checking), sorted by partition id.
+    pub fn hosted_partitions(&self) -> Vec<(PartitionId, Vec<NodeId>)> {
+        let parts = self.partitions.lock();
+        let mut out: Vec<(PartitionId, Vec<NodeId>)> = parts
+            .values()
+            .map(|r| (r.partition_id(), r.members().to_vec()))
+            .collect();
+        out.sort_by_key(|(pid, _)| *pid);
+        out
+    }
+
+    /// Size/CRC/watermark facts for every extent of one partition,
+    /// sorted by extent id (replica-alignment invariant checking).
+    pub fn extent_manifest(&self, partition: PartitionId) -> Option<Vec<ExtentInfo>> {
+        let mut parts = self.partitions.lock();
+        let r = parts.get_mut(&partition)?;
+        let mut ids = r.extent_ids();
+        ids.sort();
+        Some(
+            ids.into_iter()
+                .map(|e| ExtentInfo {
+                    extent: e,
+                    size: r.extent_size(e).unwrap_or(0),
+                    committed: r.committed(e),
+                    crc: r.extent_crc(e).unwrap_or(0),
+                })
+                .collect(),
+        )
+    }
+
+    /// Queued-but-unexecuted deletions on one partition (quiesce check).
+    pub fn pending_deletes(&self, partition: PartitionId) -> Option<usize> {
+        self.partitions
+            .lock()
+            .get(&partition)
+            .map(|r| r.pending_deletes())
     }
 }
 

@@ -23,5 +23,5 @@ mod partition;
 mod prop_tests;
 
 pub use command::{MetaCommand, MetaRead, MetaValue};
-pub use node::{MetaNode, MetaRequest, MetaResponse, PartitionInfo};
+pub use node::{MetaNode, MetaNodePersist, MetaRequest, MetaResponse, PartitionInfo};
 pub use partition::{MetaPartition, MetaPartitionConfig};

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, RaftConfig, SnapshotPayload, WireEnvelope};
+use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, SnapshotPayload, WireEnvelope};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, InodeId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
 
@@ -58,6 +58,16 @@ pub enum MetaResponse {
     Created,
     Info(PartitionInfo),
     Report(Vec<PartitionInfo>),
+}
+
+/// Durable image of a meta node, captured at crash time: each hosted
+/// partition's config, replica membership, and the raft group's
+/// persistent state (term, vote, log, last compaction snapshot). The live
+/// in-memory tree is deliberately *not* part of the image — a restarted
+/// node must rebuild it from snapshot + log replay (§2.1.3).
+#[derive(Debug, Clone)]
+pub struct MetaNodePersist {
+    pub partitions: Vec<(MetaPartitionConfig, Vec<NodeId>, PersistentRaftState)>,
 }
 
 struct Inner {
@@ -271,6 +281,100 @@ impl MetaNode {
             .map(|p| p.drain_free_list())
             .unwrap_or_default()
     }
+
+    // ------------------------------------------------------------------
+    // Crash / restart (chaos harness)
+    // ------------------------------------------------------------------
+
+    /// Capture the durable image this node would have on disk if it
+    /// crashed right now. Volatile state (live trees, pending results) is
+    /// excluded by construction.
+    pub fn export_crash_image(&self) -> MetaNodePersist {
+        let inner = self.inner.lock();
+        let mut partitions: Vec<(MetaPartitionConfig, Vec<NodeId>, PersistentRaftState)> = inner
+            .partitions
+            .iter()
+            .filter_map(|(pid, p)| {
+                let group = inner.multiraft.group(Self::group_of(*pid))?;
+                Some((
+                    p.config().clone(),
+                    group.members().to_vec(),
+                    group.persistent_state(),
+                ))
+            })
+            .collect();
+        partitions.sort_by_key(|(c, _, _)| c.partition_id);
+        MetaNodePersist { partitions }
+    }
+
+    /// Rebuild a meta node from its durable image after a crash and
+    /// register it on the hub.
+    ///
+    /// Each partition's tree restarts from the last compaction snapshot
+    /// (or empty, if none was ever taken); committed log entries above the
+    /// snapshot base re-apply through the normal `Ready` path once the
+    /// group rejoins — the snapshot + log replay recovery of §2.1.3.
+    pub fn restore(
+        id: NodeId,
+        hub: RaftHub,
+        raft_config: RaftConfig,
+        seed: u64,
+        image: MetaNodePersist,
+    ) -> Result<Arc<Self>> {
+        let node = Arc::new(MetaNode {
+            id,
+            hub: hub.clone(),
+            inner: Mutex::new(Inner {
+                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                partitions: HashMap::new(),
+                results: HashMap::new(),
+            }),
+            commit_timeout_ticks: 2_000,
+        });
+        {
+            let mut inner = node.inner.lock();
+            for (config, members, state) in image.partitions {
+                let pid = config.partition_id;
+                let partition = match &state.snapshot {
+                    Some(s) => MetaPartition::from_snapshot(pid, &s.data)?,
+                    None => MetaPartition::new(config),
+                };
+                inner
+                    .multiraft
+                    .restore_group(Self::group_of(pid), members, state)?;
+                inner.partitions.insert(pid, partition);
+            }
+        }
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        Ok(node)
+    }
+
+    /// Hosted partition ids, sorted.
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        let mut ids: Vec<PartitionId> = self.inner.lock().partitions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Serialized image of one partition's live tree. The chaos invariant
+    /// checker compares these byte-for-byte across replicas once their
+    /// applied indexes agree.
+    pub fn partition_snapshot(&self, partition: PartitionId) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .partitions
+            .get(&partition)
+            .map(|p| p.snapshot_bytes())
+    }
+
+    /// `(commit, applied, last_index)` of the partition's raft group.
+    pub fn raft_indices(&self, partition: PartitionId) -> Option<(u64, u64, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .multiraft
+            .group(Self::group_of(partition))
+            .map(|g| (g.commit_index(), g.applied_index(), g.last_index()))
+    }
 }
 
 impl RaftHost for MetaNode {
@@ -290,7 +394,7 @@ impl RaftHost for MetaNode {
 
             // Restore a received snapshot before applying entries.
             if let Some(snap) = ready.snapshot {
-                match MetaPartition::from_snapshot(&snap.data) {
+                match MetaPartition::from_snapshot(pid, &snap.data) {
                     Ok(p) => {
                         inner.partitions.insert(pid, p);
                     }

@@ -324,8 +324,23 @@ impl MetaPartition {
         enc.finish()
     }
 
-    /// Rebuild a partition from a snapshot.
-    pub fn from_snapshot(data: &[u8]) -> Result<Self> {
+    /// Rebuild `partition` from a snapshot. Every failure names the
+    /// partition, so a chaos-repro log pinpoints which replica's image was
+    /// bad; a snapshot whose embedded config disagrees with the expected
+    /// id is rejected as corrupt too.
+    pub fn from_snapshot(partition: PartitionId, data: &[u8]) -> Result<Self> {
+        let p = Self::decode_snapshot(data)
+            .map_err(|e| CfsError::Corrupt(format!("{partition} snapshot: {e}")))?;
+        if p.config.partition_id != partition {
+            return Err(CfsError::Corrupt(format!(
+                "{partition} snapshot: carries id {}",
+                p.config.partition_id
+            )));
+        }
+        Ok(p)
+    }
+
+    fn decode_snapshot(data: &[u8]) -> Result<Self> {
         let mut dec = Decoder::new(data);
         let config = MetaPartitionConfig::decode(&mut dec)?;
         let max_inode = InodeId::decode(&mut dec)?;
@@ -333,7 +348,7 @@ impl MetaPartition {
         let inodes = Vec::<Inode>::decode(&mut dec)?;
         let dentries = Vec::<Dentry>::decode(&mut dec)?;
         if !dec.is_exhausted() {
-            return Err(CfsError::Corrupt("meta snapshot trailing bytes".into()));
+            return Err(CfsError::Corrupt("trailing bytes".into()));
         }
         let mut p = MetaPartition::new(config);
         p.max_inode = max_inode;
@@ -525,7 +540,7 @@ mod tests {
         let link = p.create_inode(FileType::Symlink, b"/target", 9).unwrap();
 
         let bytes = p.snapshot_bytes();
-        let q = MetaPartition::from_snapshot(&bytes).unwrap();
+        let q = MetaPartition::from_snapshot(PartitionId(1), &bytes).unwrap();
         assert_eq!(q.item_count(), p.item_count());
         assert_eq!(q.max_inode(), p.max_inode());
         assert_eq!(q.free_list(), p.free_list());
@@ -535,12 +550,20 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_rejected() {
+    fn corrupt_snapshot_rejected_with_partition_context() {
         let p = part(1, u64::MAX);
         let mut bytes = p.snapshot_bytes();
         bytes.push(0xff);
-        assert!(MetaPartition::from_snapshot(&bytes).is_err());
-        assert!(MetaPartition::from_snapshot(&bytes[..3]).is_err());
+        let err = MetaPartition::from_snapshot(PartitionId(1), &bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("p1"),
+            "error names the partition: {err}"
+        );
+        let err = MetaPartition::from_snapshot(PartitionId(1), &bytes[..3]).unwrap_err();
+        assert!(err.to_string().contains("p1"), "{err}");
+        // A valid image restored under the wrong id is corrupt too.
+        let err = MetaPartition::from_snapshot(PartitionId(9), &p.snapshot_bytes()).unwrap_err();
+        assert!(matches!(err, CfsError::Corrupt(_)));
     }
 
     #[test]

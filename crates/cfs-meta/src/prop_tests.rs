@@ -57,6 +57,43 @@ fn partition() -> MetaPartition {
     })
 }
 
+/// Decode a fuzz triple stream into a command log (shared by the replay
+/// properties below so they explore the same command space).
+fn build_log(seeds: &[(u8, u8, u8)]) -> Vec<MetaCommand> {
+    let mut log: Vec<MetaCommand> = Vec::new();
+    for &(a, b, c) in seeds {
+        match a % 5 {
+            0 => log.push(MetaCommand::CreateInode {
+                file_type: if b % 2 == 0 {
+                    FileType::File
+                } else {
+                    FileType::Dir
+                },
+                link_target: vec![],
+                now_ns: c as u64,
+            }),
+            1 => log.push(MetaCommand::CreateDentry {
+                parent: InodeId(1 + (b % 8) as u64),
+                name: format!("f{}", c % 8),
+                inode: InodeId(1 + (c % 8) as u64),
+                file_type: FileType::File,
+            }),
+            2 => log.push(MetaCommand::DeleteDentry {
+                parent: InodeId(1 + (b % 8) as u64),
+                name: format!("f{}", c % 8),
+            }),
+            3 => log.push(MetaCommand::Unlink {
+                inode: InodeId(1 + (b % 8) as u64),
+                now_ns: c as u64,
+            }),
+            _ => log.push(MetaCommand::Link {
+                inode: InodeId(1 + (b % 8) as u64),
+            }),
+        }
+    }
+    log
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -139,7 +176,7 @@ proptest! {
                 }
                 Op::Snapshot => {
                     let bytes = p.snapshot_bytes();
-                    let q = MetaPartition::from_snapshot(&bytes).unwrap();
+                    let q = MetaPartition::from_snapshot(PartitionId(1), &bytes).unwrap();
                     prop_assert_eq!(
                         q.snapshot_bytes(),
                         bytes,
@@ -173,33 +210,7 @@ proptest! {
     fn command_replay_is_deterministic(
         seeds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60)
     ) {
-        let mut log: Vec<MetaCommand> = Vec::new();
-        for (a, b, c) in seeds {
-            match a % 5 {
-                0 => log.push(MetaCommand::CreateInode {
-                    file_type: if b % 2 == 0 { FileType::File } else { FileType::Dir },
-                    link_target: vec![],
-                    now_ns: c as u64,
-                }),
-                1 => log.push(MetaCommand::CreateDentry {
-                    parent: InodeId(1 + (b % 8) as u64),
-                    name: format!("f{}", c % 8),
-                    inode: InodeId(1 + (c % 8) as u64),
-                    file_type: FileType::File,
-                }),
-                2 => log.push(MetaCommand::DeleteDentry {
-                    parent: InodeId(1 + (b % 8) as u64),
-                    name: format!("f{}", c % 8),
-                }),
-                3 => log.push(MetaCommand::Unlink {
-                    inode: InodeId(1 + (b % 8) as u64),
-                    now_ns: c as u64,
-                }),
-                _ => log.push(MetaCommand::Link {
-                    inode: InodeId(1 + (b % 8) as u64),
-                }),
-            }
-        }
+        let log = build_log(&seeds);
         let mut p1 = partition();
         let mut p2 = partition();
         for cmd in &log {
@@ -208,5 +219,42 @@ proptest! {
             prop_assert_eq!(r1, r2, "identical results incl. errors");
         }
         prop_assert_eq!(p1.snapshot_bytes(), p2.snapshot_bytes());
+    }
+
+    /// Crash-replay equivalence (§2.1.3): apply a prefix of the log, take
+    /// a snapshot ("crash"), restore a new replica from it, then apply the
+    /// suffix — the restored replica must behave and end up byte-identical
+    /// to a replica that lived through the whole log.
+    #[test]
+    fn crash_replay_from_snapshot_matches_live(
+        seeds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        cut_sel in any::<u16>(),
+    ) {
+        let log = build_log(&seeds);
+        let cut = cut_sel as usize % (log.len() + 1);
+
+        let mut live = partition();
+        for cmd in &log {
+            let _ = cmd.apply(&mut live);
+        }
+
+        let mut pre = partition();
+        for cmd in &log[..cut] {
+            let _ = cmd.apply(&mut pre);
+        }
+        let image = pre.snapshot_bytes();
+        let mut restored = MetaPartition::from_snapshot(PartitionId(1), &image).unwrap();
+        for cmd in &log[cut..] {
+            // Suffix commands must produce the same results (including
+            // errors) on the survivor and on the restored replica.
+            let r_pre = cmd.apply(&mut pre);
+            let r_restored = cmd.apply(&mut restored);
+            prop_assert_eq!(r_pre, r_restored, "suffix result parity after restore");
+        }
+        prop_assert_eq!(
+            restored.snapshot_bytes(),
+            live.snapshot_bytes(),
+            "prefix + snapshot + suffix equals the uninterrupted history"
+        );
     }
 }

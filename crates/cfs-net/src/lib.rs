@@ -35,11 +35,37 @@ where
     }
 }
 
-/// Traffic counters.
+/// Traffic counters. Fault-injected losses and real routing errors are
+/// tracked separately so chaos assertions can tell "the schedule dropped
+/// this" from "the cluster mis-routed this".
 #[derive(Debug, Default)]
 struct Counters {
     calls: AtomicU64,
-    failures: AtomicU64,
+    /// Calls lost to injected faults: down node, cut link, shared fault
+    /// state, or a delivery-hook drop. Surface as `Timeout`.
+    drops: AtomicU64,
+    /// Calls refused because no handler is registered for the destination.
+    /// Surface as `Unavailable`.
+    rejections: AtomicU64,
+}
+
+/// Per-call fate decided by a scripted chaos schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the request; the caller sees a `Timeout`.
+    Drop,
+    /// Deliver after stalling the caller for this many microseconds.
+    Delay(u64),
+}
+
+/// Scriptable RPC scheduling: every call gets a fabric-wide sequence
+/// number and the hook decides its fate. With single-threaded callers the
+/// sequence — and thus the whole fault interleaving — is deterministic
+/// and replays exactly from a seed.
+pub trait DeliveryHook: Send + Sync {
+    fn verdict(&self, seq: u64, from: NodeId, to: NodeId) -> DeliveryVerdict;
 }
 
 /// A connectionless request/response fabric between nodes.
@@ -64,6 +90,8 @@ struct Inner<Req, Resp> {
     /// their waits, which is what pipelined senders exploit.
     latency_ns: AtomicU64,
     counters: Counters,
+    /// Optional scripted per-call drop/delay schedule (chaos tests).
+    hook: RwLock<Option<Arc<dyn DeliveryHook>>>,
 }
 
 impl<Req, Resp> Clone for Network<Req, Resp> {
@@ -91,6 +119,7 @@ impl<Req, Resp> Network<Req, Resp> {
                 faults: RwLock::new(None),
                 latency_ns: AtomicU64::new(0),
                 counters: Counters::default(),
+                hook: RwLock::new(None),
             }),
         }
     }
@@ -125,19 +154,36 @@ impl<Req, Resp> Network<Req, Resp> {
             .store(latency.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Synchronous RPC. Fails with `Timeout` if the destination is down,
-    /// unregistered, or the link is cut.
+    /// Install (or clear) a scripted per-call delivery schedule.
+    pub fn set_delivery_hook(&self, hook: Option<Arc<dyn DeliveryHook>>) {
+        *self.inner.hook.write() = hook;
+    }
+
+    /// Synchronous RPC. Fails with `Timeout` if the destination is down or
+    /// the link is cut, and `Unavailable` if nothing is registered there.
     pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp> {
-        self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let seq = self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
         let latency = self.inner.latency_ns.load(Ordering::Relaxed);
         if latency > 0 {
             std::thread::sleep(Duration::from_nanos(latency));
+        }
+        let verdict = match &*self.inner.hook.read() {
+            Some(h) => h.verdict(seq, from, to),
+            None => DeliveryVerdict::Deliver,
+        };
+        match verdict {
+            DeliveryVerdict::Deliver => {}
+            DeliveryVerdict::Drop => {
+                self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
+                return Err(CfsError::Timeout(format!("{from} -> {to}: dropped")));
+            }
+            DeliveryVerdict::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
         }
         if self.inner.down.read().contains(&to)
             || self.inner.cut.read().contains(&(from, to))
             || self.fault_blocked(from, to)
         {
-            self.inner.counters.failures.fetch_add(1, Ordering::Relaxed);
+            self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
             return Err(CfsError::Timeout(format!("{from} -> {to}")));
         }
         let service = {
@@ -147,7 +193,10 @@ impl<Req, Resp> Network<Req, Resp> {
         match service {
             Some(s) => Ok(s.handle(from, req)),
             None => {
-                self.inner.counters.failures.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .counters
+                    .rejections
+                    .fetch_add(1, Ordering::Relaxed);
                 Err(CfsError::Unavailable(format!("{to}: not registered")))
             }
         }
@@ -187,9 +236,22 @@ impl<Req, Resp> Network<Req, Resp> {
         self.inner.counters.calls.load(Ordering::Relaxed)
     }
 
-    /// Calls that failed at the fabric level (down node / cut link).
+    /// Calls lost to injected faults: down node, cut link, shared fault
+    /// state, or a delivery-hook drop.
+    pub fn drop_count(&self) -> u64 {
+        self.inner.counters.drops.load(Ordering::Relaxed)
+    }
+
+    /// Calls refused because the destination had no registered handler —
+    /// a routing bug (or a node the caller should not know about), never
+    /// an injected fault.
+    pub fn rejection_count(&self) -> u64 {
+        self.inner.counters.rejections.load(Ordering::Relaxed)
+    }
+
+    /// All fabric-level failures (drops + rejections).
     pub fn failure_count(&self) -> u64 {
-        self.inner.counters.failures.load(Ordering::Relaxed)
+        self.drop_count() + self.rejection_count()
     }
 
     /// Registered node ids.
@@ -236,6 +298,8 @@ mod tests {
         net.call(NodeId(1), NodeId(3), "x".into()).unwrap();
         net.set_down(NodeId(2), false);
         net.call(NodeId(1), NodeId(2), "x".into()).unwrap();
+        assert_eq!(net.drop_count(), 1);
+        assert_eq!(net.rejection_count(), 0);
         assert_eq!(net.failure_count(), 1);
     }
 
@@ -267,6 +331,46 @@ mod tests {
         net.deregister(NodeId(3));
         assert!(net.call(NodeId(1), NodeId(3), "x".into()).is_err());
         assert_eq!(net.nodes(), vec![NodeId(1), NodeId(2)]);
+        // Routing errors are rejections, not injected-fault drops.
+        assert_eq!(net.rejection_count(), 2);
+        assert_eq!(net.drop_count(), 0);
+        assert_eq!(net.failure_count(), 2);
+    }
+
+    #[test]
+    fn drops_and_rejections_are_distinguished() {
+        let net = echo_network();
+        net.set_down(NodeId(2), true);
+        let _ = net.call(NodeId(1), NodeId(2), "x".into()); // drop
+        net.set_link_cut(NodeId(1), NodeId(3), true);
+        let _ = net.call(NodeId(1), NodeId(3), "x".into()); // drop
+        let _ = net.call(NodeId(1), NodeId(9), "x".into()); // rejection
+        assert_eq!(net.drop_count(), 2);
+        assert_eq!(net.rejection_count(), 1);
+        assert_eq!(net.failure_count(), 3);
+    }
+
+    #[test]
+    fn delivery_hook_scripts_call_fates() {
+        struct DropSecond;
+        impl DeliveryHook for DropSecond {
+            fn verdict(&self, seq: u64, _from: NodeId, _to: NodeId) -> DeliveryVerdict {
+                match seq {
+                    1 => DeliveryVerdict::Drop,
+                    2 => DeliveryVerdict::Delay(10),
+                    _ => DeliveryVerdict::Deliver,
+                }
+            }
+        }
+        let net = echo_network();
+        net.set_delivery_hook(Some(Arc::new(DropSecond)));
+        assert!(net.call(NodeId(1), NodeId(2), "a".into()).is_ok()); // seq 0
+        let err = net.call(NodeId(1), NodeId(2), "b".into()).unwrap_err(); // seq 1
+        assert!(matches!(err, CfsError::Timeout(_)));
+        assert!(net.call(NodeId(1), NodeId(2), "c".into()).is_ok()); // seq 2, delayed
+        assert_eq!(net.drop_count(), 1);
+        net.set_delivery_hook(None);
+        assert!(net.call(NodeId(1), NodeId(2), "d".into()).is_ok());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! sockets: callers pump after proposing and the messages flow until
 //! quiescent.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use cfs_types::{FaultState, NodeId};
 
@@ -32,6 +33,15 @@ pub trait RaftHost: Send + Sync {
     fn raft_deliver(&self, env: WireEnvelope);
 }
 
+/// Scriptable consensus-message scheduling for chaos tests: each wire
+/// message about to be delivered gets a hub-wide sequence number and the
+/// schedule decides how many future pump rounds to defer it by (0 =
+/// deliver now). With a deterministic pump order the verdicts — and thus
+/// the whole fault interleaving — replay exactly from a seed.
+pub trait DeliverySchedule: Send + Sync {
+    fn defer_rounds(&self, seq: u64, from: NodeId, to: NodeId) -> u64;
+}
+
 /// Routes Raft traffic among registered hosts.
 #[derive(Clone, Default)]
 pub struct RaftHub {
@@ -42,6 +52,13 @@ pub struct RaftHub {
 struct HubInner {
     hosts: RwLock<Vec<Weak<dyn RaftHost>>>,
     faults: RwLock<Option<FaultState>>,
+    schedule: RwLock<Option<Arc<dyn DeliverySchedule>>>,
+    /// Deferred messages with the pump round at which they become due.
+    pending: Mutex<Vec<(u64, WireEnvelope)>>,
+    /// Monotonic pump-round counter (one per [`RaftHub::pump`] call).
+    round: AtomicU64,
+    /// Sequence numbers handed to the delivery schedule.
+    seq: AtomicU64,
 }
 
 impl RaftHub {
@@ -53,6 +70,12 @@ impl RaftHub {
     /// Share fault state with the RPC network.
     pub fn set_faults(&self, faults: FaultState) {
         *self.inner.faults.write() = Some(faults);
+    }
+
+    /// Install (or clear) a delivery schedule. Clearing does not flush
+    /// already-deferred messages; they deliver as their rounds come due.
+    pub fn set_delivery_schedule(&self, schedule: Option<Arc<dyn DeliverySchedule>>) {
+        *self.inner.schedule.write() = schedule;
     }
 
     /// Register a host. Hosts are held weakly so dropping a node
@@ -78,12 +101,49 @@ impl RaftHub {
     /// Returns the number of messages delivered.
     pub fn pump(&self) -> usize {
         let hosts = self.live_hosts();
+        let round = self.inner.round.fetch_add(1, Ordering::Relaxed);
         let mut delivered = 0;
+        // Release deferred messages whose round has come. Link state is
+        // re-checked at delivery time: a link cut while the message was in
+        // flight drops it, like a cable pulled mid-transmission.
+        let due: Vec<WireEnvelope> = {
+            let mut pending = self.inner.pending.lock();
+            let mut due = Vec::new();
+            pending.retain(|(at, env)| {
+                if *at <= round {
+                    due.push(env.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for env in due {
+            if !self.link_ok(env.from, env.to) {
+                continue;
+            }
+            if let Some(dst) = hosts.iter().find(|h| h.node_id() == env.to) {
+                dst.raft_deliver(env);
+                delivered += 1;
+            }
+        }
         loop {
             let mut moved = false;
             for host in &hosts {
                 for env in host.raft_drain() {
                     if !self.link_ok(env.from, env.to) {
+                        continue;
+                    }
+                    let defer = match &*self.inner.schedule.read() {
+                        Some(s) => {
+                            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                            s.defer_rounds(seq, env.from, env.to)
+                        }
+                        None => 0,
+                    };
+                    if defer > 0 {
+                        self.inner.pending.lock().push((round + defer, env));
                         continue;
                     }
                     if let Some(dst) = hosts.iter().find(|h| h.node_id() == env.to) {
@@ -231,6 +291,86 @@ mod tests {
                 .any(|(i, h)| i != li && h.mr.lock().group(RaftGroupId(1)).unwrap().is_leader()),
             5_000
         ));
+    }
+
+    #[test]
+    fn crashed_host_restores_from_durable_state_and_replays() {
+        let hub = RaftHub::new();
+        let mut hosts = make_cluster(&hub, 3);
+        assert!(hub.pump_until(|| leader_of(&hosts).is_some(), 2_000));
+        let li = leader_of(&hosts).unwrap();
+        hosts[li]
+            .mr
+            .lock()
+            .group_mut(RaftGroupId(1))
+            .unwrap()
+            .propose(b"pre-crash".to_vec())
+            .unwrap();
+        assert!(hub.pump_until(
+            || hosts
+                .iter()
+                .all(|h| h.applied.lock().iter().any(|c| c == b"pre-crash")),
+            2_000
+        ));
+
+        // Crash a follower: capture its durable image, drop the host.
+        let victim = (li + 1) % hosts.len();
+        let id = hosts[victim].id;
+        let state = hosts[victim]
+            .mr
+            .lock()
+            .persist_group(RaftGroupId(1))
+            .unwrap();
+        let members: Vec<NodeId> = hosts.iter().map(|h| h.id).collect();
+        hosts.remove(victim);
+
+        // Rebuild from the image: the volatile applied list starts empty
+        // and must be repopulated purely by log replay.
+        let mut mr = MultiRaft::new(id, RaftConfig::default(), 77, true);
+        mr.restore_group(RaftGroupId(1), members, state).unwrap();
+        let reborn = Arc::new(TestHost {
+            id,
+            mr: Mutex::new(mr),
+            applied: Mutex::new(Vec::new()),
+        });
+        hub.register(reborn.clone() as Arc<dyn RaftHost>);
+        assert!(hub.pump_until(
+            || reborn.applied.lock().iter().any(|c| c == b"pre-crash"),
+            5_000
+        ));
+    }
+
+    #[test]
+    fn deferred_delivery_slows_but_does_not_stall_consensus() {
+        struct DeferOdd;
+        impl DeliverySchedule for DeferOdd {
+            fn defer_rounds(&self, seq: u64, _from: NodeId, _to: NodeId) -> u64 {
+                if seq % 2 == 1 {
+                    2
+                } else {
+                    0
+                }
+            }
+        }
+        let hub = RaftHub::new();
+        hub.set_delivery_schedule(Some(Arc::new(DeferOdd)));
+        let hosts = make_cluster(&hub, 3);
+        assert!(hub.pump_until(|| leader_of(&hosts).is_some(), 5_000));
+        let li = leader_of(&hosts).unwrap();
+        hosts[li]
+            .mr
+            .lock()
+            .group_mut(RaftGroupId(1))
+            .unwrap()
+            .propose(b"lagged".to_vec())
+            .unwrap();
+        assert!(hub.pump_until(
+            || hosts
+                .iter()
+                .all(|h| h.applied.lock().iter().any(|c| c == b"lagged")),
+            5_000
+        ));
+        hub.set_delivery_schedule(None);
     }
 
     #[test]

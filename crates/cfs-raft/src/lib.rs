@@ -30,8 +30,8 @@ mod node;
 mod harness_tests;
 
 pub use config::RaftConfig;
-pub use hub::{RaftHost, RaftHub};
+pub use hub::{DeliverySchedule, RaftHost, RaftHub};
 pub use log::{Entry, RaftLog};
 pub use message::{Envelope, Message, SnapshotPayload};
 pub use multiraft::{GroupBeat, MultiRaft, WireEnvelope, WireMsg};
-pub use node::{RaftNode, Ready, Role};
+pub use node::{PersistentRaftState, RaftNode, Ready, Role};

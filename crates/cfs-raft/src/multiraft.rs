@@ -107,6 +107,36 @@ impl MultiRaft {
         Ok(())
     }
 
+    /// Re-host a group from its durable state after a crash (see
+    /// [`RaftNode::restore`]). The caller is responsible for rebuilding
+    /// the group's state machine from `state.snapshot`.
+    pub fn restore_group(
+        &mut self,
+        group: RaftGroupId,
+        members: Vec<NodeId>,
+        state: crate::node::PersistentRaftState,
+    ) -> Result<()> {
+        if self.groups.contains_key(&group) {
+            return Err(cfs_types::CfsError::Exists(format!("{group}")));
+        }
+        let mut node = RaftNode::restore(
+            self.node_id,
+            group,
+            members,
+            self.config.clone(),
+            self.seed,
+            state,
+        );
+        node.set_external_heartbeat(true);
+        self.groups.insert(group, node);
+        Ok(())
+    }
+
+    /// Durable state of one hosted group (crash-consistent image).
+    pub fn persist_group(&self, group: RaftGroupId) -> Option<crate::node::PersistentRaftState> {
+        self.groups.get(&group).map(|n| n.persistent_state())
+    }
+
     /// Remove a group replica.
     pub fn remove_group(&mut self, group: RaftGroupId) -> bool {
         self.groups.remove(&group).is_some()

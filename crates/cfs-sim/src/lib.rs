@@ -21,6 +21,7 @@ mod join;
 mod metrics;
 mod model;
 pub mod plan;
+pub mod schedule;
 mod station;
 
 pub use engine::{Sim, SimTime};

@@ -1,0 +1,340 @@
+//! Seeded chaos schedules: deterministic interleavings of client
+//! workload steps and fault events for the full-stack chaos harness
+//! (`tests/chaos.rs` at the workspace root).
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, shape, len)`: the
+//! generator draws every decision from one `SmallRng`, so a failing run
+//! is replayed exactly by re-generating the plan from its printed seed.
+//! The executor (which owns the cluster and the model) interprets the
+//! steps; this module deliberately knows nothing about RPC types so it
+//! can be reused by benches and future harnesses.
+//!
+//! Generation invariants, chosen so every schedule can terminate and be
+//! checked:
+//! * at most one meta node and one data node are crashed at a time
+//!   (Raft majorities survive, appends can re-place on live chains);
+//! * [`ChaosStep::Quiesce`] appears regularly and always last — the
+//!   executor restarts crashed nodes, heals links, uninstalls delivery
+//!   hooks and settles before checking invariants there;
+//! * a file with an in-flight uncertain mutation is left alone until
+//!   the next quiesce resolves it (the executor enforces this; the
+//!   generator just keeps the step mix diverse).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How many nodes of each role the chaos cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterShape {
+    pub meta_nodes: usize,
+    pub data_nodes: usize,
+    pub masters: usize,
+    /// Size of the file-slot pool workload steps index into.
+    pub files: usize,
+}
+
+impl Default for ClusterShape {
+    fn default() -> Self {
+        // 3 meta (one can crash, majorities survive), 4 data (3-of-4
+        // placement keeps a live chain with one node down), 3 masters.
+        ClusterShape {
+            meta_nodes: 3,
+            data_nodes: 4,
+            masters: 3,
+            files: 6,
+        }
+    }
+}
+
+/// A node reference by role + index (the executor maps it to a real
+/// node id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    Meta(usize),
+    Data(usize),
+}
+
+/// One client file-system operation against a slot of the file pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadStep {
+    /// Create the file (no-op if the model says it exists).
+    Create { file: usize },
+    /// Append `len` bytes of `fill` (skipped if absent).
+    Append { file: usize, len: usize, fill: u8 },
+    /// Read the whole file back and check it against the model.
+    Read { file: usize },
+    /// Truncate to `keep_num/16` of the current committed length.
+    Truncate { file: usize, keep_num: u8 },
+    /// Unlink the file.
+    Unlink { file: usize },
+    /// Flush client-buffered metadata (fsync path).
+    Fsync { file: usize },
+}
+
+/// One injected fault. Crash/restart pairs reference role indices; link
+/// cuts are directed; delivery faults stay installed until the next
+/// [`ChaosStep::Quiesce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStep {
+    /// Kill a meta node; its durable state survives for restart.
+    CrashMeta { idx: usize },
+    /// Bring a crashed meta node back (log + snapshot recovery).
+    RestartMeta { idx: usize },
+    /// Kill a data node (extent stores survive).
+    CrashData { idx: usize },
+    /// Bring a crashed data node back.
+    RestartData { idx: usize },
+    /// Cut the directed link `from → to`.
+    CutLink { from: NodeRef, to: NodeRef },
+    /// Heal every cut link.
+    HealLinks,
+    /// Force a resource-manager leader change.
+    MasterChurn,
+    /// Defer a deterministic subset of consensus messages by `defer`
+    /// hub rounds (until quiesce).
+    DelayConsensus { defer: u64 },
+    /// Drop every `one_in`-th client RPC (until quiesce).
+    DropRpcs { one_in: u32 },
+}
+
+/// One step of a chaos schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosStep {
+    Op(WorkloadStep),
+    Fault(FaultStep),
+    /// Heal everything, settle, run recovery, check all invariants.
+    Quiesce,
+}
+
+/// A complete deterministic schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub shape: ClusterShape,
+    pub steps: Vec<ChaosStep>,
+}
+
+impl FaultPlan {
+    /// Generate the schedule for `seed`: `len` steps (plus the final
+    /// quiesce). Two calls with equal arguments yield equal plans.
+    pub fn generate(seed: u64, shape: ClusterShape, len: usize) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_55EE_D000_0001);
+        let mut steps = Vec::with_capacity(len + 1);
+        let mut crashed_meta: Option<usize> = None;
+        let mut crashed_data: Option<usize> = None;
+        let mut since_quiesce = 0u32;
+
+        while steps.len() < len {
+            // Regular quiesce points bound how long damage accumulates.
+            if since_quiesce >= 14 || (since_quiesce >= 7 && rng.gen_bool(0.15)) {
+                steps.push(ChaosStep::Quiesce);
+                crashed_meta = None;
+                crashed_data = None;
+                since_quiesce = 0;
+                continue;
+            }
+            since_quiesce += 1;
+
+            if rng.gen_bool(0.72) {
+                steps.push(ChaosStep::Op(Self::gen_op(&mut rng, shape)));
+                continue;
+            }
+            let fault = Self::gen_fault(&mut rng, shape, &mut crashed_meta, &mut crashed_data);
+            steps.push(ChaosStep::Fault(fault));
+        }
+        steps.push(ChaosStep::Quiesce);
+        FaultPlan { seed, shape, steps }
+    }
+
+    fn gen_op(rng: &mut SmallRng, shape: ClusterShape) -> WorkloadStep {
+        let file = rng.gen_range(0..shape.files);
+        match rng.gen_range(0u32..100) {
+            0..=24 => WorkloadStep::Create { file },
+            25..=59 => WorkloadStep::Append {
+                file,
+                // Small bodies keep runtime bounded; a slight chance of a
+                // multi-packet body exercises the windowed append path.
+                len: if rng.gen_bool(0.15) {
+                    rng.gen_range(2_000usize..6_000)
+                } else {
+                    rng.gen_range(1usize..700)
+                },
+                fill: rng.gen_range(1u8..255),
+            },
+            60..=77 => WorkloadStep::Read { file },
+            78..=85 => WorkloadStep::Truncate {
+                file,
+                keep_num: rng.gen_range(0u8..16),
+            },
+            86..=93 => WorkloadStep::Unlink { file },
+            _ => WorkloadStep::Fsync { file },
+        }
+    }
+
+    fn gen_fault(
+        rng: &mut SmallRng,
+        shape: ClusterShape,
+        crashed_meta: &mut Option<usize>,
+        crashed_data: &mut Option<usize>,
+    ) -> FaultStep {
+        let node_ref = |rng: &mut SmallRng| -> NodeRef {
+            if rng.gen_bool(0.5) {
+                NodeRef::Meta(rng.gen_range(0..shape.meta_nodes))
+            } else {
+                NodeRef::Data(rng.gen_range(0..shape.data_nodes))
+            }
+        };
+        match rng.gen_range(0u32..100) {
+            0..=17 => match *crashed_meta {
+                // One crashed meta node at a time; restart it before
+                // crashing another so majorities always survive.
+                Some(idx) => {
+                    *crashed_meta = None;
+                    FaultStep::RestartMeta { idx }
+                }
+                None => {
+                    let idx = rng.gen_range(0..shape.meta_nodes);
+                    *crashed_meta = Some(idx);
+                    FaultStep::CrashMeta { idx }
+                }
+            },
+            18..=37 => match *crashed_data {
+                Some(idx) => {
+                    *crashed_data = None;
+                    FaultStep::RestartData { idx }
+                }
+                None => {
+                    let idx = rng.gen_range(0..shape.data_nodes);
+                    *crashed_data = Some(idx);
+                    FaultStep::CrashData { idx }
+                }
+            },
+            38..=57 => {
+                let from = node_ref(rng);
+                let to = node_ref(rng);
+                FaultStep::CutLink { from, to }
+            }
+            58..=67 => FaultStep::HealLinks,
+            68..=77 => FaultStep::MasterChurn,
+            78..=88 => FaultStep::DelayConsensus {
+                defer: rng.gen_range(1u64..4),
+            },
+            _ => FaultStep::DropRpcs {
+                one_in: rng.gen_range(5u32..17),
+            },
+        }
+    }
+
+    /// Crash faults still open at the end of a prefix (used by the
+    /// executor when replaying to a mid-schedule point).
+    pub fn open_crashes(steps: &[ChaosStep]) -> (Option<usize>, Option<usize>) {
+        let (mut m, mut d) = (None, None);
+        for s in steps {
+            match s {
+                ChaosStep::Fault(FaultStep::CrashMeta { idx }) => m = Some(*idx),
+                ChaosStep::Fault(FaultStep::RestartMeta { .. }) => m = None,
+                ChaosStep::Fault(FaultStep::CrashData { idx }) => d = Some(*idx),
+                ChaosStep::Fault(FaultStep::RestartData { .. }) => d = None,
+                ChaosStep::Quiesce => {
+                    m = None;
+                    d = None;
+                }
+                _ => {}
+            }
+        }
+        (m, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, ClusterShape::default(), 120);
+        let b = FaultPlan::generate(42, ClusterShape::default(), 120);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, ClusterShape::default(), 120);
+        assert_ne!(a.steps, c.steps, "seeds diverge");
+    }
+
+    #[test]
+    fn plans_end_quiesced_with_no_open_crashes() {
+        for seed in 0..200 {
+            let p = FaultPlan::generate(seed, ClusterShape::default(), 90);
+            assert_eq!(p.steps.last(), Some(&ChaosStep::Quiesce), "seed {seed}");
+            assert_eq!(
+                FaultPlan::open_crashes(&p.steps),
+                (None, None),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_crashed_node_per_role() {
+        for seed in 0..200 {
+            let p = FaultPlan::generate(seed, ClusterShape::default(), 150);
+            let (mut m, mut d) = (None::<usize>, None::<usize>);
+            for s in &p.steps {
+                match s {
+                    ChaosStep::Fault(FaultStep::CrashMeta { idx }) => {
+                        assert!(m.is_none(), "seed {seed}: double meta crash");
+                        m = Some(*idx);
+                    }
+                    ChaosStep::Fault(FaultStep::RestartMeta { idx }) => {
+                        assert_eq!(m, Some(*idx), "seed {seed}: restart of live meta");
+                        m = None;
+                    }
+                    ChaosStep::Fault(FaultStep::CrashData { idx }) => {
+                        assert!(d.is_none(), "seed {seed}: double data crash");
+                        d = Some(*idx);
+                    }
+                    ChaosStep::Fault(FaultStep::RestartData { idx }) => {
+                        assert_eq!(d, Some(*idx), "seed {seed}: restart of live data");
+                        d = None;
+                    }
+                    ChaosStep::Quiesce => {
+                        m = None;
+                        d = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_mix_is_diverse() {
+        // Across a batch of seeds every step category must appear —
+        // a weight regression would silently weaken the harness.
+        let (mut ops, mut faults, mut quiesces) = (0usize, 0usize, 0usize);
+        let mut kinds = [false; 9];
+        for seed in 0..64 {
+            for s in FaultPlan::generate(seed, ClusterShape::default(), 100).steps {
+                match s {
+                    ChaosStep::Op(_) => ops += 1,
+                    ChaosStep::Quiesce => quiesces += 1,
+                    ChaosStep::Fault(f) => {
+                        faults += 1;
+                        kinds[match f {
+                            FaultStep::CrashMeta { .. } => 0,
+                            FaultStep::RestartMeta { .. } => 1,
+                            FaultStep::CrashData { .. } => 2,
+                            FaultStep::RestartData { .. } => 3,
+                            FaultStep::CutLink { .. } => 4,
+                            FaultStep::HealLinks => 5,
+                            FaultStep::MasterChurn => 6,
+                            FaultStep::DelayConsensus { .. } => 7,
+                            FaultStep::DropRpcs { .. } => 8,
+                        }] = true;
+                    }
+                }
+            }
+        }
+        assert!(ops > faults, "workload should dominate");
+        assert!(quiesces >= 64 * 4, "regular quiesce points");
+        assert!(kinds.iter().all(|&k| k), "every fault kind generated");
+    }
+}

@@ -80,6 +80,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Raft tuning (e.g. a low snapshot threshold so chaos tests
+    /// exercise compaction + restore-from-snapshot).
+    pub fn raft_config(mut self, raft_config: RaftConfig) -> Self {
+        self.raft_config = raft_config;
+        self
+    }
+
     /// Bring the cluster up: elect the master group, register storage
     /// nodes, and wait until everything is answerable.
     pub fn build(self) -> Result<Cluster> {
@@ -552,6 +559,125 @@ impl Cluster {
                 kind: NodeKind::Data,
             })?;
         Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart (chaos harness)
+    // ------------------------------------------------------------------
+
+    /// Crash a meta node: capture its durable image (Raft logs +
+    /// snapshots + partition configs), cut it off the fabric and mark it
+    /// down, then rebuild it from the image in place. The rebuilt node
+    /// replays exactly what a restarted process would (§2.1.3) but stays
+    /// unreachable until [`Cluster::restart_meta_node`].
+    pub fn crash_meta_node(&mut self, idx: usize) -> Result<NodeId> {
+        let id = self.meta_nodes[idx].id();
+        self.faults.set_down(id, true);
+        self.fabrics.meta.deregister(id);
+        let image = self.meta_nodes[idx].export_crash_image();
+        let node = MetaNode::restore(
+            id,
+            self.hub.clone(),
+            self.raft_config.clone(),
+            self.seed,
+            image,
+        )?;
+        // Replacing the slot drops the crashed node's last strong ref;
+        // the hub's weak handle to it expires on the next pump.
+        self.meta_nodes[idx] = node;
+        Ok(id)
+    }
+
+    /// Bring a crashed meta node back: re-register it on the fabric and
+    /// lift the down flag. Recovery (log replay, catching up via Raft)
+    /// happens through normal ticks afterwards.
+    pub fn restart_meta_node(&mut self, idx: usize) {
+        let node = self.meta_nodes[idx].clone();
+        let id = node.id();
+        self.fabrics
+            .meta
+            .register(id, Arc::new(move |_from, req| node.handle(req)));
+        self.faults.set_down(id, false);
+    }
+
+    /// Crash a data node (see [`Cluster::crash_meta_node`]): the extent
+    /// stores and per-group Raft state survive; chain bookkeeping and
+    /// committed-watermark gossip recover via §2.2.5 alignment.
+    pub fn crash_data_node(&mut self, idx: usize) -> Result<NodeId> {
+        let id = self.data_nodes[idx].id();
+        self.faults.set_down(id, true);
+        self.fabrics.data.deregister(id);
+        let image = self.data_nodes[idx].export_crash_image();
+        let node = DataNode::restore(
+            id,
+            self.hub.clone(),
+            self.fabrics.data.clone(),
+            self.raft_config.clone(),
+            self.seed,
+            image,
+        )?;
+        self.data_nodes[idx] = node;
+        Ok(id)
+    }
+
+    /// Bring a crashed data node back online.
+    pub fn restart_data_node(&mut self, idx: usize) {
+        let node = self.data_nodes[idx].clone();
+        let id = node.id();
+        self.fabrics
+            .data
+            .register(id, Arc::new(move |_from, req| node.handle(req)));
+        self.faults.set_down(id, false);
+    }
+
+    /// Run §2.2.5 recovery on every data partition: each PB leader
+    /// truncates stale tails and realigns its replicas. Returns how many
+    /// partitions recovered successfully.
+    pub fn recover_data_partitions(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut recovered = 0;
+        for n in &self.data_nodes {
+            for (pid, members) in n.hosted_partitions() {
+                if !seen.insert(pid) {
+                    continue;
+                }
+                let Some(&head) = members.first() else {
+                    continue;
+                };
+                if let Ok(Ok(_)) =
+                    self.fabrics
+                        .data
+                        .call(NodeId(0), head, DataRequest::Recover { partition: pid })
+                {
+                    recovered += 1;
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Drain every data partition's asynchronous delete queue (§2.7.3)
+    /// on every replica. Returns the number of tasks executed.
+    pub fn process_all_deletes(&self) -> usize {
+        let mut total = 0;
+        for n in &self.data_nodes {
+            for (pid, _) in n.hosted_partitions() {
+                if let Ok(Ok(DataResponse::Processed(k))) = self.fabrics.data.call(
+                    NodeId(0),
+                    n.id(),
+                    DataRequest::ProcessDeletes { partition: pid },
+                ) {
+                    total += k;
+                }
+            }
+        }
+        total
+    }
+
+    /// The RPC fabrics (chaos harness: install delivery hooks, inspect
+    /// drop/rejection counters).
+    pub fn fabrics(&self) -> &Fabrics {
+        &self.fabrics
     }
 
     /// Report a data partition timeout (§2.3.3): the RM marks the

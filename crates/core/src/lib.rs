@@ -28,11 +28,13 @@ pub use cluster::{Cluster, ClusterBuilder};
 
 // Re-export the public surface of the subsystems so downstream users need
 // only this crate.
-pub use cfs_client::{Client, ClientOptions, DataPathSnapshot, FileHandle};
-pub use cfs_data::{DataNode, DataRequest};
+pub use cfs_client::{Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandle, FsckReport};
+pub use cfs_data::{DataNode, DataRequest, DataResponse, ExtentInfo};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
-pub use cfs_meta::{MetaNode, MetaRequest};
+pub use cfs_meta::{MetaNode, MetaPartition, MetaRequest};
+pub use cfs_net::{DeliveryHook, DeliveryVerdict};
+pub use cfs_raft::{DeliverySchedule, RaftConfig, RaftHub};
 pub use cfs_types::{
-    CfsError, ClusterConfig, Dentry, ExtentKey, FaultState, FileType, Inode, InodeId, NodeId,
-    PartitionId, Result, VolumeId, ROOT_INODE,
+    CfsError, ClusterConfig, Dentry, ExtentId, ExtentKey, FaultState, FileType, Inode, InodeId,
+    NodeId, PartitionId, Result, VolumeId, ROOT_INODE,
 };

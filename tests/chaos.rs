@@ -1,0 +1,919 @@
+//! Deterministic full-stack chaos harness.
+//!
+//! Each test runs a batch of seeded [`FaultPlan`] schedules (generated in
+//! `cfs_sim::schedule`) against a real in-process cluster: client workload
+//! steps (create/append/read/truncate/unlink/fsync) interleaved with fault
+//! events (node crash + recovery from persisted state, directed link cuts,
+//! resource-manager leader churn, deferred consensus delivery, dropped
+//! RPCs). All randomness flows from the seed, so a failing run prints a
+//! one-line repro:
+//!
+//! ```text
+//! CHAOS_SEED=17 cargo test -q --test chaos chaos_replay_env_seed
+//! ```
+//!
+//! At every quiesce point the harness heals all faults, restarts crashed
+//! nodes, runs §2.7.1 replica recovery, and checks four invariants:
+//!
+//! (a) read-your-committed-writes: every file reads back exactly the
+//!     acknowledged content, plus at most a prefix of the single in-flight
+//!     append whose ack was lost (never bytes beyond it, never torn);
+//! (b) meta/data cross-consistency: `fsck` completes with zero dangling
+//!     dentries (§2.6 — orphan inodes are legal and reclaimed, a dentry
+//!     pointing at a missing inode is not);
+//! (c) replica extent alignment: for every extent not subject to
+//!     best-effort cleanup, all replicas agree with the primary's committed
+//!     watermark in both length and CRC (§2.2.5/§2.7.1);
+//! (d) meta snapshot/replay equivalence: every replica of a meta partition
+//!     applies the same committed log, their state snapshots are
+//!     byte-identical, and a snapshot restores to an identical snapshot
+//!     (§2.1.3).
+
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cfs::{
+    CfsError, Client, ClientOptions, Cluster, ClusterBuilder, ClusterConfig, DeliveryHook,
+    DeliverySchedule, DeliveryVerdict, Dentry, ExtentId, FileHandle, InodeId, MetaPartition,
+    NodeId, PartitionId, RaftConfig,
+};
+use cfs_sim::schedule::{ChaosStep, ClusterShape, FaultPlan, FaultStep, NodeRef, WorkloadStep};
+
+/// Steps per generated schedule (plus the final quiesce).
+const PLAN_LEN: usize = 120;
+
+/// Defers every odd-sequence consensus message by a fixed number of hub
+/// rounds: messages arrive late and out of order, but all arrive.
+struct DeferOdd {
+    defer: u64,
+}
+
+impl DeliverySchedule for DeferOdd {
+    fn defer_rounds(&self, seq: u64, _from: NodeId, _to: NodeId) -> u64 {
+        if seq % 2 == 1 {
+            self.defer
+        } else {
+            0
+        }
+    }
+}
+
+/// Drops every `one_in`-th client RPC on the fabric it is installed on.
+struct DropEvery {
+    one_in: u64,
+}
+
+impl DeliveryHook for DropEvery {
+    fn verdict(&self, seq: u64, _from: NodeId, _to: NodeId) -> DeliveryVerdict {
+        if seq.is_multiple_of(self.one_in) {
+            DeliveryVerdict::Drop
+        } else {
+            DeliveryVerdict::Deliver
+        }
+    }
+}
+
+/// What the model knows about one file slot. `Uncertain*` states mean the
+/// client saw an error for an operation that may still have committed; the
+/// next quiesce resolves them by consulting the (settled) file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileState {
+    Absent,
+    Present,
+    UncertainCreate,
+    UncertainUnlink,
+    UncertainTrunc { cut: usize },
+}
+
+struct FileSlot {
+    state: FileState,
+    /// Acknowledged content: every byte here was reported committed.
+    base: Vec<u8>,
+    /// Body of the single failed append, if any. While non-empty the slot
+    /// is frozen (no further mutations) until quiesce resolves how much of
+    /// it actually landed.
+    pending: Vec<u8>,
+    handle: Option<FileHandle>,
+}
+
+impl FileSlot {
+    fn new() -> FileSlot {
+        FileSlot {
+            state: FileState::Absent,
+            base: Vec::new(),
+            pending: Vec::new(),
+            handle: None,
+        }
+    }
+}
+
+fn fname(file: usize) -> String {
+    format!("chaos-f{file}")
+}
+
+/// Deterministic, position-tagged content so a mismatch pinpoints both the
+/// originating append and the file offset.
+fn pattern_bytes(file: usize, start: usize, len: usize, fill: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| fill ^ ((start + i) as u8) ^ (file as u8).wrapping_mul(31))
+        .collect()
+}
+
+/// Invariant (a): `got` must extend the acknowledged `base` by at most a
+/// prefix of the in-flight `pending` bytes.
+fn check_read(seed: u64, file: usize, when: &str, got: &[u8], base: &[u8], pending: &[u8]) {
+    if got.len() < base.len() {
+        panic!(
+            "invariant (a) violated ({when}, file {file}, seed {seed}): \
+             read {} bytes but {} are committed",
+            got.len(),
+            base.len()
+        );
+    }
+    if &got[..base.len()] != base {
+        let i = got
+            .iter()
+            .zip(base.iter())
+            .position(|(a, b)| a != b)
+            .unwrap();
+        panic!(
+            "invariant (a) violated ({when}, file {file}, seed {seed}): \
+             committed byte {i} differs (got {}, expected {})",
+            got[i], base[i]
+        );
+    }
+    let surplus = &got[base.len()..];
+    if surplus.len() > pending.len() || surplus != &pending[..surplus.len()] {
+        panic!(
+            "invariant (a) violated ({when}, file {file}, seed {seed}): \
+             {} bytes beyond the committed watermark don't match the in-flight append",
+            surplus.len()
+        );
+    }
+}
+
+struct Chaos {
+    seed: u64,
+    cluster: Cluster,
+    client: Client,
+    files: Vec<FileSlot>,
+    /// Extents subject to best-effort cleanup (truncate/unlink queued a
+    /// punch or delete on them); exempt from invariant (c).
+    exempt: BTreeSet<(PartitionId, ExtentId)>,
+    crashed_meta: Option<usize>,
+    crashed_data: Option<usize>,
+    /// Directed link cuts currently installed. Healed individually — never
+    /// via `heal_all`, which would also resurrect crashed nodes.
+    cuts: Vec<(NodeId, NodeId)>,
+    /// Test knob: force a failure at the first quiesce so the repro-line
+    /// plumbing can be exercised.
+    sabotage: bool,
+}
+
+impl Chaos {
+    fn new(seed: u64, shape: ClusterShape, sabotage: bool) -> Chaos {
+        let config = ClusterConfig {
+            // Small thresholds exercise packing, multi-packet appends and
+            // per-packet meta syncs without large bodies.
+            small_file_threshold: 1024,
+            packet_size: 1024,
+            pipeline_depth: 1,
+            meta_sync_every: 1,
+            ..Default::default()
+        };
+        let raft_config = RaftConfig {
+            // Aggressive compaction so crash recovery restores from
+            // snapshots, not just log replay.
+            snapshot_threshold: 24,
+            ..Default::default()
+        };
+        let cluster = ClusterBuilder::new()
+            .meta_nodes(shape.meta_nodes)
+            .data_nodes(shape.data_nodes)
+            .master_replicas(shape.masters)
+            .config(config)
+            .raft_config(raft_config)
+            .seed(seed)
+            .build()
+            .expect("cluster build");
+        cluster.create_volume("chaos", 2, 4).expect("create volume");
+        let client = cluster
+            .mount_with_options(
+                "chaos",
+                ClientOptions {
+                    seed: seed ^ 0x51DE_CA4E,
+                    ..Default::default()
+                },
+            )
+            .expect("mount");
+        Chaos {
+            seed,
+            cluster,
+            client,
+            files: (0..shape.files).map(|_| FileSlot::new()).collect(),
+            exempt: BTreeSet::new(),
+            crashed_meta: None,
+            crashed_data: None,
+            cuts: Vec::new(),
+            sabotage,
+        }
+    }
+
+    fn run(&mut self, plan: &FaultPlan) {
+        for step in &plan.steps {
+            match *step {
+                ChaosStep::Op(op) => self.do_op(op),
+                ChaosStep::Fault(f) => self.do_fault(f),
+                ChaosStep::Quiesce => self.quiesce(),
+            }
+        }
+    }
+
+    fn node_id(&self, r: NodeRef) -> NodeId {
+        match r {
+            NodeRef::Meta(i) => self.cluster.meta_nodes()[i].id(),
+            NodeRef::Data(i) => self.cluster.data_nodes()[i].id(),
+        }
+    }
+
+    // ----- workload steps ------------------------------------------------
+
+    fn do_op(&mut self, op: WorkloadStep) {
+        match op {
+            WorkloadStep::Create { file } => {
+                if self.files[file].state != FileState::Absent {
+                    return;
+                }
+                let root = self.client.root();
+                let nm = fname(file);
+                match self.client.create(root, &nm) {
+                    Ok(_) => {
+                        self.files[file].handle = self.client.open(root, &nm).ok();
+                        self.files[file].state = FileState::Present;
+                    }
+                    // The create may or may not have committed a dentry
+                    // (the client rolls the inode back on error, §2.6).
+                    Err(_) => self.files[file].state = FileState::UncertainCreate,
+                }
+            }
+            WorkloadStep::Append { file, len, fill } => {
+                let client = &self.client;
+                let slot = &mut self.files[file];
+                if slot.state != FileState::Present || !slot.pending.is_empty() {
+                    return;
+                }
+                let Some(h) = slot.handle.as_mut() else {
+                    return;
+                };
+                let data = pattern_bytes(file, slot.base.len(), len, fill);
+                h.seek(h.size());
+                match client.write(h, &data) {
+                    Ok(_) => slot.base.extend_from_slice(&data),
+                    // The append failed partway; some prefix may have
+                    // committed. Freeze the slot until quiesce.
+                    Err(_) => slot.pending = data,
+                }
+            }
+            WorkloadStep::Read { file } => {
+                let slot = &self.files[file];
+                if slot.state != FileState::Present {
+                    return;
+                }
+                let Some(h) = slot.handle.as_ref() else {
+                    return;
+                };
+                // Errors are tolerated mid-chaos (replicas may be down);
+                // a successful read must still obey invariant (a).
+                if let Ok(r) = self.client.read_at(h, 0, h.size() as usize) {
+                    check_read(
+                        self.seed,
+                        file,
+                        "mid-chaos read",
+                        &r,
+                        &slot.base,
+                        &slot.pending,
+                    );
+                }
+            }
+            WorkloadStep::Truncate { file, keep_num } => {
+                let client = &self.client;
+                let slot = &mut self.files[file];
+                if slot.state != FileState::Present || !slot.pending.is_empty() {
+                    return;
+                }
+                let Some(h) = slot.handle.as_mut() else {
+                    return;
+                };
+                let cut = slot.base.len() * keep_num as usize / 16;
+                // Truncate queues best-effort punches/deletes for the cut
+                // extents; exempt them from strict replica alignment.
+                for k in h.extents() {
+                    if k.file_offset >= cut as u64 {
+                        self.exempt.insert((k.partition_id, k.extent_id));
+                    }
+                }
+                match client.truncate_file(h, cut as u64) {
+                    Ok(()) => slot.base.truncate(cut),
+                    Err(_) => slot.state = FileState::UncertainTrunc { cut },
+                }
+            }
+            WorkloadStep::Unlink { file } => {
+                {
+                    let slot = &self.files[file];
+                    if slot.state != FileState::Present || !slot.pending.is_empty() {
+                        return;
+                    }
+                    if let Some(h) = slot.handle.as_ref() {
+                        for k in h.extents() {
+                            self.exempt.insert((k.partition_id, k.extent_id));
+                        }
+                    }
+                }
+                let root = self.client.root();
+                let nm = fname(file);
+                self.files[file].handle = None;
+                match self.client.unlink(root, &nm) {
+                    Ok(()) => {
+                        self.files[file].state = FileState::Absent;
+                        self.files[file].base.clear();
+                    }
+                    Err(_) => self.files[file].state = FileState::UncertainUnlink,
+                }
+            }
+            WorkloadStep::Fsync { file } => {
+                let client = &self.client;
+                let slot = &mut self.files[file];
+                if slot.state != FileState::Present || !slot.pending.is_empty() {
+                    return;
+                }
+                if let Some(h) = slot.handle.as_mut() {
+                    let _ = client.fsync(h);
+                }
+            }
+        }
+    }
+
+    // ----- fault steps ---------------------------------------------------
+
+    fn do_fault(&mut self, f: FaultStep) {
+        match f {
+            FaultStep::CrashMeta { idx } => {
+                if self.crashed_meta.is_none() {
+                    self.cluster.crash_meta_node(idx).expect("crash meta node");
+                    self.crashed_meta = Some(idx);
+                }
+            }
+            FaultStep::RestartMeta { idx } => {
+                if self.crashed_meta == Some(idx) {
+                    self.cluster.restart_meta_node(idx);
+                    self.crashed_meta = None;
+                }
+            }
+            FaultStep::CrashData { idx } => {
+                if self.crashed_data.is_none() {
+                    self.cluster.crash_data_node(idx).expect("crash data node");
+                    self.crashed_data = Some(idx);
+                }
+            }
+            FaultStep::RestartData { idx } => {
+                if self.crashed_data == Some(idx) {
+                    self.cluster.restart_data_node(idx);
+                    self.crashed_data = None;
+                }
+            }
+            FaultStep::CutLink { from, to } => {
+                let (a, b) = (self.node_id(from), self.node_id(to));
+                if a != b {
+                    self.cluster.faults().set_link_cut(a, b, true);
+                    self.cuts.push((a, b));
+                }
+            }
+            FaultStep::HealLinks => self.heal_cuts(),
+            FaultStep::MasterChurn => {
+                if let Ok(leader) = self.cluster.master_leader() {
+                    let id = leader.id();
+                    self.cluster.faults().set_down(id, true);
+                    self.cluster.settle(900);
+                    self.cluster.faults().set_down(id, false);
+                }
+            }
+            FaultStep::DelayConsensus { defer } => {
+                self.cluster
+                    .hub()
+                    .set_delivery_schedule(Some(Arc::new(DeferOdd { defer })));
+            }
+            FaultStep::DropRpcs { one_in } => {
+                let hook = Arc::new(DropEvery {
+                    one_in: one_in as u64,
+                });
+                self.cluster
+                    .fabrics()
+                    .meta
+                    .set_delivery_hook(Some(hook.clone()));
+                self.cluster.fabrics().data.set_delivery_hook(Some(hook));
+            }
+        }
+    }
+
+    fn heal_cuts(&mut self) {
+        let faults = self.cluster.faults();
+        for (a, b) in self.cuts.drain(..) {
+            faults.set_link_cut(a, b, false);
+        }
+    }
+
+    // ----- quiesce + invariants ------------------------------------------
+
+    fn quiesce(&mut self) {
+        // 1. Lift every fault: restart crashed nodes from their persisted
+        //    images, heal cuts, uninstall delivery faults.
+        if let Some(idx) = self.crashed_meta.take() {
+            self.cluster.restart_meta_node(idx);
+        }
+        if let Some(idx) = self.crashed_data.take() {
+            self.cluster.restart_data_node(idx);
+        }
+        self.heal_cuts();
+        self.cluster.hub().set_delivery_schedule(None);
+        self.cluster.fabrics().meta.set_delivery_hook(None);
+        self.cluster.fabrics().data.set_delivery_hook(None);
+
+        // 2. Let consensus settle: every Raft group re-elects and drains
+        //    deferred traffic.
+        self.cluster.settle(600);
+        self.await_leaders();
+        self.retry("refresh partition table", || {
+            self.client.refresh_partition_table()
+        });
+
+        // 3. §2.7.1 recovery: align every data replica to the primary's
+        //    committed watermark.
+        self.recover_data();
+
+        // 4. Invariant (a): resolve uncertain operations and verify
+        //    read-your-committed-writes on every file.
+        self.resolve_files();
+
+        if self.sabotage {
+            panic!("sabotage: injected invariant violation");
+        }
+
+        // 5. Drain deferred deletions (orphan eviction + extent cleanup) so
+        //    fsck audits a stable state.
+        self.client.process_deletions();
+        self.cluster.process_all_deletes();
+
+        // 6. Invariant (b): meta/data cross-consistency.
+        let report = self.retry("fsck", || self.client.fsck(false));
+        assert_eq!(
+            report.dangling_dentries, 0,
+            "invariant (b): dangling dentries after quiesce (seed {})",
+            self.seed
+        );
+
+        // 7. Invariant (c): replica extent alignment.
+        self.check_replica_alignment();
+
+        // 8. Invariant (d): meta snapshot/replay equivalence.
+        self.check_meta_snapshot_replay();
+    }
+
+    /// Wait until the masters and every meta/data partition have a leader.
+    fn await_leaders(&self) {
+        for _ in 0..50 {
+            if self.cluster.master_leader().is_ok() {
+                break;
+            }
+            self.cluster.settle(200);
+        }
+        self.cluster
+            .master_leader()
+            .expect("resource manager failed to elect a leader at quiesce");
+
+        let hub = self.cluster.hub();
+        let metas = self.cluster.meta_nodes();
+        let mut meta_pids = BTreeSet::new();
+        for m in metas {
+            meta_pids.extend(m.partition_ids());
+        }
+        for pid in meta_pids {
+            let ok = hub.pump_until(|| metas.iter().any(|m| m.is_leader_for(pid)), 20_000);
+            assert!(
+                ok,
+                "meta partition {pid} failed to elect a leader at quiesce"
+            );
+        }
+
+        let datas = self.cluster.data_nodes();
+        let mut data_pids = BTreeSet::new();
+        for d in datas {
+            for (pid, _) in d.hosted_partitions() {
+                data_pids.insert(pid);
+            }
+        }
+        for pid in data_pids {
+            let ok = hub.pump_until(|| datas.iter().any(|d| d.is_raft_leader_for(pid)), 20_000);
+            assert!(
+                ok,
+                "data partition {pid} failed to elect a leader at quiesce"
+            );
+        }
+    }
+
+    fn recover_data(&self) {
+        let mut total = BTreeSet::new();
+        for d in self.cluster.data_nodes() {
+            for (pid, _) in d.hosted_partitions() {
+                total.insert(pid);
+            }
+        }
+        let mut recovered = self.cluster.recover_data_partitions();
+        for _ in 0..4 {
+            if recovered >= total.len() {
+                break;
+            }
+            self.cluster.settle(400);
+            recovered = self.cluster.recover_data_partitions();
+        }
+        assert_eq!(
+            recovered,
+            total.len(),
+            "data partition recovery incomplete at quiesce (seed {})",
+            self.seed
+        );
+    }
+
+    /// Retry a client operation across transient post-heal hiccups; at a
+    /// quiesce point it must eventually succeed.
+    fn retry<T>(&self, what: &str, mut f: impl FnMut() -> cfs::Result<T>) -> T {
+        let mut last: Option<CfsError> = None;
+        for _ in 0..6 {
+            match f() {
+                Ok(v) => return v,
+                Err(e) => {
+                    last = Some(e);
+                    self.cluster.settle(400);
+                }
+            }
+        }
+        panic!("{what} failed after quiesce (seed {}): {last:?}", self.seed)
+    }
+
+    /// Lookup that only distinguishes present/absent; transient errors are
+    /// retried, anything persistent is a harness failure.
+    fn lookup_settled(&self, parent: InodeId, name: &str) -> Option<Dentry> {
+        let mut last: Option<CfsError> = None;
+        for _ in 0..6 {
+            match self.client.lookup(parent, name) {
+                Ok(d) => return Some(d),
+                Err(CfsError::NotFound(_)) => return None,
+                Err(e) => {
+                    last = Some(e);
+                    self.cluster.settle(400);
+                }
+            }
+        }
+        panic!(
+            "lookup {name} kept failing after quiesce (seed {}): {last:?}",
+            self.seed
+        )
+    }
+
+    fn resolve_files(&mut self) {
+        let root = self.client.root();
+        for idx in 0..self.files.len() {
+            let nm = fname(idx);
+            let mut slot = std::mem::replace(&mut self.files[idx], FileSlot::new());
+            match slot.state {
+                FileState::Absent => {}
+                FileState::UncertainCreate => {
+                    // The cluster has settled, so the questionable dentry
+                    // either committed or never will.
+                    if self.lookup_settled(root, &nm).is_some() {
+                        // The dentry committed even though the client saw an
+                        // error and rolled the inode back (nlink 0,
+                        // orphan-listed). Remove it — a dentry the model
+                        // considers absent must not linger, or fsck would
+                        // flag it dangling once the orphan is reclaimed.
+                        let _ = self.client.unlink(root, &nm);
+                        if self.lookup_settled(root, &nm).is_some() {
+                            self.retry("cleanup unlink", || self.client.unlink(root, &nm));
+                            assert!(
+                                self.lookup_settled(root, &nm).is_none(),
+                                "uncertain create left an unremovable dentry (seed {})",
+                                self.seed
+                            );
+                        }
+                    }
+                    slot = FileSlot::new();
+                }
+                FileState::UncertainUnlink => {
+                    match self.lookup_settled(root, &nm) {
+                        // The dentry delete committed; the inode is an
+                        // orphan awaiting reclamation (checked via fsck).
+                        None => slot = FileSlot::new(),
+                        // The unlink never took effect: the file must be
+                        // fully intact.
+                        Some(_) => {
+                            let mut h = self.retry("reopen", || self.client.open(root, &nm));
+                            self.retry("fsync", || self.client.fsync(&mut h));
+                            let r = self
+                                .retry("read", || self.client.read_at(&h, 0, h.size() as usize));
+                            check_read(self.seed, idx, "unlink rollback", &r, &slot.base, &[]);
+                            slot.base = r;
+                            slot.handle = Some(h);
+                            slot.state = FileState::Present;
+                        }
+                    }
+                }
+                FileState::UncertainTrunc { cut } => {
+                    // A truncate is atomic in the meta partition: after
+                    // settling, the file has either the old or the new size.
+                    let mut h = self.retry("reopen", || self.client.open(root, &nm));
+                    self.retry("fsync", || self.client.fsync(&mut h));
+                    let r = self.retry("read", || self.client.read_at(&h, 0, h.size() as usize));
+                    if r != slot.base && r != slot.base[..cut.min(slot.base.len())] {
+                        panic!(
+                            "invariant (a) violated (truncate, file {idx}, seed {}): \
+                             {} bytes read, expected the pre-image ({}) or the \
+                             truncated image ({cut})",
+                            self.seed,
+                            r.len(),
+                            slot.base.len()
+                        );
+                    }
+                    slot.base = r;
+                    slot.handle = Some(h);
+                    slot.state = FileState::Present;
+                }
+                FileState::Present => {
+                    // Keep the existing handle when we have one: fsync must
+                    // flush any extent keys a failed append left pending.
+                    let mut h = match slot.handle.take() {
+                        Some(h) => h,
+                        None => self.retry("reopen", || self.client.open(root, &nm)),
+                    };
+                    self.retry("fsync", || self.client.fsync(&mut h));
+                    let r = self.retry("read", || self.client.read_at(&h, 0, h.size() as usize));
+                    check_read(self.seed, idx, "quiesce", &r, &slot.base, &slot.pending);
+                    slot.base = r;
+                    slot.pending.clear();
+                    slot.handle = Some(h);
+                }
+            }
+            self.files[idx] = slot;
+        }
+    }
+
+    fn check_replica_alignment(&self) {
+        let datas = self.cluster.data_nodes();
+        let by_id = |id: NodeId| {
+            datas
+                .iter()
+                .find(|d| d.id() == id)
+                .unwrap_or_else(|| panic!("no data node {id}"))
+        };
+        let mut seen = BTreeSet::new();
+        for node in datas {
+            for (pid, members) in node.hosted_partitions() {
+                if !seen.insert(pid) {
+                    continue;
+                }
+                let leader = by_id(members[0]);
+                let manifest = leader
+                    .extent_manifest(pid)
+                    .expect("primary hosts the partition");
+                for info in &manifest {
+                    if self.exempt.contains(&(pid, info.extent)) {
+                        continue;
+                    }
+                    assert_eq!(
+                        info.size, info.committed,
+                        "invariant (c): {pid}/{:?} primary length vs committed watermark \
+                         after recovery (seed {})",
+                        info.extent, self.seed
+                    );
+                    for &peer in &members[1..] {
+                        let pm = by_id(peer)
+                            .extent_manifest(pid)
+                            .expect("replica hosts the partition");
+                        let Some(pe) = pm.iter().find(|e| e.extent == info.extent) else {
+                            // Replicas materialize an extent on its first
+                            // replicated append, so an extent nothing was
+                            // committed to may exist on the primary alone.
+                            assert_eq!(
+                                info.committed, 0,
+                                "invariant (c): {pid}/{:?} has committed bytes but is \
+                                 missing on replica {peer} (seed {})",
+                                info.extent, self.seed
+                            );
+                            continue;
+                        };
+                        assert_eq!(
+                            pe.size, info.committed,
+                            "invariant (c): {pid}/{:?} length on replica {peer} (seed {})",
+                            info.extent, self.seed
+                        );
+                        assert_eq!(
+                            pe.crc, info.crc,
+                            "invariant (c): {pid}/{:?} crc on replica {peer} (seed {})",
+                            info.extent, self.seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_meta_snapshot_replay(&self) {
+        let metas = self.cluster.meta_nodes();
+        let hub = self.cluster.hub();
+        let mut pids = BTreeSet::new();
+        for m in metas {
+            pids.extend(m.partition_ids());
+        }
+        for pid in pids {
+            let hosts: Vec<_> = metas
+                .iter()
+                .filter(|m| m.partition_ids().contains(&pid))
+                .collect();
+            // Every replica must finish applying the same committed log.
+            let ok = hub.pump_until(
+                || {
+                    let idx: Vec<_> = hosts.iter().filter_map(|m| m.raft_indices(pid)).collect();
+                    idx.len() == hosts.len()
+                        && idx.iter().all(|&(commit, applied, _)| commit == applied)
+                        && idx.windows(2).all(|w| w[0].0 == w[1].0)
+                },
+                30_000,
+            );
+            assert!(
+                ok,
+                "invariant (d): {pid} replicas failed to converge (seed {})",
+                self.seed
+            );
+            let snaps: Vec<Vec<u8>> = hosts
+                .iter()
+                .map(|m| {
+                    m.partition_snapshot(pid)
+                        .expect("snapshot of hosted partition")
+                })
+                .collect();
+            for (i, s) in snaps.iter().enumerate().skip(1) {
+                if s != &snaps[0] {
+                    let a = MetaPartition::from_snapshot(pid, &snaps[0]).unwrap();
+                    let b = MetaPartition::from_snapshot(pid, s).unwrap();
+                    eprintln!("max_inode: {:?} vs {:?}", a.max_inode(), b.max_inode());
+                    eprintln!("free: {:?} vs {:?}", a.free_list(), b.free_list());
+                    eprintln!(
+                        "inodes: {} vs {}",
+                        a.all_inodes().len(),
+                        b.all_inodes().len()
+                    );
+                    for (x, y) in a.all_inodes().iter().zip(b.all_inodes().iter()) {
+                        if x != y {
+                            eprintln!("inode diff:\n  {x:?}\n  {y:?}");
+                        }
+                    }
+                    eprintln!(
+                        "dentries: {} vs {}",
+                        a.all_dentries().len(),
+                        b.all_dentries().len()
+                    );
+                    for (x, y) in a.all_dentries().iter().zip(b.all_dentries().iter()) {
+                        if x != y {
+                            eprintln!("dentry diff:\n  {x:?}\n  {y:?}");
+                        }
+                    }
+                    panic!(
+                        "invariant (d): replica {i} of {pid} diverges (seed {})",
+                        self.seed
+                    );
+                }
+            }
+            // Replaying the snapshot must reproduce the state exactly.
+            let restored =
+                MetaPartition::from_snapshot(pid, &snaps[0]).expect("snapshot must decode");
+            assert_eq!(
+                restored.snapshot_bytes(),
+                snaps[0],
+                "invariant (d): snapshot round-trip for {pid} (seed {})",
+                self.seed
+            );
+        }
+    }
+}
+
+// ----- runners -----------------------------------------------------------
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn run_seed_inner(seed: u64, sabotage: bool) {
+    let shape = ClusterShape::default();
+    let plan = FaultPlan::generate(seed, shape, PLAN_LEN);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut chaos = Chaos::new(seed, shape, sabotage);
+        chaos.run(&plan);
+    }));
+    if let Err(payload) = result {
+        // The one-line repro: re-running with this seed regenerates the
+        // exact schedule (FaultPlan is a pure function of the seed).
+        panic!(
+            "CHAOS_SEED={seed} failed — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos chaos_replay_env_seed`: {}",
+            panic_message(payload.as_ref())
+        );
+    }
+}
+
+fn run_seed(seed: u64) {
+    run_seed_inner(seed, false)
+}
+
+fn run_batch(range: std::ops::Range<u64>) {
+    // When replaying one seed, skip the batches so the documented replay
+    // command stays fast.
+    if std::env::var("CHAOS_SEED").is_ok() {
+        return;
+    }
+    for seed in range {
+        run_seed(seed);
+    }
+}
+
+#[test]
+fn chaos_seeds_batch_0() {
+    run_batch(0..13);
+}
+
+#[test]
+fn chaos_seeds_batch_1() {
+    run_batch(13..26);
+}
+
+#[test]
+fn chaos_seeds_batch_2() {
+    run_batch(26..39);
+}
+
+#[test]
+fn chaos_seeds_batch_3() {
+    run_batch(39..52);
+}
+
+/// Replays exactly one schedule: `CHAOS_SEED=17 cargo test -q --test chaos
+/// chaos_replay_env_seed`. A no-op without the environment variable.
+#[test]
+fn chaos_replay_env_seed() {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        run_seed(s.parse().expect("CHAOS_SEED must be a u64"));
+    }
+}
+
+/// Wider sweep for nightly CI: `CHAOS_SEEDS=N` runs N extra seeds beyond
+/// the tier-1 batches. A no-op without the environment variable.
+#[test]
+fn chaos_extended_seeds() {
+    if let Ok(n) = std::env::var("CHAOS_SEEDS") {
+        let n: u64 = n.parse().expect("CHAOS_SEEDS must be a u64");
+        for seed in 0..n {
+            run_seed(1_000 + seed);
+        }
+    }
+}
+
+/// A forced failure must print the `CHAOS_SEED=…` repro line, and the
+/// printed seed must regenerate the exact schedule that failed.
+#[test]
+fn failing_seed_prints_replayable_repro() {
+    const SEED: u64 = 7;
+    let err = panic::catch_unwind(|| run_seed_inner(SEED, true)).expect_err("sabotaged run fails");
+    let msg = panic_message(err.as_ref());
+    assert!(
+        msg.contains(&format!("CHAOS_SEED={SEED}")),
+        "repro line missing from: {msg}"
+    );
+    let parsed: u64 = msg
+        .split("CHAOS_SEED=")
+        .nth(1)
+        .unwrap()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert_eq!(
+        FaultPlan::generate(parsed, ClusterShape::default(), PLAN_LEN),
+        FaultPlan::generate(SEED, ClusterShape::default(), PLAN_LEN),
+        "printed seed must regenerate the exact failing schedule"
+    );
+}

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use cfs::{CfsError, ClusterBuilder, FileType};
+use cfs::{CfsError, ClusterBuilder, ClusterConfig, FileType};
 
 #[derive(Debug, Clone)]
 enum FsOp {
@@ -40,6 +40,30 @@ enum ModelNode {
     Missing,
     File(Vec<u8>),
     Dir,
+}
+
+/// Ops for the punch-hole interleaving property: small files pack into
+/// shared extents, so deleting one queues a punch over its range while its
+/// neighbors stay live.
+#[derive(Debug, Clone)]
+enum PunchOp {
+    Create(u8, u16),
+    Append(u8, u16),
+    Unlink(u8),
+    /// Drain orphan eviction + queued punches/deletes, then audit every
+    /// live file.
+    Punch,
+}
+
+fn punch_op_strategy() -> impl Strategy<Value = PunchOp> {
+    prop_oneof![
+        // Lengths straddle the small-file threshold (1024): most bodies
+        // pack into shared extents, some take the dedicated-extent path.
+        3 => (any::<u8>(), 1u16..1400).prop_map(|(k, n)| PunchOp::Create(k, n)),
+        2 => (any::<u8>(), 1u16..700).prop_map(|(k, n)| PunchOp::Append(k, n)),
+        3 => any::<u8>().prop_map(PunchOp::Unlink),
+        2 => Just(PunchOp::Punch),
+    ]
 }
 
 proptest! {
@@ -201,6 +225,79 @@ proptest! {
                     prop_assert_eq!(&got, content);
                 }
             }
+        }
+    }
+
+    /// Punch-hole cleanup vs. live neighbors: unlinking a packed small
+    /// file frees its range inside a shared extent (§2.3.2). Interleaving
+    /// those deletions with appends must never corrupt a surviving file —
+    /// every read serves exactly the bytes written, and no freed (zeroed
+    /// or reused) range ever leaks into live content.
+    #[test]
+    fn punch_hole_deletes_never_leak_into_live_files(
+        ops in proptest::collection::vec(punch_op_strategy(), 1..50)
+    ) {
+        let config = ClusterConfig {
+            small_file_threshold: 1024,
+            packet_size: 1024,
+            ..Default::default()
+        };
+        let cluster = ClusterBuilder::new().config(config).build().unwrap();
+        cluster.create_volume("punch", 1, 2).unwrap();
+        let client = cluster.mount("punch").unwrap();
+        let root = client.root();
+
+        // Live files only; unlinked ones leave queued punches behind.
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        let name_of = |k: u8| format!("s{:02x}", k % 24); // collide on purpose
+
+        for op in &ops {
+            match op {
+                PunchOp::Create(k, n) => {
+                    let name = name_of(*k);
+                    if model.contains_key(&name) {
+                        continue;
+                    }
+                    client.create(root, &name).unwrap();
+                    let mut fh = client.open(root, &name).unwrap();
+                    let data: Vec<u8> =
+                        (0..*n).map(|i| (*k).wrapping_add(i as u8) | 1).collect();
+                    client.write(&mut fh, &data).unwrap();
+                    client.fsync(&mut fh).unwrap();
+                    model.insert(name, data);
+                }
+                PunchOp::Append(k, n) => {
+                    let name = name_of(*k);
+                    let Some(content) = model.get_mut(&name) else { continue };
+                    let mut fh = client.open(root, &name).unwrap();
+                    fh.seek(fh.size());
+                    let data: Vec<u8> = (0..*n).map(|i| (*k ^ i as u8) | 1).collect();
+                    client.write(&mut fh, &data).unwrap();
+                    content.extend_from_slice(&data);
+                }
+                PunchOp::Unlink(k) => {
+                    let name = name_of(*k);
+                    if model.remove(&name).is_some() {
+                        client.unlink(root, &name).unwrap();
+                    }
+                }
+                PunchOp::Punch => {
+                    client.process_deletions();
+                    for (name, content) in &model {
+                        let fh = client.open(root, name).unwrap();
+                        let got = client.read_at(&fh, 0, content.len() + 64).unwrap();
+                        prop_assert_eq!(&got, content, "{} corrupted by punch", name);
+                    }
+                }
+            }
+        }
+
+        // Final audit after draining every queued punch/delete.
+        client.process_deletions();
+        for (name, content) in &model {
+            let fh = client.open(root, name).unwrap();
+            let got = client.read_at(&fh, 0, content.len() + 64).unwrap();
+            prop_assert_eq!(&got, content, "{} corrupted after final drain", name);
         }
     }
 }
