@@ -6,7 +6,11 @@
 //! pipelined sender hides. Streams a large sequential append at pipeline
 //! depths 1 (fully synchronous baseline), 4 (default) and 8, crossed with
 //! meta-sync cadences, reporting throughput, blocking round-trip waits
-//! per packet, and meta round trips.
+//! per packet, and meta round trips. Besides the human-readable table,
+//! the bench writes a JSON record with one full [`MetricsSnapshot`] per
+//! run (diffed over the measured section) to `BENCH_JSON_PATH` (default
+//! `target/ablation_pipeline.json`) for regression tracking and CI
+//! artifact upload.
 //!
 //! Note the structural ceiling: chain forwarding stays ordered per
 //! partition (leader order, §2.7.1), so only the client→leader leg and
@@ -18,7 +22,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use cfs::{ClientOptions, ClusterBuilder};
+use cfs::{ClientOptions, ClusterBuilder, MetricsSnapshot};
 
 struct Run {
     depth: u32,
@@ -27,6 +31,26 @@ struct Run {
     waits: u64,
     packets: u64,
     meta_syncs: u64,
+    /// Registry diff over the measured section only: what this
+    /// configuration actually cost, per subsystem, per route.
+    metrics: MetricsSnapshot,
+}
+
+impl Run {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"depth\":{},\"meta_sync_every\":{},\"mib_s\":{:.3},\
+             \"window_waits\":{},\"packets_sent\":{},\"meta_syncs\":{},\
+             \"metrics_snapshot\":{}}}",
+            self.depth,
+            self.meta_every,
+            self.mib_s,
+            self.waits,
+            self.packets,
+            self.meta_syncs,
+            self.metrics.to_json()
+        )
+    }
 }
 
 fn run(depth: u32, meta_every: u32, total: usize, calls: usize) -> Run {
@@ -50,12 +74,14 @@ fn run(depth: u32, meta_every: u32, total: usize, calls: usize) -> Run {
     cluster.set_data_latency(Duration::from_millis(1));
     let per_call = total / calls;
     let body = Bytes::from(vec![0xABu8; per_call]);
+    let before = cluster.metrics_snapshot();
     let t0 = std::time::Instant::now();
     for _ in 0..calls {
         client.write_bytes(&mut fh, body.clone()).unwrap();
     }
     client.close(&mut fh).unwrap();
     let elapsed = t0.elapsed();
+    let metrics = cluster.metrics_snapshot().diff(&before);
 
     let s = client.data_path_stats();
     Run {
@@ -65,6 +91,7 @@ fn run(depth: u32, meta_every: u32, total: usize, calls: usize) -> Run {
         waits: s.window_waits,
         packets: s.packets_sent,
         meta_syncs: s.meta_syncs,
+        metrics,
     }
 }
 
@@ -77,6 +104,7 @@ fn main() {
     println!("depth  sync-every   MiB/s   waits/packet   meta round trips");
     let mut base = 0.0;
     let mut best = 0.0;
+    let mut runs = Vec::new();
     for (depth, meta_every) in [(1, 1), (4, 1), (4, 32), (8, 32)] {
         let r = run(depth, meta_every, total, calls);
         if depth == 1 {
@@ -97,6 +125,35 @@ fn main() {
                 "depth {depth} must block fewer times than packets sent"
             );
         }
+        // The always-on registry and the legacy per-client counters are
+        // the same numbers seen two ways; if they drift, instrumentation
+        // itself has a bug.
+        assert_eq!(r.metrics.counter("client.packets_sent"), r.packets);
+        assert_eq!(r.metrics.counter("client.meta_syncs"), r.meta_syncs);
+        runs.push(r);
+    }
+
+    // Machine-readable record with the full per-run MetricsSnapshot, for
+    // regression tracking and CI artifact upload. Metrics stay on during
+    // the measured section — the relaxed-atomic counters are the cost.
+    let json = format!(
+        "{{\"bench\":\"ablation_pipeline\",\"total_bytes\":{total},\"write_calls\":{calls},\
+         \"baseline_mib_s\":{base:.3},\"best_mib_s\":{best:.3},\"runs\":[{}]}}",
+        runs.iter().map(Run::to_json).collect::<Vec<_>>().join(",")
+    );
+    let json_path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/ablation_pipeline.json"
+        )
+        .to_string()
+    });
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nmetrics JSON written to {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}; emitting to stdout\n{json}"),
     }
     assert!(
         best > base,

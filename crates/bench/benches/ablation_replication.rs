@@ -83,6 +83,7 @@ fn main() {
                 data: Bytes::from(payload.clone()),
                 crc: crc32(&payload),
                 replicas: members.clone(),
+                request_id: 0,
             },
         )
         .unwrap()

@@ -11,6 +11,7 @@ use cfs_data::{DataRequest, DataResponse};
 use cfs_master::{DataPartitionMeta, MasterRequest, MasterResponse, MetaPartitionMeta};
 use cfs_meta::{MetaCommand, MetaRead, MetaRequest, MetaResponse, MetaValue};
 use cfs_net::Network;
+use cfs_obs::{Counter, Gauge, Registry, RequestId, Span};
 use cfs_types::{
     CfsError, ClusterConfig, Dentry, Inode, InodeId, NodeId, PartitionId, Result, VolumeId,
 };
@@ -29,6 +30,11 @@ pub struct ClientOptions {
     /// Packets between extent-key syncs to the meta node (always synced on
     /// fsync/close). 0 inherits the cluster config.
     pub meta_sync_every: u32,
+    /// Shared metrics registry. When set, the client's data-path counters
+    /// get `client.*` names in it, ops allocate causal request ids that
+    /// ride in `Append` packet headers, and client-side spans are recorded
+    /// against its tracer. When unset everything still counts, detached.
+    pub registry: Option<Registry>,
 }
 
 impl Default for ClientOptions {
@@ -38,23 +44,111 @@ impl Default for ClientOptions {
             seed: 0xC0FFEE,
             pipeline_depth: 0,
             meta_sync_every: 0,
+            registry: None,
+        }
+    }
+}
+
+/// A per-client counter that also mirrors into a registry-named
+/// `client.*` counter when the client was mounted with one. The local
+/// handle keeps [`Client::data_path_stats`] strictly per-client even
+/// though the cluster registry is shared by every mount.
+#[derive(Debug, Default)]
+pub(crate) struct CounterPair {
+    local: Counter,
+    shared: Option<Counter>,
+}
+
+impl CounterPair {
+    fn shared(counter: Counter) -> CounterPair {
+        CounterPair {
+            local: Counter::default(),
+            shared: Some(counter),
+        }
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.local.add(n);
+        if let Some(s) = &self.shared {
+            s.add(n);
+        }
+    }
+
+    /// This client's count (never another mount's traffic).
+    pub fn get(&self) -> u64 {
+        self.local.get()
+    }
+}
+
+/// [`CounterPair`]'s gauge counterpart.
+#[derive(Debug, Default)]
+pub(crate) struct GaugePair {
+    local: Gauge,
+    shared: Option<Gauge>,
+}
+
+impl GaugePair {
+    fn shared(gauge: Gauge) -> GaugePair {
+        GaugePair {
+            local: Gauge::default(),
+            shared: Some(gauge),
+        }
+    }
+
+    pub fn add(&self, n: i64) {
+        self.local.add(n);
+        if let Some(s) = &self.shared {
+            s.add(n);
+        }
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.local.sub(n);
+        if let Some(s) = &self.shared {
+            s.sub(n);
         }
     }
 }
 
 /// Data-path instrumentation: how the client's pipelining behaves, exposed
-/// so tests and benches can assert on blocking-wait counts.
+/// so tests and benches can assert on blocking-wait counts. Counts are
+/// per-client; a client mounted with a registry additionally mirrors them
+/// into the shared `client.*` metrics (see [`ClientOptions::registry`]).
 #[derive(Debug, Default)]
 pub(crate) struct DataPathStats {
     /// Append packets handed to the fabric (including failed sends).
-    pub packets_sent: AtomicU64,
+    pub packets_sent: CounterPair,
     /// Blocking round-trip waits on the append path: one per window (a
     /// window of depth 1 degenerates to one wait per packet).
-    pub window_waits: AtomicU64,
+    pub window_waits: CounterPair,
     /// Extent-key syncs issued to the meta node.
-    pub meta_syncs: AtomicU64,
+    pub meta_syncs: CounterPair,
     /// `read_at` calls that fanned out over more than one extent.
-    pub parallel_read_fanouts: AtomicU64,
+    pub parallel_read_fanouts: CounterPair,
+    /// Small-file writes taken on the aggregated-extent fast path.
+    pub small_writes: CounterPair,
+    /// Append packets currently in flight; the high-water mark is the
+    /// budget tests' proof that the window never exceeds `pipeline_depth`.
+    pub inflight_packets: GaugePair,
+}
+
+impl DataPathStats {
+    fn bind(registry: &Registry) -> DataPathStats {
+        DataPathStats {
+            packets_sent: CounterPair::shared(registry.counter("client.packets_sent")),
+            window_waits: CounterPair::shared(registry.counter("client.window_waits")),
+            meta_syncs: CounterPair::shared(registry.counter("client.meta_syncs")),
+            parallel_read_fanouts: CounterPair::shared(
+                registry.counter("client.parallel_read_fanouts"),
+            ),
+            small_writes: CounterPair::shared(registry.counter("client.small_writes")),
+            inflight_packets: GaugePair::shared(registry.gauge("client.inflight_packets")),
+        }
+    }
 }
 
 /// Point-in-time copy of [`Client::data_path_stats`].
@@ -117,6 +211,11 @@ impl Client {
         options: ClientOptions,
     ) -> Result<Self> {
         let seed = options.seed ^ id.raw();
+        let stats = options
+            .registry
+            .as_ref()
+            .map(DataPathStats::bind)
+            .unwrap_or_default();
         let client = Client {
             id,
             volume: VolumeId(0), // filled below
@@ -135,7 +234,7 @@ impl Client {
                 master_leader: None,
                 rng: SmallRng::seed_from_u64(seed),
             }),
-            stats: DataPathStats::default(),
+            stats,
             clock: AtomicU64::new(1),
         };
         let volume = client.fetch_volume(volume_name)?;
@@ -184,11 +283,29 @@ impl Client {
     /// Data-path pipelining counters for this client.
     pub fn data_path_stats(&self) -> DataPathSnapshot {
         DataPathSnapshot {
-            packets_sent: self.stats.packets_sent.load(Ordering::Relaxed),
-            window_waits: self.stats.window_waits.load(Ordering::Relaxed),
-            meta_syncs: self.stats.meta_syncs.load(Ordering::Relaxed),
-            parallel_read_fanouts: self.stats.parallel_read_fanouts.load(Ordering::Relaxed),
+            packets_sent: self.stats.packets_sent.get(),
+            window_waits: self.stats.window_waits.get(),
+            meta_syncs: self.stats.meta_syncs.get(),
+            parallel_read_fanouts: self.stats.parallel_read_fanouts.get(),
         }
+    }
+
+    /// A fresh causal request id for one client op, or the untraced
+    /// sentinel when no registry was supplied at mount.
+    pub(crate) fn next_request_id(&self) -> RequestId {
+        self.options
+            .registry
+            .as_ref()
+            .map(|r| r.next_request_id())
+            .unwrap_or(RequestId::NONE)
+    }
+
+    /// Open a `client.{op}` span for a traced op (no-op without a
+    /// registry).
+    pub(crate) fn op_span(&self, rid: RequestId, op: &'static str) -> Option<Span> {
+        let registry = self.options.registry.as_ref()?;
+        rid.is_traced()
+            .then(|| registry.tracer().span(rid, "client", op))
     }
 
     // ------------------------------------------------------------------

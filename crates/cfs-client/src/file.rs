@@ -1,7 +1,5 @@
 //! Handle-based file I/O: the §2.7 read/write paths.
 
-use std::sync::atomic::Ordering;
-
 use bytes::Bytes;
 
 use cfs_data::{DataRequest, DataResponse};
@@ -88,6 +86,8 @@ impl Client {
     // ------------------------------------------------------------------
 
     /// Send one append packet to the PB leader (replicas[0], §2.7.1).
+    /// `request_id` is the op's causal id (0 = untraced), carried in the
+    /// packet header so the chain's spans correlate with the client op.
     fn send_append(
         &self,
         partition: PartitionId,
@@ -95,6 +95,7 @@ impl Client {
         offset: u64,
         data: Bytes,
         replicas: &[NodeId],
+        request_id: u64,
     ) -> Result<u64> {
         let crc = crc32(&data);
         let req = DataRequest::Append {
@@ -104,8 +105,12 @@ impl Client {
             data,
             crc,
             replicas: replicas.to_vec(),
+            request_id,
         };
-        match self.fabrics.data.call(self.id, replicas[0], req)?? {
+        self.stats.inflight_packets.add(1);
+        let sent = self.fabrics.data.call(self.id, replicas[0], req);
+        self.stats.inflight_packets.sub(1);
+        match sent?? {
             DataResponse::Watermark(w) => Ok(w),
             _ => Err(CfsError::Internal("bad Append reply".into())),
         }
@@ -203,6 +208,8 @@ impl Client {
             return self.write_small_file(f, data);
         }
 
+        let rid = self.next_request_id();
+        let _span = self.op_span(rid, "append");
         let packet = self.config.packet_size as usize;
         let depth = self.pipeline_depth();
         let mut written = 0usize;
@@ -261,13 +268,11 @@ impl Client {
             // Stream the whole window, then block once for its acks: with
             // depth > 1 this is strictly fewer blocking round-trip waits
             // than packets sent.
-            self.stats
-                .packets_sent
-                .fetch_add(window.len() as u64, Ordering::Relaxed);
-            self.stats.window_waits.fetch_add(1, Ordering::Relaxed);
+            self.stats.packets_sent.add(window.len() as u64);
+            self.stats.window_waits.inc();
             let results: Vec<Result<u64>> = if window.len() == 1 {
                 let (off, piece) = &window[0];
-                vec![self.send_append(partition, extent, *off, piece.clone(), &replicas)]
+                vec![self.send_append(partition, extent, *off, piece.clone(), &replicas, rid.0)]
             } else {
                 std::thread::scope(|s| {
                     let handles: Vec<_> = window
@@ -275,7 +280,7 @@ impl Client {
                         .map(|(off, piece)| {
                             let (off, piece, replicas) = (*off, piece.clone(), &replicas);
                             s.spawn(move || {
-                                self.send_append(partition, extent, off, piece, replicas)
+                                self.send_append(partition, extent, off, piece, replicas, rid.0)
                             })
                         })
                         .collect();
@@ -408,6 +413,9 @@ impl Client {
     /// Small-file write (§2.2.3): one RPC to the PB leader, which packs
     /// the bytes into a shared extent; no extent allocation round-trip.
     fn write_small_file(&self, f: &mut FileHandle, data: Bytes) -> Result<()> {
+        let rid = self.next_request_id();
+        let _span = self.op_span(rid, "write_small");
+        self.stats.small_writes.inc();
         let mut avoided: Vec<PartitionId> = Vec::new();
         for _ in 0..=self.options.max_retries {
             let (partition, replicas) = self.random_data_partition(&avoided)?;
@@ -455,7 +463,7 @@ impl Client {
     /// (§2.7.1 step 8, or the fsync path).
     fn sync_extents(&self, ino: InodeId, keys: &[ExtentKey], new_size: u64) -> Result<()> {
         let (partition, members) = self.meta_partition_of(ino)?;
-        self.stats.meta_syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.meta_syncs.inc();
         let updated = self
             .meta_write(
                 partition,
@@ -568,9 +576,9 @@ impl Client {
             return Ok(out);
         }
 
-        self.stats
-            .parallel_read_fanouts
-            .fetch_add(1, Ordering::Relaxed);
+        self.stats.parallel_read_fanouts.inc();
+        let rid = self.next_request_id();
+        let _span = self.op_span(rid, "read_fanout");
         for batch in segments.chunks(self.pipeline_depth()) {
             let results: Vec<(usize, Result<Vec<u8>>)> = std::thread::scope(|s| {
                 let handles: Vec<_> = batch

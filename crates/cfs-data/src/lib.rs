@@ -24,9 +24,11 @@
 //! (§2.2.3, §2.7.3).
 
 mod command;
+mod metrics;
 mod node;
 mod replica;
 
 pub use command::DataCommand;
+pub use metrics::{DataLatency, DataMetrics};
 pub use node::{DataNode, DataNodePersist, DataRequest, DataResponse, ExtentInfo};
 pub use replica::{DataPartitionReplica, PartitionStats};

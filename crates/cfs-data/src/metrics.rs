@@ -1,0 +1,66 @@
+//! Data-plane metrics: chain replication, gap waits, raft overwrites.
+
+use cfs_obs::{Counter, Histogram, Registry};
+
+/// Registry-backed data-node counters (cloning shares the atomics, so one
+/// instance serves every partition a node hosts).
+#[derive(Debug, Clone, Default)]
+pub struct DataMetrics {
+    /// Appends served at the chain head (client-facing).
+    pub appends_served: Counter,
+    /// Small-file writes packed at the PB leader.
+    pub small_writes_served: Counter,
+    /// Local chain applies (head and followers).
+    pub chain_applies: Counter,
+    /// Downstream forwards actually sent (a chain hop existed).
+    pub chain_forwards: Counter,
+    /// Head-of-chain waits for a predecessor packet to fill an offset gap.
+    pub gap_wait_stalls: Counter,
+    /// Raft-replicated overwrites applied to the local store.
+    pub overwrites_applied: Counter,
+    /// PB-leader recovery passes run (§2.2.5 step 1).
+    pub recoveries: Counter,
+    /// Individual repairs (truncations + re-ships) those passes made.
+    pub recovery_repairs: Counter,
+}
+
+/// Wait-time histogram, separate so `DataMetrics` stays `Copy`-cheap to
+/// thread around.
+#[derive(Debug, Clone, Default)]
+pub struct DataLatency {
+    /// Nanoseconds spent blocked on chain offset gaps.
+    pub gap_wait_ns: Histogram,
+}
+
+impl DataMetrics {
+    /// Metrics counted into private atomics (no registry attached).
+    pub fn detached() -> DataMetrics {
+        DataMetrics::default()
+    }
+
+    /// Metrics registered under `data.*` names.
+    pub fn bind(registry: &Registry) -> DataMetrics {
+        DataMetrics {
+            appends_served: registry.counter("data.appends_served"),
+            small_writes_served: registry.counter("data.small_writes_served"),
+            chain_applies: registry.counter("data.chain_applies"),
+            chain_forwards: registry.counter("data.chain_forwards"),
+            gap_wait_stalls: registry.counter("data.gap_wait_stalls"),
+            overwrites_applied: registry.counter("data.overwrites_applied"),
+            recoveries: registry.counter("data.recoveries"),
+            recovery_repairs: registry.counter("data.recovery_repairs"),
+        }
+    }
+}
+
+impl DataLatency {
+    pub fn detached() -> DataLatency {
+        DataLatency::default()
+    }
+
+    pub fn bind(registry: &Registry) -> DataLatency {
+        DataLatency {
+            gap_wait_ns: registry.histogram("data.gap_wait_ns"),
+        }
+    }
+}

@@ -9,14 +9,16 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
 use cfs_net::Network;
+use cfs_obs::{Registry, RequestId, RpcRoute, Span};
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, WireEnvelope};
-use cfs_store::SmallFileLocation;
+use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, WireEnvelope};
+use cfs_store::{SmallFileLocation, StoreMetrics};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::crc::crc32;
 use cfs_types::{CfsError, ExtentId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
 
 use crate::command::DataCommand;
+use crate::metrics::{DataLatency, DataMetrics};
 use crate::replica::{DataPartitionReplica, PartitionStats};
 
 /// Size/CRC/watermark facts about one extent on one replica.
@@ -58,6 +60,10 @@ pub enum DataRequest {
         data: Bytes,
         crc: u32,
         replicas: Vec<NodeId>,
+        /// Causal request id for cross-stack tracing (0 = untraced).
+        /// Propagated down the chain so one client op can be followed
+        /// client → net → every chain hop.
+        request_id: u64,
     },
     /// Small-file write: the PB leader packs it into the shared extent and
     /// chain-replicates the placement (§2.2.3).
@@ -119,6 +125,35 @@ pub enum DataRequest {
     Report,
 }
 
+impl RpcRoute for DataRequest {
+    fn route(&self) -> &'static str {
+        match self {
+            DataRequest::CreatePartition { .. } => "data.create_partition",
+            DataRequest::CreateExtent { .. } => "data.create_extent",
+            DataRequest::CreateExtentAt { .. } => "data.create_extent_at",
+            DataRequest::Append { .. } => "data.append",
+            DataRequest::WriteSmall { .. } => "data.write_small",
+            DataRequest::Overwrite { .. } => "data.overwrite",
+            DataRequest::Read { .. } => "data.read",
+            DataRequest::ExtentInfo { .. } => "data.extent_info",
+            DataRequest::QueueDeleteExtent { .. } => "data.queue_delete_extent",
+            DataRequest::QueuePunch { .. } => "data.queue_punch",
+            DataRequest::ProcessDeletes { .. } => "data.process_deletes",
+            DataRequest::SetReadOnly { .. } => "data.set_read_only",
+            DataRequest::TruncateExtent { .. } => "data.truncate_extent",
+            DataRequest::Recover { .. } => "data.recover",
+            DataRequest::Report => "data.report",
+        }
+    }
+
+    fn request_id(&self) -> u64 {
+        match self {
+            DataRequest::Append { request_id, .. } => *request_id,
+            _ => 0,
+        }
+    }
+}
+
 /// Replies to [`DataRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum DataResponse {
@@ -158,6 +193,13 @@ pub struct DataNode {
     chain_order: Mutex<HashMap<PartitionId, Arc<ChainState>>>,
     raft: Mutex<RaftState>,
     commit_timeout_ticks: u64,
+    /// Bound when the node was created `with_registry`; used for trace
+    /// spans of traced requests.
+    registry: Option<Registry>,
+    metrics: DataMetrics,
+    latency: DataLatency,
+    /// Shared byte accounting for every hosted partition's extent store.
+    store_metrics: StoreMetrics,
 }
 
 struct RaftState {
@@ -221,6 +263,24 @@ impl DataNode {
         raft_config: RaftConfig,
         seed: u64,
     ) -> Arc<Self> {
+        Self::with_registry(id, hub, net, raft_config, seed, None)
+    }
+
+    /// [`DataNode::new`] with metrics bound to `registry`: chain/raft/store
+    /// counters (`data.*`, `raft.*`, `store.*`) plus trace spans for
+    /// traced requests.
+    pub fn with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        raft_config: RaftConfig,
+        seed: u64,
+        registry: Option<&Registry>,
+    ) -> Arc<Self> {
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
         let node = Arc::new(DataNode {
             id,
             hub: hub.clone(),
@@ -228,13 +288,26 @@ impl DataNode {
             partitions: Mutex::new(HashMap::new()),
             chain_order: Mutex::new(HashMap::new()),
             raft: Mutex::new(RaftState {
-                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                multiraft,
                 results: HashMap::new(),
             }),
             commit_timeout_ticks: 2_000,
+            registry: registry.cloned(),
+            metrics: registry.map(DataMetrics::bind).unwrap_or_default(),
+            latency: registry.map(DataLatency::bind).unwrap_or_default(),
+            store_metrics: registry.map(StoreMetrics::bind).unwrap_or_default(),
         });
         hub.register(node.clone() as Arc<dyn RaftHost>);
         node
+    }
+
+    /// Open a trace span for `req` if the node has a registry and the
+    /// request carries a nonzero causal id.
+    fn span_for(&self, req: &DataRequest) -> Option<Span> {
+        let registry = self.registry.as_ref()?;
+        let rid = RequestId(req.request_id());
+        rid.is_traced()
+            .then(|| registry.tracer().span(rid, "data", req.route()))
     }
 
     /// This node's id.
@@ -257,6 +330,7 @@ impl DataNode {
 
     /// Handle one RPC (the `cfs-net` service entry point).
     pub fn handle(&self, req: DataRequest) -> Result<DataResponse> {
+        let _span = self.span_for(&req);
         match req {
             DataRequest::CreatePartition {
                 partition,
@@ -326,7 +400,8 @@ impl DataNode {
                 data,
                 crc,
                 replicas,
-            } => self.handle_append(partition, extent, offset, data, crc, replicas),
+                request_id,
+            } => self.handle_append(partition, extent, offset, data, crc, replicas, request_id),
             DataRequest::WriteSmall {
                 partition,
                 data,
@@ -478,16 +553,15 @@ impl DataNode {
             .lock()
             .multiraft
             .create_group(Self::group_of(partition), members.clone())?;
-        parts.insert(
+        let mut replica = DataPartitionReplica::new(
             partition,
-            DataPartitionReplica::new(
-                partition,
-                volume,
-                members,
-                small_extent_rotate_at,
-                extent_limit,
-            ),
+            volume,
+            members,
+            small_extent_rotate_at,
+            extent_limit,
         );
+        replica.set_store_metrics(self.store_metrics.clone());
+        parts.insert(partition, replica);
         Ok(())
     }
 
@@ -511,6 +585,7 @@ impl DataNode {
     /// Forward a chain request to this node's successor, if any.
     fn forward_chain(&self, replicas: &[NodeId], req: DataRequest) -> Result<()> {
         if let Some(next) = self.next_in_chain(replicas) {
+            self.metrics.chain_forwards.inc();
             self.net.call(self.id, next, req)??;
         }
         Ok(())
@@ -519,6 +594,7 @@ impl DataNode {
     /// Primary-backup append (§2.7.1 steps 3–7): verify CRC, apply
     /// locally, forward down the chain; the PB leader advances the
     /// committed watermark only after the whole chain acked.
+    #[allow(clippy::too_many_arguments)]
     fn handle_append(
         &self,
         partition: PartitionId,
@@ -527,6 +603,7 @@ impl DataNode {
         data: Bytes,
         crc: u32,
         replicas: Vec<NodeId>,
+        request_id: u64,
     ) -> Result<DataResponse> {
         if crc32(&data) != crc {
             return Err(CfsError::Corrupt("append packet crc mismatch".into()));
@@ -550,6 +627,7 @@ impl DataNode {
                     )));
                 }
                 r.apply_append(extent, offset, &data)?;
+                self.metrics.chain_applies.inc();
             }
             self.forward_chain(
                 &replicas,
@@ -560,6 +638,7 @@ impl DataNode {
                     data: data.clone(),
                     crc,
                     replicas: replicas.clone(),
+                    request_id,
                 },
             )?;
             return Ok(DataResponse::Watermark(offset + data.len() as u64));
@@ -572,6 +651,9 @@ impl DataNode {
         // Lock order is always ChainState.seq → partitions.
         let state = self.chain_state(partition);
         let deadline = Instant::now() + CHAIN_GAP_TIMEOUT;
+        // Set on the first gap wait; its elapsed time feeds the stall
+        // histogram once our turn arrives.
+        let mut gap_wait_started: Option<Instant> = None;
         let (ticket, is_pb_leader) = {
             let mut seq = state.seq.lock();
             loop {
@@ -589,6 +671,7 @@ impl DataNode {
                         // Our turn (or a misordered duplicate, which the
                         // strict offset==size append check rejects).
                         r.apply_append(extent, offset, &data)?;
+                        self.metrics.chain_applies.inc();
                         let ticket = seq.next_ticket;
                         seq.next_ticket += 1;
                         break (ticket, leader == self.id);
@@ -600,9 +683,16 @@ impl DataNode {
                         "{partition}: chain gap before offset {offset} of {extent}"
                     )));
                 }
+                if gap_wait_started.is_none() {
+                    gap_wait_started = Some(Instant::now());
+                    self.metrics.gap_wait_stalls.inc();
+                }
                 state.cv.wait_for(&mut seq, remaining);
             }
         };
+        if let Some(started) = gap_wait_started {
+            self.latency.gap_wait_ns.record_duration(started.elapsed());
+        }
         // Wake window peers blocked on the apply gap we just filled.
         state.cv.notify_all();
         let turn_guard = TurnGuard {
@@ -629,6 +719,7 @@ impl DataNode {
                     data: data.clone(),
                     crc,
                     replicas: replicas.clone(),
+                    request_id,
                 },
             )
         };
@@ -640,6 +731,7 @@ impl DataNode {
             let mut parts = self.partitions.lock();
             Self::part_mut(&mut parts, partition)?.commit(extent, new_watermark);
         }
+        self.metrics.appends_served.inc();
         Ok(DataResponse::Watermark(new_watermark))
     }
 
@@ -679,12 +771,14 @@ impl DataNode {
                 data: data.clone(),
                 crc: crc32(&data),
                 replicas: replicas.clone(),
+                request_id: 0,
             },
         )?;
         {
             let mut parts = self.partitions.lock();
             Self::part_mut(&mut parts, partition)?.commit(loc.extent_id, loc.offset + loc.len);
         }
+        self.metrics.small_writes_served.inc();
         Ok(DataResponse::Small(loc))
     }
 
@@ -738,6 +832,7 @@ impl DataNode {
             }
             (r.extent_ids(), r.members().to_vec())
         };
+        self.metrics.recoveries.inc();
         let mut repaired = 0;
         for extent in extents {
             let committed = {
@@ -802,12 +897,14 @@ impl DataNode {
                             crc,
                             // Point-to-point repair: no further forwarding.
                             replicas: vec![peer],
+                            request_id: 0,
                         },
                     )??;
                     repaired += 1;
                 }
             }
         }
+        self.metrics.recovery_repairs.add(repaired as u64);
         Ok(repaired)
     }
 
@@ -886,6 +983,26 @@ impl DataNode {
         seed: u64,
         image: DataNodePersist,
     ) -> Result<Arc<Self>> {
+        Self::restore_with_registry(id, hub, net, raft_config, seed, image, None)
+    }
+
+    /// [`DataNode::restore`] with metrics re-bound to `registry` (counters
+    /// continue across the crash; they are cluster-level, not per-boot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        raft_config: RaftConfig,
+        seed: u64,
+        image: DataNodePersist,
+        registry: Option<&Registry>,
+    ) -> Result<Arc<Self>> {
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
+        let store_metrics: StoreMetrics = registry.map(StoreMetrics::bind).unwrap_or_default();
         let node = Arc::new(DataNode {
             id,
             hub: hub.clone(),
@@ -894,15 +1011,22 @@ impl DataNode {
                 image
                     .partitions
                     .into_iter()
-                    .map(|r| (r.partition_id(), r))
+                    .map(|mut r| {
+                        r.set_store_metrics(store_metrics.clone());
+                        (r.partition_id(), r)
+                    })
                     .collect(),
             ),
             chain_order: Mutex::new(HashMap::new()),
             raft: Mutex::new(RaftState {
-                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                multiraft,
                 results: HashMap::new(),
             }),
             commit_timeout_ticks: 2_000,
+            registry: registry.cloned(),
+            metrics: registry.map(DataMetrics::bind).unwrap_or_default(),
+            latency: registry.map(DataLatency::bind).unwrap_or_default(),
+            store_metrics,
         });
         {
             let mut raft = node.raft.lock();
@@ -989,6 +1113,9 @@ impl RaftHost for DataNode {
                     let mut parts = self.partitions.lock();
                     Self::part_mut(&mut parts, pid)?.apply_overwrite(extent, offset, &data)
                 })();
+                if result.is_ok() {
+                    self.metrics.overwrites_applied.inc();
+                }
                 if is_leader {
                     raft.results.insert((gid, entry.index), result);
                 }

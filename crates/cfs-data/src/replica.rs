@@ -70,6 +70,12 @@ impl DataPartitionReplica {
         self.partition_id
     }
 
+    /// Attach byte-accounting metrics to the underlying extent store
+    /// (shared with the node's other partitions).
+    pub fn set_store_metrics(&mut self, metrics: cfs_store::StoreMetrics) {
+        self.store.set_metrics(metrics);
+    }
+
     /// Replica order (index 0 = PB leader).
     pub fn members(&self) -> &[NodeId] {
         &self.members

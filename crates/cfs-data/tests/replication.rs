@@ -76,6 +76,7 @@ fn append(
         data: Bytes::copy_from_slice(data),
         crc: crc32(data),
         replicas: replicas.to_vec(),
+        request_id: 0,
     };
     match c.net.call(NodeId(99), replicas[0], req)? {
         Ok(DataResponse::Watermark(w)) => Ok(w),

@@ -29,7 +29,7 @@ mod node;
 mod placement;
 mod state;
 
-pub use node::{MasterNode, MasterRequest, MasterResponse};
+pub use node::{MasterMetrics, MasterNode, MasterRequest, MasterResponse};
 pub use placement::{choose_replicas, NodeLoad};
 pub use state::{
     DataPartitionMeta, MasterCommand, MasterState, MetaPartitionMeta, NodeKind, NodeStatus, Task,

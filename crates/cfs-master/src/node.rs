@@ -7,8 +7,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use cfs_kvwal::{KvStore, KvStoreOptions};
+use cfs_obs::{Counter, Registry, RpcRoute};
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, RaftConfig, SnapshotPayload, WireEnvelope};
+use cfs_raft::{MultiRaft, RaftConfig, RaftMetrics, SnapshotPayload, WireEnvelope};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, ClusterConfig, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
 
@@ -36,6 +37,44 @@ pub enum MasterRequest {
     GetVolumeById { volume: VolumeId },
     /// All registered nodes.
     ListNodes,
+}
+
+impl RpcRoute for MasterRequest {
+    fn route(&self) -> &'static str {
+        match self {
+            MasterRequest::Command(_) => "master.command",
+            MasterRequest::GetVolume { .. } => "master.get_volume",
+            MasterRequest::GetVolumeById { .. } => "master.get_volume_by_id",
+            MasterRequest::ListNodes => "master.list_nodes",
+        }
+    }
+}
+
+/// Resource-manager churn counters.
+#[derive(Debug, Clone, Default)]
+pub struct MasterMetrics {
+    /// Master-group leadership changes (election churn).
+    pub leader_changes: Counter,
+    /// Replicated commands applied to the state machine.
+    pub commands_applied: Counter,
+    /// Volumes created.
+    pub volumes_created: Counter,
+}
+
+impl MasterMetrics {
+    /// Metrics counted into private atomics (no registry attached).
+    pub fn detached() -> MasterMetrics {
+        MasterMetrics::default()
+    }
+
+    /// Metrics registered under `master.*` names.
+    pub fn bind(registry: &Registry) -> MasterMetrics {
+        MasterMetrics {
+            leader_changes: registry.counter("master.leader_changes"),
+            commands_applied: registry.counter("master.commands_applied"),
+            volumes_created: registry.counter("master.volumes_created"),
+        }
+    }
 }
 
 /// Replies to [`MasterRequest`].
@@ -67,6 +106,7 @@ pub struct MasterNode {
     hub: RaftHub,
     inner: Mutex<Inner>,
     commit_timeout_ticks: u64,
+    metrics: MasterMetrics,
 }
 
 impl MasterNode {
@@ -80,6 +120,31 @@ impl MasterNode {
         cluster_config: ClusterConfig,
         raft_config: RaftConfig,
         seed: u64,
+    ) -> Result<Arc<Self>> {
+        Self::open_with_registry(
+            id,
+            hub,
+            dir,
+            members,
+            cluster_config,
+            raft_config,
+            seed,
+            None,
+        )
+    }
+
+    /// [`MasterNode::open`] with metrics bound to `registry` (`master.*`
+    /// churn counters plus the group's `raft.*` consensus counters).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        dir: &Path,
+        members: Vec<NodeId>,
+        cluster_config: ClusterConfig,
+        raft_config: RaftConfig,
+        seed: u64,
+        registry: Option<&Registry>,
     ) -> Result<Arc<Self>> {
         let kv = KvStore::open(dir, KvStoreOptions::default())?;
 
@@ -109,6 +174,9 @@ impl MasterNode {
         }
 
         let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
         multiraft.create_group(MASTER_GROUP, members)?;
 
         let node = Arc::new(MasterNode {
@@ -123,6 +191,7 @@ impl MasterNode {
                 applied_index,
             }),
             commit_timeout_ticks: 2_000,
+            metrics: registry.map(MasterMetrics::bind).unwrap_or_default(),
         });
         hub.register(node.clone() as Arc<dyn RaftHost>);
         Ok(node)
@@ -265,6 +334,9 @@ impl RaftHost for MasterNode {
         let (msgs, readies) = inner.multiraft.drain();
         for (gid, ready) in readies {
             debug_assert_eq!(gid, MASTER_GROUP);
+            if ready.became_leader {
+                self.metrics.leader_changes.inc();
+            }
 
             if let Some(snap) = ready.snapshot {
                 if let Ok(st) = MasterState::from_snapshot(inner.state.config().clone(), &snap.data)
@@ -288,6 +360,12 @@ impl RaftHost for MasterNode {
                 let result = match MasterCommand::from_bytes(&entry.data) {
                     Ok(cmd) => {
                         let r = inner.state.apply(&cmd);
+                        if r.is_ok() {
+                            self.metrics.commands_applied.inc();
+                            if matches!(cmd, MasterCommand::CreateVolume { .. }) {
+                                self.metrics.volumes_created.inc();
+                            }
+                        }
                         // Persist the command for restart recovery.
                         let key = format!("cmd/{:020}", entry.index);
                         let _ = inner.kv.put(key.as_bytes(), &entry.data);

@@ -59,6 +59,25 @@ pub enum MetaCommand {
     },
 }
 
+impl MetaCommand {
+    /// Stable op label for per-partition apply metrics
+    /// (`meta.applies{partition=…,op=…}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetaCommand::CreateInode { .. } => "create_inode",
+            MetaCommand::CreateDentry { .. } => "create_dentry",
+            MetaCommand::DeleteDentry { .. } => "delete_dentry",
+            MetaCommand::Link { .. } => "link",
+            MetaCommand::Unlink { .. } => "unlink",
+            MetaCommand::MarkDeleted { .. } => "mark_deleted",
+            MetaCommand::Evict { .. } => "evict",
+            MetaCommand::AppendExtents { .. } => "append_extents",
+            MetaCommand::Truncate { .. } => "truncate",
+            MetaCommand::UpdateEnd { .. } => "update_end",
+        }
+    }
+}
+
 /// A leader-local read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetaRead {

@@ -5,8 +5,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use cfs_obs::{Counter, Registry, RpcRoute};
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, SnapshotPayload, WireEnvelope};
+use cfs_raft::{
+    MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, SnapshotPayload, WireEnvelope,
+};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, InodeId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
 
@@ -51,6 +54,18 @@ pub enum MetaRequest {
     Report,
 }
 
+impl RpcRoute for MetaRequest {
+    fn route(&self) -> &'static str {
+        match self {
+            MetaRequest::Read { .. } => "meta.read",
+            MetaRequest::Write { .. } => "meta.write",
+            MetaRequest::CreatePartition { .. } => "meta.create_partition",
+            MetaRequest::Info { .. } => "meta.info",
+            MetaRequest::Report => "meta.report",
+        }
+    }
+}
+
 /// Replies to [`MetaRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetaResponse {
@@ -70,12 +85,43 @@ pub struct MetaNodePersist {
     pub partitions: Vec<(MetaPartitionConfig, Vec<NodeId>, PersistentRaftState)>,
 }
 
+/// Registry-backed meta metrics with a per-`(partition, op)` handle cache,
+/// so the apply hot path never re-resolves names.
+struct MetaObs {
+    registry: Registry,
+    applies: HashMap<(u64, &'static str), Counter>,
+    snapshots_taken: Counter,
+    snapshot_restores: Counter,
+}
+
+impl MetaObs {
+    fn new(registry: &Registry) -> MetaObs {
+        MetaObs {
+            registry: registry.clone(),
+            applies: HashMap::new(),
+            snapshots_taken: registry.counter("meta.snapshots_taken"),
+            snapshot_restores: registry.counter("meta.snapshot_restores"),
+        }
+    }
+
+    fn apply_counter(&mut self, partition: PartitionId, op: &'static str) -> Counter {
+        let registry = &self.registry;
+        self.applies
+            .entry((partition.raw(), op))
+            .or_insert_with(|| {
+                registry.counter(&format!("meta.applies{{partition={partition},op={op}}}"))
+            })
+            .clone()
+    }
+}
+
 struct Inner {
     multiraft: MultiRaft,
     partitions: HashMap<PartitionId, MetaPartition>,
     /// Apply results awaiting pickup by the proposing RPC handler,
     /// keyed by (group, log index). Only populated on the leader.
     results: HashMap<(RaftGroupId, u64), Result<MetaValue>>,
+    obs: Option<MetaObs>,
 }
 
 /// A meta node (§2.1): hosts meta partitions, replicates their commands
@@ -93,13 +139,31 @@ pub struct MetaNode {
 impl MetaNode {
     /// Create a meta node and register it on the raft hub.
     pub fn new(id: NodeId, hub: RaftHub, raft_config: RaftConfig, seed: u64) -> Arc<Self> {
+        Self::with_registry(id, hub, raft_config, seed, None)
+    }
+
+    /// [`MetaNode::new`] with metrics bound to `registry`: consensus
+    /// counters (`raft.*`) plus per-partition apply/snapshot counters
+    /// (`meta.*`).
+    pub fn with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        raft_config: RaftConfig,
+        seed: u64,
+        registry: Option<&Registry>,
+    ) -> Arc<Self> {
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
         let node = Arc::new(MetaNode {
             id,
             hub: hub.clone(),
             inner: Mutex::new(Inner {
-                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                multiraft,
                 partitions: HashMap::new(),
                 results: HashMap::new(),
+                obs: registry.map(MetaObs::new),
             }),
             commit_timeout_ticks: 2_000,
         });
@@ -321,13 +385,31 @@ impl MetaNode {
         seed: u64,
         image: MetaNodePersist,
     ) -> Result<Arc<Self>> {
+        Self::restore_with_registry(id, hub, raft_config, seed, image, None)
+    }
+
+    /// [`MetaNode::restore`] with metrics re-bound to `registry` (counters
+    /// continue across the crash; they are cluster-level, not per-boot).
+    pub fn restore_with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        raft_config: RaftConfig,
+        seed: u64,
+        image: MetaNodePersist,
+        registry: Option<&Registry>,
+    ) -> Result<Arc<Self>> {
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
         let node = Arc::new(MetaNode {
             id,
             hub: hub.clone(),
             inner: Mutex::new(Inner {
-                multiraft: MultiRaft::new(id, raft_config, seed, true),
+                multiraft,
                 partitions: HashMap::new(),
                 results: HashMap::new(),
+                obs: registry.map(MetaObs::new),
             }),
             commit_timeout_ticks: 2_000,
         });
@@ -397,6 +479,9 @@ impl RaftHost for MetaNode {
                 match MetaPartition::from_snapshot(pid, &snap.data) {
                     Ok(p) => {
                         inner.partitions.insert(pid, p);
+                        if let Some(o) = inner.obs.as_ref() {
+                            o.snapshot_restores.inc();
+                        }
                     }
                     Err(e) => {
                         debug_assert!(false, "snapshot restore failed: {e}");
@@ -414,10 +499,19 @@ impl RaftHost for MetaNode {
                     continue; // leader no-op
                 }
                 let result = match MetaCommand::from_bytes(&entry.data) {
-                    Ok(cmd) => match inner.partitions.get_mut(&pid) {
-                        Some(p) => cmd.apply(p),
-                        None => Err(CfsError::NotFound(format!("{pid}"))),
-                    },
+                    Ok(cmd) => {
+                        let applies = inner.obs.as_mut().map(|o| o.apply_counter(pid, cmd.kind()));
+                        let r = match inner.partitions.get_mut(&pid) {
+                            Some(p) => cmd.apply(p),
+                            None => Err(CfsError::NotFound(format!("{pid}"))),
+                        };
+                        if r.is_ok() {
+                            if let Some(c) = applies {
+                                c.inc();
+                            }
+                        }
+                        r
+                    }
                     Err(e) => Err(e),
                 };
                 if is_leader {
@@ -441,6 +535,9 @@ impl RaftHost for MetaNode {
                             last_term: term,
                             data,
                         });
+                        if let Some(o) = inner.obs.as_ref() {
+                            o.snapshots_taken.inc();
+                        }
                     }
                 }
             }
@@ -694,6 +791,46 @@ mod tests {
         assert!(nodes[0]
             .create_partition(other, vec![nodes[0].id()])
             .is_err());
+    }
+
+    #[test]
+    fn bound_registry_counts_per_partition_applies() {
+        let hub = RaftHub::new();
+        let registry = Registry::new();
+        let nodes: Vec<Arc<MetaNode>> = (1..=3)
+            .map(|i| {
+                MetaNode::with_registry(
+                    NodeId(i),
+                    hub.clone(),
+                    RaftConfig::default(),
+                    1234,
+                    Some(&registry),
+                )
+            })
+            .collect();
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: cfs_types::FileType::File,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap();
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+        let snap = registry.snapshot();
+        // Each of the three replicas applied the one create.
+        assert_eq!(
+            snap.counter(&format!("meta.applies{{partition={p},op=create_inode}}")),
+            3
+        );
+        assert!(snap.counter("raft.leader_elections") >= 1, "election seen");
+        assert!(snap.counter("raft.proposals") >= 1, "proposal seen");
     }
 
     #[test]

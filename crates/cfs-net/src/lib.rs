@@ -14,10 +14,11 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use cfs_obs::{Counter, Histogram, Registry, RequestId, RpcRoute};
 use cfs_types::{CfsError, FaultState, NodeId, Result};
 
 /// A node-side request handler.
@@ -37,7 +38,8 @@ where
 
 /// Traffic counters. Fault-injected losses and real routing errors are
 /// tracked separately so chaos assertions can tell "the schedule dropped
-/// this" from "the cluster mis-routed this".
+/// this" from "the cluster mis-routed this". Always on — no registry
+/// needed to read them.
 #[derive(Debug, Default)]
 struct Counters {
     calls: AtomicU64,
@@ -47,6 +49,96 @@ struct Counters {
     /// Calls refused because no handler is registered for the destination.
     /// Surface as `Unavailable`.
     rejections: AtomicU64,
+    /// Per-cause split of `drops`, so chaos reconciliation can match each
+    /// loss to the fault kind that injected it.
+    hook_drops: AtomicU64,
+    down_drops: AtomicU64,
+    cut_drops: AtomicU64,
+    fault_drops: AtomicU64,
+}
+
+/// `drops` split by the fault kind that caused each loss. The four causes
+/// partition the total: `hook + down + cut + fault == drop_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropCauses {
+    /// Scripted delivery-hook drop (chaos `DropRpcs` schedules).
+    pub hook: u64,
+    /// Destination node marked down.
+    pub down: u64,
+    /// Directed link cut on this fabric.
+    pub cut: u64,
+    /// Shared cluster-wide fault state (node kill / link cut installed on
+    /// the fault switchboard rather than this fabric).
+    pub fault: u64,
+}
+
+impl DropCauses {
+    pub fn total(&self) -> u64 {
+        self.hook + self.down + self.cut + self.fault
+    }
+}
+
+/// Registry-backed handles for one route's traffic on one fabric.
+#[derive(Clone)]
+struct RouteHandles {
+    calls: Counter,
+    failures: Counter,
+    latency: Histogram,
+}
+
+/// Registry binding installed by [`Network::bind_metrics`]. Route handles
+/// are resolved once per route label and cached; the per-call fast path
+/// is a read-lock and a few relaxed atomic bumps.
+struct NetObs {
+    registry: Registry,
+    fabric: String,
+    routes: RwLock<HashMap<&'static str, RouteHandles>>,
+    hook_drops: Counter,
+    down_drops: Counter,
+    cut_drops: Counter,
+    fault_drops: Counter,
+    rejections: Counter,
+}
+
+impl NetObs {
+    fn new(registry: Registry, fabric: &str) -> NetObs {
+        let c =
+            |cause: &str| registry.counter(&format!("net.drops{{fabric={fabric},cause={cause}}}"));
+        NetObs {
+            fabric: fabric.to_string(),
+            routes: RwLock::new(HashMap::new()),
+            hook_drops: c("hook"),
+            down_drops: c("down"),
+            cut_drops: c("cut"),
+            fault_drops: c("fault"),
+            rejections: registry.counter(&format!("net.rejections{{fabric={fabric}}}")),
+            registry,
+        }
+    }
+
+    fn route(&self, route: &'static str) -> RouteHandles {
+        if let Some(h) = self.routes.read().get(route) {
+            return h.clone();
+        }
+        let mut routes = self.routes.write();
+        routes
+            .entry(route)
+            .or_insert_with(|| {
+                let fabric = &self.fabric;
+                RouteHandles {
+                    calls: self
+                        .registry
+                        .counter(&format!("net.calls{{fabric={fabric},route={route}}}")),
+                    failures: self
+                        .registry
+                        .counter(&format!("net.failures{{fabric={fabric},route={route}}}")),
+                    latency: self
+                        .registry
+                        .histogram(&format!("net.latency_ns{{fabric={fabric},route={route}}}")),
+                }
+            })
+            .clone()
+    }
 }
 
 /// Per-call fate decided by a scripted chaos schedule.
@@ -92,6 +184,8 @@ struct Inner<Req, Resp> {
     counters: Counters,
     /// Optional scripted per-call drop/delay schedule (chaos tests).
     hook: RwLock<Option<Arc<dyn DeliveryHook>>>,
+    /// Optional registry binding (per-route metrics + trace spans).
+    obs: RwLock<Option<Arc<NetObs>>>,
 }
 
 impl<Req, Resp> Clone for Network<Req, Resp> {
@@ -120,8 +214,17 @@ impl<Req, Resp> Network<Req, Resp> {
                 latency_ns: AtomicU64::new(0),
                 counters: Counters::default(),
                 hook: RwLock::new(None),
+                obs: RwLock::new(None),
             }),
         }
+    }
+
+    /// Bind this fabric to a metrics registry. Every subsequent call
+    /// contributes per-route counters and latency histograms named
+    /// `net.*{fabric=<fabric>,route=<route>}`, and traced requests get
+    /// `net` spans in the registry's tracer.
+    pub fn bind_metrics(&self, registry: &Registry, fabric: &str) {
+        *self.inner.obs.write() = Some(Arc::new(NetObs::new(registry.clone(), fabric)));
     }
 
     /// Register (or replace) the handler for `node`.
@@ -159,10 +262,45 @@ impl<Req, Resp> Network<Req, Resp> {
         *self.inner.hook.write() = hook;
     }
 
+    /// Record an injected-fault loss in the always-on counters and (when
+    /// bound) the per-cause registry counters + route failure counter.
+    fn note_drop(
+        &self,
+        obs: Option<&(Arc<NetObs>, RouteHandles)>,
+        cause_counter: &AtomicU64,
+        pick: impl Fn(&NetObs) -> &Counter,
+    ) {
+        self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
+        cause_counter.fetch_add(1, Ordering::Relaxed);
+        if let Some((o, route)) = obs {
+            pick(o).inc();
+            route.failures.inc();
+        }
+    }
+
     /// Synchronous RPC. Fails with `Timeout` if the destination is down or
     /// the link is cut, and `Unavailable` if nothing is registered there.
-    pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp> {
+    pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp>
+    where
+        Req: RpcRoute,
+    {
         let seq = self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let obs = self
+            .inner
+            .obs
+            .read()
+            .as_ref()
+            .map(|o| (Arc::clone(o), o.route(req.route())));
+        let start = Instant::now();
+        let _span = obs.as_ref().and_then(|(o, _)| {
+            let rid = RequestId(req.request_id());
+            rid.is_traced()
+                .then(|| o.registry.tracer().span(rid, "net", req.route()))
+        });
+        if let Some((_, route)) = &obs {
+            route.calls.inc();
+        }
+        let counters = &self.inner.counters;
         let latency = self.inner.latency_ns.load(Ordering::Relaxed);
         if latency > 0 {
             std::thread::sleep(Duration::from_nanos(latency));
@@ -174,16 +312,21 @@ impl<Req, Resp> Network<Req, Resp> {
         match verdict {
             DeliveryVerdict::Deliver => {}
             DeliveryVerdict::Drop => {
-                self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
+                self.note_drop(obs.as_ref(), &counters.hook_drops, |o| &o.hook_drops);
                 return Err(CfsError::Timeout(format!("{from} -> {to}: dropped")));
             }
             DeliveryVerdict::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
         }
-        if self.inner.down.read().contains(&to)
-            || self.inner.cut.read().contains(&(from, to))
-            || self.fault_blocked(from, to)
-        {
-            self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
+        if self.inner.down.read().contains(&to) {
+            self.note_drop(obs.as_ref(), &counters.down_drops, |o| &o.down_drops);
+            return Err(CfsError::Timeout(format!("{from} -> {to}")));
+        }
+        if self.inner.cut.read().contains(&(from, to)) {
+            self.note_drop(obs.as_ref(), &counters.cut_drops, |o| &o.cut_drops);
+            return Err(CfsError::Timeout(format!("{from} -> {to}")));
+        }
+        if self.fault_blocked(from, to) {
+            self.note_drop(obs.as_ref(), &counters.fault_drops, |o| &o.fault_drops);
             return Err(CfsError::Timeout(format!("{from} -> {to}")));
         }
         let service = {
@@ -191,12 +334,19 @@ impl<Req, Resp> Network<Req, Resp> {
             services.get(&to).cloned()
         };
         match service {
-            Some(s) => Ok(s.handle(from, req)),
+            Some(s) => {
+                let resp = s.handle(from, req);
+                if let Some((_, route)) = &obs {
+                    route.latency.record_duration(start.elapsed());
+                }
+                Ok(resp)
+            }
             None => {
-                self.inner
-                    .counters
-                    .rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                counters.rejections.fetch_add(1, Ordering::Relaxed);
+                if let Some((o, route)) = &obs {
+                    o.rejections.inc();
+                    route.failures.inc();
+                }
                 Err(CfsError::Unavailable(format!("{to}: not registered")))
             }
         }
@@ -240,6 +390,18 @@ impl<Req, Resp> Network<Req, Resp> {
     /// state, or a delivery-hook drop.
     pub fn drop_count(&self) -> u64 {
         self.inner.counters.drops.load(Ordering::Relaxed)
+    }
+
+    /// `drop_count` split by cause; the four causes always sum to the
+    /// total (checked by the chaos reconciliation invariant).
+    pub fn drop_causes(&self) -> DropCauses {
+        let c = &self.inner.counters;
+        DropCauses {
+            hook: c.hook_drops.load(Ordering::Relaxed),
+            down: c.down_drops.load(Ordering::Relaxed),
+            cut: c.cut_drops.load(Ordering::Relaxed),
+            fault: c.fault_drops.load(Ordering::Relaxed),
+        }
     }
 
     /// Calls refused because the destination had no registered handler —
@@ -371,6 +533,67 @@ mod tests {
         assert_eq!(net.drop_count(), 1);
         net.set_delivery_hook(None);
         assert!(net.call(NodeId(1), NodeId(2), "d".into()).is_ok());
+    }
+
+    #[test]
+    fn drop_causes_partition_the_total() {
+        let net = echo_network();
+        net.set_down(NodeId(2), true);
+        let _ = net.call(NodeId(1), NodeId(2), "x".into()); // down
+        net.set_down(NodeId(2), false);
+        net.set_link_cut(NodeId(1), NodeId(3), true);
+        let _ = net.call(NodeId(1), NodeId(3), "x".into()); // cut
+        struct DropAll;
+        impl DeliveryHook for DropAll {
+            fn verdict(&self, _s: u64, _f: NodeId, _t: NodeId) -> DeliveryVerdict {
+                DeliveryVerdict::Drop
+            }
+        }
+        net.set_delivery_hook(Some(Arc::new(DropAll)));
+        let _ = net.call(NodeId(1), NodeId(2), "x".into()); // hook
+        net.set_delivery_hook(None);
+        let causes = net.drop_causes();
+        assert_eq!(causes.hook, 1);
+        assert_eq!(causes.down, 1);
+        assert_eq!(causes.cut, 1);
+        assert_eq!(causes.fault, 0);
+        assert_eq!(causes.total(), net.drop_count());
+    }
+
+    #[test]
+    fn bound_registry_sees_per_route_traffic() {
+        let net = echo_network();
+        let registry = cfs_obs::Registry::new();
+        net.bind_metrics(&registry, "test");
+        net.call(NodeId(1), NodeId(2), "a".into()).unwrap();
+        net.call(NodeId(1), NodeId(3), "b".into()).unwrap();
+        let _ = net.call(NodeId(1), NodeId(9), "c".into()); // rejection
+        let s = registry.snapshot();
+        assert_eq!(s.counter("net.calls{fabric=test,route=string}"), 3);
+        assert_eq!(s.counter("net.failures{fabric=test,route=string}"), 1);
+        assert_eq!(s.counter("net.rejections{fabric=test}"), 1);
+        assert_eq!(
+            s.histograms["net.latency_ns{fabric=test,route=string}"].count,
+            2
+        );
+        // Per-route calls reconcile with the always-on total.
+        assert_eq!(s.counter_sum("net.calls{fabric=test"), net.call_count());
+    }
+
+    #[test]
+    fn bound_registry_splits_drops_by_cause() {
+        let net = echo_network();
+        let registry = cfs_obs::Registry::new();
+        net.bind_metrics(&registry, "test");
+        net.set_down(NodeId(2), true);
+        let _ = net.call(NodeId(1), NodeId(2), "x".into());
+        net.set_link_cut(NodeId(1), NodeId(3), true);
+        let _ = net.call(NodeId(1), NodeId(3), "x".into());
+        let s = registry.snapshot();
+        assert_eq!(s.counter("net.drops{fabric=test,cause=down}"), 1);
+        assert_eq!(s.counter("net.drops{fabric=test,cause=cut}"), 1);
+        assert_eq!(s.counter("net.drops{fabric=test,cause=hook}"), 0);
+        assert_eq!(s.counter_sum("net.drops{fabric=test"), net.drop_count());
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Cross-stack observability: a lock-free metrics registry plus
+//! lightweight request tracing.
+//!
+//! The paper's evaluation (§5) rests on per-subsystem measurements —
+//! client op latency, meta/data RPC counts, replication and recovery
+//! behaviour. This crate provides the shared substrate every subsystem
+//! instruments itself with:
+//!
+//! * [`Counter`], [`Gauge`] and [`Histogram`] are cheap `Arc`'d handles
+//!   over relaxed atomics. The hot path never takes a lock and never
+//!   hashes a metric name: components resolve their handles once (at
+//!   construction or first use) and bump atomics thereafter.
+//! * [`Registry`] names metrics (`subsystem.metric{label=value}`) and
+//!   collects them into a [`MetricsSnapshot`], a point-in-time view with
+//!   a `diff` API so tests can assert exact budgets over a window of
+//!   work ("these 100 appends issued exactly 5 meta syncs").
+//! * [`Tracer`] records op-scoped [`Span`]s tagged with a causal
+//!   [`RequestId`] that is threaded through packet headers, so one
+//!   client op can be followed client → net → data-node chain → store.
+//! * [`RpcRoute`] lets the RPC fabric label per-route traffic without
+//!   knowing the request enums of the crates above it.
+//!
+//! Metrics are always on: handles work detached (a component that is
+//! never given a registry still counts into private atomics nobody
+//! reads), so there is no instrumentation feature flag to bit-rot.
+
+mod registry;
+mod route;
+mod snapshot;
+mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use route::RpcRoute;
+pub use snapshot::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{RequestId, Span, SpanRecord, Tracer};

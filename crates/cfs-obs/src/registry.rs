@@ -1,0 +1,334 @@
+//! Metric handles and the name → handle registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::snapshot::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+use crate::trace::{RequestId, Tracer};
+
+/// Monotonically increasing event count. Cloning shares the underlying
+/// atomic, so a component can keep a handle while the registry snapshots
+/// the same value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not (yet) attached to any registry. Counts are kept but
+    /// only observable through this handle.
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+/// A value that goes up and down, with a high-water mark. The mark is what
+/// budget tests assert against ("never more than `pipeline_depth` packets
+/// in flight"): the instantaneous value is usually back to zero by the
+/// time anyone looks.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl Gauge {
+    /// A gauge not (yet) attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.inner.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.inner.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.inner.value.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever observed by `add`/`set`.
+    pub fn high_water(&self) -> i64 {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket `i` of a histogram counts samples whose value needs `i` binary
+/// digits: bucket 0 holds the value 0, bucket `i` holds `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed log2-bucket latency histogram: recording is three relaxed atomic
+/// adds, no allocation, no lock.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A histogram not (yet) attached to any registry.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Meters {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+struct RegistryInner {
+    meters: Mutex<Meters>,
+    tracer: Tracer,
+    next_request_id: AtomicU64,
+}
+
+/// Names metrics and collects them into snapshots.
+///
+/// Naming convention: `subsystem.metric` with optional `{key=value,...}`
+/// labels, e.g. `net.calls{fabric=data,route=append}`. Lookup
+/// (`counter`/`gauge`/`histogram`) is get-or-create and takes a lock —
+/// components do it once at construction and keep the returned handle,
+/// never per event.
+///
+/// Cloning shares the registry (`Arc` semantics).
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                meters: Mutex::new(Meters::default()),
+                tracer: Tracer::new(4096),
+                next_request_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.meters.lock();
+        m.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.meters.lock();
+        m.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.inner.meters.lock();
+        m.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The span recorder shared by every subsystem on this registry.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Allocate a fresh causal request id (threaded through packet
+    /// headers so spans across subsystems correlate).
+    pub fn next_request_id(&self) -> RequestId {
+        RequestId(self.inner.next_request_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Point-in-time view of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.meters.lock();
+        MetricsSnapshot {
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: m
+                .gauges
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        GaugeSnapshot {
+                            value: v.get(),
+                            high_water: v.high_water(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x.hits"), 3);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::detached();
+        g.add(3);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::detached();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let r = Registry::new();
+        let a = r.next_request_id();
+        let b = r.next_request_id();
+        assert_ne!(a.0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn snapshot_includes_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter("a.c").inc();
+        r.gauge("a.g").set(7);
+        r.histogram("a.h").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.c"), 1);
+        assert_eq!(s.gauges["a.g"].value, 7);
+        assert_eq!(s.histograms["a.h"].count, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Route labelling for the RPC fabric.
+
+/// Implemented by request enums so the fabric can label per-route
+/// metrics (`net.calls{fabric=data,route=append}`) and correlate spans,
+/// without `cfs-net` knowing the request types of the crates above it.
+pub trait RpcRoute {
+    /// Short stable route label, e.g. `"append"` or `"get_volume"`.
+    fn route(&self) -> &'static str;
+
+    /// Causal request id carried by this request, if the op is traced.
+    fn request_id(&self) -> u64 {
+        0
+    }
+}
+
+/// Test fixtures use plain strings as requests.
+impl RpcRoute for String {
+    fn route(&self) -> &'static str {
+        "string"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_routes_as_string_with_no_request_id() {
+        let s = String::from("ping");
+        assert_eq!(s.route(), "string");
+        assert_eq!(s.request_id(), 0);
+    }
+}

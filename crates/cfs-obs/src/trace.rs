@@ -1,0 +1,209 @@
+//! Op-scoped trace spans with causal request ids.
+//!
+//! A client op allocates one [`RequestId`] and threads it through the
+//! packet headers of every RPC it issues; each subsystem that touches the
+//! request opens a [`Span`] against the shared [`Tracer`]. Collecting
+//! [`Tracer::for_request`] then yields the op's full path — client →
+//! net → data-node chain → store — in causal order.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Causal id correlating every span of one client op. Id 0 is reserved
+/// for "untraced" (internal traffic that predates or bypasses a client
+/// op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The untraced sentinel.
+    pub const NONE: RequestId = RequestId(0);
+
+    pub fn is_traced(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub request_id: u64,
+    /// Subsystem that ran the work, e.g. `client`, `net`, `data`.
+    pub sys: &'static str,
+    /// Operation within the subsystem, e.g. `append` or `chain_apply`.
+    pub op: &'static str,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    pub duration_ns: u64,
+}
+
+impl SpanRecord {
+    /// `subsystem.operation` label.
+    pub fn name(&self) -> String {
+        format!("{}.{}", self.sys, self.op)
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    /// Bounded ring of the most recent spans; old entries are evicted so
+    /// a long-running cluster never grows without bound.
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    capacity: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+/// Records spans into a bounded ring buffer. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` recent spans.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                ring: Mutex::new(Ring {
+                    records: Vec::new(),
+                    capacity: capacity.max(1),
+                    head: 0,
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Open a span; it records itself when dropped (or via
+    /// [`Span::finish`]).
+    pub fn span(&self, request_id: RequestId, sys: &'static str, op: &'static str) -> Span {
+        Span {
+            tracer: self.clone(),
+            request_id,
+            sys,
+            op,
+            start: Instant::now(),
+        }
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        let mut ring = self.inner.ring.lock();
+        if ring.records.len() < ring.capacity {
+            ring.records.push(rec);
+        } else {
+            let at = ring.head;
+            ring.records[at] = rec;
+            ring.head = (at + 1) % ring.capacity;
+            ring.dropped += 1;
+        }
+    }
+
+    /// Every retained span, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let ring = self.inner.ring.lock();
+        let mut out = Vec::with_capacity(ring.records.len());
+        out.extend_from_slice(&ring.records[ring.head..]);
+        out.extend_from_slice(&ring.records[..ring.head]);
+        out
+    }
+
+    /// Retained spans of one request, oldest first.
+    pub fn for_request(&self, id: RequestId) -> Vec<SpanRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.request_id == id.0)
+            .collect()
+    }
+
+    /// Spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.ring.lock().dropped
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// RAII span: measures from creation to drop/finish, then records into
+/// the tracer's ring.
+pub struct Span {
+    tracer: Tracer,
+    request_id: RequestId,
+    sys: &'static str,
+    op: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Explicitly close the span (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration_ns = self.start.elapsed().as_nanos() as u64;
+        let end_ns = self.tracer.now_ns();
+        self.tracer.record(SpanRecord {
+            request_id: self.request_id.0,
+            sys: self.sys,
+            op: self.op,
+            start_ns: end_ns.saturating_sub(duration_ns),
+            duration_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_and_filter_by_request() {
+        let t = Tracer::new(16);
+        {
+            let _a = t.span(RequestId(1), "client", "append");
+            let _b = t.span(RequestId(2), "client", "read");
+        }
+        t.span(RequestId(1), "data", "chain_apply").finish();
+        let all = t.records();
+        assert_eq!(all.len(), 3);
+        let req1 = t.for_request(RequestId(1));
+        assert_eq!(req1.len(), 2);
+        assert!(req1.iter().any(|r| r.name() == "client.append"));
+        assert!(req1.iter().any(|r| r.name() == "data.chain_apply"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let t = Tracer::new(2);
+        t.span(RequestId(1), "x", "a").finish();
+        t.span(RequestId(2), "x", "b").finish();
+        t.span(RequestId(3), "x", "c").finish();
+        let names: Vec<_> = t.records().iter().map(|r| r.request_id).collect();
+        assert_eq!(names, vec![2, 3]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn untraced_sentinel() {
+        assert!(!RequestId::NONE.is_traced());
+        assert!(RequestId(7).is_traced());
+        assert_eq!(RequestId(7).to_string(), "req7");
+    }
+}

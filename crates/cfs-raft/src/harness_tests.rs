@@ -7,10 +7,12 @@ use std::collections::{HashMap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use cfs_obs::{MetricsSnapshot, Registry};
 use cfs_types::{NodeId, RaftGroupId};
 
 use crate::config::RaftConfig;
 use crate::message::{Envelope, SnapshotPayload};
+use crate::metrics::RaftMetrics;
 use crate::node::RaftNode;
 
 /// A simulated single-group cluster with droppable links and a per-node
@@ -382,6 +384,117 @@ fn chaos_drops_still_converge_and_prefix_property_holds() {
             );
         }
     }
+}
+
+/// The InstallSnapshot durability budget (pins the fix where received
+/// snapshots become part of the persistent state): every install a
+/// follower applied must also have been covered by a crash image.
+fn check_install_durability(snapshot: &MetricsSnapshot) {
+    let received = snapshot.counter("raft.snapshot_installs_received");
+    let persisted = snapshot.counter("raft.snapshot_installs_persisted");
+    assert!(
+        received > 0,
+        "budget test exercised no InstallSnapshot at all"
+    );
+    assert_eq!(
+        received, persisted,
+        "InstallSnapshot durability regression: {received} received vs \
+         {persisted} persisted — an installed snapshot did not make it \
+         into a crash image"
+    );
+}
+
+#[test]
+fn installed_snapshots_survive_crash_restore_budget() {
+    let registry = Registry::new();
+    let metrics = RaftMetrics::bind(&registry);
+    let mut c = Cluster::new(3, 47);
+    for id in c.ids() {
+        c.nodes.get_mut(&id).unwrap().set_metrics(metrics.clone());
+    }
+
+    // Same shape as `lagging_follower_catches_up_via_snapshot`: isolate a
+    // follower, commit + compact past it, heal so it recovers via
+    // InstallSnapshot.
+    let leader = c.elect();
+    let laggard = c.ids().into_iter().find(|&n| n != leader).unwrap();
+    c.isolate(laggard);
+    for i in 0..30u8 {
+        c.propose(leader, &[i]);
+    }
+    c.run_ticks(100);
+    {
+        let applied_cmds = c.applied[&leader].clone();
+        let node = c.nodes.get_mut(&leader).unwrap();
+        let (idx, term) = node.compaction_point();
+        node.compact(SnapshotPayload {
+            last_index: idx,
+            last_term: term,
+            data: encode_snapshot(&applied_cmds),
+        });
+    }
+    c.heal_all();
+    c.run_ticks(800);
+    let expect: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i]).collect();
+    assert_eq!(c.applied[&laggard], expect, "laggard caught up");
+    assert!(
+        registry
+            .snapshot()
+            .counter("raft.snapshot_installs_received")
+            > 0,
+        "catch-up must have gone through InstallSnapshot"
+    );
+
+    // Crash the laggard: the crash image is whatever `persistent_state`
+    // captures. Restore from it and re-attach the same metrics.
+    let ids = c.ids();
+    let crashed = c.nodes.remove(&laggard).unwrap();
+    let image = crashed.persistent_state();
+    drop(crashed);
+    let mut restored = RaftNode::restore(
+        laggard,
+        RaftGroupId(1),
+        ids,
+        RaftConfig {
+            snapshot_threshold: 0,
+            ..RaftConfig::default()
+        },
+        47,
+        image.clone(),
+    );
+    restored.set_metrics(metrics.clone());
+    c.nodes.insert(laggard, restored);
+    // The state machine restarts from the crash image's snapshot.
+    let restored_cmds = image.snapshot.as_ref().map(|s| decode_snapshot(&s.data));
+    *c.applied.get_mut(&laggard).unwrap() = restored_cmds.unwrap_or_default();
+
+    // It must still hold the full prefix and keep applying new entries.
+    c.run_ticks(800);
+    let leader = c.elect();
+    c.propose(leader, b"after-crash");
+    c.run_ticks(400);
+    assert_eq!(c.applied[&laggard].last().unwrap(), b"after-crash");
+    assert_eq!(c.applied[&laggard].len(), 31, "full prefix survived");
+
+    check_install_durability(&registry.snapshot());
+}
+
+/// The budget check itself must fail when the durability rule is broken:
+/// simulate a run where an install was received but never covered by a
+/// crash image and assert the checker panics.
+#[test]
+fn install_durability_check_detects_unpersisted_install() {
+    let registry = Registry::new();
+    registry.counter("raft.snapshot_installs_received").add(3);
+    registry.counter("raft.snapshot_installs_persisted").add(2);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(move || check_install_durability(&snap))
+        .expect_err("checker must reject received != persisted");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("InstallSnapshot durability regression"),
+        "unexpected panic message: {msg}"
+    );
 }
 
 #[test]

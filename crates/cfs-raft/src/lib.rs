@@ -23,6 +23,7 @@ mod config;
 pub mod hub;
 mod log;
 mod message;
+mod metrics;
 mod multiraft;
 mod node;
 
@@ -33,5 +34,6 @@ pub use config::RaftConfig;
 pub use hub::{DeliverySchedule, RaftHost, RaftHub};
 pub use log::{Entry, RaftLog};
 pub use message::{Envelope, Message, SnapshotPayload};
+pub use metrics::RaftMetrics;
 pub use multiraft::{GroupBeat, MultiRaft, WireEnvelope, WireMsg};
 pub use node::{PersistentRaftState, RaftNode, Ready, Role};

@@ -1,0 +1,48 @@
+//! Consensus metrics.
+
+use cfs_obs::{Counter, Registry};
+
+/// Registry-backed consensus counters, shared by every Raft group a node
+/// hosts (cloning shares the underlying atomics, so the registry sees
+/// cluster-wide aggregates).
+///
+/// `snapshot_installs_received` / `snapshot_installs_persisted` pin the
+/// InstallSnapshot durability rule: a received snapshot only counts as
+/// persisted once a crash image (`persistent_state`) actually covers it.
+/// If received snapshots stopped being part of the durable state again,
+/// the two counters would diverge — which is exactly what the harness
+/// regression test asserts against.
+#[derive(Debug, Clone, Default)]
+pub struct RaftMetrics {
+    /// Elections started (follower timeout fired).
+    pub elections_started: Counter,
+    /// Elections won (a node became leader).
+    pub leader_elections: Counter,
+    /// Proposals accepted by a leader.
+    pub proposals: Counter,
+    /// Log entries accepted by followers via AppendEntries.
+    pub entries_appended: Counter,
+    /// Non-stale InstallSnapshot messages applied by followers.
+    pub snapshot_installs_received: Counter,
+    /// Installed snapshots that made it into a crash image.
+    pub snapshot_installs_persisted: Counter,
+}
+
+impl RaftMetrics {
+    /// Metrics counted into private atomics (no registry attached).
+    pub fn detached() -> RaftMetrics {
+        RaftMetrics::default()
+    }
+
+    /// Metrics registered under `raft.*` names.
+    pub fn bind(registry: &Registry) -> RaftMetrics {
+        RaftMetrics {
+            elections_started: registry.counter("raft.elections_started"),
+            leader_elections: registry.counter("raft.leader_elections"),
+            proposals: registry.counter("raft.proposals"),
+            entries_appended: registry.counter("raft.entries_appended"),
+            snapshot_installs_received: registry.counter("raft.snapshot_installs_received"),
+            snapshot_installs_persisted: registry.counter("raft.snapshot_installs_persisted"),
+        }
+    }
+}

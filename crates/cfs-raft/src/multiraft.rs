@@ -14,6 +14,7 @@ use cfs_types::{NodeId, RaftGroupId, Result};
 
 use crate::config::RaftConfig;
 use crate::message::{Envelope, Message};
+use crate::metrics::RaftMetrics;
 use crate::node::{RaftNode, Ready};
 
 /// One group's heartbeat folded into a coalesced frame.
@@ -68,6 +69,8 @@ pub struct MultiRaft {
     /// Node-level heartbeat phase shared by every hosted group.
     heartbeat_elapsed: u64,
     stats: MultiRaftStats,
+    /// Shared by every hosted group, present and future.
+    metrics: RaftMetrics,
 }
 
 impl std::fmt::Debug for MultiRaft {
@@ -91,7 +94,18 @@ impl MultiRaft {
             coalesce,
             heartbeat_elapsed: 0,
             stats: MultiRaftStats::default(),
+            metrics: RaftMetrics::detached(),
         }
+    }
+
+    /// Attach consensus counters; shared with every group hosted now or
+    /// created/restored later. Call before the first `create_group` so no
+    /// events land in the detached default.
+    pub fn set_metrics(&mut self, metrics: RaftMetrics) {
+        for node in self.groups.values_mut() {
+            node.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
     }
 
     /// Create (and host) a new group replica on this node.
@@ -103,6 +117,7 @@ impl MultiRaft {
         // The host owns the heartbeat cadence so all groups beat in phase
         // and fold into one wire frame per peer.
         node.set_external_heartbeat(true);
+        node.set_metrics(self.metrics.clone());
         self.groups.insert(group, node);
         Ok(())
     }
@@ -128,6 +143,7 @@ impl MultiRaft {
             state,
         );
         node.set_external_heartbeat(true);
+        node.set_metrics(self.metrics.clone());
         self.groups.insert(group, node);
         Ok(())
     }

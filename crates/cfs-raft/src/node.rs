@@ -1,6 +1,7 @@
 //! A single Raft group member (sans-io).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -10,6 +11,7 @@ use cfs_types::{CfsError, NodeId, RaftGroupId, Result};
 use crate::config::RaftConfig;
 use crate::log::{Entry, RaftLog};
 use crate::message::{Envelope, Message, SnapshotPayload};
+use crate::metrics::RaftMetrics;
 
 /// Role within the group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,16 @@ pub struct RaftNode {
     /// When true, the embedding layer (MultiRaft) owns the heartbeat
     /// cadence so that all groups on a node beat in phase and coalesce.
     external_heartbeat: bool,
+
+    metrics: RaftMetrics,
+    /// InstallSnapshots applied by *this* member (registry counters
+    /// aggregate cluster-wide, so persisted-credit bookkeeping needs a
+    /// per-node ledger). Atomics because [`RaftNode::persistent_state`]
+    /// takes `&self` yet must mark installs as credited.
+    installs_received: AtomicU64,
+    installs_credited: AtomicU64,
+    /// `last_index` of the most recent applied install (0 = none yet).
+    last_install_index: AtomicU64,
 }
 
 impl std::fmt::Debug for RaftNode {
@@ -152,13 +164,46 @@ impl RaftNode {
             ready: Ready::default(),
             snapshot_payload: None,
             external_heartbeat: false,
+            metrics: RaftMetrics::detached(),
+            installs_received: AtomicU64::new(0),
+            installs_credited: AtomicU64::new(0),
+            last_install_index: AtomicU64::new(0),
         }
+    }
+
+    /// Attach consensus counters (detached atomics by default). The
+    /// embedding layer shares one [`RaftMetrics`] across all its groups.
+    pub fn set_metrics(&mut self, metrics: RaftMetrics) {
+        self.metrics = metrics;
     }
 
     /// Snapshot the durable state, as a crash-consistent image. The log is
     /// cloned wholesale: this model treats every appended entry as synced,
     /// matching the acknowledgement rule of Raft.
     pub fn persistent_state(&self) -> PersistentRaftState {
+        // Credit installed snapshots as *persisted* only when this crash
+        // image actually covers them: the durable `snapshot` field must
+        // reach at least the last install's index. If installs stopped
+        // being folded into `snapshot_payload` (the durability rule in
+        // `handle_install_snapshot`), no credit is ever given and
+        // `raft.snapshot_installs_persisted` falls behind
+        // `raft.snapshot_installs_received` — which the harness
+        // regression test turns into a failure.
+        let received = self.installs_received.load(Ordering::Relaxed);
+        let credited = self.installs_credited.load(Ordering::Relaxed);
+        if received > credited {
+            let install_index = self.last_install_index.load(Ordering::Relaxed);
+            let covered = self
+                .snapshot_payload
+                .as_ref()
+                .is_some_and(|s| s.last_index >= install_index);
+            if covered {
+                self.metrics
+                    .snapshot_installs_persisted
+                    .add(received - credited);
+                self.installs_credited.store(received, Ordering::Relaxed);
+            }
+        }
         PersistentRaftState {
             term: self.term,
             voted_for: self.voted_for,
@@ -304,6 +349,7 @@ impl RaftNode {
                 hint: self.leader_hint,
             });
         }
+        self.metrics.proposals.inc();
         let index = self.log.append_new(self.term, data);
         // Single-member groups commit immediately.
         self.maybe_advance_commit();
@@ -367,6 +413,7 @@ impl RaftNode {
     }
 
     fn start_election(&mut self) {
+        self.metrics.elections_started.inc();
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
@@ -395,6 +442,7 @@ impl RaftNode {
     }
 
     fn become_leader(&mut self) {
+        self.metrics.leader_elections.inc();
         self.role = Role::Leader;
         self.leader_hint = Some(self.id);
         self.heartbeat_elapsed = 0;
@@ -605,6 +653,9 @@ impl RaftNode {
         let ok = self.log.try_append(prev_index, prev_term, &entries);
         let my_term = self.term;
         if ok {
+            if !entries.is_empty() {
+                self.metrics.entries_appended.add(entries.len() as u64);
+            }
             let match_index = if entries.is_empty() {
                 prev_index
             } else {
@@ -681,6 +732,10 @@ impl RaftNode {
         self.log.compact_to(snapshot.last_index, snapshot.last_term);
         self.commit = self.commit.max(snapshot.last_index);
         self.applied = snapshot.last_index;
+        self.metrics.snapshot_installs_received.inc();
+        self.installs_received.fetch_add(1, Ordering::Relaxed);
+        self.last_install_index
+            .store(snapshot.last_index, Ordering::Relaxed);
         let my_term = self.term;
         let match_index = snapshot.last_index;
         // The received snapshot is durable: once the log is compacted past

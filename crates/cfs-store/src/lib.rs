@@ -23,10 +23,12 @@
 
 mod device;
 mod extent;
+mod metrics;
 mod small;
 mod store;
 
 pub use device::{BlockDevice, MemDevice, BLOCK_SIZE};
 pub use extent::Extent;
+pub use metrics::StoreMetrics;
 pub use small::SmallFileLocation;
 pub use store::{ExtentStore, StoreStats};

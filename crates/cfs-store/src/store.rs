@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use cfs_types::{CfsError, ExtentId, Result};
 
 use crate::extent::Extent;
+use crate::metrics::StoreMetrics;
 use crate::small::{SmallFileLocation, SmallFilePacker};
 
 /// Utilization counters for placement decisions and tests.
@@ -34,6 +35,8 @@ pub struct ExtentStore {
     packer: SmallFilePacker,
     /// Capacity limit: extents beyond this refuse creation (§2.3.1).
     extent_limit: u64,
+    /// Byte accounting, detached until [`ExtentStore::set_metrics`].
+    metrics: StoreMetrics,
 }
 
 impl ExtentStore {
@@ -45,7 +48,13 @@ impl ExtentStore {
             next_extent_id: 1,
             packer: SmallFilePacker::new(small_extent_rotate_at),
             extent_limit,
+            metrics: StoreMetrics::detached(),
         }
+    }
+
+    /// Attach byte-accounting metrics (shared across the node's stores).
+    pub fn set_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// Store with defaults suitable for tests: 128 MB shared extents, no
@@ -69,6 +78,7 @@ impl ExtentStore {
         let id = ExtentId(self.next_extent_id);
         self.next_extent_id += 1;
         self.extents.insert(id, Extent::new(id));
+        self.metrics.extents_created.inc();
         Ok(id)
     }
 
@@ -80,6 +90,7 @@ impl ExtentStore {
         }
         self.next_extent_id = self.next_extent_id.max(id.raw() + 1);
         self.extents.insert(id, Extent::new(id));
+        self.metrics.extents_created.inc();
         Ok(())
     }
 
@@ -103,12 +114,17 @@ impl ExtentStore {
 
     /// Append at the extent watermark; returns the new watermark.
     pub fn append(&mut self, id: ExtentId, offset: u64, data: &[u8]) -> Result<u64> {
-        self.extent_mut(id)?.append(offset, data)
+        let watermark = self.extent_mut(id)?.append(offset, data)?;
+        self.metrics.bytes_written.add(data.len() as u64);
+        self.metrics.live_bytes.add(data.len() as i64);
+        Ok(watermark)
     }
 
     /// In-place overwrite below the watermark.
     pub fn overwrite(&mut self, id: ExtentId, offset: u64, data: &[u8]) -> Result<()> {
-        self.extent_mut(id)?.overwrite(offset, data)
+        self.extent_mut(id)?.overwrite(offset, data)?;
+        self.metrics.bytes_overwritten.add(data.len() as u64);
+        Ok(())
     }
 
     /// Read from an extent.
@@ -156,7 +172,10 @@ impl ExtentStore {
     /// queues these.
     pub fn delete_small_file(&mut self, loc: SmallFileLocation) -> Result<()> {
         self.extent_mut(loc.extent_id)?
-            .punch_hole(loc.offset, loc.len)
+            .punch_hole(loc.offset, loc.len)?;
+        self.metrics.bytes_punched.add(loc.len);
+        self.metrics.live_bytes.sub(loc.len as i64);
+        Ok(())
     }
 
     /// Remove a whole extent (large-file deletion removes extents directly,
@@ -165,15 +184,26 @@ impl ExtentStore {
         if self.packer.active == Some(id) {
             self.packer.active = None;
         }
-        self.extents
+        let e = self
+            .extents
             .remove(&id)
-            .map(|_| ())
-            .ok_or_else(|| CfsError::NotFound(format!("{id}")))
+            .ok_or_else(|| CfsError::NotFound(format!("{id}")))?;
+        // Only still-live bytes move to `freed`; punched bytes were
+        // already accounted when the holes were cut.
+        let live = e.size().saturating_sub(e.punched_bytes());
+        self.metrics.bytes_freed.add(live);
+        self.metrics.live_bytes.sub(live as i64);
+        Ok(())
     }
 
     /// Truncate an extent (primary-backup recovery alignment, §2.2.5).
     pub fn truncate_extent(&mut self, id: ExtentId, new_size: u64) -> Result<()> {
-        self.extent_mut(id)?.truncate(new_size)
+        let e = self.extent_mut(id)?;
+        let shrunk = e.size().saturating_sub(new_size);
+        e.truncate(new_size)?;
+        self.metrics.bytes_truncated.add(shrunk);
+        self.metrics.live_bytes.sub(shrunk as i64);
+        Ok(())
     }
 
     /// Ids of all extents, unordered.
@@ -211,7 +241,23 @@ impl ExtentStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfs_obs::Registry;
     use proptest::prelude::*;
+
+    /// The §2.2.3 space-accounting identity the proptest enforces after
+    /// every step. Panics with the step label on violation.
+    fn check_space_identity(registry: &Registry, when: &str) {
+        let s = registry.snapshot();
+        let written = s.counter("store.bytes_written");
+        let punched = s.counter("store.bytes_punched");
+        let live = s.gauge("store.live_bytes").map(|g| g.value).unwrap_or(0);
+        assert_eq!(
+            written as i64 - punched as i64,
+            live,
+            "space identity violated ({when}): \
+             bytes_written {written} - bytes_punched {punched} != live_bytes {live}"
+        );
+    }
 
     #[test]
     fn large_file_path_uses_dedicated_extents() {
@@ -335,6 +381,49 @@ mod tests {
         st.scrub().unwrap();
     }
 
+    /// Forced failure: a perturbed ledger (a write the gauge never saw)
+    /// must trip the identity check — proves the proptest can actually
+    /// fail, not just vacuously pass.
+    #[test]
+    fn space_identity_check_detects_unaccounted_write() {
+        let registry = Registry::new();
+        let mut st = ExtentStore::with_defaults();
+        st.set_metrics(StoreMetrics::bind(&registry));
+        st.write_small_file(&[7u8; 100]).unwrap();
+        check_space_identity(&registry, "healthy");
+        // Perturb: claim 50 written bytes that never hit the store.
+        registry.counter("store.bytes_written").add(50);
+        let err = std::panic::catch_unwind(|| check_space_identity(&registry, "perturbed"))
+            .expect_err("perturbed ledger must violate the identity");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("space identity violated"), "got: {msg}");
+    }
+
+    /// Overwrites and whole-extent deletes keep the *general* ledger
+    /// balanced: written - punched - freed - truncated == live.
+    #[test]
+    fn general_ledger_balances_across_extent_lifecycle() {
+        let registry = Registry::new();
+        let mut st = ExtentStore::with_defaults();
+        st.set_metrics(StoreMetrics::bind(&registry));
+        let e = st.create_extent().unwrap();
+        st.append(e, 0, &[1u8; 4096]).unwrap();
+        st.overwrite(e, 100, &[2u8; 50]).unwrap();
+        st.truncate_extent(e, 1024).unwrap();
+        let f = st.create_extent().unwrap();
+        st.append(f, 0, &[3u8; 2048]).unwrap();
+        st.delete_extent(f).unwrap();
+        let s = registry.snapshot();
+        let live = s.counter("store.bytes_written") as i64
+            - s.counter("store.bytes_punched") as i64
+            - s.counter("store.bytes_freed") as i64
+            - s.counter("store.bytes_truncated") as i64;
+        assert_eq!(live, s.gauge("store.live_bytes").unwrap().value);
+        assert_eq!(live, 1024);
+        assert_eq!(s.counter("store.bytes_overwritten"), 50);
+        assert_eq!(s.counter("store.extents_created"), 2);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -366,6 +455,47 @@ mod tests {
                     prop_assert!(data.iter().all(|&b| b == fill), "file {i} intact");
                 }
             }
+        }
+
+        /// Space-accounting identity (§2.2.3 / §3.2 punch-hole dealloc):
+        /// over any interleaving of small-file writes and deletes,
+        /// `bytes_written - bytes_punched == live_bytes` holds after every
+        /// single step — the punch path must account exactly, not
+        /// eventually.
+        #[test]
+        fn prop_space_accounting_identity(
+            sizes in proptest::collection::vec(1usize..4096, 1..48),
+            delete_at in proptest::collection::vec(any::<u8>(), 1..48),
+            rotate_at in 1024u64..32_768,
+        ) {
+            let registry = Registry::new();
+            let mut st = ExtentStore::new(rotate_at, 0);
+            st.set_metrics(StoreMetrics::bind(&registry));
+            let mut written = Vec::new();
+            for (i, &sz) in sizes.iter().enumerate() {
+                let loc = st.write_small_file(&vec![i as u8; sz]).unwrap();
+                written.push(Some(loc));
+                check_space_identity(&registry, "after write");
+                // Interleave: every few writes, delete an earlier survivor.
+                let victim = delete_at[i % delete_at.len()] as usize % written.len();
+                if i % 3 == 2 {
+                    if let Some(loc) = written[victim].take() {
+                        st.delete_small_file(loc).unwrap();
+                        check_space_identity(&registry, "after delete");
+                    }
+                }
+            }
+            // Drain every survivor; the identity must land back exactly.
+            for loc in written.iter_mut().filter_map(Option::take) {
+                st.delete_small_file(loc).unwrap();
+                check_space_identity(&registry, "during drain");
+            }
+            let s = registry.snapshot();
+            prop_assert_eq!(s.gauge("store.live_bytes").unwrap().value, 0);
+            prop_assert_eq!(
+                s.counter("store.bytes_written"),
+                s.counter("store.bytes_punched")
+            );
         }
 
         /// Appends followed by arbitrary in-range overwrites behave like a

@@ -46,6 +46,10 @@ impl Decode for PacketOp {
 /// One data-path write packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
+    /// Causal request id of the client op this packet belongs to (0 =
+    /// untraced). Carried in the header so every hop — net, chain
+    /// replicas, store — can tag its trace spans with the same id.
+    pub request_id: u64,
     /// Append or overwrite.
     pub op: PacketOp,
     /// Target data partition.
@@ -64,7 +68,7 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Build a packet, computing the data CRC.
+    /// Build an untraced packet, computing the data CRC.
     pub fn new(
         op: PacketOp,
         partition_id: PartitionId,
@@ -75,6 +79,7 @@ impl Packet {
     ) -> Self {
         let crc = crc32(&data);
         Packet {
+            request_id: 0,
             op,
             partition_id,
             extent_id,
@@ -83,6 +88,12 @@ impl Packet {
             data,
             crc,
         }
+    }
+
+    /// Tag the packet with the causal request id of its client op.
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = request_id;
+        self
     }
 
     /// Verify payload integrity against the carried CRC.
@@ -113,6 +124,7 @@ impl Packet {
 
 impl Encode for Packet {
     fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.request_id);
         self.op.encode(enc);
         self.partition_id.encode(enc);
         self.extent_id.encode(enc);
@@ -126,6 +138,7 @@ impl Encode for Packet {
 impl Decode for Packet {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         Ok(Packet {
+            request_id: dec.get_u64()?,
             op: PacketOp::decode(dec)?,
             partition_id: PartitionId::decode(dec)?,
             extent_id: ExtentId::decode(dec)?,
@@ -151,12 +164,27 @@ mod tests {
             vec![NodeId(1), NodeId(2), NodeId(3)],
             Bytes::from_static(b"hello world"),
         )
+        .with_request_id(42)
     }
 
     #[test]
     fn packet_roundtrip() {
         let p = sample();
+        assert_eq!(p.request_id, 42);
         assert_eq!(roundtrip(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn new_packets_are_untraced() {
+        let p = Packet::new(
+            PacketOp::Append,
+            PartitionId(1),
+            ExtentId(1),
+            0,
+            vec![NodeId(1)],
+            Bytes::new(),
+        );
+        assert_eq!(p.request_id, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use cfs_data::{DataNode, DataRequest, DataResponse};
 use cfs_master::{MasterCommand, MasterNode, MasterRequest, MasterResponse, NodeKind, Task};
 use cfs_meta::{MetaNode, MetaPartitionConfig, MetaRequest, MetaResponse};
 use cfs_net::Network;
+use cfs_obs::{MetricsSnapshot, Registry};
 use cfs_raft::{RaftConfig, RaftHub};
 use cfs_types::testutil::TempDir;
 use cfs_types::{
@@ -96,6 +97,11 @@ impl ClusterBuilder {
         let faults = FaultState::new();
         hub.set_faults(faults.clone());
 
+        // One registry for the whole cluster: every node, fabric and
+        // client mounted through [`Cluster::mount`] names its metrics
+        // here, so a single snapshot covers the full stack.
+        let registry = Registry::new();
+
         let fabrics = Fabrics {
             master: Network::new(),
             meta: Network::new(),
@@ -104,6 +110,9 @@ impl ClusterBuilder {
         fabrics.master.set_faults(faults.clone());
         fabrics.meta.set_faults(faults.clone());
         fabrics.data.set_faults(faults.clone());
+        fabrics.master.bind_metrics(&registry, "master");
+        fabrics.meta.bind_metrics(&registry, "meta");
+        fabrics.data.bind_metrics(&registry, "data");
 
         // Resource-manager replicas.
         let master_dir = TempDir::new("cfs-master")?;
@@ -113,7 +122,7 @@ impl ClusterBuilder {
         let masters: Vec<Arc<MasterNode>> = master_ids
             .iter()
             .map(|&id| {
-                MasterNode::open(
+                MasterNode::open_with_registry(
                     id,
                     hub.clone(),
                     &master_dir.path().join(format!("{id}")),
@@ -121,6 +130,7 @@ impl ClusterBuilder {
                     self.config.clone(),
                     self.raft_config.clone(),
                     self.seed,
+                    Some(&registry),
                 )
             })
             .collect::<Result<_>>()?;
@@ -134,11 +144,12 @@ impl ClusterBuilder {
         // Meta nodes.
         let meta_nodes: Vec<Arc<MetaNode>> = (0..self.meta_nodes as u64)
             .map(|i| {
-                MetaNode::new(
+                MetaNode::with_registry(
                     NodeId(META_NODE_BASE + i),
                     hub.clone(),
                     self.raft_config.clone(),
                     self.seed,
+                    Some(&registry),
                 )
             })
             .collect();
@@ -152,12 +163,13 @@ impl ClusterBuilder {
         // Data nodes.
         let data_nodes: Vec<Arc<DataNode>> = (0..self.data_nodes as u64)
             .map(|i| {
-                DataNode::new(
+                DataNode::with_registry(
                     NodeId(DATA_NODE_BASE + i),
                     hub.clone(),
                     fabrics.data.clone(),
                     self.raft_config.clone(),
                     self.seed,
+                    Some(&registry),
                 )
             })
             .collect();
@@ -172,6 +184,7 @@ impl ClusterBuilder {
             hub,
             faults,
             fabrics,
+            registry,
             masters,
             meta_nodes,
             data_nodes,
@@ -206,6 +219,7 @@ pub struct Cluster {
     hub: RaftHub,
     faults: FaultState,
     fabrics: Fabrics,
+    registry: Registry,
     masters: Vec<Arc<MasterNode>>,
     meta_nodes: Vec<Arc<MetaNode>>,
     data_nodes: Vec<Arc<DataNode>>,
@@ -225,6 +239,17 @@ impl Cluster {
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// The cluster-wide metrics registry (every node, fabric and mounted
+    /// client names its metrics here).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Convenience: a point-in-time snapshot of every cluster metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// The raft hub (advanced: drive ticks manually in tests).
@@ -457,8 +482,17 @@ impl Cluster {
         self.mount_with_options(volume_name, ClientOptions::default())
     }
 
-    /// Mount with explicit client options.
-    pub fn mount_with_options(&self, volume_name: &str, options: ClientOptions) -> Result<Client> {
+    /// Mount with explicit client options. Unless the caller supplied its
+    /// own registry, the client joins the cluster-wide one so its
+    /// `client.*` counters land in the same snapshot as everything else.
+    pub fn mount_with_options(
+        &self,
+        volume_name: &str,
+        mut options: ClientOptions,
+    ) -> Result<Client> {
+        if options.registry.is_none() {
+            options.registry = Some(self.registry.clone());
+        }
         let id = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
         Client::mount(
             id,
@@ -524,7 +558,13 @@ impl Cluster {
     /// the node simply starts attracting future placements.
     pub fn add_meta_node(&mut self) -> Result<NodeId> {
         let id = NodeId(META_NODE_BASE + self.meta_nodes.len() as u64);
-        let node = MetaNode::new(id, self.hub.clone(), self.raft_config.clone(), self.seed);
+        let node = MetaNode::with_registry(
+            id,
+            self.hub.clone(),
+            self.raft_config.clone(),
+            self.seed,
+            Some(&self.registry),
+        );
         let n2 = node.clone();
         self.fabrics
             .meta
@@ -541,12 +581,13 @@ impl Cluster {
     /// Capacity expansion: add a fresh data node.
     pub fn add_data_node(&mut self) -> Result<NodeId> {
         let id = NodeId(DATA_NODE_BASE + self.data_nodes.len() as u64);
-        let node = DataNode::new(
+        let node = DataNode::with_registry(
             id,
             self.hub.clone(),
             self.fabrics.data.clone(),
             self.raft_config.clone(),
             self.seed,
+            Some(&self.registry),
         );
         let n2 = node.clone();
         self.fabrics
@@ -575,12 +616,13 @@ impl Cluster {
         self.faults.set_down(id, true);
         self.fabrics.meta.deregister(id);
         let image = self.meta_nodes[idx].export_crash_image();
-        let node = MetaNode::restore(
+        let node = MetaNode::restore_with_registry(
             id,
             self.hub.clone(),
             self.raft_config.clone(),
             self.seed,
             image,
+            Some(&self.registry),
         )?;
         // Replacing the slot drops the crashed node's last strong ref;
         // the hub's weak handle to it expires on the next pump.
@@ -608,13 +650,14 @@ impl Cluster {
         self.faults.set_down(id, true);
         self.fabrics.data.deregister(id);
         let image = self.data_nodes[idx].export_crash_image();
-        let node = DataNode::restore(
+        let node = DataNode::restore_with_registry(
             id,
             self.hub.clone(),
             self.fabrics.data.clone(),
             self.raft_config.clone(),
             self.seed,
             image,
+            Some(&self.registry),
         )?;
         self.data_nodes[idx] = node;
         Ok(id)

@@ -32,7 +32,8 @@ pub use cfs_client::{Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandl
 pub use cfs_data::{DataNode, DataRequest, DataResponse, ExtentInfo};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
 pub use cfs_meta::{MetaNode, MetaPartition, MetaRequest};
-pub use cfs_net::{DeliveryHook, DeliveryVerdict};
+pub use cfs_net::{DeliveryHook, DeliveryVerdict, DropCauses};
+pub use cfs_obs::{MetricsSnapshot, Registry, RequestId, RpcRoute, Span, SpanRecord, Tracer};
 pub use cfs_raft::{DeliverySchedule, RaftConfig, RaftHub};
 pub use cfs_types::{
     CfsError, ClusterConfig, Dentry, ExtentId, ExtentKey, FaultState, FileType, Inode, InodeId,

@@ -1,0 +1,152 @@
+//! Behavioral-budget regression tests: lock in the data-path pipelining
+//! wins (windowed appends, batched meta sync) with *exact* metric
+//! budgets, so a refactor that quietly serializes the window or
+//! re-chattifies the meta sync fails loudly.
+//!
+//! The budgets come straight from the client design (§2.7.1):
+//!  * `n` packet appends at `meta_sync_every = k` issue exactly
+//!    `ceil(n/k) + 1` meta sync RPCs (cadence flushes + the close flush,
+//!    plus the small-file write's unconditional sync);
+//!  * at most `pipeline_depth` append packets are ever in flight;
+//!  * each 3-replica chain append costs exactly 3 fabric calls (client →
+//!    head, head → middle, middle → tail).
+
+use std::time::Duration;
+
+use cfs::{ClientOptions, ClusterBuilder, ClusterConfig, MetricsSnapshot};
+
+const PACKET: u64 = 4096;
+const DEPTH: u32 = 4;
+const SYNC_EVERY: u32 = 32;
+const PACKETS: u64 = 100;
+const REPLICAS: u64 = 3;
+
+/// The append-path budget over one measured window of work. Factored out
+/// so the forced-failure test below can prove it actually rejects
+/// perturbed counters.
+fn check_append_budget(window: &MetricsSnapshot, packets: u64, syncs: u64, depth: i64) {
+    let sent = window.counter("client.packets_sent");
+    assert!(
+        sent == packets,
+        "append budget regression: {sent} packets sent, expected exactly {packets}"
+    );
+    let m = window.counter("client.meta_syncs");
+    assert!(
+        m == syncs,
+        "append budget regression: {m} meta syncs, expected exactly {syncs}"
+    );
+    if let Some(g) = window.gauge("client.inflight_packets") {
+        assert!(
+            g.high_water <= depth,
+            "append budget regression: {} packets in flight, window allows {depth}",
+            g.high_water
+        );
+    }
+}
+
+#[test]
+fn pipelined_append_meta_sync_budget() {
+    let config = ClusterConfig {
+        packet_size: PACKET,
+        small_file_threshold: PACKET,
+        ..ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new().config(config).build().unwrap();
+    cluster.create_volume("budget", 1, 4).unwrap();
+    let client = cluster
+        .mount_with_options(
+            "budget",
+            ClientOptions {
+                pipeline_depth: DEPTH,
+                meta_sync_every: SYNC_EVERY,
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+    // Give every append a real round trip so window packets genuinely
+    // overlap (the gauge's high-water mark must still respect the depth).
+    cluster.set_data_latency(Duration::from_millis(2));
+
+    let root = client.root();
+    client.create(root, "f").unwrap();
+    let mut fh = client.open(root, "f").unwrap();
+
+    let before = cluster.metrics_snapshot();
+
+    // One small-file write (aggregated-extent path, syncs immediately),
+    // then 100 packets appended as 25 window-sized writes.
+    client.write(&mut fh, &vec![1u8; 1024]).unwrap();
+    for i in 0..(PACKETS / DEPTH as u64) {
+        let body = vec![i as u8; (PACKET * DEPTH as u64) as usize];
+        client.write(&mut fh, &body).unwrap();
+    }
+    client.close(&mut fh).unwrap();
+
+    cluster.set_data_latency(Duration::ZERO);
+    let window = cluster.metrics_snapshot().diff(&before);
+
+    // floor(100/32) = 3 cadence flushes + 1 close flush + 1 small-file
+    // sync = ceil(100/32) + 1.
+    let expected_syncs = PACKETS.div_ceil(SYNC_EVERY as u64) + 1;
+    check_append_budget(&window, PACKETS, expected_syncs, DEPTH as i64);
+
+    // The window genuinely pipelined: strictly fewer blocking waits than
+    // packets, and more than one packet actually in flight at once.
+    assert_eq!(
+        window.counter("client.window_waits"),
+        PACKETS / DEPTH as u64
+    );
+    let inflight = window.gauge("client.inflight_packets").unwrap();
+    assert!(
+        inflight.high_water >= 2,
+        "no overlap observed: high water {}",
+        inflight.high_water
+    );
+
+    // Chain fan-out is visible per route: every packet costs exactly one
+    // fabric call per replica (client → head → middle → tail), and the
+    // small-file write forwards down its chain as plain appends (the two
+    // follower hops).
+    assert_eq!(
+        window.counter("net.calls{fabric=data,route=data.append}"),
+        PACKETS * REPLICAS + (REPLICAS - 1)
+    );
+
+    // The registry view and the legacy per-client stats agree.
+    let stats = client.data_path_stats();
+    assert_eq!(stats.packets_sent, PACKETS);
+    assert_eq!(stats.meta_syncs, expected_syncs);
+}
+
+#[test]
+fn append_budget_check_rejects_perturbed_counters() {
+    // Prove the budget assertion actually fails when the counters drift:
+    // one extra meta sync (a chattier client) must trip it.
+    let registry = cfs::Registry::new();
+    registry.counter("client.packets_sent").add(PACKETS);
+    registry.counter("client.meta_syncs").add(6); // budget says 5
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_append_budget(&snap, PACKETS, 5, DEPTH as i64))
+        .expect_err("perturbed meta-sync count must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("append budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // And an over-deep window must trip the in-flight bound.
+    let registry = cfs::Registry::new();
+    registry.counter("client.packets_sent").add(PACKETS);
+    registry.counter("client.meta_syncs").add(5);
+    registry
+        .gauge("client.inflight_packets")
+        .add(DEPTH as i64 + 1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_append_budget(&snap, PACKETS, 5, DEPTH as i64))
+        .expect_err("over-deep window must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("packets in flight"),
+        "unexpected panic message: {msg}"
+    );
+}

@@ -27,16 +27,23 @@
 //! (d) meta snapshot/replay equivalence: every replica of a meta partition
 //!     applies the same committed log, their state snapshots are
 //!     byte-identical, and a snapshot restores to an identical snapshot
-//!     (§2.1.3).
+//!     (§2.1.3);
+//! (e) fault/metric reconciliation: on every fabric the per-cause drop
+//!     split partitions the drop total, the registry's per-route counters
+//!     agree with the always-on fabric counters, and every hook-caused
+//!     drop is one the seeded schedule's hooks actually fired — losses
+//!     are fully explained by injected faults, never by silent routing
+//!     bugs.
 
 use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cfs::{
     CfsError, Client, ClientOptions, Cluster, ClusterBuilder, ClusterConfig, DeliveryHook,
-    DeliverySchedule, DeliveryVerdict, Dentry, ExtentId, FileHandle, InodeId, MetaPartition,
-    NodeId, PartitionId, RaftConfig,
+    DeliverySchedule, DeliveryVerdict, Dentry, DropCauses, ExtentId, FileHandle, InodeId,
+    MetaPartition, MetricsSnapshot, NodeId, PartitionId, RaftConfig,
 };
 use cfs_sim::schedule::{ChaosStep, ClusterShape, FaultPlan, FaultStep, NodeRef, WorkloadStep};
 
@@ -59,14 +66,18 @@ impl DeliverySchedule for DeferOdd {
     }
 }
 
-/// Drops every `one_in`-th client RPC on the fabric it is installed on.
+/// Drops every `one_in`-th client RPC on the fabric it is installed on,
+/// counting each drop it actually fired so invariant (e) can reconcile
+/// the fabric's loss counters against the schedule.
 struct DropEvery {
     one_in: u64,
+    fired: AtomicU64,
 }
 
 impl DeliveryHook for DropEvery {
     fn verdict(&self, seq: u64, _from: NodeId, _to: NodeId) -> DeliveryVerdict {
         if seq.is_multiple_of(self.one_in) {
+            self.fired.fetch_add(1, Ordering::Relaxed);
             DeliveryVerdict::Drop
         } else {
             DeliveryVerdict::Deliver
@@ -153,6 +164,44 @@ fn check_read(seed: u64, file: usize, when: &str, got: &[u8], base: &[u8], pendi
     }
 }
 
+/// Invariant (e), per fabric: the registry's per-route/per-cause counters
+/// must agree exactly with the fabric's always-on counters, and the cause
+/// split must partition the drop total. Factored out so the forced-failure
+/// test below can prove it rejects books that don't balance.
+fn check_fabric_reconciliation(
+    seed: u64,
+    snap: &MetricsSnapshot,
+    fabric: &str,
+    calls: u64,
+    drops: u64,
+    causes: DropCauses,
+    rejections: u64,
+) {
+    assert_eq!(
+        causes.total(),
+        drops,
+        "invariant (e): {fabric} drop causes don't partition the drop total (seed {seed})"
+    );
+    let routed = snap.counter_sum(&format!("net.calls{{fabric={fabric}"));
+    assert_eq!(
+        routed, calls,
+        "invariant (e): {fabric} per-route call counters disagree with the \
+         fabric total (seed {seed})"
+    );
+    let cause_counters = snap.counter_sum(&format!("net.drops{{fabric={fabric}"));
+    assert_eq!(
+        cause_counters, drops,
+        "invariant (e): {fabric} per-cause drop counters disagree with the \
+         fabric total (seed {seed})"
+    );
+    assert_eq!(
+        snap.counter(&format!("net.rejections{{fabric={fabric}}}")),
+        rejections,
+        "invariant (e): {fabric} rejection counter disagrees with the fabric \
+         total (seed {seed})"
+    );
+}
+
 struct Chaos {
     seed: u64,
     cluster: Cluster,
@@ -166,6 +215,9 @@ struct Chaos {
     /// Directed link cuts currently installed. Healed individually — never
     /// via `heal_all`, which would also resurrect crashed nodes.
     cuts: Vec<(NodeId, NodeId)>,
+    /// Every drop hook the schedule ever installed, kept so invariant (e)
+    /// can total the drops the schedule actually fired.
+    drop_hooks: Vec<Arc<DropEvery>>,
     /// Test knob: force a failure at the first quiesce so the repro-line
     /// plumbing can be exercised.
     sabotage: bool,
@@ -216,6 +268,7 @@ impl Chaos {
             crashed_meta: None,
             crashed_data: None,
             cuts: Vec::new(),
+            drop_hooks: Vec::new(),
             sabotage,
         }
     }
@@ -406,7 +459,9 @@ impl Chaos {
             FaultStep::DropRpcs { one_in } => {
                 let hook = Arc::new(DropEvery {
                     one_in: one_in as u64,
+                    fired: AtomicU64::new(0),
                 });
+                self.drop_hooks.push(hook.clone());
                 self.cluster
                     .fabrics()
                     .meta
@@ -477,6 +532,9 @@ impl Chaos {
 
         // 8. Invariant (d): meta snapshot/replay equivalence.
         self.check_meta_snapshot_replay();
+
+        // 9. Invariant (e): fault/metric reconciliation.
+        self.check_net_reconciliation();
     }
 
     /// Wait until the masters and every meta/data partition have a leader.
@@ -726,6 +784,62 @@ impl Chaos {
         }
     }
 
+    fn check_net_reconciliation(&self) {
+        let snap = self.cluster.metrics_snapshot();
+        let fabrics = self.cluster.fabrics();
+        check_fabric_reconciliation(
+            self.seed,
+            &snap,
+            "master",
+            fabrics.master.call_count(),
+            fabrics.master.drop_count(),
+            fabrics.master.drop_causes(),
+            fabrics.master.rejection_count(),
+        );
+        check_fabric_reconciliation(
+            self.seed,
+            &snap,
+            "meta",
+            fabrics.meta.call_count(),
+            fabrics.meta.drop_count(),
+            fabrics.meta.drop_causes(),
+            fabrics.meta.rejection_count(),
+        );
+        check_fabric_reconciliation(
+            self.seed,
+            &snap,
+            "data",
+            fabrics.data.call_count(),
+            fabrics.data.drop_count(),
+            fabrics.data.drop_causes(),
+            fabrics.data.rejection_count(),
+        );
+
+        // Hook-caused drops must be exactly the ones the schedule's hooks
+        // fired: the hooks only ever ride the meta and data fabrics, and
+        // each firing is one fabric-level drop (nothing else produces
+        // cause=hook, and no firing goes unaccounted).
+        let fired: u64 = self
+            .drop_hooks
+            .iter()
+            .map(|h| h.fired.load(Ordering::Relaxed))
+            .sum();
+        let hook_drops = fabrics.meta.drop_causes().hook + fabrics.data.drop_causes().hook;
+        assert_eq!(
+            fired, hook_drops,
+            "invariant (e): schedule hooks fired {fired} drops but the fabrics \
+             counted {hook_drops} (seed {})",
+            self.seed
+        );
+        assert_eq!(
+            fabrics.master.drop_causes().hook,
+            0,
+            "invariant (e): master fabric counted hook drops but no hook was \
+             ever installed there (seed {})",
+            self.seed
+        );
+    }
+
     fn check_meta_snapshot_replay(&self) {
         let metas = self.cluster.meta_nodes();
         let hub = self.cluster.hub();
@@ -889,6 +1003,44 @@ fn chaos_extended_seeds() {
             run_seed(1_000 + seed);
         }
     }
+}
+
+/// Invariant (e)'s checker must reject books that don't balance: a drop
+/// that reached the always-on counters but not the registry (or vice
+/// versa) is exactly the kind of silent skew it exists to catch.
+#[test]
+fn net_reconciliation_detects_unaccounted_drops() {
+    // Registry saw 5 routed calls but the fabric counted 6: one call
+    // escaped per-route accounting.
+    let registry = cfs::Registry::new();
+    registry
+        .counter("net.calls{fabric=data,route=data.append}")
+        .add(5);
+    let snap = registry.snapshot();
+    let err = panic::catch_unwind(|| {
+        check_fabric_reconciliation(0, &snap, "data", 6, 0, DropCauses::default(), 0)
+    })
+    .expect_err("per-route undercount must fail reconciliation");
+    assert!(
+        panic_message(err.as_ref()).contains("invariant (e)"),
+        "unexpected panic message"
+    );
+
+    // A drop whose cause was never classified: total 3, causes sum to 2.
+    let registry = cfs::Registry::new();
+    registry.counter("net.drops{fabric=meta,cause=hook}").add(2);
+    let snap = registry.snapshot();
+    let causes = DropCauses {
+        hook: 2,
+        ..DropCauses::default()
+    };
+    let err =
+        panic::catch_unwind(|| check_fabric_reconciliation(0, &snap, "meta", 0, 3, causes, 0))
+            .expect_err("unclassified drop must fail reconciliation");
+    assert!(
+        panic_message(err.as_ref()).contains("partition the drop total"),
+        "unexpected panic message"
+    );
 }
 
 /// A forced failure must print the `CHAOS_SEED=…` repro line, and the
