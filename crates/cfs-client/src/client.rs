@@ -134,6 +134,12 @@ pub(crate) struct DataPathStats {
     /// Append packets currently in flight; the high-water mark is the
     /// budget tests' proof that the window never exceeds `pipeline_depth`.
     pub inflight_packets: GaugePair,
+    /// Retry passes taken after a failed scan (never incremented on the
+    /// happy path; per-op breakdown lives in `client.retries{op=..}`).
+    pub retries: CounterPair,
+    /// Partition-table re-fetches triggered by failed scans (§2.4: the
+    /// cached view went stale — e.g. repair moved a replica).
+    pub view_refreshes: CounterPair,
 }
 
 impl DataPathStats {
@@ -147,6 +153,8 @@ impl DataPathStats {
             ),
             small_writes: CounterPair::shared(registry.counter("client.small_writes")),
             inflight_packets: GaugePair::shared(registry.gauge("client.inflight_packets")),
+            retries: CounterPair::shared(registry.counter("client.retries")),
+            view_refreshes: CounterPair::shared(registry.counter("client.view_refresh")),
         }
     }
 }
@@ -158,6 +166,8 @@ pub struct DataPathSnapshot {
     pub window_waits: u64,
     pub meta_syncs: u64,
     pub parallel_read_fanouts: u64,
+    pub retries: u64,
+    pub view_refreshes: u64,
 }
 
 /// RPC fabrics the client talks over.
@@ -287,6 +297,8 @@ impl Client {
             window_waits: self.stats.window_waits.get(),
             meta_syncs: self.stats.meta_syncs.get(),
             parallel_read_fanouts: self.stats.parallel_read_fanouts.get(),
+            retries: self.stats.retries.get(),
+            view_refreshes: self.stats.view_refreshes.get(),
         }
     }
 
@@ -309,6 +321,62 @@ impl Client {
     }
 
     // ------------------------------------------------------------------
+    // Retry discipline (§2.1.3): deterministic capped exponential backoff
+    // ------------------------------------------------------------------
+
+    /// Wait before retry pass `pass` (0 = the first *re*-scan): the delay
+    /// is `min(cap, base << pass)` backoff units plus seeded jitter in
+    /// `[0, delay]`. The simulation has no wall clock, so the wait is
+    /// charged to the client's logical clock — schedules stay reproducible
+    /// while timestamps still reflect the exponential spacing.
+    pub(crate) fn backoff(&self, pass: u32) {
+        let base = u64::from(self.config.retry_backoff_base.max(1));
+        let cap = u64::from(self.config.retry_backoff_cap).max(base);
+        let delay = base.checked_shl(pass.min(31)).map_or(cap, |d| d.min(cap));
+        let jitter = self.cache.lock().rng.gen_range(0..delay + 1);
+        self.clock.fetch_add(delay + jitter, Ordering::Relaxed);
+        std::thread::yield_now();
+    }
+
+    /// Count one retry pass, both in the aggregate `client.retries` and a
+    /// per-op `client.retries{op=..}` registry counter.
+    pub(crate) fn count_retry(&self, op: &str) {
+        self.stats.retries.inc();
+        if let Some(r) = &self.options.registry {
+            r.counter(&format!("client.retries{{op={op}}}")).inc();
+        }
+    }
+
+    /// A full scan of a partition's members failed: the cached view may be
+    /// stale (the repair scheduler moves replicas, §2.3.3). Evict the
+    /// leader cache entry and re-fetch routing from the resource manager;
+    /// returns the partition's current data members if it still exists.
+    fn refresh_data_view(&self, partition: PartitionId) -> Option<Vec<NodeId>> {
+        self.cache.lock().leader_cache.remove(&partition);
+        self.refresh_partition_table().ok()?;
+        self.stats.view_refreshes.inc();
+        let cache = self.cache.lock();
+        cache
+            .data_partitions
+            .iter()
+            .find(|p| p.partition == partition)
+            .map(|p| p.members.clone())
+    }
+
+    /// [`Self::refresh_data_view`]'s meta-partition counterpart.
+    fn refresh_meta_view(&self, partition: PartitionId) -> Option<Vec<NodeId>> {
+        self.cache.lock().leader_cache.remove(&partition);
+        self.refresh_partition_table().ok()?;
+        self.stats.view_refreshes.inc();
+        let cache = self.cache.lock();
+        cache
+            .meta_partitions
+            .iter()
+            .find(|p| p.partition == partition)
+            .map(|p| p.members.clone())
+    }
+
+    // ------------------------------------------------------------------
     // Resource-manager communication (non-persistent connections, §2.5.2)
     // ------------------------------------------------------------------
 
@@ -321,7 +389,11 @@ impl Client {
         }
         candidates.extend(self.master_replicas.iter().copied());
         let mut last_err = CfsError::Unavailable("no master replicas".into());
-        for _ in 0..=self.options.max_retries {
+        for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("master");
+                self.backoff(pass - 1);
+            }
             for &node in &candidates {
                 match self.fabrics.master.call(self.id, node, req.clone()) {
                     Ok(Ok(resp)) => {
@@ -449,9 +521,19 @@ impl Client {
         attempts: u32,
         mut req: impl FnMut() -> DataRequest,
     ) -> Result<DataResponse> {
-        let members = self.data_partition_members(partition)?;
+        let mut members = self.data_partition_members(partition)?;
         let mut last_err = CfsError::Unavailable("no data replicas".into());
-        for _ in 0..attempts.max(1) {
+        for pass in 0..attempts.max(1) {
+            if pass > 0 {
+                // Every member refused or was unreachable: the view may be
+                // stale (a repaired partition has new members) — re-fetch
+                // routing, then back off before rescanning.
+                self.count_retry("data");
+                if let Some(m) = self.refresh_data_view(partition) {
+                    members = m;
+                }
+                self.backoff(pass - 1);
+            }
             let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
             if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
                 order.push(l);
@@ -491,8 +573,16 @@ impl Client {
         members: &[NodeId],
         req: MetaRequest,
     ) -> Result<MetaValue> {
+        let mut members = members.to_vec();
         let mut last_err = CfsError::Unavailable("no meta replicas".into());
-        for _attempt in 0..=self.options.max_retries {
+        for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("meta");
+                if let Some(m) = self.refresh_meta_view(partition) {
+                    members = m;
+                }
+                self.backoff(pass - 1);
+            }
             // Try the cached leader first, then every member.
             let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
             if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {

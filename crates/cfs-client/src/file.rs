@@ -234,6 +234,8 @@ impl Client {
                                 attempts,
                             });
                         }
+                        self.count_retry("append");
+                        self.backoff(attempts - 1);
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -342,8 +344,11 @@ impl Client {
                         attempts,
                     });
                 }
-                // The partition table may be stale; refresh it.
+                // The partition table may be stale; refresh it, then back
+                // off before resending (§2.1.3).
+                self.count_retry("append");
                 let _ = self.refresh_partition_table();
+                self.backoff(attempts - 1);
             } else {
                 self.record_partial(f, new_keys, written as u64, packets_done);
                 return Err(e);
@@ -417,7 +422,11 @@ impl Client {
         let _span = self.op_span(rid, "write_small");
         self.stats.small_writes.inc();
         let mut avoided: Vec<PartitionId> = Vec::new();
-        for _ in 0..=self.options.max_retries {
+        for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("write_small");
+                self.backoff(pass - 1);
+            }
             let (partition, replicas) = self.random_data_partition(&avoided)?;
             let req = DataRequest::WriteSmall {
                 partition,

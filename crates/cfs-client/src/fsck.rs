@@ -9,10 +9,28 @@
 
 use std::collections::HashSet;
 
+use cfs_master::{MasterRequest, MasterResponse, NodeKind};
 use cfs_meta::{MetaCommand, MetaRead};
-use cfs_types::{FileType, InodeId, Result, ROOT_INODE};
+use cfs_types::{CfsError, FileType, InodeId, NodeId, PartitionId, Result, ROOT_INODE};
 
 use crate::client::Client;
+
+/// One partition whose live membership is below the configured
+/// replication factor — what the self-healing scheduler (§2.3.3) still
+/// has to repair, or what an operator must resolve by hand when no spare
+/// node exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnderReplication {
+    /// Which subsystem hosts the partition.
+    pub kind: NodeKind,
+    pub partition: PartitionId,
+    /// Replicas the partition table still lists.
+    pub members: Vec<NodeId>,
+    /// Listed members the resource manager no longer reports alive.
+    pub missing: Vec<NodeId>,
+    /// The configured replica count the partition should be at.
+    pub expected: usize,
+}
 
 /// What an fsck pass found and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -29,6 +47,9 @@ pub struct FsckReport {
     /// keeps this at zero ("a dentry is always associated with at least
     /// one inode"); fsck reports violations rather than hiding them.
     pub dangling_dentries: u64,
+    /// Meta/data partitions with fewer live replicas than configured,
+    /// with the dead members repair still has to replace (§2.3.3).
+    pub under_replicated: Vec<UnderReplication>,
 }
 
 impl Client {
@@ -46,11 +67,51 @@ impl Client {
                 .collect()
         };
 
+        let mut report = FsckReport::default();
+
+        // Pass 0: replication audit. Every partition in the volume should
+        // list `replica_count` members the resource manager still reports
+        // alive; anything short is work the repair scheduler owes (or an
+        // operator escalation when no spare node exists, §2.3.3).
+        let alive: HashSet<NodeId> = match self.master_call(MasterRequest::ListNodes)? {
+            MasterResponse::Nodes(nodes) => {
+                nodes.iter().filter(|n| n.alive).map(|n| n.node).collect()
+            }
+            _ => return Err(CfsError::Internal("bad ListNodes reply".into())),
+        };
+        let expected = self.config.replica_count;
+        {
+            let cache = self.cache.lock();
+            let meta = cache
+                .meta_partitions
+                .iter()
+                .map(|p| (NodeKind::Meta, p.partition, &p.members));
+            let data = cache
+                .data_partitions
+                .iter()
+                .map(|p| (NodeKind::Data, p.partition, &p.members));
+            for (kind, partition, members) in meta.chain(data) {
+                let missing: Vec<NodeId> = members
+                    .iter()
+                    .copied()
+                    .filter(|m| !alive.contains(m))
+                    .collect();
+                if members.len() - missing.len() < expected {
+                    report.under_replicated.push(UnderReplication {
+                        kind,
+                        partition,
+                        members: members.clone(),
+                        missing,
+                        expected,
+                    });
+                }
+            }
+        }
+
         // Pass 1: gather every inode and dentry in the volume.
         let mut inodes = Vec::new();
         let mut referenced: HashSet<InodeId> = HashSet::new();
         let mut all_inode_ids: HashSet<InodeId> = HashSet::new();
-        let mut report = FsckReport::default();
         for (partition, members) in &partitions {
             let inos = self
                 .meta_read(*partition, members, MetaRead::ListAllInodes)?
@@ -125,5 +186,6 @@ mod tests {
         let r = FsckReport::default();
         assert_eq!(r.orphans_found, 0);
         assert_eq!(r.dangling_dentries, 0);
+        assert!(r.under_replicated.is_empty());
     }
 }

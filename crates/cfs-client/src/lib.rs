@@ -35,5 +35,5 @@ mod path;
 
 pub use client::{Client, ClientOptions, DataPathSnapshot, Fabrics};
 pub use file::FileHandle;
-pub use fsck::FsckReport;
+pub use fsck::{FsckReport, UnderReplication};
 pub use path::split_path;

@@ -22,6 +22,10 @@ pub struct DataMetrics {
     pub recoveries: Counter,
     /// Individual repairs (truncations + re-ships) those passes made.
     pub recovery_repairs: Counter,
+    /// Repair membership adoptions (replica array + Raft group rebuilt).
+    pub join_members_updates: Counter,
+    /// Head promotions: committed watermarks recomputed from survivors.
+    pub join_promotions: Counter,
 }
 
 /// Wait-time histogram, separate so `DataMetrics` stays `Copy`-cheap to
@@ -49,6 +53,8 @@ impl DataMetrics {
             overwrites_applied: registry.counter("data.overwrites_applied"),
             recoveries: registry.counter("data.recoveries"),
             recovery_repairs: registry.counter("data.recovery_repairs"),
+            join_members_updates: registry.counter("data.join.members_updates"),
+            join_promotions: registry.counter("data.join.promotions"),
         }
     }
 }

@@ -121,6 +121,21 @@ pub enum DataRequest {
     /// PB-leader recovery: align every extent across replicas, then Raft
     /// replay proceeds (§2.2.5).
     Recover { partition: PartitionId },
+    /// Repair (§2.3.3): adopt a post-decommission replica array
+    /// (survivors in chain order, replacement appended) and rebuild the
+    /// partition's Raft group with the new membership.
+    UpdateMembers {
+        partition: PartitionId,
+        members: Vec<NodeId>,
+    },
+    /// Repair: the (possibly newly promoted) chain head recomputes each
+    /// extent's committed watermark as the minimum applied size across
+    /// the `sync_from` survivors — the watermark map lived only on the
+    /// old head (§2.2.5).
+    PromoteHead {
+        partition: PartitionId,
+        sync_from: Vec<NodeId>,
+    },
     /// Utilization report (heartbeat body).
     Report,
 }
@@ -142,6 +157,8 @@ impl RpcRoute for DataRequest {
             DataRequest::SetReadOnly { .. } => "data.set_read_only",
             DataRequest::TruncateExtent { .. } => "data.truncate_extent",
             DataRequest::Recover { .. } => "data.recover",
+            DataRequest::UpdateMembers { .. } => "data.update_members",
+            DataRequest::PromoteHead { .. } => "data.promote_head",
             DataRequest::Report => "data.report",
         }
     }
@@ -506,6 +523,17 @@ impl DataNode {
                 let repaired = self.recover_partition(partition)?;
                 Ok(DataResponse::Processed(repaired))
             }
+            DataRequest::UpdateMembers { partition, members } => {
+                self.update_members(partition, members)?;
+                Ok(DataResponse::None)
+            }
+            DataRequest::PromoteHead {
+                partition,
+                sync_from,
+            } => {
+                let updated = self.promote_head(partition, &sync_from)?;
+                Ok(DataResponse::Processed(updated))
+            }
             DataRequest::Report => {
                 let parts = self.partitions.lock();
                 let mut stats: Vec<PartitionStats> = parts.values().map(|r| r.stats()).collect();
@@ -851,16 +879,20 @@ impl DataNode {
                     self.id,
                     peer,
                     DataRequest::ExtentInfo { partition, extent },
-                )? {
-                    Ok(DataResponse::Info(i)) => i,
-                    Ok(_) => return Err(CfsError::Internal("bad ExtentInfo reply".into())),
-                    Err(CfsError::NotFound(_)) => ExtentInfo {
+                ) {
+                    Ok(Ok(DataResponse::Info(i))) => i,
+                    Ok(Ok(_)) => return Err(CfsError::Internal("bad ExtentInfo reply".into())),
+                    Ok(Err(CfsError::NotFound(_))) => ExtentInfo {
                         extent,
                         size: 0,
                         committed: 0,
                         crc: 0,
                     },
-                    Err(e) => return Err(e),
+                    Ok(Err(e)) => return Err(e),
+                    // Peer unreachable (down or partitioned): align the
+                    // reachable survivors; the repair scheduler is what
+                    // restores the replication factor.
+                    Err(_) => continue,
                 };
                 if info.size > committed {
                     // Stale tail on the peer: align down.
@@ -906,6 +938,82 @@ impl DataNode {
         }
         self.metrics.recovery_repairs.add(repaired as u64);
         Ok(repaired)
+    }
+
+    /// Adopt a repaired replica array (§2.3.3): update the chain order and
+    /// rebuild the partition's Raft group around the durable log so the
+    /// surviving consensus state carries into the new membership.
+    /// Idempotent for task retries.
+    pub fn update_members(&self, partition: PartitionId, members: Vec<NodeId>) -> Result<()> {
+        {
+            let mut parts = self.partitions.lock();
+            let r = Self::part_mut(&mut parts, partition)?;
+            if r.members() == members.as_slice() {
+                return Ok(());
+            }
+            r.set_members(members.clone());
+        }
+        let gid = Self::group_of(partition);
+        let mut raft = self.raft.lock();
+        if let Some(state) = raft.multiraft.persist_group(gid) {
+            raft.multiraft.remove_group(gid);
+            raft.multiraft.restore_group(gid, members, state)?;
+        } else {
+            raft.multiraft.create_group(gid, members)?;
+        }
+        self.metrics.join_members_updates.inc();
+        Ok(())
+    }
+
+    /// §2.2.5 head promotion: the committed-watermark map lived only on
+    /// the old PB leader, so a newly promoted head recomputes each
+    /// extent's watermark as the minimum applied size across the
+    /// surviving replicas — every chain-acked byte is present on all of
+    /// them, so the minimum can never cut committed data. `commit` never
+    /// regresses, so re-running on a head that already has watermarks is
+    /// harmless.
+    fn promote_head(&self, partition: PartitionId, sync_from: &[NodeId]) -> Result<usize> {
+        let extents = {
+            let parts = self.partitions.lock();
+            let r = Self::part(&parts, partition)?;
+            if r.pb_leader() != self.id {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: Some(r.pb_leader()),
+                });
+            }
+            r.extent_ids()
+        };
+        let mut updated = 0;
+        for extent in extents {
+            let mut watermark = {
+                let parts = self.partitions.lock();
+                Self::part(&parts, partition)?
+                    .extent_size(extent)
+                    .unwrap_or(0)
+            };
+            for &peer in sync_from.iter().filter(|&&m| m != self.id) {
+                let size = match self.net.call(
+                    self.id,
+                    peer,
+                    DataRequest::ExtentInfo { partition, extent },
+                )? {
+                    Ok(DataResponse::Info(i)) => i.size,
+                    Ok(_) => return Err(CfsError::Internal("bad ExtentInfo reply".into())),
+                    Err(CfsError::NotFound(_)) => 0,
+                    Err(e) => return Err(e),
+                };
+                watermark = watermark.min(size);
+            }
+            let mut parts = self.partitions.lock();
+            let r = Self::part_mut(&mut parts, partition)?;
+            if watermark > r.committed(extent) {
+                r.commit(extent, watermark);
+                updated += 1;
+            }
+        }
+        self.metrics.join_promotions.inc();
+        Ok(updated)
     }
 
     /// Utilization for placement (disk-bytes analog, §2.3.1).

@@ -81,6 +81,11 @@ impl DataPartitionReplica {
         &self.members
     }
 
+    /// Replace the replica array (repair membership change, §2.3.3).
+    pub fn set_members(&mut self, members: Vec<NodeId>) {
+        self.members = members;
+    }
+
     /// The primary-backup leader.
     pub fn pb_leader(&self) -> NodeId {
         self.members[0]

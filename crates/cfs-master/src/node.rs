@@ -59,6 +59,14 @@ pub struct MasterMetrics {
     pub commands_applied: Counter,
     /// Volumes created.
     pub volumes_created: Counter,
+    /// Repair-scheduler sweeps proposed (`RepairTick`).
+    pub repair_ticks: Counter,
+    /// Dead replicas scheduled for decommission by the repair sweep.
+    pub repair_decommissions: Counter,
+    /// Replacement replicas scheduled (`AddDataReplica`/`AddMetaReplica`).
+    pub repair_replacements: Counter,
+    /// Joins confirmed complete (`ConfirmReplicaJoined` accepted).
+    pub repair_confirms: Counter,
 }
 
 impl MasterMetrics {
@@ -73,6 +81,10 @@ impl MasterMetrics {
             leader_changes: registry.counter("master.leader_changes"),
             commands_applied: registry.counter("master.commands_applied"),
             volumes_created: registry.counter("master.volumes_created"),
+            repair_ticks: registry.counter("master.repair.ticks"),
+            repair_decommissions: registry.counter("master.repair.decommissions"),
+            repair_replacements: registry.counter("master.repair.replacements"),
+            repair_confirms: registry.counter("master.repair.confirms"),
         }
     }
 }
@@ -307,11 +319,36 @@ impl MasterNode {
         if !committed {
             return Err(CfsError::Timeout(format!("master commit of index {index}")));
         }
-        self.inner
+        let result = self
+            .inner
             .lock()
             .results
             .remove(&index)
-            .expect("result present per pump predicate")
+            .expect("result present per pump predicate");
+        // Repair counters are proposal-side (leader-only) so they count
+        // each scheduling decision once, not once per replica apply.
+        if let Ok(outcome) = &result {
+            match cmd {
+                MasterCommand::RepairTick => {
+                    self.metrics.repair_ticks.inc();
+                    for t in &outcome.tasks {
+                        match t {
+                            crate::state::Task::DecommissionReplica { .. } => {
+                                self.metrics.repair_decommissions.inc()
+                            }
+                            crate::state::Task::AddDataReplica { .. }
+                            | crate::state::Task::AddMetaReplica { .. } => {
+                                self.metrics.repair_replacements.inc()
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                MasterCommand::ConfirmReplicaJoined { .. } => self.metrics.repair_confirms.inc(),
+                _ => {}
+            }
+        }
+        result
     }
 
     /// Read-only view accessor for tests and the cluster driver.

@@ -44,6 +44,24 @@ pub struct NodeStatus {
     /// Raft set membership (§2.5.1).
     pub raft_set: u32,
     pub alive: bool,
+    /// Consecutive heartbeat rounds this node failed to report in.
+    /// `>= suspect_after_missed` makes the node a non-target for
+    /// placement; `>= dead_after_missed` triggers repair (§2.3.3).
+    pub missed_heartbeats: u32,
+}
+
+impl NodeStatus {
+    /// Detection state relative to `config` thresholds: a node the
+    /// scheduler must re-replicate away from.
+    pub fn is_dead(&self, config: &ClusterConfig) -> bool {
+        self.missed_heartbeats >= config.dead_after_missed
+    }
+
+    /// Suspect or worse: excluded from new placements but not yet
+    /// repaired around.
+    pub fn is_suspect(&self, config: &ClusterConfig) -> bool {
+        self.missed_heartbeats >= config.suspect_after_missed
+    }
 }
 
 impl Encode for NodeStatus {
@@ -53,6 +71,7 @@ impl Encode for NodeStatus {
         enc.put_u64(self.utilization);
         enc.put_u32(self.raft_set);
         self.alive.encode(enc);
+        enc.put_u32(self.missed_heartbeats);
     }
 }
 
@@ -64,6 +83,7 @@ impl Decode for NodeStatus {
             utilization: dec.get_u64()?,
             raft_set: dec.get_u32()?,
             alive: bool::decode(dec)?,
+            missed_heartbeats: dec.get_u32()?,
         })
     }
 }
@@ -196,6 +216,35 @@ pub enum Task {
         members: Vec<NodeId>,
         read_only: bool,
     },
+    /// Repair (§2.3.3): tell the surviving replicas of a partition that a
+    /// dead member was removed — `members` is the post-decommission array
+    /// (survivors in chain order, replacement appended).
+    DecommissionReplica {
+        partition: PartitionId,
+        kind: NodeKind,
+        node: NodeId,
+        members: Vec<NodeId>,
+    },
+    /// Repair: host a replacement replica of a data partition on
+    /// `new_node` and run the §2.2.5 join (extent alignment from the chain
+    /// head + raft log replay). `members` is the new replica array; index
+    /// 0 is the (possibly newly promoted) PB leader.
+    AddDataReplica {
+        partition: PartitionId,
+        volume: VolumeId,
+        members: Vec<NodeId>,
+        new_node: NodeId,
+    },
+    /// Repair: host a replacement replica of a meta partition on
+    /// `new_node` (snapshot install + log replay catch-up).
+    AddMetaReplica {
+        partition: PartitionId,
+        volume: VolumeId,
+        start: InodeId,
+        end: InodeId,
+        members: Vec<NodeId>,
+        new_node: NodeId,
+    },
 }
 
 /// Commands replicated across resource-manager replicas.
@@ -246,6 +295,23 @@ pub enum MasterCommand {
     /// Periodic maintenance sweep: auto-split near-full meta partitions
     /// and refill volumes short on writable data partitions.
     Maintenance,
+    /// One heartbeat round: `reporting` nodes answered this tick; every
+    /// registered node absent from the list missed it. Replicated so the
+    /// miss counters (and thus failure detection) survive master churn.
+    RecordHeartbeats {
+        reporting: Vec<NodeId>,
+    },
+    /// One repair-scheduler sweep (§2.3.3): replan up to
+    /// `max_repairs_per_tick` degraded partitions, emitting
+    /// decommission/add-replica task pairs.
+    RepairTick,
+    /// The driver confirms `node` finished joining `partition` (aligned +
+    /// caught up); the partition leaves the pending-join set and data
+    /// partitions return to read-write.
+    ConfirmReplicaJoined {
+        partition: PartitionId,
+        node: NodeId,
+    },
 }
 
 impl Encode for MasterCommand {
@@ -305,6 +371,16 @@ impl Encode for MasterCommand {
                 partition.encode(enc);
             }
             MasterCommand::Maintenance => enc.put_u8(9),
+            MasterCommand::RecordHeartbeats { reporting } => {
+                enc.put_u8(10);
+                reporting.encode(enc);
+            }
+            MasterCommand::RepairTick => enc.put_u8(11),
+            MasterCommand::ConfirmReplicaJoined { partition, node } => {
+                enc.put_u8(12);
+                partition.encode(enc);
+                node.encode(enc);
+            }
         }
     }
 }
@@ -349,6 +425,14 @@ impl Decode for MasterCommand {
                 partition: PartitionId::decode(dec)?,
             },
             9 => MasterCommand::Maintenance,
+            10 => MasterCommand::RecordHeartbeats {
+                reporting: Vec::<NodeId>::decode(dec)?,
+            },
+            11 => MasterCommand::RepairTick,
+            12 => MasterCommand::ConfirmReplicaJoined {
+                partition: PartitionId::decode(dec)?,
+                node: NodeId::decode(dec)?,
+            },
             b => return Err(CfsError::Corrupt(format!("invalid master command tag {b}"))),
         })
     }
@@ -373,6 +457,12 @@ pub struct MasterState {
     data_partitions: BTreeMap<PartitionId, DataPartitionMeta>,
     next_partition: u64,
     next_volume: u64,
+    /// Heartbeat rounds recorded so far (replicated tick counter).
+    heartbeat_round: u64,
+    /// Partitions with an in-flight replacement join: partition → the
+    /// joining node. The repair scheduler skips these until the driver
+    /// confirms the join, so one degraded partition is repaired once.
+    pending_joins: BTreeMap<PartitionId, NodeId>,
 }
 
 impl MasterState {
@@ -389,6 +479,8 @@ impl MasterState {
             data_partitions: BTreeMap::new(),
             next_partition: 1,
             next_volume: 1,
+            heartbeat_round: 0,
+            pending_joins: BTreeMap::new(),
         }
     }
 
@@ -420,6 +512,16 @@ impl MasterState {
 
     pub fn data_partition(&self, id: PartitionId) -> Option<&DataPartitionMeta> {
         self.data_partitions.get(&id)
+    }
+
+    /// Heartbeat rounds recorded so far.
+    pub fn heartbeat_round(&self) -> u64 {
+        self.heartbeat_round
+    }
+
+    /// Partitions with an in-flight replacement join (partition → joiner).
+    pub fn pending_joins(&self) -> &BTreeMap<PartitionId, NodeId> {
+        &self.pending_joins
     }
 
     /// Meta partitions of a volume, id-ordered.
@@ -456,7 +558,9 @@ impl MasterState {
                 node: n.node,
                 utilization: n.utilization,
                 raft_set: n.raft_set,
-                alive: n.alive,
+                // Suspects are excluded from new placements before they
+                // are declared dead (§2.3.3).
+                alive: n.alive && !n.is_suspect(&self.config),
             })
             .collect()
     }
@@ -593,6 +697,135 @@ impl MasterState {
         })
     }
 
+    /// Pick a replacement host for a degraded partition: the least-loaded
+    /// live non-suspect node of `kind` that is not already a member.
+    fn place_replacement(&self, kind: NodeKind, members: &[NodeId]) -> Option<NodeId> {
+        let mut loads = self.loads(kind);
+        for l in &mut loads {
+            if members.contains(&l.node) {
+                l.alive = false; // never re-pick an existing member
+            }
+        }
+        choose_replicas(&loads, 1, self.next_partition).map(|r| r[0])
+    }
+
+    /// One reconciliation sweep of the repair scheduler (§2.3.3): for up
+    /// to `max_repairs_per_tick` partitions with a dead member, pick a
+    /// replacement with the placement policy, rewrite the membership
+    /// (survivors keep their chain order; a dead head promotes the next
+    /// survivor), and emit a decommission + add-replica task pair. The
+    /// partition is parked in `pending_joins` (data partitions also go
+    /// read-only in the routing table) until the driver confirms the
+    /// replacement is aligned and caught up.
+    fn repair_tick(&mut self) -> Result<ApplyOutcome> {
+        let dead: Vec<NodeId> = self
+            .nodes
+            .values()
+            .filter(|n| n.is_dead(&self.config))
+            .map(|n| n.node)
+            .collect();
+        let mut outcome = ApplyOutcome::default();
+        if dead.is_empty() {
+            return Ok(outcome);
+        }
+        let mut budget = self.config.max_repairs_per_tick;
+
+        let meta_pids: Vec<PartitionId> = self.meta_partitions.keys().copied().collect();
+        for pid in meta_pids {
+            if budget == 0 {
+                break;
+            }
+            if self.pending_joins.contains_key(&pid) {
+                continue;
+            }
+            let (volume, start, end, members) = {
+                let mp = self.meta_partitions.get(&pid).expect("listed above");
+                (mp.volume, mp.start, mp.end, mp.members.clone())
+            };
+            let Some(&dead_member) = members.iter().find(|m| dead.contains(m)) else {
+                continue;
+            };
+            let Some(new_node) = self.place_replacement(NodeKind::Meta, &members) else {
+                continue; // no spare node yet; retried next sweep
+            };
+            let mut new_members: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| m != dead_member)
+                .collect();
+            new_members.push(new_node);
+            self.meta_partitions
+                .get_mut(&pid)
+                .expect("listed above")
+                .members = new_members.clone();
+            self.pending_joins.insert(pid, new_node);
+            outcome.tasks.push(Task::DecommissionReplica {
+                partition: pid,
+                kind: NodeKind::Meta,
+                node: dead_member,
+                members: new_members.clone(),
+            });
+            outcome.tasks.push(Task::AddMetaReplica {
+                partition: pid,
+                volume,
+                start,
+                end,
+                members: new_members,
+                new_node,
+            });
+            budget -= 1;
+        }
+
+        let data_pids: Vec<PartitionId> = self.data_partitions.keys().copied().collect();
+        for pid in data_pids {
+            if budget == 0 {
+                break;
+            }
+            if self.pending_joins.contains_key(&pid) {
+                continue;
+            }
+            let (volume, members) = {
+                let dp = self.data_partitions.get(&pid).expect("listed above");
+                (dp.volume, dp.members.clone())
+            };
+            let Some(&dead_member) = members.iter().find(|m| dead.contains(m)) else {
+                continue;
+            };
+            let Some(new_node) = self.place_replacement(NodeKind::Data, &members) else {
+                continue;
+            };
+            let mut new_members: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| m != dead_member)
+                .collect();
+            new_members.push(new_node);
+            {
+                let dp = self.data_partitions.get_mut(&pid).expect("listed above");
+                dp.members = new_members.clone();
+                // Routed read-only while the join is in flight: clients
+                // place new extents elsewhere, but the survivors stay
+                // replica-writable so §2.2.5 alignment can re-ship bytes.
+                dp.read_only = true;
+            }
+            self.pending_joins.insert(pid, new_node);
+            outcome.tasks.push(Task::DecommissionReplica {
+                partition: pid,
+                kind: NodeKind::Data,
+                node: dead_member,
+                members: new_members.clone(),
+            });
+            outcome.tasks.push(Task::AddDataReplica {
+                partition: pid,
+                volume,
+                members: new_members,
+                new_node,
+            });
+            budget -= 1;
+        }
+        Ok(outcome)
+    }
+
     /// Apply one command. Deterministic; errors are deterministic too.
     pub fn apply(&mut self, cmd: &MasterCommand) -> Result<ApplyOutcome> {
         match cmd {
@@ -611,6 +844,7 @@ impl MasterState {
                         utilization: 0,
                         raft_set,
                         alive: true,
+                        missed_heartbeats: 0,
                     },
                 );
                 Ok(ApplyOutcome::default())
@@ -761,6 +995,34 @@ impl MasterState {
                 }
                 Ok(outcome)
             }
+            MasterCommand::RecordHeartbeats { reporting } => {
+                self.heartbeat_round += 1;
+                let dead_after = self.config.dead_after_missed;
+                for n in self.nodes.values_mut() {
+                    if reporting.contains(&n.node) {
+                        n.missed_heartbeats = 0;
+                        n.alive = true;
+                    } else {
+                        n.missed_heartbeats = n.missed_heartbeats.saturating_add(1);
+                        if n.missed_heartbeats >= dead_after {
+                            n.alive = false;
+                        }
+                    }
+                }
+                Ok(ApplyOutcome::default())
+            }
+            MasterCommand::RepairTick => self.repair_tick(),
+            MasterCommand::ConfirmReplicaJoined { partition, node } => {
+                // Idempotent: a stale confirm (wrong node, or already
+                // confirmed) is a no-op so task retries are safe.
+                if self.pending_joins.get(partition) == Some(node) {
+                    self.pending_joins.remove(partition);
+                    if let Some(dp) = self.data_partitions.get_mut(partition) {
+                        dp.read_only = false;
+                    }
+                }
+                Ok(ApplyOutcome::default())
+            }
         }
     }
 
@@ -789,6 +1051,12 @@ impl MasterState {
         for p in &dps {
             p.encode(&mut enc);
         }
+        enc.put_u64(self.heartbeat_round);
+        enc.put_u32(self.pending_joins.len() as u32);
+        for (pid, node) in &self.pending_joins {
+            pid.encode(&mut enc);
+            node.encode(&mut enc);
+        }
         enc.finish()
     }
 
@@ -814,6 +1082,12 @@ impl MasterState {
         for _ in 0..dec.get_u32()? {
             let p = DataPartitionMeta::decode(&mut dec)?;
             st.data_partitions.insert(p.partition, p);
+        }
+        st.heartbeat_round = dec.get_u64()?;
+        for _ in 0..dec.get_u32()? {
+            let pid = PartitionId::decode(&mut dec)?;
+            let node = NodeId::decode(&mut dec)?;
+            st.pending_joins.insert(pid, node);
         }
         if !dec.is_exhausted() {
             return Err(CfsError::Corrupt("master snapshot trailing bytes".into()));
@@ -1064,6 +1338,17 @@ mod tests {
             utilization: 777,
         })
         .unwrap();
+        // Exercise the self-healing fields too: a heartbeat round with a
+        // miss, and an in-flight join.
+        st.apply(&MasterCommand::RecordHeartbeats {
+            reporting: st
+                .nodes_of_kind(NodeKind::Meta)
+                .iter()
+                .map(|n| n.node)
+                .collect(),
+        })
+        .unwrap();
+        st.pending_joins.insert(PartitionId(2), NodeId(105));
         let bytes = st.snapshot_bytes();
         let back = MasterState::from_snapshot(ClusterConfig::default(), &bytes).unwrap();
         assert_eq!(back, st);
@@ -1110,6 +1395,14 @@ mod tests {
                 partition: PartitionId(1),
             },
             MasterCommand::Maintenance,
+            MasterCommand::RecordHeartbeats {
+                reporting: vec![NodeId(1), NodeId(101)],
+            },
+            MasterCommand::RepairTick,
+            MasterCommand::ConfirmReplicaJoined {
+                partition: PartitionId(3),
+                node: NodeId(104),
+            },
         ];
         for c in cmds {
             assert_eq!(roundtrip(&c).unwrap(), c);
@@ -1129,5 +1422,235 @@ mod tests {
         }
         assert_eq!(st.nodes_of_kind(NodeKind::Meta).len(), 1);
         assert_eq!(st.node(NodeId(1)).unwrap().raft_set, 0);
+    }
+
+    /// One heartbeat round in which every registered node except `absent`
+    /// reports.
+    fn miss_round(st: &mut MasterState, absent: NodeId) {
+        let reporting: Vec<NodeId> = st.nodes.keys().copied().filter(|&n| n != absent).collect();
+        st.apply(&MasterCommand::RecordHeartbeats { reporting })
+            .unwrap();
+    }
+
+    #[test]
+    fn missed_heartbeats_drive_suspect_then_dead() {
+        let mut st = state_with_nodes(3, 4);
+        let all: Vec<NodeId> = st.nodes.keys().copied().collect();
+        st.apply(&MasterCommand::RecordHeartbeats {
+            reporting: all.clone(),
+        })
+        .unwrap();
+        assert_eq!(st.heartbeat_round(), 1);
+        let victim = NodeId(101);
+        assert_eq!(st.node(victim).unwrap().missed_heartbeats, 0);
+
+        // Default thresholds: suspect at 2 misses, dead at 3.
+        miss_round(&mut st, victim);
+        let n = st.node(victim).unwrap();
+        assert!(!n.is_suspect(&st.config) && n.alive);
+
+        miss_round(&mut st, victim);
+        let n = st.node(victim).unwrap();
+        assert!(n.is_suspect(&st.config) && !n.is_dead(&st.config));
+        assert!(n.alive, "suspect is not yet dead");
+        // Suspects are no longer placement targets.
+        assert!(st
+            .loads(NodeKind::Data)
+            .iter()
+            .all(|l| l.node != victim || !l.alive));
+
+        miss_round(&mut st, victim);
+        let n = st.node(victim).unwrap();
+        assert!(n.is_dead(&st.config) && !n.alive);
+
+        // A node that comes back fully recovers.
+        st.apply(&MasterCommand::RecordHeartbeats { reporting: all })
+            .unwrap();
+        let n = st.node(victim).unwrap();
+        assert!(n.alive && n.missed_heartbeats == 0 && !n.is_suspect(&st.config));
+    }
+
+    #[test]
+    fn repair_replaces_dead_data_member_and_confirm_restores() {
+        let mut st = state_with_nodes(3, 4);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 1,
+            })
+            .unwrap();
+        let vid = out.volume.unwrap();
+        let dpid = st.volume(vid).unwrap().data_partitions[0];
+        let members = st.data_partition(dpid).unwrap().members.clone();
+        let victim = members[2]; // a non-head member
+        let spare = (101..=104)
+            .map(NodeId)
+            .find(|n| !members.contains(n))
+            .unwrap();
+
+        for _ in 0..st.config.dead_after_missed {
+            miss_round(&mut st, victim);
+        }
+        let out = st.apply(&MasterCommand::RepairTick).unwrap();
+        let decomms: Vec<_> = out
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::DecommissionReplica { .. }))
+            .collect();
+        assert_eq!(decomms.len(), 1);
+        match &out.tasks[1] {
+            Task::AddDataReplica {
+                partition,
+                members: new_members,
+                new_node,
+                ..
+            } => {
+                assert_eq!(*partition, dpid);
+                assert_eq!(*new_node, spare);
+                assert!(!new_members.contains(&victim));
+                assert_eq!(new_members[0], members[0], "head unchanged");
+                assert_eq!(*new_members.last().unwrap(), spare);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let dp = st.data_partition(dpid).unwrap();
+        assert!(dp.read_only, "routed read-only while the join is in flight");
+        assert!(!dp.members.contains(&victim));
+        assert_eq!(st.pending_joins().get(&dpid), Some(&spare));
+
+        // A second sweep must not replan the pending partition.
+        let out = st.apply(&MasterCommand::RepairTick).unwrap();
+        assert!(out.tasks.is_empty());
+
+        // A stale confirm (wrong node) is a no-op; the real one restores.
+        st.apply(&MasterCommand::ConfirmReplicaJoined {
+            partition: dpid,
+            node: victim,
+        })
+        .unwrap();
+        assert!(st.data_partition(dpid).unwrap().read_only);
+        st.apply(&MasterCommand::ConfirmReplicaJoined {
+            partition: dpid,
+            node: spare,
+        })
+        .unwrap();
+        assert!(!st.data_partition(dpid).unwrap().read_only);
+        assert!(st.pending_joins().is_empty());
+    }
+
+    #[test]
+    fn repair_promotes_survivor_when_chain_head_dies() {
+        let mut st = state_with_nodes(3, 4);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 1,
+            })
+            .unwrap();
+        let dpid = st.volume(out.volume.unwrap()).unwrap().data_partitions[0];
+        let members = st.data_partition(dpid).unwrap().members.clone();
+        let head = members[0];
+        for _ in 0..st.config.dead_after_missed {
+            miss_round(&mut st, head);
+        }
+        st.apply(&MasterCommand::RepairTick).unwrap();
+        let dp = st.data_partition(dpid).unwrap();
+        assert_eq!(dp.members[0], members[1], "next survivor promoted to head");
+        assert!(!dp.members.contains(&head));
+        assert_eq!(dp.members.len(), members.len());
+    }
+
+    #[test]
+    fn repair_handles_meta_partitions_and_respects_budget() {
+        let mut st = MasterState::new(ClusterConfig {
+            max_repairs_per_tick: 1,
+            ..ClusterConfig::default()
+        });
+        for i in 1..=4u64 {
+            st.apply(&MasterCommand::RegisterNode {
+                node: NodeId(i),
+                kind: NodeKind::Meta,
+            })
+            .unwrap();
+        }
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 2,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        let vid = out.volume.unwrap();
+        // Find a node serving both meta partitions, if any; otherwise any
+        // member of the first.
+        let mps = st.volume_meta_partitions(vid);
+        assert_eq!(mps.len(), 2);
+        let victim = mps[0].members[0];
+        let degraded_before: Vec<PartitionId> = mps
+            .iter()
+            .filter(|p| p.members.contains(&victim))
+            .map(|p| p.partition)
+            .collect();
+        for _ in 0..st.config.dead_after_missed {
+            miss_round(&mut st, victim);
+        }
+        let out = st.apply(&MasterCommand::RepairTick).unwrap();
+        // Budget of 1: exactly one decommission+add pair per sweep.
+        assert_eq!(out.tasks.len(), 2);
+        match &out.tasks[1] {
+            Task::AddMetaReplica {
+                partition,
+                start,
+                end,
+                members,
+                new_node,
+                ..
+            } => {
+                let mp = st.meta_partition(*partition).unwrap();
+                assert_eq!((mp.start, mp.end), (*start, *end));
+                assert_eq!(&mp.members, members);
+                assert!(!members.contains(&victim));
+                assert_eq!(members.last(), Some(new_node));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Remaining degraded partitions are picked up by later sweeps.
+        if degraded_before.len() > 1 {
+            let out = st.apply(&MasterCommand::RepairTick).unwrap();
+            assert_eq!(out.tasks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn repair_waits_when_no_spare_node_exists() {
+        let mut st = state_with_nodes(3, 3);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 1,
+            })
+            .unwrap();
+        let dpid = st.volume(out.volume.unwrap()).unwrap().data_partitions[0];
+        let members = st.data_partition(dpid).unwrap().members.clone();
+        for _ in 0..st.config.dead_after_missed {
+            miss_round(&mut st, members[1]);
+        }
+        let out = st.apply(&MasterCommand::RepairTick).unwrap();
+        assert!(out.tasks.is_empty(), "no replacement host available");
+        assert_eq!(st.data_partition(dpid).unwrap().members, members);
+        assert!(st.pending_joins().is_empty());
+
+        // Register a spare and the next sweep repairs.
+        st.apply(&MasterCommand::RegisterNode {
+            node: NodeId(104),
+            kind: NodeKind::Data,
+        })
+        .unwrap();
+        let out = st.apply(&MasterCommand::RepairTick).unwrap();
+        assert_eq!(out.tasks.len(), 2);
+        assert_eq!(st.pending_joins().get(&dpid), Some(&NodeId(104)));
     }
 }

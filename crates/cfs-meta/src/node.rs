@@ -48,6 +48,13 @@ pub enum MetaRequest {
         config: MetaPartitionConfig,
         members: Vec<NodeId>,
     },
+    /// Repair (§2.3.3): rebuild the partition's Raft group with a
+    /// post-decommission membership; the partition state itself is
+    /// untouched.
+    UpdateMembers {
+        partition: PartitionId,
+        members: Vec<NodeId>,
+    },
     /// Status of one partition.
     Info { partition: PartitionId },
     /// Status of every hosted partition (heartbeat reply body, §2.3).
@@ -60,6 +67,7 @@ impl RpcRoute for MetaRequest {
             MetaRequest::Read { .. } => "meta.read",
             MetaRequest::Write { .. } => "meta.write",
             MetaRequest::CreatePartition { .. } => "meta.create_partition",
+            MetaRequest::UpdateMembers { .. } => "meta.update_members",
             MetaRequest::Info { .. } => "meta.info",
             MetaRequest::Report => "meta.report",
         }
@@ -193,6 +201,10 @@ impl MetaNode {
                 self.create_partition(config, members)?;
                 Ok(MetaResponse::Created)
             }
+            MetaRequest::UpdateMembers { partition, members } => {
+                self.update_members(partition, members)?;
+                Ok(MetaResponse::Created)
+            }
             MetaRequest::Info { partition } => self.info(partition).map(MetaResponse::Info),
             MetaRequest::Report => Ok(MetaResponse::Report(self.report())),
         }
@@ -215,6 +227,26 @@ impl MetaNode {
         }
         inner.multiraft.create_group(Self::group_of(pid), members)?;
         inner.partitions.insert(pid, MetaPartition::new(config));
+        Ok(())
+    }
+
+    /// Rebuild a hosted partition's Raft group with a repaired membership
+    /// (§2.3.3). The durable consensus state (term, vote, log, last
+    /// snapshot) carries over, so replicated data is untouched; a new
+    /// member catches up through the ordinary snapshot-install + replay
+    /// path. Idempotent for task retries.
+    pub fn update_members(&self, partition: PartitionId, members: Vec<NodeId>) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.partitions.contains_key(&partition) {
+            return Err(CfsError::NotFound(format!("{partition}")));
+        }
+        let gid = Self::group_of(partition);
+        if let Some(state) = inner.multiraft.persist_group(gid) {
+            inner.multiraft.remove_group(gid);
+            inner.multiraft.restore_group(gid, members, state)?;
+        } else {
+            inner.multiraft.create_group(gid, members)?;
+        }
         Ok(())
     }
 

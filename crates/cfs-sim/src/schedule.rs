@@ -95,6 +95,11 @@ pub enum FaultStep {
     DelayConsensus { defer: u64 },
     /// Drop every `one_in`-th client RPC (until quiesce).
     DropRpcs { one_in: u32 },
+    /// Permanently kill a data node: it never restarts, so only the
+    /// master's self-healing pipeline (detect → re-replicate → join) can
+    /// restore the replication factor. At most one per schedule, and only
+    /// with a spare node in the shape (`data_nodes > 3`).
+    PermanentKill { idx: usize },
 }
 
 /// One step of a chaos schedule.
@@ -122,6 +127,9 @@ impl FaultPlan {
         let mut steps = Vec::with_capacity(len + 1);
         let mut crashed_meta: Option<usize> = None;
         let mut crashed_data: Option<usize> = None;
+        // Permanent kills survive quiesce by design — the node stays gone
+        // for the rest of the schedule.
+        let mut killed_data: Option<usize> = None;
         let mut since_quiesce = 0u32;
 
         while steps.len() < len {
@@ -139,7 +147,13 @@ impl FaultPlan {
                 steps.push(ChaosStep::Op(Self::gen_op(&mut rng, shape)));
                 continue;
             }
-            let fault = Self::gen_fault(&mut rng, shape, &mut crashed_meta, &mut crashed_data);
+            let fault = Self::gen_fault(
+                &mut rng,
+                shape,
+                &mut crashed_meta,
+                &mut crashed_data,
+                &mut killed_data,
+            );
             steps.push(ChaosStep::Fault(fault));
         }
         steps.push(ChaosStep::Quiesce);
@@ -176,6 +190,7 @@ impl FaultPlan {
         shape: ClusterShape,
         crashed_meta: &mut Option<usize>,
         crashed_data: &mut Option<usize>,
+        killed_data: &mut Option<usize>,
     ) -> FaultStep {
         let node_ref = |rng: &mut SmallRng| -> NodeRef {
             if rng.gen_bool(0.5) {
@@ -204,7 +219,12 @@ impl FaultPlan {
                     FaultStep::RestartData { idx }
                 }
                 None => {
-                    let idx = rng.gen_range(0..shape.data_nodes);
+                    let mut idx = rng.gen_range(0..shape.data_nodes);
+                    // Never "crash" the permanently killed node: its
+                    // restart step must stay matchable to a real node.
+                    if Some(idx) == *killed_data {
+                        idx = (idx + 1) % shape.data_nodes;
+                    }
                     *crashed_data = Some(idx);
                     FaultStep::CrashData { idx }
                 }
@@ -219,9 +239,26 @@ impl FaultPlan {
             78..=88 => FaultStep::DelayConsensus {
                 defer: rng.gen_range(1u64..4),
             },
-            _ => FaultStep::DropRpcs {
+            89..=95 => FaultStep::DropRpcs {
                 one_in: rng.gen_range(5u32..17),
             },
+            _ => {
+                // Permanent kill: once per schedule, only when the shape
+                // has a spare data node for re-replication, and never the
+                // currently crashed node (its restart must stay valid).
+                if killed_data.is_none() && shape.data_nodes > 3 {
+                    let mut idx = rng.gen_range(0..shape.data_nodes);
+                    if Some(idx) == *crashed_data {
+                        idx = (idx + 1) % shape.data_nodes;
+                    }
+                    *killed_data = Some(idx);
+                    FaultStep::PermanentKill { idx }
+                } else {
+                    FaultStep::DropRpcs {
+                        one_in: rng.gen_range(5u32..17),
+                    }
+                }
+            }
         }
     }
 
@@ -310,7 +347,7 @@ mod tests {
         // Across a batch of seeds every step category must appear —
         // a weight regression would silently weaken the harness.
         let (mut ops, mut faults, mut quiesces) = (0usize, 0usize, 0usize);
-        let mut kinds = [false; 9];
+        let mut kinds = [false; 10];
         for seed in 0..64 {
             for s in FaultPlan::generate(seed, ClusterShape::default(), 100).steps {
                 match s {
@@ -328,6 +365,7 @@ mod tests {
                             FaultStep::MasterChurn => 6,
                             FaultStep::DelayConsensus { .. } => 7,
                             FaultStep::DropRpcs { .. } => 8,
+                            FaultStep::PermanentKill { .. } => 9,
                         }] = true;
                     }
                 }
@@ -336,5 +374,51 @@ mod tests {
         assert!(ops > faults, "workload should dominate");
         assert!(quiesces >= 64 * 4, "regular quiesce points");
         assert!(kinds.iter().all(|&k| k), "every fault kind generated");
+    }
+
+    #[test]
+    fn at_most_one_permanent_kill_per_schedule() {
+        for seed in 0..200 {
+            let p = FaultPlan::generate(seed, ClusterShape::default(), 150);
+            let mut killed: Option<usize> = None;
+            let mut crashed: Option<usize> = None;
+            for s in &p.steps {
+                match s {
+                    ChaosStep::Fault(FaultStep::PermanentKill { idx }) => {
+                        assert!(killed.is_none(), "seed {seed}: second permanent kill");
+                        assert_ne!(crashed, Some(*idx), "seed {seed}: killed the crashed node");
+                        killed = Some(*idx);
+                    }
+                    ChaosStep::Fault(FaultStep::CrashData { idx }) => {
+                        assert_ne!(killed, Some(*idx), "seed {seed}: crashed the killed node");
+                        crashed = Some(*idx);
+                    }
+                    ChaosStep::Fault(FaultStep::RestartData { idx }) => {
+                        assert_ne!(killed, Some(*idx), "seed {seed}: restarted the killed node");
+                        crashed = None;
+                    }
+                    ChaosStep::Quiesce => crashed = None,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_shapes_never_generate_permanent_kills() {
+        // Without a spare data node re-replication can never complete, so
+        // the generator must not schedule a kill it cannot heal from.
+        let shape = ClusterShape {
+            data_nodes: 3,
+            ..ClusterShape::default()
+        };
+        for seed in 0..64 {
+            for s in FaultPlan::generate(seed, shape, 150).steps {
+                assert!(
+                    !matches!(s, ChaosStep::Fault(FaultStep::PermanentKill { .. })),
+                    "seed {seed}: kill generated without a spare node"
+                );
+            }
+        }
     }
 }

@@ -52,6 +52,25 @@ pub struct ClusterConfig {
     /// (and always on fsync/close), §2.7.1: "synchronizes with the meta
     /// node periodically or upon fsync". 1 = sync on every write call.
     pub meta_sync_every: u32,
+    /// Consecutive missed heartbeat rounds before the resource manager
+    /// marks a node *suspect* (its partitions are no longer placement
+    /// targets, §2.3.3).
+    pub suspect_after_missed: u32,
+    /// Consecutive missed heartbeat rounds before a suspect node is
+    /// declared *dead* and the repair scheduler starts re-replicating its
+    /// partitions. Must be ≥ `suspect_after_missed`.
+    pub dead_after_missed: u32,
+    /// Master-side self-healing: when true, each heartbeat round runs the
+    /// repair reconciliation sweep (§2.3.3 exception handling).
+    pub repair_enabled: bool,
+    /// Degraded partitions the repair scheduler replans per sweep, so one
+    /// dead node's worth of repairs doesn't monopolize a tick.
+    pub max_repairs_per_tick: usize,
+    /// Client retry backoff: the first wait, in backoff units (the
+    /// simulated clock's yield quantum; no wall time involved).
+    pub retry_backoff_base: u32,
+    /// Client retry backoff: cap on the exponentially growing wait.
+    pub retry_backoff_cap: u32,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +93,12 @@ impl Default for ClusterConfig {
             punch_hole_block_size: 4 * KB,
             pipeline_depth: 4,
             meta_sync_every: 1,
+            suspect_after_missed: 2,
+            dead_after_missed: 3,
+            repair_enabled: true,
+            max_repairs_per_tick: 4,
+            retry_backoff_base: 1,
+            retry_backoff_cap: 32,
         }
     }
 }
@@ -118,6 +143,21 @@ impl ClusterConfig {
         if self.meta_sync_every == 0 {
             return Err(CfsError::InvalidArgument(
                 "meta_sync_every must be > 0".into(),
+            ));
+        }
+        if self.suspect_after_missed == 0 || self.dead_after_missed < self.suspect_after_missed {
+            return Err(CfsError::InvalidArgument(
+                "need dead_after_missed >= suspect_after_missed >= 1".into(),
+            ));
+        }
+        if self.max_repairs_per_tick == 0 {
+            return Err(CfsError::InvalidArgument(
+                "max_repairs_per_tick must be > 0".into(),
+            ));
+        }
+        if self.retry_backoff_base == 0 || self.retry_backoff_cap < self.retry_backoff_base {
+            return Err(CfsError::InvalidArgument(
+                "need retry_backoff_cap >= retry_backoff_base >= 1".into(),
             ));
         }
         Ok(())
@@ -183,5 +223,40 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+
+        // Detection thresholds must be ordered: dead ≥ suspect ≥ 1.
+        let c = ClusterConfig {
+            suspect_after_missed: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            suspect_after_missed: 4,
+            dead_after_missed: 2,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            max_repairs_per_tick: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            retry_backoff_base: 8,
+            retry_backoff_cap: 2,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn self_healing_defaults_ordered() {
+        let c = ClusterConfig::default();
+        assert!(c.repair_enabled);
+        assert!(c.dead_after_missed >= c.suspect_after_missed);
+        assert!(c.suspect_after_missed >= 1);
+        assert!(c.retry_backoff_cap >= c.retry_backoff_base);
     }
 }

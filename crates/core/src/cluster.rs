@@ -213,6 +213,25 @@ impl ClusterBuilder {
     }
 }
 
+/// Per-partition outcome of [`Cluster::recover_data_partitions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverReport {
+    pub partition: PartitionId,
+    /// The replica recovery ran from: the configured chain head, or the
+    /// next live replica when the head was down. `None` if every replica
+    /// was down.
+    pub head: Option<NodeId>,
+    /// Repairs made (truncations + re-ships), or why recovery failed.
+    pub result: Result<usize>,
+}
+
+impl RecoverReport {
+    /// Did this partition's recovery pass succeed?
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
 /// A running in-process CFS cluster (Figure 1): resource manager replicas,
 /// meta nodes, data nodes, and the fabrics clients mount through.
 pub struct Cluster {
@@ -412,8 +431,209 @@ impl Cluster {
                         );
                     }
                 }
+                Task::DecommissionReplica {
+                    partition,
+                    kind,
+                    members,
+                    ..
+                } => {
+                    // Best effort: push the post-decommission replica
+                    // array to every member. The replacement does not
+                    // host the partition yet (NotFound) and the dead
+                    // node is unreachable — both are fine; the follow-up
+                    // add-replica task is what completes the repair.
+                    for &m in members {
+                        match kind {
+                            NodeKind::Meta => {
+                                let _ = self.fabrics.meta.call(
+                                    NodeId(0),
+                                    m,
+                                    MetaRequest::UpdateMembers {
+                                        partition: *partition,
+                                        members: members.clone(),
+                                    },
+                                );
+                            }
+                            NodeKind::Data => {
+                                let _ = self.fabrics.data.call(
+                                    NodeId(0),
+                                    m,
+                                    DataRequest::UpdateMembers {
+                                        partition: *partition,
+                                        members: members.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                Task::AddDataReplica {
+                    partition,
+                    volume,
+                    members,
+                    new_node,
+                } => {
+                    self.add_data_replica(*partition, *volume, members, *new_node)?;
+                }
+                Task::AddMetaReplica {
+                    partition,
+                    volume,
+                    start,
+                    end,
+                    members,
+                    new_node,
+                } => {
+                    self.add_meta_replica(*partition, *volume, *start, *end, members, *new_node)?;
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Complete a data-partition repair (§2.2.5 join): host the
+    /// replacement, settle membership, rebuild the committed watermark on
+    /// the (possibly newly promoted) chain head, align extents, and
+    /// confirm the join so the partition returns to read-write.
+    fn add_data_replica(
+        &self,
+        partition: PartitionId,
+        volume: VolumeId,
+        members: &[NodeId],
+        new_node: NodeId,
+    ) -> Result<()> {
+        // 1. Host the replacement replica: its Raft group joins with the
+        //    repaired membership and catches up via ordinary log replay.
+        self.fabrics.data.call(
+            NodeId(0),
+            new_node,
+            DataRequest::CreatePartition {
+                partition,
+                volume,
+                members: members.to_vec(),
+                small_extent_rotate_at: 128 * 1024 * 1024,
+                extent_limit: self.config.data_partition_extent_limit,
+            },
+        )??;
+        // 2. Every survivor adopts the membership (idempotent; the
+        //    decommission task already tried best-effort).
+        for &m in members {
+            if m == new_node {
+                continue;
+            }
+            self.fabrics.data.call(
+                NodeId(0),
+                m,
+                DataRequest::UpdateMembers {
+                    partition,
+                    members: members.to_vec(),
+                },
+            )??;
+        }
+        // 3. The head recomputes committed watermarks from the survivors
+        //    (the replacement is still empty and must not drag the
+        //    minimum down to zero).
+        let head = members[0];
+        let sync_from: Vec<NodeId> = members.iter().copied().filter(|&m| m != new_node).collect();
+        self.fabrics.data.call(
+            NodeId(0),
+            head,
+            DataRequest::PromoteHead {
+                partition,
+                sync_from,
+            },
+        )??;
+        // 4. §2.2.5 alignment: truncate stale tails, re-ship every
+        //    committed byte to the replacement.
+        self.fabrics
+            .data
+            .call(NodeId(0), head, DataRequest::Recover { partition })??;
+        // 5. Wait for the rebuilt group to elect, then confirm the join:
+        //    the partition leaves the pending set and returns to r/w.
+        self.hub.pump_until(
+            || {
+                self.data_nodes
+                    .iter()
+                    .any(|n| !self.faults.is_down(n.id()) && n.is_raft_leader_for(partition))
+            },
+            10_000,
+        );
+        self.master_leader()?
+            .propose(&MasterCommand::ConfirmReplicaJoined {
+                partition,
+                node: new_node,
+            })?;
+        Ok(())
+    }
+
+    /// Complete a meta-partition repair: host the replacement (it catches
+    /// up through snapshot install + log replay, §2.1.3), settle
+    /// membership, wait until the replacement's applied index reaches the
+    /// group commit, and confirm the join.
+    fn add_meta_replica(
+        &self,
+        partition: PartitionId,
+        volume: VolumeId,
+        start: InodeId,
+        end: InodeId,
+        members: &[NodeId],
+        new_node: NodeId,
+    ) -> Result<()> {
+        let config = MetaPartitionConfig {
+            partition_id: partition,
+            volume_id: volume,
+            start,
+            end,
+        };
+        self.fabrics.meta.call(
+            NodeId(0),
+            new_node,
+            MetaRequest::CreatePartition {
+                config,
+                members: members.to_vec(),
+            },
+        )??;
+        for &m in members {
+            if m == new_node {
+                continue;
+            }
+            self.fabrics.meta.call(
+                NodeId(0),
+                m,
+                MetaRequest::UpdateMembers {
+                    partition,
+                    members: members.to_vec(),
+                },
+            )??;
+        }
+        self.hub.pump_until(
+            || {
+                self.meta_nodes
+                    .iter()
+                    .any(|n| !self.faults.is_down(n.id()) && n.is_leader_for(partition))
+            },
+            10_000,
+        );
+        // Caught up = the replacement applied everything the group has
+        // committed (snapshot install + replay both count).
+        let replacement = self
+            .meta_nodes
+            .iter()
+            .find(|n| n.id() == new_node)
+            .cloned()
+            .ok_or_else(|| CfsError::NotFound(format!("{new_node}")))?;
+        self.hub.pump_until(
+            || {
+                replacement
+                    .raft_indices(partition)
+                    .is_some_and(|(commit, applied, _)| commit > 0 && applied == commit)
+            },
+            10_000,
+        );
+        self.master_leader()?
+            .propose(&MasterCommand::ConfirmReplicaJoined {
+                partition,
+                node: new_node,
+            })?;
         Ok(())
     }
 
@@ -504,18 +724,54 @@ impl Cluster {
         )
     }
 
-    /// One heartbeat round (§2.3): every storage node reports utilization
-    /// and per-partition status to the resource manager, which then runs
-    /// its maintenance sweep (auto-split, volume refill); resulting tasks
-    /// are executed. Returns the number of tasks processed.
+    /// One heartbeat round (§2.3): every storage node is polled over its
+    /// fabric for utilization and per-partition status; the set of nodes
+    /// that answered is recorded as replicated master state (failure
+    /// detection, §2.3.3), stats from the responders feed placement and
+    /// Algorithm 1, and the resource manager then runs its maintenance
+    /// sweep plus — when `repair_enabled` — one repair-scheduler sweep.
+    /// Resulting tasks are executed. Returns the number of tasks
+    /// processed. A node that fails to answer never fails the round: its
+    /// miss is exactly the signal the detector accumulates.
     pub fn heartbeat(&self) -> Result<usize> {
         let leader = self.master_leader()?;
+
+        let mut reporting: Vec<NodeId> = Vec::new();
+        let mut meta_reports = Vec::new();
         for n in &self.meta_nodes {
-            leader.propose(&MasterCommand::UpdateNodeStats {
-                node: n.id(),
-                utilization: n.total_items(),
-            })?;
-            for info in n.report() {
+            match self
+                .fabrics
+                .meta
+                .call(NodeId(0), n.id(), MetaRequest::Report)
+            {
+                Ok(Ok(MetaResponse::Report(infos))) => {
+                    reporting.push(n.id());
+                    meta_reports.push((n.id(), n.total_items(), infos));
+                }
+                Ok(Ok(_)) => return Err(CfsError::Internal("bad meta Report reply".into())),
+                Ok(Err(_)) | Err(_) => {} // missed this round
+            }
+        }
+        let mut data_reports = Vec::new();
+        for n in &self.data_nodes {
+            match self
+                .fabrics
+                .data
+                .call(NodeId(0), n.id(), DataRequest::Report)
+            {
+                Ok(Ok(DataResponse::Report(stats))) => {
+                    reporting.push(n.id());
+                    data_reports.push((n.id(), n.total_physical_bytes(), stats));
+                }
+                Ok(Ok(_)) => return Err(CfsError::Internal("bad data Report reply".into())),
+                Ok(Err(_)) | Err(_) => {} // missed this round
+            }
+        }
+        leader.propose(&MasterCommand::RecordHeartbeats { reporting })?;
+
+        for (node, utilization, infos) in meta_reports {
+            leader.propose(&MasterCommand::UpdateNodeStats { node, utilization })?;
+            for info in infos {
                 if info.is_leader {
                     leader.propose(&MasterCommand::UpdateMetaPartitionStats {
                         partition: info.partition_id,
@@ -525,32 +781,27 @@ impl Cluster {
                 }
             }
         }
-        for n in &self.data_nodes {
-            leader.propose(&MasterCommand::UpdateNodeStats {
-                node: n.id(),
-                utilization: n.total_physical_bytes(),
-            })?;
-            match self
-                .fabrics
-                .data
-                .call(NodeId(0), n.id(), DataRequest::Report)??
-            {
-                DataResponse::Report(stats) => {
-                    for s in stats {
-                        if s.is_full {
-                            leader.propose(&MasterCommand::SetDataPartitionFull {
-                                partition: s.partition_id,
-                                full: true,
-                            })?;
-                        }
-                    }
+        for (node, utilization, stats) in data_reports {
+            leader.propose(&MasterCommand::UpdateNodeStats { node, utilization })?;
+            for s in stats {
+                if s.is_full {
+                    leader.propose(&MasterCommand::SetDataPartitionFull {
+                        partition: s.partition_id,
+                        full: true,
+                    })?;
                 }
-                _ => return Err(CfsError::Internal("bad Report reply".into())),
             }
         }
+
         let outcome = leader.propose(&MasterCommand::Maintenance)?;
-        let n = outcome.tasks.len();
+        let mut n = outcome.tasks.len();
         self.execute_tasks(&outcome.tasks)?;
+
+        if self.config.repair_enabled {
+            let outcome = self.master_leader()?.propose(&MasterCommand::RepairTick)?;
+            n += outcome.tasks.len();
+            self.execute_tasks(&outcome.tasks)?;
+        }
         Ok(n)
     }
 
@@ -674,29 +925,84 @@ impl Cluster {
     }
 
     /// Run §2.2.5 recovery on every data partition: each PB leader
-    /// truncates stale tails and realigns its replicas. Returns how many
-    /// partitions recovered successfully.
-    pub fn recover_data_partitions(&self) -> usize {
+    /// truncates stale tails and realigns its replicas. If a partition's
+    /// configured chain head is down, the next live replica is rotated to
+    /// the head position on the live members (watermarks recomputed from
+    /// the survivors first) and recovery runs from there — the committed
+    /// data stays readable even while the original head is out. The
+    /// rotation is replica-local: master routing is reconciled by the
+    /// repair scheduler, not by this helper. Returns one report per
+    /// distinct partition hosted on a live node.
+    pub fn recover_data_partitions(&self) -> Vec<RecoverReport> {
         let mut seen = std::collections::BTreeSet::new();
-        let mut recovered = 0;
+        let mut reports = Vec::new();
         for n in &self.data_nodes {
+            if self.faults.is_down(n.id()) {
+                continue;
+            }
             for (pid, members) in n.hosted_partitions() {
                 if !seen.insert(pid) {
                     continue;
                 }
-                let Some(&head) = members.first() else {
-                    continue;
-                };
-                if let Ok(Ok(_)) =
-                    self.fabrics
-                        .data
-                        .call(NodeId(0), head, DataRequest::Recover { partition: pid })
-                {
-                    recovered += 1;
-                }
+                reports.push(self.recover_one_partition(pid, &members));
             }
         }
-        recovered
+        reports
+    }
+
+    fn recover_one_partition(&self, pid: PartitionId, members: &[NodeId]) -> RecoverReport {
+        let live: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&m| !self.faults.is_down(m))
+            .collect();
+        let Some(&head) = live.first() else {
+            return RecoverReport {
+                partition: pid,
+                head: None,
+                result: Err(CfsError::Unavailable(format!("{pid}: no live replica"))),
+            };
+        };
+        let result = (|| {
+            if members.first() != Some(&head) {
+                // Configured head is down: promote the next live replica
+                // on the survivors. Live members first (original order),
+                // then the down ones, so the set is unchanged.
+                let mut rotated = live.clone();
+                rotated.extend(members.iter().copied().filter(|&m| self.faults.is_down(m)));
+                for &m in &live {
+                    self.fabrics.data.call(
+                        NodeId(0),
+                        m,
+                        DataRequest::UpdateMembers {
+                            partition: pid,
+                            members: rotated.clone(),
+                        },
+                    )??;
+                }
+                self.fabrics.data.call(
+                    NodeId(0),
+                    head,
+                    DataRequest::PromoteHead {
+                        partition: pid,
+                        sync_from: live.clone(),
+                    },
+                )??;
+            }
+            match self.fabrics.data.call(
+                NodeId(0),
+                head,
+                DataRequest::Recover { partition: pid },
+            )?? {
+                DataResponse::Processed(k) => Ok(k),
+                _ => Err(CfsError::Internal("bad Recover reply".into())),
+            }
+        })();
+        RecoverReport {
+            partition: pid,
+            head: Some(head),
+            result,
+        }
     }
 
     /// Drain every data partition's asynchronous delete queue (§2.7.3)

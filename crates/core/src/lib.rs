@@ -24,11 +24,13 @@
 
 mod cluster;
 
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{Cluster, ClusterBuilder, RecoverReport};
 
 // Re-export the public surface of the subsystems so downstream users need
 // only this crate.
-pub use cfs_client::{Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandle, FsckReport};
+pub use cfs_client::{
+    Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandle, FsckReport, UnderReplication,
+};
 pub use cfs_data::{DataNode, DataRequest, DataResponse, ExtentInfo};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
 pub use cfs_meta::{MetaNode, MetaPartition, MetaRequest};
