@@ -35,6 +35,10 @@ pub struct ClientOptions {
     /// ride in `Append` packet headers, and client-side spans are recorded
     /// against its tracer. When unset everything still counts, detached.
     pub registry: Option<Registry>,
+    /// How long a negative lookup ("no such name") stays cached, in the
+    /// client's logical-clock units. `0` disables negative caching.
+    /// Local mutations of the parent invalidate negative entries early.
+    pub negative_lookup_ttl_ns: u64,
 }
 
 impl Default for ClientOptions {
@@ -45,6 +49,7 @@ impl Default for ClientOptions {
             pipeline_depth: 0,
             meta_sync_every: 0,
             registry: None,
+            negative_lookup_ttl_ns: 256,
         }
     }
 }
@@ -140,6 +145,17 @@ pub(crate) struct DataPathStats {
     /// Partition-table re-fetches triggered by failed scans (§2.4: the
     /// cached view went stale — e.g. repair moved a replica).
     pub view_refreshes: CounterPair,
+    /// Lookups answered from the client lookup cache (§2.4).
+    pub lookup_cache_hits: CounterPair,
+    /// Lookups that went to the fabric (no usable cache entry).
+    pub lookup_cache_misses: CounterPair,
+    /// Lookups answered `NotFound` from an unexpired negative entry.
+    pub lookup_cache_negatives: CounterPair,
+    /// Meta read RPCs that reached a leader and were served — counted on
+    /// `Value` responses and on non-retryable domain errors (which only
+    /// arise *after* the server classified the read as lease or quorum).
+    /// Reconciles against `meta.lease_reads + meta.quorum_reads`.
+    pub meta_reads_served: CounterPair,
 }
 
 impl DataPathStats {
@@ -155,6 +171,12 @@ impl DataPathStats {
             inflight_packets: GaugePair::shared(registry.gauge("client.inflight_packets")),
             retries: CounterPair::shared(registry.counter("client.retries")),
             view_refreshes: CounterPair::shared(registry.counter("client.view_refresh")),
+            lookup_cache_hits: CounterPair::shared(registry.counter("client.lookup_cache.hit")),
+            lookup_cache_misses: CounterPair::shared(registry.counter("client.lookup_cache.miss")),
+            lookup_cache_negatives: CounterPair::shared(
+                registry.counter("client.lookup_cache.negative"),
+            ),
+            meta_reads_served: CounterPair::shared(registry.counter("client.meta_reads_served")),
         }
     }
 }
@@ -168,6 +190,10 @@ pub struct DataPathSnapshot {
     pub parallel_read_fanouts: u64,
     pub retries: u64,
     pub view_refreshes: u64,
+    pub lookup_cache_hits: u64,
+    pub lookup_cache_misses: u64,
+    pub lookup_cache_negatives: u64,
+    pub meta_reads_served: u64,
 }
 
 /// RPC fabrics the client talks over.
@@ -178,6 +204,26 @@ pub struct Fabrics {
     pub data: Network<DataRequest, Result<DataResponse>>,
 }
 
+/// One slot of the client lookup cache (§2.4): either a positive dentry
+/// pinned to the generation the target inode had when the entry was
+/// filled, or a cached negative ("no such name") with an expiry on the
+/// client's logical clock. Positive entries have no TTL — any local
+/// mutation of the parent directory invalidates them, and a generation
+/// mismatch against the attribute cache drops them lazily.
+#[derive(Debug, Clone)]
+pub(crate) enum LookupEntry {
+    Hit {
+        dentry: Dentry,
+        /// Target inode's `generation` at fill time, if the attribute
+        /// cache knew it. A later attribute fetch observing a different
+        /// generation means this entry resolved against stale state.
+        target_gen: Option<u64>,
+    },
+    Negative {
+        expires_ns: u64,
+    },
+}
+
 pub(crate) struct CacheState {
     pub meta_partitions: Vec<MetaPartitionMeta>,
     pub data_partitions: Vec<DataPartitionMeta>,
@@ -185,8 +231,8 @@ pub(crate) struct CacheState {
     pub leader_cache: HashMap<PartitionId, NodeId>,
     /// Inode cache (§2.4), force-synced on open.
     pub inode_cache: HashMap<InodeId, Inode>,
-    /// Dentry cache.
-    pub dentry_cache: HashMap<(InodeId, String), Dentry>,
+    /// Lookup cache: (parent, name) → positive or negative entry.
+    pub lookup_cache: HashMap<(InodeId, String), LookupEntry>,
     /// Local orphan-inode list (§2.6.1): (partition, inode) pairs awaiting
     /// an evict request.
     pub orphans: Vec<(PartitionId, InodeId)>,
@@ -239,7 +285,7 @@ impl Client {
                 data_partitions: Vec::new(),
                 leader_cache: HashMap::new(),
                 inode_cache: HashMap::new(),
-                dentry_cache: HashMap::new(),
+                lookup_cache: HashMap::new(),
                 orphans: Vec::new(),
                 master_leader: None,
                 rng: SmallRng::seed_from_u64(seed),
@@ -299,6 +345,10 @@ impl Client {
             parallel_read_fanouts: self.stats.parallel_read_fanouts.get(),
             retries: self.stats.retries.get(),
             view_refreshes: self.stats.view_refreshes.get(),
+            lookup_cache_hits: self.stats.lookup_cache_hits.get(),
+            lookup_cache_misses: self.stats.lookup_cache_misses.get(),
+            lookup_cache_negatives: self.stats.lookup_cache_negatives.get(),
+            meta_reads_served: self.stats.meta_reads_served.get(),
         }
     }
 
@@ -573,6 +623,7 @@ impl Client {
         members: &[NodeId],
         req: MetaRequest,
     ) -> Result<MetaValue> {
+        let is_read = matches!(req, MetaRequest::Read { .. });
         let mut members = members.to_vec();
         let mut last_err = CfsError::Unavailable("no meta replicas".into());
         for pass in 0..=self.options.max_retries {
@@ -595,6 +646,9 @@ impl Client {
                 match self.fabrics.meta.call(self.id, node, req.clone()) {
                     Ok(Ok(MetaResponse::Value(v))) => {
                         self.cache.lock().leader_cache.insert(partition, node);
+                        if is_read {
+                            self.stats.meta_reads_served.inc();
+                        }
                         return Ok(v);
                     }
                     Ok(Ok(_)) => return Err(CfsError::Internal("unexpected meta response".into())),
@@ -611,7 +665,17 @@ impl Client {
                         last_err = CfsError::NotLeader { partition, hint };
                     }
                     Ok(Err(e)) if e.is_retryable() => last_err = e,
-                    Ok(Err(e)) => return Err(e),
+                    Ok(Err(e)) => {
+                        // Non-retryable domain errors (NotFound, Exists,
+                        // ...) only arise after the leader classified and
+                        // served the read, so they count as served too —
+                        // keeping `client.meta_reads_served` reconcilable
+                        // with `meta.lease_reads + meta.quorum_reads`.
+                        if is_read {
+                            self.stats.meta_reads_served.inc();
+                        }
+                        return Err(e);
+                    }
                     Err(e) => {
                         self.cache.lock().leader_cache.remove(&partition);
                         last_err = e;
@@ -651,21 +715,90 @@ impl Client {
     // ------------------------------------------------------------------
 
     pub(crate) fn cache_inode(&self, ino: &Inode) {
-        self.cache.lock().inode_cache.insert(ino.id, ino.clone());
+        let mut cache = self.cache.lock();
+        if let Some(old) = cache.inode_cache.insert(ino.id, ino.clone()) {
+            if old.generation != ino.generation {
+                // The generation moved (truncate, §2.4): every cached
+                // lookup that resolved against the old attributes is
+                // suspect and must be re-fetched.
+                let id = ino.id;
+                cache.lookup_cache.retain(
+                    |_, e| !matches!(e, LookupEntry::Hit { dentry, .. } if dentry.inode == id),
+                );
+            }
+        }
     }
 
     pub(crate) fn cache_dentry(&self, d: &Dentry) {
-        self.cache
-            .lock()
-            .dentry_cache
-            .insert((d.parent_id, d.name.clone()), d.clone());
+        let mut cache = self.cache.lock();
+        let target_gen = cache.inode_cache.get(&d.inode).map(|i| i.generation);
+        cache.lookup_cache.insert(
+            (d.parent_id, d.name.clone()),
+            LookupEntry::Hit {
+                dentry: d.clone(),
+                target_gen,
+            },
+        );
     }
 
-    pub(crate) fn uncache_dentry(&self, parent: InodeId, name: &str) {
+    /// Record that `name` does not exist under `parent`, valid for the
+    /// configured TTL on the client's logical clock. No-op when negative
+    /// caching is disabled.
+    pub(crate) fn cache_negative_lookup(&self, parent: InodeId, name: &str) {
+        let ttl = self.options.negative_lookup_ttl_ns;
+        if ttl == 0 {
+            return;
+        }
+        let expires_ns = self.clock.load(Ordering::Relaxed).saturating_add(ttl);
+        self.cache.lock().lookup_cache.insert(
+            (parent, name.to_string()),
+            LookupEntry::Negative { expires_ns },
+        );
+    }
+
+    /// Consult the lookup cache: `Some(Ok(_))` is a positive hit,
+    /// `Some(Err(NotFound))` an unexpired negative, `None` a miss (the
+    /// caller goes to the fabric). Stale entries — expired negatives and
+    /// positives whose target generation moved — are dropped here.
+    pub(crate) fn cached_lookup(&self, parent: InodeId, name: &str) -> Option<Result<Dentry>> {
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut cache = self.cache.lock();
+        let key = (parent, name.to_string());
+        match cache.lookup_cache.get(&key) {
+            Some(LookupEntry::Hit { dentry, target_gen }) => {
+                let current = cache.inode_cache.get(&dentry.inode).map(|i| i.generation);
+                if let (Some(then), Some(cur)) = (*target_gen, current) {
+                    if then != cur {
+                        cache.lookup_cache.remove(&key);
+                        return None;
+                    }
+                }
+                self.stats.lookup_cache_hits.inc();
+                Some(Ok(dentry.clone()))
+            }
+            Some(LookupEntry::Negative { expires_ns }) => {
+                if now < *expires_ns {
+                    self.stats.lookup_cache_negatives.inc();
+                    Some(Err(CfsError::NotFound(format!(
+                        "dentry {parent}/{name} (negative cache)"
+                    ))))
+                } else {
+                    cache.lookup_cache.remove(&key);
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Drop every lookup-cache entry under `parent` — called after any
+    /// local mutation of that directory, so read-your-own-writes holds
+    /// without a TTL on positive entries.
+    pub(crate) fn invalidate_parent(&self, parent: InodeId) {
         self.cache
             .lock()
-            .dentry_cache
-            .remove(&(parent, name.to_string()));
+            .lookup_cache
+            .retain(|(p, _), _| *p != parent);
     }
 
     pub(crate) fn uncache_inode(&self, ino: InodeId) {

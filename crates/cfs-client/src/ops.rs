@@ -55,6 +55,10 @@ impl Client {
         match dentry_result {
             Ok(v) => {
                 let d = v.into_dentry()?;
+                // Local mutation of `parent`: drop its lookup entries
+                // (including any negative entry for this name), then
+                // re-seed the cache with the fresh dentry.
+                self.invalidate_parent(parent);
                 self.cache_inode(&inode);
                 self.cache_dentry(&d);
                 Ok(inode)
@@ -104,20 +108,36 @@ impl Client {
     // ------------------------------------------------------------------
 
     /// Look up `name` under `parent` (dentry routed by parent id).
+    ///
+    /// Consults the generation-checked lookup cache first (§2.4):
+    /// positive hits and unexpired negative entries are answered without
+    /// touching the fabric; misses fetch from the partition leader and
+    /// fill the cache — including a TTL'd negative entry on `NotFound`.
     pub fn lookup(&self, parent: InodeId, name: &str) -> Result<Dentry> {
+        if let Some(cached) = self.cached_lookup(parent, name) {
+            return cached;
+        }
+        self.stats.lookup_cache_misses.inc();
         let (partition, members) = self.meta_partition_of(parent)?;
-        let d = self
-            .meta_read(
-                partition,
-                &members,
-                MetaRead::Lookup {
-                    parent,
-                    name: name.to_string(),
-                },
-            )?
-            .into_dentry()?;
-        self.cache_dentry(&d);
-        Ok(d)
+        match self.meta_read(
+            partition,
+            &members,
+            MetaRead::Lookup {
+                parent,
+                name: name.to_string(),
+            },
+        ) {
+            Ok(v) => {
+                let d = v.into_dentry()?;
+                self.cache_dentry(&d);
+                Ok(d)
+            }
+            Err(CfsError::NotFound(msg)) => {
+                self.cache_negative_lookup(parent, name);
+                Err(CfsError::NotFound(msg))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Fetch an inode, bypassing the cache (used by open's force-sync,
@@ -150,6 +170,9 @@ impl Client {
         > = Default::default();
         let mut inodes: std::collections::HashMap<InodeId, Inode> = Default::default();
         for d in &dentries {
+            if inodes.contains_key(&d.inode) {
+                continue; // hard link repeat — already routed or cached
+            }
             if let Some(ino) = self.cached_inode(d.inode) {
                 inodes.insert(d.inode, ino);
                 continue;
@@ -158,7 +181,9 @@ impl Client {
             let e = by_partition
                 .entry(p)
                 .or_insert_with(|| (members, Vec::new()));
-            e.1.push(d.inode);
+            if !e.1.contains(&d.inode) {
+                e.1.push(d.inode);
+            }
         }
         for (partition, (members, ids)) in by_partition {
             let got = self
@@ -178,8 +203,12 @@ impl Client {
             if let Some(ino) = inodes.get(&d.inode) {
                 out.push((d, ino.clone()));
             }
-            // A dentry whose inode vanished mid-listing is skipped — the
-            // relaxed-atomicity model allows the race (§2.6).
+            // A dentry whose inode the batch read did not return is
+            // silently dropped from the listing. That covers both an
+            // orphaned dentry (its create-workflow died between the
+            // dentry and inode steps, §2.6.1 — fsck repairs it later)
+            // and an inode unlinked concurrently with this listing; the
+            // relaxed-atomicity model permits either (§2.6).
         }
         Ok(out)
     }
@@ -226,7 +255,9 @@ impl Client {
         );
         match created {
             Ok(v) => {
-                self.cache_dentry(&v.into_dentry()?);
+                let d = v.into_dentry()?;
+                self.invalidate_parent(parent);
+                self.cache_dentry(&d);
                 self.cache_inode(&linked);
                 Ok(())
             }
@@ -266,7 +297,7 @@ impl Client {
                 },
             )?
             .into_dentry()?;
-        self.uncache_dentry(parent, name);
+        self.invalidate_parent(parent);
 
         let ino = dentry.inode;
         let (ino_partition, ino_members) = self.meta_partition_of(ino)?;
@@ -331,7 +362,7 @@ impl Client {
                 name: name.to_string(),
             },
         )?;
-        self.uncache_dentry(parent, name);
+        self.invalidate_parent(parent);
         // Directory threshold is 2 (§2.6.3): one decrement takes a fresh
         // dir from 2 → 1, below threshold → reclaim.
         let after = self
@@ -398,7 +429,10 @@ impl Client {
                 name: old_name.to_string(),
             },
         )?;
-        self.uncache_dentry(old_parent, old_name);
+        // Both directories were mutated locally: the new name appeared
+        // and the old one vanished.
+        self.invalidate_parent(new_parent);
+        self.invalidate_parent(old_parent);
         Ok(())
     }
 }

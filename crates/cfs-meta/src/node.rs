@@ -1,6 +1,7 @@
 //! The meta node: many partitions behind one MultiRaft instance.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -8,7 +9,8 @@ use parking_lot::Mutex;
 use cfs_obs::{Counter, Registry, RpcRoute};
 use cfs_raft::hub::{RaftHost, RaftHub};
 use cfs_raft::{
-    MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, SnapshotPayload, WireEnvelope,
+    decode_batch_frame, MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, SnapshotPayload,
+    WireEnvelope,
 };
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, InodeId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
@@ -100,6 +102,16 @@ struct MetaObs {
     applies: HashMap<(u64, &'static str), Counter>,
     snapshots_taken: Counter,
     snapshot_restores: Counter,
+    /// Sub-commands unpacked from committed batch frames; same registry
+    /// name as [`RaftMetrics::batch_entries`], so this handle shares its
+    /// atomic with the consensus layer and the reconciliation invariant
+    /// `raft.batch.entries == Σ meta.applies{…}` holds by construction.
+    batch_entries: Counter,
+    /// Reads served locally under a valid quorum lease (no consensus
+    /// round).
+    lease_reads: Counter,
+    /// Reads that fell back to a quorum round (ReadIndex-style barrier).
+    quorum_reads: Counter,
 }
 
 impl MetaObs {
@@ -109,6 +121,9 @@ impl MetaObs {
             applies: HashMap::new(),
             snapshots_taken: registry.counter("meta.snapshots_taken"),
             snapshot_restores: registry.counter("meta.snapshot_restores"),
+            batch_entries: registry.counter("raft.batch.entries"),
+            lease_reads: registry.counter("meta.lease_reads"),
+            quorum_reads: registry.counter("meta.quorum_reads"),
         }
     }
 
@@ -129,7 +144,104 @@ struct Inner {
     /// Apply results awaiting pickup by the proposing RPC handler,
     /// keyed by (group, log index). Only populated on the leader.
     results: HashMap<(RaftGroupId, u64), Result<MetaValue>>,
+    /// Group-commit accumulator: writes enqueued since the last hub round,
+    /// per group, as `(ticket, encoded command)`. Flushed into ONE batch
+    /// frame per group at the top of every `raft_drain`, so N concurrent
+    /// writes commit in O(1) consensus rounds.
+    queues: HashMap<RaftGroupId, VecDeque<(u64, Vec<u8>)>>,
+    /// The one batch frame per group currently going through consensus:
+    /// `(term at propose, log index, tickets in frame order)`. One frame
+    /// in flight per group — later writes accumulate into the next frame.
+    inflight: HashMap<RaftGroupId, (u64, u64, Vec<u64>)>,
+    /// Resolved batched writes awaiting pickup, keyed by ticket.
+    ticket_results: HashMap<u64, Result<MetaValue>>,
+    next_ticket: u64,
     obs: Option<MetaObs>,
+}
+
+impl Inner {
+    fn fresh(multiraft: MultiRaft, obs: Option<MetaObs>) -> Inner {
+        Inner {
+            multiraft,
+            partitions: HashMap::new(),
+            results: HashMap::new(),
+            queues: HashMap::new(),
+            inflight: HashMap::new(),
+            ticket_results: HashMap::new(),
+            next_ticket: 1,
+            obs,
+        }
+    }
+
+    /// Fail every ticket with the same error (group lost leadership, frame
+    /// overwritten by another leader's entry…). The blocked writers pick
+    /// the error up and retry against the new leader.
+    fn fail_tickets(&mut self, tickets: Vec<u64>, err: CfsError) {
+        for t in tickets {
+            self.ticket_results.insert(t, Err(err.clone()));
+        }
+    }
+
+    /// Group commit: once per hub round, fold everything each group's
+    /// accumulator collected since the last round into ONE batch frame and
+    /// propose it. One frame in flight per group — writes arriving while a
+    /// frame is replicating accumulate into the next one, which is what
+    /// bounds N concurrent writes to O(1) consensus rounds.
+    ///
+    /// Also the fence for stale state: an inflight frame whose group lost
+    /// leadership (or changed term, which implies an intervening
+    /// election) can never resolve, so its tickets fail with `NotLeader`
+    /// here rather than hanging until the client timeout.
+    fn flush_group_commit(&mut self) {
+        let mut gids: Vec<RaftGroupId> = self
+            .inflight
+            .keys()
+            .chain(self.queues.keys())
+            .copied()
+            .collect();
+        gids.sort_unstable();
+        gids.dedup();
+        for gid in gids {
+            let partition = PartitionId(gid.raw());
+            if let Some(&(term, _, _)) = self.inflight.get(&gid) {
+                let (stale, hint) = match self.multiraft.group(gid) {
+                    Some(g) => (!g.is_leader() || g.term() != term, g.leader_hint()),
+                    None => (true, None),
+                };
+                if stale {
+                    let (_, _, tickets) = self.inflight.remove(&gid).expect("checked above");
+                    self.fail_tickets(tickets, CfsError::NotLeader { partition, hint });
+                }
+            }
+            if self.inflight.contains_key(&gid) {
+                continue; // previous frame still replicating
+            }
+            let Some(queue) = self.queues.get_mut(&gid) else {
+                continue;
+            };
+            if queue.is_empty() {
+                continue;
+            }
+            let (tickets, cmds): (Vec<u64>, Vec<Vec<u8>>) = queue.drain(..).unzip();
+            let proposed = match self.multiraft.group_mut(gid) {
+                Some(g) if g.is_leader() => {
+                    let term = g.term();
+                    g.propose_batch(cmds).map(|index| (term, index))
+                }
+                Some(g) => Err(CfsError::NotLeader {
+                    partition,
+                    hint: g.leader_hint(),
+                }),
+                None => Err(CfsError::NotFound(format!("{partition}"))),
+            };
+            match proposed {
+                Ok((term, index)) => {
+                    self.inflight.insert(gid, (term, index, tickets));
+                }
+                Err(e) => self.fail_tickets(tickets, e),
+            }
+        }
+    }
 }
 
 /// A meta node (§2.1): hosts meta partitions, replicates their commands
@@ -142,6 +254,9 @@ pub struct MetaNode {
     /// Max ticks to wait for a proposal to commit before reporting a
     /// timeout to the client (who retries per §2.1.3).
     commit_timeout_ticks: u64,
+    /// Group-commit toggle (on by default; the meta-ops ablation turns it
+    /// off to measure one-command-per-round consensus cost).
+    batching: AtomicBool,
 }
 
 impl MetaNode {
@@ -167,16 +282,18 @@ impl MetaNode {
         let node = Arc::new(MetaNode {
             id,
             hub: hub.clone(),
-            inner: Mutex::new(Inner {
-                multiraft,
-                partitions: HashMap::new(),
-                results: HashMap::new(),
-                obs: registry.map(MetaObs::new),
-            }),
+            inner: Mutex::new(Inner::fresh(multiraft, registry.map(MetaObs::new))),
             commit_timeout_ticks: 2_000,
+            batching: AtomicBool::new(true),
         });
         hub.register(node.clone() as Arc<dyn RaftHost>);
         node
+    }
+
+    /// Enable or disable write batching (group commit). On by default;
+    /// the meta-ops ablation bench flips it off.
+    pub fn set_batching(&self, on: bool) {
+        self.batching.store(on, Ordering::Relaxed);
     }
 
     /// This node's id.
@@ -250,9 +367,135 @@ impl MetaNode {
         Ok(())
     }
 
-    /// Leader-local read.
+    /// Leader read. Fast path: a leader holding a valid quorum lease and
+    /// fully caught up (`applied == commit`) answers from its in-memory
+    /// tree without a consensus round. Otherwise the read pays a quorum
+    /// barrier ([`Self::quorum_read`]).
     pub fn read(&self, partition: PartitionId, read: &MetaRead) -> Result<MetaValue> {
+        {
+            let inner = self.inner.lock();
+            // Reads on a node that does not (yet) host the partition are
+            // `Unavailable`, not `NotFound`: retryable, so every
+            // non-retryable error a client sees comes from a read the
+            // leader actually served (and counted as lease or quorum).
+            let group = inner
+                .multiraft
+                .group(Self::group_of(partition))
+                .ok_or_else(|| CfsError::Unavailable(format!("{partition}: not hosted here")))?;
+            if !group.is_leader() {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: group.leader_hint(),
+                });
+            }
+            if group.lease_valid() && group.applied_index() == group.commit_index() {
+                let p = inner.partitions.get(&partition).ok_or_else(|| {
+                    CfsError::Unavailable(format!("{partition}: not hosted here"))
+                })?;
+                if let Some(o) = inner.obs.as_ref() {
+                    o.lease_reads.inc();
+                }
+                return apply_read(read, p);
+            }
+        }
+        self.quorum_read(partition, read)
+    }
+
+    /// ReadIndex-style quorum read: record the commit index and the local
+    /// clock, force a heartbeat, and wait until a quorum has acked probes
+    /// stamped at-or-after that clock (proving this node was still the
+    /// leader when the read started) and the recorded index is applied.
+    fn quorum_read(&self, partition: PartitionId, read: &MetaRead) -> Result<MetaValue> {
+        let gid = Self::group_of(partition);
+        let (barrier, read_commit) = {
+            let mut inner = self.inner.lock();
+            let group = inner
+                .multiraft
+                .group_mut(gid)
+                .ok_or_else(|| CfsError::Unavailable(format!("{partition}: not hosted here")))?;
+            if !group.is_leader() {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: group.leader_hint(),
+                });
+            }
+            let barrier = group.clock();
+            let read_commit = group.commit_index();
+            group.force_heartbeat();
+            (barrier, read_commit)
+        };
+        let confirmed = self.hub.pump_until(
+            || {
+                let inner = self.inner.lock();
+                inner
+                    .multiraft
+                    .group(gid)
+                    .map(|g| g.quorum_contact_since(barrier) && g.applied_index() >= read_commit)
+                    .unwrap_or(false)
+            },
+            self.commit_timeout_ticks,
+        );
         let inner = self.inner.lock();
+        let group = inner
+            .multiraft
+            .group(gid)
+            .ok_or_else(|| CfsError::Unavailable(format!("{partition}: not hosted here")))?;
+        if !group.is_leader() {
+            return Err(CfsError::NotLeader {
+                partition,
+                hint: group.leader_hint(),
+            });
+        }
+        if !confirmed {
+            return Err(CfsError::Timeout(format!("{partition}: quorum read")));
+        }
+        let p = inner
+            .partitions
+            .get(&partition)
+            .ok_or_else(|| CfsError::Unavailable(format!("{partition}: not hosted here")))?;
+        if let Some(o) = inner.obs.as_ref() {
+            o.quorum_reads.inc();
+        }
+        apply_read(read, p)
+    }
+
+    /// Raft-replicated write. With batching on (the default), the command
+    /// joins the partition's group-commit accumulator and resolves when
+    /// its frame applies; otherwise it is proposed as its own log entry.
+    pub fn write(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<MetaValue> {
+        if !self.batching.load(Ordering::Relaxed) {
+            return self.write_unbatched(partition, cmd);
+        }
+        let ticket = self.enqueue_write(partition, cmd)?;
+        let done = self.hub.pump_until(
+            || self.inner.lock().ticket_results.contains_key(&ticket),
+            self.commit_timeout_ticks,
+        );
+        let mut inner = self.inner.lock();
+        if let Some(r) = inner.ticket_results.remove(&ticket) {
+            return r;
+        }
+        let _ = done;
+        // Withdraw the command if it never made it into a frame, so a
+        // retry cannot apply it twice.
+        if let Some(q) = inner.queues.get_mut(&Self::group_of(partition)) {
+            q.retain(|(t, _)| *t != ticket);
+        }
+        Err(CfsError::Timeout(format!(
+            "{partition}: group commit of ticket {ticket}"
+        )))
+    }
+
+    /// Stage a write into the partition's group-commit accumulator without
+    /// pumping the hub; returns the ticket that
+    /// [`Self::take_write_result`] resolves once the frame applies. The
+    /// budget tests use this to line up N writes in one frame
+    /// deterministically; [`Self::write`] is the blocking wrapper.
+    pub fn enqueue_write(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        if !inner.partitions.contains_key(&partition) {
+            return Err(CfsError::NotFound(format!("{partition}")));
+        }
         let group = inner
             .multiraft
             .group(Self::group_of(partition))
@@ -263,16 +506,25 @@ impl MetaNode {
                 hint: group.leader_hint(),
             });
         }
-        let p = inner
-            .partitions
-            .get(&partition)
-            .ok_or_else(|| CfsError::NotFound(format!("{partition}")))?;
-        apply_read(read, p)
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner
+            .queues
+            .entry(Self::group_of(partition))
+            .or_default()
+            .push_back((ticket, cmd.to_bytes()));
+        Ok(ticket)
     }
 
-    /// Raft-replicated write: propose, pump the hub until committed and
-    /// applied, return the apply result.
-    pub fn write(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<MetaValue> {
+    /// Take the resolved result of an enqueued write, if its frame has
+    /// applied.
+    pub fn take_write_result(&self, ticket: u64) -> Option<Result<MetaValue>> {
+        self.inner.lock().ticket_results.remove(&ticket)
+    }
+
+    /// Pre-batching write path: propose one command per log entry, pump
+    /// the hub until committed and applied, return the apply result.
+    fn write_unbatched(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<MetaValue> {
         let group = Self::group_of(partition);
         let index = {
             let mut inner = self.inner.lock();
@@ -437,13 +689,9 @@ impl MetaNode {
         let node = Arc::new(MetaNode {
             id,
             hub: hub.clone(),
-            inner: Mutex::new(Inner {
-                multiraft,
-                partitions: HashMap::new(),
-                results: HashMap::new(),
-                obs: registry.map(MetaObs::new),
-            }),
+            inner: Mutex::new(Inner::fresh(multiraft, registry.map(MetaObs::new))),
             commit_timeout_ticks: 2_000,
+            batching: AtomicBool::new(true),
         });
         {
             let mut inner = node.inner.lock();
@@ -489,6 +737,26 @@ impl MetaNode {
             .group(Self::group_of(partition))
             .map(|g| (g.commit_index(), g.applied_index(), g.last_index()))
     }
+
+    /// Current Raft term of the partition's group (tests + debugging).
+    pub fn raft_term(&self, partition: PartitionId) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner
+            .multiraft
+            .group(Self::group_of(partition))
+            .map(|g| g.term())
+    }
+
+    /// Whether the partition's group currently holds a valid read lease
+    /// (leader only; see [`cfs_raft::RaftNode::lease_valid`]).
+    pub fn holds_lease_for(&self, partition: PartitionId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .multiraft
+            .group(Self::group_of(partition))
+            .map(|g| g.is_leader() && g.lease_valid())
+            .unwrap_or(false)
+    }
 }
 
 impl RaftHost for MetaNode {
@@ -502,6 +770,9 @@ impl RaftHost for MetaNode {
 
     fn raft_drain(&self) -> Vec<WireEnvelope> {
         let mut inner = self.inner.lock();
+        // Group commit: everything enqueued since the last round goes out
+        // as one batch frame per group, ahead of this round's messages.
+        inner.flush_group_commit();
         let (msgs, readies) = inner.multiraft.drain();
         for (gid, ready) in readies {
             let pid = PartitionId(gid.raw());
@@ -527,27 +798,92 @@ impl RaftHost for MetaNode {
                 .map(|g| g.is_leader())
                 .unwrap_or(false);
             for entry in ready.committed {
+                // Was this index claimed by our inflight batch frame?
+                let claimed = inner.inflight.get(&gid).map(|&(t, i, _)| (t, i));
+                let frame_is_ours = match claimed {
+                    Some((term, index)) if index == entry.index => {
+                        if term == entry.term {
+                            true
+                        } else {
+                            // Another leader's entry landed at our frame's
+                            // index: the frame was lost in an election.
+                            let hint = inner.multiraft.group(gid).and_then(|g| g.leader_hint());
+                            let (_, _, tickets) =
+                                inner.inflight.remove(&gid).expect("checked above");
+                            inner.fail_tickets(
+                                tickets,
+                                CfsError::NotLeader {
+                                    partition: pid,
+                                    hint,
+                                },
+                            );
+                            false
+                        }
+                    }
+                    _ => false,
+                };
                 if entry.data.is_empty() {
                     continue; // leader no-op
                 }
-                let result = match MetaCommand::from_bytes(&entry.data) {
-                    Ok(cmd) => {
-                        let applies = inner.obs.as_mut().map(|o| o.apply_counter(pid, cmd.kind()));
-                        let r = match inner.partitions.get_mut(&pid) {
-                            Some(p) => cmd.apply(p),
-                            None => Err(CfsError::NotFound(format!("{pid}"))),
-                        };
-                        if r.is_ok() {
-                            if let Some(c) = applies {
-                                c.inc();
+                match decode_batch_frame(&entry.data) {
+                    Some(Ok(cmds)) => {
+                        let mut results = Vec::with_capacity(cmds.len());
+                        for bytes in &cmds {
+                            let result = match MetaCommand::from_bytes(bytes) {
+                                Ok(cmd) => {
+                                    // Both counters move together, once per
+                                    // apply *attempt* (deterministic error
+                                    // outcomes are replicated state too), so
+                                    // `raft.batch.entries == Σ meta.applies`
+                                    // holds on every replica.
+                                    if let Some(o) = inner.obs.as_mut() {
+                                        o.apply_counter(pid, cmd.kind()).inc();
+                                        o.batch_entries.inc();
+                                    }
+                                    match inner.partitions.get_mut(&pid) {
+                                        Some(p) => cmd.apply(p),
+                                        None => Err(CfsError::NotFound(format!("{pid}"))),
+                                    }
+                                }
+                                Err(e) => Err(e),
+                            };
+                            results.push(result);
+                        }
+                        if frame_is_ours {
+                            let (_, _, tickets) =
+                                inner.inflight.remove(&gid).expect("claimed above");
+                            debug_assert_eq!(tickets.len(), results.len());
+                            for (t, r) in tickets.into_iter().zip(results) {
+                                inner.ticket_results.insert(t, r);
                             }
                         }
-                        r
                     }
-                    Err(e) => Err(e),
-                };
-                if is_leader {
-                    inner.results.insert((gid, entry.index), result);
+                    Some(Err(e)) => {
+                        debug_assert!(false, "corrupt batch frame: {e}");
+                        if frame_is_ours {
+                            let (_, _, tickets) =
+                                inner.inflight.remove(&gid).expect("claimed above");
+                            inner.fail_tickets(tickets, e);
+                        }
+                    }
+                    None => {
+                        // Single-command entry (the batching-off path).
+                        let result = match MetaCommand::from_bytes(&entry.data) {
+                            Ok(cmd) => {
+                                if let Some(o) = inner.obs.as_mut() {
+                                    o.apply_counter(pid, cmd.kind()).inc();
+                                }
+                                match inner.partitions.get_mut(&pid) {
+                                    Some(p) => cmd.apply(p),
+                                    None => Err(CfsError::NotFound(format!("{pid}"))),
+                                }
+                            }
+                            Err(e) => Err(e),
+                        };
+                        if is_leader {
+                            inner.results.insert((gid, entry.index), result);
+                        }
+                    }
                 }
             }
 
@@ -574,10 +910,13 @@ impl RaftHost for MetaNode {
                 }
             }
         }
-        // Bound the orphaned-results map (followers that later became
+        // Bound the orphaned-results maps (followers that later became
         // leaders, abandoned client requests…).
         if inner.results.len() > 65_536 {
             inner.results.clear();
+        }
+        if inner.ticket_results.len() > 65_536 {
+            inner.ticket_results.clear();
         }
         msgs
     }
@@ -865,6 +1204,199 @@ mod tests {
         assert!(snap.counter("raft.proposals") >= 1, "proposal seen");
     }
 
+    fn registry_cluster(n: u64) -> (RaftHub, Registry, Vec<Arc<MetaNode>>) {
+        let hub = RaftHub::new();
+        let registry = Registry::new();
+        let nodes: Vec<Arc<MetaNode>> = (1..=n)
+            .map(|i| {
+                MetaNode::with_registry(
+                    NodeId(i),
+                    hub.clone(),
+                    RaftConfig::default(),
+                    1234,
+                    Some(&registry),
+                )
+            })
+            .collect();
+        (hub, registry, nodes)
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_writes_into_one_round() {
+        let (hub, registry, nodes) = registry_cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        let before = registry.snapshot();
+
+        let tickets: Vec<u64> = (0..8)
+            .map(|i| {
+                leader
+                    .enqueue_write(
+                        p,
+                        &MetaCommand::CreateInode {
+                            file_type: FileType::File,
+                            link_target: vec![],
+                            now_ns: i,
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert!(hub.pump_until(
+            || tickets
+                .iter()
+                .all(|&t| leader.inner.lock().ticket_results.contains_key(&t)),
+            5_000
+        ));
+        let mut ids = Vec::new();
+        for t in &tickets {
+            let inode = leader
+                .take_write_result(*t)
+                .expect("resolved")
+                .unwrap()
+                .into_inode()
+                .unwrap();
+            ids.push(inode.id);
+        }
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "every write allocated a distinct inode");
+
+        // Let the frame replicate everywhere, then reconcile counters.
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+        let diff = registry.snapshot().diff(&before);
+        assert_eq!(diff.counter("raft.proposals"), 1, "one frame, one round");
+        assert_eq!(diff.counter("raft.batch.commits"), 1);
+        assert_eq!(
+            diff.counter("raft.batch.entries"),
+            8 * 3,
+            "eight sub-commands applied on each of three replicas"
+        );
+        assert_eq!(
+            diff.counter(&format!("meta.applies{{partition={p},op=create_inode}}")),
+            8 * 3
+        );
+    }
+
+    #[test]
+    fn batched_sub_commands_resolve_results_individually() {
+        let (hub, nodes) = cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        let root = leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::Dir,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        let f = leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 2,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        // Two identical dentry creates in ONE frame: first wins, second
+        // gets its own Exists error.
+        let dentry = MetaCommand::CreateDentry {
+            parent: root.id,
+            name: "dup".into(),
+            inode: f.id,
+            file_type: FileType::File,
+        };
+        let t1 = leader.enqueue_write(p, &dentry).unwrap();
+        let t2 = leader.enqueue_write(p, &dentry).unwrap();
+        assert!(hub.pump_until(
+            || {
+                let inner = leader.inner.lock();
+                inner.ticket_results.contains_key(&t1) && inner.ticket_results.contains_key(&t2)
+            },
+            5_000
+        ));
+        assert!(leader.take_write_result(t1).unwrap().is_ok());
+        assert!(matches!(
+            leader.take_write_result(t2).unwrap(),
+            Err(CfsError::Exists(_))
+        ));
+    }
+
+    #[test]
+    fn batching_off_proposes_one_entry_per_command() {
+        let (hub, registry, nodes) = registry_cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        for n in &nodes {
+            n.set_batching(false);
+        }
+        let before = registry.snapshot();
+        for i in 0..3 {
+            leader
+                .write(
+                    p,
+                    &MetaCommand::CreateInode {
+                        file_type: FileType::File,
+                        link_target: vec![],
+                        now_ns: i,
+                    },
+                )
+                .unwrap();
+        }
+        let diff = registry.snapshot().diff(&before);
+        assert_eq!(diff.counter("raft.proposals"), 3, "no coalescing");
+        assert_eq!(diff.counter("raft.batch.commits"), 0);
+        assert_eq!(diff.counter("raft.batch.entries"), 0);
+    }
+
+    #[test]
+    fn leader_reads_split_between_lease_and_quorum_paths() {
+        let (hub, registry, nodes) = registry_cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::Dir,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap();
+        // Let heartbeats renew the lease.
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+        let before = registry.snapshot();
+        for _ in 0..10 {
+            leader
+                .read(p, &MetaRead::GetInode { inode: InodeId(1) })
+                .unwrap();
+        }
+        let diff = registry.snapshot().diff(&before);
+        assert_eq!(
+            diff.counter("meta.lease_reads") + diff.counter("meta.quorum_reads"),
+            10,
+            "every served read is classified"
+        );
+        assert!(
+            diff.counter("meta.lease_reads") > 0,
+            "steady-state leader holds its lease"
+        );
+    }
+
     #[test]
     fn lagging_replica_catches_up_via_snapshot_after_compaction() {
         let (hub, nodes) = cluster(3);
@@ -907,5 +1439,98 @@ mod tests {
         faults.set_down(laggard.id(), false);
         assert!(hub.pump_until(|| laggard.total_items() == 50, 10_000));
         assert_eq!(laggard.info(p).unwrap().max_inode, InodeId(50));
+    }
+
+    /// Lease safety: a deposed leader must never answer a read from its
+    /// stale tree. The config invariant `lease_ticks < election_timeout_min`
+    /// guarantees that by the time any replacement leader can be elected,
+    /// the old leader's lease has already expired on its own clock — so the
+    /// read falls back to the quorum barrier, which a cut node cannot pass.
+    #[test]
+    fn deposed_leader_cannot_serve_stale_lease_read() {
+        let (hub, registry, nodes) = registry_cluster(3);
+        let faults = cfs_types::FaultState::new();
+        hub.set_faults(faults.clone());
+        let p = mk_partition(&hub, &nodes, 1);
+        let old_leader = leader_of(&nodes, p);
+        assert!(old_leader.holds_lease_for(p), "steady-state lease held");
+        let old_term = old_leader.raft_term(p).unwrap();
+
+        // Partition the leader away and let the survivors elect.
+        faults.set_down(old_leader.id(), true);
+        let survivors: Vec<_> = nodes
+            .iter()
+            .filter(|n| n.id() != old_leader.id())
+            .cloned()
+            .collect();
+        assert!(
+            hub.pump_until(|| survivors.iter().any(|n| n.is_leader_for(p)), 20_000),
+            "survivors elect a replacement"
+        );
+        let new_leader = survivors.iter().find(|n| n.is_leader_for(p)).unwrap();
+        assert!(
+            new_leader.raft_term(p).unwrap() > old_term,
+            "replacement leads a later term"
+        );
+
+        // The replacement could only campaign after >= election_timeout_min
+        // silent ticks — longer than the lease — so the deposed leader's
+        // lease must already be gone even though it heard nothing.
+        assert!(
+            !old_leader.holds_lease_for(p),
+            "lease expired before a rival could be elected"
+        );
+
+        // State the deposed leader has never seen.
+        let fresh = new_leader
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 7,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+
+        // A stale answer here would be `NotFound` (non-retryable: the
+        // client would trust it). The deposed leader must instead fail
+        // retryably — quorum barrier timeout or NotLeader — and must not
+        // count the read as served.
+        let before = registry.snapshot();
+        let err = old_leader
+            .read(p, &MetaRead::GetInode { inode: fresh.id })
+            .unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "stale read must be retryable, got {err:?}"
+        );
+        let diff = registry.snapshot().diff(&before);
+        assert_eq!(diff.counter("meta.lease_reads"), 0, "no lease-read served");
+        assert_eq!(
+            diff.counter("meta.quorum_reads"),
+            0,
+            "no quorum read served"
+        );
+
+        // Heal and let the deposed leader catch up. Even with the fresh
+        // inode now in its tree, reads stay fenced by role: it redirects
+        // to the replacement rather than answering as a has-been.
+        faults.set_down(old_leader.id(), false);
+        assert!(
+            hub.pump_until(|| old_leader.total_items() > 0, 20_000),
+            "deposed leader converges after heal"
+        );
+        match old_leader.read(p, &MetaRead::GetInode { inode: fresh.id }) {
+            Err(CfsError::NotLeader { .. }) => {}
+            other => panic!("expected NotLeader redirect, got {other:?}"),
+        }
+        // The replacement serves it.
+        let got = new_leader
+            .read(p, &MetaRead::GetInode { inode: fresh.id })
+            .unwrap();
+        assert_eq!(got.into_inode().unwrap().id, fresh.id);
     }
 }

@@ -16,6 +16,14 @@ pub struct RaftConfig {
     /// Compact the log once this many entries are applied past the last
     /// snapshot. `0` disables automatic compaction.
     pub snapshot_threshold: u64,
+    /// Leader read-lease duration (ticks): a leader that has collected
+    /// quorum acks probed within the last `lease_ticks` may serve reads
+    /// locally without a consensus round. Must stay strictly below
+    /// `election_timeout_min` so a peer still inside some leader's lease
+    /// window is also still inside its own vote-stickiness window and
+    /// cannot help elect a competing leader. `0` disables lease reads
+    /// (and vote stickiness with them).
+    pub lease_ticks: u64,
 }
 
 impl Default for RaftConfig {
@@ -26,6 +34,7 @@ impl Default for RaftConfig {
             heartbeat_interval: 50,
             max_entries_per_message: 256,
             snapshot_threshold: 4096,
+            lease_ticks: 120,
         }
     }
 }
@@ -48,6 +57,11 @@ impl RaftConfig {
         if self.max_entries_per_message == 0 {
             return Err(CfsError::InvalidArgument(
                 "max_entries_per_message must be positive".into(),
+            ));
+        }
+        if self.lease_ticks >= self.election_timeout_min {
+            return Err(CfsError::InvalidArgument(
+                "lease_ticks must be below the election timeout (lease safety)".into(),
             ));
         }
         Ok(())
@@ -80,8 +94,21 @@ mod tests {
 
         let c = RaftConfig {
             max_entries_per_message: 0,
-            ..base
+            ..base.clone()
         };
         assert!(c.validate().is_err());
+
+        let c = RaftConfig {
+            lease_ticks: base.election_timeout_min,
+            ..base.clone()
+        };
+        assert!(c.validate().is_err());
+
+        // Disabled lease is always valid.
+        let c = RaftConfig {
+            lease_ticks: 0,
+            ..base
+        };
+        assert!(c.validate().is_ok());
     }
 }

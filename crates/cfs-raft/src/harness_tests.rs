@@ -350,6 +350,51 @@ fn lagging_follower_catches_up_via_snapshot() {
     assert_eq!(c.applied[&laggard].last().unwrap(), b"after");
 }
 
+/// The classic disruptive-server scenario the lease must not turn into a
+/// livelock: an isolated *follower* campaigns its term sky-high, then
+/// rejoins a cluster whose leader holds a valid lease (and whose
+/// followers are vote-sticky). The rejoiner must be re-absorbed — not
+/// starve forever at commit 0 — and the cluster must converge.
+#[test]
+fn high_term_rejoiner_is_absorbed_despite_lease() {
+    let mut c = Cluster::new(3, 59);
+    let leader = c.elect();
+    c.propose(leader, b"one");
+    c.run_ticks(50);
+
+    let rejoiner = c.ids().into_iter().find(|&n| n != leader).unwrap();
+    c.isolate(rejoiner);
+    // Long isolation: the follower times out and campaigns over and over,
+    // bumping (and persisting) its term far past the live cluster's.
+    c.run_ticks(3000);
+    assert!(
+        c.nodes[&rejoiner].term() > c.nodes[&leader].term() + 3,
+        "isolated follower should have campaigned its term up"
+    );
+    c.propose(leader, b"two");
+    c.run_ticks(50);
+    // Compact the leader's log so the rejoiner can only be repaired via
+    // InstallSnapshot — the path whose lower-term rejection must reach
+    // the stale leader for the cluster to learn the high term at all.
+    {
+        let applied_cmds = c.applied[&leader].clone();
+        let node = c.nodes.get_mut(&leader).unwrap();
+        let (idx, term) = node.compaction_point();
+        node.compact(SnapshotPayload {
+            last_index: idx,
+            last_term: term,
+            data: encode_snapshot(&applied_cmds),
+        });
+    }
+
+    c.heal_all();
+    c.run_ticks(3000);
+    let expect = vec![b"one".to_vec(), b"two".to_vec()];
+    for id in c.ids() {
+        assert_eq!(c.applied[&id], expect, "{id} converged after rejoin");
+    }
+}
+
 #[test]
 fn chaos_drops_still_converge_and_prefix_property_holds() {
     for seed in [3u64, 17, 29, 71] {

@@ -36,4 +36,6 @@ pub use log::{Entry, RaftLog};
 pub use message::{Envelope, Message, SnapshotPayload};
 pub use metrics::RaftMetrics;
 pub use multiraft::{GroupBeat, MultiRaft, WireEnvelope, WireMsg};
-pub use node::{PersistentRaftState, RaftNode, Ready, Role};
+pub use node::{
+    decode_batch_frame, PersistentRaftState, RaftNode, Ready, Role, BATCH_FRAME_MARKER,
+};

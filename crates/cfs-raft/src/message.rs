@@ -33,6 +33,12 @@ pub enum Message {
         prev_term: u64,
         entries: Vec<Entry>,
         leader_commit: u64,
+        /// Leader's local clock at send time, echoed back in the ack.
+        /// Proves a *lower bound* on when the peer last heard from the
+        /// leader, which is what the read lease is renewed from — an ack
+        /// alone would not say which (possibly deferred) append it
+        /// answers.
+        probe: u64,
     },
     AppendEntriesResp {
         term: u64,
@@ -41,6 +47,9 @@ pub enum Message {
         /// On failure: a hint — the follower's last index — so the leader
         /// can back off `next_index` in one step instead of by one.
         match_index: u64,
+        /// Echo of the `probe` carried by the AppendEntries this answers
+        /// (`0` when the ack carries no lease credit, e.g. snapshot acks).
+        probe: u64,
     },
     InstallSnapshot {
         term: u64,
@@ -112,6 +121,7 @@ mod tests {
             prev_term: 0,
             entries: vec![],
             leader_commit: 0,
+            probe: 0,
         };
         assert!(hb.is_heartbeat());
         let ae = Message::AppendEntries {
@@ -124,6 +134,7 @@ mod tests {
                 data: vec![],
             }],
             leader_commit: 0,
+            probe: 0,
         };
         assert!(!ae.is_heartbeat());
         assert!(!Message::RequestVoteResp {

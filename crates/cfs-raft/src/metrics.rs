@@ -20,6 +20,13 @@ pub struct RaftMetrics {
     pub leader_elections: Counter,
     /// Proposals accepted by a leader.
     pub proposals: Counter,
+    /// Group-commit batch frames proposed by leaders
+    /// ([`crate::RaftNode::propose_batch`]); each frame is one proposal
+    /// and one consensus round no matter how many commands it carries.
+    pub batch_commits: Counter,
+    /// Sub-commands unpacked from committed batch frames at apply time
+    /// (incremented by the embedding state machine, on every replica).
+    pub batch_entries: Counter,
     /// Log entries accepted by followers via AppendEntries.
     pub entries_appended: Counter,
     /// Non-stale InstallSnapshot messages applied by followers.
@@ -40,6 +47,8 @@ impl RaftMetrics {
             elections_started: registry.counter("raft.elections_started"),
             leader_elections: registry.counter("raft.leader_elections"),
             proposals: registry.counter("raft.proposals"),
+            batch_commits: registry.counter("raft.batch.commits"),
+            batch_entries: registry.counter("raft.batch.entries"),
             entries_appended: registry.counter("raft.entries_appended"),
             snapshot_installs_received: registry.counter("raft.snapshot_installs_received"),
             snapshot_installs_persisted: registry.counter("raft.snapshot_installs_persisted"),

@@ -25,7 +25,14 @@ pub struct GroupBeat {
     pub prev_index: u64,
     pub prev_term: u64,
     pub leader_commit: u64,
+    /// Lease probe stamp (see [`Message::AppendEntries`]); survives
+    /// coalescing so heartbeat acks still renew the leader's read lease.
+    pub probe: u64,
 }
+
+/// One group's heartbeat ack folded into a coalesced frame:
+/// `(group, term, success, match_index, probe)`.
+pub type GroupBeatAck = (RaftGroupId, u64, bool, u64, u64);
 
 /// What actually crosses the network between two nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,9 +41,8 @@ pub enum WireMsg {
     Raft(RaftGroupId, Message),
     /// All heartbeats from one node to another for this tick.
     CoalescedHeartbeat(Vec<GroupBeat>),
-    /// All heartbeat acks from one node to another for this tick:
-    /// `(group, term, success, match_index)`.
-    CoalescedHeartbeatResp(Vec<(RaftGroupId, u64, bool, u64)>),
+    /// All heartbeat acks from one node to another for this tick.
+    CoalescedHeartbeatResp(Vec<GroupBeatAck>),
 }
 
 /// A routed wire message.
@@ -217,13 +223,14 @@ impl MultiRaft {
                                 prev_term: b.prev_term,
                                 entries: vec![],
                                 leader_commit: b.leader_commit,
+                                probe: b.probe,
                             },
                         );
                     }
                 }
             }
             WireMsg::CoalescedHeartbeatResp(acks) => {
-                for (group, term, success, match_index) in acks {
+                for (group, term, success, match_index, probe) in acks {
                     if let Some(node) = self.groups.get_mut(&group) {
                         node.step(
                             from,
@@ -231,6 +238,7 @@ impl MultiRaft {
                                 term,
                                 success,
                                 match_index,
+                                probe,
                             },
                         );
                     }
@@ -268,7 +276,7 @@ impl MultiRaft {
         }
 
         let mut beats: HashMap<NodeId, Vec<GroupBeat>> = HashMap::new();
-        let mut acks: HashMap<NodeId, Vec<(RaftGroupId, u64, bool, u64)>> = HashMap::new();
+        let mut acks: HashMap<NodeId, Vec<GroupBeatAck>> = HashMap::new();
         for env in raw {
             match env.msg {
                 Message::AppendEntries {
@@ -277,6 +285,7 @@ impl MultiRaft {
                     prev_term,
                     ref entries,
                     leader_commit,
+                    probe,
                 } if entries.is_empty() => {
                     beats.entry(env.to).or_default().push(GroupBeat {
                         group: env.group,
@@ -284,16 +293,22 @@ impl MultiRaft {
                         prev_index,
                         prev_term,
                         leader_commit,
+                        probe,
                     });
                 }
                 Message::AppendEntriesResp {
                     term,
                     success,
                     match_index,
+                    probe,
                 } => {
-                    acks.entry(env.to)
-                        .or_default()
-                        .push((env.group, term, success, match_index));
+                    acks.entry(env.to).or_default().push((
+                        env.group,
+                        term,
+                        success,
+                        match_index,
+                        probe,
+                    ));
                 }
                 msg => {
                     wire.push(WireEnvelope {

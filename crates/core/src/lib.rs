@@ -33,7 +33,10 @@ pub use cfs_client::{
 };
 pub use cfs_data::{DataNode, DataRequest, DataResponse, ExtentInfo};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
-pub use cfs_meta::{MetaNode, MetaPartition, MetaRequest};
+pub use cfs_meta::{
+    MetaCommand, MetaNode, MetaPartition, MetaRead, MetaRequest, MetaResponse, MetaValue,
+    PartitionInfo,
+};
 pub use cfs_net::{DeliveryHook, DeliveryVerdict, DropCauses};
 pub use cfs_obs::{MetricsSnapshot, Registry, RequestId, RpcRoute, Span, SpanRecord, Tracer};
 pub use cfs_raft::{DeliverySchedule, RaftConfig, RaftHub};

@@ -1,7 +1,9 @@
 //! Behavioral-budget regression tests: lock in the data-path pipelining
-//! wins (windowed appends, batched meta sync) with *exact* metric
-//! budgets, so a refactor that quietly serializes the window or
-//! re-chattifies the meta sync fails loudly.
+//! wins (windowed appends, batched meta sync) and the metadata hot-path
+//! wins (Raft group commit, lease-protected reads, cached leader routing)
+//! with *exact* metric budgets, so a refactor that quietly serializes the
+//! window, re-chattifies the meta sync, un-batches the commit path, or
+//! silently falls back to quorum reads fails loudly.
 //!
 //! The budgets come straight from the client design (§2.7.1):
 //!  * `n` packet appends at `meta_sync_every = k` issue exactly
@@ -11,15 +13,22 @@
 //!  * each 3-replica chain append costs exactly 3 fabric calls (client →
 //!    head, head → middle, middle → tail).
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use cfs::{ClientOptions, ClusterBuilder, ClusterConfig, MetricsSnapshot};
+use cfs::{
+    ClientOptions, Cluster, ClusterBuilder, ClusterConfig, FileType, MetaCommand, MetaNode,
+    MetaRequest, MetaResponse, MetricsSnapshot, PartitionId,
+};
 
 const PACKET: u64 = 4096;
 const DEPTH: u32 = 4;
 const SYNC_EVERY: u32 = 32;
 const PACKETS: u64 = 100;
 const REPLICAS: u64 = 3;
+const CREATES: u64 = 32;
+const MAX_COMMIT_ROUNDS: u64 = 4;
+const STATS: u64 = 50;
 
 /// The append-path budget over one measured window of work. Factored out
 /// so the forced-failure test below can prove it actually rejects
@@ -147,6 +156,154 @@ fn append_budget_check_rejects_perturbed_counters() {
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("packets in flight"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+/// The meta-commit budget (§2.1.3 hot path): `creates` concurrent writes
+/// on one partition must coalesce into at most `max_rounds` Raft rounds.
+fn check_meta_commit_budget(window: &MetricsSnapshot, creates: u64, max_rounds: u64) {
+    let rounds = window.counter("raft.proposals");
+    assert!(
+        rounds <= max_rounds,
+        "meta commit budget regression: {creates} concurrent creates took \
+         {rounds} raft rounds, budget allows {max_rounds}"
+    );
+    let frames = window.counter("raft.batch.commits");
+    assert!(
+        (1..=max_rounds).contains(&frames),
+        "meta commit budget regression: {frames} group-commit frames for \
+         {creates} creates, budget allows 1..={max_rounds}"
+    );
+}
+
+/// The lease-read budget: a steady-state stat loop on a healthy leader
+/// serves every read from the lease fast path — zero quorum barriers.
+fn check_lease_read_budget(window: &MetricsSnapshot, reads: u64) {
+    let quorum = window.counter("meta.quorum_reads");
+    assert!(
+        quorum == 0,
+        "lease read budget regression: {quorum} quorum reads in a \
+         steady-state stat loop, budget allows 0"
+    );
+    let lease = window.counter("meta.lease_reads");
+    assert!(
+        lease == reads,
+        "lease read budget regression: {lease} lease reads for {reads} \
+         stats, expected exactly {reads}"
+    );
+}
+
+/// The (single) meta partition's current leader replica.
+fn meta_partition_leader(cluster: &Cluster) -> (PartitionId, Arc<MetaNode>) {
+    for n in cluster.meta_nodes() {
+        if let Ok(MetaResponse::Report(infos)) = n.handle(MetaRequest::Report) {
+            for info in infos {
+                if info.is_leader {
+                    return (info.partition_id, n.clone());
+                }
+            }
+        }
+    }
+    panic!("no meta partition leader");
+}
+
+#[test]
+fn meta_group_commit_budget() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("budget-meta", 1, 4).unwrap();
+    cluster.settle(200);
+    let (pid, leader) = meta_partition_leader(&cluster);
+
+    let before = cluster.metrics_snapshot();
+    // Queue all 32 creates before any raft round runs — the exact shape
+    // of a burst of concurrent client writes arriving within one round.
+    let tickets: Vec<u64> = (0..CREATES)
+        .map(|i| {
+            leader
+                .enqueue_write(
+                    pid,
+                    &MetaCommand::CreateInode {
+                        file_type: FileType::File,
+                        link_target: vec![],
+                        now_ns: i,
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+    cluster.settle(200);
+    for t in tickets {
+        leader
+            .take_write_result(t)
+            .expect("ticket resolved")
+            .expect("create applied");
+    }
+
+    let window = cluster.metrics_snapshot().diff(&before);
+    check_meta_commit_budget(&window, CREATES, MAX_COMMIT_ROUNDS);
+    assert_eq!(
+        window.counter("raft.batch.entries"),
+        CREATES * REPLICAS,
+        "every sub-command applied on all replicas"
+    );
+}
+
+#[test]
+fn lease_read_and_leader_cache_budget() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("budget-lease", 1, 4).unwrap();
+    let client = cluster.mount("budget-lease").unwrap();
+    let root = client.root();
+    let ino = client.create(root, "f").unwrap().id;
+    // Let the leader catch up (applied == commit) and renew its lease so
+    // the loop below measures the steady state, not the warm-up.
+    cluster.settle(200);
+
+    let before = cluster.metrics_snapshot();
+    for _ in 0..STATS {
+        client.stat(ino).unwrap();
+    }
+    let window = cluster.metrics_snapshot().diff(&before);
+    check_lease_read_budget(&window, STATS);
+
+    // Leader caching: every stat is exactly one fabric call, straight to
+    // the cached partition leader — no NotLeader redirects, no probing.
+    assert_eq!(
+        window.counter("net.calls{fabric=meta,route=meta.read}"),
+        STATS
+    );
+    // Client and servers agree on what was served (the chaos harness
+    // checks the same identity after every fault schedule).
+    assert_eq!(window.counter("client.meta_reads_served"), STATS);
+}
+
+#[test]
+fn meta_hot_path_budget_checks_reject_perturbed_counters() {
+    // An un-batched commit path (one round per create) must trip.
+    let registry = cfs::Registry::new();
+    registry.counter("raft.proposals").add(CREATES);
+    registry.counter("raft.batch.commits").add(CREATES);
+    let snap = registry.snapshot();
+    let err =
+        std::panic::catch_unwind(|| check_meta_commit_budget(&snap, CREATES, MAX_COMMIT_ROUNDS))
+            .expect_err("un-batched commit path must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("meta commit budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // A single quorum fallback in the steady-state loop must trip.
+    let registry = cfs::Registry::new();
+    registry.counter("meta.lease_reads").add(STATS - 1);
+    registry.counter("meta.quorum_reads").add(1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_lease_read_budget(&snap, STATS))
+        .expect_err("quorum fallback in steady state must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("lease read budget regression"),
         "unexpected panic message: {msg}"
     );
 }

@@ -578,6 +578,10 @@ impl Chaos {
 
         // 9. Invariant (e): fault/metric reconciliation.
         self.check_net_reconciliation();
+
+        // 10. Invariant (e), metadata hot path: group-commit sub-entries
+        //     and leader-served reads reconcile exactly.
+        self.check_meta_hot_path_reconciliation();
     }
 
     /// Wait until the masters and every meta/data partition have a leader.
@@ -936,6 +940,33 @@ impl Chaos {
         );
     }
 
+    fn check_meta_hot_path_reconciliation(&self) {
+        let snap = self.cluster.metrics_snapshot();
+        // Group commit: with batching on (the default), every command a
+        // replica applies is a decoded sub-entry of a batch frame, and
+        // both counters tick at the same apply site — so they match
+        // exactly, across crashes, snapshot catch-ups and retries.
+        assert_eq!(
+            snap.counter("raft.batch.entries"),
+            snap.counter_sum("meta.applies{"),
+            "invariant (e): raft batch sub-entries vs meta applies (seed {})",
+            self.seed
+        );
+        // Read path: fabric drops happen strictly before the handler runs,
+        // and every pre-classification server error is retryable — so a
+        // meta read counts client-side as served iff exactly one leader
+        // classified it as a lease read or a quorum read.
+        let served_by_leaders =
+            snap.counter("meta.lease_reads") + snap.counter("meta.quorum_reads");
+        let served_to_client = self.client.data_path_stats().meta_reads_served;
+        assert_eq!(
+            served_by_leaders, served_to_client,
+            "invariant (e): leader-classified meta reads (lease + quorum) vs \
+             reads the client saw served (seed {})",
+            self.seed
+        );
+    }
+
     fn check_meta_snapshot_replay(&self) {
         let metas = self.cluster.meta_nodes();
         let hub = self.cluster.hub();
@@ -960,8 +991,17 @@ impl Chaos {
             );
             assert!(
                 ok,
-                "invariant (d): {pid} replicas failed to converge (seed {})",
-                self.seed
+                "invariant (d): {pid} replicas failed to converge (seed {}): \
+                 (commit, applied, last) per host = {:?}, leaders = {:?}",
+                self.seed,
+                hosts
+                    .iter()
+                    .map(|m| m.raft_indices(pid))
+                    .collect::<Vec<_>>(),
+                hosts
+                    .iter()
+                    .map(|m| (m.is_leader_for(pid), m.raft_term(pid)))
+                    .collect::<Vec<_>>()
             );
             let snaps: Vec<Vec<u8>> = hosts
                 .iter()
