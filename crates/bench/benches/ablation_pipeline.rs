@@ -6,7 +6,9 @@
 //! pipelined sender hides. Streams a large sequential append at pipeline
 //! depths 1 (fully synchronous baseline), 4 (default) and 8, crossed with
 //! meta-sync cadences, reporting throughput, blocking round-trip waits
-//! per packet, and meta round trips. Besides the human-readable table,
+//! per packet, and meta round trips. Throughput is measured on the shared
+//! *virtual* fabric clock (the 1 ms/call is scheduled ticks, not sleeps),
+//! so the ablation isolates protocol structure from host noise. Besides the human-readable table,
 //! the bench writes a JSON record with one full [`MetricsSnapshot`] per
 //! run (diffed over the measured section) to `BENCH_JSON_PATH` (default
 //! `target/ablation_pipeline.json`) for regression tracking and CI
@@ -75,19 +77,21 @@ fn run(depth: u32, meta_every: u32, total: usize, calls: usize) -> Run {
     let per_call = total / calls;
     let body = Bytes::from(vec![0xABu8; per_call]);
     let before = cluster.metrics_snapshot();
-    let t0 = std::time::Instant::now();
+    let v0 = cluster.virtual_now_ns();
     for _ in 0..calls {
         client.write_bytes(&mut fh, body.clone()).unwrap();
     }
     client.close(&mut fh).unwrap();
-    let elapsed = t0.elapsed();
+    // Latency is charged to the shared fabric clock, not the wall clock:
+    // throughput is virtual time, so host noise cannot move the numbers.
+    let virtual_elapsed_ns = cluster.virtual_now_ns() - v0;
     let metrics = cluster.metrics_snapshot().diff(&before);
 
     let s = client.data_path_stats();
     Run {
         depth,
         meta_every,
-        mib_s: total as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        mib_s: total as f64 / (1 << 20) as f64 / (virtual_elapsed_ns as f64 / 1e9),
         waits: s.window_waits,
         packets: s.packets_sent,
         meta_syncs: s.meta_syncs,

@@ -376,16 +376,18 @@ impl Client {
 
     /// Wait before retry pass `pass` (0 = the first *re*-scan): the delay
     /// is `min(cap, base << pass)` backoff units plus seeded jitter in
-    /// `[0, delay]`. The simulation has no wall clock, so the wait is
-    /// charged to the client's logical clock — schedules stay reproducible
-    /// while timestamps still reflect the exponential spacing.
+    /// `[0, delay]`. There is no wall clock anywhere in the retry path:
+    /// the wait is charged to the client's logical clock *and* to the
+    /// fabric's virtual clock (so scheduled deliveries and delayed
+    /// verdicts come due across the backoff), and the fabric's completion
+    /// condvar provides the wakeup — nothing spins or sleeps.
     pub(crate) fn backoff(&self, pass: u32) {
         let base = u64::from(self.config.retry_backoff_base.max(1));
         let cap = u64::from(self.config.retry_backoff_cap).max(base);
         let delay = base.checked_shl(pass.min(31)).map_or(cap, |d| d.min(cap));
         let jitter = self.cache.lock().rng.gen_range(0..delay + 1);
         self.clock.fetch_add(delay + jitter, Ordering::Relaxed);
-        std::thread::yield_now();
+        self.fabrics.data.clock().advance(delay + jitter);
     }
 
     /// Count one retry pass, both in the aggregate `client.retries` and a

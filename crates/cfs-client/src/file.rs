@@ -56,6 +56,11 @@ fn extent_covering(extents: &[ExtentKey], offset: u64) -> Result<ExtentKey> {
         .ok_or_else(|| CfsError::Internal(format!("no extent covering offset {offset}")))
 }
 
+/// One read-fanout segment after submit: destination offset in the output
+/// buffer, the source `(key, lo, hi)` segment, and — when a target replica
+/// was resolvable — the node it was sent to plus the completion token.
+type SubmittedRead<'a> = (usize, &'a (ExtentKey, u64, u64), Option<(NodeId, u64)>);
+
 impl Client {
     /// Open `parent/name` for I/O. Forces the cached metadata to
     /// re-synchronize with the meta node (§2.4).
@@ -85,10 +90,12 @@ impl Client {
     // Data-path RPC helpers
     // ------------------------------------------------------------------
 
-    /// Send one append packet to the PB leader (replicas[0], §2.7.1).
+    /// Submit one append packet to the PB leader (replicas[0], §2.7.1)
+    /// and return its fabric completion token — the packet is now in
+    /// flight on the scheduled-delivery queue, no thread carries it.
     /// `request_id` is the op's causal id (0 = untraced), carried in the
     /// packet header so the chain's spans correlate with the client op.
-    fn send_append(
+    fn submit_append(
         &self,
         partition: PartitionId,
         extent: ExtentId,
@@ -96,7 +103,7 @@ impl Client {
         data: Bytes,
         replicas: &[NodeId],
         request_id: u64,
-    ) -> Result<u64> {
+    ) -> u64 {
         let crc = crc32(&data);
         let req = DataRequest::Append {
             partition,
@@ -108,9 +115,15 @@ impl Client {
             request_id,
         };
         self.stats.inflight_packets.add(1);
-        let sent = self.fabrics.data.call(self.id, replicas[0], req);
+        self.fabrics.data.submit(self.id, replicas[0], req)
+    }
+
+    /// Poll the fabric until a submitted append packet completes, and
+    /// decode its watermark ack.
+    fn take_append(&self, token: u64) -> Result<u64> {
+        let done = self.fabrics.data.wait(token);
         self.stats.inflight_packets.sub(1);
-        match sent?? {
+        match done?? {
             DataResponse::Watermark(w) => Ok(w),
             _ => Err(CfsError::Internal("bad Append reply".into())),
         }
@@ -267,31 +280,21 @@ impl Client {
                 room -= chunk;
             }
 
-            // Stream the whole window, then block once for its acks: with
-            // depth > 1 this is strictly fewer blocking round-trip waits
-            // than packets sent.
+            // Stream the whole window, then poll once for its acks: every
+            // packet is submitted before the first completion is taken, so
+            // the window shares one scheduled round trip on the fabric
+            // clock (strictly fewer blocking waits than packets sent) and
+            // no sender thread is ever spawned.
             self.stats.packets_sent.add(window.len() as u64);
             self.stats.window_waits.inc();
-            let results: Vec<Result<u64>> = if window.len() == 1 {
-                let (off, piece) = &window[0];
-                vec![self.send_append(partition, extent, *off, piece.clone(), &replicas, rid.0)]
-            } else {
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = window
-                        .iter()
-                        .map(|(off, piece)| {
-                            let (off, piece, replicas) = (*off, piece.clone(), &replicas);
-                            s.spawn(move || {
-                                self.send_append(partition, extent, off, piece, replicas, rid.0)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("append sender panicked"))
-                        .collect()
+            let tokens: Vec<u64> = window
+                .iter()
+                .map(|(off, piece)| {
+                    self.submit_append(partition, extent, *off, piece.clone(), &replicas, rid.0)
                 })
-            };
+                .collect();
+            let results: Vec<Result<u64>> =
+                tokens.into_iter().map(|t| self.take_append(t)).collect();
 
             // In-order ack accounting (§2.2.5): only the consecutive-Ok
             // prefix is committed state the file can build on; everything
@@ -589,30 +592,83 @@ impl Client {
         let rid = self.next_request_id();
         let _span = self.op_span(rid, "read_fanout");
         for batch in segments.chunks(self.pipeline_depth()) {
-            let results: Vec<(usize, Result<Vec<u8>>)> = std::thread::scope(|s| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&(key, lo, hi)| {
-                        let dst = (lo - offset) as usize;
-                        s.spawn(move || {
-                            (
-                                dst,
-                                self.read_extent(
-                                    key.partition_id,
-                                    key.extent_id,
-                                    key.extent_offset + (lo - key.file_offset),
-                                    hi - lo,
-                                ),
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("extent reader panicked"))
-                    .collect()
-            });
-            for (dst, r) in results {
+            // Submit the whole batch to each partition's best-guess leader
+            // (cached, else the first member), then poll the completions:
+            // the batch shares one scheduled round trip on the fabric
+            // clock instead of spawning one reader thread per segment. A
+            // miss — stale leader, fault, redirect — falls back to the
+            // fully retrying `read_extent` scan for just that segment.
+            let submitted: Vec<SubmittedRead<'_>> = batch
+                .iter()
+                .map(|seg| {
+                    let &(key, lo, hi) = seg;
+                    let dst = (lo - offset) as usize;
+                    // Drop the cache guard before the miss path: resolving
+                    // members re-enters the cache lock.
+                    let cached = {
+                        self.cache
+                            .lock()
+                            .leader_cache
+                            .get(&key.partition_id)
+                            .copied()
+                    };
+                    let target = cached.or_else(|| {
+                        self.data_partition_members(key.partition_id)
+                            .ok()?
+                            .first()
+                            .copied()
+                    });
+                    let token = target.map(|node| {
+                        let req = DataRequest::Read {
+                            partition: key.partition_id,
+                            extent: key.extent_id,
+                            offset: key.extent_offset + (lo - key.file_offset),
+                            len: hi - lo,
+                            enforce_committed: false,
+                        };
+                        (node, self.fabrics.data.submit(self.id, node, req))
+                    });
+                    (dst, seg, token)
+                })
+                .collect();
+            // Take every completion before acting on any failure, so no
+            // token is ever abandoned in the delivery queue.
+            let mut copy_jobs: Vec<(usize, Result<Vec<u8>>)> = Vec::with_capacity(batch.len());
+            for (dst, seg, sub) in submitted {
+                let &(key, lo, hi) = seg;
+                let fast = sub.map(|(node, token)| (node, self.fabrics.data.wait(token)));
+                let piece = match fast {
+                    Some((node, Ok(Ok(DataResponse::Data(d))))) => {
+                        self.cache
+                            .lock()
+                            .leader_cache
+                            .insert(key.partition_id, node);
+                        Ok(d)
+                    }
+                    Some((_, Ok(Ok(_)))) => Err(CfsError::Internal("bad Read reply".into())),
+                    Some((_, Ok(Err(e)))) | Some((_, Err(e)))
+                        if !(e.is_retryable() || matches!(e, CfsError::NotLeader { .. })) =>
+                    {
+                        Err(e)
+                    }
+                    _ => {
+                        // Redirect or retryable miss: note the hint if the
+                        // leader moved, then take the slow path.
+                        if let Some((_, Ok(Err(CfsError::NotLeader { hint: Some(h), .. })))) = &fast
+                        {
+                            self.cache.lock().leader_cache.insert(key.partition_id, *h);
+                        }
+                        self.read_extent(
+                            key.partition_id,
+                            key.extent_id,
+                            key.extent_offset + (lo - key.file_offset),
+                            hi - lo,
+                        )
+                    }
+                };
+                copy_jobs.push((dst, piece));
+            }
+            for (dst, r) in copy_jobs {
                 let piece = r?;
                 out[dst..dst + piece.len()].copy_from_slice(&piece);
             }

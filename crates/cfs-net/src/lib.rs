@@ -1,4 +1,4 @@
-//! In-memory RPC fabric with fault injection.
+//! In-memory RPC fabric with fault injection, driven by a virtual clock.
 //!
 //! The real (non-simulated) CFS stack runs as an in-process cluster: every
 //! node registers a [`Service`] handler and peers call each other through a
@@ -10,15 +10,46 @@
 //! The paper's clients use *non-persistent connections* to the resource
 //! manager (§2.5.2); accordingly this fabric is connectionless: every
 //! `call` is independent.
+//!
+//! # Submit/poll completion model
+//!
+//! The fabric is event-driven: callers [`Network::submit`] a request and
+//! get back a completion token, the delivery is queued on the fabric's
+//! [`SimClock`] at `now + latency`, and [`Network::wait`] (or
+//! [`Network::try_take`]) drains completions by driving the earliest
+//! pending delivery. Simulated latency is *virtual ticks* on the shared
+//! clock — never `thread::sleep` — so a window of N submitted packets
+//! costs one latency, not N, and no OS thread is ever spawned per RPC
+//! (pinned by [`Network::threads_spawned`] and the fabric budget test).
+//!
+//! Delivery order is deterministic: pending entries deliver in
+//! `(deliver_at, submit seq)` order, so a window of packets submitted
+//! back-to-back is handled in submit order. Fault hooks are consulted
+//! exactly once per RPC, *at scheduled delivery time*: `Drop` completes
+//! the token with a `Timeout`, `Delay(us)` reschedules the delivery
+//! `us` virtual microseconds later (already-verdicted entries are not
+//! re-verdicted), and down/cut/fault checks run after the verdict in the
+//! same order the old synchronous path used.
+//!
+//! Calls made from *inside* a handler (chain forwarding on the data
+//! plane) dispatch inline on the caller's stack: they advance the clock
+//! by the hop latency and run the same verdict/fault/handler sequence
+//! synchronously. This keeps the chain head's ticket-ordered forwarding
+//! semantics (a queued sibling delivery would self-deadlock the turn
+//! wait) while still charging each hop on the virtual timeline.
+//! [`Network::call`] is submit + wait, so synchronous callers are
+//! unchanged.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
-use cfs_obs::{Counter, Histogram, Registry, RequestId, RpcRoute};
+use cfs_obs::{Counter, Gauge, Histogram, Registry, RequestId, RpcRoute};
 use cfs_types::{CfsError, FaultState, NodeId, Result};
 
 /// A node-side request handler.
@@ -34,6 +65,64 @@ where
     fn handle(&self, from: NodeId, req: Req) -> Resp {
         self(from, req)
     }
+}
+
+/// Virtual time source shared by fabrics: a monotonically-advancing
+/// nanosecond counter. Cloning shares the clock, so the cluster installs
+/// one instance across the master/meta/data fabrics and every delivery,
+/// delay, and backoff lands on a single timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    /// Advance by `delta_ns` and return the new now.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst) + delta_ns
+    }
+
+    /// Advance to at least `t_ns` (never moves backwards).
+    pub fn advance_to(&self, t_ns: u64) {
+        self.ns.fetch_max(t_ns, Ordering::SeqCst);
+    }
+}
+
+thread_local! {
+    /// Nesting depth of fabric handlers on this thread. Non-zero means we
+    /// are inside a handler, so further calls must dispatch inline (a
+    /// queued delivery could never be driven: the driver is this stack).
+    static HANDLER_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII depth bump around handler execution (panic-safe).
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> DepthGuard {
+        HANDLER_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        HANDLER_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+fn in_handler() -> bool {
+    HANDLER_DEPTH.with(|d| d.get()) > 0
 }
 
 /// Traffic counters. Fault-injected losses and real routing errors are
@@ -55,6 +144,17 @@ struct Counters {
     down_drops: AtomicU64,
     cut_drops: AtomicU64,
     fault_drops: AtomicU64,
+    /// Completion-side twins of `calls`: every submitted RPC must complete
+    /// exactly once (checked by chaos reconciliation).
+    completions: AtomicU64,
+    /// Currently submitted-but-not-completed RPCs, with a high-water mark
+    /// (the budget tests pin it to the configured window).
+    inflight: AtomicU64,
+    inflight_hwm: AtomicU64,
+    /// OS threads the fabric has spawned to carry RPCs. The event model
+    /// never spawns any; any future delivery path that must is required to
+    /// account for itself here, and the fabric budget pins this to zero.
+    threads_spawned: AtomicU64,
 }
 
 /// `drops` split by the fault kind that caused each loss. The four causes
@@ -98,12 +198,23 @@ struct NetObs {
     cut_drops: Counter,
     fault_drops: Counter,
     rejections: Counter,
+    /// Fabric-wide completion-model counters: `fabric.submits`,
+    /// `fabric.completions`, and `fabric.inflight` (gauge with high
+    /// water). `fabric.threads` is registered at bind time but has no
+    /// handle here: no delivery path spawns, so nothing ever bumps it,
+    /// and the fabric budget pins it to zero.
+    fabric_submits: Counter,
+    fabric_completions: Counter,
+    fabric_inflight: Gauge,
 }
 
 impl NetObs {
     fn new(registry: Registry, fabric: &str) -> NetObs {
         let c =
             |cause: &str| registry.counter(&format!("net.drops{{fabric={fabric},cause={cause}}}"));
+        // Register the thread-spawn counter so snapshots always carry it
+        // at zero; the registry owns the metric, no handle is needed.
+        registry.counter(&format!("fabric.threads{{fabric={fabric}}}"));
         NetObs {
             fabric: fabric.to_string(),
             routes: RwLock::new(HashMap::new()),
@@ -112,6 +223,9 @@ impl NetObs {
             cut_drops: c("cut"),
             fault_drops: c("fault"),
             rejections: registry.counter(&format!("net.rejections{{fabric={fabric}}}")),
+            fabric_submits: registry.counter(&format!("fabric.submits{{fabric={fabric}}}")),
+            fabric_completions: registry.counter(&format!("fabric.completions{{fabric={fabric}}}")),
+            fabric_inflight: registry.gauge(&format!("fabric.inflight{{fabric={fabric}}}")),
             registry,
         }
     }
@@ -148,16 +262,53 @@ pub enum DeliveryVerdict {
     Deliver,
     /// Lose the request; the caller sees a `Timeout`.
     Drop,
-    /// Deliver after stalling the caller for this many microseconds.
+    /// Deliver after this many *virtual* microseconds: the delivery is
+    /// rescheduled on the sim clock, not slept on the caller's thread.
     Delay(u64),
 }
 
 /// Scriptable RPC scheduling: every call gets a fabric-wide sequence
 /// number and the hook decides its fate. With single-threaded callers the
 /// sequence — and thus the whole fault interleaving — is deterministic
-/// and replays exactly from a seed.
+/// and replays exactly from a seed. The verdict is consulted exactly once
+/// per RPC, at its first scheduled delivery.
 pub trait DeliveryHook: Send + Sync {
     fn verdict(&self, seq: u64, from: NodeId, to: NodeId) -> DeliveryVerdict;
+}
+
+/// A queued delivery, ordered by `(deliver_at, token)` — the heap is a
+/// min-heap, so ties on the clock break by submission order.
+struct Pending<Req> {
+    deliver_at: u64,
+    token: u64,
+    submitted_at: u64,
+    from: NodeId,
+    to: NodeId,
+    req: Req,
+    /// True once the delivery hook has ruled (a `Delay` reschedule); the
+    /// verdict is never consulted twice for one RPC.
+    verdicted: bool,
+}
+
+impl<Req> PartialEq for Pending<Req> {
+    fn eq(&self, other: &Self) -> bool {
+        self.token == other.token
+    }
+}
+
+impl<Req> Eq for Pending<Req> {}
+
+impl<Req> Ord for Pending<Req> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.deliver_at, other.token).cmp(&(self.deliver_at, self.token))
+    }
+}
+
+impl<Req> PartialOrd for Pending<Req> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// A connectionless request/response fabric between nodes.
@@ -177,10 +328,19 @@ struct Inner<Req, Resp> {
     /// Optional cluster-wide fault switches shared with the raft hub, so
     /// one "kill node" affects RPC and consensus traffic alike.
     faults: RwLock<Option<FaultState>>,
-    /// Simulated per-call latency in nanoseconds (0 = instant). Charged
-    /// once per call, on the caller's thread — concurrent callers overlap
-    /// their waits, which is what pipelined senders exploit.
+    /// Simulated per-call latency in nanoseconds (0 = instant), charged as
+    /// virtual ticks: a submitted RPC delivers at `now + latency`, so a
+    /// whole window of concurrent submissions shares one latency — which
+    /// is what pipelined senders exploit.
     latency_ns: AtomicU64,
+    /// Virtual time source for scheduled deliveries. Per-fabric by
+    /// default; the cluster shares one clock across its fabrics.
+    clock: RwLock<SimClock>,
+    /// Deliveries queued on the sim clock, earliest first.
+    pending: Mutex<BinaryHeap<Pending<Req>>>,
+    /// Completions not yet taken by their submitter.
+    completed: Mutex<HashMap<u64, Result<Resp>>>,
+    completed_cv: Condvar,
     counters: Counters,
     /// Optional scripted per-call drop/delay schedule (chaos tests).
     hook: RwLock<Option<Arc<dyn DeliveryHook>>>,
@@ -212,6 +372,10 @@ impl<Req, Resp> Network<Req, Resp> {
                 cut: RwLock::new(HashSet::new()),
                 faults: RwLock::new(None),
                 latency_ns: AtomicU64::new(0),
+                clock: RwLock::new(SimClock::new()),
+                pending: Mutex::new(BinaryHeap::new()),
+                completed: Mutex::new(HashMap::new()),
+                completed_cv: Condvar::new(),
                 counters: Counters::default(),
                 hook: RwLock::new(None),
                 obs: RwLock::new(None),
@@ -221,10 +385,28 @@ impl<Req, Resp> Network<Req, Resp> {
 
     /// Bind this fabric to a metrics registry. Every subsequent call
     /// contributes per-route counters and latency histograms named
-    /// `net.*{fabric=<fabric>,route=<route>}`, and traced requests get
-    /// `net` spans in the registry's tracer.
+    /// `net.*{fabric=<fabric>}` plus the completion-model gauges
+    /// `fabric.*{fabric=<fabric>}`, and traced requests get `net` spans
+    /// in the registry's tracer.
     pub fn bind_metrics(&self, registry: &Registry, fabric: &str) {
         *self.inner.obs.write() = Some(Arc::new(NetObs::new(registry.clone(), fabric)));
+    }
+
+    /// Replace this fabric's virtual clock (usually to share one clock
+    /// across several fabrics). Pending deliveries keep their absolute
+    /// schedule, so install the clock before traffic starts.
+    pub fn set_clock(&self, clock: SimClock) {
+        *self.inner.clock.write() = clock;
+    }
+
+    /// Handle on this fabric's virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.inner.clock.read().clone()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn virtual_now(&self) -> u64 {
+        self.clock().now()
     }
 
     /// Register (or replace) the handler for `node`.
@@ -251,6 +433,7 @@ impl<Req, Resp> Network<Req, Resp> {
 
     /// Simulate a per-call round-trip latency (benches: model a real
     /// network so pipelining has something to hide). Zero disables it.
+    /// Charged as virtual clock ticks at delivery, never as a sleep.
     pub fn set_latency(&self, latency: Duration) {
         self.inner
             .latency_ns
@@ -278,45 +461,161 @@ impl<Req, Resp> Network<Req, Resp> {
         }
     }
 
-    /// Synchronous RPC. Fails with `Timeout` if the destination is down or
-    /// the link is cut, and `Unavailable` if nothing is registered there.
-    pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp>
-    where
-        Req: RpcRoute,
-    {
-        let seq = self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
-        let obs = self
-            .inner
+    fn route_obs(&self, route: &'static str) -> Option<(Arc<NetObs>, RouteHandles)> {
+        self.inner
             .obs
             .read()
             .as_ref()
-            .map(|o| (Arc::clone(o), o.route(req.route())));
-        let start = Instant::now();
+            .map(|o| (Arc::clone(o), o.route(route)))
+    }
+
+    /// Record one completion and wake any waiter.
+    fn complete(&self, token: u64, result: Result<Resp>) {
+        let c = &self.inner.counters;
+        c.completions.fetch_add(1, Ordering::Relaxed);
+        c.inflight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(o) = &*self.inner.obs.read() {
+            o.fabric_completions.inc();
+            o.fabric_inflight.sub(1);
+        }
+        let mut done = self.inner.completed.lock();
+        done.insert(token, result);
+        self.inner.completed_cv.notify_all();
+    }
+
+    /// The scripted verdict for one RPC (consulted exactly once).
+    fn verdict_for(&self, seq: u64, from: NodeId, to: NodeId) -> DeliveryVerdict {
+        match &*self.inner.hook.read() {
+            Some(h) => h.verdict(seq, from, to),
+            None => DeliveryVerdict::Deliver,
+        }
+    }
+
+    /// Submit an RPC for delivery and return its completion token.
+    ///
+    /// The delivery is scheduled `latency` virtual nanoseconds from now;
+    /// the token completes when a poll ([`wait`](Self::wait) /
+    /// [`try_take`](Self::try_take)) drives it. Inside a handler the call
+    /// dispatches inline instead (see the module docs).
+    pub fn submit(&self, from: NodeId, to: NodeId, req: Req) -> u64
+    where
+        Req: RpcRoute,
+    {
+        let token = self.inner.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let obs = self.route_obs(req.route());
+        if let Some((o, route)) = &obs {
+            route.calls.inc();
+            o.fabric_submits.inc();
+            o.fabric_inflight.add(1);
+        }
+        let c = &self.inner.counters;
+        let inflight = c.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        c.inflight_hwm.fetch_max(inflight, Ordering::Relaxed);
+        let clock = self.clock();
+        let submitted_at = clock.now();
+        let deliver_at = submitted_at + self.inner.latency_ns.load(Ordering::Relaxed);
+        if in_handler() {
+            // Nested call (chain forwarding): charge the hop latency on
+            // the virtual clock and run the delivery on this stack.
+            clock.advance_to(deliver_at);
+            match self.verdict_for(token, from, to) {
+                DeliveryVerdict::Deliver => {}
+                DeliveryVerdict::Drop => {
+                    self.note_drop(obs.as_ref(), &c.hook_drops, |o| &o.hook_drops);
+                    self.complete(
+                        token,
+                        Err(CfsError::Timeout(format!("{from} -> {to}: dropped"))),
+                    );
+                    return token;
+                }
+                DeliveryVerdict::Delay(us) => {
+                    clock.advance(us * 1_000);
+                }
+            }
+            let result = self.finish_delivery(submitted_at, from, to, req, obs);
+            self.complete(token, result);
+        } else {
+            self.inner.pending.lock().push(Pending {
+                deliver_at,
+                token,
+                submitted_at,
+                from,
+                to,
+                req,
+                verdicted: false,
+            });
+        }
+        token
+    }
+
+    /// Take the completion for `token` if it has been delivered.
+    pub fn try_take(&self, token: u64) -> Option<Result<Resp>> {
+        self.inner.completed.lock().remove(&token)
+    }
+
+    /// Drive the earliest pending delivery: advance the clock to its due
+    /// time, apply the hook verdict (`Delay` reschedules), run the fault
+    /// checks and the handler, and record the completion. Returns false
+    /// when nothing is pending.
+    fn drive_one(&self) -> bool
+    where
+        Req: RpcRoute,
+    {
+        let mut entry = match self.inner.pending.lock().pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        let clock = self.clock();
+        clock.advance_to(entry.deliver_at);
+        if !entry.verdicted {
+            match self.verdict_for(entry.token, entry.from, entry.to) {
+                DeliveryVerdict::Deliver => {}
+                DeliveryVerdict::Drop => {
+                    let obs = self.route_obs(entry.req.route());
+                    self.note_drop(obs.as_ref(), &self.inner.counters.hook_drops, |o| {
+                        &o.hook_drops
+                    });
+                    let (from, to) = (entry.from, entry.to);
+                    self.complete(
+                        entry.token,
+                        Err(CfsError::Timeout(format!("{from} -> {to}: dropped"))),
+                    );
+                    return true;
+                }
+                DeliveryVerdict::Delay(us) => {
+                    entry.verdicted = true;
+                    entry.deliver_at = clock.now() + us * 1_000;
+                    self.inner.pending.lock().push(entry);
+                    return true;
+                }
+            }
+        }
+        let obs = self.route_obs(entry.req.route());
+        let result = self.finish_delivery(entry.submitted_at, entry.from, entry.to, entry.req, obs);
+        self.complete(entry.token, result);
+        true
+    }
+
+    /// Post-verdict delivery: fault checks in the legacy order (down,
+    /// cut, shared fault state), then the handler. Runs at current
+    /// virtual time; the route latency histogram records virtual elapsed.
+    fn finish_delivery(
+        &self,
+        submitted_at: u64,
+        from: NodeId,
+        to: NodeId,
+        req: Req,
+        obs: Option<(Arc<NetObs>, RouteHandles)>,
+    ) -> Result<Resp>
+    where
+        Req: RpcRoute,
+    {
+        let counters = &self.inner.counters;
         let _span = obs.as_ref().and_then(|(o, _)| {
             let rid = RequestId(req.request_id());
             rid.is_traced()
                 .then(|| o.registry.tracer().span(rid, "net", req.route()))
         });
-        if let Some((_, route)) = &obs {
-            route.calls.inc();
-        }
-        let counters = &self.inner.counters;
-        let latency = self.inner.latency_ns.load(Ordering::Relaxed);
-        if latency > 0 {
-            std::thread::sleep(Duration::from_nanos(latency));
-        }
-        let verdict = match &*self.inner.hook.read() {
-            Some(h) => h.verdict(seq, from, to),
-            None => DeliveryVerdict::Deliver,
-        };
-        match verdict {
-            DeliveryVerdict::Deliver => {}
-            DeliveryVerdict::Drop => {
-                self.note_drop(obs.as_ref(), &counters.hook_drops, |o| &o.hook_drops);
-                return Err(CfsError::Timeout(format!("{from} -> {to}: dropped")));
-            }
-            DeliveryVerdict::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
-        }
         if self.inner.down.read().contains(&to) {
             self.note_drop(obs.as_ref(), &counters.down_drops, |o| &o.down_drops);
             return Err(CfsError::Timeout(format!("{from} -> {to}")));
@@ -335,9 +634,14 @@ impl<Req, Resp> Network<Req, Resp> {
         };
         match service {
             Some(s) => {
-                let resp = s.handle(from, req);
+                let resp = {
+                    let _depth = DepthGuard::enter();
+                    s.handle(from, req)
+                };
                 if let Some((_, route)) = &obs {
-                    route.latency.record_duration(start.elapsed());
+                    route
+                        .latency
+                        .record(self.virtual_now().saturating_sub(submitted_at));
                 }
                 Ok(resp)
             }
@@ -350,6 +654,56 @@ impl<Req, Resp> Network<Req, Resp> {
                 Err(CfsError::Unavailable(format!("{to}: not registered")))
             }
         }
+    }
+
+    /// Poll until `token` completes, driving pending deliveries in
+    /// scheduled order. The wakeup is completion-driven: when another
+    /// thread is executing our delivery we block on the completion
+    /// condvar instead of spinning.
+    pub fn wait(&self, token: u64) -> Result<Resp>
+    where
+        Req: RpcRoute,
+    {
+        let mut idle_waits = 0u32;
+        loop {
+            if let Some(r) = self.try_take(token) {
+                return r;
+            }
+            if self.drive_one() {
+                idle_waits = 0;
+                continue;
+            }
+            // Nothing pending on this fabric: another thread popped our
+            // delivery (or completed it between our checks). Block until
+            // a completion lands, then re-check.
+            let mut done = self.inner.completed.lock();
+            if let Some(r) = done.remove(&token) {
+                return r;
+            }
+            if self
+                .inner
+                .completed_cv
+                .wait_for(&mut done, Duration::from_millis(50))
+                .timed_out()
+            {
+                idle_waits += 1;
+                assert!(
+                    idle_waits < 1_200,
+                    "fabric wedged waiting for completion token {token}"
+                );
+            }
+        }
+    }
+
+    /// Synchronous RPC: submit + wait. Fails with `Timeout` if the
+    /// destination is down or the link is cut, and `Unavailable` if
+    /// nothing is registered there.
+    pub fn call(&self, from: NodeId, to: NodeId, req: Req) -> Result<Resp>
+    where
+        Req: RpcRoute,
+    {
+        let token = self.submit(from, to, req);
+        self.wait(token)
     }
 
     /// Take a node down (calls to it time out) or bring it back.
@@ -381,9 +735,32 @@ impl<Req, Resp> Network<Req, Resp> {
         self.set_link_cut(b, a, cut);
     }
 
-    /// Total calls attempted.
+    /// Total calls attempted (== RPCs submitted).
     pub fn call_count(&self) -> u64 {
         self.inner.counters.calls.load(Ordering::Relaxed)
+    }
+
+    /// RPCs that have completed (delivered, dropped, or rejected). At
+    /// quiescence this equals [`call_count`](Self::call_count): no RPC is
+    /// ever lost in the queue.
+    pub fn completion_count(&self) -> u64 {
+        self.inner.counters.completions.load(Ordering::Relaxed)
+    }
+
+    /// RPCs currently submitted but not completed.
+    pub fn inflight(&self) -> u64 {
+        self.inner.counters.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Most RPCs ever in flight at once on this fabric.
+    pub fn inflight_high_water(&self) -> u64 {
+        self.inner.counters.inflight_hwm.load(Ordering::Relaxed)
+    }
+
+    /// OS threads spawned by the fabric to carry RPCs — the event model
+    /// never spawns any, and the fabric budget test pins this to zero.
+    pub fn threads_spawned(&self) -> u64 {
+        self.inner.counters.threads_spawned.load(Ordering::Relaxed)
     }
 
     /// Calls lost to injected faults: down node, cut link, shared fault
@@ -578,6 +955,12 @@ mod tests {
         );
         // Per-route calls reconcile with the always-on total.
         assert_eq!(s.counter_sum("net.calls{fabric=test"), net.call_count());
+        // The completion-model counters reconcile too: every submitted
+        // RPC completed and nothing is left in flight.
+        assert_eq!(s.counter("fabric.submits{fabric=test}"), 3);
+        assert_eq!(s.counter("fabric.completions{fabric=test}"), 3);
+        assert_eq!(s.gauge("fabric.inflight{fabric=test}").unwrap().value, 0);
+        assert_eq!(s.counter("fabric.threads{fabric=test}"), 0);
     }
 
     #[test]
@@ -604,5 +987,173 @@ mod tests {
         assert!(net.is_down(NodeId(1)));
         net2.call(NodeId(3), NodeId(2), "via clone".into()).unwrap();
         assert_eq!(net.call_count(), 1);
+    }
+
+    #[test]
+    fn submitted_window_completes_without_threads() {
+        let net = echo_network();
+        net.set_latency(Duration::from_millis(1));
+        let tokens: Vec<u64> = (0..4)
+            .map(|i| net.submit(NodeId(1), NodeId(2), format!("p{i}")))
+            .collect();
+        // The whole window is in flight before the first poll.
+        assert_eq!(net.inflight(), 4);
+        assert_eq!(net.inflight_high_water(), 4);
+        for (i, t) in tokens.into_iter().enumerate() {
+            let resp = net.wait(t).unwrap();
+            assert_eq!(resp, format!("2 got p{i} from n1"));
+        }
+        assert_eq!(net.inflight(), 0);
+        assert_eq!(net.completion_count(), net.call_count());
+        assert_eq!(net.threads_spawned(), 0);
+        // The window shares one scheduled latency instead of stacking
+        // four: deliveries were all due at t = 1ms.
+        assert_eq!(net.virtual_now(), 1_000_000);
+    }
+
+    #[test]
+    fn latency_is_virtual_ticks_not_wall_sleep() {
+        let net = echo_network();
+        net.set_latency(Duration::from_millis(500));
+        let wall = std::time::Instant::now();
+        net.call(NodeId(1), NodeId(2), "x".into()).unwrap();
+        net.call(NodeId(1), NodeId(2), "y".into()).unwrap();
+        // Sequential calls stack on the virtual clock...
+        assert_eq!(net.virtual_now(), 1_000_000_000);
+        // ...but never block the host: half a virtual second costs
+        // well under 100ms of wall time.
+        assert!(wall.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn delay_verdict_reschedules_on_the_virtual_clock() {
+        struct DelayAll;
+        impl DeliveryHook for DelayAll {
+            fn verdict(&self, _s: u64, _f: NodeId, _t: NodeId) -> DeliveryVerdict {
+                DeliveryVerdict::Delay(250_000) // 250 virtual ms
+            }
+        }
+        let net = echo_network();
+        net.set_delivery_hook(Some(Arc::new(DelayAll)));
+        let wall = std::time::Instant::now();
+        net.call(NodeId(1), NodeId(2), "x".into()).unwrap();
+        assert_eq!(net.virtual_now(), 250_000_000);
+        assert!(wall.elapsed() < Duration::from_millis(100));
+    }
+
+    /// Chaos-semantics regression: the hook sees each RPC exactly once,
+    /// in submission order, even when a Delay reschedules a delivery.
+    #[test]
+    fn hook_verdicts_consulted_once_in_submit_order() {
+        struct Recorder {
+            seen: Mutex<Vec<u64>>,
+        }
+        impl DeliveryHook for Recorder {
+            fn verdict(&self, seq: u64, _f: NodeId, _t: NodeId) -> DeliveryVerdict {
+                self.seen.lock().push(seq);
+                if seq == 1 {
+                    DeliveryVerdict::Delay(10)
+                } else {
+                    DeliveryVerdict::Deliver
+                }
+            }
+        }
+        let hook = Arc::new(Recorder {
+            seen: Mutex::new(Vec::new()),
+        });
+        let net = echo_network();
+        net.set_delivery_hook(Some(hook.clone()));
+        let tokens: Vec<u64> = (0..3)
+            .map(|i| net.submit(NodeId(1), NodeId(2), format!("p{i}")))
+            .collect();
+        for t in tokens {
+            net.wait(t).unwrap();
+        }
+        // Seq 1 was rescheduled by its Delay verdict but not re-verdicted.
+        assert_eq!(*hook.seen.lock(), vec![0, 1, 2]);
+    }
+
+    /// Chaos-semantics regression: verdict/fault precedence is unchanged
+    /// from the synchronous fabric — the hook rules first, so a scripted
+    /// drop on a down node is accounted to the hook, not the node.
+    #[test]
+    fn hook_verdict_precedes_down_and_cut_checks() {
+        struct DropAll;
+        impl DeliveryHook for DropAll {
+            fn verdict(&self, _s: u64, _f: NodeId, _t: NodeId) -> DeliveryVerdict {
+                DeliveryVerdict::Drop
+            }
+        }
+        let net = echo_network();
+        net.set_down(NodeId(2), true);
+        net.set_link_cut(NodeId(1), NodeId(3), true);
+        net.set_delivery_hook(Some(Arc::new(DropAll)));
+        let _ = net.call(NodeId(1), NodeId(2), "x".into());
+        let _ = net.call(NodeId(1), NodeId(3), "x".into());
+        net.set_delivery_hook(None);
+        let causes = net.drop_causes();
+        assert_eq!(causes.hook, 2);
+        assert_eq!(causes.down, 0);
+        assert_eq!(causes.cut, 0);
+        // With the hook cleared the node/link faults take effect, in the
+        // same down-before-cut order as before.
+        let _ = net.call(NodeId(1), NodeId(2), "x".into());
+        let _ = net.call(NodeId(1), NodeId(3), "x".into());
+        let causes = net.drop_causes();
+        assert_eq!(causes.down, 1);
+        assert_eq!(causes.cut, 1);
+    }
+
+    /// Deliveries due at the same tick run in submission order, so a
+    /// windowed sender observes its packets applied in order.
+    #[test]
+    fn same_tick_deliveries_run_in_submit_order() {
+        let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let net: Network<String, String> = Network::new();
+        let o = Arc::clone(&order);
+        net.register(
+            NodeId(2),
+            Arc::new(move |_from: NodeId, req: String| {
+                o.lock().push(req.clone());
+                req
+            }),
+        );
+        net.set_latency(Duration::from_millis(1));
+        let tokens: Vec<u64> = (0..4)
+            .map(|i| net.submit(NodeId(1), NodeId(2), format!("p{i}")))
+            .collect();
+        // Wait in reverse to prove ordering comes from the schedule, not
+        // from the order the caller polls.
+        for t in tokens.into_iter().rev() {
+            net.wait(t).unwrap();
+        }
+        assert_eq!(*order.lock(), vec!["p0", "p1", "p2", "p3"]);
+    }
+
+    /// Calls made from inside a handler dispatch inline on the caller's
+    /// stack (no queued delivery to deadlock on) and charge their hop on
+    /// the same virtual clock.
+    #[test]
+    fn nested_calls_dispatch_inline() {
+        let net: Network<String, String> = Network::new();
+        let net2 = net.clone();
+        net.register(
+            NodeId(3),
+            Arc::new(|_from: NodeId, req: String| format!("tail({req})")),
+        );
+        net.register(
+            NodeId(2),
+            Arc::new(move |_from: NodeId, req: String| {
+                net2.call(NodeId(2), NodeId(3), req).unwrap()
+            }),
+        );
+        net.set_latency(Duration::from_millis(1));
+        let resp = net.call(NodeId(1), NodeId(2), "x".into()).unwrap();
+        assert_eq!(resp, "tail(x)");
+        assert_eq!(net.call_count(), 2);
+        assert_eq!(net.completion_count(), 2);
+        // Client hop + nested hop, each one virtual millisecond.
+        assert_eq!(net.virtual_now(), 2_000_000);
+        assert_eq!(net.threads_spawned(), 0);
     }
 }

@@ -1,0 +1,304 @@
+//! Multi-tenant fleet admission: token buckets in front of a shared FIFO.
+//!
+//! Models the container-platform deployment the paper targets (§1, §3.3):
+//! thousands of containers mount the same cluster, and one noisy tenant
+//! must not starve the rest. Time advances in fixed *rounds*. Each round:
+//!
+//! 1. every tenant asks to admit `mounts × demand_per_mount` operations;
+//! 2. its token bucket clips that demand (`throttled` counts the excess);
+//! 3. admitted ops are interleaved round-robin across tenants and pushed
+//!    onto one shared FIFO service queue;
+//! 4. the queue services up to `capacity_per_round` ops; an op admitted at
+//!    round `a` and serviced at round `s` waited `(s - a + 1) × round_ns`.
+//!
+//! The model is deliberately pure — no wall clock, no randomness — so the
+//! same specs always produce the same reports, and the fairness assertions
+//! in `tests/fleet.rs` pin exact numbers. The real-stack driver
+//! (`cfs::fleet`) replays the serviced schedule against mounted clients.
+
+use std::collections::VecDeque;
+
+use crate::metrics::LatencyStats;
+
+/// Token-bucket admission control for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketConfig {
+    /// Maximum tokens the bucket holds (burst allowance).
+    pub burst: u64,
+    /// Tokens added at the start of every round, capped at `burst`.
+    pub refill_per_round: u64,
+}
+
+/// One tenant: a named group of mounts with a shared admission bucket.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: &'static str,
+    /// Concurrent mounts (containers) this tenant runs.
+    pub mounts: usize,
+    /// Operations each mount asks to admit per round.
+    pub demand_per_mount: u64,
+    /// Admission bucket; `None` disables throttling (the starvation twin).
+    pub bucket: Option<BucketConfig>,
+}
+
+impl TenantSpec {
+    /// Total ops this tenant asks for per round.
+    pub fn demand_per_round(&self) -> u64 {
+        self.mounts as u64 * self.demand_per_mount
+    }
+}
+
+/// Fleet-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Ops the shared service queue completes per round.
+    pub capacity_per_round: u64,
+    /// Virtual duration of one round (ns) — converts waits to latency.
+    pub round_ns: u64,
+}
+
+/// Per-tenant outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub name: &'static str,
+    pub mounts: usize,
+    /// Ops that passed the bucket and entered the service queue.
+    pub admitted: u64,
+    /// Ops the queue completed within the simulated rounds.
+    pub serviced: u64,
+    /// Ops the bucket rejected.
+    pub throttled: u64,
+    /// Admitted-but-unserviced ops left in the queue at the end.
+    pub backlog: u64,
+    pub wait_p50_ns: u64,
+    pub wait_p99_ns: u64,
+    pub wait_max_ns: u64,
+}
+
+/// One serviced operation: which tenant issued it and how long it queued
+/// (ns, including its service round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServicedOp {
+    pub tenant: usize,
+    pub wait_ns: u64,
+}
+
+/// Outcome of [`run_fleet_sim`]: per-tenant reports plus the service
+/// schedule (`schedule[round]` = the ops serviced that round, in service
+/// order) for replay against a real cluster.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    pub reports: Vec<TenantReport>,
+    pub schedule: Vec<Vec<ServicedOp>>,
+}
+
+struct TenantState {
+    tokens: u64,
+    admitted: u64,
+    serviced: u64,
+    throttled: u64,
+    waits: LatencyStats,
+}
+
+/// Run the admission model to completion. Deterministic: output depends
+/// only on `specs` and `cfg`.
+pub fn run_fleet_sim(specs: &[TenantSpec], cfg: &FleetConfig) -> FleetOutcome {
+    let mut states: Vec<TenantState> = specs
+        .iter()
+        .map(|s| TenantState {
+            tokens: s.bucket.map(|b| b.burst).unwrap_or(0),
+            admitted: 0,
+            serviced: 0,
+            throttled: 0,
+            waits: LatencyStats::new(),
+        })
+        .collect();
+    // FIFO of (tenant index, admit round).
+    let mut queue: VecDeque<(usize, u64)> = VecDeque::new();
+    let mut schedule: Vec<Vec<ServicedOp>> = Vec::with_capacity(cfg.rounds as usize);
+
+    for round in 0..cfg.rounds {
+        // Admission: bucket-clip each tenant's demand.
+        let mut admits: Vec<u64> = Vec::with_capacity(specs.len());
+        for (spec, st) in specs.iter().zip(states.iter_mut()) {
+            let demand = spec.demand_per_round();
+            let take = match spec.bucket {
+                Some(b) => {
+                    st.tokens = (st.tokens + b.refill_per_round).min(b.burst);
+                    let take = demand.min(st.tokens);
+                    st.tokens -= take;
+                    take
+                }
+                None => demand,
+            };
+            st.admitted += take;
+            st.throttled += demand - take;
+            admits.push(take);
+        }
+        // Enqueue round-robin across tenants so no tenant owns the front
+        // of the queue merely by spec order.
+        while admits.iter().any(|&a| a > 0) {
+            for (t, a) in admits.iter_mut().enumerate() {
+                if *a > 0 {
+                    *a -= 1;
+                    queue.push_back((t, round));
+                }
+            }
+        }
+        // Service: FIFO drain up to capacity.
+        let mut serviced_this_round = Vec::new();
+        for _ in 0..cfg.capacity_per_round {
+            let Some((t, admit_round)) = queue.pop_front() else {
+                break;
+            };
+            let wait_ns = (round - admit_round + 1) * cfg.round_ns;
+            states[t].serviced += 1;
+            states[t].waits.record(wait_ns);
+            serviced_this_round.push(ServicedOp { tenant: t, wait_ns });
+        }
+        schedule.push(serviced_this_round);
+    }
+
+    let reports = specs
+        .iter()
+        .zip(states.iter_mut())
+        .map(|(spec, st)| TenantReport {
+            name: spec.name,
+            mounts: spec.mounts,
+            admitted: st.admitted,
+            serviced: st.serviced,
+            throttled: st.throttled,
+            backlog: st.admitted - st.serviced,
+            wait_p50_ns: st.waits.percentile(0.50),
+            wait_p99_ns: st.waits.percentile(0.99),
+            wait_max_ns: st.waits.max(),
+        })
+        .collect();
+    FleetOutcome { reports, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROUND_NS: u64 = 1_000_000; // 1ms rounds
+
+    fn tenant(
+        name: &'static str,
+        mounts: usize,
+        demand: u64,
+        bucket: Option<BucketConfig>,
+    ) -> TenantSpec {
+        TenantSpec {
+            name,
+            mounts,
+            demand_per_mount: demand,
+            bucket,
+        }
+    }
+
+    fn cfg(rounds: u64, capacity: u64) -> FleetConfig {
+        FleetConfig {
+            rounds,
+            capacity_per_round: capacity,
+            round_ns: ROUND_NS,
+        }
+    }
+
+    #[test]
+    fn equal_tenants_share_equally() {
+        let b = Some(BucketConfig {
+            burst: 10,
+            refill_per_round: 10,
+        });
+        let specs = vec![tenant("a", 10, 1, b), tenant("b", 10, 1, b)];
+        let out = run_fleet_sim(&specs, &cfg(20, 20));
+        assert_eq!(out.reports[0].serviced, out.reports[1].serviced);
+        assert_eq!(out.reports[0].wait_p99_ns, out.reports[1].wait_p99_ns);
+        assert_eq!(out.reports[0].throttled, 0);
+        // Capacity matches demand: every op serviced the round it arrived.
+        assert_eq!(out.reports[0].wait_max_ns, ROUND_NS);
+    }
+
+    #[test]
+    fn unbucketed_abuser_starves_the_queue() {
+        // 10x overload with no bucket: the well-behaved tenant's waits
+        // grow linearly with the backlog.
+        let specs = vec![tenant("good", 10, 1, None), tenant("abuser", 10, 20, None)];
+        let out = run_fleet_sim(&specs, &cfg(50, 20));
+        let good = &out.reports[0];
+        // Backlog grows ~190 ops/round; by round 50 waits are tens of
+        // rounds. Starvation must be visible in p99.
+        assert!(
+            good.wait_p99_ns > 10 * ROUND_NS,
+            "expected starvation, p99 = {}ns",
+            good.wait_p99_ns
+        );
+    }
+
+    #[test]
+    fn bucket_bounds_the_abuser() {
+        // Same overload, but the abuser's bucket caps it at half the
+        // service capacity: the good tenant's waits stay flat.
+        let specs = vec![
+            tenant("good", 10, 1, None),
+            tenant(
+                "abuser",
+                10,
+                20,
+                Some(BucketConfig {
+                    burst: 10,
+                    refill_per_round: 10,
+                }),
+            ),
+        ];
+        let out = run_fleet_sim(&specs, &cfg(50, 20));
+        let good = &out.reports[0];
+        let abuser = &out.reports[1];
+        assert_eq!(good.wait_p99_ns, ROUND_NS, "good tenant must not queue");
+        assert!(abuser.throttled > 0, "bucket must clip the abuser");
+        assert_eq!(good.throttled, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let specs = vec![
+            tenant(
+                "a",
+                7,
+                3,
+                Some(BucketConfig {
+                    burst: 5,
+                    refill_per_round: 4,
+                }),
+            ),
+            tenant("b", 3, 9, None),
+        ];
+        let c = cfg(30, 17);
+        let x = run_fleet_sim(&specs, &c);
+        let y = run_fleet_sim(&specs, &c);
+        for (rx, ry) in x.reports.iter().zip(&y.reports) {
+            assert_eq!(rx.serviced, ry.serviced);
+            assert_eq!(rx.wait_p99_ns, ry.wait_p99_ns);
+        }
+        assert_eq!(x.schedule, y.schedule);
+    }
+
+    #[test]
+    fn schedule_services_match_reports() {
+        let specs = vec![tenant("a", 4, 2, None), tenant("b", 2, 5, None)];
+        let out = run_fleet_sim(&specs, &cfg(10, 9));
+        let mut counts = vec![0u64; specs.len()];
+        for round in &out.schedule {
+            for op in round {
+                counts[op.tenant] += 1;
+            }
+        }
+        for (i, r) in out.reports.iter().enumerate() {
+            assert_eq!(counts[i], r.serviced, "tenant {i}");
+            assert_eq!(r.admitted, r.serviced + r.backlog);
+        }
+    }
+}

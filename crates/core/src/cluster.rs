@@ -7,7 +7,7 @@ use cfs_client::{Client, ClientOptions, Fabrics};
 use cfs_data::{DataNode, DataRequest, DataResponse};
 use cfs_master::{MasterCommand, MasterNode, MasterRequest, MasterResponse, NodeKind, Task};
 use cfs_meta::{MetaNode, MetaPartitionConfig, MetaRequest, MetaResponse};
-use cfs_net::Network;
+use cfs_net::{Network, SimClock};
 use cfs_obs::{MetricsSnapshot, Registry};
 use cfs_raft::{RaftConfig, RaftHub};
 use cfs_types::testutil::TempDir;
@@ -107,6 +107,13 @@ impl ClusterBuilder {
             meta: Network::new(),
             data: Network::new(),
         };
+        // One virtual clock for the whole cluster: a latency charged on
+        // any fabric is visible to every other, so cross-fabric ordering
+        // (meta sync after a data append, say) reads off one timeline.
+        let clock = SimClock::new();
+        fabrics.master.set_clock(clock.clone());
+        fabrics.meta.set_clock(clock.clone());
+        fabrics.data.set_clock(clock);
         fabrics.master.set_faults(faults.clone());
         fabrics.meta.set_faults(faults.clone());
         fabrics.data.set_faults(faults.clone());
@@ -280,6 +287,16 @@ impl Cluster {
     /// append pipeline a round trip to hide). Zero disables it.
     pub fn set_data_latency(&self, latency: std::time::Duration) {
         self.fabrics.data.set_latency(latency);
+    }
+
+    /// The shared virtual clock every fabric schedules deliveries on.
+    pub fn clock(&self) -> SimClock {
+        self.fabrics.data.clock()
+    }
+
+    /// Current reading of the shared virtual clock, in nanoseconds.
+    pub fn virtual_now_ns(&self) -> u64 {
+        self.clock().now()
     }
 
     /// Meta nodes.

@@ -1,0 +1,127 @@
+//! Real-stack fleet driver: run a multi-tenant admission schedule against
+//! an in-process cluster.
+//!
+//! The pure model ([`cfs_sim::fleet`]) decides *when* each tenant's
+//! operations are admitted and serviced; this driver makes those
+//! operations real. Every tenant mounts `mounts` actual clients, and each
+//! serviced slot in the schedule executes a metadata op (a root `stat`)
+//! on the tenant's next mount, round-robin — so a 10,000-mount fleet is
+//! 10,000 live clients multiplexed over the event-driven fabrics, with
+//! zero per-RPC threads (`Network::threads_spawned` stays 0 by
+//! construction; `tests/fleet.rs` pins it).
+//!
+//! Per-tenant fairness metrics land in the cluster registry:
+//!
+//! * `tenant.ops{tenant=N}` — serviced (executed) operations;
+//! * `tenant.throttled{tenant=N}` — ops clipped by the admission bucket;
+//! * `tenant.wait_ns{tenant=N}` — admission-queue wait distribution.
+
+use cfs_client::Client;
+use cfs_types::Result;
+
+pub use cfs_sim::fleet::{
+    run_fleet_sim, BucketConfig, FleetConfig, FleetOutcome, ServicedOp, TenantReport, TenantSpec,
+};
+
+use crate::cluster::Cluster;
+
+/// Outcome of [`run_fleet`]: the model's fairness reports plus proof the
+/// replay ran on the real stack.
+#[derive(Debug)]
+pub struct FleetRunReport {
+    /// Per-tenant admission/fairness numbers (from the pure model).
+    pub reports: Vec<TenantReport>,
+    /// Live client mounts held for the whole run.
+    pub mounts: usize,
+    /// Real metadata ops executed during replay.
+    pub ops_executed: u64,
+    /// Replay ops that returned an error (expected 0 on a healthy
+    /// cluster; surfaced rather than panicking so chaos-adjacent callers
+    /// can assert their own tolerance).
+    pub op_failures: u64,
+    /// Threads spawned by all three fabrics over the run.
+    pub threads_spawned: u64,
+    /// Virtual nanoseconds the shared fabric clock advanced during the
+    /// run.
+    pub virtual_elapsed_ns: u64,
+}
+
+/// Mount every tenant's fleet, run the admission model, and replay its
+/// service schedule as real metadata ops.
+pub fn run_fleet(
+    cluster: &Cluster,
+    specs: &[TenantSpec],
+    cfg: &FleetConfig,
+) -> Result<FleetRunReport> {
+    let started_at = cluster.virtual_now_ns();
+    let threads_before = fabric_threads(cluster);
+
+    // One volume per tenant; every mount of the tenant shares it, like
+    // containers of one service sharing a volume (§2.1).
+    let mut fleets: Vec<Vec<Client>> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let volume = format!("fleet-{}", spec.name);
+        cluster.create_volume(&volume, 1, 4)?;
+        let mut mounts = Vec::with_capacity(spec.mounts);
+        for _ in 0..spec.mounts {
+            mounts.push(cluster.mount(&volume)?);
+        }
+        fleets.push(mounts);
+    }
+    let total_mounts: usize = specs.iter().map(|s| s.mounts).sum();
+
+    let outcome = run_fleet_sim(specs, cfg);
+
+    let registry = cluster.metrics();
+    let ops_metrics: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            (
+                registry.counter(&format!("tenant.ops{{tenant={}}}", s.name)),
+                registry.histogram(&format!("tenant.wait_ns{{tenant={}}}", s.name)),
+            )
+        })
+        .collect();
+    for (spec, report) in specs.iter().zip(&outcome.reports) {
+        registry
+            .counter(&format!("tenant.throttled{{tenant={}}}", spec.name))
+            .add(report.throttled);
+    }
+
+    // Replay: each serviced slot becomes a root stat on the tenant's next
+    // mount, round-robin, so every mount in the fleet takes real traffic.
+    let mut cursors = vec![0usize; specs.len()];
+    let mut ops_executed = 0u64;
+    let mut op_failures = 0u64;
+    for round in &outcome.schedule {
+        for op in round {
+            let fleet = &fleets[op.tenant];
+            if fleet.is_empty() {
+                continue;
+            }
+            let client = &fleet[cursors[op.tenant] % fleet.len()];
+            cursors[op.tenant] += 1;
+            ops_executed += 1;
+            if client.stat(client.root()).is_err() {
+                op_failures += 1;
+            }
+            let (ops, waits) = &ops_metrics[op.tenant];
+            ops.inc();
+            waits.record(op.wait_ns);
+        }
+    }
+
+    Ok(FleetRunReport {
+        reports: outcome.reports,
+        mounts: total_mounts,
+        ops_executed,
+        op_failures,
+        threads_spawned: fabric_threads(cluster) - threads_before,
+        virtual_elapsed_ns: cluster.virtual_now_ns() - started_at,
+    })
+}
+
+fn fabric_threads(cluster: &Cluster) -> u64 {
+    let f = cluster.fabrics();
+    f.master.threads_spawned() + f.meta.threads_spawned() + f.data.threads_spawned()
+}

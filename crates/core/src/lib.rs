@@ -23,6 +23,7 @@
 //! ```
 
 mod cluster;
+pub mod fleet;
 
 pub use cluster::{Cluster, ClusterBuilder, RecoverReport};
 
@@ -37,7 +38,7 @@ pub use cfs_meta::{
     MetaCommand, MetaNode, MetaPartition, MetaRead, MetaRequest, MetaResponse, MetaValue,
     PartitionInfo,
 };
-pub use cfs_net::{DeliveryHook, DeliveryVerdict, DropCauses};
+pub use cfs_net::{DeliveryHook, DeliveryVerdict, DropCauses, SimClock};
 pub use cfs_obs::{MetricsSnapshot, Registry, RequestId, RpcRoute, Span, SpanRecord, Tracer};
 pub use cfs_raft::{DeliverySchedule, RaftConfig, RaftHub};
 pub use cfs_types::{

@@ -160,6 +160,148 @@ fn append_budget_check_rejects_perturbed_counters() {
     );
 }
 
+/// The event-fabric budget: `rpcs` submitted RPCs must ride the
+/// scheduled-delivery queue — zero threads spawned, every token drained
+/// (submits == completions), and the in-flight high water bounded by the
+/// append window plus the chain's nested forwards (head → middle → tail
+/// hops count as in-flight while the window is open).
+fn check_fabric_budget(window: &MetricsSnapshot, rpcs: u64, max_inflight: i64) {
+    let threads = window.counter("fabric.threads{fabric=data}");
+    assert!(
+        threads == 0,
+        "fabric budget regression: {threads} threads spawned for {rpcs} \
+         RPCs, the completion model allows 0"
+    );
+    let submits = window.counter("fabric.submits{fabric=data}");
+    let completions = window.counter("fabric.completions{fabric=data}");
+    assert!(
+        submits >= rpcs,
+        "fabric budget regression: only {submits} submits, expected at least {rpcs}"
+    );
+    assert!(
+        submits == completions,
+        "fabric budget regression: {submits} submits but {completions} \
+         completions — tokens leaked in the delivery queue"
+    );
+    if let Some(g) = window.gauge("fabric.inflight{fabric=data}") {
+        assert!(
+            g.high_water <= max_inflight,
+            "fabric budget regression: {} RPCs in flight at once, window + \
+             chain allows {max_inflight}",
+            g.high_water
+        );
+        assert!(
+            g.value == 0,
+            "fabric budget regression: {} RPCs still in flight after drain",
+            g.value
+        );
+    }
+}
+
+#[test]
+fn fabric_completion_budget() {
+    const FABRIC_PACKETS: u64 = 1_024;
+    let config = ClusterConfig {
+        packet_size: PACKET,
+        small_file_threshold: PACKET,
+        ..ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new().config(config).build().unwrap();
+    cluster.create_volume("budget-fabric", 1, 4).unwrap();
+    let client = cluster
+        .mount_with_options(
+            "budget-fabric",
+            ClientOptions {
+                pipeline_depth: DEPTH,
+                meta_sync_every: SYNC_EVERY,
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+    cluster.set_data_latency(Duration::from_millis(1));
+
+    let root = client.root();
+    client.create(root, "f").unwrap();
+    let mut fh = client.open(root, "f").unwrap();
+
+    let before = cluster.metrics_snapshot();
+    let virtual_before = cluster.virtual_now_ns();
+    for i in 0..(FABRIC_PACKETS / DEPTH as u64) {
+        let body = vec![i as u8; (PACKET * DEPTH as u64) as usize];
+        client.write(&mut fh, &body).unwrap();
+    }
+    client.close(&mut fh).unwrap();
+    cluster.set_data_latency(Duration::ZERO);
+    let window = cluster.metrics_snapshot().diff(&before);
+
+    // >1k packet RPCs rode the queue: depth-deep window, two extra chain
+    // hops while the head/middle forward, zero fabric threads.
+    check_fabric_budget(
+        &window,
+        FABRIC_PACKETS,
+        DEPTH as i64 + (REPLICAS as i64 - 1),
+    );
+
+    // The latency was charged to the virtual clock, not the wall clock:
+    // 1024 packets × 1ms minimum (chain hops add more).
+    let virtual_elapsed = cluster.virtual_now_ns() - virtual_before;
+    assert!(
+        virtual_elapsed >= FABRIC_PACKETS * 1_000_000,
+        "virtual clock only advanced {virtual_elapsed}ns"
+    );
+}
+
+#[test]
+fn fabric_budget_check_rejects_perturbed_counters() {
+    // A single spawned thread must trip the zero-thread pin.
+    let registry = cfs::Registry::new();
+    registry.counter("fabric.submits{fabric=data}").add(1_024);
+    registry
+        .counter("fabric.completions{fabric=data}")
+        .add(1_024);
+    registry.counter("fabric.threads{fabric=data}").add(1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_fabric_budget(&snap, 1_024, 6))
+        .expect_err("a spawned fabric thread must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("threads spawned"),
+        "unexpected panic message: {msg}"
+    );
+
+    // A leaked completion token must trip the drain identity.
+    let registry = cfs::Registry::new();
+    registry.counter("fabric.submits{fabric=data}").add(1_024);
+    registry
+        .counter("fabric.completions{fabric=data}")
+        .add(1_023);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_fabric_budget(&snap, 1_024, 6))
+        .expect_err("a leaked token must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("tokens leaked"),
+        "unexpected panic message: {msg}"
+    );
+
+    // An over-deep in-flight high water must trip the window bound.
+    let registry = cfs::Registry::new();
+    registry.counter("fabric.submits{fabric=data}").add(1_024);
+    registry
+        .counter("fabric.completions{fabric=data}")
+        .add(1_024);
+    registry.gauge("fabric.inflight{fabric=data}").add(7);
+    registry.gauge("fabric.inflight{fabric=data}").sub(7);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_fabric_budget(&snap, 1_024, 6))
+        .expect_err("an over-deep in-flight high water must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("in flight at once"),
+        "unexpected panic message: {msg}"
+    );
+}
+
 /// The meta-commit budget (§2.1.3 hot path): `creates` concurrent writes
 /// on one partition must coalesce into at most `max_rounds` Raft rounds.
 fn check_meta_commit_budget(window: &MetricsSnapshot, creates: u64, max_rounds: u64) {

@@ -209,6 +209,26 @@ fn check_fabric_reconciliation(
         "invariant (e): {fabric} rejection counter disagrees with the fabric \
          total (seed {seed})"
     );
+    // Completion-model books: every call was a submit, every submit was
+    // completed (a drop completes as a timeout — nothing stays queued),
+    // and the in-flight gauge is back to zero once the fabric is quiet.
+    let submits = snap.counter(&format!("fabric.submits{{fabric={fabric}}}"));
+    assert_eq!(
+        submits, calls,
+        "invariant (e): {fabric} submit counter disagrees with the fabric \
+         call total (seed {seed})"
+    );
+    let completions = snap.counter(&format!("fabric.completions{{fabric={fabric}}}"));
+    assert_eq!(
+        completions, submits,
+        "invariant (e): {fabric} completions don't drain the submits (seed {seed})"
+    );
+    if let Some(g) = snap.gauge(&format!("fabric.inflight{{fabric={fabric}}}")) {
+        assert_eq!(
+            g.value, 0,
+            "invariant (e): {fabric} still has RPCs in flight at quiesce (seed {seed})"
+        );
+    }
 }
 
 struct Chaos {
@@ -1175,6 +1195,42 @@ fn net_reconciliation_detects_unaccounted_drops() {
             .expect_err("unclassified drop must fail reconciliation");
     assert!(
         panic_message(err.as_ref()).contains("partition the drop total"),
+        "unexpected panic message"
+    );
+
+    // Completion-model skew: the legacy books balance, but one submit
+    // never completed — a token leaked in the delivery queue.
+    let registry = cfs::Registry::new();
+    registry
+        .counter("net.calls{fabric=data,route=data.read}")
+        .add(6);
+    registry.counter("fabric.submits{fabric=data}").add(6);
+    registry.counter("fabric.completions{fabric=data}").add(5);
+    let snap = registry.snapshot();
+    let err = panic::catch_unwind(|| {
+        check_fabric_reconciliation(0, &snap, "data", 6, 0, DropCauses::default(), 0)
+    })
+    .expect_err("leaked completion token must fail reconciliation");
+    assert!(
+        panic_message(err.as_ref()).contains("drain the submits"),
+        "unexpected panic message"
+    );
+
+    // An RPC still in flight at quiesce must trip the gauge identity.
+    let registry = cfs::Registry::new();
+    registry
+        .counter("net.calls{fabric=data,route=data.read}")
+        .add(6);
+    registry.counter("fabric.submits{fabric=data}").add(6);
+    registry.counter("fabric.completions{fabric=data}").add(6);
+    registry.gauge("fabric.inflight{fabric=data}").add(1);
+    let snap = registry.snapshot();
+    let err = panic::catch_unwind(|| {
+        check_fabric_reconciliation(0, &snap, "data", 6, 0, DropCauses::default(), 0)
+    })
+    .expect_err("an in-flight RPC at quiesce must fail reconciliation");
+    assert!(
+        panic_message(err.as_ref()).contains("still has RPCs in flight"),
         "unexpected panic message"
     );
 }
