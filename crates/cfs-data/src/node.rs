@@ -2,16 +2,21 @@
 //! recovery.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
+use cfs_kvwal::{LsmEngine, LsmOptions};
 use cfs_net::Network;
 use cfs_obs::{Registry, RequestId, RpcRoute, Span};
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, WireEnvelope};
+use cfs_raft::{
+    KvRaftStorage, MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, RaftStorage,
+    WireEnvelope,
+};
 use cfs_store::{SmallFileLocation, StoreMetrics};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::crc::crc32;
@@ -19,7 +24,7 @@ use cfs_types::{CfsError, ExtentId, NodeId, PartitionId, RaftGroupId, Result, Vo
 
 use crate::command::DataCommand;
 use crate::metrics::{DataLatency, DataMetrics};
-use crate::replica::{DataPartitionReplica, PartitionStats};
+use crate::replica::{DataPartitionReplica, PartitionStats, ReplicaCf};
 
 /// Size/CRC/watermark facts about one extent on one replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +222,10 @@ pub struct DataNode {
     latency: DataLatency,
     /// Shared byte accounting for every hosted partition's extent store.
     store_metrics: StoreMetrics,
+    /// Engine-backed nodes (opened with [`DataNode::open`]) write every
+    /// replica, extent and raft group through to this engine and restore
+    /// from its directory alone after power loss.
+    engine: Option<Arc<LsmEngine>>,
 }
 
 struct RaftState {
@@ -313,9 +322,82 @@ impl DataNode {
             metrics: registry.map(DataMetrics::bind).unwrap_or_default(),
             latency: registry.map(DataLatency::bind).unwrap_or_default(),
             store_metrics: registry.map(StoreMetrics::bind).unwrap_or_default(),
+            engine: None,
         });
         hub.register(node.clone() as Arc<dyn RaftHost>);
         node
+    }
+
+    /// Open an engine-backed data node at `dir`, restoring every hosted
+    /// partition (replica meta, extent bytes, raft group state) from the
+    /// directory's LSM engine. A fresh directory yields an empty node;
+    /// after power loss the node comes back with all acknowledged state.
+    pub fn open(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        dir: &Path,
+        raft_config: RaftConfig,
+        seed: u64,
+    ) -> Result<Arc<Self>> {
+        Self::open_with_registry(id, hub, net, dir, raft_config, seed, None)
+    }
+
+    /// [`DataNode::open`] with metrics bound to `registry` (including the
+    /// engine's `kvwal.*` counters).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        net: Network<DataRequest, Result<DataResponse>>,
+        dir: &Path,
+        raft_config: RaftConfig,
+        seed: u64,
+        registry: Option<&Registry>,
+    ) -> Result<Arc<Self>> {
+        let engine = Arc::new(LsmEngine::open_with_registry(
+            dir,
+            LsmOptions::default(),
+            registry,
+        )?);
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
+        let storage = Arc::new(KvRaftStorage::new(engine.clone()));
+        multiraft.set_storage(storage.clone())?;
+        let store_metrics: StoreMetrics = registry.map(StoreMetrics::bind).unwrap_or_default();
+        let mut partitions = HashMap::new();
+        for (pid_raw, _) in engine.scan::<ReplicaCf>()? {
+            let pid = PartitionId(pid_raw);
+            let mut replica = DataPartitionReplica::restore(pid, engine.clone())?;
+            replica.set_store_metrics(store_metrics.clone());
+            let gid = Self::group_of(pid);
+            match storage.load(gid)? {
+                Some(state) => multiraft.restore_group(gid, replica.members().to_vec(), state)?,
+                None => multiraft.create_group(gid, replica.members().to_vec())?,
+            }
+            partitions.insert(pid, replica);
+        }
+        let node = Arc::new(DataNode {
+            id,
+            hub: hub.clone(),
+            net,
+            partitions: Mutex::new(partitions),
+            chain_order: Mutex::new(HashMap::new()),
+            raft: Mutex::new(RaftState {
+                multiraft,
+                results: HashMap::new(),
+            }),
+            commit_timeout_ticks: 2_000,
+            registry: registry.cloned(),
+            metrics: registry.map(DataMetrics::bind).unwrap_or_default(),
+            latency: registry.map(DataLatency::bind).unwrap_or_default(),
+            store_metrics,
+            engine: Some(engine),
+        });
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        Ok(node)
     }
 
     /// Open a trace span for `req` if the node has a registry and the
@@ -581,13 +663,23 @@ impl DataNode {
             .lock()
             .multiraft
             .create_group(Self::group_of(partition), members.clone())?;
-        let mut replica = DataPartitionReplica::new(
-            partition,
-            volume,
-            members,
-            small_extent_rotate_at,
-            extent_limit,
-        );
+        let mut replica = match &self.engine {
+            Some(engine) => DataPartitionReplica::new_persistent(
+                partition,
+                volume,
+                members,
+                small_extent_rotate_at,
+                extent_limit,
+                engine.clone(),
+            )?,
+            None => DataPartitionReplica::new(
+                partition,
+                volume,
+                members,
+                small_extent_rotate_at,
+                extent_limit,
+            ),
+        };
         replica.set_store_metrics(self.store_metrics.clone());
         parts.insert(partition, replica);
         Ok(())
@@ -1135,6 +1227,7 @@ impl DataNode {
             metrics: registry.map(DataMetrics::bind).unwrap_or_default(),
             latency: registry.map(DataLatency::bind).unwrap_or_default(),
             store_metrics,
+            engine: None,
         });
         {
             let mut raft = node.raft.lock();

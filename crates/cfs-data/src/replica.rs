@@ -1,9 +1,78 @@
 //! One replica of a data partition.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use cfs_store::{ExtentStore, SmallFileLocation, StoreStats};
-use cfs_types::{CfsError, ExtentId, NodeId, PartitionId, Result, VolumeId};
+use cfs_kvwal::{LsmEngine, TypedCf};
+use cfs_store::{ExtentStore, SmallFileLocation, StorePersist, StoreStats};
+use cfs_types::{
+    CfsError, Decode, Decoder, Encode, Encoder, ExtentId, NodeId, PartitionId, Result, VolumeId,
+};
+
+/// Column family holding one encoded [`ReplicaMeta`] row per hosted
+/// partition. Extent payloads live in the per-partition `StorePersist`
+/// namespaces of the same engine.
+pub(crate) struct ReplicaCf;
+
+impl TypedCf for ReplicaCf {
+    const NAME: &'static str = "data_replicas";
+    type Key = u64;
+    type Value = Vec<u8>;
+}
+
+/// The durable, non-extent state of a replica: everything needed to rebuild
+/// a [`DataPartitionReplica`] after power loss besides the store contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReplicaMeta {
+    volume_id: VolumeId,
+    members: Vec<NodeId>,
+    small_extent_rotate_at: u64,
+    extent_limit: u64,
+    read_only: bool,
+    /// `(extent, watermark)` pairs, sorted by extent id.
+    committed: Vec<(u64, u64)>,
+    /// Delete queue as parallel vectors: `(kind, extent)` where kind 0 =
+    /// whole extent, 1 = punch; `(offset, len)` meaningful for punches.
+    delete_kinds: Vec<(u64, u64)>,
+    delete_ranges: Vec<(u64, u64)>,
+}
+
+impl ReplicaMeta {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.volume_id.encode(&mut enc);
+        self.members.encode(&mut enc);
+        self.small_extent_rotate_at.encode(&mut enc);
+        self.extent_limit.encode(&mut enc);
+        u64::from(self.read_only).encode(&mut enc);
+        self.committed.encode(&mut enc);
+        self.delete_kinds.encode(&mut enc);
+        self.delete_ranges.encode(&mut enc);
+        enc.finish()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let volume_id = VolumeId::decode(&mut dec)?;
+        let members = Vec::<NodeId>::decode(&mut dec)?;
+        let small_extent_rotate_at = u64::decode(&mut dec)?;
+        let extent_limit = u64::decode(&mut dec)?;
+        let read_only = u64::decode(&mut dec)? != 0;
+        let committed = Vec::<(u64, u64)>::decode(&mut dec)?;
+        let delete_kinds = Vec::<(u64, u64)>::decode(&mut dec)?;
+        let delete_ranges = Vec::<(u64, u64)>::decode(&mut dec)?;
+        Ok(ReplicaMeta {
+            volume_id,
+            members,
+            small_extent_rotate_at,
+            extent_limit,
+            read_only,
+            committed,
+            delete_kinds,
+            delete_ranges,
+        })
+    }
+}
 
 /// A queued asynchronous deletion (§2.7.3): either a whole extent (large
 /// file) or a punched range (small file).
@@ -44,6 +113,11 @@ pub struct DataPartitionReplica {
     /// Set by the resource manager when a replica times out (§2.3.3).
     read_only: bool,
     delete_queue: Vec<DeleteTask>,
+    small_extent_rotate_at: u64,
+    extent_limit: u64,
+    /// When present, the replica's meta row and extent payloads are
+    /// written through to this engine after every mutation.
+    engine: Option<Arc<LsmEngine>>,
 }
 
 impl DataPartitionReplica {
@@ -63,7 +137,121 @@ impl DataPartitionReplica {
             committed: HashMap::new(),
             read_only: false,
             delete_queue: Vec::new(),
+            small_extent_rotate_at,
+            extent_limit,
+            engine: None,
         }
+    }
+
+    /// Fresh replica whose extents and meta row are written through to
+    /// `engine` (namespaced by partition id), so it survives power loss.
+    pub fn new_persistent(
+        partition_id: PartitionId,
+        volume_id: VolumeId,
+        members: Vec<NodeId>,
+        small_extent_rotate_at: u64,
+        extent_limit: u64,
+        engine: Arc<LsmEngine>,
+    ) -> Result<Self> {
+        let persist = Arc::new(StorePersist::new(engine.clone(), partition_id.raw()));
+        let store = ExtentStore::new_persistent(small_extent_rotate_at, extent_limit, persist)?;
+        let replica = DataPartitionReplica {
+            partition_id,
+            volume_id,
+            members,
+            store,
+            committed: HashMap::new(),
+            read_only: false,
+            delete_queue: Vec::new(),
+            small_extent_rotate_at,
+            extent_limit,
+            engine: Some(engine),
+        };
+        replica.persist_meta();
+        Ok(replica)
+    }
+
+    /// Rebuild a replica from its engine-persisted state alone: the meta
+    /// row restores membership/watermarks/queue, the store namespace
+    /// restores every extent's bytes.
+    pub fn restore(partition_id: PartitionId, engine: Arc<LsmEngine>) -> Result<Self> {
+        let bytes = engine
+            .get::<ReplicaCf>(&partition_id.raw())?
+            .ok_or_else(|| CfsError::NotFound(format!("replica row for {partition_id}")))?;
+        let meta = ReplicaMeta::from_bytes(&bytes)?;
+        let persist = Arc::new(StorePersist::new(engine.clone(), partition_id.raw()));
+        let store = ExtentStore::restore(meta.small_extent_rotate_at, meta.extent_limit, persist)?;
+        let committed = meta
+            .committed
+            .iter()
+            .map(|&(e, w)| (ExtentId(e), w))
+            .collect();
+        let delete_queue = meta
+            .delete_kinds
+            .iter()
+            .zip(meta.delete_ranges.iter())
+            .map(|(&(kind, extent), &(offset, len))| {
+                if kind == 0 {
+                    DeleteTask::Extent(ExtentId(extent))
+                } else {
+                    DeleteTask::Punch {
+                        extent: ExtentId(extent),
+                        offset,
+                        len,
+                    }
+                }
+            })
+            .collect();
+        Ok(DataPartitionReplica {
+            partition_id,
+            volume_id: meta.volume_id,
+            members: meta.members,
+            store,
+            committed,
+            read_only: meta.read_only,
+            delete_queue,
+            small_extent_rotate_at: meta.small_extent_rotate_at,
+            extent_limit: meta.extent_limit,
+            engine: Some(engine),
+        })
+    }
+
+    /// Write the meta row through to the engine (no-op for in-memory
+    /// replicas). Extent payloads are persisted by the store itself.
+    fn persist_meta(&self) {
+        let Some(engine) = &self.engine else { return };
+        let mut committed: Vec<(u64, u64)> =
+            self.committed.iter().map(|(e, w)| (e.raw(), *w)).collect();
+        committed.sort_unstable();
+        let mut delete_kinds = Vec::with_capacity(self.delete_queue.len());
+        let mut delete_ranges = Vec::with_capacity(self.delete_queue.len());
+        for t in &self.delete_queue {
+            match t {
+                DeleteTask::Extent(e) => {
+                    delete_kinds.push((0, e.raw()));
+                    delete_ranges.push((0, 0));
+                }
+                DeleteTask::Punch {
+                    extent,
+                    offset,
+                    len,
+                } => {
+                    delete_kinds.push((1, extent.raw()));
+                    delete_ranges.push((*offset, *len));
+                }
+            }
+        }
+        let meta = ReplicaMeta {
+            volume_id: self.volume_id,
+            members: self.members.clone(),
+            small_extent_rotate_at: self.small_extent_rotate_at,
+            extent_limit: self.extent_limit,
+            read_only: self.read_only,
+            committed,
+            delete_kinds,
+            delete_ranges,
+        };
+        let _ = engine.put::<ReplicaCf>(&self.partition_id.raw(), &meta.to_bytes());
     }
 
     pub fn partition_id(&self) -> PartitionId {
@@ -84,6 +272,7 @@ impl DataPartitionReplica {
     /// Replace the replica array (repair membership change, §2.3.3).
     pub fn set_members(&mut self, members: Vec<NodeId>) {
         self.members = members;
+        self.persist_meta();
     }
 
     /// The primary-backup leader.
@@ -94,6 +283,7 @@ impl DataPartitionReplica {
     /// Mark/unmark read-only (§2.3.3 exception handling).
     pub fn set_read_only(&mut self, ro: bool) {
         self.read_only = ro;
+        self.persist_meta();
     }
 
     pub fn is_read_only(&self) -> bool {
@@ -157,6 +347,7 @@ impl DataPartitionReplica {
     pub fn commit(&mut self, extent: ExtentId, upto: u64) {
         let e = self.committed.entry(extent).or_insert(0);
         *e = (*e).max(upto);
+        self.persist_meta();
     }
 
     /// The committed watermark of an extent (0 if never committed).
@@ -205,6 +396,7 @@ impl DataPartitionReplica {
         if let Some(c) = self.committed.get_mut(&extent) {
             *c = (*c).min(size);
         }
+        self.persist_meta();
         Ok(())
     }
 
@@ -215,6 +407,7 @@ impl DataPartitionReplica {
     /// Queue a whole-extent deletion (large file).
     pub fn queue_delete_extent(&mut self, extent: ExtentId) {
         self.delete_queue.push(DeleteTask::Extent(extent));
+        self.persist_meta();
     }
 
     /// Queue a punch-hole deletion (small file).
@@ -224,6 +417,7 @@ impl DataPartitionReplica {
             offset,
             len,
         });
+        self.persist_meta();
     }
 
     /// Process every queued deletion; returns how many were executed.
@@ -251,6 +445,7 @@ impl DataPartitionReplica {
                 }
             }
         }
+        self.persist_meta();
         n
     }
 
@@ -373,6 +568,49 @@ mod tests {
         r.queue_punch(loc.extent_id, loc.offset, loc.len);
         assert_eq!(r.process_delete_queue(), 2);
         assert_eq!(r.stats().store.punched_bytes, 4096);
+    }
+
+    #[test]
+    fn persistent_replica_restores_from_engine_alone() {
+        use cfs_kvwal::LsmOptions;
+        use cfs_types::testutil::TempDir;
+        let dir = TempDir::new("replica").unwrap();
+        let pid = PartitionId(42);
+        let (extent, loc) = {
+            let engine = Arc::new(LsmEngine::open(dir.path(), LsmOptions::default()).unwrap());
+            let mut r = DataPartitionReplica::new_persistent(
+                pid,
+                VolumeId(7),
+                vec![NodeId(1), NodeId(2)],
+                1 << 20,
+                0,
+                engine,
+            )
+            .unwrap();
+            let e = r.allocate_extent().unwrap();
+            r.apply_append(e, 0, &[9u8; 300]).unwrap();
+            r.commit(e, 300);
+            let loc = r.write_small(&[5u8; 4096]).unwrap();
+            r.queue_punch(loc.extent_id, loc.offset, loc.len);
+            r.queue_delete_extent(ExtentId(999));
+            r.set_read_only(true);
+            (e, loc)
+        };
+        // Reopen the engine from disk and rebuild the replica from it alone.
+        let engine = Arc::new(LsmEngine::open(dir.path(), LsmOptions::default()).unwrap());
+        let mut r = DataPartitionReplica::restore(pid, engine).unwrap();
+        assert_eq!(r.members(), &[NodeId(1), NodeId(2)]);
+        assert!(r.is_read_only());
+        assert_eq!(r.committed(extent), 300);
+        assert_eq!(r.read(extent, 0, 300, true).unwrap(), vec![9u8; 300]);
+        assert_eq!(
+            r.read(loc.extent_id, loc.offset, loc.len as usize, false)
+                .unwrap(),
+            vec![5u8; 4096]
+        );
+        assert_eq!(r.pending_deletes(), 2, "delete queue survives restart");
+        assert_eq!(r.process_delete_queue(), 2);
+        assert!(r.stats().store.punched_bytes >= 4096);
     }
 
     #[test]

@@ -447,6 +447,166 @@ fn overwrite_on_follower_redirects_to_raft_leader() {
 }
 
 #[test]
+fn engine_backed_cluster_survives_whole_cluster_power_loss() {
+    use cfs_types::testutil::TempDir;
+
+    let root = TempDir::new("data-powerloss").unwrap();
+    let dir_for = |i: u64| root.path().join(format!("data-{i}"));
+
+    let boot = |seed: u64| -> Cluster {
+        let hub = RaftHub::new();
+        let net: Network<DataRequest, cfs_types::Result<DataResponse>> = Network::new();
+        let faults = FaultState::new();
+        hub.set_faults(faults.clone());
+        net.set_faults(faults.clone());
+        let nodes: Vec<Arc<DataNode>> = (1..=3u64)
+            .map(|i| {
+                DataNode::open(
+                    NodeId(i),
+                    hub.clone(),
+                    net.clone(),
+                    &dir_for(i),
+                    RaftConfig::default(),
+                    seed,
+                )
+                .unwrap()
+            })
+            .collect();
+        for node in &nodes {
+            let n = node.clone();
+            net.register(node.id(), Arc::new(move |_from, req| n.handle(req)));
+        }
+        Cluster {
+            hub,
+            net,
+            faults,
+            nodes,
+        }
+    };
+
+    // Boot 1: write through every replication path, then "pull the plug"
+    // on the whole cluster by dropping every node.
+    let (p, members, e, loc, pre_manifests);
+    {
+        let c = boot(7);
+        let (pid, m) = mk_partition(&c, 1);
+        let leader = m[0];
+        let ext = create_extent(&c, pid, leader);
+        append(&c, pid, ext, 0, b"durable bytes", &m).unwrap();
+        let small = match c
+            .net
+            .call(
+                NodeId(99),
+                leader,
+                DataRequest::WriteSmall {
+                    partition: pid,
+                    data: Bytes::from(vec![8u8; 2048]),
+                    replicas: m.clone(),
+                },
+            )
+            .unwrap()
+            .unwrap()
+        {
+            DataResponse::Small(l) => l,
+            other => panic!("unexpected {other:?}"),
+        };
+        let raft_leader = c
+            .nodes
+            .iter()
+            .find(|n| n.is_raft_leader_for(pid))
+            .unwrap()
+            .id();
+        c.net
+            .call(
+                NodeId(99),
+                raft_leader,
+                DataRequest::Overwrite {
+                    partition: pid,
+                    extent: ext,
+                    offset: 0,
+                    data: Bytes::from_static(b"DUR"),
+                },
+            )
+            .unwrap()
+            .unwrap();
+        for _ in 0..200 {
+            c.hub.tick_and_pump();
+        }
+        pre_manifests = c
+            .nodes
+            .iter()
+            .map(|n| n.extent_manifest(pid).unwrap())
+            .collect::<Vec<_>>();
+        p = pid;
+        members = m;
+        e = ext;
+        loc = small;
+    } // power loss: every node Arc dropped, hub registrations die
+
+    // Boot 2: every node restores from its engine directory alone.
+    let c = boot(8);
+    for (i, node) in c.nodes.iter().enumerate() {
+        assert_eq!(node.partition_count(), 1, "node {i} restored its replica");
+        assert_eq!(node.hosted_partitions(), vec![(p, members.clone())]);
+    }
+    assert!(c
+        .hub
+        .pump_until(|| c.nodes.iter().any(|n| n.is_raft_leader_for(p)), 10_000));
+
+    // Recovered state ≡ pre-crash acknowledged state, byte for byte.
+    let post_manifests: Vec<_> = c
+        .nodes
+        .iter()
+        .map(|n| n.extent_manifest(p).unwrap())
+        .collect();
+    assert_eq!(post_manifests, pre_manifests);
+
+    // Committed reads still serve the overwritten-then-committed bytes.
+    match c
+        .net
+        .call(
+            NodeId(99),
+            members[0],
+            DataRequest::Read {
+                partition: p,
+                extent: e,
+                offset: 0,
+                len: 64,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert_eq!(d, b"DURable bytes"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match c
+        .net
+        .call(
+            NodeId(99),
+            members[0],
+            DataRequest::Read {
+                partition: p,
+                extent: loc.extent_id,
+                offset: loc.offset,
+                len: loc.len,
+                enforce_committed: true,
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::Data(d) => assert_eq!(d, vec![8u8; 2048]),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The write path resumes exactly at the recovered watermark.
+    let w = append(&c, p, e, 13, b"!", &members).unwrap();
+    assert_eq!(w, 14);
+}
+
+#[test]
 fn read_only_partition_rejects_new_appends() {
     let c = cluster(3);
     let (p, members) = mk_partition(&c, 1);

@@ -1,0 +1,299 @@
+//! Immutable sorted runs and leveled compaction.
+//!
+//! A *run* is one immutable sorted file of `(key, value-or-tombstone)`
+//! entries, the LSM tree's on-disk unit. Runs are written to a `tmp-` name
+//! and atomically renamed into place, and carry a whole-file CRC footer, so
+//! a crash mid-write leaves either no run or an invalid one — recovery
+//! ignores (and removes) both, which is what the crash-during-compaction
+//! test pins.
+//!
+//! File name: `run-<level:02>-<seq:020>.sst`. `seq` is engine-global and
+//! monotonic; within a level, a higher sequence number is newer and takes
+//! precedence (a compaction output shadows any leftover inputs a crash
+//! failed to delete).
+//!
+//! On-disk layout (all little-endian):
+//!
+//! ```text
+//! magic "CFSRUN1\0" | wal_upto u64 | count u64
+//! count × [ klen u32 | key | tag u8 (0=tombstone,1=value) | (vlen u32 | value)? ]
+//! crc32 over everything above (u32)
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cfs_types::crc::crc32;
+use cfs_types::{CfsError, Result};
+
+const RUN_MAGIC: &[u8; 8] = b"CFSRUN1\0";
+
+/// One key's state in a run: a value or a tombstone.
+pub(crate) type RunEntry = (Vec<u8>, Option<Vec<u8>>);
+
+/// An immutable sorted run, fully resident after load. The file is the
+/// durable source of truth; the in-memory copy is the read path.
+#[derive(Debug)]
+pub(crate) struct Run {
+    pub level: usize,
+    pub seq: u64,
+    /// Highest WAL sequence whose records are reflected in this run.
+    pub wal_upto: u64,
+    pub path: PathBuf,
+    /// Sorted strictly ascending by key.
+    pub entries: Vec<RunEntry>,
+    /// Total encoded bytes (compaction sizing).
+    pub bytes: u64,
+}
+
+impl Run {
+    /// Binary-search lookup. `Some(None)` is an explicit tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<&Option<Vec<u8>>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// File name for a run.
+pub(crate) fn run_file_name(level: usize, seq: u64) -> String {
+    format!("run-{level:02}-{seq:020}.sst")
+}
+
+/// Parse `(level, seq)` out of a run file name.
+pub(crate) fn parse_run_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("run-")?.strip_suffix(".sst")?;
+    let (level, seq) = rest.split_once('-')?;
+    Some((level.parse().ok()?, seq.parse().ok()?))
+}
+
+/// True for the temp names `write_run` stages through.
+pub(crate) fn is_tmp_run(name: &str) -> bool {
+    name.starts_with("tmp-run-")
+}
+
+fn encode_run(wal_upto: u64, entries: &[RunEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + entries.len() * 32);
+    buf.extend_from_slice(RUN_MAGIC);
+    buf.extend_from_slice(&wal_upto.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (k, v) in entries {
+        buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        buf.extend_from_slice(k);
+        match v {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                buf.extend_from_slice(v);
+            }
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode_run(buf: &[u8]) -> Result<(u64, Vec<RunEntry>)> {
+    let corrupt = |what: &str| CfsError::Corrupt(format!("run file: {what}"));
+    if buf.len() < RUN_MAGIC.len() + 16 + 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 4);
+    let crc = u32::from_le_bytes(tail.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(corrupt("crc mismatch"));
+    }
+    if &body[..8] != RUN_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let wal_upto = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let count = u64::from_le_bytes(body[16..24].try_into().unwrap()) as usize;
+    let mut pos = 24;
+    let mut entries = Vec::with_capacity(count.min(body.len() / 8));
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if body.len() - *pos < n {
+            return Err(CfsError::Corrupt("run file: truncated entry".into()));
+        }
+        let s = &body[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let key = take(&mut pos, klen)?.to_vec();
+        let value = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => {
+                let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                Some(take(&mut pos, vlen)?.to_vec())
+            }
+            b => return Err(corrupt(&format!("bad entry tag {b}"))),
+        };
+        entries.push((key, value));
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((wal_upto, entries))
+}
+
+/// Write a sorted run: stage to `tmp-`, fsync, rename into place. The
+/// rename is the commit point; everything before it is invisible to
+/// recovery.
+pub(crate) fn write_run(
+    dir: &Path,
+    level: usize,
+    seq: u64,
+    wal_upto: u64,
+    entries: Vec<RunEntry>,
+) -> Result<Arc<Run>> {
+    debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "run sorted");
+    let buf = encode_run(wal_upto, &entries);
+    let bytes = buf.len() as u64;
+    let final_path = dir.join(run_file_name(level, seq));
+    let tmp_path = dir.join(format!("tmp-{}", run_file_name(level, seq)));
+    fs::write(&tmp_path, &buf)?;
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(Arc::new(Run {
+        level,
+        seq,
+        wal_upto,
+        path: final_path,
+        entries,
+        bytes,
+    }))
+}
+
+/// Load and validate one run file. Errors mean the file must be ignored
+/// (half-written output of a crashed compaction or flush).
+pub(crate) fn load_run(path: &Path) -> Result<Arc<Run>> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| CfsError::Corrupt("run file: unreadable name".into()))?;
+    let (level, seq) =
+        parse_run_name(name).ok_or_else(|| CfsError::Corrupt("run file: bad name".into()))?;
+    let buf = fs::read(path)?;
+    let bytes = buf.len() as u64;
+    let (wal_upto, entries) = decode_run(&buf)?;
+    Ok(Arc::new(Run {
+        level,
+        seq,
+        wal_upto,
+        path: path.to_path_buf(),
+        entries,
+        bytes,
+    }))
+}
+
+/// K-way merge of runs given in precedence order (index 0 wins ties).
+/// With `drop_tombstones` (only safe when merging into the bottom of the
+/// tree) deleted keys vanish instead of propagating.
+pub(crate) fn merge_runs(inputs: &[Arc<Run>], drop_tombstones: bool) -> Vec<RunEntry> {
+    let mut cursors: Vec<usize> = vec![0; inputs.len()];
+    let mut out: Vec<RunEntry> = Vec::new();
+    loop {
+        // Smallest key across cursors; first input wins ties.
+        let mut best: Option<(&[u8], usize)> = None;
+        for (i, run) in inputs.iter().enumerate() {
+            if let Some((k, _)) = run.entries.get(cursors[i]) {
+                match best {
+                    Some((bk, _)) if bk <= k.as_slice() => {}
+                    _ => best = Some((k.as_slice(), i)),
+                }
+            }
+        }
+        let Some((key, winner)) = best else { break };
+        let key = key.to_vec();
+        let value = inputs[winner].entries[cursors[winner]].1.clone();
+        for (i, run) in inputs.iter().enumerate() {
+            if run
+                .entries
+                .get(cursors[i])
+                .is_some_and(|(k, _)| k.as_slice() == key.as_slice())
+            {
+                cursors[i] += 1;
+            }
+        }
+        if !(drop_tombstones && value.is_none()) {
+            out.push((key, value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_types::testutil::TempDir;
+
+    fn e(k: &str, v: Option<&str>) -> RunEntry {
+        (k.as_bytes().to_vec(), v.map(|s| s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn run_roundtrip_through_disk() {
+        let dir = TempDir::new("run").unwrap();
+        let entries = vec![e("a", Some("1")), e("b", None), e("c", Some("3"))];
+        let run = write_run(dir.path(), 0, 7, 42, entries.clone()).unwrap();
+        assert_eq!(run.wal_upto, 42);
+        let back = load_run(&run.path).unwrap();
+        assert_eq!(back.entries, entries);
+        assert_eq!(back.level, 0);
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.wal_upto, 42);
+        assert_eq!(back.get(b"b"), Some(&None));
+        assert_eq!(back.get(b"c"), Some(&Some(b"3".to_vec())));
+        assert_eq!(back.get(b"z"), None);
+    }
+
+    #[test]
+    fn truncated_run_is_rejected_at_every_cut() {
+        let dir = TempDir::new("run").unwrap();
+        let run = write_run(dir.path(), 1, 3, 9, vec![e("k", Some("v"))]).unwrap();
+        let full = fs::read(&run.path).unwrap();
+        for cut in 0..full.len() {
+            assert!(decode_run(&full[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // A bit flip anywhere also fails the crc.
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_run(&bad).is_err(), "flip {i} accepted");
+        }
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        let name = run_file_name(2, 99);
+        assert_eq!(parse_run_name(&name), Some((2, 99)));
+        assert_eq!(parse_run_name("wal-0001.log"), None);
+        assert!(is_tmp_run(&format!("tmp-{name}")));
+        assert!(!is_tmp_run(&name));
+    }
+
+    #[test]
+    fn merge_respects_precedence_and_drops_tombstones() {
+        let dir = TempDir::new("run").unwrap();
+        let newer =
+            write_run(dir.path(), 0, 2, 0, vec![e("a", Some("new")), e("b", None)]).unwrap();
+        let older = write_run(
+            dir.path(),
+            1,
+            1,
+            0,
+            vec![e("a", Some("old")), e("b", Some("1")), e("c", Some("2"))],
+        )
+        .unwrap();
+        let kept = merge_runs(&[newer.clone(), older.clone()], false);
+        assert_eq!(
+            kept,
+            vec![e("a", Some("new")), e("b", None), e("c", Some("2"))]
+        );
+        let dropped = merge_runs(&[newer, older], true);
+        assert_eq!(dropped, vec![e("a", Some("new")), e("c", Some("2"))]);
+    }
+}

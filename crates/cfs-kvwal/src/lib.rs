@@ -1,22 +1,31 @@
-//! Write-ahead-logged key-value store with snapshots.
+//! Log-structured persistence engine (RocksDB substitute).
 //!
 //! The paper's resource manager persists its replicated state to "a
 //! key-value store such as RocksDB for backup and recovery" (§2). This crate
-//! is that substrate, built from scratch:
+//! is that substrate, built from scratch, in two generations:
 //!
-//! * an in-memory ordered map (`std::collections::BTreeMap`) as the working
-//!   set,
-//! * a crash-safe [`wal::Wal`] of CRC-framed put/delete records,
-//! * full-state snapshots plus WAL truncation ([`store::KvStore::compact`]),
-//!   mirroring the log-compaction technique the paper applies to shorten
-//!   recovery (§2.1.3),
-//! * recovery = newest valid snapshot + replay of newer WAL records, with a
-//!   torn tail (partial final record) tolerated and truncated.
+//! * [`LsmEngine`] — the real engine: typed column families ([`cf`]) with
+//!   codec keys/values and atomic [`WriteBatch`] commits, over an LSM tree
+//!   (`lsm`) with a CRC-framed WAL, memtable flush to immutable sorted
+//!   runs, and leveled compaction (`compact`). Master state, raft
+//!   logs/snapshots and data-node extent images live on named families of
+//!   this engine, so a whole-cluster power loss restores from disk alone.
+//! * [`KvStore`] — the original single-map WAL+snapshot store, kept for
+//!   small flat state and benchmarks.
+//!
+//! Both share the same crash model: recovery = newest valid on-disk state +
+//! replay of newer WAL records, with a torn tail (partial final record)
+//! tolerated and truncated, and half-written snapshot/run files ignored.
 
+pub mod cf;
+mod compact;
+mod lsm;
 mod record;
 mod store;
 mod wal;
 
+pub use cf::{CfKey, TypedCf, WriteBatch};
+pub use lsm::{KvwalMetrics, LsmEngine, LsmOptions};
 pub use record::Record;
 pub use store::{KvStore, KvStoreOptions};
 pub use wal::Wal;

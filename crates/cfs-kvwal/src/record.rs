@@ -15,13 +15,21 @@ pub enum Record {
     Put { key: Vec<u8>, value: Vec<u8> },
     /// Remove `key` (idempotent).
     Delete { key: Vec<u8> },
+    /// An atomic multi-key batch (the LSM engine's write unit): each op is
+    /// `(key, Some(value))` for a put or `(key, None)` for a delete. One
+    /// frame per batch means the whole batch survives a crash or none of
+    /// it does.
+    Batch {
+        ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    },
 }
 
 impl Record {
-    /// The key this record affects.
+    /// The key this record affects (first key, for a batch).
     pub fn key(&self) -> &[u8] {
         match self {
             Record::Put { key, .. } | Record::Delete { key } => key,
+            Record::Batch { ops } => ops.first().map(|(k, _)| k.as_slice()).unwrap_or(&[]),
         }
     }
 
@@ -72,6 +80,10 @@ impl Encode for Record {
                 enc.put_u8(1);
                 enc.put_bytes(key);
             }
+            Record::Batch { ops } => {
+                enc.put_u8(2);
+                ops.encode(enc);
+            }
         }
     }
 }
@@ -85,6 +97,9 @@ impl Decode for Record {
             }),
             1 => Ok(Record::Delete {
                 key: dec.get_bytes()?.to_vec(),
+            }),
+            2 => Ok(Record::Batch {
+                ops: Vec::<(Vec<u8>, Option<Vec<u8>>)>::decode(dec)?,
             }),
             b => Err(CfsError::Corrupt(format!("invalid record tag {b}"))),
         }

@@ -93,6 +93,14 @@ impl KvStore {
                     Record::Delete { key } => {
                         map.remove(&key);
                     }
+                    Record::Batch { ops } => {
+                        for (key, value) in ops {
+                            match value {
+                                Some(v) => map.insert(key, v),
+                                None => map.remove(&key),
+                            };
+                        }
+                    }
                 }
             }
         }

@@ -76,6 +76,12 @@ impl Wal {
     /// Read every valid record of `wal-<seq>.log`, stopping (without error)
     /// at a torn tail.
     pub fn replay(dir: &Path, seq: u64) -> Result<Vec<Record>> {
+        Ok(Self::replay_with_len(dir, seq)?.0)
+    }
+
+    /// [`Wal::replay`], also returning the byte length of the valid prefix
+    /// (the offset of the torn tail, if any).
+    pub fn replay_with_len(dir: &Path, seq: u64) -> Result<(Vec<Record>, u64)> {
         let path = Self::path_for(dir, seq);
         let mut buf = Vec::new();
         File::open(&path)?.read_to_end(&mut buf)?;
@@ -85,7 +91,19 @@ impl Wal {
             records.push(rec);
             pos += used;
         }
-        Ok(records)
+        Ok((records, pos as u64))
+    }
+
+    /// Cut a torn tail off `wal-<seq>.log` so future appends extend a
+    /// valid log. Call with the valid-prefix length from
+    /// [`Wal::replay_with_len`]; a no-op when the file is already clean.
+    pub fn truncate_to(dir: &Path, seq: u64, len: u64) -> Result<()> {
+        let path = Self::path_for(dir, seq);
+        let file = OpenOptions::new().write(true).open(&path)?;
+        if file.metadata()?.len() > len {
+            file.set_len(len)?;
+        }
+        Ok(())
     }
 
     /// Delete the backing file of an old log.

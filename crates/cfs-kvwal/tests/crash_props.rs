@@ -1,0 +1,216 @@
+//! Crash-consistency property tests for the LSM engine.
+//!
+//! * Torn-tail WAL: truncate the log at *every byte offset* of the final
+//!   record and recover — the store must equal the last fully-synced
+//!   prefix; a partial record is never applied.
+//! * Compaction equivalence: an engine that flushes and compacts at
+//!   arbitrary points must present exactly the read view of an
+//!   uncompacted twin that kept everything in its memtable + WAL.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cfs_kvwal::{LsmEngine, LsmOptions, TypedCf, WriteBatch};
+use cfs_types::testutil::TempDir;
+
+struct KvCf;
+impl TypedCf for KvCf {
+    const NAME: &'static str = "kv";
+    type Key = u64;
+    type Value = Vec<u8>;
+}
+
+/// One randomized mutation: `value: None` deletes.
+#[derive(Debug, Clone)]
+struct Op {
+    key: u64,
+    value: Option<Vec<u8>>,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0u64..24,
+        0u8..10,
+        proptest::collection::vec(any::<u8>(), 0..48),
+    )
+        .prop_map(|(key, kind, bytes)| Op {
+            key,
+            // ~1 in 5 ops is a delete; the rest write the random payload.
+            value: if kind < 2 { None } else { Some(bytes) },
+        })
+}
+
+fn apply_model(model: &mut BTreeMap<u64, Vec<u8>>, op: &Op) {
+    match &op.value {
+        Some(v) => {
+            model.insert(op.key, v.clone());
+        }
+        None => {
+            model.remove(&op.key);
+        }
+    }
+}
+
+fn apply_engine(db: &LsmEngine, op: &Op) {
+    match &op.value {
+        Some(v) => db.put::<KvCf>(&op.key, v).unwrap(),
+        None => db.delete::<KvCf>(&op.key).unwrap(),
+    }
+}
+
+fn engine_view(db: &LsmEngine) -> BTreeMap<u64, Vec<u8>> {
+    db.scan::<KvCf>().unwrap().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Write a random op sequence with flushing disabled (everything stays
+    /// in one WAL), then truncate the log at every byte offset of the
+    /// final record and recover. Every cut strictly inside the final
+    /// record must recover exactly the prefix state; the full log must
+    /// recover the full state.
+    #[test]
+    fn prop_torn_tail_recovers_last_synced_prefix(
+        ops in proptest::collection::vec(op_strategy(), 2..14),
+    ) {
+        let no_flush = LsmOptions { flush_enabled: false, ..LsmOptions::default() };
+        let dir = TempDir::new("torn").unwrap();
+        let (prefix_model, full_model, wal_len_before_last, wal_seq) = {
+            let db = LsmEngine::open(dir.path(), no_flush.clone()).unwrap();
+            let wal_seq = db.wal_seq();
+            let (last, prefix) = ops.split_last().unwrap();
+            let mut prefix_model = BTreeMap::new();
+            for op in prefix {
+                apply_engine(&db, op);
+                apply_model(&mut prefix_model, op);
+            }
+            db.sync().unwrap();
+            let mut full_model = prefix_model.clone();
+            let len_before_last =
+                std::fs::metadata(cfs_kvwal::Wal::path_for(dir.path(), wal_seq)).unwrap().len();
+            apply_engine(&db, last);
+            apply_model(&mut full_model, last);
+            (prefix_model, full_model, len_before_last, wal_seq)
+        };
+        let wal_path = cfs_kvwal::Wal::path_for(dir.path(), wal_seq);
+        let full_bytes = std::fs::read(&wal_path).unwrap();
+        prop_assert!(full_bytes.len() as u64 > wal_len_before_last, "final record appended");
+
+        for cut in wal_len_before_last..=full_bytes.len() as u64 {
+            std::fs::write(&wal_path, &full_bytes[..cut as usize]).unwrap();
+            let db = LsmEngine::open(dir.path(), no_flush.clone()).unwrap();
+            let expect = if cut == full_bytes.len() as u64 { &full_model } else { &prefix_model };
+            prop_assert_eq!(
+                &engine_view(&db),
+                expect,
+                "cut {} of {} must yield the {} state",
+                cut,
+                full_bytes.len(),
+                if cut == full_bytes.len() as u64 { "full" } else { "prefix" }
+            );
+            // Recovery must also have cut the torn tail off the file so the
+            // log stays appendable.
+            let len_now = std::fs::metadata(&wal_path).unwrap().len();
+            prop_assert!(
+                len_now == wal_len_before_last || len_now == full_bytes.len() as u64,
+                "torn tail truncated (len {} after cut {})", len_now, cut
+            );
+        }
+    }
+
+    /// Random ops with flushes + compactions forced at arbitrary points
+    /// must be indistinguishable — point reads, full iteration, and
+    /// post-restart state — from an uncompacted twin.
+    #[test]
+    fn prop_compaction_equivalent_to_uncompacted_twin(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        structure in proptest::collection::vec(0u8..10, 1..80),
+    ) {
+        let compacting = TempDir::new("lsm-a").unwrap();
+        let twin = TempDir::new("lsm-b").unwrap();
+        // Tiny thresholds so the structure stream actually reshapes the tree.
+        let a = LsmEngine::open(compacting.path(), LsmOptions {
+            memtable_flush_bytes: 128,
+            l0_compact_runs: 2,
+            level_base_bytes: 512,
+            ..LsmOptions::default()
+        }).unwrap();
+        let b = LsmEngine::open(twin.path(), LsmOptions {
+            flush_enabled: false,
+            ..LsmOptions::default()
+        }).unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            apply_engine(&a, op);
+            apply_engine(&b, op);
+            match structure[i % structure.len()] {
+                0 => a.flush().unwrap(),
+                1 => a.compact_all().unwrap(),
+                _ => {}
+            }
+        }
+
+        prop_assert_eq!(engine_view(&a), engine_view(&b), "iterator views diverge");
+        for key in 0u64..24 {
+            prop_assert_eq!(
+                a.get::<KvCf>(&key).unwrap(),
+                b.get::<KvCf>(&key).unwrap(),
+                "point read diverges at key {}", key
+            );
+        }
+
+        // Both recover to the same state from disk alone.
+        drop(a);
+        drop(b);
+        let a = LsmEngine::open(compacting.path(), LsmOptions::default()).unwrap();
+        let b = LsmEngine::open(twin.path(), LsmOptions::default()).unwrap();
+        prop_assert_eq!(engine_view(&a), engine_view(&b), "post-restart views diverge");
+    }
+}
+
+/// A batch commits atomically even when the WAL tears inside it: either
+/// every op of the final batch is applied after recovery or none is.
+#[test]
+fn torn_batch_is_all_or_nothing() {
+    let no_flush = LsmOptions {
+        flush_enabled: false,
+        ..LsmOptions::default()
+    };
+    let dir = TempDir::new("torn-batch").unwrap();
+    let wal_seq;
+    let base_len;
+    {
+        let db = LsmEngine::open(dir.path(), no_flush.clone()).unwrap();
+        wal_seq = db.wal_seq();
+        db.put::<KvCf>(&1, &b"base".to_vec()).unwrap();
+        db.sync().unwrap();
+        base_len = std::fs::metadata(cfs_kvwal::Wal::path_for(dir.path(), wal_seq))
+            .unwrap()
+            .len();
+        let mut batch = WriteBatch::new();
+        batch.put::<KvCf>(&2, &b"two".to_vec());
+        batch.put::<KvCf>(&3, &b"three".to_vec());
+        batch.delete::<KvCf>(&1);
+        db.write(batch).unwrap();
+    }
+    let wal_path = cfs_kvwal::Wal::path_for(dir.path(), wal_seq);
+    let full = std::fs::read(&wal_path).unwrap();
+    for cut in base_len..full.len() as u64 {
+        std::fs::write(&wal_path, &full[..cut as usize]).unwrap();
+        let db = LsmEngine::open(dir.path(), no_flush.clone()).unwrap();
+        assert_eq!(
+            engine_view(&db),
+            BTreeMap::from([(1, b"base".to_vec())]),
+            "cut {cut}: torn batch must not partially apply"
+        );
+    }
+    std::fs::write(&wal_path, &full).unwrap();
+    let db = LsmEngine::open(dir.path(), no_flush).unwrap();
+    assert_eq!(
+        engine_view(&db),
+        BTreeMap::from([(2, b"two".to_vec()), (3, b"three".to_vec())]),
+        "complete batch applies fully"
+    );
+}

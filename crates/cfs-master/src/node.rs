@@ -6,10 +6,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use cfs_kvwal::{KvStore, KvStoreOptions};
+use cfs_kvwal::{LsmEngine, LsmOptions, TypedCf, WriteBatch};
 use cfs_obs::{Counter, Registry, RpcRoute};
 use cfs_raft::hub::{RaftHost, RaftHub};
-use cfs_raft::{MultiRaft, RaftConfig, RaftMetrics, SnapshotPayload, WireEnvelope};
+use cfs_raft::{
+    KvRaftStorage, MultiRaft, RaftConfig, RaftMetrics, RaftStorage, SnapshotPayload, WireEnvelope,
+};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, ClusterConfig, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
 
@@ -22,8 +24,40 @@ use crate::state::{
 /// double as group ids.
 pub const MASTER_GROUP: RaftGroupId = RaftGroupId(u64::MAX);
 
-/// Snapshot the kv-persisted state every this many applied commands.
+/// Snapshot the engine-persisted state every this many applied commands.
 const PERSIST_SNAPSHOT_EVERY: u64 = 256;
+
+/// Durable state-machine snapshot column family: key `0` →
+/// `(applied_index, snapshot bytes)`.
+struct SnapCf;
+impl TypedCf for SnapCf {
+    const NAME: &'static str = "master_snap";
+    type Key = u64;
+    type Value = (u64, Vec<u8>);
+}
+
+/// Applied commands newer than the snapshot: raft index → encoded command.
+struct CmdCf;
+impl TypedCf for CmdCf {
+    const NAME: &'static str = "master_cmd";
+    type Key = u64;
+    type Value = Vec<u8>;
+}
+
+/// Persist a state-machine snapshot and prune the commands it covers, as
+/// one atomic engine commit.
+fn persist_snapshot(engine: &LsmEngine, idx: u64, snap: &[u8]) {
+    let mut b = WriteBatch::new();
+    b.put::<SnapCf>(&0, &(idx, snap.to_vec()));
+    if let Ok(cmds) = engine.scan::<CmdCf>() {
+        for (i, _) in cmds {
+            if i <= idx {
+                b.delete::<CmdCf>(&i);
+            }
+        }
+    }
+    let _ = engine.write(b);
+}
 
 /// RPCs the resource manager serves. Clients use *non-persistent
 /// connections* (§2.5.2) — every request here is independent.
@@ -104,15 +138,17 @@ pub enum MasterResponse {
 struct Inner {
     multiraft: MultiRaft,
     state: MasterState,
-    kv: KvStore,
+    engine: Arc<LsmEngine>,
     results: HashMap<u64, Result<ApplyOutcome>>,
     applied_since_snapshot: u64,
     applied_index: u64,
 }
 
 /// One resource-manager replica (§2.3). The replicas form a single Raft
-/// group; state is mirrored into a [`KvStore`] so a restarted replica
-/// recovers its state machine from local disk (the paper's RocksDB role).
+/// group; state is mirrored into an [`LsmEngine`] — snapshot + newer
+/// commands on typed column families, plus the group's raft log and hard
+/// state via [`KvRaftStorage`] — so a restarted replica recovers entirely
+/// from local disk (the paper's RocksDB role).
 pub struct MasterNode {
     id: NodeId,
     hub: RaftHub,
@@ -158,26 +194,21 @@ impl MasterNode {
         seed: u64,
         registry: Option<&Registry>,
     ) -> Result<Arc<Self>> {
-        let kv = KvStore::open(dir, KvStoreOptions::default())?;
+        let engine = Arc::new(LsmEngine::open_with_registry(
+            dir,
+            LsmOptions::default(),
+            registry,
+        )?);
 
         // Recover the state machine: snapshot + newer command replay.
-        let mut state = match kv.get(b"snap") {
-            Some(bytes) => MasterState::from_snapshot(cluster_config.clone(), bytes)?,
-            None => MasterState::new(cluster_config.clone()),
+        let (mut state, mut applied_index) = match engine.get::<SnapCf>(&0)? {
+            Some((idx, bytes)) => (
+                MasterState::from_snapshot(cluster_config.clone(), &bytes)?,
+                idx,
+            ),
+            None => (MasterState::new(cluster_config.clone()), 0),
         };
-        let mut applied_index = kv
-            .get(b"snap_index")
-            .map(u64::from_bytes)
-            .transpose()?
-            .unwrap_or(0);
-        let replay: Vec<(u64, Vec<u8>)> = kv
-            .scan_prefix(b"cmd/")
-            .filter_map(|(k, v)| {
-                let idx: u64 = std::str::from_utf8(&k[4..]).ok()?.parse().ok()?;
-                Some((idx, v.to_vec()))
-            })
-            .collect();
-        for (idx, bytes) in replay {
+        for (idx, bytes) in engine.scan::<CmdCf>()? {
             if idx > applied_index {
                 let cmd = MasterCommand::from_bytes(&bytes)?;
                 let _ = state.apply(&cmd); // deterministic errors are fine
@@ -189,7 +220,25 @@ impl MasterNode {
         if let Some(r) = registry {
             multiraft.set_metrics(RaftMetrics::bind(r));
         }
-        multiraft.create_group(MASTER_GROUP, members)?;
+        // The master group's raft log, hard state and snapshot live on the
+        // same engine, so every ack the group sent is on disk.
+        let storage = Arc::new(KvRaftStorage::new(engine.clone()));
+        multiraft.set_storage(storage.clone())?;
+        match storage.load(MASTER_GROUP)? {
+            Some(persisted) => {
+                // If the durable raft image is ahead of the state machine
+                // (e.g. an InstallSnapshot landed right before the crash),
+                // jump the state machine to the snapshot.
+                if let Some(snap) = &persisted.snapshot {
+                    if snap.last_index > applied_index {
+                        state = MasterState::from_snapshot(cluster_config.clone(), &snap.data)?;
+                        applied_index = snap.last_index;
+                    }
+                }
+                multiraft.restore_group(MASTER_GROUP, members, persisted)?;
+            }
+            None => multiraft.create_group(MASTER_GROUP, members)?,
+        }
 
         let node = Arc::new(MasterNode {
             id,
@@ -197,7 +246,7 @@ impl MasterNode {
             inner: Mutex::new(Inner {
                 multiraft,
                 state,
-                kv,
+                engine,
                 results: HashMap::new(),
                 applied_since_snapshot: 0,
                 applied_index,
@@ -379,8 +428,7 @@ impl RaftHost for MasterNode {
                 if let Ok(st) = MasterState::from_snapshot(inner.state.config().clone(), &snap.data)
                 {
                     inner.state = st;
-                    let _ = inner.kv.put(b"snap", &snap.data);
-                    let _ = inner.kv.put(b"snap_index", &snap.last_index.to_bytes());
+                    persist_snapshot(&inner.engine, snap.last_index, &snap.data);
                     inner.applied_index = snap.last_index;
                 }
             }
@@ -394,6 +442,11 @@ impl RaftHost for MasterNode {
                 if entry.data.is_empty() {
                     continue;
                 }
+                // After a restore, raft re-delivers entries the recovered
+                // state machine already applied; skip them.
+                if entry.index <= inner.applied_index {
+                    continue;
+                }
                 let result = match MasterCommand::from_bytes(&entry.data) {
                     Ok(cmd) => {
                         let r = inner.state.apply(&cmd);
@@ -404,8 +457,7 @@ impl RaftHost for MasterNode {
                             }
                         }
                         // Persist the command for restart recovery.
-                        let key = format!("cmd/{:020}", entry.index);
-                        let _ = inner.kv.put(key.as_bytes(), &entry.data);
+                        let _ = inner.engine.put::<CmdCf>(&entry.index, &entry.data);
                         inner.applied_index = entry.index;
                         inner.applied_since_snapshot += 1;
                         r
@@ -422,24 +474,8 @@ impl RaftHost for MasterNode {
             if inner.applied_since_snapshot >= PERSIST_SNAPSHOT_EVERY {
                 let snap = inner.state.snapshot_bytes();
                 let idx = inner.applied_index;
-                let _ = inner.kv.put(b"snap", &snap);
-                let _ = inner.kv.put(b"snap_index", &idx.to_bytes());
-                let stale: Vec<Vec<u8>> = inner
-                    .kv
-                    .scan_prefix(b"cmd/")
-                    .filter(|(k, _)| {
-                        std::str::from_utf8(&k[4..])
-                            .ok()
-                            .and_then(|s| s.parse::<u64>().ok())
-                            .map(|i| i <= idx)
-                            .unwrap_or(true)
-                    })
-                    .map(|(k, _)| k.to_vec())
-                    .collect();
-                for k in stale {
-                    let _ = inner.kv.delete(&k);
-                }
-                let _ = inner.kv.compact();
+                persist_snapshot(&inner.engine, idx, &snap);
+                let _ = inner.engine.flush();
                 inner.applied_since_snapshot = 0;
 
                 // Raft log compaction with the same snapshot.

@@ -1,16 +1,18 @@
 //! The meta node: many partitions behind one MultiRaft instance.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use cfs_kvwal::{LsmEngine, LsmOptions, TypedCf};
 use cfs_obs::{Counter, Registry, RpcRoute};
 use cfs_raft::hub::{RaftHost, RaftHub};
 use cfs_raft::{
-    decode_batch_frame, MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics, SnapshotPayload,
-    WireEnvelope,
+    decode_batch_frame, KvRaftStorage, MultiRaft, PersistentRaftState, RaftConfig, RaftMetrics,
+    RaftStorage, SnapshotPayload, WireEnvelope,
 };
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{CfsError, InodeId, NodeId, PartitionId, RaftGroupId, Result, VolumeId};
@@ -85,6 +87,25 @@ pub enum MetaResponse {
     Report(Vec<PartitionInfo>),
 }
 
+/// Hosted-partition registry column family: partition id → (encoded
+/// [`MetaPartitionConfig`], replica members). An engine-backed node
+/// re-hosts exactly these partitions on reopen.
+struct PartCf;
+impl TypedCf for PartCf {
+    const NAME: &'static str = "meta_parts";
+    type Key = u64;
+    type Value = (Vec<u8>, Vec<NodeId>);
+}
+
+/// Paged-out partition trees (cold-inode paging): partition id → the
+/// tree's snapshot bytes at page-out time.
+struct ColdCf;
+impl TypedCf for ColdCf {
+    const NAME: &'static str = "meta_cold";
+    type Key = u64;
+    type Value = Vec<u8>;
+}
+
 /// Durable image of a meta node, captured at crash time: each hosted
 /// partition's config, replica membership, and the raft group's
 /// persistent state (term, vote, log, last compaction snapshot). The live
@@ -112,6 +133,10 @@ struct MetaObs {
     lease_reads: Counter,
     /// Reads that fell back to a quorum round (ReadIndex-style barrier).
     quorum_reads: Counter,
+    /// Partition trees persisted + dropped from memory (cold paging).
+    pages_out: Counter,
+    /// Partition trees transparently reloaded from the engine on access.
+    pages_in: Counter,
 }
 
 impl MetaObs {
@@ -124,6 +149,8 @@ impl MetaObs {
             batch_entries: registry.counter("raft.batch.entries"),
             lease_reads: registry.counter("meta.lease_reads"),
             quorum_reads: registry.counter("meta.quorum_reads"),
+            pages_out: registry.counter("meta.pages_out"),
+            pages_in: registry.counter("meta.pages_in"),
         }
     }
 
@@ -157,6 +184,10 @@ struct Inner {
     ticket_results: HashMap<u64, Result<MetaValue>>,
     next_ticket: u64,
     obs: Option<MetaObs>,
+    /// Durable storage engine (`None` = in-memory crash-image model).
+    /// Holds partition configs, paged-out trees, and — via
+    /// [`KvRaftStorage`] — every hosted group's raft state.
+    engine: Option<Arc<LsmEngine>>,
 }
 
 impl Inner {
@@ -170,7 +201,33 @@ impl Inner {
             ticket_results: HashMap::new(),
             next_ticket: 1,
             obs,
+            engine: None,
         }
+    }
+
+    /// Cold-inode paging, inbound half: if `pid`'s tree was paged out,
+    /// reload it from the engine. No-op when resident or engine-less.
+    fn page_in(&mut self, pid: PartitionId) {
+        if self.partitions.contains_key(&pid) {
+            return;
+        }
+        let Some(engine) = &self.engine else { return };
+        if let Ok(Some(bytes)) = engine.get::<ColdCf>(&pid.raw()) {
+            if let Ok(p) = MetaPartition::from_snapshot(pid, &bytes) {
+                self.partitions.insert(pid, p);
+                if let Some(o) = self.obs.as_ref() {
+                    o.pages_in.inc();
+                }
+            }
+        }
+    }
+
+    /// Persist `pid`'s registry row (config + members) when engine-backed.
+    fn persist_partition_config(&self, pid: PartitionId, members: &[NodeId]) {
+        let (Some(engine), Some(p)) = (&self.engine, self.partitions.get(&pid)) else {
+            return;
+        };
+        let _ = engine.put::<PartCf>(&pid.raw(), &(p.config().to_bytes(), members.to_vec()));
     }
 
     /// Fail every ticket with the same error (group lost leadership, frame
@@ -290,6 +347,80 @@ impl MetaNode {
         node
     }
 
+    /// Open (or create) an *engine-backed* meta node persisting under
+    /// `dir`, and register it on the raft hub. Every partition previously
+    /// hosted here — config, raft hard state/log/snapshot, tree — is
+    /// restored from the engine alone, so the node survives a whole-node
+    /// power loss with no in-memory carryover.
+    pub fn open(
+        id: NodeId,
+        hub: RaftHub,
+        dir: &Path,
+        raft_config: RaftConfig,
+        seed: u64,
+    ) -> Result<Arc<Self>> {
+        Self::open_with_registry(id, hub, dir, raft_config, seed, None)
+    }
+
+    /// [`MetaNode::open`] with metrics bound to `registry`.
+    pub fn open_with_registry(
+        id: NodeId,
+        hub: RaftHub,
+        dir: &Path,
+        raft_config: RaftConfig,
+        seed: u64,
+        registry: Option<&Registry>,
+    ) -> Result<Arc<Self>> {
+        let engine = Arc::new(LsmEngine::open_with_registry(
+            dir,
+            LsmOptions::default(),
+            registry,
+        )?);
+        let mut multiraft = MultiRaft::new(id, raft_config, seed, true);
+        if let Some(r) = registry {
+            multiraft.set_metrics(RaftMetrics::bind(r));
+        }
+        let storage = Arc::new(KvRaftStorage::new(engine.clone()));
+        multiraft.set_storage(storage.clone())?;
+
+        // Re-host every registered partition. The tree restarts from the
+        // group's durable snapshot (or empty); committed entries above the
+        // snapshot base re-apply through the normal `Ready` path (§2.1.3).
+        let mut partitions = HashMap::new();
+        for (_, (cfg_bytes, members)) in engine.scan::<PartCf>()? {
+            let config = MetaPartitionConfig::from_bytes(&cfg_bytes)?;
+            let pid = config.partition_id;
+            let gid = Self::group_of(pid);
+            match storage.load(gid)? {
+                Some(state) => {
+                    let partition = match &state.snapshot {
+                        Some(s) => MetaPartition::from_snapshot(pid, &s.data)?,
+                        None => MetaPartition::new(config),
+                    };
+                    multiraft.restore_group(gid, members, state)?;
+                    partitions.insert(pid, partition);
+                }
+                None => {
+                    multiraft.create_group(gid, members)?;
+                    partitions.insert(pid, MetaPartition::new(config));
+                }
+            }
+        }
+
+        let mut inner = Inner::fresh(multiraft, registry.map(MetaObs::new));
+        inner.partitions = partitions;
+        inner.engine = Some(engine);
+        let node = Arc::new(MetaNode {
+            id,
+            hub: hub.clone(),
+            inner: Mutex::new(inner),
+            commit_timeout_ticks: 2_000,
+            batching: AtomicBool::new(true),
+        });
+        hub.register(node.clone() as Arc<dyn RaftHost>);
+        Ok(node)
+    }
+
     /// Enable or disable write batching (group commit). On by default;
     /// the meta-ops ablation bench flips it off.
     pub fn set_batching(&self, on: bool) {
@@ -336,14 +467,18 @@ impl MetaNode {
     ) -> Result<()> {
         let mut inner = self.inner.lock();
         let pid = config.partition_id;
+        inner.page_in(pid);
         if let Some(existing) = inner.partitions.get(&pid) {
             if existing.config() == &config {
                 return Ok(());
             }
             return Err(CfsError::Exists(format!("{pid}")));
         }
-        inner.multiraft.create_group(Self::group_of(pid), members)?;
+        inner
+            .multiraft
+            .create_group(Self::group_of(pid), members.clone())?;
         inner.partitions.insert(pid, MetaPartition::new(config));
+        inner.persist_partition_config(pid, &members);
         Ok(())
     }
 
@@ -354,16 +489,18 @@ impl MetaNode {
     /// path. Idempotent for task retries.
     pub fn update_members(&self, partition: PartitionId, members: Vec<NodeId>) -> Result<()> {
         let mut inner = self.inner.lock();
+        inner.page_in(partition);
         if !inner.partitions.contains_key(&partition) {
             return Err(CfsError::NotFound(format!("{partition}")));
         }
         let gid = Self::group_of(partition);
         if let Some(state) = inner.multiraft.persist_group(gid) {
             inner.multiraft.remove_group(gid);
-            inner.multiraft.restore_group(gid, members, state)?;
+            inner.multiraft.restore_group(gid, members.clone(), state)?;
         } else {
-            inner.multiraft.create_group(gid, members)?;
+            inner.multiraft.create_group(gid, members.clone())?;
         }
+        inner.persist_partition_config(partition, &members);
         Ok(())
     }
 
@@ -373,7 +510,8 @@ impl MetaNode {
     /// barrier ([`Self::quorum_read`]).
     pub fn read(&self, partition: PartitionId, read: &MetaRead) -> Result<MetaValue> {
         {
-            let inner = self.inner.lock();
+            let mut inner = self.inner.lock();
+            inner.page_in(partition);
             // Reads on a node that does not (yet) host the partition are
             // `Unavailable`, not `NotFound`: retryable, so every
             // non-retryable error a client sees comes from a read the
@@ -435,7 +573,8 @@ impl MetaNode {
             },
             self.commit_timeout_ticks,
         );
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        inner.page_in(partition);
         let group = inner
             .multiraft
             .group(gid)
@@ -493,6 +632,7 @@ impl MetaNode {
     /// deterministically; [`Self::write`] is the blocking wrapper.
     pub fn enqueue_write(&self, partition: PartitionId, cmd: &MetaCommand) -> Result<u64> {
         let mut inner = self.inner.lock();
+        inner.page_in(partition);
         if !inner.partitions.contains_key(&partition) {
             return Err(CfsError::NotFound(format!("{partition}")));
         }
@@ -528,6 +668,7 @@ impl MetaNode {
         let group = Self::group_of(partition);
         let index = {
             let mut inner = self.inner.lock();
+            inner.page_in(partition);
             if !inner.partitions.contains_key(&partition) {
                 return Err(CfsError::NotFound(format!("{partition}")));
             }
@@ -555,7 +696,8 @@ impl MetaNode {
 
     /// Status of one partition.
     pub fn info(&self, partition: PartitionId) -> Result<PartitionInfo> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        inner.page_in(partition);
         let p = inner
             .partitions
             .get(&partition)
@@ -722,11 +864,47 @@ impl MetaNode {
     /// checker compares these byte-for-byte across replicas once their
     /// applied indexes agree.
     pub fn partition_snapshot(&self, partition: PartitionId) -> Option<Vec<u8>> {
-        self.inner
-            .lock()
-            .partitions
-            .get(&partition)
-            .map(|p| p.snapshot_bytes())
+        let mut inner = self.inner.lock();
+        inner.page_in(partition);
+        inner.partitions.get(&partition).map(|p| p.snapshot_bytes())
+    }
+
+    // ------------------------------------------------------------------
+    // Cold-inode paging
+    // ------------------------------------------------------------------
+
+    /// Cold-inode paging, outbound half: persist the partition's tree to
+    /// the engine and drop it from memory (bounding resident metadata on
+    /// a node hosting many cold partitions). The tree pages back in
+    /// transparently on the next access. Engine-backed nodes only.
+    pub fn page_out(&self, partition: PartitionId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let Some(engine) = inner.engine.clone() else {
+            return Err(CfsError::InvalidArgument(
+                "page_out requires an engine-backed node".into(),
+            ));
+        };
+        let Some(p) = inner.partitions.get(&partition) else {
+            return Err(CfsError::NotFound(format!("{partition}")));
+        };
+        engine.put::<ColdCf>(&partition.raw(), &p.snapshot_bytes())?;
+        inner.partitions.remove(&partition);
+        if let Some(o) = inner.obs.as_ref() {
+            o.pages_out.inc();
+        }
+        Ok(())
+    }
+
+    /// Is the partition's tree currently paged out (registry row exists
+    /// but no resident tree)?
+    pub fn is_paged_out(&self, partition: PartitionId) -> bool {
+        let inner = self.inner.lock();
+        !inner.partitions.contains_key(&partition)
+            && inner
+                .engine
+                .as_ref()
+                .map(|e| matches!(e.get::<ColdCf>(&partition.raw()), Ok(Some(_))))
+                .unwrap_or(false)
     }
 
     /// `(commit, applied, last_index)` of the partition's raft group.
@@ -776,6 +954,8 @@ impl RaftHost for MetaNode {
         let (msgs, readies) = inner.multiraft.drain();
         for (gid, ready) in readies {
             let pid = PartitionId(gid.raw());
+            // A paged-out tree must be resident before entries apply.
+            inner.page_in(pid);
 
             // Restore a received snapshot before applying entries.
             if let Some(snap) = ready.snapshot {
@@ -1532,5 +1712,117 @@ mod tests {
             .read(p, &MetaRead::GetInode { inode: fresh.id })
             .unwrap();
         assert_eq!(got.into_inode().unwrap().id, fresh.id);
+    }
+
+    fn engine_partition(hub: &RaftHub, node: &Arc<MetaNode>, pid: u64) -> PartitionId {
+        let config = MetaPartitionConfig {
+            partition_id: PartitionId(pid),
+            volume_id: VolumeId(1),
+            start: InodeId(1),
+            end: InodeId::MAX,
+        };
+        node.create_partition(config, vec![node.id()]).unwrap();
+        let p = PartitionId(pid);
+        assert!(hub.pump_until(|| node.is_leader_for(p), 5_000));
+        p
+    }
+
+    #[test]
+    fn engine_backed_node_restores_partitions_from_disk_alone() {
+        let dir = cfs_types::testutil::TempDir::new("meta-engine").unwrap();
+        {
+            let hub = RaftHub::new();
+            let node = MetaNode::open(NodeId(7), hub.clone(), dir.path(), RaftConfig::default(), 3)
+                .unwrap();
+            let p = engine_partition(&hub, &node, 1);
+            for i in 0..5 {
+                node.write(
+                    p,
+                    &MetaCommand::CreateInode {
+                        file_type: FileType::File,
+                        link_target: vec![],
+                        now_ns: i,
+                    },
+                )
+                .unwrap();
+            }
+            assert_eq!(node.total_items(), 5);
+        }
+        // Reopen from the directory: no in-memory carryover at all. The
+        // partition re-hosts, the group re-elects (single member), and the
+        // tree rebuilds from snapshot + durable log replay.
+        let hub = RaftHub::new();
+        let node =
+            MetaNode::open(NodeId(7), hub.clone(), dir.path(), RaftConfig::default(), 3).unwrap();
+        let p = PartitionId(1);
+        assert_eq!(node.partition_ids(), vec![p]);
+        assert!(hub.pump_until(|| node.is_leader_for(p) && node.total_items() == 5, 10_000));
+        // Allocation continues where the pre-crash history ended.
+        let f = node
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 9,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+        assert_eq!(f.id, InodeId(6), "no inode id reuse after power loss");
+    }
+
+    #[test]
+    fn cold_partition_pages_out_and_back_in_on_access() {
+        let dir = cfs_types::testutil::TempDir::new("meta-cold").unwrap();
+        let hub = RaftHub::new();
+        let registry = Registry::new();
+        let node = MetaNode::open_with_registry(
+            NodeId(7),
+            hub.clone(),
+            dir.path(),
+            RaftConfig::default(),
+            3,
+            Some(&registry),
+        )
+        .unwrap();
+        let p = engine_partition(&hub, &node, 1);
+        let ino = node
+            .write(
+                p,
+                &MetaCommand::CreateInode {
+                    file_type: FileType::File,
+                    link_target: vec![],
+                    now_ns: 1,
+                },
+            )
+            .unwrap()
+            .into_inode()
+            .unwrap();
+
+        node.page_out(p).unwrap();
+        assert!(node.is_paged_out(p));
+        assert_eq!(node.total_items(), 0, "tree dropped from memory");
+
+        // Access pages the tree back in transparently.
+        let got = node.read(p, &MetaRead::GetInode { inode: ino.id }).unwrap();
+        assert_eq!(got.into_inode().unwrap().id, ino.id);
+        assert!(!node.is_paged_out(p));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("meta.pages_out"), 1);
+        assert_eq!(snap.counter("meta.pages_in"), 1);
+
+        // And writes keep working on the resident tree.
+        node.write(
+            p,
+            &MetaCommand::CreateInode {
+                file_type: FileType::File,
+                link_target: vec![],
+                now_ns: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(node.total_items(), 2);
     }
 }

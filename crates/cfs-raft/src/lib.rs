@@ -26,6 +26,7 @@ mod message;
 mod metrics;
 mod multiraft;
 mod node;
+mod storage;
 
 #[cfg(test)]
 mod harness_tests;
@@ -39,3 +40,4 @@ pub use multiraft::{GroupBeat, MultiRaft, WireEnvelope, WireMsg};
 pub use node::{
     decode_batch_frame, PersistentRaftState, RaftNode, Ready, Role, BATCH_FRAME_MARKER,
 };
+pub use storage::{KvRaftStorage, RaftStorage};

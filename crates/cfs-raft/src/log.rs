@@ -29,6 +29,27 @@ impl RaftLog {
         Self::default()
     }
 
+    /// Reassemble a log from durable parts: the compacted-prefix base and
+    /// the live entries (any order; must be contiguous above the base once
+    /// sorted). Entries at or below the base are dropped — they can occur
+    /// when a crash lands between a snapshot write and the log-prefix
+    /// deletion that follows it.
+    pub fn from_parts(snapshot_index: u64, snapshot_term: u64, mut entries: Vec<Entry>) -> Self {
+        entries.sort_by_key(|e| e.index);
+        entries.retain(|e| e.index > snapshot_index);
+        let mut log = RaftLog {
+            snapshot_index,
+            snapshot_term,
+            entries: VecDeque::new(),
+        };
+        for e in entries {
+            if e.index == log.last_index() + 1 {
+                log.entries.push_back(e);
+            }
+        }
+        log
+    }
+
     /// Index of the last entry (or of the snapshot if the log is empty).
     pub fn last_index(&self) -> u64 {
         self.entries

@@ -9,6 +9,7 @@
 //! [`MultiRaft::stats`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cfs_types::{NodeId, RaftGroupId, Result};
 
@@ -16,6 +17,7 @@ use crate::config::RaftConfig;
 use crate::message::{Envelope, Message};
 use crate::metrics::RaftMetrics;
 use crate::node::{RaftNode, Ready};
+use crate::storage::RaftStorage;
 
 /// One group's heartbeat folded into a coalesced frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +79,9 @@ pub struct MultiRaft {
     stats: MultiRaftStats,
     /// Shared by every hosted group, present and future.
     metrics: RaftMetrics,
+    /// Durable raft storage attached to every hosted group, present and
+    /// future (`None` = in-memory crash-image model).
+    storage: Option<Arc<dyn RaftStorage>>,
 }
 
 impl std::fmt::Debug for MultiRaft {
@@ -101,7 +106,19 @@ impl MultiRaft {
             heartbeat_elapsed: 0,
             stats: MultiRaftStats::default(),
             metrics: RaftMetrics::detached(),
+            storage: None,
         }
+    }
+
+    /// Attach durable raft storage. Every hosted group — and every group
+    /// created or restored from here on — writes its durable state through
+    /// it (see [`RaftNode::set_storage`]).
+    pub fn set_storage(&mut self, storage: Arc<dyn RaftStorage>) -> Result<()> {
+        for node in self.groups.values_mut() {
+            node.set_storage(storage.clone())?;
+        }
+        self.storage = Some(storage);
+        Ok(())
     }
 
     /// Attach consensus counters; shared with every group hosted now or
@@ -124,6 +141,9 @@ impl MultiRaft {
         // and fold into one wire frame per peer.
         node.set_external_heartbeat(true);
         node.set_metrics(self.metrics.clone());
+        if let Some(s) = &self.storage {
+            node.set_storage(s.clone())?;
+        }
         self.groups.insert(group, node);
         Ok(())
     }
@@ -150,6 +170,9 @@ impl MultiRaft {
         );
         node.set_external_heartbeat(true);
         node.set_metrics(self.metrics.clone());
+        if let Some(s) = &self.storage {
+            node.set_storage(s.clone())?;
+        }
         self.groups.insert(group, node);
         Ok(())
     }
@@ -159,9 +182,16 @@ impl MultiRaft {
         self.groups.get(&group).map(|n| n.persistent_state())
     }
 
-    /// Remove a group replica.
+    /// Remove a group replica (and its stored state, if storage is
+    /// attached).
     pub fn remove_group(&mut self, group: RaftGroupId) -> bool {
-        self.groups.remove(&group).is_some()
+        let removed = self.groups.remove(&group).is_some();
+        if removed {
+            if let Some(s) = &self.storage {
+                let _ = s.remove_group(group);
+            }
+        }
+        removed
     }
 
     /// Borrow one group's node.

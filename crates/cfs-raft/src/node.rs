@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -12,6 +13,7 @@ use crate::config::RaftConfig;
 use crate::log::{Entry, RaftLog};
 use crate::message::{Envelope, Message, SnapshotPayload};
 use crate::metrics::RaftMetrics;
+use crate::storage::RaftStorage;
 
 /// Role within the group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +120,12 @@ pub struct RaftNode {
     /// cadence so that all groups on a node beat in phase and coalesce.
     external_heartbeat: bool,
 
+    /// Durable storage this member writes through at every mutation of
+    /// `(term, voted_for, log, snapshot_payload)`. `None` keeps the
+    /// original crash-image model (persistence via
+    /// [`RaftNode::persistent_state`] exports only).
+    storage: Option<Arc<dyn RaftStorage>>,
+
     metrics: RaftMetrics,
     /// InstallSnapshots applied by *this* member (registry counters
     /// aggregate cluster-wide, so persisted-credit bookkeeping needs a
@@ -180,6 +188,7 @@ impl RaftNode {
             ready: Ready::default(),
             snapshot_payload: None,
             external_heartbeat: false,
+            storage: None,
             metrics: RaftMetrics::detached(),
             installs_received: AtomicU64::new(0),
             installs_credited: AtomicU64::new(0),
@@ -191,6 +200,62 @@ impl RaftNode {
     /// embedding layer shares one [`RaftMetrics`] across all its groups.
     pub fn set_metrics(&mut self, metrics: RaftMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Attach durable storage and write the current state as its baseline
+    /// image. From here on every mutation of the durable subset is pushed
+    /// through `storage` *before* the message acknowledging it is emitted,
+    /// so a whole-process power loss can restore this member from disk via
+    /// [`RaftStorage::load`] + [`RaftNode::restore`].
+    pub fn set_storage(&mut self, storage: Arc<dyn RaftStorage>) -> Result<()> {
+        storage.persist_full(self.group, &self.persistent_state())?;
+        self.storage = Some(storage);
+        Ok(())
+    }
+
+    /// Persist `(term, voted_for)` through the attached storage, if any.
+    /// Storage failures abort: acknowledging un-fsynced state would break
+    /// the Raft durability contract, so there is no meaningful fallback.
+    fn store_hard_state(&self) {
+        if let Some(s) = &self.storage {
+            s.set_hard_state(self.group, self.term, self.voted_for)
+                .expect("raft storage: hard state");
+        }
+    }
+
+    /// Persist freshly appended entries.
+    fn store_entries(&self, entries: &[Entry]) {
+        if let Some(s) = &self.storage {
+            s.append_entries(self.group, entries)
+                .expect("raft storage: append");
+        }
+    }
+
+    /// Persist the entry the in-memory log just appended at `index`.
+    fn store_appended_at(&self, index: u64) {
+        if self.storage.is_some() {
+            let e = self.log.get(index).expect("just appended").clone();
+            self.store_entries(&[e]);
+        }
+    }
+
+    /// Drop stored entries above the in-memory log's tail (after conflict
+    /// truncation the store may hold rows the log no longer has).
+    fn store_truncate_to_log_tail(&self) {
+        if let Some(s) = &self.storage {
+            s.truncate_from(self.group, self.log.last_index() + 1)
+                .expect("raft storage: truncate");
+        }
+    }
+
+    /// Persist a snapshot + the compaction of the log prefix it covers.
+    fn store_snapshot(&self, snapshot: &SnapshotPayload) {
+        if let Some(s) = &self.storage {
+            s.set_snapshot(self.group, snapshot)
+                .expect("raft storage: snapshot");
+            s.compact_to(self.group, snapshot.last_index, snapshot.last_term)
+                .expect("raft storage: compact");
+        }
     }
 
     /// Snapshot the durable state, as a crash-consistent image. The log is
@@ -425,6 +490,7 @@ impl RaftNode {
         }
         self.metrics.proposals.inc();
         let index = self.log.append_new(self.term, data);
+        self.store_appended_at(index);
         // Single-member groups commit immediately.
         self.maybe_advance_commit();
         // Replicate eagerly rather than waiting for the heartbeat tick.
@@ -479,6 +545,7 @@ impl RaftNode {
         let (idx, term) = (snapshot.last_index, snapshot.last_term);
         debug_assert!(idx <= self.applied, "cannot compact unapplied entries");
         self.log.compact_to(idx, term);
+        self.store_snapshot(&snapshot);
         self.snapshot_payload = Some(snapshot);
     }
 
@@ -515,6 +582,7 @@ impl RaftNode {
         self.votes.clear();
         self.votes.insert(self.id);
         self.reset_election_timer();
+        self.store_hard_state();
 
         if self.votes.len() >= self.quorum() {
             self.become_leader();
@@ -559,7 +627,8 @@ impl RaftNode {
         self.lease_stamps.clear();
         // Commit a no-op entry of the new term so prior-term entries can
         // commit through the current-term rule (Raft §5.4.2).
-        self.log.append_new(self.term, Vec::new());
+        let noop = self.log.append_new(self.term, Vec::new());
+        self.store_appended_at(noop);
         self.maybe_advance_commit();
         self.broadcast_append();
     }
@@ -575,6 +644,7 @@ impl RaftNode {
         // held, so a deposed leader can never serve another local read.
         self.lease_stamps.clear();
         self.reset_election_timer();
+        self.store_hard_state();
     }
 
     // ------------------------------------------------------------------
@@ -726,6 +796,7 @@ impl RaftNode {
         if grant {
             self.voted_for = Some(from);
             self.reset_election_timer();
+            self.store_hard_state();
         }
         let my_term = self.term;
         self.send(
@@ -787,6 +858,12 @@ impl RaftNode {
         if ok {
             if !entries.is_empty() {
                 self.metrics.entries_appended.add(entries.len() as u64);
+                // Persist before acking: put the leader's entries (point
+                // overwrites resolve conflicts in place), then drop any
+                // stored rows above the in-memory tail left by a conflict
+                // truncation.
+                self.store_entries(&entries);
+                self.store_truncate_to_log_tail();
             }
             let match_index = if entries.is_empty() {
                 prev_index
@@ -907,6 +984,15 @@ impl RaftNode {
         // it, a crash must restore the state machine from this image, so it
         // has to be part of the persistent state like a locally-taken
         // compaction snapshot would be.
+        self.store_snapshot(&snapshot);
+        if self.storage.is_some() {
+            // With write-through storage the install is on disk before the
+            // ack below leaves the node — credit it now rather than at the
+            // next crash-image export (which a disk-restored node may
+            // never take).
+            self.metrics.snapshot_installs_persisted.inc();
+            self.installs_credited.fetch_add(1, Ordering::Relaxed);
+        }
         self.snapshot_payload = Some(snapshot.clone());
         self.ready.snapshot = Some(snapshot);
         self.send(

@@ -109,6 +109,12 @@ pub enum ChaosStep {
     Fault(FaultStep),
     /// Heal everything, settle, run recovery, check all invariants.
     Quiesce,
+    /// Whole-cluster power loss: every node process dies at this instant
+    /// and every machine reboots from its engine directory alone. The
+    /// executor verifies recovered state ≡ pre-crash acknowledged state.
+    /// Always immediately followed by a [`ChaosStep::Quiesce`] so the
+    /// rebooted cluster settles and passes the full invariant sweep.
+    PowerLoss,
 }
 
 /// A complete deterministic schedule.
@@ -135,6 +141,13 @@ impl FaultPlan {
         while steps.len() < len {
             // Regular quiesce points bound how long damage accumulates.
             if since_quiesce >= 14 || (since_quiesce >= 7 && rng.gen_bool(0.15)) {
+                // Sometimes the quiesce is preceded by whole-cluster
+                // power loss: every process dies, every machine reboots
+                // from disk, and the quiesce then checks that nothing
+                // acknowledged was lost.
+                if rng.gen_bool(0.2) {
+                    steps.push(ChaosStep::PowerLoss);
+                }
                 steps.push(ChaosStep::Quiesce);
                 crashed_meta = None;
                 crashed_data = None;
@@ -156,6 +169,9 @@ impl FaultPlan {
             );
             steps.push(ChaosStep::Fault(fault));
         }
+        // Every schedule ends with a full power cycle: whatever the run
+        // did, the cluster must come back from disk and still check out.
+        steps.push(ChaosStep::PowerLoss);
         steps.push(ChaosStep::Quiesce);
         FaultPlan { seed, shape, steps }
     }
@@ -276,6 +292,8 @@ impl FaultPlan {
                     m = None;
                     d = None;
                 }
+                // Power loss reboots processes but keeps chaos-downed
+                // nodes fenced; the paired quiesce clears them.
                 _ => {}
             }
         }
@@ -346,13 +364,15 @@ mod tests {
     fn step_mix_is_diverse() {
         // Across a batch of seeds every step category must appear —
         // a weight regression would silently weaken the harness.
-        let (mut ops, mut faults, mut quiesces) = (0usize, 0usize, 0usize);
+        let (mut ops, mut faults, mut quiesces, mut power_losses) =
+            (0usize, 0usize, 0usize, 0usize);
         let mut kinds = [false; 10];
         for seed in 0..64 {
             for s in FaultPlan::generate(seed, ClusterShape::default(), 100).steps {
                 match s {
                     ChaosStep::Op(_) => ops += 1,
                     ChaosStep::Quiesce => quiesces += 1,
+                    ChaosStep::PowerLoss => power_losses += 1,
                     ChaosStep::Fault(f) => {
                         faults += 1;
                         kinds[match f {
@@ -374,6 +394,26 @@ mod tests {
         assert!(ops > faults, "workload should dominate");
         assert!(quiesces >= 64 * 4, "regular quiesce points");
         assert!(kinds.iter().all(|&k| k), "every fault kind generated");
+        // Each plan gets its mandatory final power cycle plus a random
+        // mid-schedule share from the quiesce decision points.
+        assert!(power_losses > 64, "mid-schedule power losses generated");
+    }
+
+    #[test]
+    fn every_plan_ends_with_a_power_cycle() {
+        for seed in 0..200 {
+            let p = FaultPlan::generate(seed, ClusterShape::default(), 90);
+            let n = p.steps.len();
+            assert_eq!(p.steps[n - 2], ChaosStep::PowerLoss, "seed {seed}");
+            assert_eq!(p.steps[n - 1], ChaosStep::Quiesce, "seed {seed}");
+            // A power loss is always chased by a quiesce so the rebooted
+            // cluster settles before the next workload step.
+            for w in p.steps.windows(2) {
+                if w[0] == ChaosStep::PowerLoss {
+                    assert_eq!(w[1], ChaosStep::Quiesce, "seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -40,13 +40,38 @@ impl std::fmt::Debug for Extent {
 impl Extent {
     /// Fresh, empty extent on an in-memory device.
     pub fn new(id: ExtentId) -> Self {
+        Self::with_device(id, Box::new(MemDevice::new()))
+    }
+
+    /// Fresh, empty extent on a caller-provided device (e.g. a durable
+    /// [`KvDevice`](crate::KvDevice)).
+    pub fn with_device(id: ExtentId, dev: Box<dyn BlockDevice>) -> Self {
         Extent {
             id,
-            dev: Box::new(MemDevice::new()),
+            dev,
             size: 0,
             crc: Some(0),
             crc_state: cfs_types::crc::Crc32::new(),
             punched_bytes: 0,
+        }
+    }
+
+    /// Rebuild an extent from durable parts: a device already holding its
+    /// pages plus the persisted watermark and punch accounting. The CRC
+    /// cache starts cold and is recomputed from the device on first access.
+    pub fn from_parts(
+        id: ExtentId,
+        dev: Box<dyn BlockDevice>,
+        size: u64,
+        punched_bytes: u64,
+    ) -> Self {
+        Extent {
+            id,
+            dev,
+            size,
+            crc: None,
+            crc_state: cfs_types::crc::Crc32::new(),
+            punched_bytes,
         }
     }
 

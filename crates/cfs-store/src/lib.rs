@@ -24,11 +24,13 @@
 mod device;
 mod extent;
 mod metrics;
+mod persist;
 mod small;
 mod store;
 
 pub use device::{BlockDevice, MemDevice, BLOCK_SIZE};
 pub use extent::Extent;
 pub use metrics::StoreMetrics;
+pub use persist::{KvDevice, StorePersist};
 pub use small::SmallFileLocation;
 pub use store::{ExtentStore, StoreStats};

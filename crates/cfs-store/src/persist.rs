@@ -1,0 +1,376 @@
+//! Durable extent storage on the LSM engine.
+//!
+//! The in-memory [`MemDevice`](crate::MemDevice) models a sparse ext4 file
+//! but evaporates on power loss. [`StorePersist`] puts the same sparse-file
+//! semantics on typed column families of a shared [`LsmEngine`]: each
+//! allocated 4 KB block is one row, written through at mutation time, so an
+//! acknowledged extent write is on disk before the ack leaves the node.
+//! One engine serves every store on a node; `store_id` (the partition id)
+//! namespaces them.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cfs_types::{ExtentId, Result};
+
+use cfs_kvwal::cf::cf_prefix;
+use cfs_kvwal::{LsmEngine, TypedCf, WriteBatch};
+
+use crate::device::{BlockDevice, BLOCK_SIZE};
+
+/// `(store, extent, block) -> page`. One row per allocated 4 KB block;
+/// absent rows read as zeros (sparse-file semantics).
+struct PageCf;
+impl TypedCf for PageCf {
+    const NAME: &'static str = "store_pages";
+    type Key = (u64, u64, u64);
+    type Value = Vec<u8>;
+}
+
+/// `(store, extent) -> (watermark, punched_bytes)`.
+struct ExtentMetaCf;
+impl TypedCf for ExtentMetaCf {
+    const NAME: &'static str = "store_extents";
+    type Key = (u64, u64);
+    type Value = (u64, u64);
+}
+
+/// `store -> (next_extent_id, active_small_extent)`.
+struct StoreMetaCf;
+impl TypedCf for StoreMetaCf {
+    const NAME: &'static str = "store_meta";
+    type Key = u64;
+    type Value = (u64, Option<u64>);
+}
+
+/// Handle to one store's slice of the shared engine.
+pub struct StorePersist {
+    engine: Arc<LsmEngine>,
+    store_id: u64,
+}
+
+impl std::fmt::Debug for StorePersist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorePersist")
+            .field("store_id", &self.store_id)
+            .finish()
+    }
+}
+
+impl StorePersist {
+    /// Persistence for store `store_id` (a partition id) on `engine`.
+    pub fn new(engine: Arc<LsmEngine>, store_id: u64) -> Self {
+        StorePersist { engine, store_id }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Arc<LsmEngine> {
+        &self.engine
+    }
+
+    /// A durable block device for `extent` (fresh: no allocated blocks).
+    pub fn device(self: &Arc<Self>, extent: ExtentId) -> KvDevice {
+        KvDevice {
+            persist: self.clone(),
+            extent: extent.raw(),
+            blocks: BTreeSet::new(),
+        }
+    }
+
+    /// Rebuild the device of `extent` from its stored pages.
+    pub fn restore_device(self: &Arc<Self>, extent: ExtentId) -> KvDevice {
+        let mut blocks = BTreeSet::new();
+        let prefix = self.page_prefix(extent.raw());
+        for (raw, _) in self.engine.scan_prefix_raw(&prefix) {
+            if let Ok((_, _, block)) = cfs_kvwal::cf::typed_key::<PageCf>(&raw) {
+                blocks.insert(block);
+            }
+        }
+        KvDevice {
+            persist: self.clone(),
+            extent: extent.raw(),
+            blocks,
+        }
+    }
+
+    /// Raw key prefix of one extent's pages.
+    fn page_prefix(&self, extent: u64) -> Vec<u8> {
+        let mut p = cf_prefix::<PageCf>();
+        p.extend_from_slice(&self.store_id.to_be_bytes());
+        p.extend_from_slice(&extent.to_be_bytes());
+        p
+    }
+
+    /// Persist an extent's `(watermark, punched_bytes)`.
+    pub fn save_extent_meta(&self, extent: ExtentId, size: u64, punched: u64) -> Result<()> {
+        self.engine
+            .put::<ExtentMetaCf>(&(self.store_id, extent.raw()), &(size, punched))
+    }
+
+    /// Drop an extent: meta row plus every stored page.
+    pub fn delete_extent(&self, extent: ExtentId) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete::<ExtentMetaCf>(&(self.store_id, extent.raw()));
+        for (raw, _) in self.engine.scan_prefix_raw(&self.page_prefix(extent.raw())) {
+            batch.delete_raw(raw);
+        }
+        self.engine.write(batch)
+    }
+
+    /// Persist the store-level allocation state.
+    pub fn save_store_meta(
+        &self,
+        next_extent_id: u64,
+        active_small: Option<ExtentId>,
+    ) -> Result<()> {
+        self.engine.put::<StoreMetaCf>(
+            &self.store_id,
+            &(next_extent_id, active_small.map(|e| e.raw())),
+        )
+    }
+
+    /// Stored `(next_extent_id, active_small_extent)`, if the store was
+    /// ever persisted.
+    pub fn load_store_meta(&self) -> Result<Option<(u64, Option<ExtentId>)>> {
+        Ok(self
+            .engine
+            .get::<StoreMetaCf>(&self.store_id)?
+            .map(|(next, active)| (next, active.map(ExtentId))))
+    }
+
+    /// `(extent, watermark, punched)` for every stored extent of this
+    /// store.
+    pub fn stored_extents(&self) -> Result<Vec<(ExtentId, u64, u64)>> {
+        let mut prefix = cf_prefix::<ExtentMetaCf>();
+        prefix.extend_from_slice(&self.store_id.to_be_bytes());
+        let mut out = Vec::new();
+        for (raw, value) in self.engine.scan_prefix_raw(&prefix) {
+            let (_, extent) = cfs_kvwal::cf::typed_key::<ExtentMetaCf>(&raw)?;
+            let (size, punched) = <(u64, u64) as cfs_types::codec::Decode>::from_bytes(&value)?;
+            out.push((ExtentId(extent), size, punched));
+        }
+        Ok(out)
+    }
+
+    /// Drop everything this store persisted (meta, extents, pages).
+    pub fn remove_store(&self) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete::<StoreMetaCf>(&self.store_id);
+        for (extent, _, _) in self.stored_extents()? {
+            batch.delete::<ExtentMetaCf>(&(self.store_id, extent.raw()));
+            for (raw, _) in self.engine.scan_prefix_raw(&self.page_prefix(extent.raw())) {
+                batch.delete_raw(raw);
+            }
+        }
+        self.engine.write(batch)
+    }
+}
+
+/// [`BlockDevice`] whose pages live on the LSM engine: sparse-file
+/// semantics with write-through durability. Partial-page writes
+/// read-modify-write the stored page; all pages touched by one call commit
+/// as one atomic batch.
+pub struct KvDevice {
+    persist: Arc<StorePersist>,
+    extent: u64,
+    /// Allocated block ids (mirror of the stored page rows, kept in memory
+    /// so `allocated_bytes` is O(1) bookkeeping rather than a scan).
+    blocks: BTreeSet<u64>,
+}
+
+impl std::fmt::Debug for KvDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvDevice")
+            .field("extent", &self.extent)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl KvDevice {
+    fn key(&self, block: u64) -> (u64, u64, u64) {
+        (self.persist.store_id, self.extent, block)
+    }
+
+    fn load_page(&self, block: u64) -> Result<Vec<u8>> {
+        Ok(self
+            .persist
+            .engine
+            .get::<PageCf>(&self.key(block))?
+            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE as usize]))
+    }
+}
+
+impl BlockDevice for KvDevice {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let block = abs / BLOCK_SIZE;
+            let in_block = (abs % BLOCK_SIZE) as usize;
+            let n = (BLOCK_SIZE as usize - in_block).min(data.len() - pos);
+            let mut page = if n == BLOCK_SIZE as usize {
+                vec![0u8; BLOCK_SIZE as usize] // whole-page write, no read
+            } else {
+                self.load_page(block)?
+            };
+            page[in_block..in_block + n].copy_from_slice(&data[pos..pos + n]);
+            batch.put::<PageCf>(&self.key(block), &page);
+            self.blocks.insert(block);
+            pos += n;
+        }
+        self.persist.engine.write(batch)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let block = abs / BLOCK_SIZE;
+            let in_block = (abs % BLOCK_SIZE) as usize;
+            let n = (BLOCK_SIZE as usize - in_block).min(len - pos);
+            if self.blocks.contains(&block) {
+                let page = self.load_page(block)?;
+                out[pos..pos + n].copy_from_slice(&page[in_block..in_block + n]);
+            }
+            pos += n;
+        }
+        Ok(out)
+    }
+
+    fn punch_hole(&mut self, offset: u64, len: u64) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| cfs_types::CfsError::InvalidArgument("punch range overflow".into()))?;
+        let mut batch = WriteBatch::new();
+
+        let first_full = offset.div_ceil(BLOCK_SIZE);
+        let last_full = end / BLOCK_SIZE; // exclusive
+        for block in first_full..last_full {
+            if self.blocks.remove(&block) {
+                batch.delete::<PageCf>(&self.key(block));
+            }
+        }
+
+        let mut zeroed: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut zero_range = |dev: &Self, abs_start: u64, abs_end: u64| -> Result<()> {
+            if abs_start >= abs_end {
+                return Ok(());
+            }
+            let block = abs_start / BLOCK_SIZE;
+            if dev.blocks.contains(&block) {
+                let mut page = dev.load_page(block)?;
+                let s = (abs_start % BLOCK_SIZE) as usize;
+                let e = s + (abs_end - abs_start) as usize;
+                page[s..e].fill(0);
+                zeroed.push((block, page));
+            }
+            Ok(())
+        };
+        if first_full > last_full {
+            zero_range(self, offset, end)?;
+        } else {
+            zero_range(self, offset, first_full * BLOCK_SIZE)?;
+            zero_range(self, last_full * BLOCK_SIZE, end)?;
+        }
+        for (block, page) in zeroed {
+            batch.put::<PageCf>(&self.key(block), &page);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.persist.engine.write(batch)
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.blocks.len() as u64 * BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_kvwal::LsmOptions;
+    use cfs_types::testutil::TempDir;
+
+    fn persist(dir: &std::path::Path, store_id: u64) -> Arc<StorePersist> {
+        Arc::new(StorePersist::new(
+            Arc::new(LsmEngine::open(dir, LsmOptions::default()).unwrap()),
+            store_id,
+        ))
+    }
+
+    #[test]
+    fn kvdevice_matches_memdevice_semantics() {
+        let dir = TempDir::new("storekv").unwrap();
+        let p = persist(dir.path(), 1);
+        let mut kv = p.device(ExtentId(1));
+        let mut mem = crate::device::MemDevice::new();
+
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        kv.write_at(100, &data).unwrap();
+        mem.write_at(100, &data).unwrap();
+        assert_eq!(
+            kv.read_at(0, 11_000).unwrap(),
+            mem.read_at(0, 11_000).unwrap()
+        );
+        assert_eq!(kv.allocated_bytes(), mem.allocated_bytes());
+
+        kv.punch_hole(BLOCK_SIZE / 2, 2 * BLOCK_SIZE).unwrap();
+        mem.punch_hole(BLOCK_SIZE / 2, 2 * BLOCK_SIZE).unwrap();
+        assert_eq!(
+            kv.read_at(0, 11_000).unwrap(),
+            mem.read_at(0, 11_000).unwrap()
+        );
+        assert_eq!(kv.allocated_bytes(), mem.allocated_bytes());
+    }
+
+    #[test]
+    fn pages_survive_engine_reopen() {
+        let dir = TempDir::new("storekv").unwrap();
+        {
+            let p = persist(dir.path(), 7);
+            let mut d = p.device(ExtentId(3));
+            d.write_at(0, b"durable bytes").unwrap();
+            d.write_at(BLOCK_SIZE * 2 + 17, &[0xab; 100]).unwrap();
+            p.save_extent_meta(ExtentId(3), 13, 0).unwrap();
+        }
+        let p = persist(dir.path(), 7);
+        let d = p.restore_device(ExtentId(3));
+        assert_eq!(d.allocated_bytes(), 2 * BLOCK_SIZE);
+        assert_eq!(&d.read_at(0, 13).unwrap(), b"durable bytes");
+        assert_eq!(
+            d.read_at(BLOCK_SIZE * 2 + 17, 100).unwrap(),
+            vec![0xab; 100]
+        );
+        assert_eq!(p.stored_extents().unwrap(), vec![(ExtentId(3), 13, 0)]);
+    }
+
+    #[test]
+    fn stores_are_namespaced_by_id() {
+        let dir = TempDir::new("storekv").unwrap();
+        let engine = Arc::new(LsmEngine::open(dir.path(), LsmOptions::default()).unwrap());
+        let a = Arc::new(StorePersist::new(engine.clone(), 1));
+        let b = Arc::new(StorePersist::new(engine, 2));
+        let mut da = a.device(ExtentId(1));
+        let mut db = b.device(ExtentId(1));
+        da.write_at(0, b"store-a").unwrap();
+        db.write_at(0, b"store-b").unwrap();
+        a.save_extent_meta(ExtentId(1), 7, 0).unwrap();
+        b.save_extent_meta(ExtentId(1), 7, 0).unwrap();
+        assert_eq!(&da.read_at(0, 7).unwrap(), b"store-a");
+        assert_eq!(&db.read_at(0, 7).unwrap(), b"store-b");
+        a.remove_store().unwrap();
+        assert!(a.stored_extents().unwrap().is_empty());
+        assert_eq!(b.stored_extents().unwrap().len(), 1, "b untouched");
+        assert_eq!(
+            &b.restore_device(ExtentId(1)).read_at(0, 7).unwrap(),
+            b"store-b"
+        );
+    }
+}

@@ -338,6 +338,7 @@ vec_codec!(crate::inode::Dentry);
 vec_codec!(crate::inode::Inode);
 vec_codec!((u64, u64));
 vec_codec!((Vec<u8>, Vec<u8>));
+vec_codec!((Vec<u8>, Option<Vec<u8>>));
 
 impl<A: Encode, B: Encode> Encode for (A, B) {
     fn encode(&self, enc: &mut Encoder) {

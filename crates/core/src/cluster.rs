@@ -1,5 +1,6 @@
 //! The in-process cluster: Figure 1 wired together.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -121,8 +122,14 @@ impl ClusterBuilder {
         fabrics.meta.bind_metrics(&registry, "meta");
         fabrics.data.bind_metrics(&registry, "data");
 
+        // Every node gets its own engine directory under one root: the
+        // node's entire durable state (raft logs, snapshots, extents,
+        // replica meta) lives there, so restart-from-disk is just
+        // reopening the directory.
+        let root_dir = TempDir::new("cfs-cluster")?;
+        let root = root_dir.path().to_path_buf();
+
         // Resource-manager replicas.
-        let master_dir = TempDir::new("cfs-master")?;
         let master_ids: Vec<NodeId> = (0..self.master_replicas.max(1) as u64)
             .map(|i| NodeId(MASTER_NODE_BASE + i))
             .collect();
@@ -132,7 +139,7 @@ impl ClusterBuilder {
                 MasterNode::open_with_registry(
                     id,
                     hub.clone(),
-                    &master_dir.path().join(format!("{id}")),
+                    &root.join(format!("master-{}", id.raw())),
                     master_ids.clone(),
                     self.config.clone(),
                     self.raft_config.clone(),
@@ -149,17 +156,23 @@ impl ClusterBuilder {
         }
 
         // Meta nodes.
-        let meta_nodes: Vec<Arc<MetaNode>> = (0..self.meta_nodes as u64)
-            .map(|i| {
-                MetaNode::with_registry(
-                    NodeId(META_NODE_BASE + i),
+        let meta_dirs: Vec<PathBuf> = (0..self.meta_nodes)
+            .map(|i| root.join(format!("meta-{i}")))
+            .collect();
+        let meta_nodes: Vec<Arc<MetaNode>> = meta_dirs
+            .iter()
+            .enumerate()
+            .map(|(i, dir)| {
+                MetaNode::open_with_registry(
+                    NodeId(META_NODE_BASE + i as u64),
                     hub.clone(),
+                    dir,
                     self.raft_config.clone(),
                     self.seed,
                     Some(&registry),
                 )
             })
-            .collect();
+            .collect::<Result<_>>()?;
         for n in &meta_nodes {
             let n2 = n.clone();
             fabrics
@@ -168,18 +181,24 @@ impl ClusterBuilder {
         }
 
         // Data nodes.
-        let data_nodes: Vec<Arc<DataNode>> = (0..self.data_nodes as u64)
-            .map(|i| {
-                DataNode::with_registry(
-                    NodeId(DATA_NODE_BASE + i),
+        let data_dirs: Vec<PathBuf> = (0..self.data_nodes)
+            .map(|i| root.join(format!("data-{i}")))
+            .collect();
+        let data_nodes: Vec<Arc<DataNode>> = data_dirs
+            .iter()
+            .enumerate()
+            .map(|(i, dir)| {
+                DataNode::open_with_registry(
+                    NodeId(DATA_NODE_BASE + i as u64),
                     hub.clone(),
                     fabrics.data.clone(),
+                    dir,
                     self.raft_config.clone(),
                     self.seed,
                     Some(&registry),
                 )
             })
-            .collect();
+            .collect::<Result<_>>()?;
         for n in &data_nodes {
             let n2 = n.clone();
             fabrics
@@ -193,13 +212,16 @@ impl ClusterBuilder {
             fabrics,
             registry,
             masters,
+            master_ids,
             meta_nodes,
             data_nodes,
+            meta_dirs,
+            data_dirs,
             config: self.config,
             raft_config: self.raft_config,
             seed: self.seed,
             next_client: AtomicU64::new(CLIENT_BASE),
-            _master_dir: master_dir,
+            root_dir,
         };
 
         // Elect the master group, then register every storage node.
@@ -247,13 +269,18 @@ pub struct Cluster {
     fabrics: Fabrics,
     registry: Registry,
     masters: Vec<Arc<MasterNode>>,
+    master_ids: Vec<NodeId>,
     meta_nodes: Vec<Arc<MetaNode>>,
     data_nodes: Vec<Arc<DataNode>>,
+    meta_dirs: Vec<PathBuf>,
+    data_dirs: Vec<PathBuf>,
     config: ClusterConfig,
     raft_config: RaftConfig,
     seed: u64,
     next_client: AtomicU64,
-    _master_dir: TempDir,
+    /// Root of every node's engine directory; removed when the cluster
+    /// is dropped.
+    root_dir: TempDir,
 }
 
 impl Cluster {
@@ -825,14 +852,18 @@ impl Cluster {
     /// Capacity expansion (§2.3.1): add a fresh meta node. No data moves;
     /// the node simply starts attracting future placements.
     pub fn add_meta_node(&mut self) -> Result<NodeId> {
-        let id = NodeId(META_NODE_BASE + self.meta_nodes.len() as u64);
-        let node = MetaNode::with_registry(
+        let idx = self.meta_nodes.len();
+        let id = NodeId(META_NODE_BASE + idx as u64);
+        let dir = self.root_dir.path().join(format!("meta-{idx}"));
+        let node = MetaNode::open_with_registry(
             id,
             self.hub.clone(),
+            &dir,
             self.raft_config.clone(),
             self.seed,
             Some(&self.registry),
-        );
+        )?;
+        self.meta_dirs.push(dir);
         let n2 = node.clone();
         self.fabrics
             .meta
@@ -848,15 +879,19 @@ impl Cluster {
 
     /// Capacity expansion: add a fresh data node.
     pub fn add_data_node(&mut self) -> Result<NodeId> {
-        let id = NodeId(DATA_NODE_BASE + self.data_nodes.len() as u64);
-        let node = DataNode::with_registry(
+        let idx = self.data_nodes.len();
+        let id = NodeId(DATA_NODE_BASE + idx as u64);
+        let dir = self.root_dir.path().join(format!("data-{idx}"));
+        let node = DataNode::open_with_registry(
             id,
             self.hub.clone(),
             self.fabrics.data.clone(),
+            &dir,
             self.raft_config.clone(),
             self.seed,
             Some(&self.registry),
-        );
+        )?;
+        self.data_dirs.push(dir);
         let n2 = node.clone();
         self.fabrics
             .data
@@ -874,22 +909,21 @@ impl Cluster {
     // Crash / restart (chaos harness)
     // ------------------------------------------------------------------
 
-    /// Crash a meta node: capture its durable image (Raft logs +
-    /// snapshots + partition configs), cut it off the fabric and mark it
-    /// down, then rebuild it from the image in place. The rebuilt node
-    /// replays exactly what a restarted process would (§2.1.3) but stays
-    /// unreachable until [`Cluster::restart_meta_node`].
+    /// Crash a meta node: cut it off the fabric, mark it down, drop the
+    /// process, and reopen it from its engine directory alone — exactly
+    /// what a machine restart does (§2.1.3). Volatile state (locks,
+    /// caches, unflushed memtable acks beyond the WAL) is lost; the node
+    /// stays unreachable until [`Cluster::restart_meta_node`].
     pub fn crash_meta_node(&mut self, idx: usize) -> Result<NodeId> {
         let id = self.meta_nodes[idx].id();
         self.faults.set_down(id, true);
         self.fabrics.meta.deregister(id);
-        let image = self.meta_nodes[idx].export_crash_image();
-        let node = MetaNode::restore_with_registry(
+        let node = MetaNode::open_with_registry(
             id,
             self.hub.clone(),
+            &self.meta_dirs[idx],
             self.raft_config.clone(),
             self.seed,
-            image,
             Some(&self.registry),
         )?;
         // Replacing the slot drops the crashed node's last strong ref;
@@ -911,20 +945,19 @@ impl Cluster {
     }
 
     /// Crash a data node (see [`Cluster::crash_meta_node`]): the extent
-    /// stores and per-group Raft state survive; chain bookkeeping and
-    /// committed-watermark gossip recover via §2.2.5 alignment.
+    /// stores and per-group Raft state survive on disk; chain bookkeeping
+    /// and committed-watermark gossip recover via §2.2.5 alignment.
     pub fn crash_data_node(&mut self, idx: usize) -> Result<NodeId> {
         let id = self.data_nodes[idx].id();
         self.faults.set_down(id, true);
         self.fabrics.data.deregister(id);
-        let image = self.data_nodes[idx].export_crash_image();
-        let node = DataNode::restore_with_registry(
+        let node = DataNode::open_with_registry(
             id,
             self.hub.clone(),
             self.fabrics.data.clone(),
+            &self.data_dirs[idx],
             self.raft_config.clone(),
             self.seed,
-            image,
             Some(&self.registry),
         )?;
         self.data_nodes[idx] = node;
@@ -939,6 +972,90 @@ impl Cluster {
             .data
             .register(id, Arc::new(move |_from, req| node.handle(req)));
         self.faults.set_down(id, false);
+    }
+
+    /// Whole-cluster power loss: every node — master, meta and data —
+    /// loses its process at the same instant, then every machine boots
+    /// back up from its engine directory alone. Nothing in memory
+    /// survives; acknowledged state must come back from WAL + sorted
+    /// runs. Nodes that were already marked down (killed by chaos) come
+    /// back as processes but stay fenced off the fabric until their
+    /// `restart_*` call, exactly like a machine whose NIC is dead.
+    pub fn power_loss_restart(&mut self) -> Result<()> {
+        // Cut the power: deregister everything and drop every strong
+        // node reference. The raft hub's weak handles expire with them.
+        for m in &self.masters {
+            self.fabrics.master.deregister(m.id());
+        }
+        for n in &self.meta_nodes {
+            self.fabrics.meta.deregister(n.id());
+        }
+        for n in &self.data_nodes {
+            self.fabrics.data.deregister(n.id());
+        }
+        self.masters.clear();
+        self.meta_nodes.clear();
+        self.data_nodes.clear();
+
+        // Boot every machine back up from disk.
+        let root = self.root_dir.path().to_path_buf();
+        for &id in &self.master_ids {
+            let m = MasterNode::open_with_registry(
+                id,
+                self.hub.clone(),
+                &root.join(format!("master-{}", id.raw())),
+                self.master_ids.clone(),
+                self.config.clone(),
+                self.raft_config.clone(),
+                self.seed,
+                Some(&self.registry),
+            )?;
+            if !self.faults.is_down(id) {
+                let m2 = m.clone();
+                self.fabrics
+                    .master
+                    .register(id, Arc::new(move |_from, req| m2.handle(req)));
+            }
+            self.masters.push(m);
+        }
+        for (i, dir) in self.meta_dirs.clone().iter().enumerate() {
+            let id = NodeId(META_NODE_BASE + i as u64);
+            let n = MetaNode::open_with_registry(
+                id,
+                self.hub.clone(),
+                dir,
+                self.raft_config.clone(),
+                self.seed,
+                Some(&self.registry),
+            )?;
+            if !self.faults.is_down(id) {
+                let n2 = n.clone();
+                self.fabrics
+                    .meta
+                    .register(id, Arc::new(move |_from, req| n2.handle(req)));
+            }
+            self.meta_nodes.push(n);
+        }
+        for (i, dir) in self.data_dirs.clone().iter().enumerate() {
+            let id = NodeId(DATA_NODE_BASE + i as u64);
+            let n = DataNode::open_with_registry(
+                id,
+                self.hub.clone(),
+                self.fabrics.data.clone(),
+                dir,
+                self.raft_config.clone(),
+                self.seed,
+                Some(&self.registry),
+            )?;
+            if !self.faults.is_down(id) {
+                let n2 = n.clone();
+                self.fabrics
+                    .data
+                    .register(id, Arc::new(move |_from, req| n2.handle(req)));
+            }
+            self.data_nodes.push(n);
+        }
+        Ok(())
     }
 
     /// Run §2.2.5 recovery on every data partition: each PB leader

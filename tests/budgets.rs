@@ -12,6 +12,12 @@
 //!  * at most `pipeline_depth` append packets are ever in flight;
 //!  * each 3-replica chain append costs exactly 3 fabric calls (client →
 //!    head, head → middle, middle → tail).
+//!
+//! The storage-engine recovery budget pins the LSM design down the same
+//! way: a whole-cluster restart after a long op history replays only the
+//! WAL records appended since each engine's last memtable flush — never
+//! the total history — because a flush persists its records into sorted
+//! runs and truncates the WAL behind them.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,6 +26,8 @@ use cfs::{
     ClientOptions, Cluster, ClusterBuilder, ClusterConfig, FileType, MetaCommand, MetaNode,
     MetaRequest, MetaResponse, MetricsSnapshot, PartitionId,
 };
+use cfs_kvwal::{LsmEngine, LsmOptions, TypedCf};
+use cfs_types::testutil::TempDir;
 
 const PACKET: u64 = 4096;
 const DEPTH: u32 = 4;
@@ -446,6 +454,155 @@ fn meta_hot_path_budget_checks_reject_perturbed_counters() {
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("lease read budget regression"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+// ----- storage-engine recovery budget ------------------------------------
+
+/// Client ops in the recovery history. Every chain append lands one WAL
+/// record on each of its three replicas plus periodic meta/master
+/// records, so the durable history comfortably exceeds the 10k records
+/// the test pins below.
+const RECOVERY_OPS: u64 = 3_000;
+const RECOVERY_WAL_RECORDS: u64 = 10_000;
+const RECOVERY_FILES: usize = 8;
+
+/// The recovery budget: `total_appends` WAL records were written over
+/// the cluster's whole history, at least one memtable flush happened,
+/// and a whole-cluster power-loss restart replayed `replayed` records.
+/// A flush persists its records into sorted runs and truncates the WAL
+/// behind them, so replay is bounded by ops since the last flush —
+/// pinned here as strictly under half the history, which a flushing
+/// engine beats by a wide margin and a non-flushing engine (which
+/// replays everything, every restart) cannot meet.
+fn check_recovery_budget(total_appends: u64, flushes: u64, replayed: u64) {
+    assert!(
+        flushes >= 1,
+        "recovery budget regression: {total_appends} WAL appends without a \
+         single memtable flush — restart replay is unbounded"
+    );
+    assert!(
+        replayed <= total_appends / 2,
+        "recovery budget regression: restart replayed {replayed} of \
+         {total_appends} WAL records ever appended; replay must be bounded \
+         by ops since the last flush, not total history"
+    );
+}
+
+#[test]
+fn whole_cluster_recovery_budget() {
+    let mut cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("budget-recovery", 1, 4).unwrap();
+    let client = cluster.mount("budget-recovery").unwrap();
+    let root = client.root();
+
+    let mut handles = Vec::new();
+    let mut expected = vec![Vec::new(); RECOVERY_FILES];
+    for f in 0..RECOVERY_FILES {
+        let nm = format!("recovery-f{f}");
+        client.create(root, &nm).unwrap();
+        handles.push(client.open(root, &nm).unwrap());
+    }
+    // A >10k-record acknowledged history: every append is durably acked
+    // through its replica chain before the next op runs, landing WAL
+    // records on all three data engines plus the meta/master engines the
+    // sync cadence touches.
+    for op in 0..RECOVERY_OPS {
+        let f = (op % RECOVERY_FILES as u64) as usize;
+        let body = vec![(op % 251) as u8; 256];
+        let h = &mut handles[f];
+        h.seek(h.size());
+        client.write(h, &body).unwrap();
+        expected[f].extend_from_slice(&body);
+    }
+    for h in &mut handles {
+        client.fsync(h).unwrap();
+    }
+
+    let before = cluster.metrics_snapshot();
+    assert!(
+        before.counter("kvwal.wal_appends") >= RECOVERY_WAL_RECORDS,
+        "the history must span at least {RECOVERY_WAL_RECORDS} WAL records \
+         (got {})",
+        before.counter("kvwal.wal_appends")
+    );
+    cluster.power_loss_restart().unwrap();
+    let window = cluster.metrics_snapshot().diff(&before);
+
+    check_recovery_budget(
+        before.counter("kvwal.wal_appends"),
+        before.counter("kvwal.flushes"),
+        window.counter("kvwal.wal_replayed"),
+    );
+    // Recovery cost is instrumented: every rebooted engine recorded a
+    // recover_ns sample inside the restart window.
+    assert!(
+        window.histograms["kvwal.recover_ns"].count >= 1,
+        "no recovery samples recorded across the restart"
+    );
+
+    // The restart was real: leaders re-elect and every acknowledged byte
+    // reads back from disk state alone.
+    cluster.settle(600);
+    client.refresh_partition_table().unwrap();
+    for (f, h) in handles.iter_mut().enumerate() {
+        let mut last = None;
+        for _ in 0..6 {
+            match client.read_at(h, 0, h.size() as usize) {
+                Ok(r) => {
+                    last = Some(r);
+                    break;
+                }
+                Err(_) => cluster.settle(400),
+            }
+        }
+        let r = last.expect("post-restart read");
+        assert_eq!(r, expected[f], "file {f} content after power loss");
+    }
+}
+
+/// The forced-failure twin: the same op volume with flushing disabled
+/// leaves the whole history in the WAL, so recovery replays every record
+/// ever appended and the budget check must reject it.
+struct RecoveryCf;
+impl TypedCf for RecoveryCf {
+    const NAME: &'static str = "budget_recovery";
+    type Key = u64;
+    type Value = Vec<u8>;
+}
+
+#[test]
+fn recovery_budget_fires_when_flushing_disabled() {
+    let registry = cfs::Registry::new();
+    let dir = TempDir::new("budget-noflush").unwrap();
+    let opts = LsmOptions {
+        flush_enabled: false,
+        ..LsmOptions::default()
+    };
+    {
+        let engine =
+            LsmEngine::open_with_registry(dir.path(), opts.clone(), Some(&registry)).unwrap();
+        for i in 0..RECOVERY_WAL_RECORDS {
+            engine.put::<RecoveryCf>(&i, &vec![i as u8; 32]).unwrap();
+        }
+    }
+    let before = registry.snapshot();
+    let _engine = LsmEngine::open_with_registry(dir.path(), opts, Some(&registry)).unwrap();
+    let window = registry.snapshot().diff(&before);
+
+    let total = before.counter("kvwal.wal_appends");
+    let flushes = before.counter("kvwal.flushes");
+    let replayed = window.counter("kvwal.wal_replayed");
+    assert_eq!(total, RECOVERY_WAL_RECORDS, "one WAL record per put");
+    assert_eq!(flushes, 0, "flushing is disabled");
+    assert_eq!(replayed, RECOVERY_WAL_RECORDS, "the whole history replays");
+
+    let err = std::panic::catch_unwind(|| check_recovery_budget(total, flushes, replayed))
+        .expect_err("a non-flushing engine must fail the recovery budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("recovery budget regression"),
         "unexpected panic message: {msg}"
     );
 }

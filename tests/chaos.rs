@@ -40,11 +40,24 @@
 //!     live members — even when the schedule permanently killed a data
 //!     node that will never restart.
 //!
+//! Schedules also contain [`ChaosStep::PowerLoss`] events (every plan
+//! ends with one): the whole cluster — masters, meta and data nodes —
+//! loses power at the same instant and every machine reboots from its
+//! storage-engine directory alone, with zero in-memory carryover. The
+//! executor checks a seventh invariant at each power cycle:
+//!
+//! (g) recovered ≡ acknowledged: the durable replica state visible
+//!     right before the power cut (hosted partitions, chain membership,
+//!     per-extent length / committed watermark / CRC) is byte-identical
+//!     after the reboot — no lost committed metadata, no resurrected
+//!     punched extents. The paired quiesce that follows then re-proves
+//!     invariants (a)–(f) on the rebooted cluster.
+//!
 //! `CHAOS_SEED=<n>` replays any failing seed, including schedules whose
 //! fault mix contains a `PermanentKill` (the kill is part of the plan, so
 //! the repro regenerates it deterministically).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +71,12 @@ use cfs_sim::schedule::{ChaosStep, ClusterShape, FaultPlan, FaultStep, NodeRef, 
 
 /// Steps per generated schedule (plus the final quiesce).
 const PLAN_LEN: usize = 120;
+
+/// What invariant (g) compares across a power cycle: for every live
+/// (data node, hosted partition), the chain membership plus each
+/// extent's (id, size, committed watermark, CRC).
+type DurableDataState =
+    BTreeMap<(NodeId, PartitionId), (Vec<NodeId>, Vec<(ExtentId, u64, u64, u32)>)>;
 
 /// Defers every odd-sequence consensus message by a fixed number of hub
 /// rounds: messages arrive late and out of order, but all arrive.
@@ -311,6 +330,7 @@ impl Chaos {
             match *step {
                 ChaosStep::Op(op) => self.do_op(op),
                 ChaosStep::Fault(f) => self.do_fault(f),
+                ChaosStep::PowerLoss => self.power_loss(),
                 ChaosStep::Quiesce => self.quiesce(),
             }
         }
@@ -518,6 +538,59 @@ impl Chaos {
         for (a, b) in self.cuts.drain(..) {
             faults.set_link_cut(a, b, false);
         }
+    }
+
+    // ----- whole-cluster power loss --------------------------------------
+
+    /// Invariant (g): capture the durable replica state of every live
+    /// data node, cut power on the entire cluster at once, boot every
+    /// machine back from its engine directory, and require the recovered
+    /// view to match the pre-cut view exactly. No settling happens
+    /// between the two captures, so this isolates the storage engine:
+    /// any difference is state that existed only in process memory.
+    ///
+    /// The schedule generator pairs every `PowerLoss` with an immediately
+    /// following `Quiesce`, which re-elects leaders and re-checks
+    /// invariants (a)–(f) on the rebooted cluster.
+    fn power_loss(&mut self) {
+        let acknowledged = self.durable_data_state();
+        self.cluster
+            .power_loss_restart()
+            .unwrap_or_else(|e| panic!("power-loss reboot failed (seed {}): {e:?}", self.seed));
+        let recovered = self.durable_data_state();
+        assert_eq!(
+            recovered, acknowledged,
+            "invariant (g): whole-cluster power loss changed the durable \
+             data state (seed {})",
+            self.seed
+        );
+    }
+
+    /// Per-live-data-node durable state: hosted partitions with their
+    /// chain membership and each extent's (size, committed watermark,
+    /// CRC), sorted so two captures compare positionally. Nodes the
+    /// schedule has down stay fenced through the reboot and are skipped
+    /// on both sides of the comparison.
+    fn durable_data_state(&self) -> DurableDataState {
+        let faults = self.cluster.faults();
+        let mut state = BTreeMap::new();
+        for node in self.cluster.data_nodes() {
+            if faults.is_down(node.id()) {
+                continue;
+            }
+            for (pid, members) in node.hosted_partitions() {
+                let manifest = node
+                    .extent_manifest(pid)
+                    .expect("node hosts the partition it reported");
+                let mut extents: Vec<_> = manifest
+                    .iter()
+                    .map(|e| (e.extent, e.size, e.committed, e.crc))
+                    .collect();
+                extents.sort_unstable();
+                state.insert((node.id(), pid), (members, extents));
+            }
+        }
+        state
     }
 
     // ----- quiesce + invariants ------------------------------------------
@@ -1109,6 +1182,81 @@ fn run_seed(seed: u64) {
     run_seed_inner(seed, false)
 }
 
+/// Power-loss-dense variant of a generated schedule: a whole-cluster
+/// power cycle before every quiesce, on top of whatever power losses the
+/// seed already rolled. Every fault window then ends with a full reboot
+/// from disk, so recovery runs against crashed nodes, cut links and
+/// in-flight appends — not just settled state.
+fn densify_power_loss(plan: &mut FaultPlan) {
+    let mut steps = Vec::with_capacity(plan.steps.len() + 8);
+    for step in plan.steps.drain(..) {
+        if step == ChaosStep::Quiesce && steps.last() != Some(&ChaosStep::PowerLoss) {
+            steps.push(ChaosStep::PowerLoss);
+        }
+        steps.push(step);
+    }
+    plan.steps = steps;
+}
+
+/// Run one power-loss-dense seed to completion and hand back the
+/// cluster's final metrics snapshot (for the kvwal engine report).
+fn run_power_loss_seed(seed: u64) -> MetricsSnapshot {
+    let shape = ClusterShape::default();
+    let mut plan = FaultPlan::generate(seed, shape, PLAN_LEN);
+    densify_power_loss(&mut plan);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut chaos = Chaos::new(seed, shape, false);
+        chaos.run(&plan);
+        chaos.cluster.metrics_snapshot()
+    }));
+    match result {
+        Ok(snap) => snap,
+        Err(payload) => panic!(
+            "CHAOS_SEED={seed} failed (power-loss dense) — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos power_loss_replay_env_seed`: {}",
+            panic_message(payload.as_ref())
+        ),
+    }
+}
+
+/// One JSON record per power-loss seed: every `kvwal.*` counter and
+/// histogram (WAL appends, flushes, compactions, records replayed, torn
+/// runs discarded, recovery nanoseconds) from the run's registry.
+fn kvwal_json(seed: u64, snap: &MetricsSnapshot) -> String {
+    let mut kvwal = MetricsSnapshot::default();
+    for (k, v) in &snap.counters {
+        if k.starts_with("kvwal.") {
+            kvwal.counters.insert(k.clone(), *v);
+        }
+    }
+    for (k, v) in &snap.histograms {
+        if k.starts_with("kvwal.") {
+            kvwal.histograms.insert(k.clone(), v.clone());
+        }
+    }
+    format!("{{\"seed\":{seed},\"metrics\":{}}}", kvwal.to_json())
+}
+
+/// Write the power-loss kvwal report to `POWERLOSS_JSON_PATH` (default
+/// `target/powerloss_metrics.json`), mirroring the bench JSON plumbing
+/// so nightly CI uploads it alongside the existing artifacts.
+fn write_powerloss_json(records: &[String]) {
+    let json = format!(
+        "{{\"suite\":\"power_loss\",\"runs\":[{}]}}",
+        records.join(",")
+    );
+    let json_path = std::env::var("POWERLOSS_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/target/powerloss_metrics.json").to_string()
+    });
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("kvwal metrics JSON written to {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}; emitting to stdout\n{json}"),
+    }
+}
+
 fn run_batch(range: std::ops::Range<u64>) {
     // When replaying one seed, skip the batches so the documented replay
     // command stays fast.
@@ -1146,6 +1294,48 @@ fn chaos_seeds_batch_3() {
 fn chaos_replay_env_seed() {
     if let Ok(s) = std::env::var("CHAOS_SEED") {
         run_seed(s.parse().expect("CHAOS_SEED must be a u64"));
+    }
+}
+
+/// Named tier-1 power-loss sweep: 8 seeds whose schedules power-cycle
+/// the whole cluster before every quiesce, with the kvwal engine metrics
+/// of every run written to `POWERLOSS_JSON_PATH`.
+#[test]
+fn power_loss_seeds() {
+    if std::env::var("CHAOS_SEED").is_ok() {
+        return;
+    }
+    let records: Vec<String> = (0..8)
+        .map(|seed| kvwal_json(seed, &run_power_loss_seed(seed)))
+        .collect();
+    write_powerloss_json(&records);
+}
+
+/// Replays one power-loss-dense schedule: `CHAOS_SEED=17 cargo test -q
+/// --test chaos power_loss_replay_env_seed`. A no-op without the
+/// environment variable.
+#[test]
+fn power_loss_replay_env_seed() {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        let seed = s.parse().expect("CHAOS_SEED must be a u64");
+        run_power_loss_seed(seed);
+    }
+}
+
+/// Nightly power-loss sweep: `POWERLOSS_SEEDS=N` runs N extra dense
+/// seeds beyond the tier-1 eight, uploading the kvwal report for all of
+/// them. A no-op without the environment variable.
+#[test]
+fn power_loss_extended_seeds() {
+    if let Ok(n) = std::env::var("POWERLOSS_SEEDS") {
+        let n: u64 = n.parse().expect("POWERLOSS_SEEDS must be a u64");
+        let records: Vec<String> = (0..n)
+            .map(|i| {
+                let seed = 5_000 + i;
+                kvwal_json(seed, &run_power_loss_seed(seed))
+            })
+            .collect();
+        write_powerloss_json(&records);
     }
 }
 
