@@ -673,7 +673,11 @@ impl Client {
                         // served the read, so they count as served too —
                         // keeping `client.meta_reads_served` reconcilable
                         // with `meta.lease_reads + meta.quorum_reads`.
-                        if is_read {
+                        // `RangeMoved` is the exception: the dual-serve
+                        // fence fires *before* lease/quorum classification
+                        // (the partition no longer owns the inode), so it
+                        // must not count as a served read.
+                        if is_read && !matches!(e, CfsError::RangeMoved { .. }) {
                             self.stats.meta_reads_served.inc();
                         }
                         return Err(e);
@@ -710,6 +714,99 @@ impl Client {
         read: MetaRead,
     ) -> Result<MetaValue> {
         self.meta_call(partition, members, MetaRequest::Read { partition, read })
+    }
+
+    /// Inode-routed meta call: derive the owning partition from the cached
+    /// view, call it, and on [`CfsError::RangeMoved`] (the dual-serve
+    /// fence: a split cut the range after we cached the view) refresh the
+    /// partition table and re-route by inode. This is the split-handoff
+    /// loop of §2.4 — a lookup racing a split lands on whichever half owns
+    /// the inode *now*, never the frozen half.
+    fn meta_call_at(
+        &self,
+        inode: InodeId,
+        mut req: impl FnMut(PartitionId) -> MetaRequest,
+    ) -> Result<MetaValue> {
+        let mut last_err = CfsError::NotFound(format!("no meta partition for {inode}"));
+        for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("meta_route");
+                self.stats.view_refreshes.inc();
+                self.refresh_partition_table()?;
+                self.backoff(pass - 1);
+            }
+            let (partition, members) = self.meta_partition_of(inode)?;
+            match self.meta_call(partition, &members, req(partition)) {
+                Err(e @ CfsError::RangeMoved { .. }) => last_err = e,
+                other => return other,
+            }
+        }
+        Err(CfsError::RetriesExhausted {
+            op: format!("meta_call_at({inode})"),
+            attempts: self.options.max_retries + 1,
+        }
+        .max_specific(last_err))
+    }
+
+    /// Inode-routed replicated write (see [`Self::meta_call_at`]).
+    pub(crate) fn meta_write_at(&self, inode: InodeId, cmd: MetaCommand) -> Result<MetaValue> {
+        self.meta_call_at(inode, |partition| MetaRequest::Write {
+            partition,
+            cmd: cmd.clone(),
+        })
+    }
+
+    /// Inode-routed leader read (see [`Self::meta_call_at`]).
+    pub(crate) fn meta_read_at(&self, inode: InodeId, read: MetaRead) -> Result<MetaValue> {
+        self.meta_call_at(inode, |partition| MetaRequest::Read {
+            partition,
+            read: read.clone(),
+        })
+    }
+
+    /// Allocate a new inode on *some* writable meta partition. The random
+    /// pick (§2.3.1) can land on a partition frozen by an Algorithm 1 cut
+    /// between the view fetch and the write — it then answers
+    /// `PartitionFull` (cannot allocate past its new end) or `RangeMoved`.
+    /// Refresh the view and re-pick; the split's successor partition is
+    /// always writable, so this converges.
+    pub(crate) fn create_inode_anywhere(
+        &self,
+        file_type: cfs_types::FileType,
+        link_target: &[u8],
+    ) -> Result<(PartitionId, Inode)> {
+        let mut last_err = CfsError::Unavailable("no writable meta partitions".into());
+        for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("meta_route");
+                self.stats.view_refreshes.inc();
+                self.refresh_partition_table()?;
+                self.backoff(pass - 1);
+            }
+            let (partition, members) = self.random_meta_partition()?;
+            match self.meta_write(
+                partition,
+                &members,
+                MetaCommand::CreateInode {
+                    file_type,
+                    link_target: link_target.to_vec(),
+                    now_ns: self.now_ns(),
+                },
+            ) {
+                Ok(v) => return Ok((partition, v.into_inode()?)),
+                Err(
+                    e @ (CfsError::PartitionFull(_)
+                    | CfsError::ReadOnly(_)
+                    | CfsError::RangeMoved { .. }),
+                ) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CfsError::RetriesExhausted {
+            op: "create_inode".into(),
+            attempts: self.options.max_retries + 1,
+        }
+        .max_specific(last_err))
     }
 
     // ------------------------------------------------------------------
@@ -829,11 +926,10 @@ impl Client {
         let mut evicted = 0;
         let mut kept = Vec::new();
         for (partition, inode) in orphans {
-            let members = match self.meta_partition_of(inode) {
-                Ok((_, m)) => m,
-                Err(_) => continue,
-            };
-            match self.meta_write(partition, &members, MetaCommand::Evict { inode }) {
+            // Route by inode, not the recorded partition id: a split may
+            // have moved the inode's range to a successor since the orphan
+            // was pushed.
+            match self.meta_write_at(inode, MetaCommand::Evict { inode }) {
                 Ok(_) => evicted += 1,
                 Err(CfsError::NotFound(_)) => evicted += 1, // already gone
                 Err(_) => kept.push((partition, inode)),    // retry later

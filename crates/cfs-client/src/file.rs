@@ -474,12 +474,10 @@ impl Client {
     /// Record freshly committed extents + size at the inode's meta node
     /// (§2.7.1 step 8, or the fsync path).
     fn sync_extents(&self, ino: InodeId, keys: &[ExtentKey], new_size: u64) -> Result<()> {
-        let (partition, members) = self.meta_partition_of(ino)?;
         self.stats.meta_syncs.inc();
         let updated = self
-            .meta_write(
-                partition,
-                &members,
+            .meta_write_at(
+                ino,
                 MetaCommand::AppendExtents {
                     inode: ino,
                     extents: keys.to_vec(),
@@ -695,11 +693,9 @@ impl Client {
             ));
         }
         self.flush_meta(f)?;
-        let (partition, members) = self.meta_partition_of(f.ino)?;
         let removed = self
-            .meta_write(
-                partition,
-                &members,
+            .meta_write_at(
+                f.ino,
                 MetaCommand::Truncate {
                     inode: f.ino,
                     size,
@@ -762,10 +758,9 @@ impl Client {
         let orphans = std::mem::take(&mut self.cache.lock().orphans);
         let mut reclaimed = 0;
         for (partition, inode) in orphans {
-            let Ok((_, members)) = self.meta_partition_of(inode) else {
-                continue;
-            };
-            match self.meta_write(partition, &members, MetaCommand::Evict { inode }) {
+            // Route by inode id — a split may have moved the range since
+            // the orphan was recorded.
+            match self.meta_write_at(inode, MetaCommand::Evict { inode }) {
                 Ok(v) => {
                     if let Ok(ino) = v.into_inode() {
                         self.queue_extent_cleanup(&ino.extents);

@@ -47,6 +47,13 @@ pub struct FsckReport {
     /// keeps this at zero ("a dentry is always associated with at least
     /// one inode"); fsck reports violations rather than hiding them.
     pub dangling_dentries: u64,
+    /// Inode ids owned by more than one partition. Partition ranges are
+    /// disjoint by construction; a split (Algorithm 1) must never leave
+    /// the same inode served by both halves.
+    pub duplicate_inodes: u64,
+    /// `(parent, name)` pairs present in more than one partition — a
+    /// lookup would be double-served. Must stay zero across splits.
+    pub duplicate_dentries: u64,
     /// Meta/data partitions with fewer live replicas than configured,
     /// with the dead members repair still has to replace (§2.3.3).
     pub under_replicated: Vec<UnderReplication>,
@@ -108,16 +115,21 @@ impl Client {
             }
         }
 
-        // Pass 1: gather every inode and dentry in the volume.
+        // Pass 1: gather every inode and dentry in the volume, flagging
+        // anything two partitions both claim to own (a split that failed
+        // to fence one half would surface here).
         let mut inodes = Vec::new();
         let mut referenced: HashSet<InodeId> = HashSet::new();
         let mut all_inode_ids: HashSet<InodeId> = HashSet::new();
+        let mut dentry_keys: HashSet<(InodeId, String)> = HashSet::new();
         for (partition, members) in &partitions {
             let inos = self
                 .meta_read(*partition, members, MetaRead::ListAllInodes)?
                 .into_inodes()?;
             for ino in inos {
-                all_inode_ids.insert(ino.id);
+                if !all_inode_ids.insert(ino.id) {
+                    report.duplicate_inodes += 1;
+                }
                 inodes.push((*partition, ino));
                 report.inodes_scanned += 1;
             }
@@ -126,6 +138,9 @@ impl Client {
                 .into_dentries()?;
             for d in dents {
                 referenced.insert(d.inode);
+                if !dentry_keys.insert((d.parent_id, d.name.clone())) {
+                    report.duplicate_dentries += 1;
+                }
                 report.dentries_scanned += 1;
             }
         }

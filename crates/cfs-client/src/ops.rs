@@ -26,31 +26,25 @@ impl Client {
         if name.is_empty() || name.contains('/') {
             return Err(CfsError::InvalidArgument(format!("bad name {name:?}")));
         }
-        // Step 1: inode on a random writable partition.
-        let (ino_partition, ino_members) = self.random_meta_partition()?;
-        let inode = self
-            .meta_write(
-                ino_partition,
-                &ino_members,
-                MetaCommand::CreateInode {
-                    file_type,
-                    link_target: link_target.to_vec(),
-                    now_ns: self.now_ns(),
-                },
-            )?
-            .into_inode()?;
+        // Step 1: inode on a random writable partition. A split can freeze
+        // the picked partition between the view fetch and the write
+        // (`PartitionFull`/`RangeMoved` from the dual-serve fence): refresh
+        // the table and re-pick among the partitions that can still
+        // allocate (§2.3.1 — the successor partition covers the open end).
+        let (ino_partition, inode) = self.create_inode_anywhere(file_type, link_target)?;
 
         // Step 2: dentry on the parent's partition — possibly a different
-        // meta node (§2.6: no cross-node atomicity).
-        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
-        let dentry_result = self.meta_write(dent_partition, &dent_members, {
+        // meta node (§2.6: no cross-node atomicity). Routed by parent id
+        // so a concurrent split of the parent's range re-routes here.
+        let dentry_result = self.meta_write_at(
+            parent,
             MetaCommand::CreateDentry {
                 parent,
                 name: name.to_string(),
                 inode: inode.id,
                 file_type,
-            }
-        });
+            },
+        );
 
         match dentry_result {
             Ok(v) => {
@@ -65,9 +59,8 @@ impl Client {
             }
             Err(e) => {
                 // Failure path: roll the inode back and orphan-list it.
-                let _ = self.meta_write(
-                    ino_partition,
-                    &ino_members,
+                let _ = self.meta_write_at(
+                    inode.id,
                     MetaCommand::Unlink {
                         inode: inode.id,
                         now_ns: self.now_ns(),
@@ -118,10 +111,8 @@ impl Client {
             return cached;
         }
         self.stats.lookup_cache_misses.inc();
-        let (partition, members) = self.meta_partition_of(parent)?;
-        match self.meta_read(
-            partition,
-            &members,
+        match self.meta_read_at(
+            parent,
             MetaRead::Lookup {
                 parent,
                 name: name.to_string(),
@@ -143,9 +134,8 @@ impl Client {
     /// Fetch an inode, bypassing the cache (used by open's force-sync,
     /// §2.4).
     pub fn stat(&self, ino: InodeId) -> Result<Inode> {
-        let (partition, members) = self.meta_partition_of(ino)?;
         let inode = self
-            .meta_read(partition, &members, MetaRead::GetInode { inode: ino })?
+            .meta_read_at(ino, MetaRead::GetInode { inode: ino })?
             .into_inode()?;
         self.cache_inode(&inode);
         Ok(inode)
@@ -153,8 +143,7 @@ impl Client {
 
     /// List a directory (one range scan on the parent's partition).
     pub fn readdir(&self, parent: InodeId) -> Result<Vec<Dentry>> {
-        let (partition, members) = self.meta_partition_of(parent)?;
-        self.meta_read(partition, &members, MetaRead::ReadDir { parent })?
+        self.meta_read_at(parent, MetaRead::ReadDir { parent })?
             .into_dentries()
     }
 
@@ -163,40 +152,56 @@ impl Client {
     /// request storm, §4.2) and serves repeats from the client cache.
     pub fn readdir_plus(&self, parent: InodeId) -> Result<Vec<(Dentry, Inode)>> {
         let dentries = self.readdir(parent)?;
-        // Group wanted inode ids by owning partition.
-        let mut by_partition: std::collections::HashMap<
-            cfs_types::PartitionId,
-            (Vec<cfs_types::NodeId>, Vec<InodeId>),
-        > = Default::default();
         let mut inodes: std::collections::HashMap<InodeId, Inode> = Default::default();
         for d in &dentries {
-            if inodes.contains_key(&d.inode) {
-                continue; // hard link repeat — already routed or cached
-            }
             if let Some(ino) = self.cached_inode(d.inode) {
                 inodes.insert(d.inode, ino);
-                continue;
-            }
-            let (p, members) = self.meta_partition_of(d.inode)?;
-            let e = by_partition
-                .entry(p)
-                .or_insert_with(|| (members, Vec::new()));
-            if !e.1.contains(&d.inode) {
-                e.1.push(d.inode);
             }
         }
-        for (partition, (members, ids)) in by_partition {
-            let got = self
-                .meta_read(
+        // Batch the cache misses per owning partition. A split racing the
+        // listing fences a batch with `RangeMoved` (the grouping used a
+        // stale view): refresh the table and re-group what is still
+        // missing — already-fetched inodes are not re-requested.
+        'regroup: for pass in 0..=self.options.max_retries {
+            if pass > 0 {
+                self.count_retry("meta_route");
+                self.stats.view_refreshes.inc();
+                self.refresh_partition_table()?;
+                self.backoff(pass - 1);
+            }
+            let mut by_partition: std::collections::HashMap<
+                cfs_types::PartitionId,
+                (Vec<cfs_types::NodeId>, Vec<InodeId>),
+            > = Default::default();
+            for d in &dentries {
+                if inodes.contains_key(&d.inode) {
+                    continue; // hard link repeat, cached, or already fetched
+                }
+                let (p, members) = self.meta_partition_of(d.inode)?;
+                let e = by_partition
+                    .entry(p)
+                    .or_insert_with(|| (members, Vec::new()));
+                if !e.1.contains(&d.inode) {
+                    e.1.push(d.inode);
+                }
+            }
+            for (partition, (members, ids)) in by_partition {
+                match self.meta_read(
                     partition,
                     &members,
                     MetaRead::BatchGetInodes { inodes: ids },
-                )?
-                .into_inodes()?;
-            for ino in got {
-                self.cache_inode(&ino);
-                inodes.insert(ino.id, ino);
+                ) {
+                    Ok(v) => {
+                        for ino in v.into_inodes()? {
+                            self.cache_inode(&ino);
+                            inodes.insert(ino.id, ino);
+                        }
+                    }
+                    Err(CfsError::RangeMoved { .. }) => continue 'regroup,
+                    Err(e) => return Err(e),
+                }
             }
+            break;
         }
         let mut out = Vec::with_capacity(dentries.len());
         for d in dentries {
@@ -222,19 +227,13 @@ impl Client {
     /// Workflow (§2.6.2): nlink++ at the inode's meta node, then create
     /// the dentry at the parent's; on dentry failure, nlink-- rollback.
     pub fn link(&self, parent: InodeId, name: &str, ino: InodeId) -> Result<()> {
-        let (ino_partition, ino_members) = self.meta_partition_of(ino)?;
         let linked = self
-            .meta_write(
-                ino_partition,
-                &ino_members,
-                MetaCommand::Link { inode: ino },
-            )?
+            .meta_write_at(ino, MetaCommand::Link { inode: ino })?
             .into_inode()?;
         if linked.is_dir() {
             // Roll back: directories cannot be hard-linked.
-            let _ = self.meta_write(
-                ino_partition,
-                &ino_members,
+            let _ = self.meta_write_at(
+                ino,
                 MetaCommand::Unlink {
                     inode: ino,
                     now_ns: self.now_ns(),
@@ -242,10 +241,8 @@ impl Client {
             );
             return Err(CfsError::IsADirectory(ino));
         }
-        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
-        let created = self.meta_write(
-            dent_partition,
-            &dent_members,
+        let created = self.meta_write_at(
+            parent,
             MetaCommand::CreateDentry {
                 parent,
                 name: name.to_string(),
@@ -263,9 +260,8 @@ impl Client {
             }
             Err(e) => {
                 // SUCCESSFUL/FAILED branches of Fig. 3b: undo the nlink++.
-                let _ = self.meta_write(
-                    ino_partition,
-                    &ino_members,
+                let _ = self.meta_write_at(
+                    ino,
                     MetaCommand::Unlink {
                         inode: ino,
                         now_ns: self.now_ns(),
@@ -286,11 +282,9 @@ impl Client {
     /// the inode's node. At the type threshold (0 for files) the inode is
     /// marked deleted and reclaimed asynchronously (§2.7.3).
     pub fn unlink(&self, parent: InodeId, name: &str) -> Result<()> {
-        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
         let dentry = self
-            .meta_write(
-                dent_partition,
-                &dent_members,
+            .meta_write_at(
+                parent,
                 MetaCommand::DeleteDentry {
                     parent,
                     name: name.to_string(),
@@ -300,10 +294,9 @@ impl Client {
         self.invalidate_parent(parent);
 
         let ino = dentry.inode;
-        let (ino_partition, ino_members) = self.meta_partition_of(ino)?;
-        match self.meta_write(
-            ino_partition,
-            &ino_members,
+        let (ino_partition, _) = self.meta_partition_of(ino)?;
+        match self.meta_write_at(
+            ino,
             MetaCommand::Unlink {
                 inode: ino,
                 now_ns: self.now_ns(),
@@ -315,9 +308,7 @@ impl Client {
                 if inode.nlink == 0 {
                     // Threshold reached: mark deleted; data reclaimed by
                     // the asynchronous delete pass.
-                    let _ = self.meta_write(ino_partition, &ino_members, {
-                        MetaCommand::MarkDeleted { inode: ino }
-                    });
+                    let _ = self.meta_write_at(ino, MetaCommand::MarkDeleted { inode: ino });
                     self.push_orphan(ino_partition, ino);
                 }
                 Ok(())
@@ -337,11 +328,10 @@ impl Client {
         if dentry.file_type != FileType::Dir {
             return Err(CfsError::NotADirectory(dentry.inode));
         }
-        let (dir_partition, dir_members) = self.meta_partition_of(dentry.inode)?;
+        let (dir_partition, _) = self.meta_partition_of(dentry.inode)?;
         // Emptiness check on the directory's own partition.
-        let count = match self.meta_read(
-            dir_partition,
-            &dir_members,
+        let count = match self.meta_read_at(
+            dentry.inode,
             MetaRead::DirEntryCount {
                 parent: dentry.inode,
             },
@@ -353,10 +343,8 @@ impl Client {
             return Err(CfsError::NotEmpty(dentry.inode));
         }
 
-        let (dent_partition, dent_members) = self.meta_partition_of(parent)?;
-        self.meta_write(
-            dent_partition,
-            &dent_members,
+        self.meta_write_at(
+            parent,
             MetaCommand::DeleteDentry {
                 parent,
                 name: name.to_string(),
@@ -366,9 +354,8 @@ impl Client {
         // Directory threshold is 2 (§2.6.3): one decrement takes a fresh
         // dir from 2 → 1, below threshold → reclaim.
         let after = self
-            .meta_write(
-                dir_partition,
-                &dir_members,
+            .meta_write_at(
+                dentry.inode,
                 MetaCommand::Unlink {
                     inode: dentry.inode,
                     now_ns: self.now_ns(),
@@ -376,9 +363,8 @@ impl Client {
             )?
             .into_inode()?;
         if after.nlink < FileType::Dir.unlink_threshold() {
-            let _ = self.meta_write(
-                dir_partition,
-                &dir_members,
+            let _ = self.meta_write_at(
+                dentry.inode,
                 MetaCommand::MarkDeleted {
                     inode: dentry.inode,
                 },
@@ -407,10 +393,8 @@ impl Client {
         new_name: &str,
     ) -> Result<()> {
         let dentry = self.lookup(old_parent, old_name)?;
-        let (new_partition, new_members) = self.meta_partition_of(new_parent)?;
-        self.meta_write(
-            new_partition,
-            &new_members,
+        self.meta_write_at(
+            new_parent,
             MetaCommand::CreateDentry {
                 parent: new_parent,
                 name: new_name.to_string(),
@@ -418,12 +402,10 @@ impl Client {
                 file_type: dentry.file_type,
             },
         )?;
-        let (old_partition, old_members) = self.meta_partition_of(old_parent)?;
         // Remove the old name; nlink is untouched (same count of dentries
         // before and after).
-        self.meta_write(
-            old_partition,
-            &old_members,
+        self.meta_write_at(
+            old_parent,
             MetaCommand::DeleteDentry {
                 parent: old_parent,
                 name: old_name.to_string(),

@@ -101,6 +101,15 @@ pub struct MasterMetrics {
     pub repair_replacements: Counter,
     /// Joins confirmed complete (`ConfirmReplicaJoined` accepted).
     pub repair_confirms: Counter,
+    /// Meta partition range cuts planned (Algorithm 1 splits, including
+    /// reconciliation re-emissions of an unacknowledged cut).
+    pub splits_planned: Counter,
+    /// Partition placements whose replicas all landed in one Raft set
+    /// (§2.5.1).
+    pub raftset_placements: Counter,
+    /// Placements that had to fall back across Raft sets (no single set
+    /// had enough live capacity).
+    pub raftset_fallbacks: Counter,
 }
 
 impl MasterMetrics {
@@ -119,6 +128,9 @@ impl MasterMetrics {
             repair_decommissions: registry.counter("master.repair.decommissions"),
             repair_replacements: registry.counter("master.repair.replacements"),
             repair_confirms: registry.counter("master.repair.confirms"),
+            splits_planned: registry.counter("master.splits.planned"),
+            raftset_placements: registry.counter("master.raftset.placements"),
+            raftset_fallbacks: registry.counter("master.raftset.fallbacks"),
         }
     }
 }
@@ -395,6 +407,36 @@ impl MasterNode {
                 }
                 MasterCommand::ConfirmReplicaJoined { .. } => self.metrics.repair_confirms.inc(),
                 _ => {}
+            }
+            // Split + Raft-set placement counters, also proposal-side:
+            // every planned cut, and each new partition classified by
+            // whether its replicas landed in one Raft set (§2.5.1).
+            let counts = outcome.tasks.iter().any(|t| {
+                matches!(
+                    t,
+                    crate::state::Task::UpdateMetaPartitionEnd { .. }
+                        | crate::state::Task::CreateMetaPartition { .. }
+                        | crate::state::Task::CreateDataPartition { .. }
+                )
+            });
+            if counts {
+                let inner = self.inner.lock();
+                for t in &outcome.tasks {
+                    match t {
+                        crate::state::Task::UpdateMetaPartitionEnd { .. } => {
+                            self.metrics.splits_planned.inc()
+                        }
+                        crate::state::Task::CreateMetaPartition { members, .. }
+                        | crate::state::Task::CreateDataPartition { members, .. } => {
+                            if inner.state.members_in_one_set(members) {
+                                self.metrics.raftset_placements.inc()
+                            } else {
+                                self.metrics.raftset_fallbacks.inc()
+                            }
+                        }
+                        _ => {}
+                    }
+                }
             }
         }
         result

@@ -7,6 +7,10 @@ use cfs_types::{CfsError, ClusterConfig, InodeId, NodeId, PartitionId, Result, V
 
 use crate::placement::{choose_replicas, NodeLoad};
 
+/// Heartbeat rounds a meta partition may stay unreported before the
+/// maintenance sweep re-emits its create task (split reconciliation).
+const UNREPORTED_ROUNDS: u64 = 3;
+
 /// What kind of storage node registered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
@@ -98,6 +102,21 @@ pub struct MetaPartitionMeta {
     pub members: Vec<NodeId>,
     pub item_count: u64,
     pub max_inode: InodeId,
+    /// Raft applied index as of the last heartbeat report. The delta
+    /// between two reports is the partition's write rate, the QPS signal
+    /// for the load-triggered split (§2.3.2).
+    pub applied: u64,
+    /// Applied-index delta observed between the two most recent reports.
+    pub write_load: u64,
+    /// The range end the reporting replica actually serves. While it lags
+    /// `end` the split's cut task has not landed, and the maintenance
+    /// sweep re-emits `UpdateMetaPartitionEnd` until it does.
+    pub reported_end: InodeId,
+    /// Heartbeat round of the last stats report. A partition that stays
+    /// unreported for `UNREPORTED_ROUNDS` rounds gets its create task
+    /// re-emitted (a split whose successor was never materialised, e.g.
+    /// the master crashed before task delivery).
+    pub last_reported_round: u64,
 }
 
 impl Encode for MetaPartitionMeta {
@@ -109,6 +128,10 @@ impl Encode for MetaPartitionMeta {
         self.members.encode(enc);
         enc.put_u64(self.item_count);
         self.max_inode.encode(enc);
+        enc.put_u64(self.applied);
+        enc.put_u64(self.write_load);
+        self.reported_end.encode(enc);
+        enc.put_u64(self.last_reported_round);
     }
 }
 
@@ -122,6 +145,10 @@ impl Decode for MetaPartitionMeta {
             members: Vec::<NodeId>::decode(dec)?,
             item_count: dec.get_u64()?,
             max_inode: InodeId::decode(dec)?,
+            applied: dec.get_u64()?,
+            write_load: dec.get_u64()?,
+            reported_end: InodeId::decode(dec)?,
+            last_reported_round: dec.get_u64()?,
         })
     }
 }
@@ -264,10 +291,15 @@ pub enum MasterCommand {
         utilization: u64,
     },
     /// Heartbeat body: per-meta-partition counters (feeds Algorithm 1).
+    /// `end` is the range end the replica serves (split reconciliation
+    /// compares it against the planned cut) and `applied` its Raft
+    /// applied index (successive deltas give the write-rate trigger).
     UpdateMetaPartitionStats {
         partition: PartitionId,
         item_count: u64,
         max_inode: InodeId,
+        end: InodeId,
+        applied: u64,
     },
     /// Heartbeat body: data partition reached its extent cap (§2.3.1).
     SetDataPartitionFull {
@@ -336,11 +368,15 @@ impl Encode for MasterCommand {
                 partition,
                 item_count,
                 max_inode,
+                end,
+                applied,
             } => {
                 enc.put_u8(3);
                 partition.encode(enc);
                 enc.put_u64(*item_count);
                 max_inode.encode(enc);
+                end.encode(enc);
+                enc.put_u64(*applied);
             }
             MasterCommand::SetDataPartitionFull { partition, full } => {
                 enc.put_u8(4);
@@ -404,6 +440,8 @@ impl Decode for MasterCommand {
                 partition: PartitionId::decode(dec)?,
                 item_count: dec.get_u64()?,
                 max_inode: InodeId::decode(dec)?,
+                end: InodeId::decode(dec)?,
+                applied: dec.get_u64()?,
             },
             4 => MasterCommand::SetDataPartitionFull {
                 partition: PartitionId::decode(dec)?,
@@ -524,6 +562,19 @@ impl MasterState {
         &self.pending_joins
     }
 
+    /// Do all of `members` live in one Raft set (§2.5.1)? Used to count
+    /// in-set placements vs cross-set fallbacks.
+    pub fn members_in_one_set(&self, members: &[NodeId]) -> bool {
+        let mut sets = members
+            .iter()
+            .filter_map(|m| self.nodes.get(m))
+            .map(|n| n.raft_set);
+        let Some(first) = sets.next() else {
+            return false;
+        };
+        sets.all(|s| s == first)
+    }
+
     /// Meta partitions of a volume, id-ordered.
     pub fn volume_meta_partitions(&self, vol: VolumeId) -> Vec<&MetaPartitionMeta> {
         self.volumes
@@ -604,6 +655,13 @@ impl MasterState {
                 members: members.clone(),
                 item_count: 0,
                 max_inode: InodeId(start.raw().saturating_sub(1)),
+                applied: 0,
+                write_load: 0,
+                // Treat the plan as reported until the first heartbeat
+                // arrives, so a freshly created partition is not
+                // immediately "lost" to reconciliation.
+                reported_end: end,
+                last_reported_round: self.heartbeat_round,
             },
         );
         self.volumes
@@ -867,10 +925,17 @@ impl MasterState {
                 partition,
                 item_count,
                 max_inode,
+                end,
+                applied,
             } => {
+                let round = self.heartbeat_round;
                 if let Some(p) = self.meta_partitions.get_mut(partition) {
                     p.item_count = *item_count;
                     p.max_inode = (*max_inode).max(p.max_inode);
+                    p.write_load = applied.saturating_sub(p.applied);
+                    p.applied = *applied;
+                    p.reported_end = *end;
+                    p.last_reported_round = round;
                 }
                 Ok(ApplyOutcome::default())
             }
@@ -963,13 +1028,41 @@ impl MasterState {
             }
             MasterCommand::Maintenance => {
                 let mut outcome = ApplyOutcome::default();
-                // Auto-split meta partitions near their item limit.
+                // Split reconciliation first (so a split planned later in
+                // this same sweep is not immediately re-emitted): a cut
+                // the replicas have not acknowledged yet is re-sent, and
+                // a partition that never reported in (its create task was
+                // lost with a crashed master) is re-created. Both tasks
+                // are idempotent at the meta nodes.
+                for p in self.meta_partitions.values() {
+                    if p.reported_end != p.end {
+                        outcome.tasks.push(Task::UpdateMetaPartitionEnd {
+                            partition: p.partition,
+                            end: p.end,
+                            members: p.members.clone(),
+                        });
+                    }
+                    if self.heartbeat_round
+                        >= p.last_reported_round.saturating_add(UNREPORTED_ROUNDS)
+                    {
+                        outcome.tasks.push(Task::CreateMetaPartition {
+                            partition: p.partition,
+                            volume: p.volume,
+                            start: p.start,
+                            end: p.end,
+                            members: p.members.clone(),
+                        });
+                    }
+                }
+                // Auto-split meta partitions near their item limit or
+                // running hot (§2.3.2: size *or* write-rate trigger).
                 let near_full: Vec<PartitionId> = self
                     .meta_partitions
                     .values()
                     .filter(|p| {
                         p.end == InodeId::MAX
-                            && p.item_count >= self.config.meta_partition_item_limit
+                            && (p.item_count >= self.config.meta_partition_item_limit
+                                || p.write_load >= self.config.meta_partition_write_load_limit)
                     })
                     .map(|p| p.partition)
                     .collect();
@@ -1208,6 +1301,8 @@ mod tests {
             partition: pid,
             item_count: 800,
             max_inode: InodeId(500),
+            end: InodeId::MAX,
+            applied: 800,
         })
         .unwrap();
 
@@ -1262,6 +1357,8 @@ mod tests {
             partition: mpid,
             item_count: st.config().meta_partition_item_limit,
             max_inode: InodeId(42),
+            end: InodeId::MAX,
+            applied: 0,
         })
         .unwrap();
         // All data partitions full → refill.
@@ -1289,6 +1386,165 @@ mod tests {
             st.volume(vid).unwrap().data_partitions.len(),
             2 + st.config().partitions_per_allocation
         );
+    }
+
+    #[test]
+    fn write_load_triggers_maintenance_split() {
+        let mut st = MasterState::new(ClusterConfig {
+            meta_partition_write_load_limit: 50,
+            ..ClusterConfig::default()
+        });
+        for i in 1..=4u64 {
+            st.apply(&MasterCommand::RegisterNode {
+                node: NodeId(i),
+                kind: NodeKind::Meta,
+            })
+            .unwrap();
+        }
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        let pid = st.volume(out.volume.unwrap()).unwrap().meta_partitions[0];
+
+        // Far below the item limit but applying entries fast: the delta
+        // between successive reports crosses the write-load limit.
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: pid,
+            item_count: 10,
+            max_inode: InodeId(10),
+            end: InodeId::MAX,
+            applied: 30,
+        })
+        .unwrap();
+        assert_eq!(st.meta_partition(pid).unwrap().write_load, 30);
+        assert!(st
+            .apply(&MasterCommand::Maintenance)
+            .unwrap()
+            .tasks
+            .is_empty());
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: pid,
+            item_count: 12,
+            max_inode: InodeId(12),
+            end: InodeId::MAX,
+            applied: 100,
+        })
+        .unwrap();
+        assert_eq!(st.meta_partition(pid).unwrap().write_load, 70);
+        let out = st.apply(&MasterCommand::Maintenance).unwrap();
+        assert!(out
+            .tasks
+            .iter()
+            .any(|t| matches!(t, Task::UpdateMetaPartitionEnd { .. })));
+        assert!(out
+            .tasks
+            .iter()
+            .any(|t| matches!(t, Task::CreateMetaPartition { .. })));
+    }
+
+    #[test]
+    fn maintenance_reemits_unacknowledged_cut_and_lost_create() {
+        let mut st = state_with_nodes(4, 0);
+        let out = st
+            .apply(&MasterCommand::CreateVolume {
+                name: "v".into(),
+                meta_partition_count: 1,
+                data_partition_count: 0,
+            })
+            .unwrap();
+        let vid = out.volume.unwrap();
+        let pid = st.volume(vid).unwrap().meta_partitions[0];
+        let all: Vec<NodeId> = st.nodes.keys().copied().collect();
+
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: pid,
+            item_count: 5,
+            max_inode: InodeId(5),
+            end: InodeId::MAX,
+            applied: 5,
+        })
+        .unwrap();
+        st.apply(&MasterCommand::SplitMetaPartition { partition: pid })
+            .unwrap();
+        let cut = st.meta_partition(pid).unwrap().end;
+        let succ = st.volume(vid).unwrap().meta_partitions[1];
+        assert_ne!(cut, InodeId::MAX);
+
+        // The replicas never saw the cut (reported_end still MAX): every
+        // sweep re-emits the UpdateMetaPartitionEnd task until they do.
+        let out = st.apply(&MasterCommand::Maintenance).unwrap();
+        assert!(out.tasks.iter().any(|t| matches!(
+            t,
+            Task::UpdateMetaPartitionEnd { partition, end, .. }
+                if *partition == pid && *end == cut
+        )));
+
+        // Acknowledge the cut: reconciliation goes quiet for it.
+        st.apply(&MasterCommand::UpdateMetaPartitionStats {
+            partition: pid,
+            item_count: 5,
+            max_inode: InodeId(5),
+            end: cut,
+            applied: 6,
+        })
+        .unwrap();
+        let out = st.apply(&MasterCommand::Maintenance).unwrap();
+        assert!(!out
+            .tasks
+            .iter()
+            .any(|t| matches!(t, Task::UpdateMetaPartitionEnd { .. })));
+
+        // The successor's create task was lost (master crash before task
+        // delivery): it never reports, and after UNREPORTED_ROUNDS
+        // heartbeat rounds the sweep re-creates it.
+        for _ in 0..UNREPORTED_ROUNDS {
+            st.apply(&MasterCommand::RecordHeartbeats {
+                reporting: all.clone(),
+            })
+            .unwrap();
+            // The predecessor keeps reporting; the successor stays silent.
+            st.apply(&MasterCommand::UpdateMetaPartitionStats {
+                partition: pid,
+                item_count: 5,
+                max_inode: InodeId(5),
+                end: cut,
+                applied: 6,
+            })
+            .unwrap();
+        }
+        let out = st.apply(&MasterCommand::Maintenance).unwrap();
+        let recreates: Vec<_> = out
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::CreateMetaPartition { .. }))
+            .collect();
+        assert_eq!(recreates.len(), 1);
+        match recreates[0] {
+            Task::CreateMetaPartition {
+                partition,
+                start,
+                end,
+                ..
+            } => {
+                assert_eq!(*partition, succ);
+                assert_eq!(*start, cut.next());
+                assert_eq!(*end, InodeId::MAX);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn members_in_one_set_classifies_placements() {
+        let st = state_with_nodes(12, 0);
+        // raft_set_size = 5: 1–5 → set 0, 6–10 → set 1.
+        assert!(st.members_in_one_set(&[NodeId(1), NodeId(2), NodeId(5)]));
+        assert!(!st.members_in_one_set(&[NodeId(1), NodeId(6)]));
+        assert!(!st.members_in_one_set(&[]));
     }
 
     #[test]
@@ -1374,6 +1630,8 @@ mod tests {
                 partition: PartitionId(1),
                 item_count: 10,
                 max_inode: InodeId(5),
+                end: InodeId(7),
+                applied: 99,
             },
             MasterCommand::SetDataPartitionFull {
                 partition: PartitionId(2),

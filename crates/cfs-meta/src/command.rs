@@ -78,6 +78,28 @@ impl MetaCommand {
     }
 }
 
+impl MetaCommand {
+    /// Dual-serve range fence (Algorithm 1 handoff): the first routing
+    /// inode of this command outside `[start, end]`, if any. Commands that
+    /// allocate (`CreateInode`) or reconfigure (`UpdateEnd`) have no
+    /// routing inode — allocation enforces the range itself.
+    pub fn out_of_range(&self, start: InodeId, end: InodeId) -> Option<InodeId> {
+        let outside = |id: &InodeId| *id < start || *id > end;
+        match self {
+            MetaCommand::CreateInode { .. } | MetaCommand::UpdateEnd { .. } => None,
+            MetaCommand::CreateDentry { parent, .. } | MetaCommand::DeleteDentry { parent, .. } => {
+                Some(*parent).filter(outside)
+            }
+            MetaCommand::Link { inode }
+            | MetaCommand::Unlink { inode, .. }
+            | MetaCommand::MarkDeleted { inode }
+            | MetaCommand::Evict { inode }
+            | MetaCommand::AppendExtents { inode, .. }
+            | MetaCommand::Truncate { inode, .. } => Some(*inode).filter(outside),
+        }
+    }
+}
+
 /// A leader-local read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetaRead {
@@ -101,6 +123,23 @@ pub enum MetaRead {
     ListAllInodes,
     /// fsck enumeration: every dentry in the partition.
     ListAllDentries,
+}
+
+impl MetaRead {
+    /// Dual-serve range fence (Algorithm 1 handoff): the first routing
+    /// inode of this read outside `[start, end]`, if any. Partition-wide
+    /// enumerations carry no routing inode.
+    pub fn out_of_range(&self, start: InodeId, end: InodeId) -> Option<InodeId> {
+        let outside = |id: &InodeId| *id < start || *id > end;
+        match self {
+            MetaRead::GetInode { inode } => Some(*inode).filter(outside),
+            MetaRead::BatchGetInodes { inodes } => inodes.iter().copied().find(|i| outside(i)),
+            MetaRead::Lookup { parent, .. }
+            | MetaRead::ReadDir { parent }
+            | MetaRead::DirEntryCount { parent } => Some(*parent).filter(outside),
+            MetaRead::ListAllInodes | MetaRead::ListAllDentries => None,
+        }
+    }
 }
 
 /// Result payload of a command or read.

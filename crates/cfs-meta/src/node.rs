@@ -30,6 +30,10 @@ pub struct PartitionInfo {
     pub end: InodeId,
     pub item_count: u64,
     pub max_inode: InodeId,
+    /// Raft applied index of the partition's group. Advances with write
+    /// traffic, so successive heartbeat deltas give the master a QPS
+    /// signal for the load-triggered split (§2.3.2).
+    pub applied: u64,
     pub is_leader: bool,
     pub leader_hint: Option<NodeId>,
 }
@@ -137,6 +141,13 @@ struct MetaObs {
     pages_out: Counter,
     /// Partition trees transparently reloaded from the engine on access.
     pages_in: Counter,
+    /// `UpdateEnd` range cuts applied here (one per replica per split,
+    /// Algorithm 1).
+    split_cuts: Counter,
+    /// Requests rejected by the dual-serve range fence: the routing inode
+    /// fell outside this partition's `[start, end]`, so the client must
+    /// refresh its partition view and re-route (split handoff).
+    split_fences: Counter,
 }
 
 impl MetaObs {
@@ -151,6 +162,8 @@ impl MetaObs {
             quorum_reads: registry.counter("meta.quorum_reads"),
             pages_out: registry.counter("meta.pages_out"),
             pages_in: registry.counter("meta.pages_in"),
+            split_cuts: registry.counter("meta.split.cuts"),
+            split_fences: registry.counter("meta.split.fences"),
         }
     }
 
@@ -228,6 +241,25 @@ impl Inner {
             return;
         };
         let _ = engine.put::<PartCf>(&pid.raw(), &(p.config().to_bytes(), members.to_vec()));
+    }
+
+    /// Dual-serve range fence (Algorithm 1 handoff). `violation` is the
+    /// routing inode a request carried that falls outside the partition's
+    /// current `[start, end]`; reject it with [`CfsError::RangeMoved`] —
+    /// and before it is classified as a lease or quorum read — so the
+    /// client refreshes its partition view and re-routes by inode id.
+    /// This is what keeps a lookup racing a split from ever being
+    /// answered by the wrong half: the frozen old range never serves ids
+    /// above its cut, the successor never serves ids below its start.
+    fn fence(&self, partition: PartitionId, violation: Option<InodeId>) -> Result<()> {
+        let Some(id) = violation else { return Ok(()) };
+        if let Some(o) = self.obs.as_ref() {
+            o.split_fences.inc();
+        }
+        Err(CfsError::RangeMoved {
+            partition,
+            inode: id,
+        })
     }
 
     /// Fail every ticket with the same error (group lost leadership, frame
@@ -530,6 +562,8 @@ impl MetaNode {
                 let p = inner.partitions.get(&partition).ok_or_else(|| {
                     CfsError::Unavailable(format!("{partition}: not hosted here"))
                 })?;
+                let (start, end) = (p.config().start, p.config().end);
+                inner.fence(partition, read.out_of_range(start, end))?;
                 if let Some(o) = inner.obs.as_ref() {
                     o.lease_reads.inc();
                 }
@@ -592,6 +626,10 @@ impl MetaNode {
             .partitions
             .get(&partition)
             .ok_or_else(|| CfsError::Unavailable(format!("{partition}: not hosted here")))?;
+        // Fence against the range as of *now*: a cut that applied while
+        // the quorum barrier was pending must still be honored.
+        let (start, end) = (p.config().start, p.config().end);
+        inner.fence(partition, read.out_of_range(start, end))?;
         if let Some(o) = inner.obs.as_ref() {
             o.quorum_reads.inc();
         }
@@ -646,6 +684,11 @@ impl MetaNode {
                 hint: group.leader_hint(),
             });
         }
+        let (start, end) = {
+            let p = inner.partitions.get(&partition).expect("checked above");
+            (p.config().start, p.config().end)
+        };
+        inner.fence(partition, cmd.out_of_range(start, end))?;
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
         inner
@@ -672,6 +715,11 @@ impl MetaNode {
             if !inner.partitions.contains_key(&partition) {
                 return Err(CfsError::NotFound(format!("{partition}")));
             }
+            let (start, end) = {
+                let p = inner.partitions.get(&partition).expect("checked above");
+                (p.config().start, p.config().end)
+            };
+            inner.fence(partition, cmd.out_of_range(start, end))?;
             let node = inner
                 .multiraft
                 .group_mut(group)
@@ -715,6 +763,7 @@ impl MetaNode {
             end: cfg.end,
             item_count: p.item_count(),
             max_inode: p.max_inode(),
+            applied: group.map(|g| g.applied_index()).unwrap_or(0),
             is_leader: group.map(|g| g.is_leader()).unwrap_or(false),
             leader_hint: group.and_then(|g| g.leader_hint()),
         }
@@ -925,6 +974,19 @@ impl MetaNode {
             .map(|g| g.term())
     }
 
+    /// Wire-level MultiRaft traffic counters for this node (the raft-set
+    /// budget test and `ablation_raftsets` read these).
+    pub fn multiraft_stats(&self) -> cfs_raft::MultiRaftStats {
+        self.inner.lock().multiraft.stats()
+    }
+
+    /// Distinct destination nodes this node's consensus layer has ever
+    /// addressed — bounded by the Raft-set size (§2.5.1) no matter how
+    /// many partitions the node hosts.
+    pub fn raft_distinct_peers(&self) -> usize {
+        self.inner.lock().multiraft.distinct_peers()
+    }
+
     /// Whether the partition's group currently holds a valid read lease
     /// (leader only; see [`cfs_raft::RaftNode::lease_valid`]).
     pub fn holds_lease_for(&self, partition: PartitionId) -> bool {
@@ -1019,6 +1081,9 @@ impl RaftHost for MetaNode {
                                     if let Some(o) = inner.obs.as_mut() {
                                         o.apply_counter(pid, cmd.kind()).inc();
                                         o.batch_entries.inc();
+                                        if matches!(cmd, MetaCommand::UpdateEnd { .. }) {
+                                            o.split_cuts.inc();
+                                        }
                                     }
                                     match inner.partitions.get_mut(&pid) {
                                         Some(p) => cmd.apply(p),
@@ -1052,6 +1117,9 @@ impl RaftHost for MetaNode {
                             Ok(cmd) => {
                                 if let Some(o) = inner.obs.as_mut() {
                                     o.apply_counter(pid, cmd.kind()).inc();
+                                    if matches!(cmd, MetaCommand::UpdateEnd { .. }) {
+                                        o.split_cuts.inc();
+                                    }
                                 }
                                 match inner.partitions.get_mut(&pid) {
                                     Some(p) => cmd.apply(p),
@@ -1712,6 +1780,93 @@ mod tests {
             .read(p, &MetaRead::GetInode { inode: fresh.id })
             .unwrap();
         assert_eq!(got.into_inode().unwrap().id, fresh.id);
+    }
+
+    /// Dual-serve fence: after an Algorithm 1 cut, traffic routed to this
+    /// partition for inodes above the cut is rejected with `RangeMoved`
+    /// (the client refreshes its view and re-routes by inode), never
+    /// served and never counted as a lease or quorum read.
+    #[test]
+    fn dual_serve_fence_rejects_out_of_range_with_range_moved() {
+        let (hub, registry, nodes) = registry_cluster(3);
+        let p = mk_partition(&hub, &nodes, 1);
+        let leader = leader_of(&nodes, p);
+        for i in 0..3 {
+            leader
+                .write(
+                    p,
+                    &MetaCommand::CreateInode {
+                        file_type: FileType::File,
+                        link_target: vec![],
+                        now_ns: i,
+                    },
+                )
+                .unwrap();
+        }
+        // Algorithm 1: freeze the range at maxInodeID + Δ.
+        leader
+            .write(
+                p,
+                &MetaCommand::UpdateEnd {
+                    end: InodeId(3 + 16),
+                },
+            )
+            .unwrap();
+        for _ in 0..200 {
+            hub.tick_and_pump();
+        }
+
+        let before = registry.snapshot();
+        let err = leader
+            .read(
+                p,
+                &MetaRead::GetInode {
+                    inode: InodeId(100),
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, CfsError::RangeMoved { partition, inode }
+                if partition == p && inode == InodeId(100)),
+            "fence must report the moved range: {err:?}"
+        );
+        let err = leader
+            .read(
+                p,
+                &MetaRead::Lookup {
+                    parent: InodeId(100),
+                    name: "x".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CfsError::RangeMoved { .. }), "{err:?}");
+        let err = leader
+            .write(
+                p,
+                &MetaCommand::CreateDentry {
+                    parent: InodeId(100),
+                    name: "x".into(),
+                    inode: InodeId(1),
+                    file_type: FileType::File,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CfsError::RangeMoved { .. }), "{err:?}");
+
+        let diff = registry.snapshot().diff(&before);
+        assert_eq!(diff.counter("meta.split.fences"), 3);
+        assert_eq!(
+            diff.counter("meta.lease_reads") + diff.counter("meta.quorum_reads"),
+            0,
+            "fenced requests are never classified as served reads"
+        );
+
+        // In-range traffic still flows on the frozen half (dual-serve),
+        // and the cut itself applied on every replica.
+        leader
+            .read(p, &MetaRead::GetInode { inode: InodeId(1) })
+            .unwrap();
+        assert_eq!(registry.snapshot().counter("meta.split.cuts"), 3);
     }
 
     fn engine_partition(hub: &RaftHub, node: &Arc<MetaNode>, pid: u64) -> PartitionId {

@@ -94,6 +94,64 @@ fn build_log(seeds: &[(u8, u8, u8)]) -> Vec<MetaCommand> {
     log
 }
 
+/// Freeze the newest partition at `maxInodeID + delta` and spawn its
+/// successor owning `(cut, MAX]` — the Algorithm 1 range handoff, minus
+/// the replication machinery (covered by the node/cluster tests).
+fn do_split(parts: &mut Vec<MetaPartition>, delta: u64) {
+    let newest = parts.last_mut().expect("at least one partition");
+    let base = newest
+        .max_inode()
+        .raw()
+        .max(newest.config().start.raw() - 1);
+    let cut = InodeId(base + delta);
+    newest.update_end(cut).expect("cut is >= maxInodeID");
+    let next = MetaPartitionConfig {
+        partition_id: PartitionId(parts.len() as u64 + 1),
+        volume_id: VolumeId(1),
+        start: InodeId(cut.raw() + 1),
+        end: InodeId::MAX,
+    };
+    parts.push(MetaPartition::new(next));
+}
+
+/// Apply one command in the split world, routed the way the client
+/// routes: creates go to the lowest partition with allocation headroom,
+/// everything else to the partition whose range owns the target inode
+/// (dentries live with their parent).
+fn route_apply(
+    parts: &mut [MetaPartition],
+    cmd: &MetaCommand,
+) -> cfs_types::Result<crate::command::MetaValue> {
+    use cfs_types::CfsError;
+    let target = match cmd {
+        MetaCommand::CreateInode { .. } => {
+            let mut full = None;
+            for p in parts.iter_mut() {
+                match cmd.apply(p) {
+                    Err(e @ CfsError::PartitionFull(_)) => full = Some(Err(e)),
+                    other => return other,
+                }
+            }
+            return full.expect("at least one partition");
+        }
+        MetaCommand::CreateDentry { parent, .. } | MetaCommand::DeleteDentry { parent, .. } => {
+            *parent
+        }
+        MetaCommand::Link { inode }
+        | MetaCommand::Unlink { inode, .. }
+        | MetaCommand::MarkDeleted { inode }
+        | MetaCommand::Evict { inode }
+        | MetaCommand::AppendExtents { inode, .. }
+        | MetaCommand::Truncate { inode, .. } => *inode,
+        MetaCommand::UpdateEnd { .. } => unreachable!("splits are driven by do_split"),
+    };
+    let owner = parts
+        .iter_mut()
+        .find(|p| p.config().start <= target && target <= p.config().end)
+        .expect("contiguous ranges cover the id space");
+    cmd.apply(owner)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -309,5 +367,93 @@ proptest! {
             live.snapshot_bytes(),
             "prefix + snapshot + suffix equals the uninterrupted history"
         );
+    }
+
+    /// Split equivalence (Algorithm 1): a command log interleaved with
+    /// online splits at arbitrary points and arbitrary `Δ` headroom is
+    /// observably identical to the same log on one unsplit partition —
+    /// per-command results (including errors) match, the union of the
+    /// halves is the unsplit tree, every inode and dentry is owned by
+    /// exactly one partition (the invariant the chaos fsck checks at
+    /// cluster scale), and no split ever copies an item between halves.
+    #[test]
+    fn split_interleaving_matches_unsplit(
+        seeds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+        cut_plan in proptest::collection::vec((any::<u16>(), 0u64..5), 1..4),
+    ) {
+        let log = build_log(&seeds);
+        // Normalise the fuzzed cut plan to (op index, Δ), sorted so the
+        // splits fire in schedule order. Δ = 0 freezes the predecessor
+        // with no headroom — the next create spills straight over.
+        let mut cuts: Vec<(usize, u64)> = cut_plan
+            .iter()
+            .map(|&(pos, d)| (pos as usize % (log.len() + 1), d))
+            .collect();
+        cuts.sort_unstable();
+
+        let mut mono = partition();
+        let mut parts: Vec<MetaPartition> = vec![partition()];
+
+        for (i, cmd) in log.iter().enumerate() {
+            for &(_, delta) in cuts.iter().filter(|&&(pos, _)| pos == i) {
+                do_split(&mut parts, delta);
+            }
+            // Clients only hang dentries under a parent inode they hold
+            // (§2.6), and every allocated inode id is ≤ maxInodeID ≤ the
+            // next cut — which is what keeps a dentry co-located with
+            // its parent across splits. Skip fuzzed dentries under
+            // never-allocated parents; the node-level fence rejects such
+            // routing with RangeMoved in the real system.
+            if let MetaCommand::CreateDentry { parent, .. } = cmd {
+                if *parent > mono.max_inode() {
+                    continue;
+                }
+            }
+            let r_mono = cmd.apply(&mut mono);
+            let r_split = route_apply(&mut parts, cmd);
+            prop_assert_eq!(r_mono, r_split, "result parity for op {}", i);
+        }
+        for &(_, delta) in cuts.iter().filter(|&&(pos, _)| pos == log.len()) {
+            do_split(&mut parts, delta);
+        }
+        prop_assert!(parts.len() >= 2, "plan performed at least one split");
+
+        // Exactly-once ownership: every item sits inside its partition's
+        // range, and the sorted union reassembles the unsplit tree (any
+        // double-owned or lost item breaks the equality, since the
+        // unsplit tree holds each exactly once).
+        let mut union_inodes = Vec::new();
+        let mut union_dentries = Vec::new();
+        for p in &parts {
+            for ino in p.all_inodes() {
+                prop_assert!(
+                    p.config().start <= ino.id && ino.id <= p.config().end,
+                    "inode {} outside its owner's range", ino.id
+                );
+                union_inodes.push(ino);
+            }
+            union_dentries.extend(p.all_dentries());
+        }
+        union_inodes.sort_by_key(|i| i.id);
+        union_dentries.sort_by(|a, b| {
+            (a.parent_id, &a.name).cmp(&(b.parent_id, &b.name))
+        });
+        prop_assert_eq!(union_inodes, mono.all_inodes(), "inode union");
+        prop_assert_eq!(union_dentries.clone(), mono.all_dentries(), "dentry union");
+        let total: u64 = parts.iter().map(|p| p.item_count()).sum();
+        prop_assert_eq!(total, mono.item_count(), "no item copied or lost");
+
+        // Readdir exactly-once: each directory's listing comes entirely
+        // from the partition owning the parent and matches the unsplit
+        // listing.
+        let parents: std::collections::BTreeSet<InodeId> =
+            union_dentries.iter().map(|d| d.parent_id).collect();
+        for parent in parents {
+            let owner = parts
+                .iter()
+                .find(|p| p.config().start <= parent && parent <= p.config().end)
+                .expect("ranges cover the id space");
+            prop_assert_eq!(owner.readdir(parent), mono.readdir(parent));
+        }
     }
 }

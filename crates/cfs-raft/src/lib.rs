@@ -36,7 +36,7 @@ pub use hub::{DeliverySchedule, RaftHost, RaftHub};
 pub use log::{Entry, RaftLog};
 pub use message::{Envelope, Message, SnapshotPayload};
 pub use metrics::RaftMetrics;
-pub use multiraft::{GroupBeat, MultiRaft, WireEnvelope, WireMsg};
+pub use multiraft::{GroupBeat, MultiRaft, MultiRaftStats, WireEnvelope, WireMsg};
 pub use node::{
     decode_batch_frame, PersistentRaftState, RaftNode, Ready, Role, BATCH_FRAME_MARKER,
 };

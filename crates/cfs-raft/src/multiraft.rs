@@ -8,7 +8,7 @@
 //! bench `ablation_raftsets` measures both effects via
 //! [`MultiRaft::stats`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use cfs_types::{NodeId, RaftGroupId, Result};
@@ -77,6 +77,11 @@ pub struct MultiRaft {
     /// Node-level heartbeat phase shared by every hosted group.
     heartbeat_elapsed: u64,
     stats: MultiRaftStats,
+    /// Every distinct destination node this host has ever sent a wire
+    /// message to. With §2.5.1 Raft sets this stays bounded by the set
+    /// size no matter how many groups the node hosts — the quantity the
+    /// raft-set budget test and `ablation_raftsets` pin.
+    peers: HashSet<NodeId>,
     /// Shared by every hosted group, present and future.
     metrics: RaftMetrics,
     /// Durable raft storage attached to every hosted group, present and
@@ -105,6 +110,7 @@ impl MultiRaft {
             coalesce,
             heartbeat_elapsed: 0,
             stats: MultiRaftStats::default(),
+            peers: HashSet::new(),
             metrics: RaftMetrics::detached(),
             storage: None,
         }
@@ -219,6 +225,12 @@ impl MultiRaft {
         self.stats
     }
 
+    /// How many distinct nodes this host has sent wire traffic to —
+    /// the per-node fan-out that Raft sets keep O(set size).
+    pub fn distinct_peers(&self) -> usize {
+        self.peers.len()
+    }
+
     /// Tick every hosted group once; on the shared heartbeat boundary,
     /// fire one synchronized heartbeat from every leader group.
     pub fn tick_all(&mut self) {
@@ -301,6 +313,7 @@ impl MultiRaft {
                     msg: WireMsg::Raft(env.group, env.msg),
                 });
             }
+            self.peers.extend(wire.iter().map(|e| e.to));
             self.stats.wire_messages_sent += wire.len() as u64;
             return (wire, readies);
         }
@@ -365,6 +378,7 @@ impl MultiRaft {
                 msg: WireMsg::CoalescedHeartbeatResp(list),
             });
         }
+        self.peers.extend(wire.iter().map(|e| e.to));
         self.stats.wire_messages_sent += wire.len() as u64;
         (wire, readies)
     }
@@ -468,6 +482,45 @@ mod tests {
             wire_on * 3 < wire_off,
             "coalesced {wire_on} vs raw {wire_off}"
         );
+    }
+
+    #[test]
+    fn distinct_peers_is_bounded_by_membership() {
+        let ids = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut hosts: Vec<MultiRaft> = ids
+            .iter()
+            .map(|&id| MultiRaft::new(id, RaftConfig::default(), 42, true))
+            .collect();
+        for g in 1..=5 {
+            for h in hosts.iter_mut() {
+                h.create_group(RaftGroupId(g), ids.to_vec()).unwrap();
+            }
+        }
+        for _ in 0..400 {
+            for h in hosts.iter_mut() {
+                h.tick_all();
+            }
+            loop {
+                let mut moved = false;
+                let mut inflight = Vec::new();
+                for h in hosts.iter_mut() {
+                    let (msgs, _) = h.drain();
+                    inflight.extend(msgs);
+                }
+                for env in inflight {
+                    moved = true;
+                    let idx = ids.iter().position(|&n| n == env.to).unwrap();
+                    hosts[idx].receive(env.from, env.msg);
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+        for h in &hosts {
+            // 5 groups, but only 2 other nodes exist to talk to.
+            assert!(h.distinct_peers() >= 1 && h.distinct_peers() <= 2);
+        }
     }
 
     #[test]

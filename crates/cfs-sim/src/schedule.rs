@@ -100,6 +100,13 @@ pub enum FaultStep {
     /// restore the replication factor. At most one per schedule, and only
     /// with a spare node in the shape (`data_nodes > 3`).
     PermanentKill { idx: usize },
+    /// Master-driven online split (Algorithm 1) of the volume's newest
+    /// meta partition, racing whatever workload and faults surround it.
+    /// `deliver: false` models the master crashing after the split
+    /// committed in its Raft group but before any cut/create task reached
+    /// a meta node — the heartbeat reconciliation sweep must finish the
+    /// handoff on its own.
+    SplitPartition { deliver: bool },
 }
 
 /// One step of a chaos schedule.
@@ -245,18 +252,23 @@ impl FaultPlan {
                     FaultStep::CrashData { idx }
                 }
             },
-            38..=57 => {
+            38..=55 => {
                 let from = node_ref(rng);
                 let to = node_ref(rng);
                 FaultStep::CutLink { from, to }
             }
-            58..=67 => FaultStep::HealLinks,
-            68..=77 => FaultStep::MasterChurn,
-            78..=88 => FaultStep::DelayConsensus {
+            56..=64 => FaultStep::HealLinks,
+            65..=73 => FaultStep::MasterChurn,
+            74..=82 => FaultStep::DelayConsensus {
                 defer: rng.gen_range(1u64..4),
             },
-            89..=95 => FaultStep::DropRpcs {
+            83..=88 => FaultStep::DropRpcs {
                 one_in: rng.gen_range(5u32..17),
+            },
+            89..=95 => FaultStep::SplitPartition {
+                // Mostly exercise the full handoff; a quarter of splits
+                // lose their task delivery and lean on reconciliation.
+                deliver: rng.gen_bool(0.75),
             },
             _ => {
                 // Permanent kill: once per schedule, only when the shape
@@ -366,7 +378,7 @@ mod tests {
         // a weight regression would silently weaken the harness.
         let (mut ops, mut faults, mut quiesces, mut power_losses) =
             (0usize, 0usize, 0usize, 0usize);
-        let mut kinds = [false; 10];
+        let mut kinds = [false; 11];
         for seed in 0..64 {
             for s in FaultPlan::generate(seed, ClusterShape::default(), 100).steps {
                 match s {
@@ -386,6 +398,7 @@ mod tests {
                             FaultStep::DelayConsensus { .. } => 7,
                             FaultStep::DropRpcs { .. } => 8,
                             FaultStep::PermanentKill { .. } => 9,
+                            FaultStep::SplitPartition { .. } => 10,
                         }] = true;
                     }
                 }
@@ -442,6 +455,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_steps_cover_both_delivery_modes() {
+        // The dual-serve handoff and the reconciliation-only path are
+        // different code: the batch must exercise both.
+        let (mut delivered, mut dropped) = (false, false);
+        for seed in 0..64 {
+            for s in FaultPlan::generate(seed, ClusterShape::default(), 100).steps {
+                if let ChaosStep::Fault(FaultStep::SplitPartition { deliver }) = s {
+                    if deliver {
+                        delivered = true;
+                    } else {
+                        dropped = true;
+                    }
+                }
+            }
+        }
+        assert!(delivered, "no delivered split generated across the batch");
+        assert!(dropped, "no dropped-task split generated across the batch");
     }
 
     #[test]

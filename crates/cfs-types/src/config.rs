@@ -30,6 +30,10 @@ pub struct ClusterConfig {
     /// Algorithm 1's `Δ`: headroom added above `maxInodeID` when cutting a
     /// meta partition's inode range.
     pub split_delta: u64,
+    /// Write-rate split trigger (§2.3.2): when a meta partition applies at
+    /// least this many Raft entries between two heartbeat reports, the
+    /// maintenance sweep splits it even if the item limit is not reached.
+    pub meta_partition_write_load_limit: u64,
     /// Client retry limit (§2.1.3: retry until success or this limit).
     pub max_retries: u32,
     /// How many meta/data partitions a volume asks the resource manager for
@@ -86,6 +90,7 @@ impl Default for ClusterConfig {
             meta_partition_item_limit: 1 << 20,
             data_partition_extent_limit: 1 << 16,
             split_delta: 1 << 16,
+            meta_partition_write_load_limit: 1 << 20,
             max_retries: 5,
             partitions_per_allocation: 10,
             volume_refill_watermark: 0.2,
@@ -133,6 +138,11 @@ impl ClusterConfig {
         if self.punch_hole_block_size == 0 || !self.punch_hole_block_size.is_power_of_two() {
             return Err(CfsError::InvalidArgument(
                 "punch_hole_block_size must be a power of two".into(),
+            ));
+        }
+        if self.meta_partition_write_load_limit == 0 {
+            return Err(CfsError::InvalidArgument(
+                "meta_partition_write_load_limit must be > 0".into(),
             ));
         }
         if self.pipeline_depth == 0 {

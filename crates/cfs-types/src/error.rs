@@ -34,6 +34,14 @@ pub enum CfsError {
     /// Partition reached its capacity threshold; the resource manager must
     /// allocate new partitions (§2.3.1).
     PartitionFull(PartitionId),
+    /// The routing inode is outside the partition's owned range: the
+    /// range was cut by a split (Algorithm 1) after the client cached its
+    /// view. Not retryable against the same partition — the client must
+    /// refresh the partition table and re-route by inode id (§2.4).
+    RangeMoved {
+        partition: PartitionId,
+        inode: InodeId,
+    },
     /// Request timed out (network outage, crashed replica…).
     Timeout(String),
     /// Peer or partition is unavailable.
@@ -87,6 +95,12 @@ impl fmt::Display for CfsError {
             },
             CfsError::ReadOnly(p) => write!(f, "{p}: read-only"),
             CfsError::PartitionFull(p) => write!(f, "{p}: full"),
+            CfsError::RangeMoved { partition, inode } => {
+                write!(
+                    f,
+                    "{partition}: {inode} outside owned range (split handoff)"
+                )
+            }
             CfsError::Timeout(s) => write!(f, "timeout: {s}"),
             CfsError::Unavailable(s) => write!(f, "unavailable: {s}"),
             CfsError::Corrupt(s) => write!(f, "corrupt: {s}"),
@@ -128,6 +142,13 @@ mod tests {
         assert!(!CfsError::NotFound("x".into()).is_retryable());
         assert!(!CfsError::Exists("x".into()).is_retryable());
         assert!(!CfsError::Corrupt("x".into()).is_retryable());
+        // A moved range is not retryable *against the same partition*;
+        // the client re-routes instead (split handoff).
+        assert!(!CfsError::RangeMoved {
+            partition: PartitionId(1),
+            inode: InodeId(9),
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -384,6 +384,12 @@ impl Cluster {
                         start: *start,
                         end: *end,
                     };
+                    // Best effort per member: a down replica, or an
+                    // `Exists` from a reconciliation re-emit racing a
+                    // not-yet-acknowledged cut, must not wedge the task
+                    // stream — the maintenance sweep re-emits until every
+                    // replica reports the planned range.
+                    let mut created = 0;
                     for &m in members {
                         match self.fabrics.meta.call(
                             NodeId(0),
@@ -392,20 +398,24 @@ impl Cluster {
                                 config: config.clone(),
                                 members: members.clone(),
                             },
-                        )? {
-                            Ok(MetaResponse::Created) => {}
-                            Ok(_) => {
+                        ) {
+                            Ok(Ok(MetaResponse::Created)) => created += 1,
+                            Ok(Ok(_)) => {
                                 return Err(CfsError::Internal("bad CreatePartition reply".into()))
                             }
-                            Err(e) => return Err(e),
+                            Ok(Err(CfsError::Exists(_))) => created += 1,
+                            Ok(Err(_)) | Err(_) => {}
                         }
                     }
-                    // Wait for the new group to elect a leader.
-                    let pid = *partition;
-                    self.hub.pump_until(
-                        || self.meta_nodes.iter().any(|n| n.is_leader_for(pid)),
-                        10_000,
-                    );
+                    // Wait for the new group to elect a leader (only
+                    // possible once a quorum of replicas host it).
+                    if created * 2 > members.len() {
+                        let pid = *partition;
+                        self.hub.pump_until(
+                            || self.meta_nodes.iter().any(|n| n.is_leader_for(pid)),
+                            10_000,
+                        );
+                    }
                 }
                 Task::CreateDataPartition {
                     partition,
@@ -437,24 +447,19 @@ impl Cluster {
                     members,
                 } => {
                     // Route to the partition leader like a client would.
-                    let mut done = false;
+                    // Best effort: if no replica can accept the cut right
+                    // now (mid-election, crashed leader), the maintenance
+                    // sweep re-emits it until a heartbeat reports the new
+                    // range (split reconciliation).
                     for &m in members {
                         let req = MetaRequest::Write {
                             partition: *partition,
                             cmd: cfs_meta::MetaCommand::UpdateEnd { end: *end },
                         };
                         match self.fabrics.meta.call(NodeId(0), m, req) {
-                            Ok(Ok(_)) => {
-                                done = true;
-                                break;
-                            }
-                            Ok(Err(CfsError::NotLeader { .. })) | Ok(Err(_)) | Err(_) => continue,
+                            Ok(Ok(_)) => break,
+                            Ok(Err(_)) | Err(_) => continue,
                         }
-                    }
-                    if !done {
-                        return Err(CfsError::Unavailable(format!(
-                            "{partition}: no replica accepted UpdateEnd"
-                        )));
                     }
                 }
                 Task::SetDataPartitionReadOnly {
@@ -821,6 +826,8 @@ impl Cluster {
                         partition: info.partition_id,
                         item_count: info.item_count,
                         max_inode: info.max_inode,
+                        end: info.end,
+                        applied: info.applied,
                     })?;
                 }
             }
@@ -1161,6 +1168,31 @@ impl Cluster {
     /// drop/rejection counters).
     pub fn fabrics(&self) -> &Fabrics {
         &self.fabrics
+    }
+
+    /// Force Algorithm 1 on the newest (unbounded) meta partition of
+    /// `volume`: the master commits the cut and successor placement, and
+    /// the resulting tasks are delivered to the meta nodes. With
+    /// `deliver` false the tasks are dropped on the floor — the master
+    /// "crashed" right after committing the split — and the heartbeat
+    /// reconciliation sweep must finish the handoff. Returns the number
+    /// of tasks the split planned (0 if the partition was already cut).
+    pub fn split_newest_meta_partition(&self, volume: VolumeId, deliver: bool) -> Result<usize> {
+        let leader = self.master_leader()?;
+        let pid = leader
+            .with_state(|s| {
+                s.volume_meta_partitions(volume)
+                    .iter()
+                    .map(|p| p.partition)
+                    .max()
+            })
+            .ok_or_else(|| CfsError::NotFound(format!("{volume} has no meta partitions")))?;
+        let outcome = leader.propose(&MasterCommand::SplitMetaPartition { partition: pid })?;
+        let n = outcome.tasks.len();
+        if deliver {
+            self.execute_tasks(&outcome.tasks)?;
+        }
+        Ok(n)
     }
 
     /// Report a data partition timeout (§2.3.3): the RM marks the

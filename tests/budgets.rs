@@ -458,6 +458,234 @@ fn meta_hot_path_budget_checks_reject_perturbed_counters() {
     );
 }
 
+// ----- split cost & raft-set fan-out budgets ------------------------------
+
+/// Files created before the split (the items the predecessor must keep
+/// across the cut, plus the root inode).
+const SPLIT_FILES: u64 = 48;
+/// Post-split settle rounds (of [`SPLIT_SETTLE_TICKS`] sim ticks each)
+/// within which reads on the frozen half, the root listing, and the
+/// refreshed client view must all be back. Algorithm 1 moves a range
+/// boundary, not data, so the handoff is administrative — a handful of
+/// rounds, never a rebuild.
+const SPLIT_ROUND_BUDGET: u64 = 10;
+const SPLIT_SETTLE_TICKS: u64 = 50;
+/// Raft-set topology for the fan-out budget: 9 meta nodes in sets of 3,
+/// the seed partition split 9 times → 10x partitions.
+const RAFTSET_SIZE: usize = 3;
+const RAFTSET_META_NODES: usize = 9;
+const RAFTSET_SPLITS: u64 = 9;
+
+/// The split-cost budget: the cut committed, the predecessor kept every
+/// item, the successor starts empty — §2.3.2 splits the inode-id range,
+/// never copies the tree — and post-split unavailability fits the fixed
+/// round budget.
+fn check_split_cost_budget(
+    cuts: u64,
+    items_before: u64,
+    predecessor_items: u64,
+    successor_items: u64,
+    unavailable_rounds: u64,
+) {
+    assert!(
+        cuts >= 1,
+        "split budget regression: the range cut never committed"
+    );
+    assert!(
+        successor_items == 0,
+        "split budget regression: the successor holds {successor_items} \
+         items right after the handoff — Algorithm 1 moves the range \
+         boundary, never the data"
+    );
+    assert!(
+        predecessor_items == items_before,
+        "split budget regression: the predecessor dropped from \
+         {items_before} to {predecessor_items} items across the cut"
+    );
+    assert!(
+        unavailable_rounds <= SPLIT_ROUND_BUDGET,
+        "split budget regression: {unavailable_rounds} settle rounds of \
+         post-split unavailability, budget allows {SPLIT_ROUND_BUDGET}"
+    );
+}
+
+/// The raft-set budget (§2.5.1): every placement stays inside one set,
+/// so each node's raft fan-out is bounded by its set — independent of
+/// how many partitions the splits piled on.
+fn check_raftset_fanout_budget(
+    peers_per_node: &[usize],
+    set_size: usize,
+    partitions: u64,
+    placements: u64,
+    fallbacks: u64,
+) {
+    assert!(
+        fallbacks == 0,
+        "raft-set budget regression: {fallbacks} placements spilled \
+         across raft-set boundaries"
+    );
+    assert!(
+        placements >= partitions,
+        "raft-set budget regression: only {placements} set-confined \
+         placements recorded for {partitions} partitions"
+    );
+    let bound = set_size - 1;
+    for (i, &p) in peers_per_node.iter().enumerate() {
+        assert!(
+            p <= bound,
+            "raft-set budget regression: meta node #{i} fan-out is {p} \
+             distinct raft peers at {partitions} partitions — set-confined \
+             placement bounds it at {bound}, independent of partition count"
+        );
+    }
+}
+
+/// Leader-reported item count per meta partition.
+fn meta_partition_items(cluster: &Cluster) -> std::collections::BTreeMap<PartitionId, u64> {
+    let mut items = std::collections::BTreeMap::new();
+    for n in cluster.meta_nodes() {
+        if let Ok(MetaResponse::Report(infos)) = n.handle(MetaRequest::Report) {
+            for info in infos {
+                if info.is_leader {
+                    items.insert(info.partition_id, info.item_count);
+                }
+            }
+        }
+    }
+    items
+}
+
+#[test]
+fn meta_split_cost_budget() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    let vol = cluster.create_volume("budget-split", 1, 4).unwrap();
+    let client = cluster.mount("budget-split").unwrap();
+    let root = client.root();
+    let mut inos = Vec::new();
+    for i in 0..SPLIT_FILES {
+        inos.push(client.create(root, &format!("f{i}")).unwrap().id);
+    }
+    cluster.settle(200);
+
+    let items_before: u64 = meta_partition_items(&cluster).values().sum();
+    let before = cluster.metrics_snapshot();
+    let planned = cluster.split_newest_meta_partition(vol, true).unwrap();
+    assert_eq!(planned, 2, "a split plans exactly a cut and a successor");
+
+    // Count settle rounds until service is fully back: a stat on the
+    // frozen half, the complete root listing, and a client view refresh.
+    let mut rounds = 0;
+    loop {
+        let ready = client.stat(inos[0]).is_ok()
+            && client
+                .readdir(root)
+                .map(|d| d.len() as u64 == SPLIT_FILES)
+                .unwrap_or(false)
+            && client.refresh_partition_table().is_ok();
+        if ready {
+            break;
+        }
+        rounds += 1;
+        assert!(
+            rounds <= SPLIT_ROUND_BUDGET * 4,
+            "service never came back after the split"
+        );
+        cluster.settle(SPLIT_SETTLE_TICKS);
+    }
+    // Let the successor's group elect and report before the item audit.
+    cluster.settle(200);
+
+    let window = cluster.metrics_snapshot().diff(&before);
+    let items = meta_partition_items(&cluster);
+    assert_eq!(items.len(), 2, "both halves report a leader: {items:?}");
+    let predecessor_items = *items.values().next().unwrap();
+    let successor_items = *items.values().last().unwrap();
+    check_split_cost_budget(
+        window.counter("meta.split.cuts"),
+        items_before,
+        predecessor_items,
+        successor_items,
+        rounds,
+    );
+
+    // Writes keep flowing after the handoff.
+    client.create(root, "post-split").unwrap();
+}
+
+#[test]
+fn raftset_fanout_budget_at_10x_partitions() {
+    let config = ClusterConfig {
+        raft_set_size: RAFTSET_SIZE,
+        ..ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new()
+        .meta_nodes(RAFTSET_META_NODES)
+        .config(config)
+        .build()
+        .unwrap();
+    let vol = cluster.create_volume("budget-raftset", 1, 4).unwrap();
+    cluster.settle(200);
+
+    for _ in 0..RAFTSET_SPLITS {
+        assert_eq!(cluster.split_newest_meta_partition(vol, true).unwrap(), 2);
+        cluster.settle(100);
+    }
+
+    let snap = cluster.metrics_snapshot();
+    let peers: Vec<usize> = cluster
+        .meta_nodes()
+        .iter()
+        .map(|n| n.raft_distinct_peers())
+        .collect();
+    check_raftset_fanout_budget(
+        &peers,
+        RAFTSET_SIZE,
+        1 + RAFTSET_SPLITS,
+        snap.counter("master.raftset.placements"),
+        snap.counter("master.raftset.fallbacks"),
+    );
+}
+
+#[test]
+fn split_and_raftset_budget_checks_reject_perturbed_counts() {
+    let msg_of = |payload: Box<dyn std::any::Any + Send>| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    };
+
+    // A split that copied the tree into the successor must trip.
+    let err = std::panic::catch_unwind(|| check_split_cost_budget(3, 97, 97, 97, 0))
+        .expect_err("a data-copying split must fail the budget");
+    assert!(msg_of(err).contains("never the data"));
+
+    // A handoff that blew the availability window must trip.
+    let err =
+        std::panic::catch_unwind(|| check_split_cost_budget(3, 97, 97, 0, SPLIT_ROUND_BUDGET + 1))
+            .expect_err("a slow handoff must fail the budget");
+    assert!(msg_of(err).contains("unavailability"));
+
+    // A cut that never committed must trip.
+    let err = std::panic::catch_unwind(|| check_split_cost_budget(0, 97, 97, 0, 0))
+        .expect_err("a missing cut must fail the budget");
+    assert!(msg_of(err).contains("never committed"));
+
+    // One node whose fan-out outgrew its set must trip.
+    let err = std::panic::catch_unwind(|| {
+        check_raftset_fanout_budget(&[2, 2, 3], RAFTSET_SIZE, 10, 12, 0)
+    })
+    .expect_err("set-crossing fan-out must fail the budget");
+    assert!(msg_of(err).contains("fan-out"));
+
+    // A cross-set placement spill must trip.
+    let err =
+        std::panic::catch_unwind(|| check_raftset_fanout_budget(&[2; 9], RAFTSET_SIZE, 10, 12, 1))
+            .expect_err("a cross-set spill must fail the budget");
+    assert!(msg_of(err).contains("spilled"));
+}
+
 // ----- storage-engine recovery budget ------------------------------------
 
 /// Client ops in the recovery history. Every chain append lands one WAL

@@ -53,6 +53,19 @@
 //!     punched extents. The paired quiesce that follows then re-proves
 //!     invariants (a)–(f) on the rebooted cluster.
 //!
+//! Schedules also contain [`FaultStep::SplitPartition`] events: the
+//! master performs an Algorithm 1 online split of the volume's newest
+//! meta partition while workload and faults race it — sometimes with the
+//! cut/create tasks never delivered (a master crash mid-handoff), so the
+//! heartbeat reconciliation sweep must finish the split on its own. The
+//! quiesce sweep then checks an eighth invariant:
+//!
+//! (h) split handoff exactness: every dentry written before, during or
+//!     after a split is visible exactly once (the root listing never
+//!     loses or double-lists a name), and fsck finds zero inodes or
+//!     dentries owned by more than one partition — the frozen half and
+//!     the successor never both serve the same id.
+//!
 //! `CHAOS_SEED=<n>` replays any failing seed, including schedules whose
 //! fault mix contains a `PermanentKill` (the kill is part of the plan, so
 //! the repro regenerates it deterministically).
@@ -269,6 +282,10 @@ struct Chaos {
     /// Every drop hook the schedule ever installed, kept so invariant (e)
     /// can total the drops the schedule actually fired.
     drop_hooks: Vec<Arc<DropEvery>>,
+    /// Algorithm 1 splits the schedule successfully proposed (delivered
+    /// or not); when non-zero, quiesce drives heartbeat reconciliation
+    /// rounds so half-delivered handoffs finish before invariants run.
+    splits: usize,
     /// Test knob: force a failure at the first quiesce so the repro-line
     /// plumbing can be exercised.
     sabotage: bool,
@@ -321,6 +338,7 @@ impl Chaos {
             killed_data: None,
             cuts: Vec::new(),
             drop_hooks: Vec::new(),
+            splits: 0,
             sabotage,
         }
     }
@@ -530,6 +548,21 @@ impl Chaos {
                     .set_delivery_hook(Some(hook.clone()));
                 self.cluster.fabrics().data.set_delivery_hook(Some(hook));
             }
+            FaultStep::SplitPartition { deliver } => {
+                // Algorithm 1, mid-fault: the proposal fails harmlessly
+                // when the master is leaderless; with `deliver: false`
+                // the split commits in the master's Raft group but no
+                // cut/create task reaches a meta node (a master crash at
+                // the worst instant) — the reconciliation sweep at
+                // quiesce must finish the handoff on its own.
+                if self
+                    .cluster
+                    .split_newest_meta_partition(self.client.volume(), deliver)
+                    .is_ok()
+                {
+                    self.splits += 1;
+                }
+            }
         }
     }
 
@@ -612,6 +645,21 @@ impl Chaos {
         // 2. Let consensus settle: every Raft group re-elects and drains
         //    deferred traffic.
         self.cluster.settle(600);
+
+        // 2a. Split reconciliation — before the leader waits: a split
+        //     whose create task reached only a minority of its members
+        //     (crashed replica, cut links, dropped RPCs) leaves a
+        //     quorumless group that can never elect until the maintenance
+        //     sweep re-delivers the cut/create tasks. Heartbeat rounds
+        //     drive the re-emission until every replica reports its
+        //     planned range.
+        if self.splits > 0 {
+            for _ in 0..6 {
+                self.retry("heartbeat", || self.cluster.heartbeat());
+                self.cluster.settle(200);
+            }
+        }
+
         self.await_leaders();
         self.retry("refresh partition table", || {
             self.client.refresh_partition_table()
@@ -662,6 +710,21 @@ impl Chaos {
                 report.under_replicated
             );
         }
+
+        // 6b. Invariant (h): split handoff exactness — no two partitions
+        //     both own an inode or serve a dentry, and the client-visible
+        //     namespace matches the model exactly once per name.
+        assert_eq!(
+            report.duplicate_inodes, 0,
+            "invariant (h): inodes owned by two partitions after quiesce (seed {})",
+            self.seed
+        );
+        assert_eq!(
+            report.duplicate_dentries, 0,
+            "invariant (h): dentries served by two partitions after quiesce (seed {})",
+            self.seed
+        );
+        self.check_split_visibility();
 
         // 7. Invariant (c): replica extent alignment.
         self.check_replica_alignment();
@@ -905,6 +968,37 @@ impl Chaos {
                 }
             }
             self.files[idx] = slot;
+        }
+    }
+
+    /// Invariant (h), client view: the root listing shows every name
+    /// exactly once, and each file slot's visibility matches the model —
+    /// a dentry written before, during or after a split is never lost
+    /// (0 sightings) and never double-served by both halves of a cut
+    /// (2 sightings). Runs after `resolve_files`, so every slot is
+    /// settled to `Present` or `Absent`.
+    fn check_split_visibility(&self) {
+        let listing = self.retry("readdir", || self.client.readdir(self.client.root()));
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for d in &listing {
+            *counts.entry(d.name.clone()).or_default() += 1;
+        }
+        for (name, n) in &counts {
+            assert_eq!(
+                *n, 1,
+                "invariant (h): dentry {name} listed {n} times (seed {})",
+                self.seed
+            );
+        }
+        for (idx, slot) in self.files.iter().enumerate() {
+            let visible = counts.get(&fname(idx)).copied().unwrap_or(0);
+            let expected = usize::from(slot.state == FileState::Present);
+            assert_eq!(
+                visible, expected,
+                "invariant (h): file {idx} in state {:?} visible {visible} \
+                 time(s) after quiesce (seed {})",
+                slot.state, self.seed
+            );
         }
     }
 
@@ -1198,6 +1292,55 @@ fn densify_power_loss(plan: &mut FaultPlan) {
     plan.steps = steps;
 }
 
+/// Split-dense variant of a generated schedule: an Algorithm 1 split at
+/// every fault-window boundary — before each whole-cluster power cycle
+/// and each bare quiesce — alternating between full task delivery and a
+/// master that "crashes" before delivering anything (`deliver: false`,
+/// reconciliation must finish the handoff). Combined with
+/// [`densify_power_loss`], every split is immediately followed by a
+/// whole-cluster power cut, so recovery always runs mid-handoff.
+fn densify_splits(plan: &mut FaultPlan) {
+    let mut steps = Vec::with_capacity(plan.steps.len() + 16);
+    let mut n = 0usize;
+    let mut prev_power = false;
+    for step in plan.steps.drain(..) {
+        let boundary = step == ChaosStep::PowerLoss || (step == ChaosStep::Quiesce && !prev_power);
+        if boundary {
+            steps.push(ChaosStep::Fault(FaultStep::SplitPartition {
+                deliver: n.is_multiple_of(2),
+            }));
+            n += 1;
+        }
+        prev_power = step == ChaosStep::PowerLoss;
+        steps.push(step);
+    }
+    plan.steps = steps;
+}
+
+/// Run one split-dense seed: splits at every fault-window boundary, a
+/// power cut right after each split, invariant (h) at every quiesce.
+fn run_split_seed(seed: u64) {
+    let shape = ClusterShape::default();
+    let mut plan = FaultPlan::generate(seed, shape, PLAN_LEN);
+    densify_splits(&mut plan);
+    densify_power_loss(&mut plan);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut chaos = Chaos::new(seed, shape, false);
+        chaos.run(&plan);
+        assert!(
+            chaos.splits > 0,
+            "split-dense schedule performed no split (seed {seed})"
+        );
+    }));
+    if let Err(payload) = result {
+        panic!(
+            "CHAOS_SEED={seed} failed (split dense) — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos split_replay_env_seed`: {}",
+            panic_message(payload.as_ref())
+        );
+    }
+}
+
 /// Run one power-loss-dense seed to completion and hand back the
 /// cluster's final metrics snapshot (for the kvwal engine report).
 fn run_power_loss_seed(seed: u64) -> MetricsSnapshot {
@@ -1336,6 +1479,43 @@ fn power_loss_extended_seeds() {
             })
             .collect();
         write_powerloss_json(&records);
+    }
+}
+
+/// Named tier-1 split-invariant sweep: 8 seeds whose schedules perform
+/// an Algorithm 1 split at every fault-window boundary (alternating task
+/// delivery with a master crash before delivery) with a whole-cluster
+/// power cut striking immediately after each split — invariant (h) must
+/// hold at every quiesce of every seed.
+#[test]
+fn split_seeds() {
+    if std::env::var("CHAOS_SEED").is_ok() {
+        return;
+    }
+    for seed in 0..8 {
+        run_split_seed(seed);
+    }
+}
+
+/// Replays one split-dense schedule: `CHAOS_SEED=17 cargo test -q
+/// --test chaos split_replay_env_seed`. A no-op without the environment
+/// variable.
+#[test]
+fn split_replay_env_seed() {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        run_split_seed(s.parse().expect("CHAOS_SEED must be a u64"));
+    }
+}
+
+/// Nightly split sweep: `SPLIT_SEEDS=N` runs N extra split-dense seeds
+/// beyond the tier-1 eight. A no-op without the environment variable.
+#[test]
+fn split_extended_seeds() {
+    if let Ok(n) = std::env::var("SPLIT_SEEDS") {
+        let n: u64 = n.parse().expect("SPLIT_SEEDS must be a u64");
+        for i in 0..n {
+            run_split_seed(7_000 + i);
+        }
     }
 }
 

@@ -1,0 +1,216 @@
+//! Split regression tests: the client/view/lease edges of Algorithm 1
+//! (§2.3.2) that the chaos battery exercises statistically, pinned here
+//! as deterministic repros.
+//!
+//!  * A client holding a pre-split partition view must never be served
+//!    wrong data for an inode that lives in the successor: the frozen
+//!    half fences the read with `RangeMoved`, the client refreshes its
+//!    view and re-routes.
+//!  * During dual-serve the predecessor keeps answering lease-protected
+//!    reads for its own range, but an out-of-range read is fenced even
+//!    on the lease fast path — never answered stale.
+//!  * A split whose task delivery is lost entirely (master crash right
+//!    after the commit) is finished by heartbeat reconciliation alone.
+
+use cfs::{
+    CfsError, ClusterBuilder, InodeId, MetaRead, MetaRequest, MetaResponse, PartitionId,
+    PartitionInfo,
+};
+
+/// Files created before each split so the predecessor has real state.
+const FILES: u64 = 24;
+
+/// Leader-reported infos, one per partition (the replica that leads).
+fn leader_infos(cluster: &cfs::Cluster) -> Vec<PartitionInfo> {
+    let mut out: Vec<PartitionInfo> = Vec::new();
+    for n in cluster.meta_nodes() {
+        if let Ok(MetaResponse::Report(infos)) = n.handle(MetaRequest::Report) {
+            for info in infos {
+                if info.is_leader && !out.iter().any(|i| i.partition_id == info.partition_id) {
+                    out.push(info);
+                }
+            }
+        }
+    }
+    out.sort_by_key(|i| i.partition_id);
+    out
+}
+
+/// Create files through `client` until one's inode lands beyond `cut`
+/// (i.e. in the split successor's range).
+fn create_in_successor(client: &cfs::Client, root: InodeId, cut: InodeId) -> (String, InodeId) {
+    for i in 0..64 {
+        let name = format!("succ{i}");
+        let ino = client.create(root, &name).unwrap().id;
+        if ino > cut {
+            return (name, ino);
+        }
+    }
+    panic!("no create landed in the successor range (cut {cut})");
+}
+
+#[test]
+fn stale_view_fences_and_refreshes_across_a_split() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    let vol = cluster.create_volume("split-view", 1, 4).unwrap();
+    let fresh = cluster.mount("split-view").unwrap();
+    let stale = cluster.mount("split-view").unwrap();
+    let root = fresh.root();
+    let mut old_inos = Vec::new();
+    for i in 0..FILES {
+        old_inos.push(fresh.create(root, &format!("f{i}")).unwrap().id);
+    }
+    cluster.settle(200);
+    // Pin the stale client's generation: its cached table still shows one
+    // partition owning the whole id space.
+    stale.refresh_partition_table().unwrap();
+
+    assert_eq!(cluster.split_newest_meta_partition(vol, true).unwrap(), 2);
+    cluster.settle(200);
+    fresh.refresh_partition_table().unwrap();
+    let infos = leader_infos(&cluster);
+    assert_eq!(infos.len(), 2, "both halves lead: {infos:?}");
+    let cut = infos[0].end;
+    assert!(cut < InodeId::MAX, "predecessor froze its range");
+    let (name, new_ino) = create_in_successor(&fresh, root, cut);
+
+    // The stale client routes the new inode to the frozen half, gets
+    // fenced, refreshes, and re-routes — wrong data is never served.
+    let before = cluster.metrics_snapshot();
+    let got = stale.stat(new_ino).unwrap();
+    assert_eq!(got.id, new_ino);
+    let window = cluster.metrics_snapshot().diff(&before);
+    assert!(
+        window.counter("meta.split.fences") >= 1,
+        "the frozen half fenced the stale route"
+    );
+    assert!(
+        window.counter("client.view_refresh") >= 1,
+        "the fence forced a view refresh"
+    );
+
+    // The dentry still lives with its parent (root, frozen half): a
+    // stale lookup resolves it there, then stats through the refreshed
+    // view.
+    assert_eq!(stale.lookup(root, &name).unwrap().inode, new_ino);
+    for &ino in &old_inos {
+        assert_eq!(stale.stat(ino).unwrap().id, ino);
+    }
+}
+
+#[test]
+fn lease_reads_keep_serving_during_dual_serve_and_never_go_stale() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    let vol = cluster.create_volume("split-lease", 1, 4).unwrap();
+    let client = cluster.mount("split-lease").unwrap();
+    let root = client.root();
+    let old_ino = client.create(root, "old").unwrap().id;
+    for i in 0..FILES {
+        client.create(root, &format!("f{i}")).unwrap();
+    }
+    cluster.settle(200);
+
+    assert_eq!(cluster.split_newest_meta_partition(vol, true).unwrap(), 2);
+    cluster.settle(200);
+    client.refresh_partition_table().unwrap();
+    let infos = leader_infos(&cluster);
+    assert_eq!(infos.len(), 2);
+    let pre = &infos[0];
+    let (_, new_ino) = create_in_successor(&client, root, pre.end);
+
+    // Dual-serve steady state: reads of the frozen half's own range ride
+    // the lease fast path, no quorum barriers.
+    let before = cluster.metrics_snapshot();
+    const STATS: u64 = 20;
+    for _ in 0..STATS {
+        client.stat(old_ino).unwrap();
+    }
+    let window = cluster.metrics_snapshot().diff(&before);
+    assert_eq!(window.counter("meta.lease_reads"), STATS);
+    assert_eq!(window.counter("meta.quorum_reads"), 0);
+
+    // But the frozen half never answers for the successor's range — not
+    // even on the lease path. A direct read at the predecessor's leader
+    // replica is fenced with RangeMoved, not NotFound and not a value.
+    let leader = cluster
+        .meta_nodes()
+        .iter()
+        .find(|n| match n.handle(MetaRequest::Report) {
+            Ok(MetaResponse::Report(infos)) => infos
+                .iter()
+                .any(|i| i.partition_id == pre.partition_id && i.is_leader),
+            _ => false,
+        })
+        .cloned()
+        .expect("predecessor leader replica");
+    let err = leader
+        .handle(MetaRequest::Read {
+            partition: pre.partition_id,
+            read: MetaRead::GetInode { inode: new_ino },
+        })
+        .expect_err("out-of-range read on the frozen half must be fenced");
+    assert!(
+        matches!(err, CfsError::RangeMoved { partition, inode }
+            if partition == pre.partition_id && inode == new_ino),
+        "expected RangeMoved, got {err:?}"
+    );
+}
+
+#[test]
+fn heartbeat_reconciliation_finishes_a_split_whose_tasks_were_lost() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    let vol = cluster.create_volume("split-reconcile", 1, 4).unwrap();
+    let client = cluster.mount("split-reconcile").unwrap();
+    let root = client.root();
+    let mut old_inos = Vec::new();
+    for i in 0..FILES {
+        old_inos.push(client.create(root, &format!("f{i}")).unwrap().id);
+    }
+    cluster.settle(200);
+
+    // The master commits the split but every task is lost — the exact
+    // shape of a master crash right after the Raft commit. No meta node
+    // heard about the cut or the successor.
+    assert_eq!(cluster.split_newest_meta_partition(vol, false).unwrap(), 2);
+    let infos = leader_infos(&cluster);
+    assert_eq!(infos.len(), 1, "no node hosts the successor yet");
+    assert_eq!(infos[0].end, InodeId::MAX, "the cut never reached the node");
+
+    // Heartbeat rounds drive the reconciliation sweep: the cut is
+    // re-emitted until the predecessor reports its planned end, and the
+    // successor is re-created once it stays unreported long enough.
+    for _ in 0..6 {
+        cluster.heartbeat().unwrap();
+        cluster.settle(200);
+    }
+
+    let infos = leader_infos(&cluster);
+    assert_eq!(infos.len(), 2, "reconciliation delivered both halves");
+    assert!(infos[0].end < InodeId::MAX, "the cut landed");
+    assert_eq!(
+        infos[1].start,
+        InodeId(infos[0].end.raw() + 1),
+        "the halves tile the id space"
+    );
+    let succ_pid: PartitionId = infos[1].partition_id;
+    assert_eq!(infos[1].item_count, 0, "the handoff copied nothing");
+
+    // The finished handoff serves: old files read back, new creates land
+    // (some in the successor), and fsck sees every item exactly once.
+    client.refresh_partition_table().unwrap();
+    for &ino in &old_inos {
+        assert_eq!(client.stat(ino).unwrap().id, ino);
+    }
+    let (_, new_ino) = create_in_successor(&client, root, infos[0].end);
+    assert!(new_ino > infos[0].end, "a create landed in {succ_pid}");
+    let report = client.fsck(false).unwrap();
+    assert_eq!(report.duplicate_inodes, 0);
+    assert_eq!(report.duplicate_dentries, 0);
+    assert_eq!(report.dangling_dentries, 0);
+
+    let snap = cluster.metrics_snapshot();
+    assert!(
+        snap.counter("master.splits.planned") >= 1,
+        "the reconciliation re-emissions are visible in master.splits.planned"
+    );
+}
