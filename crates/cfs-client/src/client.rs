@@ -39,6 +39,12 @@ pub struct ClientOptions {
     /// client's logical-clock units. `0` disables negative caching.
     /// Local mutations of the parent invalidate negative entries early.
     pub negative_lookup_ttl_ns: u64,
+    /// Asynchronous metadata commit (DESIGN §12): create/link/unlink
+    /// return once the op is durably journaled at the leader instead of
+    /// after its Raft round; `fsync`/`close` become the strong barrier
+    /// that drains the outstanding intents. Off by default — the
+    /// synchronous paths are the baseline semantics.
+    pub async_meta: bool,
 }
 
 impl Default for ClientOptions {
@@ -50,6 +56,7 @@ impl Default for ClientOptions {
             meta_sync_every: 0,
             registry: None,
             negative_lookup_ttl_ns: 256,
+            async_meta: false,
         }
     }
 }
@@ -236,6 +243,12 @@ pub(crate) struct CacheState {
     /// Local orphan-inode list (§2.6.1): (partition, inode) pairs awaiting
     /// an evict request.
     pub orphans: Vec<(PartitionId, InodeId)>,
+    /// Async-commit intents acked but not yet barriered (DESIGN §12),
+    /// drained by the next `fsync`/`close`.
+    pub async_pending: Vec<crate::async_commit::AsyncIntent>,
+    /// Unlink second halves (nlink-- and the threshold mark) deferred
+    /// until the dentry-delete intent is barriered: `(intent, inode)`.
+    pub deferred_unlinks: Vec<(u64, InodeId)>,
     pub master_leader: Option<NodeId>,
     pub rng: SmallRng,
 }
@@ -287,6 +300,8 @@ impl Client {
                 inode_cache: HashMap::new(),
                 lookup_cache: HashMap::new(),
                 orphans: Vec::new(),
+                async_pending: Vec::new(),
+                deferred_unlinks: Vec::new(),
                 master_leader: None,
                 rng: SmallRng::seed_from_u64(seed),
             }),
@@ -382,9 +397,11 @@ impl Client {
     /// verdicts come due across the backoff), and the fabric's completion
     /// condvar provides the wakeup — nothing spins or sleeps.
     pub(crate) fn backoff(&self, pass: u32) {
-        let base = u64::from(self.config.retry_backoff_base.max(1));
-        let cap = u64::from(self.config.retry_backoff_cap).max(base);
-        let delay = base.checked_shl(pass.min(31)).map_or(cap, |d| d.min(cap));
+        let delay = crate::retry::capped_backoff(
+            u64::from(self.config.retry_backoff_base),
+            u64::from(self.config.retry_backoff_cap),
+            pass,
+        );
         let jitter = self.cache.lock().rng.gen_range(0..delay + 1);
         self.clock.fetch_add(delay + jitter, Ordering::Relaxed);
         self.fabrics.data.clock().advance(delay + jitter);
@@ -442,10 +459,7 @@ impl Client {
         candidates.extend(self.master_replicas.iter().copied());
         let mut last_err = CfsError::Unavailable("no master replicas".into());
         for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("master");
-                self.backoff(pass - 1);
-            }
+            self.retry_pause(pass, "master", |_| Ok(()))?;
             for &node in &candidates {
                 match self.fabrics.master.call(self.id, node, req.clone()) {
                     Ok(Ok(resp)) => {
@@ -576,16 +590,15 @@ impl Client {
         let mut members = self.data_partition_members(partition)?;
         let mut last_err = CfsError::Unavailable("no data replicas".into());
         for pass in 0..attempts.max(1) {
-            if pass > 0 {
-                // Every member refused or was unreachable: the view may be
-                // stale (a repaired partition has new members) — re-fetch
-                // routing, then back off before rescanning.
-                self.count_retry("data");
-                if let Some(m) = self.refresh_data_view(partition) {
+            // Every member refused or was unreachable: the view may be
+            // stale (a repaired partition has new members) — re-fetch
+            // routing, then back off before rescanning.
+            self.retry_pause(pass, "data", |c| {
+                if let Some(m) = c.refresh_data_view(partition) {
                     members = m;
                 }
-                self.backoff(pass - 1);
-            }
+                Ok(())
+            })?;
             let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
             if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
                 order.push(l);
@@ -619,23 +632,25 @@ impl Client {
 
     /// Issue a meta RPC to the partition's leader, using the cached leader
     /// first (§2.4) and scanning members on a miss; retries per §2.1.3.
-    pub(crate) fn meta_call(
+    /// Returns the node that served the request along with its response —
+    /// the async-commit paths need the serving node to target the barrier
+    /// later (DESIGN §12); most callers go through [`Self::meta_call`].
+    pub(crate) fn meta_call_raw(
         &self,
         partition: PartitionId,
         members: &[NodeId],
         req: MetaRequest,
-    ) -> Result<MetaValue> {
+    ) -> Result<(NodeId, MetaResponse)> {
         let is_read = matches!(req, MetaRequest::Read { .. });
         let mut members = members.to_vec();
         let mut last_err = CfsError::Unavailable("no meta replicas".into());
         for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("meta");
-                if let Some(m) = self.refresh_meta_view(partition) {
+            self.retry_pause(pass, "meta", |c| {
+                if let Some(m) = c.refresh_meta_view(partition) {
                     members = m;
                 }
-                self.backoff(pass - 1);
-            }
+                Ok(())
+            })?;
             // Try the cached leader first, then every member.
             let mut order: Vec<NodeId> = Vec::with_capacity(members.len() + 1);
             if let Some(&l) = self.cache.lock().leader_cache.get(&partition) {
@@ -646,14 +661,13 @@ impl Client {
 
             for node in order {
                 match self.fabrics.meta.call(self.id, node, req.clone()) {
-                    Ok(Ok(MetaResponse::Value(v))) => {
+                    Ok(Ok(resp)) => {
                         self.cache.lock().leader_cache.insert(partition, node);
                         if is_read {
                             self.stats.meta_reads_served.inc();
                         }
-                        return Ok(v);
+                        return Ok((node, resp));
                     }
-                    Ok(Ok(_)) => return Err(CfsError::Internal("unexpected meta response".into())),
                     Ok(Err(CfsError::NotLeader { hint, .. })) => {
                         let mut cache = self.cache.lock();
                         match hint {
@@ -696,6 +710,20 @@ impl Client {
         .max_specific(last_err))
     }
 
+    /// [`Self::meta_call_raw`] for the synchronous request kinds, which
+    /// all answer `MetaResponse::Value`.
+    pub(crate) fn meta_call(
+        &self,
+        partition: PartitionId,
+        members: &[NodeId],
+        req: MetaRequest,
+    ) -> Result<MetaValue> {
+        match self.meta_call_raw(partition, members, req)? {
+            (_, MetaResponse::Value(v)) => Ok(v),
+            _ => Err(CfsError::Internal("unexpected meta response".into())),
+        }
+    }
+
     /// Convenience: replicated write to a partition.
     pub(crate) fn meta_write(
         &self,
@@ -729,12 +757,10 @@ impl Client {
     ) -> Result<MetaValue> {
         let mut last_err = CfsError::NotFound(format!("no meta partition for {inode}"));
         for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("meta_route");
-                self.stats.view_refreshes.inc();
-                self.refresh_partition_table()?;
-                self.backoff(pass - 1);
-            }
+            self.retry_pause(pass, "meta_route", |c| {
+                c.stats.view_refreshes.inc();
+                c.refresh_partition_table()
+            })?;
             let (partition, members) = self.meta_partition_of(inode)?;
             match self.meta_call(partition, &members, req(partition)) {
                 Err(e @ CfsError::RangeMoved { .. }) => last_err = e,
@@ -777,12 +803,10 @@ impl Client {
     ) -> Result<(PartitionId, Inode)> {
         let mut last_err = CfsError::Unavailable("no writable meta partitions".into());
         for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("meta_route");
-                self.stats.view_refreshes.inc();
-                self.refresh_partition_table()?;
-                self.backoff(pass - 1);
-            }
+            self.retry_pause(pass, "meta_route", |c| {
+                c.stats.view_refreshes.inc();
+                c.refresh_partition_table()
+            })?;
             let (partition, members) = self.random_meta_partition()?;
             match self.meta_write(
                 partition,
@@ -941,7 +965,7 @@ impl Client {
 }
 
 /// Pick the more informative of two errors for retry exhaustion reports.
-trait MaxSpecific {
+pub(crate) trait MaxSpecific {
     fn max_specific(self, other: CfsError) -> CfsError;
 }
 

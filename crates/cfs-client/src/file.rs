@@ -247,8 +247,7 @@ impl Client {
                                 attempts,
                             });
                         }
-                        self.count_retry("append");
-                        self.backoff(attempts - 1);
+                        self.retry_pause(attempts, "append", |_| Ok(()))?;
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -347,11 +346,12 @@ impl Client {
                         attempts,
                     });
                 }
-                // The partition table may be stale; refresh it, then back
-                // off before resending (§2.1.3).
-                self.count_retry("append");
-                let _ = self.refresh_partition_table();
-                self.backoff(attempts - 1);
+                // The partition table may be stale; refresh it (best
+                // effort), then back off before resending (§2.1.3).
+                self.retry_pause(attempts, "append", |c| {
+                    let _ = c.refresh_partition_table();
+                    Ok(())
+                })?;
             } else {
                 self.record_partial(f, new_keys, written as u64, packets_done);
                 return Err(e);
@@ -414,7 +414,9 @@ impl Client {
 
     /// Flush unsynced state for this file; call before dropping a handle
     /// written with `meta_sync_every > 1` (§2.7.1 "upon fsync or close").
+    /// Like `fsync`, `close` is an async-commit barrier (DESIGN §12).
     pub fn close(&self, f: &mut FileHandle) -> Result<()> {
+        self.drain_async_commits()?;
         self.flush_meta(f)
     }
 
@@ -426,10 +428,7 @@ impl Client {
         self.stats.small_writes.inc();
         let mut avoided: Vec<PartitionId> = Vec::new();
         for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("write_small");
-                self.backoff(pass - 1);
-            }
+            self.retry_pause(pass, "write_small", |_| Ok(()))?;
             let (partition, replicas) = self.random_data_partition(&avoided)?;
             let req = DataRequest::WriteSmall {
                 partition,
@@ -677,7 +676,11 @@ impl Client {
     /// Flush client state for this file to the meta node: push unsynced
     /// extent keys, then refresh the inode image (§2.7.1: "synchronizes
     /// with meta node periodically or upon fsync").
+    /// With async metadata commit on, `fsync` is also the strong barrier
+    /// (DESIGN §12): it drains every outstanding intent first and fails
+    /// if any acked op was compensated instead of committed.
     pub fn fsync(&self, f: &mut FileHandle) -> Result<()> {
+        self.drain_async_commits()?;
         self.flush_meta(f)?;
         let inode = self.stat(f.ino)?;
         f.size = inode.size;
@@ -755,6 +758,9 @@ impl Client {
     /// hand their extents to the data nodes, then run the data-side
     /// deletion queues. Returns (inodes reclaimed, data tasks executed).
     pub fn process_deletions(&self) -> (usize, usize) {
+        // Deferred async-unlink second halves materialize orphans; drain
+        // them first so this pass can reclaim what they marked.
+        let _ = self.drain_async_commits();
         let orphans = std::mem::take(&mut self.cache.lock().orphans);
         let mut reclaimed = 0;
         for (partition, inode) in orphans {

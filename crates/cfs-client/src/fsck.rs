@@ -10,7 +10,7 @@
 use std::collections::HashSet;
 
 use cfs_master::{MasterRequest, MasterResponse, NodeKind};
-use cfs_meta::{MetaCommand, MetaRead};
+use cfs_meta::{MetaCommand, MetaRead, MetaRequest, MetaResponse};
 use cfs_types::{CfsError, FileType, InodeId, NodeId, PartitionId, Result, ROOT_INODE};
 
 use crate::client::Client;
@@ -30,6 +30,23 @@ pub struct UnderReplication {
     pub missing: Vec<NodeId>,
     /// The configured replica count the partition should be at.
     pub expected: usize,
+}
+
+/// Async-commit residue on one node × partition (DESIGN §12): intents
+/// still journaled (acked but neither group-committed nor compensated)
+/// or compensation records the orphan sweep has not executed yet. At any
+/// quiesced moment — every barrier drained, every sweep acked — both
+/// counts must be zero; a nonzero entry is the typed audit trail of an
+/// acknowledged op whose fate is still in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrphanIntent {
+    /// Meta node holding the journal.
+    pub node: NodeId,
+    pub partition: PartitionId,
+    /// Journaled intents not yet resolved.
+    pub pending_intents: u64,
+    /// Compensation records awaiting the resource manager's sweep.
+    pub pending_compensations: u64,
 }
 
 /// What an fsck pass found and did.
@@ -57,6 +74,10 @@ pub struct FsckReport {
     /// Meta/data partitions with fewer live replicas than configured,
     /// with the dead members repair still has to replace (§2.3.3).
     pub under_replicated: Vec<UnderReplication>,
+    /// Async-commit residue (DESIGN §12): journaled-but-unresolved
+    /// intents and unswept compensations, per node × partition. Must be
+    /// empty at every chaos quiesce.
+    pub orphan_intents: Vec<OrphanIntent>,
 }
 
 impl Client {
@@ -110,6 +131,38 @@ impl Client {
                         members: members.clone(),
                         missing,
                         expected,
+                    });
+                }
+            }
+        }
+
+        // Pass 0.5: async-commit audit (DESIGN §12). Ask every meta node
+        // hosting one of the volume's partitions for its per-partition
+        // pending-intent / pending-compensation counts; anything nonzero
+        // is an acked op whose fate has not settled. Unreachable nodes
+        // are skipped — their journals resurface on the next pass.
+        let mut meta_nodes: Vec<NodeId> = partitions
+            .iter()
+            .flat_map(|(_, members)| members.iter().copied())
+            .collect();
+        meta_nodes.sort_unstable();
+        meta_nodes.dedup();
+        for node in meta_nodes {
+            let Ok(Ok(MetaResponse::Report(infos))) =
+                self.fabrics.meta.call(self.id, node, MetaRequest::Report)
+            else {
+                continue;
+            };
+            for info in infos {
+                if info.volume_id != self.volume {
+                    continue;
+                }
+                if info.pending_intents > 0 || info.pending_compensations > 0 {
+                    report.orphan_intents.push(OrphanIntent {
+                        node,
+                        partition: info.partition_id,
+                        pending_intents: info.pending_intents,
+                        pending_compensations: info.pending_compensations,
                     });
                 }
             }
@@ -202,5 +255,6 @@ mod tests {
         assert_eq!(r.orphans_found, 0);
         assert_eq!(r.dangling_dentries, 0);
         assert!(r.under_replicated.is_empty());
+        assert!(r.orphan_intents.is_empty());
     }
 }

@@ -26,14 +26,23 @@
 //! * **Retries (§2.1.3)**: every retryable failure is retried up to the
 //!   configured limit, switching partitions where the paper says to (a
 //!   failed append resends the remainder to a different partition).
+//! * **Asynchronous metadata commit (DESIGN §12)**: with
+//!   [`ClientOptions::async_meta`] a mutating op returns once its intent
+//!   is durably journaled at the leader — zero consensus rounds on the
+//!   ack path — and the group commit happens behind the scenes. The
+//!   client tracks every acked intent; `fsync`/`close` is the strong
+//!   barrier that drains them, surfaces rolled-back (compensated) ops as
+//!   errors, and forward-completes broken unlinks.
 
+mod async_commit;
 mod client;
 mod file;
 mod fsck;
 mod ops;
 mod path;
+mod retry;
 
 pub use client::{Client, ClientOptions, DataPathSnapshot, Fabrics};
 pub use file::FileHandle;
-pub use fsck::{FsckReport, UnderReplication};
+pub use fsck::{FsckReport, OrphanIntent, UnderReplication};
 pub use path::split_path;

@@ -1,8 +1,9 @@
 //! Metadata operations: the Fig. 3 workflows and friends.
 
-use cfs_meta::{MetaCommand, MetaRead};
+use cfs_meta::{IntentContext, MetaCommand, MetaRead};
 use cfs_types::{CfsError, Dentry, FileType, Inode, InodeId, Result};
 
+use crate::async_commit::AsyncIntent;
 use crate::client::Client;
 
 impl Client {
@@ -25,6 +26,14 @@ impl Client {
     ) -> Result<Inode> {
         if name.is_empty() || name.contains('/') {
             return Err(CfsError::InvalidArgument(format!("bad name {name:?}")));
+        }
+        if self.options.async_meta {
+            // Asynchronous commit (DESIGN §12): both workflow halves ride
+            // journaled intents; `None` means the inode partition was not
+            // in a clean window — fall through to the synchronous path.
+            if let Some(inode) = self.create_entry_async(parent, name, file_type, link_target)? {
+                return Ok(inode);
+            }
         }
         // Step 1: inode on a random writable partition. A split can freeze
         // the picked partition between the view fetch and the write
@@ -59,6 +68,86 @@ impl Client {
             }
             Err(e) => {
                 // Failure path: roll the inode back and orphan-list it.
+                let _ = self.meta_write_at(
+                    inode.id,
+                    MetaCommand::Unlink {
+                        inode: inode.id,
+                        now_ns: self.now_ns(),
+                    },
+                );
+                self.push_orphan(ino_partition, inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Asynchronous create workflow (DESIGN §12): same two steps as the
+    /// synchronous Fig. 3a, but each returns at intent-journal time. The
+    /// inode intent carries the planned dentry and the dentry intent the
+    /// fresh inode's creation stamp, so a crash between ack and group
+    /// commit compensates whichever half died. `Ok(None)` = the inode
+    /// step declined (no clean window); nothing was acked.
+    fn create_entry_async(
+        &self,
+        parent: InodeId,
+        name: &str,
+        file_type: FileType,
+        link_target: &[u8],
+    ) -> Result<Option<Inode>> {
+        let Some((ino_partition, node, intent, inode)) =
+            self.create_inode_async(file_type, link_target, parent, name)?
+        else {
+            return Ok(None);
+        };
+        self.record_async_intent(AsyncIntent {
+            partition: ino_partition,
+            node,
+            intent,
+            rollback_on_comp: true,
+            parent,
+            inode: inode.id,
+        });
+
+        // Step 2: dentry on the parent's partition. Its leader may
+        // decline independently of step 1 — then the synchronous write
+        // finishes the workflow (the step-1 intent still group-commits).
+        let cmd = MetaCommand::CreateDentry {
+            parent,
+            name: name.to_string(),
+            inode: inode.id,
+            file_type,
+        };
+        let ctx = IntentContext::FreshInode {
+            ctime_ns: inode.ctime_ns,
+        };
+        let dentry_result = match self.meta_write_async_at(parent, cmd.clone(), ctx) {
+            Ok(Some((dent_partition, node, intent, value))) => {
+                self.record_async_intent(AsyncIntent {
+                    partition: dent_partition,
+                    node,
+                    intent,
+                    rollback_on_comp: true,
+                    parent,
+                    inode: inode.id,
+                });
+                value.into_dentry()
+            }
+            Ok(None) => self
+                .meta_write_at(parent, cmd)
+                .and_then(|v| v.into_dentry()),
+            Err(e) => Err(e),
+        };
+        match dentry_result {
+            Ok(d) => {
+                self.invalidate_parent(parent);
+                self.cache_inode(&inode);
+                self.cache_dentry(&d);
+                Ok(Some(inode))
+            }
+            Err(e) => {
+                // Same rollback as the synchronous path. The step-1
+                // intent still commits its inode; the unlink queues
+                // behind it on the same partition, so ordering holds.
                 let _ = self.meta_write_at(
                     inode.id,
                     MetaCommand::Unlink {
@@ -163,12 +252,10 @@ impl Client {
         // stale view): refresh the table and re-group what is still
         // missing — already-fetched inodes are not re-requested.
         'regroup: for pass in 0..=self.options.max_retries {
-            if pass > 0 {
-                self.count_retry("meta_route");
-                self.stats.view_refreshes.inc();
-                self.refresh_partition_table()?;
-                self.backoff(pass - 1);
-            }
+            self.retry_pause(pass, "meta_route", |c| {
+                c.stats.view_refreshes.inc();
+                c.refresh_partition_table()
+            })?;
             let mut by_partition: std::collections::HashMap<
                 cfs_types::PartitionId,
                 (Vec<cfs_types::NodeId>, Vec<InodeId>),
@@ -241,15 +328,51 @@ impl Client {
             );
             return Err(CfsError::IsADirectory(ino));
         }
-        let created = self.meta_write_at(
+        let cmd = MetaCommand::CreateDentry {
             parent,
-            MetaCommand::CreateDentry {
+            name: name.to_string(),
+            inode: ino,
+            file_type: linked.file_type,
+        };
+        if self.options.async_meta {
+            // The nlink++ above stays synchronous (it is the guard the
+            // rollback rests on); the dentry half rides an intent whose
+            // compensation removes the dentry *and* undoes the
+            // increment (DESIGN §12).
+            match self.meta_write_async_at(
                 parent,
-                name: name.to_string(),
-                inode: ino,
-                file_type: linked.file_type,
-            },
-        );
+                cmd.clone(),
+                IntentContext::LinkedInode { inode: ino },
+            ) {
+                Ok(Some((partition, node, intent, value))) => {
+                    let d = value.into_dentry()?;
+                    self.record_async_intent(AsyncIntent {
+                        partition,
+                        node,
+                        intent,
+                        rollback_on_comp: true,
+                        parent,
+                        inode: ino,
+                    });
+                    self.invalidate_parent(parent);
+                    self.cache_dentry(&d);
+                    self.cache_inode(&linked);
+                    return Ok(());
+                }
+                Ok(None) => {} // no clean window: synchronous dentry below
+                Err(e) => {
+                    let _ = self.meta_write_at(
+                        ino,
+                        MetaCommand::Unlink {
+                            inode: ino,
+                            now_ns: self.now_ns(),
+                        },
+                    );
+                    return Err(e);
+                }
+            }
+        }
+        let created = self.meta_write_at(parent, cmd);
         match created {
             Ok(v) => {
                 let d = v.into_dentry()?;
@@ -282,6 +405,37 @@ impl Client {
     /// the inode's node. At the type threshold (0 for files) the inode is
     /// marked deleted and reclaimed asynchronously (§2.7.3).
     pub fn unlink(&self, parent: InodeId, name: &str) -> Result<()> {
+        if self.options.async_meta {
+            // Async unlink (DESIGN §12): the dentry delete acks from the
+            // intent journal; its compensation *forward-completes* the
+            // deletion, so an acked unlink always ends with the name
+            // absent. The nlink-- half is deferred to the barrier.
+            let target = self.lookup(parent, name)?;
+            if let Some((partition, node, intent, value)) = self.meta_write_async_at(
+                parent,
+                MetaCommand::DeleteDentry {
+                    parent,
+                    name: name.to_string(),
+                },
+                IntentContext::UnlinkedInode {
+                    inode: target.inode,
+                },
+            )? {
+                let deleted = value.into_dentry()?;
+                self.invalidate_parent(parent);
+                self.record_async_intent(AsyncIntent {
+                    partition,
+                    node,
+                    intent,
+                    rollback_on_comp: false,
+                    parent,
+                    inode: deleted.inode,
+                });
+                self.defer_unlink(intent, deleted.inode);
+                return Ok(());
+            }
+            // No clean window: synchronous workflow below.
+        }
         let dentry = self
             .meta_write_at(
                 parent,

@@ -1,0 +1,70 @@
+//! Shared retry discipline (§2.1.3): every client retry loop waits the
+//! same capped-exponential-backoff schedule, computed in exactly one
+//! place. Before this module each loop carried its own copy of the
+//! `count → refresh view → back off` preamble; they drifted easily and
+//! were impossible to test in isolation.
+
+use cfs_types::Result;
+
+use crate::client::Client;
+
+/// Backoff delay (in backoff units, no jitter) before retry pass `pass`
+/// (0 = the first *re*-scan): `min(cap, base << pass)`, with `base`
+/// clamped to at least 1 and `cap` to at least `base`, and the doubling
+/// saturating (never shifting bits out) before the cap applies.
+pub(crate) fn capped_backoff(base: u64, cap: u64, pass: u32) -> u64 {
+    let base = base.max(1);
+    let cap = cap.max(base);
+    base.saturating_mul(1u64 << pass.min(63)).min(cap)
+}
+
+impl Client {
+    /// The shared preamble of every retry loop: a no-op on the first
+    /// attempt (`pass == 0`); afterwards count the retry under `op`, run
+    /// the caller's view-refresh hook, then back off `pass - 1` on the
+    /// capped-exponential schedule. A refresh error aborts the loop (the
+    /// callers that refresh best-effort swallow it inside the hook).
+    pub(crate) fn retry_pause(
+        &self,
+        pass: u32,
+        op: &str,
+        refresh: impl FnOnce(&Self) -> Result<()>,
+    ) -> Result<()> {
+        if pass == 0 {
+            return Ok(());
+        }
+        self.count_retry(op);
+        refresh(self)?;
+        self.backoff(pass - 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_sequence_doubles_then_pins_at_cap() {
+        let seq: Vec<u64> = (0..8).map(|p| capped_backoff(2, 16, p)).collect();
+        assert_eq!(seq, vec![2, 4, 8, 16, 16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn backoff_clamps_degenerate_configs() {
+        // base 0 behaves as base 1; cap below base behaves as cap = base.
+        assert_eq!(capped_backoff(0, 8, 0), 1);
+        assert_eq!(capped_backoff(0, 8, 3), 8);
+        assert_eq!(capped_backoff(16, 4, 0), 16);
+        assert_eq!(capped_backoff(16, 4, 9), 16);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // A large base times a deep pass must pin to the cap, not shift
+        // its bits out (base << pass would silently reach zero).
+        assert_eq!(capped_backoff(1 << 40, 1 << 50, 60), 1 << 50);
+        assert_eq!(capped_backoff(3, u64::MAX, 63), u64::MAX);
+        assert_eq!(capped_backoff(u64::MAX, u64::MAX, 70), u64::MAX);
+    }
+}

@@ -285,6 +285,20 @@ impl LsmEngine {
             .collect()
     }
 
+    /// Recovery hook for families whose keys group a sub-journal under a
+    /// shared prefix (e.g. `(partition, intent)` tuples): every live
+    /// `(key, value)` of one family whose *encoded* key starts with
+    /// `prefix`, in key order. `CfKey` encodings are big-endian, so a
+    /// tuple key's first component bytes are a valid prefix.
+    pub fn scan_cf_prefix<C: TypedCf>(&self, prefix: &[u8]) -> Result<Vec<(C::Key, C::Value)>> {
+        let mut full = cf::cf_prefix::<C>();
+        full.extend_from_slice(prefix);
+        self.scan_prefix_raw(&full)
+            .into_iter()
+            .map(|(k, v)| Ok((cf::typed_key::<C>(&k)?, C::Value::from_bytes(&v)?)))
+            .collect()
+    }
+
     /// Raw point lookup: memtable first, then runs newest → oldest.
     pub fn get_raw(&self, key: &[u8]) -> Option<Vec<u8>> {
         let inner = self.inner.lock();
@@ -522,6 +536,36 @@ mod tests {
             db.scan::<OtherCf>().unwrap(),
             vec![((1, 1), 11), ((1, 2), 12)]
         );
+    }
+
+    #[test]
+    fn typed_prefix_scan_isolates_tuple_sub_journals() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmEngine::open(dir.path(), tiny_options()).unwrap();
+        for part in [1u64, 2, 258] {
+            for seq in [3u64, 9] {
+                db.put::<OtherCf>(&(part, seq), &(part * 100 + seq))
+                    .unwrap();
+            }
+        }
+        // A u64 big-endian prefix selects exactly one partition's rows —
+        // including across a flush boundary (memtable + runs merged).
+        db.flush().unwrap();
+        db.put::<OtherCf>(&(2, 4), &204).unwrap();
+        assert_eq!(
+            db.scan_cf_prefix::<OtherCf>(&2u64.to_be_bytes()).unwrap(),
+            vec![((2, 3), 203), ((2, 4), 204), ((2, 9), 209)]
+        );
+        // Partition 1 does not leak rows of partition 258 even though the
+        // low byte of 258's first key byte range overlaps lexically.
+        assert_eq!(
+            db.scan_cf_prefix::<OtherCf>(&1u64.to_be_bytes()).unwrap(),
+            vec![((1, 3), 103), ((1, 9), 109)]
+        );
+        assert!(db
+            .scan_cf_prefix::<OtherCf>(&7u64.to_be_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -344,6 +344,13 @@ pub enum MasterCommand {
         partition: PartitionId,
         node: NodeId,
     },
+    /// One heartbeat-driven orphan sweep executed `fixups` compensation
+    /// fixups fetched from the meta nodes' journals (DESIGN §12).
+    /// Replicated so the running total survives master churn and shows
+    /// up identically on every replica's report.
+    RecordOrphanSweep {
+        fixups: u64,
+    },
 }
 
 impl Encode for MasterCommand {
@@ -417,6 +424,10 @@ impl Encode for MasterCommand {
                 partition.encode(enc);
                 node.encode(enc);
             }
+            MasterCommand::RecordOrphanSweep { fixups } => {
+                enc.put_u8(13);
+                enc.put_u64(*fixups);
+            }
         }
     }
 }
@@ -471,6 +482,9 @@ impl Decode for MasterCommand {
                 partition: PartitionId::decode(dec)?,
                 node: NodeId::decode(dec)?,
             },
+            13 => MasterCommand::RecordOrphanSweep {
+                fixups: dec.get_u64()?,
+            },
             b => return Err(CfsError::Corrupt(format!("invalid master command tag {b}"))),
         })
     }
@@ -501,6 +515,9 @@ pub struct MasterState {
     /// joining node. The repair scheduler skips these until the driver
     /// confirms the join, so one degraded partition is repaired once.
     pending_joins: BTreeMap<PartitionId, NodeId>,
+    /// Running total of compensation fixups executed by the heartbeat
+    /// orphan sweep (DESIGN §12), replicated across master replicas.
+    orphan_fixups: u64,
 }
 
 impl MasterState {
@@ -519,6 +536,7 @@ impl MasterState {
             next_volume: 1,
             heartbeat_round: 0,
             pending_joins: BTreeMap::new(),
+            orphan_fixups: 0,
         }
     }
 
@@ -560,6 +578,11 @@ impl MasterState {
     /// Partitions with an in-flight replacement join (partition → joiner).
     pub fn pending_joins(&self) -> &BTreeMap<PartitionId, NodeId> {
         &self.pending_joins
+    }
+
+    /// Compensation fixups executed by the orphan sweep so far.
+    pub fn orphan_fixups(&self) -> u64 {
+        self.orphan_fixups
     }
 
     /// Do all of `members` live in one Raft set (§2.5.1)? Used to count
@@ -1116,6 +1139,10 @@ impl MasterState {
                 }
                 Ok(ApplyOutcome::default())
             }
+            MasterCommand::RecordOrphanSweep { fixups } => {
+                self.orphan_fixups += fixups;
+                Ok(ApplyOutcome::default())
+            }
         }
     }
 
@@ -1150,6 +1177,7 @@ impl MasterState {
             pid.encode(&mut enc);
             node.encode(&mut enc);
         }
+        enc.put_u64(self.orphan_fixups);
         enc.finish()
     }
 
@@ -1182,6 +1210,7 @@ impl MasterState {
             let node = NodeId::decode(&mut dec)?;
             st.pending_joins.insert(pid, node);
         }
+        st.orphan_fixups = dec.get_u64()?;
         if !dec.is_exhausted() {
             return Err(CfsError::Corrupt("master snapshot trailing bytes".into()));
         }
@@ -1605,9 +1634,24 @@ mod tests {
         })
         .unwrap();
         st.pending_joins.insert(PartitionId(2), NodeId(105));
+        st.apply(&MasterCommand::RecordOrphanSweep { fixups: 7 })
+            .unwrap();
         let bytes = st.snapshot_bytes();
         let back = MasterState::from_snapshot(ClusterConfig::default(), &bytes).unwrap();
         assert_eq!(back, st);
+    }
+
+    #[test]
+    fn orphan_sweeps_accumulate() {
+        let mut st = MasterState::new(ClusterConfig::default());
+        assert_eq!(st.orphan_fixups(), 0);
+        st.apply(&MasterCommand::RecordOrphanSweep { fixups: 3 })
+            .unwrap();
+        st.apply(&MasterCommand::RecordOrphanSweep { fixups: 0 })
+            .unwrap();
+        st.apply(&MasterCommand::RecordOrphanSweep { fixups: 4 })
+            .unwrap();
+        assert_eq!(st.orphan_fixups(), 7);
     }
 
     #[test]
@@ -1661,6 +1705,7 @@ mod tests {
                 partition: PartitionId(3),
                 node: NodeId(104),
             },
+            MasterCommand::RecordOrphanSweep { fixups: 12 },
         ];
         for c in cmds {
             assert_eq!(roundtrip(&c).unwrap(), c);

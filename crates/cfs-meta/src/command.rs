@@ -57,6 +57,34 @@ pub enum MetaCommand {
     UpdateEnd {
         end: InodeId,
     },
+    /// Asynchronous-commit path (DESIGN §12): insert a fresh inode at an
+    /// id the leader's overlay allocated when the op was acked. Pinning
+    /// the id into the replicated command keeps the apply deterministic.
+    CreateInodeAt {
+        id: InodeId,
+        file_type: FileType,
+        link_target: Vec<u8>,
+        now_ns: u64,
+    },
+    /// A command riding the async intent journal: `intent` names the
+    /// journal entry every replica retires when this entry applies.
+    Tagged {
+        intent: u64,
+        inner: Box<MetaCommand>,
+    },
+    /// Compensation fixup: remove `(parent, name)` only while it still
+    /// points at `inode` (idempotent, can never undo an unrelated op).
+    RemoveDentryIf {
+        parent: InodeId,
+        name: String,
+        inode: InodeId,
+    },
+    /// Compensation fixup: evict `inode` only if its creation stamp
+    /// matches the dead intent's and it is still unreferenced.
+    EvictIf {
+        inode: InodeId,
+        ctime_ns: u64,
+    },
 }
 
 impl MetaCommand {
@@ -74,6 +102,12 @@ impl MetaCommand {
             MetaCommand::AppendExtents { .. } => "append_extents",
             MetaCommand::Truncate { .. } => "truncate",
             MetaCommand::UpdateEnd { .. } => "update_end",
+            MetaCommand::CreateInodeAt { .. } => "create_inode_at",
+            // A tagged command is labeled by what it does, not how it got
+            // here, so apply metrics stay comparable across sync/async.
+            MetaCommand::Tagged { inner, .. } => inner.kind(),
+            MetaCommand::RemoveDentryIf { .. } => "remove_dentry_if",
+            MetaCommand::EvictIf { .. } => "evict_if",
         }
     }
 }
@@ -86,7 +120,14 @@ impl MetaCommand {
     pub fn out_of_range(&self, start: InodeId, end: InodeId) -> Option<InodeId> {
         let outside = |id: &InodeId| *id < start || *id > end;
         match self {
-            MetaCommand::CreateInode { .. } | MetaCommand::UpdateEnd { .. } => None,
+            // CreateInodeAt enforces the range at apply time like the
+            // allocating form; compensation fixups are conditional no-ops
+            // outside their range and must survive a racing cut.
+            MetaCommand::CreateInode { .. }
+            | MetaCommand::UpdateEnd { .. }
+            | MetaCommand::CreateInodeAt { .. }
+            | MetaCommand::RemoveDentryIf { .. }
+            | MetaCommand::EvictIf { .. } => None,
             MetaCommand::CreateDentry { parent, .. } | MetaCommand::DeleteDentry { parent, .. } => {
                 Some(*parent).filter(outside)
             }
@@ -96,6 +137,7 @@ impl MetaCommand {
             | MetaCommand::Evict { inode }
             | MetaCommand::AppendExtents { inode, .. }
             | MetaCommand::Truncate { inode, .. } => Some(*inode).filter(outside),
+            MetaCommand::Tagged { inner, .. } => inner.out_of_range(start, end),
         }
     }
 }
@@ -253,6 +295,32 @@ impl MetaCommand {
                 p.update_end(*end)?;
                 Ok(MetaValue::None)
             }
+            MetaCommand::CreateInodeAt {
+                id,
+                file_type,
+                link_target,
+                now_ns,
+            } => Ok(MetaValue::Inode(p.create_inode_at(
+                *id,
+                *file_type,
+                link_target,
+                *now_ns,
+            )?)),
+            MetaCommand::Tagged { inner, .. } => inner.apply(p),
+            MetaCommand::RemoveDentryIf {
+                parent,
+                name,
+                inode,
+            } => Ok(match p.remove_dentry_if(*parent, name, *inode)? {
+                Some(d) => MetaValue::Dentry(d),
+                None => MetaValue::None,
+            }),
+            MetaCommand::EvictIf { inode, ctime_ns } => {
+                Ok(match p.evict_if(*inode, *ctime_ns)? {
+                    Some(i) => MetaValue::Inode(i),
+                    None => MetaValue::None,
+                })
+            }
         }
     }
 }
@@ -345,6 +413,38 @@ impl Encode for MetaCommand {
                 enc.put_u8(9);
                 end.encode(enc);
             }
+            MetaCommand::CreateInodeAt {
+                id,
+                file_type,
+                link_target,
+                now_ns,
+            } => {
+                enc.put_u8(10);
+                id.encode(enc);
+                file_type.encode(enc);
+                enc.put_bytes(link_target);
+                enc.put_u64(*now_ns);
+            }
+            MetaCommand::Tagged { intent, inner } => {
+                enc.put_u8(11);
+                enc.put_u64(*intent);
+                inner.encode(enc);
+            }
+            MetaCommand::RemoveDentryIf {
+                parent,
+                name,
+                inode,
+            } => {
+                enc.put_u8(12);
+                parent.encode(enc);
+                name.encode(enc);
+                inode.encode(enc);
+            }
+            MetaCommand::EvictIf { inode, ctime_ns } => {
+                enc.put_u8(13);
+                inode.encode(enc);
+                enc.put_u64(*ctime_ns);
+            }
         }
     }
 }
@@ -393,6 +493,25 @@ impl Decode for MetaCommand {
             },
             9 => MetaCommand::UpdateEnd {
                 end: InodeId::decode(dec)?,
+            },
+            10 => MetaCommand::CreateInodeAt {
+                id: InodeId::decode(dec)?,
+                file_type: FileType::decode(dec)?,
+                link_target: dec.get_bytes()?.to_vec(),
+                now_ns: dec.get_u64()?,
+            },
+            11 => MetaCommand::Tagged {
+                intent: dec.get_u64()?,
+                inner: Box::new(MetaCommand::decode(dec)?),
+            },
+            12 => MetaCommand::RemoveDentryIf {
+                parent: InodeId::decode(dec)?,
+                name: String::decode(dec)?,
+                inode: InodeId::decode(dec)?,
+            },
+            13 => MetaCommand::EvictIf {
+                inode: InodeId::decode(dec)?,
+                ctime_ns: dec.get_u64()?,
             },
             b => return Err(CfsError::Corrupt(format!("invalid meta command tag {b}"))),
         })
@@ -458,10 +577,66 @@ mod tests {
                 now_ns: 11,
             },
             MetaCommand::UpdateEnd { end: InodeId(100) },
+            MetaCommand::CreateInodeAt {
+                id: InodeId(17),
+                file_type: FileType::File,
+                link_target: vec![],
+                now_ns: 12,
+            },
+            MetaCommand::Tagged {
+                intent: 0xBEEF_0001,
+                inner: Box::new(MetaCommand::CreateInodeAt {
+                    id: InodeId(18),
+                    file_type: FileType::Symlink,
+                    link_target: b"/t".to_vec(),
+                    now_ns: 13,
+                }),
+            },
+            MetaCommand::RemoveDentryIf {
+                parent: InodeId(1),
+                name: "file".into(),
+                inode: InodeId(2),
+            },
+            MetaCommand::EvictIf {
+                inode: InodeId(2),
+                ctime_ns: 14,
+            },
         ];
         for c in cmds {
             assert_eq!(roundtrip(&c).unwrap(), c);
         }
+    }
+
+    #[test]
+    fn tagged_commands_delegate_kind_fence_and_apply() {
+        let tagged = MetaCommand::Tagged {
+            intent: 7,
+            inner: Box::new(MetaCommand::CreateDentry {
+                parent: InodeId(50),
+                name: "a".into(),
+                inode: InodeId(51),
+                file_type: FileType::File,
+            }),
+        };
+        assert_eq!(tagged.kind(), "create_dentry");
+        assert_eq!(
+            tagged.out_of_range(InodeId(1), InodeId(10)),
+            Some(InodeId(50)),
+            "fence routes by the inner command"
+        );
+        let mut p = part();
+        p.create_inode(FileType::Dir, b"", 0).unwrap();
+        let pinned = MetaCommand::Tagged {
+            intent: 8,
+            inner: Box::new(MetaCommand::CreateInodeAt {
+                id: InodeId(5),
+                file_type: FileType::File,
+                link_target: vec![],
+                now_ns: 3,
+            }),
+        };
+        let ino = pinned.apply(&mut p).unwrap().into_inode().unwrap();
+        assert_eq!(ino.id, InodeId(5));
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! The asynchronous-commit intent journal and compensation records
+//! (DESIGN §12).
+//!
+//! A mutating metadata op acked before consensus leaves a durable
+//! [`IntentRecord`] in a dedicated `cfs-kvwal` column family. The record
+//! carries the *pinned* replicated command plus an [`IntentContext`]
+//! naming the other half of the client workflow, so that a dead intent —
+//! one whose raft entry was lost to an election or a power cut — can be
+//! compensated on both sides of the partition boundary: the half-created
+//! file's dentry is removed, the orphan inode evicted, the half-linked
+//! dentry's nlink increment rolled back. The namespace fixups are
+//! conditional commands ([`MetaCommand::RemoveDentryIf`],
+//! [`MetaCommand::EvictIf`]), so replaying them is idempotent and can
+//! never undo an unrelated op; the one non-conditional fixup — the link
+//! workflow's nlink rollback — is executed exactly once per record by
+//! the orphan sweep, which acks the record away durably after running it.
+
+use cfs_types::codec::{Decode, Decoder, Encode, Encoder};
+use cfs_types::{CfsError, InodeId, PartitionId, Result, VolumeId};
+
+use crate::command::MetaCommand;
+use crate::partition::MetaPartition;
+
+/// Why an async intent was journaled: the cross-partition twin of the
+/// acked command, from which compensation fixups are derived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentContext {
+    /// No cross-partition twin.
+    None,
+    /// `CreateInodeAt` step of a create workflow: the dentry the client
+    /// plants next. Dead ⇒ remove that dentry if it ever committed.
+    PlannedDentry { parent: InodeId, name: String },
+    /// `CreateDentry` step of a create workflow: the freshly created
+    /// inode's creation stamp. Dead ⇒ evict the now-unreachable inode —
+    /// the paper's orphan-inode list (§2.6.1), promoted to a journal.
+    FreshInode { ctime_ns: u64 },
+    /// `DeleteDentry` step of an unlink workflow: the target inode. Dead ⇒
+    /// *forward-complete* the deletion, so an acked unlink always ends
+    /// with the name absent.
+    UnlinkedInode { inode: InodeId },
+    /// `CreateDentry` step of a link workflow. Dead ⇒ roll back the
+    /// synchronous nlink increment (§2.6.2 failure handling).
+    LinkedInode { inode: InodeId },
+}
+
+impl Encode for IntentContext {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            IntentContext::None => enc.put_u8(0),
+            IntentContext::PlannedDentry { parent, name } => {
+                enc.put_u8(1);
+                parent.encode(enc);
+                name.encode(enc);
+            }
+            IntentContext::FreshInode { ctime_ns } => {
+                enc.put_u8(2);
+                enc.put_u64(*ctime_ns);
+            }
+            IntentContext::UnlinkedInode { inode } => {
+                enc.put_u8(3);
+                inode.encode(enc);
+            }
+            IntentContext::LinkedInode { inode } => {
+                enc.put_u8(4);
+                inode.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for IntentContext {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.get_u8()? {
+            0 => IntentContext::None,
+            1 => IntentContext::PlannedDentry {
+                parent: InodeId::decode(dec)?,
+                name: String::decode(dec)?,
+            },
+            2 => IntentContext::FreshInode {
+                ctime_ns: dec.get_u64()?,
+            },
+            3 => IntentContext::UnlinkedInode {
+                inode: InodeId::decode(dec)?,
+            },
+            4 => IntentContext::LinkedInode {
+                inode: InodeId::decode(dec)?,
+            },
+            b => return Err(CfsError::Corrupt(format!("invalid intent context tag {b}"))),
+        })
+    }
+}
+
+/// One journaled intent: an acked-but-not-yet-committed metadata op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Node-unique intent id (high bits: acking node, low bits: sequence).
+    pub id: u64,
+    /// The pinned command that was (or will be) group-committed.
+    pub cmd: MetaCommand,
+    pub ctx: IntentContext,
+    /// `(term, log index)` the intent's frame was proposed at. Stamped
+    /// durably *before* the propose, so recovery can always classify a
+    /// surviving record: `None` ⇒ the entry is definitively not in the
+    /// log (dead); `Some((t, i))` ⇒ decided by inspecting the tree once
+    /// the applied index passes `i`.
+    pub proposed: Option<(u64, u64)>,
+}
+
+impl Encode for IntentRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        self.cmd.encode(enc);
+        self.ctx.encode(enc);
+        match self.proposed {
+            None => enc.put_u8(0),
+            Some((t, i)) => {
+                enc.put_u8(1);
+                enc.put_u64(t);
+                enc.put_u64(i);
+            }
+        }
+    }
+}
+
+impl Decode for IntentRecord {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let id = dec.get_u64()?;
+        let cmd = MetaCommand::decode(dec)?;
+        let ctx = IntentContext::decode(dec)?;
+        let proposed = match dec.get_u8()? {
+            0 => None,
+            1 => Some((dec.get_u64()?, dec.get_u64()?)),
+            b => return Err(CfsError::Corrupt(format!("invalid proposed tag {b}"))),
+        };
+        Ok(IntentRecord {
+            id,
+            cmd,
+            ctx,
+            proposed,
+        })
+    }
+}
+
+/// A dead intent's repair plan: conditional fixup commands, each routed by
+/// an inode id (the partition owning that id executes it). Reported to the
+/// resource manager through heartbeat reconciliation and executed by the
+/// orphan sweep; deleted at the origin node once acked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompensationRecord {
+    /// The dead intent's id (compensations inherit their intent's id).
+    pub id: u64,
+    /// Partition the intent was journaled on.
+    pub partition: PartitionId,
+    /// Volume the fixups route within (inode ranges are per-volume).
+    pub volume: VolumeId,
+    /// `(routing inode, fixup command)` pairs.
+    pub fixups: Vec<(InodeId, MetaCommand)>,
+}
+
+impl Encode for CompensationRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        self.partition.encode(enc);
+        self.volume.encode(enc);
+        enc.put_u32(self.fixups.len() as u32);
+        for (routing, cmd) in &self.fixups {
+            routing.encode(enc);
+            cmd.encode(enc);
+        }
+    }
+}
+
+impl Decode for CompensationRecord {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let id = dec.get_u64()?;
+        let partition = PartitionId::decode(dec)?;
+        let volume = VolumeId::decode(dec)?;
+        let n = dec.get_u32()? as usize;
+        let mut fixups = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            fixups.push((InodeId::decode(dec)?, MetaCommand::decode(dec)?));
+        }
+        Ok(CompensationRecord {
+            id,
+            partition,
+            volume,
+            fixups,
+        })
+    }
+}
+
+/// Derive the fixups repairing *both halves* of a dead intent's workflow.
+/// Every fixup is conditional, so executing it when the other half never
+/// committed (or was since re-created by an unrelated op) is a no-op.
+pub(crate) fn compensation_fixups(
+    cmd: &MetaCommand,
+    ctx: &IntentContext,
+) -> Vec<(InodeId, MetaCommand)> {
+    match (cmd, ctx) {
+        // Dead inode half of a create: the planned dentry may have
+        // committed on its own partition — remove it if it still points at
+        // the pinned id. The inode itself never committed, and EvictIf's
+        // stamp guard makes the second fixup a no-op if the id was since
+        // legitimately reallocated.
+        (
+            MetaCommand::CreateInodeAt { id, now_ns, .. },
+            IntentContext::PlannedDentry { parent, name },
+        ) => vec![
+            (
+                *parent,
+                MetaCommand::RemoveDentryIf {
+                    parent: *parent,
+                    name: name.clone(),
+                    inode: *id,
+                },
+            ),
+            (
+                *id,
+                MetaCommand::EvictIf {
+                    inode: *id,
+                    ctime_ns: *now_ns,
+                },
+            ),
+        ],
+        // Dead dentry half of a create: the inode half may have committed
+        // — evict the unreachable orphan (and clear the dentry if the
+        // ambiguity resolution was wrong about it, harmlessly).
+        (
+            MetaCommand::CreateDentry {
+                parent,
+                name,
+                inode,
+                ..
+            },
+            IntentContext::FreshInode { ctime_ns },
+        ) => vec![
+            (
+                *parent,
+                MetaCommand::RemoveDentryIf {
+                    parent: *parent,
+                    name: name.clone(),
+                    inode: *inode,
+                },
+            ),
+            (
+                *inode,
+                MetaCommand::EvictIf {
+                    inode: *inode,
+                    ctime_ns: *ctime_ns,
+                },
+            ),
+        ],
+        // Dead unlink step 1: forward-complete the deletion — an acked
+        // unlink always ends with the name absent.
+        (MetaCommand::DeleteDentry { parent, name }, IntentContext::UnlinkedInode { inode }) => {
+            vec![(
+                *parent,
+                MetaCommand::RemoveDentryIf {
+                    parent: *parent,
+                    name: name.clone(),
+                    inode: *inode,
+                },
+            )]
+        }
+        // Dead dentry half of a link: roll back the synchronous nlink
+        // increment (§2.6.2).
+        (MetaCommand::CreateDentry { parent, name, .. }, IntentContext::LinkedInode { inode }) => {
+            vec![
+                (
+                    *parent,
+                    MetaCommand::RemoveDentryIf {
+                        parent: *parent,
+                        name: name.clone(),
+                        inode: *inode,
+                    },
+                ),
+                (
+                    *inode,
+                    MetaCommand::Unlink {
+                        inode: *inode,
+                        now_ns: 0,
+                    },
+                ),
+            ]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Did this intent's effect reach `p`'s tree? Used to disambiguate a
+/// proposed intent that is still journaled after `applied` passed its
+/// index: normally that means its entry was overwritten by another
+/// leader's (dead), but an installed snapshot can *contain* the effect
+/// while skipping the per-entry retirement — inspection tells the two
+/// apart. Identity checks (pinned id, creation stamp, dentry target) keep
+/// a later unrelated op from masquerading as our effect.
+pub(crate) fn intent_effect_present(
+    cmd: &MetaCommand,
+    ctx: &IntentContext,
+    p: &MetaPartition,
+) -> bool {
+    match cmd {
+        MetaCommand::CreateInodeAt { id, now_ns, .. } => p
+            .get_inode(*id)
+            .map(|i| i.ctime_ns == *now_ns)
+            .unwrap_or(false),
+        MetaCommand::CreateDentry {
+            parent,
+            name,
+            inode,
+            ..
+        } => p
+            .get_dentry(*parent, name)
+            .map(|d| d.inode == *inode)
+            .unwrap_or(false),
+        // Deletion's effect is absence; a dentry re-pointed at a different
+        // inode also means our delete went through (ids are never reused
+        // within a partition).
+        MetaCommand::DeleteDentry { parent, name } => match ctx {
+            IntentContext::UnlinkedInode { inode } => p
+                .get_dentry(*parent, name)
+                .map(|d| d.inode != *inode)
+                .unwrap_or(true),
+            _ => p.get_dentry(*parent, name).is_err(),
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::MetaPartitionConfig;
+    use cfs_types::codec::roundtrip;
+    use cfs_types::FileType;
+
+    #[test]
+    fn intent_and_compensation_records_roundtrip() {
+        let rec = IntentRecord {
+            id: (42u64 << 48) | 7,
+            cmd: MetaCommand::CreateInodeAt {
+                id: InodeId(9),
+                file_type: FileType::File,
+                link_target: vec![],
+                now_ns: 11,
+            },
+            ctx: IntentContext::PlannedDentry {
+                parent: InodeId(1),
+                name: "x".into(),
+            },
+            proposed: None,
+        };
+        assert_eq!(roundtrip(&rec).unwrap(), rec);
+        let stamped = IntentRecord {
+            proposed: Some((3, 17)),
+            ctx: IntentContext::FreshInode { ctime_ns: 5 },
+            ..rec.clone()
+        };
+        assert_eq!(roundtrip(&stamped).unwrap(), stamped);
+
+        let comp = CompensationRecord {
+            id: rec.id,
+            partition: PartitionId(4),
+            volume: VolumeId(2),
+            fixups: compensation_fixups(&rec.cmd, &rec.ctx),
+        };
+        assert_eq!(comp.fixups.len(), 2);
+        assert_eq!(roundtrip(&comp).unwrap(), comp);
+    }
+
+    #[test]
+    fn fixups_cover_both_halves_of_each_workflow() {
+        // Dead inode half of a create: dentry removal + orphan eviction.
+        let f = compensation_fixups(
+            &MetaCommand::CreateInodeAt {
+                id: InodeId(9),
+                file_type: FileType::File,
+                link_target: vec![],
+                now_ns: 11,
+            },
+            &IntentContext::PlannedDentry {
+                parent: InodeId(1),
+                name: "x".into(),
+            },
+        );
+        assert!(matches!(
+            f[0],
+            (
+                InodeId(1),
+                MetaCommand::RemoveDentryIf {
+                    inode: InodeId(9),
+                    ..
+                }
+            )
+        ));
+        assert!(matches!(
+            f[1],
+            (InodeId(9), MetaCommand::EvictIf { ctime_ns: 11, .. })
+        ));
+
+        // Dead unlink step 1 forward-completes the deletion.
+        let f = compensation_fixups(
+            &MetaCommand::DeleteDentry {
+                parent: InodeId(1),
+                name: "x".into(),
+            },
+            &IntentContext::UnlinkedInode { inode: InodeId(9) },
+        );
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f[0].1, MetaCommand::RemoveDentryIf { .. }));
+
+        // Dead link dentry rolls the nlink increment back.
+        let f = compensation_fixups(
+            &MetaCommand::CreateDentry {
+                parent: InodeId(1),
+                name: "hard".into(),
+                inode: InodeId(9),
+                file_type: FileType::File,
+            },
+            &IntentContext::LinkedInode { inode: InodeId(9) },
+        );
+        assert!(matches!(
+            f[1].1,
+            MetaCommand::Unlink {
+                inode: InodeId(9),
+                ..
+            }
+        ));
+
+        // No context, no fixups.
+        assert!(compensation_fixups(
+            &MetaCommand::DeleteDentry {
+                parent: InodeId(1),
+                name: "x".into()
+            },
+            &IntentContext::None,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn effect_inspection_distinguishes_committed_from_overwritten() {
+        let mut p = MetaPartition::new(MetaPartitionConfig {
+            partition_id: PartitionId(1),
+            volume_id: VolumeId(1),
+            start: InodeId(1),
+            end: InodeId::MAX,
+        });
+        p.create_inode(FileType::Dir, b"", 0).unwrap();
+        let create = MetaCommand::CreateInodeAt {
+            id: InodeId(5),
+            file_type: FileType::File,
+            link_target: vec![],
+            now_ns: 7,
+        };
+        let ctx = IntentContext::PlannedDentry {
+            parent: InodeId(1),
+            name: "x".into(),
+        };
+        assert!(!intent_effect_present(&create, &ctx, &p));
+        create.apply(&mut p).unwrap();
+        assert!(intent_effect_present(&create, &ctx, &p));
+
+        // A *different* inode at the pinned id (reallocation after the
+        // intent died) is not our effect.
+        let mut q = p.clone();
+        q.evict_inode(InodeId(5)).unwrap();
+        q.create_inode_at(InodeId(5), FileType::File, b"", 99)
+            .unwrap();
+        assert!(!intent_effect_present(&create, &ctx, &q));
+
+        // Deletion: effect is absence (or a re-pointed dentry).
+        let del = MetaCommand::DeleteDentry {
+            parent: InodeId(1),
+            name: "x".into(),
+        };
+        let del_ctx = IntentContext::UnlinkedInode { inode: InodeId(5) };
+        assert!(intent_effect_present(&del, &del_ctx, &p), "never created");
+        p.create_dentry(InodeId(1), "x", InodeId(5), FileType::File)
+            .unwrap();
+        assert!(!intent_effect_present(&del, &del_ctx, &p));
+    }
+}

@@ -17,11 +17,13 @@
 //! of each command.
 
 mod command;
+mod intent;
 mod node;
 mod partition;
 #[cfg(test)]
 mod prop_tests;
 
 pub use command::{MetaCommand, MetaRead, MetaValue};
+pub use intent::{CompensationRecord, IntentContext, IntentRecord};
 pub use node::{MetaNode, MetaNodePersist, MetaRequest, MetaResponse, PartitionInfo};
 pub use partition::{MetaPartition, MetaPartitionConfig};

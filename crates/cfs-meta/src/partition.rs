@@ -114,6 +114,35 @@ impl MetaPartition {
         Ok(inode)
     }
 
+    /// Insert a fresh inode at a *pinned* id (asynchronous-commit path,
+    /// §2.6 + DESIGN §12). The id was allocated speculatively on the
+    /// leader's overlay when the op was acked; replaying the pinned command
+    /// is what keeps the replicated apply deterministic no matter what
+    /// else committed in between. Advances `maxInodeID` past the pin so
+    /// later fresh allocations never collide.
+    pub fn create_inode_at(
+        &mut self,
+        id: InodeId,
+        file_type: FileType,
+        link_target: &[u8],
+        now_ns: u64,
+    ) -> Result<Inode> {
+        if id > self.config.end {
+            return Err(CfsError::PartitionFull(self.config.partition_id));
+        }
+        if self.inode_tree.contains_key(&id) {
+            return Err(CfsError::Exists(format!("{id}")));
+        }
+        let inode = if file_type == FileType::Symlink {
+            Inode::new_symlink(id, link_target, now_ns)
+        } else {
+            Inode::new(id, file_type, now_ns)
+        };
+        self.inode_tree.insert(id, inode.clone());
+        self.max_inode = self.max_inode.max(id);
+        Ok(inode)
+    }
+
     /// Look up an inode.
     pub fn get_inode(&self, id: InodeId) -> Result<Inode> {
         self.inode_tree
@@ -168,6 +197,23 @@ impl MetaPartition {
             .ok_or_else(|| CfsError::NotFound(format!("{id}")))?;
         self.free_list.push(id);
         Ok(ino)
+    }
+
+    /// Conditional eviction (compensation fixup): evict `id` only if it is
+    /// the inode a dead async intent created — same creation stamp, still
+    /// unreferenced. A mismatch means the id was legitimately reallocated
+    /// (or the file was linked up after all), and the fixup must not touch
+    /// it; returns `None` payload in that case so replays are idempotent.
+    /// "Unreferenced" is relative to the file type's birth count — a fresh
+    /// directory starts at nlink 2, so a flat `<= 1` guard would strand
+    /// every orphan directory forever.
+    pub fn evict_if(&mut self, id: InodeId, ctime_ns: u64) -> Result<Option<Inode>> {
+        match self.inode_tree.get(&id) {
+            Some(ino) if ino.ctime_ns == ctime_ns && ino.nlink <= ino.file_type.initial_nlink() => {
+                Ok(Some(self.evict_inode(id)?))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Drain the free list (the background cleaner collected the data).
@@ -264,6 +310,24 @@ impl MetaPartition {
         self.dentry_tree
             .remove(&(parent, name.to_string()))
             .ok_or_else(|| CfsError::NotFound(format!("{parent}/{name}")))
+    }
+
+    /// Conditional dentry removal (compensation fixup): remove
+    /// `(parent, name)` only while it still points at `inode`. Absent, or
+    /// re-pointed by a later create of the same name, means there is
+    /// nothing left to compensate — returns `None` payload, so replaying
+    /// the fixup is idempotent and can never undo an unrelated op.
+    pub fn remove_dentry_if(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        inode: InodeId,
+    ) -> Result<Option<Dentry>> {
+        let key = (parent, name.to_string());
+        match self.dentry_tree.get(&key) {
+            Some(d) if d.inode == inode => Ok(self.dentry_tree.remove(&key)),
+            _ => Ok(None),
+        }
     }
 
     /// All dentries under `parent`, name-ordered (`readdir`). A prefix
@@ -564,6 +628,70 @@ mod tests {
         // A valid image restored under the wrong id is corrupt too.
         let err = MetaPartition::from_snapshot(PartitionId(9), &p.snapshot_bytes()).unwrap_err();
         assert!(matches!(err, CfsError::Corrupt(_)));
+    }
+
+    #[test]
+    fn create_inode_at_pins_id_and_advances_max() {
+        let mut p = part(1, u64::MAX);
+        let pinned = p
+            .create_inode_at(InodeId(7), FileType::File, b"", 42)
+            .unwrap();
+        assert_eq!(pinned.id, InodeId(7));
+        assert_eq!(p.max_inode(), InodeId(7));
+        // Fresh allocation after a pin never collides.
+        assert_eq!(
+            p.create_inode(FileType::File, b"", 0).unwrap().id,
+            InodeId(8)
+        );
+        // A taken id is a deterministic Exists outcome.
+        assert!(matches!(
+            p.create_inode_at(InodeId(7), FileType::File, b"", 43),
+            Err(CfsError::Exists(_))
+        ));
+        // Pins beyond the range cut are rejected like allocations.
+        let mut q = part(1, 10);
+        assert!(matches!(
+            q.create_inode_at(InodeId(11), FileType::File, b"", 0),
+            Err(CfsError::PartitionFull(_))
+        ));
+    }
+
+    #[test]
+    fn conditional_fixups_only_touch_their_own_victim() {
+        let mut p = part(1, u64::MAX);
+        let dir = p.create_inode(FileType::Dir, b"", 0).unwrap();
+        let f = p.create_inode(FileType::File, b"", 5).unwrap();
+        p.create_dentry(dir.id, "x", f.id, FileType::File).unwrap();
+
+        // Wrong target inode: no-op, dentry survives.
+        assert!(p
+            .remove_dentry_if(dir.id, "x", InodeId(999))
+            .unwrap()
+            .is_none());
+        assert!(p.get_dentry(dir.id, "x").is_ok());
+        // Matching target: removed, and the replay is a no-op.
+        assert!(p.remove_dentry_if(dir.id, "x", f.id).unwrap().is_some());
+        assert!(p.remove_dentry_if(dir.id, "x", f.id).unwrap().is_none());
+
+        // evict_if: stamp mismatch (id reallocated by someone else) is a
+        // no-op; matching stamp evicts; replay is a no-op.
+        assert!(p.evict_if(f.id, 6).unwrap().is_none());
+        assert!(p.get_inode(f.id).is_ok());
+        assert!(p.evict_if(f.id, 5).unwrap().is_some());
+        assert!(p.evict_if(f.id, 5).unwrap().is_none());
+        assert!(p.get_inode(f.id).is_err());
+        // A linked-up inode (nlink above its birth count) is never
+        // evicted by the fixup.
+        let g = p.create_inode(FileType::File, b"", 9).unwrap();
+        p.inode_link(g.id).unwrap();
+        assert!(p.evict_if(g.id, 9).unwrap().is_none());
+
+        // An orphan directory is evictable at its *initial* nlink of 2 —
+        // a flat `<= 1` guard would strand it forever.
+        let d2 = p.create_inode(FileType::Dir, b"", 12).unwrap();
+        assert_eq!(d2.nlink, 2);
+        assert!(p.evict_if(d2.id, 12).unwrap().is_some());
+        assert!(p.get_inode(d2.id).is_err());
     }
 
     #[test]

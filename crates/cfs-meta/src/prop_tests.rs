@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use cfs_types::{FileType, InodeId, PartitionId, VolumeId};
 
 use crate::command::MetaCommand;
+use crate::intent::{compensation_fixups, IntentContext};
 use crate::partition::{MetaPartition, MetaPartitionConfig};
 
 #[derive(Debug, Clone)]
@@ -144,12 +145,257 @@ fn route_apply(
         | MetaCommand::AppendExtents { inode, .. }
         | MetaCommand::Truncate { inode, .. } => *inode,
         MetaCommand::UpdateEnd { .. } => unreachable!("splits are driven by do_split"),
+        MetaCommand::CreateInodeAt { .. }
+        | MetaCommand::Tagged { .. }
+        | MetaCommand::RemoveDentryIf { .. }
+        | MetaCommand::EvictIf { .. } => {
+            unreachable!("async-commit commands are exercised by the intent-journal properties")
+        }
     };
     let owner = parts
         .iter_mut()
         .find(|p| p.config().start <= target && target <= p.config().end)
         .expect("contiguous ranges cover the id space");
     cmd.apply(owner)
+}
+
+/// A fuzzed async-commit client workflow (DESIGN §12): create plants an
+/// inode intent plus a dentry intent (in either commit order — the two
+/// halves live on independent partitions in the real system), unlink
+/// journals a single delete intent, link commits its nlink increment
+/// synchronously and journals the dentry intent.
+#[derive(Debug, Clone)]
+enum WfSpec {
+    Create {
+        parent_sel: u8,
+        name: u8,
+        dir: bool,
+        flip: bool,
+    },
+    Unlink {
+        sel: u8,
+    },
+    Link {
+        target_sel: u8,
+        parent_sel: u8,
+        name: u8,
+    },
+}
+
+fn wf_strategy() -> impl Strategy<Value = WfSpec> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>(), any::<bool>(), any::<bool>()).prop_map(
+            |(p, n, dir, flip)| WfSpec::Create { parent_sel: p, name: n, dir, flip }
+        ),
+        2 => any::<u8>().prop_map(|s| WfSpec::Unlink { sel: s }),
+        2 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(t, p, n)| WfSpec::Link {
+            target_sel: t,
+            parent_sel: p,
+            name: n,
+        }),
+    ]
+}
+
+/// One journaled intent: the pinned command plus the context its
+/// compensation fixups derive from — exactly what `IntentRecord` stores.
+struct PlannedIntent {
+    cmd: MetaCommand,
+    ctx: IntentContext,
+}
+
+/// A planned workflow: synchronous commands (committed before the ack,
+/// so they always survive the crash) plus the indices of its intents in
+/// the global journal order.
+struct PlannedWf {
+    sync: Vec<MetaCommand>,
+    intents: Vec<usize>,
+    kind: WfKind,
+}
+
+enum WfKind {
+    /// `ino` is the pinned inode id, `inode_half` the journal index of
+    /// its `CreateInodeAt` intent — needed to model the rescue rule.
+    Create {
+        ino: InodeId,
+        inode_half: usize,
+    },
+    Unlink,
+    Link {
+        target: InodeId,
+    },
+}
+
+enum Step {
+    Sync(MetaCommand),
+    Intent(usize),
+}
+
+/// Plan the fuzzed workflows the way `write_async` does: speculatively
+/// against an overlay world where every acked op succeeds, pinning
+/// nondeterminism (inode ids, ctimes) into the journaled commands. A
+/// workflow the overlay would refuse (name already taken) is skipped —
+/// the real node answers `SyncFallback`/an error instead of acking.
+fn plan_workflows(
+    specs: &[WfSpec],
+) -> (
+    Vec<MetaCommand>,
+    Vec<Step>,
+    Vec<PlannedIntent>,
+    Vec<PlannedWf>,
+) {
+    let setup = vec![
+        MetaCommand::CreateInode {
+            file_type: FileType::Dir,
+            link_target: vec![],
+            now_ns: 1,
+        },
+        MetaCommand::CreateInode {
+            file_type: FileType::Dir,
+            link_target: vec![],
+            now_ns: 2,
+        },
+    ];
+    let mut planner = partition();
+    for c in &setup {
+        c.apply(&mut planner).unwrap();
+    }
+    let mut dirs = vec![InodeId(1), InodeId(2)];
+    let mut files: Vec<(InodeId, String, InodeId)> = Vec::new();
+    let mut steps = Vec::new();
+    let mut intents: Vec<PlannedIntent> = Vec::new();
+    let mut wfs: Vec<PlannedWf> = Vec::new();
+
+    for (i, spec) in specs.iter().enumerate() {
+        match spec {
+            WfSpec::Create {
+                parent_sel,
+                name,
+                dir,
+                flip,
+            } => {
+                let ctime = 1_000 + i as u64;
+                let parent = dirs[*parent_sel as usize % dirs.len()];
+                let nm = format!("f{}", name % 12);
+                if planner.get_dentry(parent, &nm).is_ok() {
+                    continue;
+                }
+                let ft = if *dir { FileType::Dir } else { FileType::File };
+                let ino = planner.create_inode(ft, b"", ctime).unwrap().id;
+                planner.create_dentry(parent, &nm, ino, ft).unwrap();
+                let inode_half = PlannedIntent {
+                    cmd: MetaCommand::CreateInodeAt {
+                        id: ino,
+                        file_type: ft,
+                        link_target: vec![],
+                        now_ns: ctime,
+                    },
+                    ctx: IntentContext::PlannedDentry {
+                        parent,
+                        name: nm.clone(),
+                    },
+                };
+                let dentry_half = PlannedIntent {
+                    cmd: MetaCommand::CreateDentry {
+                        parent,
+                        name: nm.clone(),
+                        inode: ino,
+                        file_type: ft,
+                    },
+                    ctx: IntentContext::FreshInode { ctime_ns: ctime },
+                };
+                let base = intents.len();
+                let inode_ix = if *flip { base + 1 } else { base };
+                let pair = if *flip {
+                    [dentry_half, inode_half]
+                } else {
+                    [inode_half, dentry_half]
+                };
+                let mut ixs = Vec::new();
+                for half in pair {
+                    steps.push(Step::Intent(intents.len()));
+                    ixs.push(intents.len());
+                    intents.push(half);
+                }
+                wfs.push(PlannedWf {
+                    sync: vec![],
+                    intents: ixs,
+                    kind: WfKind::Create {
+                        ino,
+                        inode_half: inode_ix,
+                    },
+                });
+                if *dir {
+                    dirs.push(ino);
+                }
+                files.push((parent, nm, ino));
+            }
+            WfSpec::Unlink { sel } => {
+                if files.is_empty() {
+                    continue;
+                }
+                let (parent, nm, ino) = files.remove(*sel as usize % files.len());
+                planner.delete_dentry(parent, &nm).unwrap();
+                steps.push(Step::Intent(intents.len()));
+                wfs.push(PlannedWf {
+                    sync: vec![],
+                    intents: vec![intents.len()],
+                    kind: WfKind::Unlink,
+                });
+                intents.push(PlannedIntent {
+                    cmd: MetaCommand::DeleteDentry { parent, name: nm },
+                    ctx: IntentContext::UnlinkedInode { inode: ino },
+                });
+            }
+            WfSpec::Link {
+                target_sel,
+                parent_sel,
+                name,
+            } => {
+                if files.is_empty() {
+                    continue;
+                }
+                let target = files[*target_sel as usize % files.len()].2;
+                let parent = dirs[*parent_sel as usize % dirs.len()];
+                let nm = format!("l{}", name % 12);
+                if planner.get_dentry(parent, &nm).is_ok() {
+                    continue;
+                }
+                planner.inode_link(target).unwrap();
+                planner
+                    .create_dentry(parent, &nm, target, FileType::File)
+                    .unwrap();
+                steps.push(Step::Sync(MetaCommand::Link { inode: target }));
+                steps.push(Step::Intent(intents.len()));
+                wfs.push(PlannedWf {
+                    sync: vec![MetaCommand::Link { inode: target }],
+                    intents: vec![intents.len()],
+                    kind: WfKind::Link { target },
+                });
+                intents.push(PlannedIntent {
+                    cmd: MetaCommand::CreateDentry {
+                        parent,
+                        name: nm.clone(),
+                        inode: target,
+                        file_type: FileType::File,
+                    },
+                    ctx: IntentContext::LinkedInode { inode: target },
+                });
+                files.push((parent, nm, target));
+            }
+        }
+    }
+    (setup, steps, intents, wfs)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    /// The intent's frame committed and applied cleanly — retired.
+    Applied,
+    /// The frame committed but application failed (e.g. the name a dead
+    /// sibling was supposed to free is still taken) — compensated.
+    Failed,
+    /// The frame never committed (lost to the crash) — compensated.
+    Dead,
 }
 
 proptest! {
@@ -455,5 +701,150 @@ proptest! {
                 .expect("ranges cover the id space");
             prop_assert_eq!(owner.readdir(parent), mono.readdir(parent));
         }
+    }
+
+    /// Crash-cut equivalence for the async-commit journal (DESIGN §12,
+    /// chaos invariant (i)): journal a fuzzed stream of client workflows,
+    /// crash after an arbitrary prefix of group commits, and run the
+    /// compensation engine over every dead or failed intent. The visible
+    /// tree (inodes incl. nlink/ctime, dentries) must equal a synchronous
+    /// execution of exactly the workflows whose every intent committed
+    /// and applied cleanly — with one asymmetry by design: an acked
+    /// unlink whose intent died is *forward-completed*, so the name ends
+    /// absent either way. Bookkeeping the reference never saw (max
+    /// inode id, burned ids of compensated creates) is excluded — ids
+    /// are never reused, not reclaimed. Fixups must also be idempotent:
+    /// replaying the whole compensation batch is a no-op, which is what
+    /// lets the orphan sweep retry them across further crashes.
+    #[test]
+    fn compensated_crash_cut_equals_synchronous_prefix(
+        specs in proptest::collection::vec(wf_strategy(), 1..40),
+        cut_sel in any::<u16>(),
+    ) {
+        let (setup, steps, intents, wfs) = plan_workflows(&specs);
+        let k = cut_sel as usize % (intents.len() + 1);
+
+        // Subject: the survivor tree. Synchronous commands always
+        // committed (they precede the ack); intents committed only up to
+        // the cut. A committed intent whose application fails is
+        // compensated exactly like a dead one (apply_one's error path).
+        let mut subject = partition();
+        for c in &setup {
+            c.apply(&mut subject).unwrap();
+        }
+        let mut outcome = vec![Outcome::Dead; intents.len()];
+        for step in &steps {
+            match step {
+                Step::Sync(c) => {
+                    let _ = c.apply(&mut subject);
+                }
+                Step::Intent(i) if *i < k => {
+                    outcome[*i] = if intents[*i].cmd.apply(&mut subject).is_ok() {
+                        Outcome::Applied
+                    } else {
+                        Outcome::Failed
+                    };
+                }
+                Step::Intent(_) => {}
+            }
+        }
+        let fixups: Vec<(InodeId, MetaCommand)> = intents
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| outcome[*i] != Outcome::Applied)
+            .flat_map(|(_, pi)| compensation_fixups(&pi.cmd, &pi.ctx))
+            .collect();
+        // Mirror the orphan sweep's two-pass order: dentry removals and
+        // nlink rollbacks first, conditional evictions second — a dead
+        // link's not-yet-rolled-back increment must not make a sibling
+        // EvictIf refuse the orphan for good.
+        let is_evict = |f: &MetaCommand| matches!(f, MetaCommand::EvictIf { .. });
+        for (_, f) in fixups.iter().filter(|(_, f)| !is_evict(f)) {
+            let _ = f.apply(&mut subject);
+        }
+        for (_, f) in fixups.iter().filter(|(_, f)| is_evict(f)) {
+            let _ = f.apply(&mut subject);
+        }
+
+        // Reference: synchronous execution of exactly the clean
+        // workflows, plus forward-completion of broken unlinks, plus the
+        // rescue rule: a compensated create whose inode half committed
+        // stays alive if a *clean* link hard-linked it first — EvictIf's
+        // nlink guard deliberately refuses to destroy a linked-up file,
+        // leaving it reachable under the link's name.
+        let clean =
+            |wf: &PlannedWf| wf.intents.iter().all(|&i| outcome[i] == Outcome::Applied);
+        let mut reference = partition();
+        for c in &setup {
+            c.apply(&mut reference).unwrap();
+        }
+        for wf in &wfs {
+            if clean(wf) {
+                for c in &wf.sync {
+                    let _ = c.apply(&mut reference);
+                }
+                for &i in &wf.intents {
+                    let _ = intents[i].cmd.apply(&mut reference);
+                }
+                continue;
+            }
+            match &wf.kind {
+                WfKind::Unlink => {
+                    let i = wf.intents[0];
+                    for (_, f) in compensation_fixups(&intents[i].cmd, &intents[i].ctx) {
+                        let _ = f.apply(&mut reference);
+                    }
+                }
+                WfKind::Create { ino, inode_half } => {
+                    let rescued = outcome[*inode_half] == Outcome::Applied
+                        && wfs.iter().any(|w| {
+                            clean(w) && matches!(w.kind, WfKind::Link { target } if target == *ino)
+                        });
+                    if rescued {
+                        let _ = intents[*inode_half].cmd.apply(&mut reference);
+                    }
+                }
+                WfKind::Link { .. } => {}
+            }
+        }
+
+        // mtime is excluded: a rollback legitimately stamps the inode
+        // with a repair time the synchronous history never saw.
+        let norm = |p: &MetaPartition| {
+            p.all_inodes()
+                .into_iter()
+                .map(|mut i| {
+                    i.mtime_ns = 0;
+                    i
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(
+            norm(&subject),
+            norm(&reference),
+            "compensated survivor's inodes (incl. nlink rollback) equal the clean prefix"
+        );
+        prop_assert_eq!(
+            subject.all_dentries(),
+            reference.all_dentries(),
+            "compensated survivor's namespace equals the clean prefix"
+        );
+
+        // Idempotence: the sweep may re-execute a conditional fixup after
+        // another crash; the tree must not move. (The non-conditional
+        // link rollback is excluded — the sweep's ack lifecycle runs it
+        // exactly once per record.)
+        let inodes_before = subject.all_inodes();
+        let dentries_before = subject.all_dentries();
+        for (_, f) in &fixups {
+            if matches!(
+                f,
+                MetaCommand::RemoveDentryIf { .. } | MetaCommand::EvictIf { .. }
+            ) {
+                let _ = f.apply(&mut subject);
+            }
+        }
+        prop_assert_eq!(subject.all_inodes(), inodes_before, "fixup replay is a no-op");
+        prop_assert_eq!(subject.all_dentries(), dentries_before);
     }
 }

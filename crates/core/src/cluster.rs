@@ -818,6 +818,21 @@ impl Cluster {
         }
         leader.propose(&MasterCommand::RecordHeartbeats { reporting })?;
 
+        // DESIGN §12 orphan-sweep gate: the sweep may only run in a round
+        // where every meta node answered and no journal anywhere still
+        // holds an unresolved intent — resolution is finished cluster-wide,
+        // so every remaining compensation record is a genuine orphan (its
+        // client never came back to barrier it).
+        let all_meta_reported = meta_reports.len() == self.meta_nodes.len();
+        let intents_quiet = meta_reports
+            .iter()
+            .all(|(_, _, infos)| infos.iter().all(|i| i.pending_intents == 0));
+        let comp_nodes: Vec<NodeId> = meta_reports
+            .iter()
+            .filter(|(_, _, infos)| infos.iter().any(|i| i.pending_compensations > 0))
+            .map(|(n, _, _)| *n)
+            .collect();
+
         for (node, utilization, infos) in meta_reports {
             leader.propose(&MasterCommand::UpdateNodeStats { node, utilization })?;
             for info in infos {
@@ -844,6 +859,10 @@ impl Cluster {
             }
         }
 
+        if all_meta_reported && intents_quiet && !comp_nodes.is_empty() {
+            self.orphan_sweep(&leader, &comp_nodes)?;
+        }
+
         let outcome = leader.propose(&MasterCommand::Maintenance)?;
         let mut n = outcome.tasks.len();
         self.execute_tasks(&outcome.tasks)?;
@@ -854,6 +873,119 @@ impl Cluster {
             self.execute_tasks(&outcome.tasks)?;
         }
         Ok(n)
+    }
+
+    /// DESIGN §12 heartbeat reconciliation: execute the compensation
+    /// fixups left behind by dead async intents nobody barriered (the
+    /// client crashed between ack and `fsync`), then ack them at their
+    /// origin node so the records leave the durable journal. Everything
+    /// is best-effort: an unreachable node or partition simply keeps its
+    /// records for the next round's sweep.
+    fn orphan_sweep(&self, leader: &Arc<MasterNode>, comp_nodes: &[NodeId]) -> Result<()> {
+        let mut executed: u64 = 0;
+        for &node in comp_nodes {
+            let comps = match self
+                .fabrics
+                .meta
+                .call(NodeId(0), node, MetaRequest::Compensations)
+            {
+                Ok(Ok(MetaResponse::Compensations(c))) => c,
+                _ => continue,
+            };
+            // Two passes across this node's records: every dentry removal
+            // and nlink rollback first, the conditional evictions second.
+            // A dead link's not-yet-rolled-back increment would otherwise
+            // make a sibling record's `EvictIf` guard refuse the orphan
+            // for good. Within a record the order still holds (removal
+            // precedes eviction), and an eviction only runs once its own
+            // record's first pass fully succeeded.
+            let mut done: Vec<bool> = vec![true; comps.len()];
+            for (i, comp) in comps.iter().enumerate() {
+                for (routing, cmd) in &comp.fixups {
+                    if matches!(cmd, cfs_meta::MetaCommand::EvictIf { .. }) {
+                        continue;
+                    }
+                    if !self.execute_fixup(leader, comp.volume, *routing, cmd) {
+                        done[i] = false;
+                        break;
+                    }
+                    executed += 1;
+                }
+            }
+            let mut acks: Vec<(PartitionId, Vec<u64>)> = Vec::new();
+            for (i, comp) in comps.iter().enumerate() {
+                if !done[i] {
+                    continue;
+                }
+                for (routing, cmd) in &comp.fixups {
+                    if !matches!(cmd, cfs_meta::MetaCommand::EvictIf { .. }) {
+                        continue;
+                    }
+                    if !self.execute_fixup(leader, comp.volume, *routing, cmd) {
+                        done[i] = false;
+                        break;
+                    }
+                    executed += 1;
+                }
+                // Only a fully repaired record may be acked; a partial one
+                // stays journaled so the next sweep retries all of it
+                // (the namespace fixups are conditional — re-running them
+                // is free).
+                if done[i] {
+                    match acks.iter_mut().find(|(p, _)| *p == comp.partition) {
+                        Some((_, ids)) => ids.push(comp.id),
+                        None => acks.push((comp.partition, vec![comp.id])),
+                    }
+                }
+            }
+            for (partition, ids) in acks {
+                let _ = self.fabrics.meta.call(
+                    NodeId(0),
+                    node,
+                    MetaRequest::AckCompensations { partition, ids },
+                );
+            }
+        }
+        if executed > 0 {
+            self.registry.counter("meta.async.orphans").add(executed);
+            leader.propose(&MasterCommand::RecordOrphanSweep { fixups: executed })?;
+        }
+        Ok(())
+    }
+
+    /// Route one conditional fixup to the partition owning `routing` in
+    /// `volume`. Returns whether it executed — a conditional no-op and an
+    /// already-vanished target both count as done.
+    fn execute_fixup(
+        &self,
+        leader: &Arc<MasterNode>,
+        volume: VolumeId,
+        routing: InodeId,
+        cmd: &cfs_meta::MetaCommand,
+    ) -> bool {
+        let Some((partition, members)) = leader.with_state(|s| {
+            s.volume_meta_partitions(volume)
+                .iter()
+                .find(|p| p.start <= routing && routing <= p.end)
+                .map(|p| (p.partition, p.members.clone()))
+        }) else {
+            // No partition owns the id (range churn since the record was
+            // written): the fixup has no possible target left.
+            return true;
+        };
+        for &m in &members {
+            let req = MetaRequest::Write {
+                partition,
+                cmd: cmd.clone(),
+            };
+            match self.fabrics.meta.call(NodeId(0), m, req) {
+                Ok(Ok(_)) => return true,
+                // The target vanished on its own — the rollback is moot.
+                Ok(Err(CfsError::NotFound(_))) => return true,
+                Ok(Err(_)) | Err(_) => continue,
+            }
+        }
+        false
     }
 
     /// Capacity expansion (§2.3.1): add a fresh meta node. No data moves;

@@ -30,13 +30,14 @@ pub use cluster::{Cluster, ClusterBuilder, RecoverReport};
 // Re-export the public surface of the subsystems so downstream users need
 // only this crate.
 pub use cfs_client::{
-    Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandle, FsckReport, UnderReplication,
+    Client, ClientOptions, DataPathSnapshot, Fabrics, FileHandle, FsckReport, OrphanIntent,
+    UnderReplication,
 };
 pub use cfs_data::{DataNode, DataRequest, DataResponse, ExtentInfo};
 pub use cfs_master::{MasterCommand, MasterNode, NodeKind, Task};
 pub use cfs_meta::{
-    MetaCommand, MetaNode, MetaPartition, MetaRead, MetaRequest, MetaResponse, MetaValue,
-    PartitionInfo,
+    CompensationRecord, IntentContext, MetaCommand, MetaNode, MetaPartition, MetaRead, MetaRequest,
+    MetaResponse, MetaValue, PartitionInfo,
 };
 pub use cfs_net::{DeliveryHook, DeliveryVerdict, DropCauses, SimClock};
 pub use cfs_obs::{MetricsSnapshot, Registry, RequestId, RpcRoute, Span, SpanRecord, Tracer};

@@ -344,6 +344,31 @@ fn check_lease_read_budget(window: &MetricsSnapshot, reads: u64) {
     );
 }
 
+/// The async ack budget (DESIGN §12): a storm of async metadata ops is
+/// acked straight from the durable intent journal — ZERO consensus
+/// rounds on the ack path. The deferred group commit pays the rounds
+/// later, behind the strong barrier.
+fn check_meta_async_ack_budget(window: &MetricsSnapshot, acks: u64) {
+    let rounds = window.counter("raft.proposals");
+    assert!(
+        rounds == 0,
+        "async ack budget regression: {rounds} raft rounds on the ack path \
+         for {acks} journal-acked ops, budget allows 0"
+    );
+    let a = window.counter("meta.async.acks");
+    assert!(
+        a == acks,
+        "async ack budget regression: {a} journal acks for {acks} async \
+         sub-ops, expected exactly {acks}"
+    );
+    let fb = window.counter("meta.async.sync_fallbacks");
+    assert!(
+        fb == 0,
+        "async ack budget regression: {fb} sync fallbacks in a clean \
+         window, budget allows 0"
+    );
+}
+
 /// The (single) meta partition's current leader replica.
 fn meta_partition_leader(cluster: &Cluster) -> (PartitionId, Arc<MetaNode>) {
     for n in cluster.meta_nodes() {
@@ -397,6 +422,54 @@ fn meta_group_commit_budget() {
         CREATES * REPLICAS,
         "every sub-command applied on all replicas"
     );
+}
+
+#[test]
+fn meta_async_ack_budget() {
+    let cluster = ClusterBuilder::new().build().unwrap();
+    cluster.create_volume("budget-async", 1, 4).unwrap();
+    let client = cluster
+        .mount_with_options(
+            "budget-async",
+            ClientOptions {
+                async_meta: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let root = client.root();
+    cluster.settle(200);
+
+    // A 32-create storm: every create is two async sub-ops (inode +
+    // dentry), both acked from the intent journal without a single
+    // consensus round — the sim clock only advances on pumps, so any
+    // raft proposal in this window would be a regression.
+    let before = cluster.metrics_snapshot();
+    for i in 0..CREATES {
+        client.create(root, &format!("af{i}")).unwrap();
+    }
+    let at_ack = cluster.metrics_snapshot().diff(&before);
+    check_meta_async_ack_budget(&at_ack, 2 * CREATES);
+    assert_eq!(
+        client.async_pending_count(),
+        2 * CREATES as usize,
+        "every acked sub-op still owes its barrier"
+    );
+
+    // The strong barrier pays the deferred rounds: everything group
+    // commits, nothing is compensated, and every file is durable.
+    client.drain_async_commits().unwrap();
+    let after = cluster.metrics_snapshot().diff(&before);
+    assert!(
+        after.counter("raft.proposals") > 0,
+        "the barrier must drive the deferred group commit"
+    );
+    assert_eq!(after.counter("meta.async.completions"), 2 * CREATES);
+    assert_eq!(after.counter("meta.async.compensations"), 0);
+    assert_eq!(client.async_pending_count(), 0);
+    for i in 0..CREATES {
+        client.lookup(root, &format!("af{i}")).unwrap();
+    }
 }
 
 #[test]
@@ -454,6 +527,33 @@ fn meta_hot_path_budget_checks_reject_perturbed_counters() {
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("lease read budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // A consensus round sneaking onto the async ack path must trip.
+    let registry = cfs::Registry::new();
+    registry.counter("raft.proposals").add(1);
+    registry.counter("meta.async.acks").add(2 * CREATES);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_meta_async_ack_budget(&snap, 2 * CREATES))
+        .expect_err("a raft round on the ack path must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("async ack budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // A silent sync fallback (op served synchronously, not journaled)
+    // must trip too — the storm would no longer measure the async path.
+    let registry = cfs::Registry::new();
+    registry.counter("meta.async.acks").add(2 * CREATES - 1);
+    registry.counter("meta.async.sync_fallbacks").add(1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_meta_async_ack_budget(&snap, 2 * CREATES))
+        .expect_err("a sync fallback inside the storm must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("async ack budget regression"),
         "unexpected panic message: {msg}"
     );
 }

@@ -66,6 +66,19 @@
 //!     dentries owned by more than one partition — the frozen half and
 //!     the successor never both serve the same id.
 //!
+//! Every chaos mount runs with asynchronous metadata commit (DESIGN §12)
+//! enabled, so create/link/unlink ack from the intent journal with zero
+//! consensus rounds and the strong barrier only runs at fsync/close. The
+//! quiesce sweep drains every outstanding intent and checks a ninth
+//! invariant:
+//!
+//! (i) async commit atomicity: every acknowledged-then-crashed metadata
+//!     op is, once the cluster quiesces, either fully applied or fully
+//!     compensated — never half-visible (a dentry without its inode, a
+//!     rolled-back create that still lists, an acked unlink whose name
+//!     survives) — and the fsck orphan-intent audit finds zero
+//!     journaled-but-uncompensated intents on any meta node.
+//!
 //! `CHAOS_SEED=<n>` replays any failing seed, including schedules whose
 //! fault mix contains a `PermanentKill` (the kill is part of the plan, so
 //! the repro regenerates it deterministically).
@@ -147,6 +160,11 @@ struct FileSlot {
     /// it actually landed.
     pending: Vec<u8>,
     handle: Option<FileHandle>,
+    /// The create was acked from the intent journal (DESIGN §12) and no
+    /// successful barrier has confirmed it since: the op may legally end
+    /// rolled back, so quiesce resolves the slot by lookup before
+    /// checking content (invariant (i)).
+    unbarriered: bool,
 }
 
 impl FileSlot {
@@ -156,6 +174,7 @@ impl FileSlot {
             base: Vec::new(),
             pending: Vec::new(),
             handle: None,
+            unbarriered: false,
         }
     }
 }
@@ -323,6 +342,10 @@ impl Chaos {
                 "chaos",
                 ClientOptions {
                     seed: seed ^ 0x51DE_CA4E,
+                    // Every chaos mount exercises DESIGN §12: mutations
+                    // ack from the intent journal, quiesce must prove
+                    // invariant (i).
+                    async_meta: true,
                     ..Default::default()
                 },
             )
@@ -375,6 +398,10 @@ impl Chaos {
                     Ok(_) => {
                         self.files[file].handle = self.client.open(root, &nm).ok();
                         self.files[file].state = FileState::Present;
+                        // An async ack is not yet a commitment: until a
+                        // barrier succeeds, the create may legally end
+                        // rolled back (invariant (i)).
+                        self.files[file].unbarriered = self.client.async_pending_count() > 0;
                     }
                     // The create may or may not have committed a dentry
                     // (the client rolls the inode back on error, §2.6).
@@ -466,13 +493,24 @@ impl Chaos {
                 }
             }
             WorkloadStep::Fsync { file } => {
-                let client = &self.client;
-                let slot = &mut self.files[file];
-                if slot.state != FileState::Present || !slot.pending.is_empty() {
-                    return;
-                }
-                if let Some(h) = slot.handle.as_mut() {
-                    let _ = client.fsync(h);
+                let fsynced = {
+                    let client = &self.client;
+                    let slot = &mut self.files[file];
+                    if slot.state != FileState::Present || !slot.pending.is_empty() {
+                        return;
+                    }
+                    match slot.handle.as_mut() {
+                        Some(h) => client.fsync(h).is_ok(),
+                        None => false,
+                    }
+                };
+                // fsync is the strong barrier: success means *every*
+                // outstanding async intent (all files — the drain is
+                // client-global) committed durably.
+                if fsynced {
+                    for slot in &mut self.files {
+                        slot.unbarriered = false;
+                    }
                 }
             }
         }
@@ -678,6 +716,12 @@ impl Chaos {
         //    committed watermark.
         self.recover_data();
 
+        // 3b. DESIGN §12: drain every outstanding async intent through
+        //     the strong barrier, then drive heartbeat orphan sweeps
+        //     until no meta node holds a journaled-but-uncompensated
+        //     intent — invariant (i).
+        self.drain_async_intents();
+
         // 4. Invariant (a): resolve uncertain operations and verify
         //    read-your-committed-writes on every file.
         self.resolve_files();
@@ -738,6 +782,45 @@ impl Chaos {
         // 10. Invariant (e), metadata hot path: group-commit sub-entries
         //     and leader-served reads reconcile exactly.
         self.check_meta_hot_path_reconciliation();
+    }
+
+    /// Invariant (i) machinery: barrier every acked-but-unbarriered
+    /// intent (a *rollback* report is a legal outcome here — the crash
+    /// beat the group commit — and surfaces as an error the slot
+    /// resolution below absorbs), then run heartbeat rounds until the
+    /// fsck orphan-intent audit is empty: every compensation journaled
+    /// anywhere has been executed and acked by the resource manager's
+    /// orphan sweep.
+    fn drain_async_intents(&mut self) {
+        for _ in 0..6 {
+            if self.client.drain_async_commits().is_ok() {
+                break;
+            }
+            self.cluster.settle(400);
+        }
+        assert_eq!(
+            self.client.async_pending_count(),
+            0,
+            "invariant (i): async intents still queued after the quiesce \
+             drain (seed {})",
+            self.seed
+        );
+        for _ in 0..8 {
+            let report = self.retry("fsck", || self.client.fsck(false));
+            if report.orphan_intents.is_empty() {
+                break;
+            }
+            self.retry("heartbeat", || self.cluster.heartbeat());
+            self.cluster.settle(200);
+        }
+        let report = self.retry("fsck", || self.client.fsck(false));
+        assert!(
+            report.orphan_intents.is_empty(),
+            "invariant (i): journaled-but-uncompensated intents survived \
+             quiesce (seed {}): {:?}",
+            self.seed,
+            report.orphan_intents
+        );
     }
 
     /// Wait until the masters and every meta/data partition have a leader.
@@ -952,6 +1035,15 @@ impl Chaos {
                     slot.handle = Some(h);
                     slot.state = FileState::Present;
                 }
+                FileState::Present
+                    if slot.unbarriered && self.lookup_settled(root, &nm).is_none() =>
+                {
+                    // Invariant (i), the "fully compensated" arm: the
+                    // async-acked create was rolled back by the crash and
+                    // its compensation removed every trace — the name is
+                    // gone, so the model forgets the file entirely.
+                    slot = FileSlot::new();
+                }
                 FileState::Present => {
                     // Keep the existing handle when we have one: fsync must
                     // flush any extent keys a failed append left pending.
@@ -965,6 +1057,7 @@ impl Chaos {
                     slot.base = r;
                     slot.pending.clear();
                     slot.handle = Some(h);
+                    slot.unbarriered = false;
                 }
             }
             self.files[idx] = slot;
@@ -1254,6 +1347,24 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The invariant letter a failure message names (`"invariant (c): …"` →
+/// `'c'`), so the repro line says up front which property broke before
+/// anyone replays the seed. `None` for harness/setup failures that name
+/// no invariant.
+fn failed_invariant(msg: &str) -> Option<char> {
+    let rest = &msg[msg.find("invariant (")? + "invariant (".len()..];
+    rest.chars().next().filter(char::is_ascii_lowercase)
+}
+
+/// The `[…]` tag spliced into every repro line: the failing invariant by
+/// letter, or `harness` when the failure named none.
+fn invariant_tag(msg: &str) -> String {
+    match failed_invariant(msg) {
+        Some(c) => format!("invariant ({c})"),
+        None => "harness".into(),
+    }
+}
+
 fn run_seed_inner(seed: u64, sabotage: bool) {
     let shape = ClusterShape::default();
     let plan = FaultPlan::generate(seed, shape, PLAN_LEN);
@@ -1264,10 +1375,11 @@ fn run_seed_inner(seed: u64, sabotage: bool) {
     if let Err(payload) = result {
         // The one-line repro: re-running with this seed regenerates the
         // exact schedule (FaultPlan is a pure function of the seed).
+        let msg = panic_message(payload.as_ref());
         panic!(
-            "CHAOS_SEED={seed} failed — replay with \
-             `CHAOS_SEED={seed} cargo test -q --test chaos chaos_replay_env_seed`: {}",
-            panic_message(payload.as_ref())
+            "CHAOS_SEED={seed} failed [{}] — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos chaos_replay_env_seed`: {msg}",
+            invariant_tag(&msg)
         );
     }
 }
@@ -1333,10 +1445,55 @@ fn run_split_seed(seed: u64) {
         );
     }));
     if let Err(payload) = result {
+        let msg = panic_message(payload.as_ref());
         panic!(
-            "CHAOS_SEED={seed} failed (split dense) — replay with \
-             `CHAOS_SEED={seed} cargo test -q --test chaos split_replay_env_seed`: {}",
-            panic_message(payload.as_ref())
+            "CHAOS_SEED={seed} failed (split dense) [{}] — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos split_replay_env_seed`: {msg}",
+            invariant_tag(&msg)
+        );
+    }
+}
+
+/// Async-dense variant: on top of a power cycle before every quiesce, a
+/// burst of K creates fires *immediately before each power cut* — the
+/// acks come from the intent journal and the lights go out before any
+/// barrier, so every quiesce resolves acked-but-unbarriered intents the
+/// hard way (group-committed, replayed, or compensated: invariant (i)).
+fn densify_async_bursts(plan: &mut FaultPlan, files: usize) {
+    const BURST: usize = 4;
+    let mut steps = Vec::with_capacity(plan.steps.len() + 32);
+    let mut n = 0usize;
+    for step in plan.steps.drain(..) {
+        if step == ChaosStep::PowerLoss {
+            for k in 0..BURST {
+                steps.push(ChaosStep::Op(WorkloadStep::Create {
+                    file: (n + k) % files,
+                }));
+            }
+            n += BURST;
+        }
+        steps.push(step);
+    }
+    plan.steps = steps;
+}
+
+/// Run one async-dense seed: unbarriered create bursts racing every
+/// power cut, invariant (i) at every quiesce.
+fn run_async_seed(seed: u64) {
+    let shape = ClusterShape::default();
+    let mut plan = FaultPlan::generate(seed, shape, PLAN_LEN);
+    densify_power_loss(&mut plan);
+    densify_async_bursts(&mut plan, shape.files);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut chaos = Chaos::new(seed, shape, false);
+        chaos.run(&plan);
+    }));
+    if let Err(payload) = result {
+        let msg = panic_message(payload.as_ref());
+        panic!(
+            "CHAOS_SEED={seed} failed (async dense) [{}] — replay with \
+             `CHAOS_SEED={seed} cargo test -q --test chaos async_replay_env_seed`: {msg}",
+            invariant_tag(&msg)
         );
     }
 }
@@ -1354,11 +1511,14 @@ fn run_power_loss_seed(seed: u64) -> MetricsSnapshot {
     }));
     match result {
         Ok(snap) => snap,
-        Err(payload) => panic!(
-            "CHAOS_SEED={seed} failed (power-loss dense) — replay with \
-             `CHAOS_SEED={seed} cargo test -q --test chaos power_loss_replay_env_seed`: {}",
-            panic_message(payload.as_ref())
-        ),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            panic!(
+                "CHAOS_SEED={seed} failed (power-loss dense) [{}] — replay with \
+                 `CHAOS_SEED={seed} cargo test -q --test chaos power_loss_replay_env_seed`: {msg}",
+                invariant_tag(&msg)
+            )
+        }
     }
 }
 
@@ -1517,6 +1677,63 @@ fn split_extended_seeds() {
             run_split_seed(7_000 + i);
         }
     }
+}
+
+/// Named tier-1 async-invariant sweep: 8 seeds whose schedules fire a
+/// burst of journal-acked creates immediately before every whole-cluster
+/// power cut — invariant (i) must hold at every quiesce of every seed.
+#[test]
+fn async_seeds() {
+    if std::env::var("CHAOS_SEED").is_ok() {
+        return;
+    }
+    for seed in 0..8 {
+        run_async_seed(9_000 + seed);
+    }
+}
+
+/// Replays one async-dense schedule: `CHAOS_SEED=17 cargo test -q
+/// --test chaos async_replay_env_seed`. A no-op without the environment
+/// variable.
+#[test]
+fn async_replay_env_seed() {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        run_async_seed(s.parse().expect("CHAOS_SEED must be a u64"));
+    }
+}
+
+/// Nightly async sweep: `ASYNC_SEEDS=N` runs N extra async-dense seeds
+/// beyond the tier-1 eight. A no-op without the environment variable.
+#[test]
+fn async_extended_seeds() {
+    if let Ok(n) = std::env::var("ASYNC_SEEDS") {
+        let n: u64 = n.parse().expect("ASYNC_SEEDS must be a u64");
+        for i in 0..n {
+            run_async_seed(9_100 + i);
+        }
+    }
+}
+
+/// The repro line names the failing invariant by letter, so a triager
+/// knows what property broke before replaying the seed (satellite of
+/// DESIGN §12).
+#[test]
+fn repro_line_names_the_failing_invariant() {
+    assert_eq!(
+        failed_invariant("invariant (a) violated (quiesce)"),
+        Some('a')
+    );
+    assert_eq!(
+        failed_invariant("prefix: invariant (i): journaled intents survived"),
+        Some('i')
+    );
+    assert_eq!(failed_invariant("sabotage: injected failure"), None);
+    assert_eq!(failed_invariant("invariant ()"), None);
+    assert_eq!(
+        invariant_tag("invariant (h): dentry listed twice"),
+        "invariant (h)"
+    );
+    assert_eq!(invariant_tag("cluster build exploded"), "harness");
 }
 
 /// Wider sweep for nightly CI: `CHAOS_SEEDS=N` runs N extra seeds beyond
