@@ -28,6 +28,7 @@ use cfs::{
     MetricsSnapshot, PartitionId, RaftConfig,
 };
 
+const SCHEMA_VERSION: u32 = 1;
 const CREATES: u64 = 64;
 const STATS: u64 = 200;
 
@@ -187,20 +188,13 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"ablation_meta_ops\",\"creates\":{CREATES},\"stat_reads\":{STATS},\
-         \"runs\":[{}]}}",
+        "{{\"bench\":\"ablation_meta_ops\",\"schema_version\":{SCHEMA_VERSION},\
+         \"creates\":{CREATES},\"stat_reads\":{STATS},\"runs\":[{}]}}",
         runs.iter().map(Run::to_json).collect::<Vec<_>>().join(",")
     );
-    let json_path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../target/ablation_meta_ops.json"
-        )
-        .to_string()
+    let json_path = std::env::var("BENCH_META_OPS_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_meta_ops.json").to_string()
     });
-    if let Some(dir) = std::path::Path::new(&json_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("\nmetrics JSON written to {json_path}"),
         Err(e) => eprintln!("\ncould not write {json_path}: {e}; emitting to stdout\n{json}"),

@@ -26,6 +26,8 @@ use bytes::Bytes;
 
 use cfs::{ClientOptions, ClusterBuilder, MetricsSnapshot};
 
+const SCHEMA_VERSION: u32 = 1;
+
 struct Run {
     depth: u32,
     meta_every: u32,
@@ -141,20 +143,14 @@ fn main() {
     // regression tracking and CI artifact upload. Metrics stay on during
     // the measured section — the relaxed-atomic counters are the cost.
     let json = format!(
-        "{{\"bench\":\"ablation_pipeline\",\"total_bytes\":{total},\"write_calls\":{calls},\
+        "{{\"bench\":\"ablation_pipeline\",\"schema_version\":{SCHEMA_VERSION},\
+         \"total_bytes\":{total},\"write_calls\":{calls},\
          \"baseline_mib_s\":{base:.3},\"best_mib_s\":{best:.3},\"runs\":[{}]}}",
         runs.iter().map(Run::to_json).collect::<Vec<_>>().join(",")
     );
-    let json_path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../target/ablation_pipeline.json"
-        )
-        .to_string()
+    let json_path = std::env::var("BENCH_PIPELINE_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
     });
-    if let Some(dir) = std::path::Path::new(&json_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("\nmetrics JSON written to {json_path}"),
         Err(e) => eprintln!("\ncould not write {json_path}: {e}; emitting to stdout\n{json}"),

@@ -202,6 +202,10 @@ impl Client {
     /// reported (the acked op did not survive) or a barrier could not be
     /// served — unreached intents stay queued for the next drain.
     pub fn drain_async_commits(&self) -> Result<()> {
+        // The small-file coalescer drains under the same barrier
+        // (DESIGN §13): after this returns, no acked small write is
+        // still sitting in a client buffer.
+        self.flush_small_writes()?;
         let (pending, deferred) = {
             let mut cache = self.cache.lock();
             (

@@ -45,6 +45,28 @@ pub struct ClientOptions {
     /// that drains the outstanding intents. Off by default — the
     /// synchronous paths are the baseline semantics.
     pub async_meta: bool,
+    /// Small-file write coalescing (DESIGN §13): buffer small creates'
+    /// first writes and flush them as one `WriteSmallBatch` chain
+    /// submission. Off by default — per-record `WriteSmall` is the
+    /// baseline semantics; `fsync`/`close` and the async-commit barrier
+    /// drain the buffer.
+    pub coalesce_small_writes: bool,
+    /// Coalescing record bound; 0 inherits the cluster config.
+    pub small_batch_max_ops: u32,
+    /// Coalescing byte bound; 0 inherits the cluster config.
+    pub small_batch_max_bytes: u64,
+    /// Coalescing age bound (client logical-clock ticks); 0 inherits the
+    /// cluster config.
+    pub small_batch_max_age: u64,
+    /// Readahead extent cache over `read_at` (DESIGN §13). On by default:
+    /// the cache is invisible except for saved fabric reads, and keeping
+    /// it on means every chaos seed exercises its invalidation paths.
+    pub read_cache: bool,
+    /// Read-cache resident block capacity; 0 inherits the cluster config.
+    pub read_cache_capacity: usize,
+    /// Sequential readahead depth in blocks; 0 inherits the cluster
+    /// config.
+    pub readahead_blocks: u32,
 }
 
 impl Default for ClientOptions {
@@ -57,6 +79,13 @@ impl Default for ClientOptions {
             registry: None,
             negative_lookup_ttl_ns: 256,
             async_meta: false,
+            coalesce_small_writes: false,
+            small_batch_max_ops: 0,
+            small_batch_max_bytes: 0,
+            small_batch_max_age: 0,
+            read_cache: true,
+            read_cache_capacity: 0,
+            readahead_blocks: 0,
         }
     }
 }
@@ -124,6 +153,11 @@ impl GaugePair {
             s.sub(n);
         }
     }
+
+    /// This client's gauge value (never another mount's traffic).
+    pub fn get(&self) -> i64 {
+        self.local.get()
+    }
 }
 
 /// Data-path instrumentation: how the client's pipelining behaves, exposed
@@ -163,6 +197,33 @@ pub(crate) struct DataPathStats {
     /// arise *after* the server classified the read as lease or quorum).
     /// Reconciles against `meta.lease_reads + meta.quorum_reads`.
     pub meta_reads_served: CounterPair,
+    /// Small-file writes buffered by the coalescer instead of going to
+    /// the fabric immediately (DESIGN §13).
+    pub smallfile_coalesced: CounterPair,
+    /// `WriteSmallBatch` RPC submissions the coalescer flushed.
+    pub smallfile_batches: CounterPair,
+    /// Records durably committed through flushed batches.
+    pub smallfile_batch_records: CounterPair,
+    /// Reads served straight from the coalescing buffer or its
+    /// flushed-location map (read-your-writes before handle adoption).
+    pub smallfile_buffer_reads: CounterPair,
+    /// Read-cache blocks served without touching the fabric.
+    pub readcache_hits: CounterPair,
+    /// Demanded blocks that had to be fetched.
+    pub readcache_misses: CounterPair,
+    /// Speculative blocks fetched ahead of a sequential miss.
+    pub readcache_readahead: CounterPair,
+    /// Full blocks inserted into the cache (partial tail blocks are
+    /// never cached, so inserted ≤ misses + readahead).
+    pub readcache_inserted: CounterPair,
+    /// Blocks evicted by the capacity bound.
+    pub readcache_evicted: CounterPair,
+    /// Blocks dropped by invalidation: truncate, punch-hole/overwrite
+    /// overlap, generation drift, or a partition-view refresh.
+    pub readcache_invalidated: CounterPair,
+    /// Blocks currently resident. Conservation law, checked by chaos:
+    /// `resident == inserted - evicted - invalidated`.
+    pub readcache_resident: GaugePair,
 }
 
 impl DataPathStats {
@@ -184,6 +245,27 @@ impl DataPathStats {
                 registry.counter("client.lookup_cache.negative"),
             ),
             meta_reads_served: CounterPair::shared(registry.counter("client.meta_reads_served")),
+            smallfile_coalesced: CounterPair::shared(
+                registry.counter("client.smallfile.coalesced"),
+            ),
+            smallfile_batches: CounterPair::shared(registry.counter("client.smallfile.batches")),
+            smallfile_batch_records: CounterPair::shared(
+                registry.counter("client.smallfile.batch_records"),
+            ),
+            smallfile_buffer_reads: CounterPair::shared(
+                registry.counter("client.smallfile.buffer_reads"),
+            ),
+            readcache_hits: CounterPair::shared(registry.counter("client.readcache.hit")),
+            readcache_misses: CounterPair::shared(registry.counter("client.readcache.miss")),
+            readcache_readahead: CounterPair::shared(
+                registry.counter("client.readcache.readahead"),
+            ),
+            readcache_inserted: CounterPair::shared(registry.counter("client.readcache.inserted")),
+            readcache_evicted: CounterPair::shared(registry.counter("client.readcache.evicted")),
+            readcache_invalidated: CounterPair::shared(
+                registry.counter("client.readcache.invalidated"),
+            ),
+            readcache_resident: GaugePair::shared(registry.gauge("client.readcache.resident")),
         }
     }
 }
@@ -195,12 +277,24 @@ pub struct DataPathSnapshot {
     pub window_waits: u64,
     pub meta_syncs: u64,
     pub parallel_read_fanouts: u64,
+    pub small_writes: u64,
     pub retries: u64,
     pub view_refreshes: u64,
     pub lookup_cache_hits: u64,
     pub lookup_cache_misses: u64,
     pub lookup_cache_negatives: u64,
     pub meta_reads_served: u64,
+    pub smallfile_coalesced: u64,
+    pub smallfile_batches: u64,
+    pub smallfile_batch_records: u64,
+    pub smallfile_buffer_reads: u64,
+    pub readcache_hits: u64,
+    pub readcache_misses: u64,
+    pub readcache_readahead: u64,
+    pub readcache_inserted: u64,
+    pub readcache_evicted: u64,
+    pub readcache_invalidated: u64,
+    pub readcache_resident: i64,
 }
 
 /// RPC fabrics the client talks over.
@@ -263,6 +357,12 @@ pub struct Client {
     pub(crate) fabrics: Fabrics,
     pub(crate) master_replicas: Vec<NodeId>,
     pub(crate) cache: Mutex<CacheState>,
+    /// Small-file write coalescing buffer (DESIGN §13). Separate lock
+    /// from `cache` so a flush never holds the routing cache across a
+    /// fabric round-trip.
+    pub(crate) coalesce: Mutex<crate::coalesce::CoalesceState>,
+    /// Readahead extent cache over `read_at` (DESIGN §13).
+    pub(crate) readcache: Mutex<crate::readcache::ReadCacheState>,
     pub(crate) stats: DataPathStats,
     /// Logical clock for command timestamps (ns).
     clock: AtomicU64,
@@ -305,6 +405,8 @@ impl Client {
                 master_leader: None,
                 rng: SmallRng::seed_from_u64(seed),
             }),
+            coalesce: Mutex::new(crate::coalesce::CoalesceState::default()),
+            readcache: Mutex::new(crate::readcache::ReadCacheState::default()),
             stats,
             clock: AtomicU64::new(1),
         };
@@ -330,6 +432,11 @@ impl Client {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Current logical-clock reading without advancing it (age checks).
+    pub(crate) fn peek_clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
     /// Effective append window size (options override, else cluster config).
     pub(crate) fn pipeline_depth(&self) -> usize {
         let d = if self.options.pipeline_depth > 0 {
@@ -351,6 +458,58 @@ impl Client {
         n.max(1)
     }
 
+    /// Effective coalescing record bound (options override, else config).
+    pub(crate) fn small_batch_max_ops(&self) -> usize {
+        let n = if self.options.small_batch_max_ops > 0 {
+            self.options.small_batch_max_ops
+        } else {
+            self.config.small_batch_max_ops
+        };
+        n.max(1) as usize
+    }
+
+    /// Effective coalescing byte bound (options override, else config).
+    pub(crate) fn small_batch_max_bytes(&self) -> u64 {
+        let n = if self.options.small_batch_max_bytes > 0 {
+            self.options.small_batch_max_bytes
+        } else {
+            self.config.small_batch_max_bytes
+        };
+        n.max(1)
+    }
+
+    /// Effective coalescing age bound (options override, else config).
+    pub(crate) fn small_batch_max_age(&self) -> u64 {
+        let n = if self.options.small_batch_max_age > 0 {
+            self.options.small_batch_max_age
+        } else {
+            self.config.small_batch_max_age
+        };
+        n.max(1)
+    }
+
+    /// Effective read-cache capacity in blocks; 0 disables caching.
+    pub(crate) fn read_cache_capacity(&self) -> usize {
+        if !self.options.read_cache {
+            return 0;
+        }
+        if self.options.read_cache_capacity > 0 {
+            self.options.read_cache_capacity
+        } else {
+            self.config.read_cache_capacity_blocks
+        }
+    }
+
+    /// Effective sequential readahead depth in blocks.
+    pub(crate) fn readahead_blocks(&self) -> u64 {
+        let n = if self.options.readahead_blocks > 0 {
+            self.options.readahead_blocks
+        } else {
+            self.config.readahead_blocks
+        };
+        u64::from(n)
+    }
+
     /// Data-path pipelining counters for this client.
     pub fn data_path_stats(&self) -> DataPathSnapshot {
         DataPathSnapshot {
@@ -358,12 +517,24 @@ impl Client {
             window_waits: self.stats.window_waits.get(),
             meta_syncs: self.stats.meta_syncs.get(),
             parallel_read_fanouts: self.stats.parallel_read_fanouts.get(),
+            small_writes: self.stats.small_writes.get(),
             retries: self.stats.retries.get(),
             view_refreshes: self.stats.view_refreshes.get(),
             lookup_cache_hits: self.stats.lookup_cache_hits.get(),
             lookup_cache_misses: self.stats.lookup_cache_misses.get(),
             lookup_cache_negatives: self.stats.lookup_cache_negatives.get(),
             meta_reads_served: self.stats.meta_reads_served.get(),
+            smallfile_coalesced: self.stats.smallfile_coalesced.get(),
+            smallfile_batches: self.stats.smallfile_batches.get(),
+            smallfile_batch_records: self.stats.smallfile_batch_records.get(),
+            smallfile_buffer_reads: self.stats.smallfile_buffer_reads.get(),
+            readcache_hits: self.stats.readcache_hits.get(),
+            readcache_misses: self.stats.readcache_misses.get(),
+            readcache_readahead: self.stats.readcache_readahead.get(),
+            readcache_inserted: self.stats.readcache_inserted.get(),
+            readcache_evicted: self.stats.readcache_evicted.get(),
+            readcache_invalidated: self.stats.readcache_invalidated.get(),
+            readcache_resident: self.stats.readcache_resident.get(),
         }
     }
 
@@ -501,9 +672,15 @@ impl Client {
                 data_partitions,
                 ..
             } => {
-                let mut cache = self.cache.lock();
-                cache.meta_partitions = meta_partitions;
-                cache.data_partitions = data_partitions;
+                {
+                    let mut cache = self.cache.lock();
+                    cache.meta_partitions = meta_partitions;
+                    cache.data_partitions = data_partitions;
+                }
+                // The placement view moved under us: drop every cached
+                // block rather than risk serving bytes fetched through a
+                // replica set that has since been repaired (DESIGN §13).
+                self.read_cache_clear();
                 Ok(())
             }
             _ => Err(CfsError::Internal("bad GetVolumeById reply".into())),
@@ -838,9 +1015,13 @@ impl Client {
     // ------------------------------------------------------------------
 
     pub(crate) fn cache_inode(&self, ino: &Inode) {
-        let mut cache = self.cache.lock();
-        if let Some(old) = cache.inode_cache.insert(ino.id, ino.clone()) {
-            if old.generation != ino.generation {
+        let drifted = {
+            let mut cache = self.cache.lock();
+            let drifted = matches!(
+                cache.inode_cache.insert(ino.id, ino.clone()),
+                Some(old) if old.generation != ino.generation
+            );
+            if drifted {
                 // The generation moved (truncate, §2.4): every cached
                 // lookup that resolved against the old attributes is
                 // suspect and must be re-fetched.
@@ -849,6 +1030,11 @@ impl Client {
                     |_, e| !matches!(e, LookupEntry::Hit { dentry, .. } if dentry.inode == id),
                 );
             }
+            drifted
+        };
+        if drifted {
+            // Cached data blocks carry the old generation too (§13).
+            self.read_cache_invalidate_ino(ino.id);
         }
     }
 
@@ -926,6 +1112,7 @@ impl Client {
 
     pub(crate) fn uncache_inode(&self, ino: InodeId) {
         self.cache.lock().inode_cache.remove(&ino);
+        self.read_cache_invalidate_ino(ino);
     }
 
     /// Cached inode, if any (callers force-sync on open, §2.4).

@@ -194,6 +194,9 @@ impl Client {
         if data.is_empty() {
             return Ok(0);
         }
+        // A buffered/unadopted small first-write must settle before any
+        // further mutation so overwrite/append routing sees real state.
+        self.settle_small(f)?;
         if offset > f.size {
             return Err(CfsError::InvalidArgument(format!(
                 "write at {offset} beyond EOF {} (holes unsupported)",
@@ -218,6 +221,11 @@ impl Client {
         // Small-file fast path (§2.2.3/§4.4): a fresh small file goes into
         // a shared extent; the client doesn't even ask for a new extent.
         if f.size == 0 && f.extents.is_empty() && self.config.is_small_file(data.len() as u64) {
+            // With coalescing on (DESIGN §13) the record only joins the
+            // client buffer here; `flush_small_writes` submits the batch.
+            if self.options.coalesce_small_writes {
+                return self.enqueue_small_write(f.ino, data);
+            }
             return self.write_small_file(f, data);
         }
 
@@ -417,7 +425,61 @@ impl Client {
     /// Like `fsync`, `close` is an async-commit barrier (DESIGN §12).
     pub fn close(&self, f: &mut FileHandle) -> Result<()> {
         self.drain_async_commits()?;
+        self.settle_small(f)?;
         self.flush_meta(f)
+    }
+
+    /// Fold this handle's coalesced small-write state (DESIGN §13) into
+    /// real handle state: flush the buffer if the record is still queued,
+    /// then adopt the flushed location. No-op without coalescer state.
+    fn settle_small(&self, f: &mut FileHandle) -> Result<()> {
+        if !self.options.coalesce_small_writes || !self.has_small_state(f.ino) {
+            return Ok(());
+        }
+        if self.small_pending_data(f.ino).is_some() {
+            self.flush_small_writes()?;
+        }
+        if let Some((key, len)) = self.take_small_flushed(f.ino) {
+            if f.size == 0 && f.extents.is_empty() {
+                f.extents.push(key);
+                f.size = len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve a read of a coalesced-but-unsettled small file: straight
+    /// from the buffer, or from the flushed location if the batch already
+    /// went out (read-your-writes without mutating the shared handle).
+    fn read_small_unsettled(
+        &self,
+        ino: InodeId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>> {
+        if let Some(data) = self.small_pending_data(ino) {
+            self.stats.smallfile_buffer_reads.inc();
+            if offset >= data.len() as u64 {
+                return Ok(Some(Vec::new()));
+            }
+            let end = (offset as usize).saturating_add(len).min(data.len());
+            return Ok(Some(data[offset as usize..end].to_vec()));
+        }
+        if let Some((key, flen)) = self.small_flushed_loc(ino) {
+            self.stats.smallfile_buffer_reads.inc();
+            if offset >= flen {
+                return Ok(Some(Vec::new()));
+            }
+            let end = (offset + len as u64).min(flen);
+            let piece = self.read_extent(
+                key.partition_id,
+                key.extent_id,
+                key.extent_offset + offset,
+                end - offset,
+            )?;
+            return Ok(Some(piece));
+        }
+        Ok(None)
     }
 
     /// Small-file write (§2.2.3): one RPC to the PB leader, which packs
@@ -472,7 +534,12 @@ impl Client {
 
     /// Record freshly committed extents + size at the inode's meta node
     /// (§2.7.1 step 8, or the fsync path).
-    fn sync_extents(&self, ino: InodeId, keys: &[ExtentKey], new_size: u64) -> Result<()> {
+    pub(crate) fn sync_extents(
+        &self,
+        ino: InodeId,
+        keys: &[ExtentKey],
+        new_size: u64,
+    ) -> Result<()> {
         self.stats.meta_syncs.inc();
         let updated = self
             .meta_write_at(
@@ -493,6 +560,11 @@ impl Client {
     /// range, propose through the partition's Raft group. Offsets and
     /// metadata never change.
     fn overwrite_range(&self, f: &FileHandle, offset: u64, data: Bytes) -> Result<()> {
+        // The overwritten bytes may be cached; drop the touched blocks
+        // before new content lands (DESIGN §13).
+        let bs = self.config.packet_size;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        self.read_cache_invalidate_blocks(f.ino, offset / bs, last);
         let mut consumed = 0usize;
         let mut cur = offset;
         while consumed < data.len() {
@@ -544,11 +616,36 @@ impl Client {
         Ok(out)
     }
 
-    /// Positioned read: walks the cached extent keys; requests are
-    /// constructed entirely from the client cache (§2.7.4). A range that
-    /// spans several extents fans out in parallel (window bounded by
-    /// `pipeline_depth`) and reassembles into the output buffer.
+    /// Positioned read. Coalesced-but-unsettled small files are served
+    /// from the write buffer (read-your-writes); everything else goes
+    /// through the block cache (DESIGN §13) unless it is disabled, in
+    /// which case the direct fanout path runs.
     pub fn read_at(&self, f: &FileHandle, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if self.options.coalesce_small_writes && f.size == 0 && f.extents.is_empty() {
+            if let Some(out) = self.read_small_unsettled(f.ino, offset, len)? {
+                return Ok(out);
+            }
+        }
+        if offset >= f.size {
+            return Ok(Vec::new());
+        }
+        if self.read_cache_capacity() > 0 {
+            return self.read_at_cached(f, offset, len);
+        }
+        self.read_at_direct(f, offset, len)
+    }
+
+    /// Positioned read, bypassing the block cache: walks the cached
+    /// extent keys; requests are constructed entirely from the client
+    /// cache (§2.7.4). A range that spans several extents fans out in
+    /// parallel (window bounded by `pipeline_depth`) and reassembles into
+    /// the output buffer.
+    pub(crate) fn read_at_direct(
+        &self,
+        f: &FileHandle,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
         if offset >= f.size {
             return Ok(Vec::new());
         }
@@ -681,6 +778,7 @@ impl Client {
     /// if any acked op was compensated instead of committed.
     pub fn fsync(&self, f: &mut FileHandle) -> Result<()> {
         self.drain_async_commits()?;
+        self.settle_small(f)?;
         self.flush_meta(f)?;
         let inode = self.stat(f.ino)?;
         f.size = inode.size;
@@ -690,11 +788,13 @@ impl Client {
 
     /// Truncate the file, queueing data cleanup for the cut extents.
     pub fn truncate_file(&self, f: &mut FileHandle, size: u64) -> Result<()> {
+        self.settle_small(f)?;
         if size > f.size {
             return Err(CfsError::InvalidArgument(
                 "extending truncate unsupported".into(),
             ));
         }
+        self.read_cache_invalidate_ino(f.ino);
         self.flush_meta(f)?;
         let removed = self
             .meta_write_at(
@@ -768,6 +868,7 @@ impl Client {
             // the orphan was recorded.
             match self.meta_write_at(inode, MetaCommand::Evict { inode }) {
                 Ok(v) => {
+                    self.read_cache_invalidate_ino(inode);
                     if let Ok(ino) = v.into_inode() {
                         self.queue_extent_cleanup(&ino.extents);
                     }

@@ -33,13 +33,22 @@
 //!   client tracks every acked intent; `fsync`/`close` is the strong
 //!   barrier that drains them, surfaces rolled-back (compensated) ops as
 //!   errors, and forward-completes broken unlinks.
+//! * **Small-file fast path (DESIGN §13)**: with
+//!   [`ClientOptions::coalesce_small_writes`] the client buffers small
+//!   first-writes and flushes them as one `WriteSmallBatch` chain
+//!   submission (committed-prefix semantics per record); the readahead
+//!   block cache over `read_at` serves warmed sequential reads with zero
+//!   fabric round-trips and invalidates on truncate/overwrite/unlink/
+//!   generation drift/view refresh.
 
 mod async_commit;
 mod client;
+mod coalesce;
 mod file;
 mod fsck;
 mod ops;
 mod path;
+mod readcache;
 mod retry;
 
 pub use client::{Client, ClientOptions, DataPathSnapshot, Fabrics};

@@ -10,6 +10,13 @@ pub struct DataMetrics {
     pub appends_served: Counter,
     /// Small-file writes packed at the PB leader.
     pub small_writes_served: Counter,
+    /// Batched small-file writes served (one per WriteSmallBatch RPC).
+    pub small_batch_writes_served: Counter,
+    /// Records committed through the batched small-file path.
+    pub small_batch_records: Counter,
+    /// Aggregated extent segments forwarded down the chain for batches
+    /// (usually 1 per batch; >1 only across a shared-extent rotation).
+    pub small_batch_segments: Counter,
     /// Local chain applies (head and followers).
     pub chain_applies: Counter,
     /// Downstream forwards actually sent (a chain hop existed).
@@ -47,6 +54,9 @@ impl DataMetrics {
         DataMetrics {
             appends_served: registry.counter("data.appends_served"),
             small_writes_served: registry.counter("data.small_writes_served"),
+            small_batch_writes_served: registry.counter("data.small_batch.writes_served"),
+            small_batch_records: registry.counter("data.small_batch.records"),
+            small_batch_segments: registry.counter("data.small_batch.segments"),
             chain_applies: registry.counter("data.chain_applies"),
             chain_forwards: registry.counter("data.chain_forwards"),
             gap_wait_stalls: registry.counter("data.gap_wait_stalls"),

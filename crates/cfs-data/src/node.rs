@@ -77,6 +77,16 @@ pub enum DataRequest {
         data: Bytes,
         replicas: Vec<NodeId>,
     },
+    /// Batched small-file write (DESIGN §13): the PB leader packs every
+    /// record into the shared extent(s) in one store call and
+    /// chain-replicates each aggregated segment as a single append. A
+    /// mid-batch chain failure commits a prefix of whole records; the
+    /// reply's location vector is exactly that committed prefix.
+    WriteSmallBatch {
+        partition: PartitionId,
+        records: Vec<Bytes>,
+        replicas: Vec<NodeId>,
+    },
     /// In-place overwrite, Raft-replicated (§2.2.4). Sent to the Raft
     /// leader.
     Overwrite {
@@ -153,6 +163,7 @@ impl RpcRoute for DataRequest {
             DataRequest::CreateExtentAt { .. } => "data.create_extent_at",
             DataRequest::Append { .. } => "data.append",
             DataRequest::WriteSmall { .. } => "data.write_small",
+            DataRequest::WriteSmallBatch { .. } => "data.write_small_batch",
             DataRequest::Overwrite { .. } => "data.overwrite",
             DataRequest::Read { .. } => "data.read",
             DataRequest::ExtentInfo { .. } => "data.extent_info",
@@ -184,6 +195,10 @@ pub enum DataResponse {
     /// New committed watermark after an append.
     Watermark(u64),
     Small(SmallFileLocation),
+    /// Where each record of a `WriteSmallBatch` landed, in order. Shorter
+    /// than the request's record vector after a mid-batch chain failure:
+    /// the committed prefix (§2.2.5 semantics per sub-record).
+    SmallBatch(Vec<SmallFileLocation>),
     Data(Vec<u8>),
     Info(ExtentInfo),
     Report(Vec<PartitionStats>),
@@ -506,6 +521,11 @@ impl DataNode {
                 data,
                 replicas,
             } => self.handle_write_small(partition, data, replicas),
+            DataRequest::WriteSmallBatch {
+                partition,
+                records,
+                replicas,
+            } => self.handle_write_small_batch(partition, records, replicas),
             DataRequest::Overwrite {
                 partition,
                 extent,
@@ -900,6 +920,104 @@ impl DataNode {
         }
         self.metrics.small_writes_served.inc();
         Ok(DataResponse::Small(loc))
+    }
+
+    /// Batched small-file write at the PB leader (DESIGN §13): pack every
+    /// record into the shared extent(s) with one store call, forward each
+    /// aggregated segment down the chain as a single append, and advance
+    /// the watermark segment by segment. On a mid-batch chain failure the
+    /// already-forwarded segments stay committed and the reply carries
+    /// exactly that prefix of locations; if nothing committed, the error
+    /// surfaces so the client can retry the whole batch elsewhere.
+    fn handle_write_small_batch(
+        &self,
+        partition: PartitionId,
+        records: Vec<Bytes>,
+        replicas: Vec<NodeId>,
+    ) -> Result<DataResponse> {
+        if records.is_empty() {
+            return Ok(DataResponse::SmallBatch(Vec::new()));
+        }
+        // Serialize pack + forward per partition (see [`ChainState`]).
+        let state = self.chain_state(partition);
+        let _order_guard = state.small.lock();
+        let (locs, members) = {
+            let mut parts = self.partitions.lock();
+            let r = Self::part_mut(&mut parts, partition)?;
+            if r.pb_leader() != self.id {
+                return Err(CfsError::NotLeader {
+                    partition,
+                    hint: Some(r.pb_leader()),
+                });
+            }
+            let views: Vec<&[u8]> = records.iter().map(|b| b.as_ref()).collect();
+            (r.write_small_batch(&views)?, r.members().to_vec())
+        };
+        let replicas = if replicas.is_empty() {
+            members
+        } else {
+            replicas
+        };
+        // Locations are contiguous runs per extent by construction
+        // (rotation starts a new run); each run is one chain forward +
+        // one watermark commit.
+        let mut committed_records = 0usize;
+        let mut failure: Option<CfsError> = None;
+        let mut i = 0usize;
+        while i < locs.len() {
+            let extent = locs[i].extent_id;
+            let base = locs[i].offset;
+            let mut seg_len = 0u64;
+            let mut j = i;
+            while j < locs.len() && locs[j].extent_id == extent && locs[j].offset == base + seg_len
+            {
+                seg_len += locs[j].len;
+                j += 1;
+            }
+            let mut payload = Vec::with_capacity(seg_len as usize);
+            for rec in &records[i..j] {
+                payload.extend_from_slice(rec);
+            }
+            let payload = Bytes::from(payload);
+            let crc = crc32(&payload);
+            let forwarded = self.forward_chain(
+                &replicas,
+                DataRequest::Append {
+                    partition,
+                    extent,
+                    offset: base,
+                    data: payload,
+                    crc,
+                    replicas: replicas.clone(),
+                    request_id: 0,
+                },
+            );
+            match forwarded {
+                Ok(()) => {
+                    let mut parts = self.partitions.lock();
+                    Self::part_mut(&mut parts, partition)?.commit(extent, base + seg_len);
+                    committed_records = j;
+                    self.metrics.small_batch_segments.inc();
+                }
+                Err(e) => {
+                    // The failed segment is an uncommitted stale tail on
+                    // this replica (§2.2.5); recovery truncates it.
+                    failure = Some(e);
+                    break;
+                }
+            }
+            i = j;
+        }
+        if committed_records == 0 {
+            if let Some(e) = failure {
+                return Err(e);
+            }
+        }
+        self.metrics.small_batch_writes_served.inc();
+        self.metrics
+            .small_batch_records
+            .add(committed_records as u64);
+        Ok(DataResponse::SmallBatch(locs[..committed_records].to_vec()))
     }
 
     /// Raft-replicated overwrite: propose and pump to commit (§2.2.4).

@@ -342,6 +342,15 @@ impl DataPartitionReplica {
         self.store.write_small_file(data)
     }
 
+    /// Write a batch of small files into the shared extent(s) (leader
+    /// side): one aggregated store append per extent segment, returning
+    /// where each record landed in order. Placement is identical to calling
+    /// [`DataPartitionReplica::write_small`] once per record.
+    pub fn write_small_batch(&mut self, records: &[&[u8]]) -> Result<Vec<SmallFileLocation>> {
+        self.check_writable()?;
+        self.store.write_small_batch(records)
+    }
+
     /// Advance the committed watermark for an extent (PB leader, after the
     /// whole chain acked).
     pub fn commit(&mut self, extent: ExtentId, upto: u64) {

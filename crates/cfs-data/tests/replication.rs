@@ -358,6 +358,161 @@ fn small_files_pack_and_replicate_identically() {
 }
 
 #[test]
+fn mid_batch_chain_failure_commits_only_the_leading_segment() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use cfs_net::{DeliveryHook, DeliveryVerdict};
+
+    let c = cluster(3);
+    let members: Vec<NodeId> = c.nodes.iter().map(|n| n.id()).collect();
+    let p = PartitionId(1);
+    // Tiny rotation bound: four 1000-byte records pack as two two-record
+    // segments in two extents (A at 0/1000, then B at 0/1000), so the
+    // batch forwards two chain submissions.
+    for n in &c.nodes {
+        n.create_partition(p, VolumeId(1), members.clone(), 2048, 0)
+            .unwrap();
+    }
+    assert!(c
+        .hub
+        .pump_until(|| c.nodes.iter().any(|n| n.is_raft_leader_for(p)), 5_000));
+    let leader = members[0];
+    let records: Vec<Bytes> = (0..4u8).map(|i| Bytes::from(vec![i; 1000])).collect();
+
+    // Deliver the first head→middle forward (segment 1's chain), drop
+    // every later one: segment 2 fails mid-batch.
+    struct DropAfterFirst {
+        from: NodeId,
+        to: NodeId,
+        seen: AtomicU64,
+    }
+    impl DeliveryHook for DropAfterFirst {
+        fn verdict(&self, _seq: u64, from: NodeId, to: NodeId) -> DeliveryVerdict {
+            if from == self.from && to == self.to && self.seen.fetch_add(1, Ordering::SeqCst) > 0 {
+                return DeliveryVerdict::Drop;
+            }
+            DeliveryVerdict::Deliver
+        }
+    }
+    c.net.set_delivery_hook(Some(Arc::new(DropAfterFirst {
+        from: members[0],
+        to: members[1],
+        seen: AtomicU64::new(0),
+    })));
+
+    let locs = match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::WriteSmallBatch {
+                partition: p,
+                records: records.clone(),
+                replicas: members.clone(),
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::SmallBatch(l) => l,
+        other => panic!("unexpected {other:?}"),
+    };
+    c.net.set_delivery_hook(None);
+
+    // Committed prefix: exactly the first segment's two records, packed
+    // back to back in the first extent.
+    assert_eq!(locs.len(), 2, "only the leading segment committed");
+    assert_eq!(locs[0].offset, 0);
+    assert_eq!(locs[1].offset, 1000);
+    assert_eq!(locs[0].extent_id, locs[1].extent_id);
+
+    // The prefix is durably committed: committed reads serve it, and all
+    // replicas hold identical bytes.
+    for (i, loc) in locs.iter().enumerate() {
+        match c
+            .net
+            .call(
+                NodeId(99),
+                leader,
+                DataRequest::Read {
+                    partition: p,
+                    extent: loc.extent_id,
+                    offset: loc.offset,
+                    len: loc.len,
+                    enforce_committed: true,
+                },
+            )
+            .unwrap()
+            .unwrap()
+        {
+            DataResponse::Data(d) => assert_eq!(d, vec![i as u8; 1000]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let infos: Vec<_> = members
+        .iter()
+        .map(|&m| extent_info(&c, p, m, locs[0].extent_id))
+        .collect();
+    assert!(infos.iter().all(|i| i.crc == infos[0].crc));
+
+    // The failed segment is an uncommitted stale tail at the leader only
+    // (§2.2.5): applied locally before the forward died, watermark at 0.
+    let tail = ExtentId(locs[0].extent_id.0 + 1);
+    let li = extent_info(&c, p, leader, tail);
+    assert_eq!(li.size, 2000, "leader applied segment 2 locally");
+    assert_eq!(li.committed, 0, "segment 2 never committed");
+
+    // Recovery truncates the stale tail back to the committed watermark.
+    c.net
+        .call(NodeId(99), leader, DataRequest::Recover { partition: p })
+        .unwrap()
+        .unwrap();
+    assert_eq!(extent_info(&c, p, leader, tail).size, 0, "tail truncated");
+
+    // The client's retry re-sends the uncommitted suffix as a fresh
+    // batch; it lands cleanly and the whole file set reads back.
+    let locs2 = match c
+        .net
+        .call(
+            NodeId(99),
+            leader,
+            DataRequest::WriteSmallBatch {
+                partition: p,
+                records: records[2..].to_vec(),
+                replicas: members.clone(),
+            },
+        )
+        .unwrap()
+        .unwrap()
+    {
+        DataResponse::SmallBatch(l) => l,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(locs2.len(), 2, "retried suffix fully committed");
+    for (i, loc) in locs.iter().chain(locs2.iter()).enumerate() {
+        match c
+            .net
+            .call(
+                NodeId(99),
+                leader,
+                DataRequest::Read {
+                    partition: p,
+                    extent: loc.extent_id,
+                    offset: loc.offset,
+                    len: loc.len,
+                    enforce_committed: true,
+                },
+            )
+            .unwrap()
+            .unwrap()
+        {
+            DataResponse::Data(d) => assert_eq!(d, vec![i as u8; 1000]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn raft_overwrite_applies_on_all_replicas() {
     let c = cluster(3);
     let (p, members) = mk_partition(&c, 1);

@@ -75,6 +75,20 @@ pub struct ClusterConfig {
     pub retry_backoff_base: u32,
     /// Client retry backoff: cap on the exponentially growing wait.
     pub retry_backoff_cap: u32,
+    /// Small-file write coalescing (DESIGN §13): max records buffered
+    /// before the client flushes one `WriteSmallBatch` to a PB leader.
+    pub small_batch_max_ops: u32,
+    /// Coalescing byte bound: flush once the buffered records reach this
+    /// many bytes.
+    pub small_batch_max_bytes: u64,
+    /// Coalescing age bound, in client logical-clock ticks: a buffered
+    /// record never waits longer than this for peers before flushing.
+    pub small_batch_max_age: u64,
+    /// Client readahead extent cache (DESIGN §13): resident block capacity
+    /// per mount. Blocks are `packet_size` bytes; 0 disables the cache.
+    pub read_cache_capacity_blocks: usize,
+    /// Blocks fetched ahead of a sequential read miss (0 = no readahead).
+    pub readahead_blocks: u32,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +118,11 @@ impl Default for ClusterConfig {
             max_repairs_per_tick: 4,
             retry_backoff_base: 1,
             retry_backoff_cap: 32,
+            small_batch_max_ops: 16,
+            small_batch_max_bytes: 256 * KB,
+            small_batch_max_age: 256,
+            read_cache_capacity_blocks: 256,
+            readahead_blocks: 4,
         }
     }
 }
@@ -168,6 +187,11 @@ impl ClusterConfig {
         if self.retry_backoff_base == 0 || self.retry_backoff_cap < self.retry_backoff_base {
             return Err(CfsError::InvalidArgument(
                 "need retry_backoff_cap >= retry_backoff_base >= 1".into(),
+            ));
+        }
+        if self.small_batch_max_ops == 0 || self.small_batch_max_bytes == 0 {
+            return Err(CfsError::InvalidArgument(
+                "small_batch bounds must be > 0".into(),
             ));
         }
         Ok(())
@@ -259,6 +283,28 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+
+        // Small-file coalescing bounds must be positive.
+        let c = ClusterConfig {
+            small_batch_max_ops: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            small_batch_max_bytes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_file_fast_path_defaults() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.small_batch_max_ops, 16);
+        assert_eq!(c.small_batch_max_bytes, 256 * 1024);
+        assert_eq!(c.small_batch_max_age, 256);
+        assert_eq!(c.read_cache_capacity_blocks, 256);
+        assert_eq!(c.readahead_blocks, 4);
     }
 
     #[test]

@@ -934,3 +934,310 @@ fn recovery_budget_fires_when_flushing_disabled() {
         "unexpected panic message: {msg}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Small-file fast path budgets (DESIGN §13)
+// ---------------------------------------------------------------------
+
+const SMALL_FILES: u64 = 64;
+const SMALL_BATCH: u32 = 16;
+const READ_BLOCKS: u64 = 16;
+
+/// The coalesced small-write budget over one measured window: N buffered
+/// first-writes flush as exactly N/batch `WriteSmallBatch` submissions
+/// and zero per-record `WriteSmall` RPCs.
+fn check_smallfile_budget(window: &MetricsSnapshot, batches: u64, records: u64) {
+    let b = window.counter("client.smallfile.batches");
+    assert!(
+        b == batches,
+        "small-file budget regression: {b} batch flushes, expected exactly {batches}"
+    );
+    let r = window.counter("client.smallfile.batch_records");
+    assert!(
+        r == records,
+        "small-file budget regression: {r} batched records, expected exactly {records}"
+    );
+    let per_record = window.counter("net.calls{fabric=data,route=data.write_small}");
+    assert!(
+        per_record == 0,
+        "small-file budget regression: {per_record} per-record WriteSmall RPCs \
+         with coalescing on, expected 0"
+    );
+}
+
+/// The warmed-read budget: a fully cached sequential re-read costs zero
+/// fabric read RPCs and serves every block from the cache.
+fn check_warmed_read_budget(window: &MetricsSnapshot, hits: u64) {
+    let reads = window.counter("net.calls{fabric=data,route=data.read}");
+    assert!(
+        reads == 0,
+        "warmed-read budget regression: {reads} fabric reads from a fully \
+         cached file, expected 0"
+    );
+    let h = window.counter("client.readcache.hit");
+    assert!(
+        h == hits,
+        "warmed-read budget regression: {h} cache hits, expected exactly {hits}"
+    );
+}
+
+#[test]
+fn coalesced_small_write_budget() {
+    let config = ClusterConfig {
+        packet_size: PACKET,
+        small_file_threshold: PACKET,
+        ..ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new()
+        .config(config.clone())
+        .build()
+        .unwrap();
+    cluster.create_volume("budget", 1, 4).unwrap();
+    let client = cluster
+        .mount_with_options(
+            "budget",
+            ClientOptions {
+                coalesce_small_writes: true,
+                small_batch_max_ops: SMALL_BATCH,
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+
+    let root = client.root();
+    let mut handles = Vec::new();
+    for i in 0..SMALL_FILES {
+        let nm = format!("s{i}");
+        client.create(root, &nm).unwrap();
+        handles.push(client.open(root, &nm).unwrap());
+    }
+
+    let before = cluster.metrics_snapshot();
+    for (i, h) in handles.iter_mut().enumerate() {
+        client.write(h, &vec![i as u8; 512]).unwrap();
+    }
+    // 64 writes at batch 16 tripped the ops bound exactly 4 times; the
+    // buffer is empty, so the closes flush nothing further.
+    assert_eq!(client.small_writes_buffered(), 0);
+    for h in handles.iter_mut() {
+        client.close(h).unwrap();
+    }
+    let window = cluster.metrics_snapshot().diff(&before);
+
+    let batches = SMALL_FILES / SMALL_BATCH as u64;
+    check_smallfile_budget(&window, batches, SMALL_FILES);
+    assert_eq!(
+        window.counter("net.calls{fabric=data,route=data.write_small_batch}"),
+        batches
+    );
+    assert_eq!(window.counter("client.smallfile.coalesced"), SMALL_FILES);
+    // Each batch forwards its aggregated segment down the chain once per
+    // follower hop (no rotation at these sizes: one segment per batch).
+    assert_eq!(
+        window.counter("net.calls{fabric=data,route=data.append}"),
+        batches * (REPLICAS - 1)
+    );
+
+    // Readback survives adoption: every file holds its own record.
+    let mut h = client.open(root, "s7").unwrap();
+    assert_eq!(client.read_at(&h, 0, 512).unwrap(), vec![7u8; 512]);
+    client.close(&mut h).unwrap();
+
+    // Ablation twin: the identical workload without coalescing costs one
+    // chain submission per file — the fast path must be ≥2x cheaper.
+    let base_cluster = ClusterBuilder::new().config(config).build().unwrap();
+    base_cluster.create_volume("budget", 1, 4).unwrap();
+    let base = base_cluster
+        .mount_with_options("budget", ClientOptions::default())
+        .unwrap();
+    let root = base.root();
+    let before = base_cluster.metrics_snapshot();
+    for i in 0..SMALL_FILES {
+        let nm = format!("s{i}");
+        base.create(root, &nm).unwrap();
+        let mut h = base.open(root, &nm).unwrap();
+        base.write(&mut h, &vec![i as u8; 512]).unwrap();
+        base.close(&mut h).unwrap();
+    }
+    let base_window = base_cluster.metrics_snapshot().diff(&before);
+    let base_rounds = base_window.counter("net.calls{fabric=data,route=data.write_small}");
+    assert_eq!(base_rounds, SMALL_FILES);
+    assert!(
+        base_rounds >= 2 * batches,
+        "coalescing saved less than 2x: {base_rounds} baseline rounds vs \
+         {batches} batched"
+    );
+}
+
+#[test]
+fn smallfile_budget_check_rejects_perturbed_counters() {
+    // A chattier coalescer (one extra batch flush) must trip the budget.
+    let registry = cfs::Registry::new();
+    registry.counter("client.smallfile.batches").add(5); // budget says 4
+    registry
+        .counter("client.smallfile.batch_records")
+        .add(SMALL_FILES);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_smallfile_budget(&snap, 4, SMALL_FILES))
+        .expect_err("perturbed batch count must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("small-file budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // A coalescer that quietly falls back to per-record RPCs must trip it
+    // even when the batch counters look right.
+    let registry = cfs::Registry::new();
+    registry.counter("client.smallfile.batches").add(4);
+    registry
+        .counter("client.smallfile.batch_records")
+        .add(SMALL_FILES);
+    registry
+        .counter("net.calls{fabric=data,route=data.write_small}")
+        .add(1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_smallfile_budget(&snap, 4, SMALL_FILES))
+        .expect_err("per-record fallback must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("per-record WriteSmall"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+#[test]
+fn warmed_sequential_read_budget() {
+    let config = ClusterConfig {
+        packet_size: PACKET,
+        small_file_threshold: PACKET,
+        ..ClusterConfig::default()
+    };
+    let cluster = ClusterBuilder::new().config(config).build().unwrap();
+    cluster.create_volume("budget", 1, 4).unwrap();
+    let client = cluster
+        .mount_with_options("budget", ClientOptions::default())
+        .unwrap();
+
+    let root = client.root();
+    client.create(root, "f").unwrap();
+    let mut fh = client.open(root, "f").unwrap();
+    let len = (PACKET * READ_BLOCKS) as usize;
+    let body: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    client.write(&mut fh, &body).unwrap();
+    client.close(&mut fh).unwrap();
+
+    // Cold pass fills the cache (every block is a demand miss).
+    let fh = client.open(root, "f").unwrap();
+    let before = cluster.metrics_snapshot();
+    assert_eq!(client.read_at(&fh, 0, len).unwrap(), body);
+    let cold = cluster.metrics_snapshot().diff(&before);
+    assert_eq!(cold.counter("client.readcache.miss"), READ_BLOCKS);
+    assert_eq!(cold.counter("client.readcache.inserted"), READ_BLOCKS);
+
+    // Warmed pass: zero fabric reads, every block a hit.
+    let before = cluster.metrics_snapshot();
+    assert_eq!(client.read_at(&fh, 0, len).unwrap(), body);
+    let warm = cluster.metrics_snapshot().diff(&before);
+    check_warmed_read_budget(&warm, READ_BLOCKS);
+
+    // Invalidation: a truncate drops the cached blocks, so the next read
+    // goes back to the fabric and conservation still balances.
+    let mut fh = client.open(root, "f").unwrap();
+    client.truncate_file(&mut fh, PACKET * 4).unwrap();
+    let before = cluster.metrics_snapshot();
+    assert_eq!(
+        client.read_at(&fh, 0, len).unwrap(),
+        body[..(PACKET * 4) as usize]
+    );
+    let after_truncate = cluster.metrics_snapshot().diff(&before);
+    assert!(after_truncate.counter("net.calls{fabric=data,route=data.read}") > 0);
+    let stats = client.data_path_stats();
+    assert_eq!(
+        stats.readcache_resident,
+        stats.readcache_inserted as i64
+            - stats.readcache_evicted as i64
+            - stats.readcache_invalidated as i64
+    );
+    client.close(&mut fh).unwrap();
+}
+
+#[test]
+fn warmed_read_budget_check_rejects_perturbed_counters() {
+    // A cache that quietly leaks reads to the fabric must trip the budget
+    // even when the hit counter looks right.
+    let registry = cfs::Registry::new();
+    registry.counter("client.readcache.hit").add(READ_BLOCKS);
+    registry
+        .counter("net.calls{fabric=data,route=data.read}")
+        .add(1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_warmed_read_budget(&snap, READ_BLOCKS))
+        .expect_err("leaked fabric read must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("warmed-read budget regression"),
+        "unexpected panic message: {msg}"
+    );
+
+    // Short-served hits (a shrunken cache) must trip it too.
+    let registry = cfs::Registry::new();
+    registry
+        .counter("client.readcache.hit")
+        .add(READ_BLOCKS - 1);
+    let snap = registry.snapshot();
+    let err = std::panic::catch_unwind(|| check_warmed_read_budget(&snap, READ_BLOCKS))
+        .expect_err("short hit count must fail the budget");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("cache hits"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+#[test]
+fn ceph_baseline_config_is_pinned_to_the_paper() {
+    // The evaluation matrix (BENCH_eval.json) compares CFS against the
+    // ceph-baseline model; a quiet change to any cost parameter would
+    // move every "% improv" number without anyone noticing. Pin the
+    // whole default config to the paper's §4.1/Table-1 setup so model
+    // drift fails CI instead.
+    let c = ceph_baseline::CephConfig::default();
+    assert_eq!(c.nodes, 10, "Table 1: 10 server machines");
+    assert_eq!(c.osds_per_node, 16, "§4.1: 16 OSDs per machine");
+    assert_eq!(c.mds_per_node, 1, "§4.1: 1 MDS per machine");
+    assert_eq!(c.client_nodes, 8, "Table 1: 8 client machines");
+    assert_eq!(c.osd_shards, 6, "§4.3: osd_op_num_shards = 6");
+    assert_eq!(c.osd_threads_per_shard, 4, "§4.3: 4 threads per shard");
+    assert_eq!(c.replicas, 3, "3-way replication, as CFS");
+    assert_eq!(c.object_size, 4 * 1024 * 1024, "4 MB RADOS objects");
+    assert_eq!(c.mds_op_ns, 50_000);
+    assert_eq!(c.mds_journal_ns, 250_000);
+    assert_eq!(c.mds_cache_inodes, 100_000);
+    assert_eq!(c.osd_shard_op_ns, 15_000);
+    assert_eq!(c.onode_cache_per_node, 20_000);
+    assert_eq!(c.client_op_ns, 80_000);
+    assert_eq!(c.rebalance_threshold_ops, 300);
+    assert_eq!(c.total_mds(), 10);
+
+    // The shared hardware model underneath both systems (Table 1).
+    let hw = &c.hw;
+    assert_eq!(hw.nic_bandwidth_bps, 1_000_000_000, "1 Gbps NICs");
+    assert_eq!(hw.net_oneway_ns, 60_000);
+    assert_eq!(hw.net_per_msg_ns, 2_000);
+    assert_eq!(hw.cores_per_node, 16, "Table 1: 16 cores");
+    assert_eq!(hw.ssds_per_node, 16, "Table 1: 16 SSDs");
+    assert_eq!(hw.ssd_read_ns, 80_000);
+    assert_eq!(hw.ssd_write_ns, 50_000);
+    assert_eq!(hw.ssd_fsync_ns, 250_000);
+    assert_eq!(hw.rpc_handle_ns, 12_000);
+    assert_eq!(hw.mem_index_op_ns, 1_500);
+
+    // The fast-network variant used by fig8–fig10 differs ONLY in NIC
+    // line rate.
+    let fast = cfs_sim::HardwareModel::fast_network();
+    assert_eq!(fast.nic_bandwidth_bps, 10_000_000_000, "10 Gbps NICs");
+    assert_eq!(fast.net_oneway_ns, hw.net_oneway_ns);
+    assert_eq!(fast.ssd_read_ns, hw.ssd_read_ns);
+    assert_eq!(fast.ssd_fsync_ns, hw.ssd_fsync_ns);
+}

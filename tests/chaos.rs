@@ -782,6 +782,12 @@ impl Chaos {
         // 10. Invariant (e), metadata hot path: group-commit sub-entries
         //     and leader-served reads reconcile exactly.
         self.check_meta_hot_path_reconciliation();
+
+        // 11. Invariant (e), read cache (DESIGN §13): block conservation —
+        //     every block ever inserted is still resident, was evicted, or
+        //     was invalidated; nothing is lost or double-counted across
+        //     truncates, overwrites, unlinks and view refreshes.
+        self.check_readcache_reconciliation();
     }
 
     /// Invariant (i) machinery: barrier every acked-but-unbarriered
@@ -1243,6 +1249,62 @@ impl Chaos {
             served_by_leaders, served_to_client,
             "invariant (e): leader-classified meta reads (lease + quorum) vs \
              reads the client saw served (seed {})",
+            self.seed
+        );
+    }
+
+    /// Invariant (e), DESIGN §13: the readahead block cache obeys block
+    /// conservation — `resident == inserted - evicted - invalidated` —
+    /// both per client and in the shared registry (the workload's only
+    /// mount, so the two views must agree exactly), and every probe was
+    /// classified as exactly one hit or miss.
+    fn check_readcache_reconciliation(&self) {
+        let stats = self.client.data_path_stats();
+        let balance = stats.readcache_inserted as i64
+            - stats.readcache_evicted as i64
+            - stats.readcache_invalidated as i64;
+        assert_eq!(
+            stats.readcache_resident, balance,
+            "invariant (e): read-cache resident blocks vs inserted - evicted \
+             - invalidated (seed {}): {:?}",
+            self.seed, stats
+        );
+        assert!(
+            stats.readcache_resident >= 0,
+            "invariant (e): negative read-cache residency (seed {}): {:?}",
+            self.seed,
+            stats
+        );
+        // Full blocks are the only insertable unit, so residency can never
+        // exceed the configured capacity.
+        assert!(
+            stats.readcache_resident <= 256,
+            "invariant (e): read-cache residency above capacity (seed {}): {:?}",
+            self.seed,
+            stats
+        );
+        // The shared registry mirrors the single mount's pairs exactly.
+        let snap = self.cluster.metrics_snapshot();
+        assert_eq!(
+            snap.counter("client.readcache.inserted") as i64
+                - snap.counter("client.readcache.evicted") as i64
+                - snap.counter("client.readcache.invalidated") as i64,
+            snap.gauge("client.readcache.resident")
+                .map(|g| g.value)
+                .unwrap_or(0),
+            "invariant (e): registry-level read-cache conservation (seed {})",
+            self.seed
+        );
+        assert_eq!(
+            snap.counter("client.readcache.hit"),
+            stats.readcache_hits,
+            "invariant (e): registry vs client read-cache hits (seed {})",
+            self.seed
+        );
+        assert_eq!(
+            snap.counter("client.readcache.miss"),
+            stats.readcache_misses,
+            "invariant (e): registry vs client read-cache misses (seed {})",
             self.seed
         );
     }
